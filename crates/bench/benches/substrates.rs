@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks of the substrate layers: HTML parsing, JS
+//! rendering, SERP generation, feature extraction, classifier training.
+//! These are the per-page costs the paper's workload-trimming decisions
+//! (churn caching, ≤3 renders per domain) were designed around.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ss_eco::{ScenarioConfig, World};
+use ss_ml::logreg::{MulticlassModel, TrainConfig};
+use ss_ml::{extract_features, Dictionary};
+use ss_types::rng::sub_rng;
+use ss_types::{SimDate, TermId};
+use ss_web::http::UserAgent;
+use ss_web::js::render::render;
+use ss_web::pagegen::storefront::{home_page, StoreCtx, StoreTemplate};
+use ss_web::pagegen::{doorway, obfuscate};
+use ss_web::Document;
+
+fn sample_store_page() -> String {
+    let t = StoreTemplate::for_campaign("BIGLOVE", 42);
+    home_page(&StoreCtx {
+        domain: "cocovipbags.com",
+        store_name: "coco vip bags",
+        template: &t,
+        brands: &["Chanel", "Louis Vuitton"],
+        locale: "us",
+        merchant_id: "m-889231",
+        seed: 7,
+    })
+}
+
+fn sample_iframe_page(level: u8) -> String {
+    let ctx = doorway::DoorwayCtx {
+        domain: "hacked-blog.com",
+        term: "cheap louis vuitton",
+        brand: "Louis Vuitton",
+        backlinks: &[],
+        seed: 11,
+    };
+    doorway::iframe_page(&ctx, "http://store.com/", level)
+}
+
+fn bench_html(c: &mut Criterion) {
+    let page = sample_store_page();
+    c.bench_function("html/parse_store_page", |b| {
+        b.iter(|| Document::parse(std::hint::black_box(&page)))
+    });
+    let doc = Document::parse(&page);
+    c.bench_function("html/text_extraction", |b| b.iter(|| doc.text_content()));
+}
+
+fn bench_js(c: &mut Criterion) {
+    for level in [1u8, 2, 3] {
+        let page = sample_iframe_page(level);
+        c.bench_function(&format!("js/render_iframe_obf{level}"), |b| {
+            b.iter(|| render(std::hint::black_box(&page), "http://d.com/", UserAgent::Browser, None))
+        });
+    }
+    let mut rng = sub_rng(1, "bench");
+    c.bench_function("js/payload_generation_obf3", |b| {
+        b.iter(|| obfuscate::iframe_payload("http://store.com/", 3, &mut rng))
+    });
+}
+
+fn bench_serp(c: &mut Criterion) {
+    let world = World::build(ScenarioConfig::small(5)).expect("world");
+    let day = SimDate::from_day_index(ss_types::CRAWL_START_DAY + 10);
+    c.bench_function("search/serp_top100", |b| {
+        b.iter(|| world.engine.serp(TermId(0), day, 100))
+    });
+    c.bench_function("eco/world_build_tiny", |b| {
+        b.iter(|| World::build(ScenarioConfig::tiny(9)).expect("world"))
+    });
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let page = sample_store_page();
+    c.bench_function("ml/feature_extraction", |b| {
+        b.iter_batched(
+            Dictionary::new,
+            |mut dict| extract_features(std::hint::black_box(&page), &mut dict, true),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // A small multiclass training problem shaped like the real one.
+    let mut dict = Dictionary::new();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for class in 0..8 {
+        let t = StoreTemplate::for_campaign(&format!("C{class}"), 42);
+        for seed in 0..6 {
+            let html = home_page(&StoreCtx {
+                domain: "x.com",
+                store_name: "x",
+                template: &t,
+                brands: &["Chanel"],
+                locale: "us",
+                merchant_id: "m",
+                seed,
+            });
+            xs.push(extract_features(&html, &mut dict, true));
+            ys.push(class);
+        }
+    }
+    let names: Vec<String> = (0..8).map(|c| format!("C{c}")).collect();
+    let cfg = TrainConfig { epochs: 60, ..TrainConfig::default() };
+    c.bench_function("ml/train_8class_48docs", |b| {
+        b.iter(|| MulticlassModel::train(&xs, &ys, names.clone(), dict.len(), &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_html, bench_js, bench_serp, bench_ml
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Smoke test for the paper-scale world: builds the full 16-vertical ×
+//! 100-term × 52-campaign world and runs a few day ticks, printing sizes
+//! and timings. Use this to gauge whether a full `repro all --preset
+//! paper` run is worth the wall-clock on your machine.
+//!
+//! ```text
+//! cargo run --release -p ss-bench --example paper_smoke
+//! ```
+
+use ss_eco::{ScenarioConfig, World};
+use ss_types::SimDate;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut w = World::build(ScenarioConfig::paper(1)).expect("paper world builds");
+    println!(
+        "paper world built in {:.1?}: {} domains, {} indexed docs, {} stores, {} campaigns",
+        t0.elapsed(),
+        w.domains.len(),
+        w.engine.doc_count(),
+        w.stores.len(),
+        w.campaigns.len()
+    );
+    let t1 = std::time::Instant::now();
+    w.run_until(SimDate::from_day_index(3));
+    println!("4 day ticks in {:.1?} (the crawl window spans 245 days)", t1.elapsed());
+}

@@ -1,0 +1,82 @@
+//! # ss-bench
+//!
+//! Benchmarks and the `repro` experiment harness.
+//!
+//! * `benches/substrates.rs` — Criterion microbenchmarks of the substrate
+//!   layers the pipeline leans on per-page (HTML parsing, JS rendering,
+//!   SERP generation, feature extraction, classifier training);
+//! * `benches/pipeline.rs` — Criterion benchmarks of the measurement
+//!   pipeline stages (Dagger, VanGogh, a full crawl day, purchase-pair
+//!   estimation);
+//! * `src/bin/repro.rs` — the experiment runner: one subcommand per table
+//!   and figure of the paper, plus `all` to regenerate EXPERIMENTS.md.
+//!
+//! This crate's library surface is the shared scenario builders the
+//! benches and the binary use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use search_seizure::{Study, StudyConfig, StudyOutput};
+use ss_eco::{Scale, ScenarioConfig};
+
+/// Named run presets for the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Tiny world, ~2-week crawl: seconds. Used by benches and smoke runs.
+    Tiny,
+    /// Small world, multi-month crawl: the default `repro` scale.
+    Small,
+    /// Paper-scale world and the full eight-month crawl window. Heavy —
+    /// run in release.
+    Paper,
+}
+
+impl Preset {
+    /// Parses a preset name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tiny" => Some(Preset::Tiny),
+            "small" => Some(Preset::Small),
+            "paper" => Some(Preset::Paper),
+            _ => None,
+        }
+    }
+
+    /// Builds the study configuration for this preset.
+    pub fn config(self, seed: u64) -> StudyConfig {
+        match self {
+            Preset::Tiny => StudyConfig::fast_test(seed),
+            Preset::Small => {
+                let mut cfg = StudyConfig::new(ScenarioConfig::new(seed, Scale::small()));
+                cfg.crawl_end = cfg.crawl_start + 110;
+                cfg
+            }
+            Preset::Paper => StudyConfig::new(ScenarioConfig::paper(seed)),
+        }
+    }
+
+    /// Human description for report headers.
+    pub fn describe(self, seed: u64) -> String {
+        format!("{self:?} preset, seed {seed}")
+    }
+}
+
+/// Runs a study for a preset (convenience for benches and the binary).
+pub fn run_preset(preset: Preset, seed: u64) -> StudyOutput {
+    Study::new(preset.config(seed)).run().expect("study preset runs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse_and_configure() {
+        assert_eq!(Preset::parse("tiny"), Some(Preset::Tiny));
+        assert_eq!(Preset::parse("paper"), Some(Preset::Paper));
+        assert_eq!(Preset::parse("huge"), None);
+        let cfg = Preset::Small.config(1);
+        assert!(cfg.crawl_end > cfg.crawl_start);
+    }
+}

@@ -1,0 +1,433 @@
+//! Figure regeneration: the data behind Figures 2–6 as CSV series plus
+//! terminal sparkline views.
+
+use std::collections::{HashMap, HashSet};
+
+use ss_stats::{render, DailySeries};
+use ss_types::SimDate;
+
+use crate::pipeline::StudyOutput;
+
+/// Figure 2 data for one vertical: stacked attribution of PSR share.
+#[derive(Debug, Clone)]
+pub struct Fig2Vertical {
+    /// Vertical name.
+    pub name: String,
+    /// Daily % of crawled results that are poisoned.
+    pub poisoned_pct: DailySeries,
+    /// Per-campaign daily % share (largest campaigns first; the rest fold
+    /// into "misc"), plus `unknown` and `penalized` series.
+    pub campaign_pct: Vec<(String, DailySeries)>,
+    /// Daily % of results that were poisoned AND penalized (labeled or
+    /// pointing at an observed-seized store).
+    pub penalized_pct: DailySeries,
+}
+
+/// Builds Figure 2 for a vertical (by monitored index), keeping the top
+/// `max_campaigns` campaigns as named series.
+pub fn fig2(out: &StudyOutput, vertical: usize, max_campaigns: usize) -> Fig2Vertical {
+    let (start, end) = out.window;
+    let db = &out.crawler.db;
+
+    // Denominator: results crawled per day in this vertical.
+    let mut seen = DailySeries::new(start, end);
+    for c in &db.daily_counts {
+        if c.vertical == vertical as u16 {
+            seen.add(c.day, f64::from(c.total_seen));
+        }
+    }
+
+    // Seizure-observation days per store domain (for the penalized share).
+    let seizure_day: HashMap<u32, SimDate> = db
+        .store_info
+        .iter()
+        .filter_map(|(id, s)| s.seizure.as_ref().map(|(d, _)| (*id, *d)))
+        .collect();
+
+    let mut poisoned = DailySeries::new(start, end);
+    let mut penalized = DailySeries::new(start, end);
+    let mut per_class: HashMap<Option<usize>, DailySeries> = HashMap::new();
+    for psr in db.psrs_of_vertical(vertical as u16) {
+        poisoned.add(psr.day, 1.0);
+        let seized = psr
+            .landing
+            .and_then(|l| seizure_day.get(&l))
+            .map(|d| *d <= psr.day)
+            .unwrap_or(false);
+        if psr.labeled || seized {
+            penalized.add(psr.day, 1.0);
+        }
+        per_class
+            .entry(out.attribution.psr_class(psr))
+            .or_insert_with(|| DailySeries::new(start, end))
+            .add(psr.day, 1.0);
+    }
+
+    let pct = |num: &DailySeries| -> DailySeries {
+        let mut out_s = DailySeries::new(start, end);
+        for day in SimDate::range_inclusive(start, end) {
+            let d = seen.get(day).unwrap_or(0.0);
+            if d > 0.0 {
+                out_s.set(day, num.get(day).unwrap_or(0.0) / d * 100.0);
+            }
+        }
+        out_s
+    };
+
+    // Rank campaigns by mass; top N named, remainder folded into "misc".
+    let mut named: Vec<(usize, f64)> = per_class
+        .iter()
+        .filter_map(|(k, s)| k.map(|c| (c, s.sum())))
+        .collect();
+    named.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let keep: Vec<usize> = named.iter().take(max_campaigns).map(|(c, _)| *c).collect();
+
+    let mut campaign_pct: Vec<(String, DailySeries)> = Vec::new();
+    let mut misc = DailySeries::new(start, end);
+    let mut unknown = DailySeries::new(start, end);
+    for (class, series) in per_class {
+        match class {
+            Some(c) if keep.contains(&c) => {
+                campaign_pct.push((out.attribution.class_names[c].clone(), pct(&series)));
+            }
+            Some(_) => {
+                for (d, v) in series.observed() {
+                    misc.add(d, v);
+                }
+            }
+            None => {
+                for (d, v) in series.observed() {
+                    unknown.add(d, v);
+                }
+            }
+        }
+    }
+    campaign_pct.sort_by(|a, b| {
+        b.1.sum().partial_cmp(&a.1.sum()).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    campaign_pct.push(("misc".into(), pct(&misc)));
+    campaign_pct.push(("unknown".into(), pct(&unknown)));
+
+    Fig2Vertical {
+        name: out.monitored[vertical].name.clone(),
+        poisoned_pct: pct(&poisoned),
+        campaign_pct,
+        penalized_pct: pct(&penalized),
+    }
+}
+
+impl Fig2Vertical {
+    /// CSV with one column per series.
+    pub fn to_csv(&self) -> String {
+        let mut cols: Vec<(&str, &DailySeries)> =
+            vec![("poisoned_pct", &self.poisoned_pct), ("penalized_pct", &self.penalized_pct)];
+        for (name, s) in &self.campaign_pct {
+            cols.push((name.as_str(), s));
+        }
+        render::series_csv(&cols)
+    }
+
+    /// Terminal sparkline summary.
+    pub fn to_text(&self, width: usize) -> String {
+        let mut outp = format!("Figure 2 — {}\n", self.name);
+        outp.push_str(&format!(
+            "  poisoned  {}\n",
+            render::sparkline_compact(&self.poisoned_pct, width)
+        ));
+        for (name, s) in self.campaign_pct.iter().take(6) {
+            outp.push_str(&format!("  {name:<9} {}\n", render::sparkline_compact(s, width)));
+        }
+        outp.push_str(&format!(
+            "  penalized {}\n",
+            render::sparkline_compact(&self.penalized_pct, width)
+        ));
+        outp
+    }
+}
+
+/// Figure 3 row: poisoning envelope for one vertical.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig3Row {
+    /// Vertical name.
+    pub name: String,
+    /// Min/max daily % of top-10 results poisoned.
+    pub top10: (f64, f64),
+    /// Min/max daily % of top-100 (crawled depth) results poisoned.
+    pub top100: (f64, f64),
+    /// Paper envelope `(t10_min, t10_max, t100_min, t100_max)`.
+    pub paper: (f64, f64, f64, f64),
+}
+
+/// Builds Figure 3 across all verticals, plus the raw daily series for
+/// sparkline rendering.
+pub fn fig3(out: &StudyOutput) -> (Vec<Fig3Row>, Vec<(DailySeries, DailySeries)>) {
+    let (start, end) = out.window;
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (vi, mv) in out.monitored.iter().enumerate() {
+        let mut t10 = DailySeries::new(start, end);
+        let mut t100 = DailySeries::new(start, end);
+        for c in &out.crawler.db.daily_counts {
+            if c.vertical != vi as u16 {
+                continue;
+            }
+            if c.top10_seen > 0 {
+                t10.set(c.day, f64::from(c.top10_poisoned) / f64::from(c.top10_seen) * 100.0);
+            }
+            if c.total_seen > 0 {
+                t100.set(c.day, f64::from(c.total_poisoned) / f64::from(c.total_seen) * 100.0);
+            }
+        }
+        let spec = out.world.verticals[vi].spec;
+        rows.push(Fig3Row {
+            name: mv.name.clone(),
+            top10: t10.min_max().unwrap_or((0.0, 0.0)),
+            top100: t100.min_max().unwrap_or((0.0, 0.0)),
+            paper: (
+                spec.fig3.top10_min,
+                spec.fig3.top10_max,
+                spec.fig3.top100_min,
+                spec.fig3.top100_max,
+            ),
+        });
+        series.push((t10, t100));
+    }
+    (rows, series)
+}
+
+/// Renders Figure 3 as sparkline pairs, in the paper's layout.
+pub fn fig3_text(rows: &[Fig3Row], series: &[(DailySeries, DailySeries)], width: usize) -> String {
+    let mut s = String::from("Figure 3 — % of results poisoned (top-10 | top-100), min..max, paper in ()\n");
+    for (row, (t10, t100)) in rows.iter().zip(series) {
+        s.push_str(&format!(
+            "{:<14} {:5.2}..{:5.2} {} ({:.2}..{:.2}) | {:5.2}..{:5.2} {} ({:.2}..{:.2})\n",
+            row.name,
+            row.top10.0,
+            row.top10.1,
+            render::sparkline_compact(t10, width),
+            row.paper.0,
+            row.paper.1,
+            row.top100.0,
+            row.top100.1,
+            render::sparkline_compact(t100, width),
+            row.paper.2,
+            row.paper.3,
+        ));
+    }
+    s
+}
+
+/// Figure 4 panel for one campaign: PSR visibility vs order activity.
+#[derive(Debug, Clone)]
+pub struct Fig4Campaign {
+    /// Campaign name.
+    pub name: String,
+    /// Daily PSR counts across the crawled depth.
+    pub top100: DailySeries,
+    /// Daily PSR counts in the top 10.
+    pub top10: DailySeries,
+    /// Daily count of labeled ("hacked") PSRs.
+    pub labeled: DailySeries,
+    /// Representative store's cumulative order-number growth.
+    pub volume: Option<DailySeries>,
+    /// Representative store's estimated daily order rate.
+    pub rate: Option<DailySeries>,
+    /// The representative store's domain.
+    pub store_domain: Option<String>,
+    /// Pearson correlation between PSR visibility and order rate.
+    pub visibility_rate_correlation: Option<f64>,
+}
+
+/// Builds a Figure 4 panel for a campaign by name. Returns `None` when the
+/// campaign was never attributed in this run.
+pub fn fig4(out: &StudyOutput, campaign: &str) -> Option<Fig4Campaign> {
+    let class = out.attribution.class_index(campaign)?;
+    let (start, end) = out.window;
+    let top100 = super::campaign_psr_series(out, class, false);
+    let top10 = super::campaign_psr_series(out, class, true);
+
+    let mut labeled = DailySeries::new(start, end);
+    for psr in &out.crawler.db.psrs {
+        if psr.labeled && out.attribution.psr_class(psr) == Some(class) {
+            labeled.add(psr.day, 1.0);
+        }
+    }
+
+    // Representative store: the monitored store of this campaign with the
+    // most samples (mirrors "stores … visible in PSRs [with] high order
+    // activity", §5.2.1).
+    let store_domain = out
+        .sampler
+        .stores
+        .values()
+        .filter(|s| {
+            out.crawler
+                .db
+                .domains
+                .get(&s.domain)
+                .and_then(|id| out.attribution.store_class.get(&id))
+                .copied()
+                .flatten()
+                == Some(class)
+        })
+        .max_by_key(|s| s.samples.len())
+        .map(|s| s.domain.clone());
+
+    let volume =
+        store_domain.as_ref().and_then(|d| out.sampler.volume_series(d, start, end));
+    let rate = store_domain.as_ref().and_then(|d| out.sampler.rate_series(d, start, end));
+    let visibility_rate_correlation = rate.as_ref().and_then(|r| {
+        ss_stats::corr::pearson(&top100.dense_or_zero(), &r.dense_or_zero())
+    });
+
+    Some(Fig4Campaign {
+        name: campaign.to_owned(),
+        top100,
+        top10,
+        labeled,
+        volume,
+        rate,
+        store_domain,
+        visibility_rate_correlation,
+    })
+}
+
+impl Fig4Campaign {
+    /// CSV with all panel series.
+    pub fn to_csv(&self) -> String {
+        let mut cols: Vec<(&str, &DailySeries)> = vec![
+            ("psrs_top100", &self.top100),
+            ("psrs_top10", &self.top10),
+            ("psrs_labeled", &self.labeled),
+        ];
+        if let Some(v) = &self.volume {
+            cols.push(("order_volume", v));
+        }
+        if let Some(r) = &self.rate {
+            cols.push(("order_rate", r));
+        }
+        render::series_csv(&cols)
+    }
+}
+
+/// Figure 5: the coco*.com (BIGLOVE Chanel store) case study.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// The store domains involved, in rotation order of first sighting.
+    pub domains: Vec<String>,
+    /// Daily PSRs landing on any of them (crawled depth).
+    pub top100: DailySeries,
+    /// Daily PSRs landing on them within the top 10.
+    pub top10: DailySeries,
+    /// Daily HTML pages served (from AWStats daily rows).
+    pub traffic_pages: DailySeries,
+    /// Cumulative order volume of the primary domain under sampling.
+    pub volume: Option<DailySeries>,
+    /// Estimated daily order rate.
+    pub rate: Option<DailySeries>,
+}
+
+/// Builds Figure 5 over every store domain matching `pattern` (the study
+/// tracked `coco*.com`). Returns `None` when no matching store was seen.
+pub fn fig5(out: &StudyOutput, pattern: &str) -> Option<Fig5> {
+    let (start, end) = out.window;
+    let db = &out.crawler.db;
+    let mut ids: Vec<(u32, SimDate)> = db
+        .store_info
+        .iter()
+        .filter(|(id, _)| db.domains.resolve(**id).starts_with(pattern))
+        .map(|(id, s)| (*id, s.first_seen))
+        .collect();
+    if ids.is_empty() {
+        return None;
+    }
+    ids.sort_by_key(|(_, d)| *d);
+    let id_list: Vec<u32> = ids.iter().map(|(i, _)| *i).collect();
+    let domains: Vec<String> =
+        id_list.iter().map(|i| db.domains.resolve(*i).to_owned()).collect();
+
+    let top100 = super::landing_psr_series(out, &id_list, false);
+    let top10 = super::landing_psr_series(out, &id_list, true);
+
+    let mut traffic_pages = DailySeries::new(start, end);
+    for d in &domains {
+        if let Some(reports) = out.awstats.get(d) {
+            for r in reports {
+                for (day, _visits, pages) in &r.daily {
+                    traffic_pages.add(*day, *pages as f64);
+                }
+            }
+        }
+    }
+
+    let sampled = domains.iter().find(|d| out.sampler.stores.contains_key(*d));
+    let volume = sampled.and_then(|d| out.sampler.volume_series(d, start, end));
+    let rate = sampled.and_then(|d| out.sampler.rate_series(d, start, end));
+
+    Some(Fig5 { domains, top100, top10, traffic_pages, volume, rate })
+}
+
+impl Fig5 {
+    /// CSV of all series.
+    pub fn to_csv(&self) -> String {
+        let mut cols: Vec<(&str, &DailySeries)> = vec![
+            ("psrs_top100", &self.top100),
+            ("psrs_top10", &self.top10),
+            ("traffic_pages", &self.traffic_pages),
+        ];
+        if let Some(v) = &self.volume {
+            cols.push(("order_volume", v));
+        }
+        if let Some(r) = &self.rate {
+            cols.push(("order_rate", r));
+        }
+        render::series_csv(&cols)
+    }
+}
+
+/// Figure 6: order-number trajectories of one campaign's international
+/// stores around a seizure.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// `(store domain, order-number samples as (day, number))` per store.
+    pub stores: Vec<(String, Vec<(SimDate, u64)>)>,
+    /// Observed seizure days per store domain.
+    pub seizures: Vec<(String, SimDate)>,
+}
+
+/// Builds Figure 6 for the stores of `campaign` whose domains match any of
+/// `patterns` (the paper's four international PHP?P= stores).
+pub fn fig6(out: &StudyOutput, campaign: &str, patterns: &[&str]) -> Option<Fig6> {
+    let class = out.attribution.class_index(campaign)?;
+    let mut stores = Vec::new();
+    let mut seizures = Vec::new();
+    let mut matched: HashSet<String> = HashSet::new();
+    for (domain, mon) in &out.sampler.stores {
+        let attributed = out
+            .crawler
+            .db
+            .domains
+            .get(domain)
+            .and_then(|id| out.attribution.store_class.get(&id))
+            .copied()
+            .flatten();
+        let pattern_hit = patterns.iter().any(|p| domain.contains(p));
+        if !(pattern_hit || attributed == Some(class)) || !pattern_hit {
+            continue;
+        }
+        matched.insert(domain.clone());
+        let samples: Vec<(SimDate, u64)> =
+            mon.samples.iter().map(|s| (s.day, s.order_number)).collect();
+        stores.push((domain.clone(), samples));
+    }
+    for (id, info) in &out.crawler.db.store_info {
+        let domain = out.crawler.db.domains.resolve(*id);
+        if matched.contains(domain) {
+            if let Some((day, _)) = &info.seizure {
+                seizures.push((domain.to_owned(), *day));
+            }
+        }
+    }
+    stores.sort_by(|a, b| a.0.cmp(&b.0));
+    (!stores.is_empty()).then_some(Fig6 { stores, seizures })
+}

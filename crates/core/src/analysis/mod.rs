@@ -1,0 +1,57 @@
+//! One analysis module per family of paper artifacts (§5 + methodology
+//! validation). Each function consumes the [`crate::pipeline::StudyOutput`]
+//! and returns a structured result carrying both the measured quantities
+//! and renderable views (markdown / CSV).
+
+pub mod ecosystem;
+pub mod figures;
+pub mod interventions;
+pub mod sidechannel;
+pub mod validation;
+
+use ss_types::SimDate;
+
+use ss_stats::DailySeries;
+
+use crate::pipeline::StudyOutput;
+
+/// Daily PSR-count series for one attributed campaign class across the
+/// crawl window. `top10_only` restricts to ranks 1–10.
+pub fn campaign_psr_series(out: &StudyOutput, class: usize, top10_only: bool) -> DailySeries {
+    let (start, end) = out.window;
+    let mut s = DailySeries::new(start, end);
+    for day in SimDate::range_inclusive(start, end) {
+        s.set(day, 0.0);
+    }
+    for psr in &out.crawler.db.psrs {
+        if top10_only && psr.rank > 10 {
+            continue;
+        }
+        if out.attribution.psr_class(psr) == Some(class) {
+            s.add(psr.day, 1.0);
+        }
+    }
+    s
+}
+
+/// Daily PSR-count series for PSRs landing on a specific store domain set.
+pub fn landing_psr_series(
+    out: &StudyOutput,
+    landing_ids: &[u32],
+    top10_only: bool,
+) -> DailySeries {
+    let (start, end) = out.window;
+    let mut s = DailySeries::new(start, end);
+    for day in SimDate::range_inclusive(start, end) {
+        s.set(day, 0.0);
+    }
+    for psr in &out.crawler.db.psrs {
+        if top10_only && psr.rank > 10 {
+            continue;
+        }
+        if psr.landing.map(|l| landing_ids.contains(&l)).unwrap_or(false) {
+            s.add(psr.day, 1.0);
+        }
+    }
+    s
+}

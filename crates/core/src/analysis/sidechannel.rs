@@ -1,0 +1,195 @@
+//! Side-channel datasets: the supplier ledger (§4.5), conversion metrics
+//! (§5.2.3), and the purchase programme summary (§4.3).
+
+use std::collections::HashSet;
+
+use ss_orders::analytics::{conversion_metrics, ConversionMetrics};
+use ss_web::pagegen::supplier::ShipStatus;
+
+use crate::pipeline::StudyOutput;
+
+/// §4.5 results: the supplier shipment ledger.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SupplierAnalysis {
+    /// Records recovered.
+    pub records: u64,
+    /// Delivered / seized-at-source / seized-at-destination / returned.
+    pub delivered: u64,
+    /// Seized by customs at origin.
+    pub seized_source: u64,
+    /// Seized at destination.
+    pub seized_destination: u64,
+    /// Returned by the customer.
+    pub returned: u64,
+    /// Top destination countries with counts.
+    pub top_countries: Vec<(String, usize)>,
+    /// Share of orders destined for US + Japan + Australia + W. Europe
+    /// (paper: over 81%).
+    pub top_market_share: f64,
+    /// Lookup queries the scrape needed (20 ids each).
+    pub queries: u64,
+}
+
+/// Computes the supplier analysis; `None` when the portal was never found.
+pub fn supplier(out: &StudyOutput) -> Option<SupplierAnalysis> {
+    let ds = out.supplier.as_ref()?;
+    let status = ds.status_counts();
+    let get = |s: ShipStatus| *status.get(&s).unwrap_or(&0) as u64;
+    Some(SupplierAnalysis {
+        records: ds.records.len() as u64,
+        delivered: get(ShipStatus::Delivered),
+        seized_source: get(ShipStatus::SeizedAtSource),
+        seized_destination: get(ShipStatus::SeizedAtDestination),
+        returned: get(ShipStatus::Returned),
+        top_countries: ds.country_counts().into_iter().take(5).collect(),
+        top_market_share: ds.share_of(&[
+            "United States",
+            "Japan",
+            "Australia",
+            "United Kingdom",
+            "Germany",
+            "France",
+            "Italy",
+        ]),
+        queries: ds.queries as u64,
+    })
+}
+
+/// §5.2.3 conversion case study for a store (by domain prefix).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ConversionAnalysis {
+    /// Store domains matched.
+    pub domains: Vec<String>,
+    /// Parsed metrics.
+    pub visits: u64,
+    /// Referrer-set fraction (paper: 60%).
+    pub referrer_fraction: f64,
+    /// Pages per visit (paper: 5.6).
+    pub pages_per_visit: f64,
+    /// Conversion rate (paper: 0.7%).
+    pub conversion_rate: f64,
+    /// Visits per sale (paper: ~151).
+    pub visits_per_sale: f64,
+    /// Fraction of referrer hosts that the crawler independently saw as
+    /// poisoned doorways (paper: 47.7%).
+    pub doorway_overlap: f64,
+}
+
+/// Computes conversion metrics for stores whose domain starts with
+/// `pattern`, using AWStats reports plus the purchase-pair order estimate
+/// over the same window.
+pub fn conversion(out: &StudyOutput, pattern: &str) -> Option<ConversionAnalysis> {
+    let mut domains: Vec<String> = out
+        .awstats
+        .keys()
+        .filter(|d| d.starts_with(pattern))
+        .cloned()
+        .collect();
+    domains.sort();
+    if domains.is_empty() {
+        return None;
+    }
+    let reports: Vec<_> =
+        domains.iter().flat_map(|d| out.awstats.get(d).cloned().unwrap_or_default()).collect();
+
+    // Order estimate over the report window from the purchase-pair data.
+    let (start, end) = out.window;
+    let orders: f64 = domains
+        .iter()
+        .filter_map(|d| out.sampler.rate_series(d, start, end))
+        .map(|r| r.sum())
+        .sum();
+    let m: ConversionMetrics = conversion_metrics(&reports, orders)?;
+
+    // Cross-check referrers against the crawler's poisoned-domain set.
+    let poisoned: HashSet<&str> = out
+        .crawler
+        .db
+        .poisoned_domains()
+        .map(|(id, _)| out.crawler.db.domains.resolve(*id))
+        .collect();
+    let known = m.referrer_hosts.iter().filter(|h| poisoned.contains(h.as_str())).count();
+    let doorway_overlap = if m.referrer_hosts.is_empty() {
+        0.0
+    } else {
+        known as f64 / m.referrer_hosts.len() as f64
+    };
+
+    Some(ConversionAnalysis {
+        domains,
+        visits: m.visits,
+        referrer_fraction: m.referrer_fraction,
+        pages_per_visit: m.pages_per_visit,
+        conversion_rate: m.conversion_rate,
+        visits_per_sale: m.visits_per_sale,
+        doorway_overlap,
+    })
+}
+
+/// §4.3 programme summary.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PurchaseProgramme {
+    /// Test orders created (paper: 1,408).
+    pub test_orders: u64,
+    /// Stores successfully sampled (paper: 290).
+    pub stores_sampled: u64,
+    /// Distinct attributed campaigns touched by sampling (paper: 24).
+    pub campaigns_touched: u64,
+    /// Distinct verticals touched (paper: 13).
+    pub verticals_touched: u64,
+    /// Completed real purchases (paper: 16).
+    pub purchases: u64,
+    /// Distinct campaigns among purchases (paper: 12).
+    pub purchase_campaigns: u64,
+    /// Settling banks with purchase counts (paper: 3 banks — 2 CN, 1 KR).
+    pub banks: Vec<(String, usize)>,
+}
+
+/// Computes the purchase-programme summary.
+pub fn purchases(out: &StudyOutput) -> PurchaseProgramme {
+    let class_of = |domain: &str| -> Option<usize> {
+        out.crawler
+            .db
+            .domains
+            .get(domain)
+            .and_then(|id| out.attribution.store_class.get(&id))
+            .copied()
+            .flatten()
+    };
+
+    let mut campaigns: HashSet<usize> = HashSet::new();
+    let mut verticals: HashSet<u16> = HashSet::new();
+    for (domain, mon) in &out.sampler.stores {
+        if mon.samples.is_empty() {
+            continue;
+        }
+        if let Some(c) = class_of(domain) {
+            campaigns.insert(c);
+        }
+        // Verticals whose PSRs landed on this store.
+        if let Some(id) = out.crawler.db.domains.get(domain) {
+            for psr in &out.crawler.db.psrs {
+                if psr.landing == Some(id) {
+                    verticals.insert(psr.vertical);
+                }
+            }
+        }
+    }
+
+    let mut purchase_campaigns: HashSet<usize> = HashSet::new();
+    for tx in &out.transactions {
+        if let Some(c) = class_of(&tx.store_domain) {
+            purchase_campaigns.insert(c);
+        }
+    }
+
+    PurchaseProgramme {
+        test_orders: out.sampler.orders_created as u64,
+        stores_sampled: out.sampler.stores_sampled() as u64,
+        campaigns_touched: campaigns.len() as u64,
+        verticals_touched: verticals.len() as u64,
+        purchases: out.transactions.len() as u64,
+        purchase_campaigns: purchase_campaigns.len() as u64,
+        banks: ss_orders::transactions::bank_concentration(&out.transactions),
+    }
+}

@@ -1,0 +1,352 @@
+//! Methodology validation (§4.1.1, §4.1.3, §4.2.2) — plus the checks the
+//! paper could not do, scored against simulator ground truth.
+
+use std::collections::{HashMap, HashSet};
+
+use ss_crawl::crawler::{Crawler, CrawlerConfig};
+use ss_crawl::terms::{self, MonitoredVertical, TermMethodology};
+use ss_eco::domains::SiteKind;
+use ss_types::DomainName;
+
+use crate::pipeline::StudyOutput;
+
+/// §4.2.2 classifier evaluation.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ClassifierValidation {
+    /// k-fold CV accuracy on the labeled set (paper: 86.8%).
+    pub cv_accuracy: f64,
+    /// Chance baseline (paper: 1/52 ≈ 1.9%).
+    pub chance: f64,
+    /// Labeled set size (paper seed: 491).
+    pub labeled: u64,
+    /// Oracle/expert consultations spent.
+    pub expert_queries: u64,
+    /// Ground-truth precision over confidently classified stores (only
+    /// measurable in the reproduction).
+    pub truth_precision: f64,
+    /// Ground-truth recall: classified-campaign stores correctly named /
+    /// all detected classified-campaign stores.
+    pub truth_recall: f64,
+}
+
+/// Scores the classifier against ground truth.
+pub fn classifier(out: &StudyOutput) -> ClassifierValidation {
+    let mut correct = 0usize;
+    let mut confident = 0usize;
+    let mut classified_truth_total = 0usize;
+    for (id, class) in &out.attribution.store_class {
+        let domain = out.crawler.db.domains.resolve(*id);
+        let truth = true_campaign(out, domain);
+        if truth.is_some() {
+            classified_truth_total += 1;
+        }
+        let Some(c) = class else { continue };
+        confident += 1;
+        if truth.as_deref() == Some(out.attribution.class_names[*c].as_str()) {
+            correct += 1;
+        }
+    }
+    ClassifierValidation {
+        cv_accuracy: out.attribution.cv.accuracy,
+        chance: out.attribution.cv.chance,
+        labeled: out.attribution.labeled_count as u64,
+        expert_queries: out.attribution.oracle_queries as u64,
+        truth_precision: correct as f64 / confident.max(1) as f64,
+        truth_recall: correct as f64 / classified_truth_total.max(1) as f64,
+    }
+}
+
+fn true_campaign(out: &StudyOutput, domain: &str) -> Option<String> {
+    let dn = DomainName::parse(domain).ok()?;
+    let id = out.world.domains.lookup(&dn)?;
+    let SiteKind::Storefront { store } = out.world.domains.get(id).kind else { return None };
+    let campaign = &out.world.campaigns[out.world.stores[store.index()].campaign.index()];
+    campaign.classified.then(|| campaign.name.clone())
+}
+
+/// §4.1.3 detection validation, done exhaustively against ground truth
+/// rather than on a 1.8K-result sample.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DetectionValidation {
+    /// Domains flagged poisoned that are truly doorways.
+    pub true_positives: u64,
+    /// Domains flagged poisoned that are NOT doorways (paper sample: 0).
+    pub false_positives: u64,
+    /// Doorways the crawler saw but cleared (paper sample: 1.2%).
+    pub false_negatives: u64,
+    /// False-negative rate over doorways encountered.
+    pub fn_rate: f64,
+    /// Detected stores that are truly storefronts.
+    pub store_true_positives: u64,
+    /// Detected stores that are not storefronts.
+    pub store_false_positives: u64,
+}
+
+/// Scores detection against ground truth.
+pub fn detection(out: &StudyOutput) -> DetectionValidation {
+    let db = &out.crawler.db;
+    let truth_is_doorway = |name: &str| -> bool {
+        DomainName::parse(name)
+            .ok()
+            .and_then(|dn| out.world.domains.lookup(&dn))
+            .map(|id| matches!(out.world.domains.get(id).kind, SiteKind::Doorway { .. }))
+            .unwrap_or(false)
+    };
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    for (id, _) in db.poisoned_domains() {
+        if truth_is_doorway(db.domains.resolve(*id)) {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+    }
+    let mut fn_count = 0u64;
+    for id in out.crawler.known_clean() {
+        if truth_is_doorway(db.domains.resolve(*id)) {
+            fn_count += 1;
+        }
+    }
+
+    let mut store_tp = 0u64;
+    let mut store_fp = 0u64;
+    for (id, _) in db.detected_stores() {
+        let name = db.domains.resolve(*id);
+        let is_store = DomainName::parse(name)
+            .ok()
+            .and_then(|dn| out.world.domains.lookup(&dn))
+            .map(|d| matches!(out.world.domains.get(d).kind, SiteKind::Storefront { .. }))
+            .unwrap_or(false);
+        if is_store {
+            store_tp += 1;
+        } else {
+            store_fp += 1;
+        }
+    }
+
+    DetectionValidation {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fn_count,
+        fn_rate: fn_count as f64 / (tp + fn_count).max(1) as f64,
+        store_true_positives: store_tp,
+        store_false_positives: store_fp,
+    }
+}
+
+/// §4.1.1 term-selection bias check: re-crawl one day with
+/// suggest-derived alternates for the doorway-extraction verticals and
+/// compare what each term set finds.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TermBias {
+    /// Verticals compared.
+    pub verticals: u64,
+    /// Overlapping terms out of the total alternate terms (paper: 4/1000).
+    pub overlapping_terms: u64,
+    /// Total terms compared.
+    pub total_terms: u64,
+    /// PSR rate (per result) under the original term sets on the probe day.
+    pub original_psr_rate: f64,
+    /// PSR rate under the alternate term sets.
+    pub alternate_psr_rate: f64,
+    /// Jaccard similarity of the campaign sets found by each methodology
+    /// (the paper's conclusion: "we find the same campaigns").
+    pub campaign_jaccard: f64,
+}
+
+/// Runs the bias check on the study's final crawl day.
+pub fn term_bias(out: &mut StudyOutput) -> TermBias {
+    let probe_day = out.window.1;
+    let seed = out.world.cfg.seed ^ 0xb1a5;
+
+    // Alternate term sets: suggest expansion for the doorway-derived
+    // verticals (the inverse of the study's split).
+    let mut alternates: Vec<MonitoredVertical> = Vec::new();
+    let mut overlap = 0u64;
+    let mut total = 0u64;
+    for (vi, mv) in out.monitored.clone().iter().enumerate() {
+        if mv.methodology != TermMethodology::DoorwayExtraction {
+            alternates.push(mv.clone());
+            continue;
+        }
+        let alt = terms::suggest_expansion_terms(
+            &mut out.world,
+            vi,
+            probe_day,
+            mv.terms.len(),
+            seed,
+        );
+        overlap += terms::term_overlap(&alt, &mv.terms) as u64;
+        total += alt.len() as u64;
+        alternates.push(MonitoredVertical {
+            name: mv.name.clone(),
+            methodology: TermMethodology::SuggestExpansion,
+            terms: alt,
+        });
+    }
+
+    // One-day crawls under both term sets.
+    let cfg = CrawlerConfig {
+        serp_depth: out.crawler.cfg.serp_depth,
+        ..CrawlerConfig::default()
+    };
+    let mut crawl_alt = Crawler::new(cfg.clone(), alternates);
+    crawl_alt.crawl_day(&mut out.world, probe_day);
+    let mut crawl_orig = Crawler::new(cfg, out.monitored.clone());
+    crawl_orig.crawl_day(&mut out.world, probe_day);
+
+    let rate = |c: &Crawler| -> f64 {
+        let seen: u64 = c.db.daily_counts.iter().map(|d| u64::from(d.total_seen)).sum();
+        if seen == 0 {
+            0.0
+        } else {
+            c.db.psrs.len() as f64 / seen as f64
+        }
+    };
+
+    // Campaign sets found: attribute landings through the study's model.
+    let campaigns_of = |c: &Crawler| -> HashSet<usize> {
+        let mut set = HashSet::new();
+        for psr in &c.db.psrs {
+            let Some(l) = psr.landing else { continue };
+            let domain = c.db.domains.resolve(l);
+            if let Some(id) = out.crawler.db.domains.get(domain) {
+                if let Some(Some(class)) = out.attribution.store_class.get(&id) {
+                    set.insert(*class);
+                }
+            }
+        }
+        set
+    };
+    let a = campaigns_of(&crawl_orig);
+    let b = campaigns_of(&crawl_alt);
+    let inter = a.intersection(&b).count() as f64;
+    let union = a.union(&b).count().max(1) as f64;
+
+    TermBias {
+        verticals: out
+            .monitored
+            .iter()
+            .filter(|m| m.methodology == TermMethodology::DoorwayExtraction)
+            .count() as u64,
+        overlapping_terms: overlap,
+        total_terms: total,
+        original_psr_rate: rate(&crawl_orig),
+        alternate_psr_rate: rate(&crawl_alt),
+        campaign_jaccard: inter / union,
+    }
+}
+
+/// Extra ground-truth check unavailable to the paper: how well measured
+/// per-campaign PSR attributions track true campaign activity days.
+pub fn attribution_timeline_fidelity(out: &StudyOutput) -> HashMap<String, f64> {
+    let mut scores = HashMap::new();
+    for (c, name) in out.attribution.class_names.iter().enumerate() {
+        let measured = super::campaign_psr_series(out, c, false);
+        let Some(truth_campaign) = out.world.campaigns.iter().find(|w| w.name == *name) else {
+            continue;
+        };
+        let (start, end) = out.window;
+        let mut truth = ss_stats::DailySeries::new(start, end);
+        for day in ss_types::SimDate::range_inclusive(start, end) {
+            truth.set(day, truth_campaign.juice_on(day));
+        }
+        if measured.sum() > 0.0 {
+            if let Some(r) =
+                ss_stats::corr::pearson(&measured.dense_or_zero(), &truth.dense_or_zero())
+            {
+                scores.insert(name.clone(), r);
+            }
+        }
+    }
+    scores
+}
+
+/// Detector ablation: what does the rendering crawler (VanGogh) buy over
+/// fetch-and-diff (Dagger) alone? §3.1.1 claims iframe cloaking defeats
+/// non-rendering detection entirely; this experiment runs two crawlers
+/// over the same world and days, one with rendering disabled.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DetectorAblation {
+    /// Poisoned domains found with the full stack.
+    pub full_poisoned: u64,
+    /// Poisoned domains found with Dagger alone (no rendering).
+    pub dagger_only_poisoned: u64,
+    /// Domains only the rendering stack caught.
+    pub rendering_exclusive: u64,
+    /// Of those, how many are truly iframe-cloaking doorways (scored
+    /// against ground truth).
+    pub rendering_exclusive_iframe: u64,
+    /// PSR observations under the full stack vs Dagger alone.
+    pub full_psrs: u64,
+    /// PSRs found without rendering.
+    pub dagger_only_psrs: u64,
+}
+
+/// Runs the ablation over a fresh world (independent of a study run).
+pub fn detector_ablation(seed: u64, crawl_days: u32) -> DetectorAblation {
+    use ss_eco::{ScenarioConfig, World};
+    use ss_types::SimDate;
+
+    let build = || {
+        let mut w = World::build(ScenarioConfig::tiny(seed)).expect("world builds");
+        let start = SimDate::from_day_index(ss_types::CRAWL_START_DAY);
+        w.run_until(start);
+        let monitored = terms::select_all(&mut w, start, 6, seed);
+        (w, monitored, start)
+    };
+
+    let run = |render_sample: u8| -> Crawler {
+        let (mut w, monitored, start) = build();
+        let mut crawler = Crawler::new(
+            CrawlerConfig { serp_depth: 30, render_sample, ..CrawlerConfig::default() },
+            monitored,
+        );
+        for d in 1..=crawl_days {
+            let day = start + d;
+            w.run_until(day);
+            crawler.crawl_day(&mut w, day);
+        }
+        crawler
+    };
+
+    let full = run(3);
+    let dagger_only = run(0);
+
+    let full_set: HashSet<String> = full
+        .db
+        .poisoned_domains()
+        .map(|(id, _)| full.db.domains.resolve(*id).to_owned())
+        .collect();
+    let dagger_set: HashSet<String> = dagger_only
+        .db
+        .poisoned_domains()
+        .map(|(id, _)| dagger_only.db.domains.resolve(*id).to_owned())
+        .collect();
+    let exclusive: Vec<&String> = full_set.difference(&dagger_set).collect();
+
+    // Score the exclusives against ground truth cloak modes.
+    let (w, _, _) = build();
+    let mut exclusive_iframe = 0u64;
+    for name in &exclusive {
+        let Some(domain) =
+            DomainName::parse(name).ok().and_then(|dn| w.domains.lookup(&dn))
+        else {
+            continue;
+        };
+        if let SiteKind::Doorway { cloak, .. } = w.domains.get(domain).kind {
+            if matches!(cloak, ss_web::cloak::CloakMode::Iframe { .. }) {
+                exclusive_iframe += 1;
+            }
+        }
+    }
+
+    DetectorAblation {
+        full_poisoned: full_set.len() as u64,
+        dagger_only_poisoned: dagger_set.len() as u64,
+        rendering_exclusive: exclusive.len() as u64,
+        rendering_exclusive_iframe: exclusive_iframe,
+        full_psrs: full.db.psrs.len() as u64,
+        dagger_only_psrs: dagger_only.db.psrs.len() as u64,
+    }
+}

@@ -1,0 +1,29 @@
+//! # search-seizure
+//!
+//! End-to-end reproduction of *"Search + Seizure: The Effectiveness of
+//! Interventions on SEO Campaigns"* (IMC 2014) — the paper's methodology
+//! run against the `ss-eco` world simulator:
+//!
+//! * [`pipeline`] — the study itself: build the world, select monitored
+//!   terms (§4.1.1), crawl daily (§4.1.2), detect stores (§4.1.3), place
+//!   weekly test orders (§4.3.1), make purchases (§4.3.2), collect AWStats
+//!   (§4.4), scrape the supplier (§4.5);
+//! * [`oracle`] — the simulated domain expert standing in for the paper's
+//!   manual labeling (§4.2), with configurable error;
+//! * [`attribution`] — campaign identification: feature extraction,
+//!   training with iterative refinement, PSR → campaign mapping (§4.2);
+//! * [`analysis`] — one module per table/figure/statistic in the paper's
+//!   evaluation, each returning structured results plus renderable views;
+//! * [`report`] — paper-vs-measured comparison records and the
+//!   EXPERIMENTS.md generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod attribution;
+pub mod oracle;
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{Study, StudyConfig, StudyOutput};

@@ -1,0 +1,155 @@
+//! The simulated domain expert.
+//!
+//! §4.2 required "a domain expert to examine each Web page … using
+//! domain-specific heuristics to infer the SEO campaign behind it". Our
+//! expert is backed by simulator ground truth with a configurable error
+//! rate, standing in for the human analysts. Two uses:
+//!
+//! * building the initial labeled seed (the paper's 491 manually labeled
+//!   pages);
+//! * validating the classifier's top predictions in the §4.2.3 refinement
+//!   rounds (the expert cross-checks infrastructure — C&C, payment,
+//!   templates — before confirming a label).
+//!
+//! This is the only place the pipeline touches ground truth, and it
+//! mirrors what the original analysts could genuinely do by hand.
+
+use rand::Rng;
+use ss_types::rng::{sub_rng, SimRng};
+use ss_types::DomainName;
+
+use ss_eco::domains::SiteKind;
+use ss_eco::World;
+use ss_ml::refine::Oracle;
+
+/// The expert: resolves a store domain to its true campaign name, with a
+/// small chance of error or abstention.
+pub struct WorldOracle<'w> {
+    world: &'w World,
+    /// Pool of store domain names the expert can be asked about, aligned
+    /// with the classifier's sample indexing.
+    pub pool_domains: Vec<String>,
+    /// Class names the classifier uses (classified campaigns only).
+    pub class_names: Vec<String>,
+    /// Probability the expert mislabels a sample (assigns a random class).
+    pub error_rate: f64,
+    rng: SimRng,
+    /// Consultations so far (each costs analyst time in the real study).
+    pub consultations: usize,
+}
+
+impl<'w> WorldOracle<'w> {
+    /// Creates an oracle over a sample pool of store domains.
+    pub fn new(
+        world: &'w World,
+        pool_domains: Vec<String>,
+        class_names: Vec<String>,
+        error_rate: f64,
+        seed: u64,
+    ) -> Self {
+        WorldOracle {
+            world,
+            pool_domains,
+            class_names,
+            error_rate,
+            rng: sub_rng(seed, "oracle"),
+            consultations: 0,
+        }
+    }
+
+    /// True campaign name of a store domain, when it belongs to one of the
+    /// classified (nameable) campaigns. Shadow-campaign stores return
+    /// `None` — the expert sees an unfamiliar operation and declines to
+    /// name it.
+    pub fn true_campaign(&self, domain: &str) -> Option<String> {
+        let name = DomainName::parse(domain).ok()?;
+        let id = self.world.domains.lookup(&name)?;
+        let SiteKind::Storefront { store } = self.world.domains.get(id).kind else {
+            return None;
+        };
+        let campaign = &self.world.campaigns[self.world.stores[store.index()].campaign.index()];
+        campaign.classified.then(|| campaign.name.clone())
+    }
+
+    /// Class index for a campaign name.
+    pub fn class_of(&self, campaign: &str) -> Option<usize> {
+        self.class_names.iter().position(|c| c == campaign)
+    }
+}
+
+impl Oracle for WorldOracle<'_> {
+    fn label(&mut self, idx: usize) -> Option<usize> {
+        self.consultations += 1;
+        let domain = self.pool_domains.get(idx)?.clone();
+        let truth = self.true_campaign(&domain)?;
+        let class = self.class_of(&truth)?;
+        if self.error_rate > 0.0 && self.rng.gen::<f64>() < self.error_rate {
+            // A confident-but-wrong expert call.
+            let wrong = self.rng.gen_range(0..self.class_names.len());
+            return Some(wrong);
+        }
+        Some(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_eco::ScenarioConfig;
+
+    #[test]
+    fn oracle_names_classified_campaigns_only() {
+        let w = World::build(ScenarioConfig::tiny(51)).unwrap();
+        // A classified store.
+        let classified = w
+            .stores
+            .iter()
+            .find(|s| w.campaigns[s.campaign.index()].classified)
+            .unwrap();
+        let dom = w.domains.get(classified.current_domain).name.as_str().to_owned();
+        let names: Vec<String> =
+            w.campaigns.iter().filter(|c| c.classified).map(|c| c.name.clone()).collect();
+        let oracle = WorldOracle::new(&w, vec![dom.clone()], names, 0.0, 1);
+        let truth = oracle.true_campaign(&dom).unwrap();
+        assert_eq!(truth, w.campaigns[classified.campaign.index()].name);
+
+        // A shadow store gets no name.
+        let shadow = w
+            .stores
+            .iter()
+            .find(|s| !w.campaigns[s.campaign.index()].classified)
+            .unwrap();
+        let sdom = w.domains.get(shadow.current_domain).name.as_str().to_owned();
+        assert_eq!(oracle.true_campaign(&sdom), None);
+
+        // Non-stores get no name either.
+        assert_eq!(oracle.true_campaign("not-registered-anywhere.com"), None);
+    }
+
+    #[test]
+    fn labeling_respects_error_rate() {
+        let w = World::build(ScenarioConfig::tiny(51)).unwrap();
+        let store = w
+            .stores
+            .iter()
+            .find(|s| w.campaigns[s.campaign.index()].classified)
+            .unwrap();
+        let dom = w.domains.get(store.current_domain).name.as_str().to_owned();
+        let truth_name = w.campaigns[store.campaign.index()].name.clone();
+        let names: Vec<String> =
+            w.campaigns.iter().filter(|c| c.classified).map(|c| c.name.clone()).collect();
+        let truth_class = names.iter().position(|n| *n == truth_name).unwrap();
+
+        let mut perfect =
+            WorldOracle::new(&w, vec![dom.clone(); 50], names.clone(), 0.0, 2);
+        for i in 0..50 {
+            assert_eq!(perfect.label(i), Some(truth_class));
+        }
+        assert_eq!(perfect.consultations, 50);
+
+        let mut flaky = WorldOracle::new(&w, vec![dom; 400], names, 0.3, 3);
+        let wrong = (0..400).filter(|&i| flaky.label(i) != Some(truth_class)).count();
+        // ~30% error, minus accidental correct random picks.
+        assert!((50..180).contains(&wrong), "wrong={wrong}");
+    }
+}

@@ -1,0 +1,282 @@
+//! The study pipeline: §4's data-collection programme run end to end.
+
+use std::collections::HashMap;
+
+use ss_types::{DomainName, SimDate};
+
+use ss_crawl::crawler::{Crawler, CrawlerConfig};
+use ss_crawl::terms::{self, MonitoredVertical};
+use ss_eco::{ScenarioConfig, World};
+use ss_orders::analytics::{self, ParsedReport};
+use ss_orders::purchasepair::{OrderSampler, SamplerConfig};
+use ss_orders::supplier_scrape::{self, SupplierDataset};
+use ss_orders::transactions::{self, Transaction};
+
+use crate::attribution::{self, Attribution, AttributionConfig};
+
+/// Study configuration: the scenario plus every §4 programme knob.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// The world scenario.
+    pub scenario: ScenarioConfig,
+    /// Crawler configuration (§4.1.2).
+    pub crawler: CrawlerConfig,
+    /// Purchase-pair sampler configuration (§4.3.1).
+    pub sampler: SamplerConfig,
+    /// Monitored terms per vertical (§4.1.1; paper: 100).
+    pub monitored_terms: usize,
+    /// Cap on stores enrolled in order monitoring (paper: 290 stores).
+    pub monitor_store_cap: usize,
+    /// Target number of real purchases (§4.3.2; paper: 16).
+    pub purchase_target: usize,
+    /// Campaign-identification configuration (§4.2).
+    pub attribution: AttributionConfig,
+    /// First crawl day (defaults to the paper's 2013-11-13).
+    pub crawl_start: SimDate,
+    /// Last crawl day inclusive (defaults to 2014-07-15, clamped to the
+    /// scenario's end).
+    pub crawl_end: SimDate,
+    /// Days between AWStats collection sweeps (§4.4: "periodically").
+    pub awstats_interval: u32,
+}
+
+impl StudyConfig {
+    /// Paper-faithful defaults over a given scenario.
+    pub fn new(scenario: ScenarioConfig) -> Self {
+        let crawl_end_day = ss_types::CRAWL_END_DAY.min(scenario.scale.end_day);
+        StudyConfig {
+            crawler: CrawlerConfig {
+                serp_depth: scenario.scale.serp_depth,
+                ..CrawlerConfig::default()
+            },
+            sampler: SamplerConfig::default(),
+            monitored_terms: scenario.scale.terms_per_vertical,
+            monitor_store_cap: 290,
+            purchase_target: 16,
+            attribution: AttributionConfig::default(),
+            crawl_start: SimDate::from_day_index(ss_types::CRAWL_START_DAY),
+            crawl_end: SimDate::from_day_index(crawl_end_day),
+            awstats_interval: 14,
+            scenario,
+        }
+    }
+
+    /// A fast configuration for tests: tiny world, short crawl, light
+    /// training.
+    pub fn fast_test(seed: u64) -> Self {
+        let mut cfg = StudyConfig::new(ScenarioConfig::tiny(seed));
+        cfg.monitored_terms = 6;
+        cfg.crawler.serp_depth = 30;
+        cfg.crawl_end = cfg.crawl_start + 16;
+        cfg.attribution.train.epochs = 120;
+        cfg.attribution.refine_rounds = 1;
+        cfg.awstats_interval = 7;
+        cfg
+    }
+}
+
+/// Everything the study produced; the analyses feed on this.
+pub struct StudyOutput {
+    /// The (post-run) world — used for truth scoring and late fetches.
+    pub world: World,
+    /// The crawler with its database.
+    pub crawler: Crawler,
+    /// The purchase-pair sampler.
+    pub sampler: OrderSampler,
+    /// Completed purchases.
+    pub transactions: Vec<Transaction>,
+    /// AWStats reports per store domain, in collection order.
+    pub awstats: HashMap<String, Vec<ParsedReport>>,
+    /// Supplier dataset, when the portal was discovered.
+    pub supplier: Option<SupplierDataset>,
+    /// Campaign attribution artifacts.
+    pub attribution: Attribution,
+    /// Monitored term sets per vertical.
+    pub monitored: Vec<MonitoredVertical>,
+    /// Crawl window actually executed.
+    pub window: (SimDate, SimDate),
+}
+
+/// The runnable study.
+pub struct Study {
+    /// Configuration.
+    pub cfg: StudyConfig,
+}
+
+impl Study {
+    /// Creates a study.
+    pub fn new(cfg: StudyConfig) -> Self {
+        Study { cfg }
+    }
+
+    /// Runs the full programme and returns its outputs.
+    pub fn run(self) -> ss_types::Result<StudyOutput> {
+        let cfg = self.cfg;
+        let mut world = World::build(cfg.scenario.clone())?;
+        let start = cfg.crawl_start;
+        let end = cfg.crawl_end;
+
+        // Warm the world to the eve of the crawl, then pick terms.
+        world.run_until(start);
+        let monitored =
+            terms::select_all(&mut world, start, cfg.monitored_terms, cfg.scenario.seed);
+
+        let mut crawler = Crawler::new(cfg.crawler.clone(), monitored.clone());
+        let mut sampler = OrderSampler::new(cfg.sampler.clone());
+        let mut transactions: Vec<Transaction> = Vec::new();
+        let mut awstats: HashMap<String, Vec<ParsedReport>> = HashMap::new();
+        let mut purchased_stores: Vec<String> = Vec::new();
+
+        // ---- the daily programme ----
+        for day in SimDate::range_inclusive(start + 1, end) {
+            world.run_until(day);
+            crawler.crawl_day(&mut world, day);
+
+            // Newly detected stores join order monitoring (up to the cap),
+            // keyed initially by their own domain; attribution re-groups
+            // them later.
+            if sampler.stores.len() < cfg.monitor_store_cap {
+                let mut new_stores: Vec<String> = crawler
+                    .db
+                    .detected_stores()
+                    .map(|(id, _)| crawler.db.domains.resolve(*id).to_owned())
+                    .collect();
+                // HashMap iteration order is unstable; sort so the cap
+                // admits the same stores on every run.
+                new_stores.sort();
+                for domain in new_stores {
+                    if sampler.stores.len() >= cfg.monitor_store_cap {
+                        break;
+                    }
+                    sampler.monitor(&domain, &domain);
+                }
+            }
+            sampler.sample_day(&mut world, day);
+
+            // Purchases: spread through the window until the target is hit
+            // (§4.3.2), at most one per store.
+            if transactions.len() < cfg.purchase_target && day.day_index() % 9 == 0 {
+                let mut all: Vec<String> = crawler
+                    .db
+                    .detected_stores()
+                    .map(|(id, _)| crawler.db.domains.resolve(*id).to_owned())
+                    .filter(|d| !purchased_stores.contains(d))
+                    .collect();
+                all.sort();
+                let candidates: Vec<String> = all.into_iter().take(2).collect();
+                for domain in candidates {
+                    if let Some(tx) = transactions::purchase(&mut world, &domain, day) {
+                        purchased_stores.push(domain);
+                        transactions.push(tx);
+                    }
+                }
+            }
+
+            // Periodic AWStats sweep over detected stores (§4.4): most
+            // return 404; the leaky ones yield reports.
+            if day.days_since(start) % i64::from(cfg.awstats_interval) == 0 {
+                let mut stores: Vec<String> = crawler
+                    .db
+                    .detected_stores()
+                    .map(|(id, _)| crawler.db.domains.resolve(*id).to_owned())
+                    .collect();
+                stores.sort();
+                for site in stores {
+                    if let Some(report) = analytics::fetch_report(&mut world, &site, None) {
+                        let entry = awstats.entry(site).or_default();
+                        // Keep at most one report per period (latest wins).
+                        entry.retain(|r| r.period != report.period);
+                        entry.push(report);
+                    }
+                }
+            }
+        }
+
+        // ---- post-crawl collection ----
+
+        // Supplier discovery via packing slips of completed purchases.
+        let mut supplier = None;
+        for tx in &transactions {
+            let Ok(host) = DomainName::parse(&tx.store_domain) else { continue };
+            if let Some(portal) = world.packing_slip(&host) {
+                if let Some(max) = supplier_scrape::probe_max_order(&mut world, &portal) {
+                    supplier = Some(supplier_scrape::scrape(&mut world, &portal, max, 4));
+                }
+                break;
+            }
+        }
+        // The study's purchases *did* reach the supplier; if the random
+        // purchase set missed every partnered store, buy once more from
+        // one (still a legitimate purchase path).
+        if supplier.is_none() {
+            let mut detected: Vec<String> = crawler
+                .db
+                .detected_stores()
+                .map(|(id, _)| crawler.db.domains.resolve(*id).to_owned())
+                .collect();
+            detected.sort();
+            let partnered: Option<String> = detected.into_iter().find(|d| {
+                DomainName::parse(d).ok().and_then(|h| world.packing_slip(&h)).is_some()
+            });
+            if let Some(domain) = partnered {
+                if let Some(tx) = transactions::purchase(&mut world, &domain, end) {
+                    transactions.push(tx);
+                }
+                let portal = world
+                    .packing_slip(&DomainName::parse(&domain).expect("validated"))
+                    .expect("checked above");
+                if let Some(max) = supplier_scrape::probe_max_order(&mut world, &portal) {
+                    supplier = Some(supplier_scrape::scrape(&mut world, &portal, max, 4));
+                }
+            }
+        }
+
+        // Campaign identification (§4.2).
+        let attribution =
+            attribution::attribute(&world, &crawler.db, &cfg.attribution, cfg.scenario.seed);
+
+        Ok(StudyOutput {
+            world,
+            crawler,
+            sampler,
+            transactions,
+            awstats,
+            supplier,
+            attribution,
+            monitored,
+            window: (start + 1, end),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_produces_all_datasets() {
+        let out = Study::new(StudyConfig::fast_test(71)).run().unwrap();
+        assert!(!out.crawler.db.psrs.is_empty(), "no PSRs");
+        assert!(out.crawler.db.detected_stores().count() > 0, "no stores");
+        assert!(out.sampler.orders_created > 0, "no test orders");
+        assert!(!out.transactions.is_empty(), "no purchases");
+        assert!(out.supplier.is_some(), "supplier never scraped");
+        assert!(!out.supplier.as_ref().unwrap().records.is_empty());
+        assert_eq!(out.monitored.len(), out.world.verticals.len());
+        // Attribution classified at least one store.
+        assert!(out.attribution.store_class.values().any(|c| c.is_some()));
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let a = Study::new(StudyConfig::fast_test(72)).run().unwrap();
+        let b = Study::new(StudyConfig::fast_test(72)).run().unwrap();
+        assert_eq!(a.crawler.db.psrs.len(), b.crawler.db.psrs.len());
+        assert_eq!(a.sampler.orders_created, b.sampler.orders_created);
+        assert_eq!(a.transactions.len(), b.transactions.len());
+        assert_eq!(
+            a.attribution.store_class.len(),
+            b.attribution.store_class.len()
+        );
+    }
+}

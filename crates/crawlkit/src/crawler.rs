@@ -1,0 +1,385 @@
+//! The daily crawl orchestrator (§4.1.2).
+//!
+//! Each day, for every monitored term, the crawler pulls the top-k SERP,
+//! records per-result observations (rank, root-ness, hacked label), and
+//! resolves each result domain's cloaking status:
+//!
+//! * **new domains** run the full detection stack — Dagger first, VanGogh
+//!   (rendering, ≤3 pages/domain) when Dagger stays quiet;
+//! * **known-clean domains are skipped** — the paper's churn trim ("we do
+//!   not crawl domains previously seen and not detected as poisoned",
+//!   viable because daily churn is only ~1.84%);
+//! * **known-poisoned domains** get a cheap landing re-verification every
+//!   few days, which is how landing rotations and seizure notices surface.
+//!
+//! Store detection and seizure parsing run on landing pages as they are
+//! (re)resolved.
+
+use std::collections::HashSet;
+
+use ss_types::{SimDate, Url};
+use ss_web::http::{Request, UserAgent, Web};
+
+use ss_eco::World;
+
+use crate::dagger::{self, CloakSignal};
+use crate::db::{CrawlDb, DailyCount, DomainInfo, PsrRecord, StoreInfo};
+use crate::stores;
+use crate::terms::{query_by_text, MonitoredVertical};
+use crate::vangogh;
+
+/// Crawler configuration.
+#[derive(Debug, Clone)]
+pub struct CrawlerConfig {
+    /// SERP depth to crawl daily (paper: 100).
+    pub serp_depth: usize,
+    /// Maximum pages rendered per doorway domain (paper: 3).
+    pub render_sample: u8,
+    /// Days between landing re-verifications of known-poisoned domains.
+    pub reverify_days: u32,
+    /// Maximum redirect hops to follow.
+    pub max_hops: usize,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        CrawlerConfig { serp_depth: 100, render_sample: 3, reverify_days: 3, max_hops: 6 }
+    }
+}
+
+/// The crawler: monitored terms plus accumulated database.
+pub struct Crawler {
+    /// Configuration.
+    pub cfg: CrawlerConfig,
+    /// Monitored verticals with their term lists.
+    pub monitored: Vec<MonitoredVertical>,
+    /// The accumulated crawl database.
+    pub db: CrawlDb,
+    /// Domains checked and found clean (skipped until they disappear —
+    /// the churn trim).
+    clean: HashSet<u32>,
+}
+
+impl Crawler {
+    /// Creates a crawler over a monitored term set.
+    pub fn new(cfg: CrawlerConfig, monitored: Vec<MonitoredVertical>) -> Self {
+        Crawler { cfg, monitored, db: CrawlDb::new(), clean: HashSet::new() }
+    }
+
+    /// Domains checked and found clean (for methodology validation).
+    pub fn known_clean(&self) -> impl Iterator<Item = &u32> {
+        self.clean.iter()
+    }
+
+    /// Crawls one day across all monitored verticals.
+    pub fn crawl_day(&mut self, world: &mut World, day: SimDate) {
+        for vi in 0..self.monitored.len() {
+            self.crawl_vertical(world, day, vi);
+        }
+    }
+
+    /// New-domain fraction among today's results (the paper reports 1.84%
+    /// average daily churn) — measured over the most recent crawl day.
+    pub fn last_day_churn(&self, day: SimDate) -> f64 {
+        let seen_today: HashSet<u32> = self
+            .db
+            .psrs
+            .iter()
+            .filter(|p| p.day == day)
+            .map(|p| p.domain)
+            .collect();
+        if seen_today.is_empty() {
+            return 0.0;
+        }
+        let new = seen_today
+            .iter()
+            .filter(|d| self.db.doorway_info.get(d).map(|i| i.first_seen == day).unwrap_or(false))
+            .count();
+        new as f64 / seen_today.len() as f64
+    }
+
+    fn crawl_vertical(&mut self, world: &mut World, day: SimDate, vi: usize) {
+        let terms = self.monitored[vi].terms.clone();
+        let mut count = DailyCount {
+            day,
+            vertical: vi as u16,
+            top10_seen: 0,
+            top10_poisoned: 0,
+            total_seen: 0,
+            total_poisoned: 0,
+        };
+        for term in &terms {
+            let Some(results) = query_by_text(world, term, day, self.cfg.serp_depth) else {
+                continue;
+            };
+            for (rank, url, labeled) in results {
+                count.total_seen += 1;
+                if rank <= 10 {
+                    count.top10_seen += 1;
+                }
+                let domain_id = self.db.domains.intern(url.host.as_str());
+
+                let poisoned = self.resolve_domain(world, day, domain_id, &url, term);
+                if poisoned {
+                    count.total_poisoned += 1;
+                    if rank <= 10 {
+                        count.top10_poisoned += 1;
+                    }
+                    let term_id = self.db.terms.intern(term);
+                    let landing = self
+                        .db
+                        .doorway_info
+                        .get(&domain_id)
+                        .and_then(|i| i.landings.last().map(|(_, l)| *l));
+                    self.observe_label(domain_id, day, labeled);
+                    self.db.psrs.push(PsrRecord {
+                        day,
+                        vertical: vi as u16,
+                        term: term_id,
+                        rank: rank.min(255) as u8,
+                        domain: domain_id,
+                        is_root: url.is_root_page(),
+                        labeled,
+                        landing,
+                    });
+                }
+            }
+        }
+        self.db.daily_counts.push(count);
+    }
+
+    /// Returns whether the domain is (now) known to be poisoned, running
+    /// detection/verification as needed.
+    fn resolve_domain(
+        &mut self,
+        world: &mut World,
+        day: SimDate,
+        domain_id: u32,
+        url: &Url,
+        term: &str,
+    ) -> bool {
+        if let Some(info) = self.db.doorway_info.get_mut(&domain_id) {
+            info.last_seen = day;
+            if info.cloak.is_none() {
+                return false; // churn trim: known clean
+            }
+            // Known poisoned: periodic cheap landing re-verification.
+            if day.days_since(info.last_verified) >= i64::from(self.cfg.reverify_days) {
+                self.reverify_landing(world, day, domain_id, url, term);
+            }
+            return true;
+        }
+        if self.clean.contains(&domain_id) {
+            return false;
+        }
+
+        // First sighting: run the detection stack.
+        let mut verdict = dagger::check(world, url, term, self.cfg.max_hops);
+        if verdict.cloaked.is_none() {
+            // Dagger quiet: rendering pass, within the per-domain budget.
+            let rendered_so_far = 0u8;
+            if rendered_so_far < self.cfg.render_sample {
+                verdict = vangogh::check(world, url, term, self.cfg.max_hops);
+            }
+        }
+
+        match verdict.cloaked {
+            None => {
+                self.clean.insert(domain_id);
+                false
+            }
+            Some(signal) => {
+                let mut info = DomainInfo {
+                    first_seen: day,
+                    last_seen: day,
+                    cloak: Some(signal),
+                    landings: Vec::new(),
+                    label_seen: None,
+                    last_unlabeled_before: None,
+                    rendered_pages: 1,
+                    last_verified: day,
+                };
+                if let Some(landing) = verdict.landing.clone() {
+                    let landing_id = self.db.domains.intern(landing.host.as_str());
+                    info.landings.push((day, landing_id));
+                    self.db.doorway_info.insert(domain_id, info);
+                    self.visit_store(world, day, landing_id, &landing);
+                } else {
+                    self.db.doorway_info.insert(domain_id, info);
+                }
+                true
+            }
+        }
+    }
+
+    /// Re-resolves where a known-poisoned doorway lands today.
+    fn reverify_landing(
+        &mut self,
+        world: &mut World,
+        day: SimDate,
+        domain_id: u32,
+        url: &Url,
+        term: &str,
+    ) {
+        let signal = self.db.doorway_info[&domain_id].cloak.expect("poisoned");
+        let verdict = match signal {
+            CloakSignal::Iframe => vangogh::check(world, url, term, self.cfg.max_hops),
+            _ => dagger::check(world, url, term, self.cfg.max_hops),
+        };
+        let info = self.db.doorway_info.get_mut(&domain_id).expect("known");
+        info.last_verified = day;
+        if let Some(landing) = verdict.landing {
+            let landing_id = self.db.domains.intern(landing.host.as_str());
+            let changed = info.landings.last().map(|(_, l)| *l != landing_id).unwrap_or(true);
+            if changed {
+                info.landings.push((day, landing_id));
+            }
+            self.visit_store(world, day, landing_id, &landing);
+        }
+    }
+
+    /// Visits a landing (store) domain: store detection, HTML capture,
+    /// seizure observation.
+    fn visit_store(&mut self, world: &mut World, day: SimDate, landing_id: u32, landing: &Url) {
+        let root = Url::root(landing.host.clone());
+        let resp = world.fetch(&Request {
+            url: root,
+            user_agent: UserAgent::Browser,
+            referrer: Some(dagger::google_referrer("landing")),
+        });
+
+        if let Some(notice) = stores::parse_seizure_notice(&resp.body) {
+            let last_alive = self.db.store_info.get(&landing_id).map(|s| s.last_seen);
+            let entry = self.db.store_info.entry(landing_id).or_insert_with(|| StoreInfo {
+                first_seen: day,
+                last_seen: day,
+                is_store: false,
+                html: String::new(),
+                cookie_names: Vec::new(),
+                seizure: None,
+                last_alive_before_seizure: None,
+            });
+            if entry.seizure.is_none() {
+                entry.seizure = Some((day, notice));
+                entry.last_alive_before_seizure = last_alive;
+            }
+            return;
+        }
+
+        let verdict = stores::detect_store(&resp.body, &resp.cookies);
+        let entry = self.db.store_info.entry(landing_id).or_insert_with(|| StoreInfo {
+            first_seen: day,
+            last_seen: day,
+            is_store: false,
+            html: String::new(),
+            cookie_names: Vec::new(),
+            seizure: None,
+            last_alive_before_seizure: None,
+        });
+        entry.last_seen = day;
+        if verdict.is_store() {
+            entry.is_store = true;
+            if entry.html.is_empty() {
+                entry.html = resp.body;
+                entry.cookie_names = resp.cookies.into_iter().map(|c| c.name).collect();
+            }
+        }
+    }
+
+    /// Records hacked-label state transitions for delay estimation.
+    fn observe_label(&mut self, domain_id: u32, day: SimDate, labeled: bool) {
+        let Some(info) = self.db.doorway_info.get_mut(&domain_id) else { return };
+        match (labeled, info.label_seen) {
+            (true, None) => info.label_seen = Some((day, day)),
+            (true, Some((first, _))) => info.label_seen = Some((first, day)),
+            (false, None) => info.last_unlabeled_before = Some(day),
+            (false, Some(_)) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terms;
+    use ss_eco::ScenarioConfig;
+
+    fn crawl_world(days: u32) -> (World, Crawler) {
+        let mut w = World::build(ScenarioConfig::tiny(23)).unwrap();
+        let start = SimDate::from_day_index(ss_types::CRAWL_START_DAY);
+        w.run_until(start);
+        let monitored = terms::select_all(&mut w, start, 6, 5);
+        let mut crawler = Crawler::new(
+            CrawlerConfig { serp_depth: 30, ..CrawlerConfig::default() },
+            monitored,
+        );
+        for d in 0..days {
+            let day = start + 1 + d;
+            w.run_until(day);
+            crawler.crawl_day(&mut w, day);
+        }
+        (w, crawler)
+    }
+
+    #[test]
+    fn crawl_accumulates_psrs_and_counts() {
+        let (_w, crawler) = crawl_world(6);
+        assert!(!crawler.db.psrs.is_empty(), "no PSRs found");
+        assert!(!crawler.db.daily_counts.is_empty());
+        let poisoned = crawler.db.poisoned_domains().count();
+        assert!(poisoned > 0);
+        // Every PSR's rank is within the crawled depth.
+        assert!(crawler.db.psrs.iter().all(|p| (1..=30).contains(&p.rank)));
+    }
+
+    #[test]
+    fn detected_domains_are_really_doorways() {
+        // Methodology validation in miniature: zero false positives
+        // against ground truth (§4.1.3 found none either).
+        let (w, crawler) = crawl_world(5);
+        for (id, _) in crawler.db.poisoned_domains() {
+            let name = crawler.db.domains.resolve(*id);
+            let domain = w.domains.lookup(&ss_types::DomainName::parse(name).unwrap()).unwrap();
+            assert!(
+                w.doorway_truth(domain).is_some(),
+                "crawler flagged non-doorway {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn stores_are_detected_behind_doorways() {
+        let (w, crawler) = crawl_world(6);
+        let stores: Vec<&u32> = crawler.db.detected_stores().map(|(id, _)| id).collect();
+        assert!(!stores.is_empty(), "no stores detected");
+        for id in stores {
+            let name = crawler.db.domains.resolve(*id);
+            let domain = w.domains.lookup(&ss_types::DomainName::parse(name).unwrap()).unwrap();
+            let kind = &w.domains.get(domain).kind;
+            assert!(
+                matches!(kind, ss_eco::domains::SiteKind::Storefront { .. }),
+                "{name} flagged as store but is {kind:?}"
+            );
+        }
+        // Store HTML was captured for the classifier.
+        assert!(crawler.db.detected_stores().all(|(_, s)| !s.html.is_empty()));
+    }
+
+    #[test]
+    fn churn_trim_skips_known_clean_domains() {
+        let (_w, crawler) = crawl_world(4);
+        assert!(!crawler.clean.is_empty(), "no clean domains cached");
+        // Clean domains never appear among poisoned.
+        for id in &crawler.clean {
+            assert!(!crawler.db.doorway_info.contains_key(id));
+        }
+    }
+
+    #[test]
+    fn churn_rate_is_low_after_warmup() {
+        let (_w, crawler) = crawl_world(8);
+        let last = SimDate::from_day_index(ss_types::CRAWL_START_DAY + 8);
+        let churn = crawler.last_day_churn(last);
+        assert!(churn < 0.5, "churn {churn} implausibly high after warmup");
+    }
+}

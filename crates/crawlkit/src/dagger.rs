@@ -1,0 +1,254 @@
+//! Dagger: the user-vs-crawler cloaking detector (§4.1.2).
+//!
+//! For each candidate URL the detector fetches the page twice — once
+//! self-identified as Googlebot, once as a browser arriving from a Google
+//! results page — follows HTTP redirect chains for both, and compares what
+//! came back:
+//!
+//! 1. different final hosts → **redirect cloaking**;
+//! 2. identical hosts but different bytes → render the user view; a JS
+//!    navigation reveals **JS-redirect cloaking** (the paper's HtmlUnit
+//!    extension);
+//! 3. otherwise a semantic diff (title + word-set Dice coefficient) flags
+//!    **content cloaking**.
+//!
+//! Iframe cloaking intentionally evades all three — same bytes to everyone
+//! — which is why [`crate::vangogh`] exists.
+
+use std::collections::HashSet;
+
+use ss_types::Url;
+use ss_web::http::{Request, Response, UserAgent, Web};
+use ss_web::js::render::render;
+use ss_web::Document;
+
+/// What kind of cloaking was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloakSignal {
+    /// Server-side HTTP redirect for search users only.
+    HttpRedirect,
+    /// Client-side JS navigation for search users only.
+    JsRedirect,
+    /// Different content served, no redirect found.
+    ContentDiff,
+    /// Full-viewport iframe payload (set by VanGogh, not Dagger).
+    Iframe,
+}
+
+/// The detector's verdict for one URL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaggerVerdict {
+    /// Detected cloaking, if any.
+    pub cloaked: Option<CloakSignal>,
+    /// Where a search user ultimately lands (host of the final page).
+    pub landing: Option<Url>,
+    /// The user-view response body (for downstream store detection).
+    pub user_body: String,
+    /// Cookies the landing page set.
+    pub cookies: Vec<ss_web::http::Cookie>,
+}
+
+/// The Google referrer the detector presents (§4.1.2's "as a user" fetch
+/// models a click-through from a results page).
+pub fn google_referrer(term: &str) -> Url {
+    Url::parse(&format!(
+        "http://google.com/search?q={}",
+        ss_types::url::encode_component(term)
+    ))
+    .expect("static referrer URL is valid")
+}
+
+/// Word-set Dice coefficient between two documents' visible text.
+pub fn text_dice(a: &str, b: &str) -> f64 {
+    let wa: HashSet<&str> = a.split_whitespace().collect();
+    let wb: HashSet<&str> = b.split_whitespace().collect();
+    if wa.is_empty() && wb.is_empty() {
+        return 1.0;
+    }
+    let inter = wa.intersection(&wb).count();
+    2.0 * inter as f64 / (wa.len() + wb.len()) as f64
+}
+
+/// Below this Dice similarity two views count as semantically different.
+pub const DICE_THRESHOLD: f64 = 0.5;
+
+/// Runs the detector against one URL.
+pub fn check(web: &mut impl Web, url: &Url, term: &str, max_hops: usize) -> DaggerVerdict {
+    let crawler_req = Request::crawler(url.clone());
+    let (crawler_chain, crawler_resp) = web.fetch_following(&crawler_req, max_hops);
+
+    let user_req = Request {
+        url: url.clone(),
+        user_agent: UserAgent::Browser,
+        referrer: Some(google_referrer(term)),
+    };
+    let (user_chain, user_resp) = web.fetch_following(&user_req, max_hops);
+
+    let crawler_host = crawler_chain.last().expect("chain non-empty").host.clone();
+    let user_host = user_chain.last().expect("chain non-empty").host.clone();
+    let landing_url = user_chain.last().expect("chain non-empty").clone();
+
+    // 1. Redirect cloaking: the user ends up somewhere else entirely.
+    if user_host != crawler_host {
+        return DaggerVerdict {
+            cloaked: Some(CloakSignal::HttpRedirect),
+            landing: Some(landing_url),
+            user_body: user_resp.body,
+            cookies: user_resp.cookies,
+        };
+    }
+
+    // 2. Same host; do the bytes differ at all?
+    if user_resp.body != crawler_resp.body {
+        // Render the user view to catch a JS redirect (the Dagger upgrade
+        // described in §4.1.2 — only pages already flagged get rendered,
+        // because rendering is expensive).
+        let rendered = render(&user_resp.body, &url.to_string(), UserAgent::Browser, None);
+        if let Some(target) = rendered.js_redirect {
+            let (landing, follow) = follow_js(web, &target, &user_req, max_hops);
+            return DaggerVerdict {
+                cloaked: Some(CloakSignal::JsRedirect),
+                landing,
+                user_body: follow.map(|r| r.body).unwrap_or(user_resp.body),
+                cookies: Vec::new(),
+            };
+        }
+        let dice = text_dice(
+            &Document::parse(&user_resp.body).text_content(),
+            &Document::parse(&crawler_resp.body).text_content(),
+        );
+        if dice < DICE_THRESHOLD {
+            return DaggerVerdict {
+                cloaked: Some(CloakSignal::ContentDiff),
+                landing: Some(landing_url),
+                user_body: user_resp.body,
+                cookies: user_resp.cookies,
+            };
+        }
+    }
+
+    DaggerVerdict { cloaked: None, landing: None, user_body: user_resp.body, cookies: user_resp.cookies }
+}
+
+/// Follows a JS navigation target, returning the final landing URL and
+/// response when the target parses.
+pub(crate) fn follow_js(
+    web: &mut impl Web,
+    target: &str,
+    prior: &Request,
+    max_hops: usize,
+) -> (Option<Url>, Option<Response>) {
+    match Url::parse(target) {
+        Ok(u) => {
+            let req = Request {
+                url: u,
+                user_agent: UserAgent::Browser,
+                referrer: Some(prior.url.clone()),
+            };
+            let (chain, resp) = web.fetch_following(&req, max_hops);
+            (chain.last().cloned(), Some(resp))
+        }
+        Err(_) => (None, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_web::http::Response;
+
+    /// A toy web exercising each cloaking style.
+    struct CloakWeb;
+
+    impl Web for CloakWeb {
+        fn fetch(&mut self, req: &Request) -> Response {
+            let is_bot = req.user_agent == UserAgent::GoogleBot;
+            let from_search =
+                req.referrer.as_ref().map(|r| r.host.as_str().contains("google")).unwrap_or(false);
+            match req.url.host.as_str() {
+                "redirect-cloak.com" => {
+                    if is_bot {
+                        Response::ok("<p>seo words here</p>".into())
+                    } else if from_search {
+                        Response::redirect(Url::parse("http://store.com/").unwrap())
+                    } else {
+                        Response::ok("<p>original home page</p>".into())
+                    }
+                }
+                "js-cloak.com" => {
+                    if is_bot {
+                        Response::ok("<p>seo words here</p>".into())
+                    } else {
+                        Response::ok(
+                            "<p>seo words here</p><script>window.location = 'http://store.com/';</script>"
+                                .into(),
+                        )
+                    }
+                }
+                "content-cloak.com" => {
+                    if is_bot {
+                        Response::ok("<p>alpha beta gamma delta epsilon zeta</p>".into())
+                    } else {
+                        Response::ok("<p>one two three four five six seven</p>".into())
+                    }
+                }
+                "honest.com" => Response::ok("<p>same for everyone</p>".into()),
+                "iframe-cloak.com" => Response::ok(
+                    "<p>same bytes</p><script>var f = document.createElement('iframe');\
+                     f.width = '100%'; f.height = '100%'; f.src = 'http://store.com/';\
+                     document.body.appendChild(f);</script>"
+                        .into(),
+                ),
+                "store.com" => Response::ok("<p>buy bags checkout</p>".into()),
+                _ => Response::not_found(),
+            }
+        }
+    }
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn detects_redirect_cloaking() {
+        let v = check(&mut CloakWeb, &url("http://redirect-cloak.com/"), "cheap bags", 5);
+        assert_eq!(v.cloaked, Some(CloakSignal::HttpRedirect));
+        assert_eq!(v.landing.unwrap().host.as_str(), "store.com");
+        assert!(v.user_body.contains("checkout"));
+    }
+
+    #[test]
+    fn detects_js_redirect_cloaking() {
+        let v = check(&mut CloakWeb, &url("http://js-cloak.com/"), "cheap bags", 5);
+        assert_eq!(v.cloaked, Some(CloakSignal::JsRedirect));
+        assert_eq!(v.landing.unwrap().host.as_str(), "store.com");
+    }
+
+    #[test]
+    fn detects_content_cloaking() {
+        let v = check(&mut CloakWeb, &url("http://content-cloak.com/"), "cheap bags", 5);
+        assert_eq!(v.cloaked, Some(CloakSignal::ContentDiff));
+    }
+
+    #[test]
+    fn honest_pages_pass() {
+        let v = check(&mut CloakWeb, &url("http://honest.com/"), "cheap bags", 5);
+        assert_eq!(v.cloaked, None);
+    }
+
+    #[test]
+    fn iframe_cloaking_evades_dagger_by_design() {
+        // Same bytes to everyone: exactly the blind spot §3.1.1 describes.
+        let v = check(&mut CloakWeb, &url("http://iframe-cloak.com/"), "cheap bags", 5);
+        assert_eq!(v.cloaked, None, "Dagger must NOT catch iframe cloaking");
+    }
+
+    #[test]
+    fn dice_behaves() {
+        assert!((text_dice("a b c", "a b c") - 1.0).abs() < 1e-12);
+        assert_eq!(text_dice("a b", "c d"), 0.0);
+        assert!((text_dice("", "") - 1.0).abs() < 1e-12);
+        let half = text_dice("a b c d", "c d e f");
+        assert!((half - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,231 @@
+//! The crawl database: compact, interned storage for a paper-scale crawl
+//! (millions of PSR observations).
+//!
+//! Crawler-side identifiers are deliberately independent of the
+//! simulator's ids — the apparatus only ever sees strings on the wire,
+//! exactly like the original study.
+
+use std::collections::HashMap;
+
+use ss_types::SimDate;
+
+use crate::dagger::CloakSignal;
+use crate::stores::SeizureNotice;
+
+/// Interned string table with dense `u32` ids.
+#[derive(Debug, Default)]
+pub struct Interner {
+    by_str: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Interns a string, returning its id.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.by_str.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(s.to_owned());
+        self.by_str.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Looks up an id without interning.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.by_str.get(s).copied()
+    }
+
+    /// Resolves an id back to its string.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// One observed poisoned search result (a cloaked result in a monitored
+/// SERP on one day).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PsrRecord {
+    /// Observation day.
+    pub day: SimDate,
+    /// Vertical index (crawler-side, ordered as monitored).
+    pub vertical: u16,
+    /// Interned term text.
+    pub term: u32,
+    /// 1-based rank in the SERP.
+    pub rank: u8,
+    /// Interned doorway domain name.
+    pub domain: u32,
+    /// Whether the result URL was the domain root (label policy analysis).
+    pub is_root: bool,
+    /// Whether the result carried the "hacked" label.
+    pub labeled: bool,
+    /// Interned landing (store) domain at observation time, if resolved.
+    pub landing: Option<u32>,
+}
+
+/// Per-doorway-domain knowledge accumulated by the crawler.
+#[derive(Debug, Clone)]
+pub struct DomainInfo {
+    /// First day the domain appeared in any monitored SERP.
+    pub first_seen: SimDate,
+    /// Last day it appeared.
+    pub last_seen: SimDate,
+    /// Cloaking verdict (None = checked and clean).
+    pub cloak: Option<CloakSignal>,
+    /// Landing history: `(day, interned store domain)` transitions.
+    pub landings: Vec<(SimDate, u32)>,
+    /// Days on which this domain's results carried the hacked label
+    /// (first and last observation).
+    pub label_seen: Option<(SimDate, SimDate)>,
+    /// Last day the result was seen *without* a label before the first
+    /// labeled sighting (for censored delay estimation).
+    pub last_unlabeled_before: Option<SimDate>,
+    /// How many pages VanGogh has rendered for this domain (≤ sample cap).
+    pub rendered_pages: u8,
+    /// Day the landing was last re-verified.
+    pub last_verified: SimDate,
+}
+
+/// Per-store-domain knowledge.
+#[derive(Debug, Clone)]
+pub struct StoreInfo {
+    /// First day this store domain was reached through a PSR.
+    pub first_seen: SimDate,
+    /// Last day it was reached.
+    pub last_seen: SimDate,
+    /// Store-detection verdict.
+    pub is_store: bool,
+    /// Captured landing-page HTML (classifier input).
+    pub html: String,
+    /// Cookie names observed.
+    pub cookie_names: Vec<String>,
+    /// Seizure notice observed at this domain, with first observation day.
+    pub seizure: Option<(SimDate, SeizureNotice)>,
+    /// Last day the store was seen alive (non-notice) before the first
+    /// notice observation.
+    pub last_alive_before_seizure: Option<SimDate>,
+}
+
+/// The crawl database.
+#[derive(Debug, Default)]
+pub struct CrawlDb {
+    /// Interned domain names (doorways and stores share the table).
+    pub domains: Interner,
+    /// Interned term texts.
+    pub terms: Interner,
+    /// All PSR observations, in crawl order.
+    pub psrs: Vec<PsrRecord>,
+    /// Doorway knowledge, keyed by interned domain id.
+    pub doorway_info: HashMap<u32, DomainInfo>,
+    /// Store knowledge, keyed by interned domain id.
+    pub store_info: HashMap<u32, StoreInfo>,
+    /// Total results crawled (PSR or not), for rate denominators:
+    /// `(day, vertical, top10_seen, top10_poisoned, total_seen, total_poisoned)`.
+    pub daily_counts: Vec<DailyCount>,
+}
+
+/// Per-(day, vertical) SERP counting for Figures 2 and 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DailyCount {
+    /// Day.
+    pub day: SimDate,
+    /// Crawler-side vertical index.
+    pub vertical: u16,
+    /// Results seen in top-10 positions.
+    pub top10_seen: u32,
+    /// Poisoned results among them.
+    pub top10_poisoned: u32,
+    /// Results seen across the crawled depth.
+    pub total_seen: u32,
+    /// Poisoned results among them.
+    pub total_poisoned: u32,
+}
+
+impl CrawlDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unique doorway domains confirmed cloaked.
+    pub fn poisoned_domains(&self) -> impl Iterator<Item = (&u32, &DomainInfo)> {
+        self.doorway_info.iter().filter(|(_, i)| i.cloak.is_some())
+    }
+
+    /// Unique store domains that passed store detection.
+    pub fn detected_stores(&self) -> impl Iterator<Item = (&u32, &StoreInfo)> {
+        self.store_info.iter().filter(|(_, s)| s.is_store)
+    }
+
+    /// All PSRs for a vertical.
+    pub fn psrs_of_vertical(&self, vertical: u16) -> impl Iterator<Item = &PsrRecord> {
+        self.psrs.iter().filter(move |p| p.vertical == vertical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_roundtrips() {
+        let mut i = Interner::default();
+        let a = i.intern("door.com");
+        let b = i.intern("store.com");
+        let a2 = i.intern("door.com");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "door.com");
+        assert_eq!(i.get("store.com"), Some(b));
+        assert_eq!(i.get("missing.com"), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn db_filters_poisoned_and_stores() {
+        let mut db = CrawlDb::new();
+        let d1 = db.domains.intern("clean.com");
+        let d2 = db.domains.intern("dirty.com");
+        let day = SimDate::from_day_index(140);
+        db.doorway_info.insert(
+            d1,
+            DomainInfo {
+                first_seen: day,
+                last_seen: day,
+                cloak: None,
+                landings: vec![],
+                label_seen: None,
+                last_unlabeled_before: None,
+                rendered_pages: 0,
+                last_verified: day,
+            },
+        );
+        db.doorway_info.insert(
+            d2,
+            DomainInfo {
+                first_seen: day,
+                last_seen: day,
+                cloak: Some(CloakSignal::Iframe),
+                landings: vec![(day, 7)],
+                label_seen: None,
+                last_unlabeled_before: None,
+                rendered_pages: 1,
+                last_verified: day,
+            },
+        );
+        assert_eq!(db.poisoned_domains().count(), 1);
+        assert_eq!(*db.poisoned_domains().next().unwrap().0, d2);
+        assert_eq!(db.detected_stores().count(), 0);
+    }
+}

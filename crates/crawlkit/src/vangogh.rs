@@ -1,0 +1,132 @@
+//! VanGogh: the rendering crawler that catches iframe cloaking (§4.1.2).
+//!
+//! VanGogh fetches the page as a search-referred browser, runs every
+//! script through the JS interpreter, and inspects the *rendered* document
+//! for iframes "attempting to occupy the entire page visually": width and
+//! height both either `100%` or larger than 800 pixels. Because rendering
+//! is expensive, the orchestrator samples at most three pages per doorway
+//! domain — the same workload trim the paper applies.
+
+use ss_types::Url;
+use ss_web::http::{Request, UserAgent, Web};
+use ss_web::js::render::render;
+
+use crate::dagger::{google_referrer, CloakSignal, DaggerVerdict};
+
+/// The geometric rule from §4.1.2.
+pub fn is_fullpage(width: &str, height: &str) -> bool {
+    fn big(dim: &str) -> bool {
+        if dim.trim() == "100%" {
+            return true;
+        }
+        dim.trim().trim_end_matches("px").parse::<f64>().map(|v| v > 800.0).unwrap_or(false)
+    }
+    big(width) && big(height)
+}
+
+/// Renders `url` as a search-referred user and reports iframe cloaking.
+pub fn check(web: &mut impl Web, url: &Url, term: &str, max_hops: usize) -> DaggerVerdict {
+    let req = Request {
+        url: url.clone(),
+        user_agent: UserAgent::Browser,
+        referrer: Some(google_referrer(term)),
+    };
+    let (chain, resp) = web.fetch_following(&req, max_hops);
+    let final_url = chain.last().expect("chain non-empty").clone();
+    let rendered = render(
+        &resp.body,
+        &final_url.to_string(),
+        UserAgent::Browser,
+        Some(google_referrer(term).to_string().as_str()),
+    );
+
+    // A JS redirect can also surface here when Dagger was skipped.
+    if let Some(target) = rendered.js_redirect.clone() {
+        let (landing, follow) = crate::dagger::follow_js(web, &target, &req, max_hops);
+        return DaggerVerdict {
+            cloaked: Some(CloakSignal::JsRedirect),
+            landing,
+            user_body: follow.map(|r| r.body).unwrap_or(resp.body),
+            cookies: Vec::new(),
+        };
+    }
+
+    for (w, h, src) in rendered.iframes() {
+        if is_fullpage(&w, &h) {
+            let landing = Url::parse(&src).ok();
+            return DaggerVerdict {
+                cloaked: Some(CloakSignal::Iframe),
+                landing,
+                user_body: resp.body,
+                cookies: resp.cookies,
+            };
+        }
+    }
+    DaggerVerdict { cloaked: None, landing: None, user_body: resp.body, cookies: resp.cookies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_web::http::Response;
+
+    struct IframeWeb;
+    impl Web for IframeWeb {
+        fn fetch(&mut self, req: &Request) -> Response {
+            match req.url.host.as_str() {
+                // Obfuscated dynamic iframe — only a renderer sees it.
+                "dyn.com" => Response::ok(
+                    "<p>door</p><script>var p = ['http://sto', 're.com/'];\
+                     var f = document.createElement('ifr' + 'ame');\
+                     f.setAttribute('width', '100%'); f.setAttribute('height', '100%');\
+                     f.src = p.join(''); document.body.appendChild(f);</script>"
+                        .into(),
+                ),
+                // Static big-pixel iframe.
+                "static.com" => Response::ok(
+                    r#"<iframe src="http://store.com/" width="1280" height="900"></iframe>"#.into(),
+                ),
+                // Benign ad-sized iframe: must not trip the rule.
+                "ads.com" => Response::ok(
+                    r#"<p>article text</p><iframe src="http://adnet.com/banner" width="728" height="90"></iframe>"#
+                        .into(),
+                ),
+                _ => Response::ok("<p>plain</p>".into()),
+            }
+        }
+    }
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn catches_dynamic_obfuscated_iframe() {
+        let v = check(&mut IframeWeb, &url("http://dyn.com/p"), "cheap bags", 5);
+        assert_eq!(v.cloaked, Some(CloakSignal::Iframe));
+        assert_eq!(v.landing.unwrap().host.as_str(), "store.com");
+    }
+
+    #[test]
+    fn catches_static_fullpage_iframe() {
+        let v = check(&mut IframeWeb, &url("http://static.com/"), "cheap bags", 5);
+        assert_eq!(v.cloaked, Some(CloakSignal::Iframe));
+    }
+
+    #[test]
+    fn ignores_banner_iframes() {
+        let v = check(&mut IframeWeb, &url("http://ads.com/"), "cheap bags", 5);
+        assert_eq!(v.cloaked, None);
+    }
+
+    #[test]
+    fn geometry_rule_matches_the_paper() {
+        assert!(is_fullpage("100%", "100%"));
+        assert!(is_fullpage("900", "801"));
+        assert!(is_fullpage("100%", "1024"));
+        assert!(!is_fullpage("100%", "90"));
+        assert!(!is_fullpage("728", "90"));
+        assert!(!is_fullpage("800", "800"), "strictly larger than 800");
+        assert!(!is_fullpage("", ""));
+    }
+}

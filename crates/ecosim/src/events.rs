@@ -1,0 +1,129 @@
+//! The ground-truth event log.
+//!
+//! The paper had to *infer* when labels appeared, when seizures happened,
+//! and when campaigns re-pointed doorways, bounding each estimate between
+//! crawl observations (§5.2.2, §5.3.2). The simulation knows these moments
+//! exactly, so it records them — letting the methodology-validation
+//! experiments compare the pipeline's inferred timelines against truth.
+
+use ss_types::{CampaignId, CaseId, DomainId, FirmId, SimDate, StoreId};
+
+/// One ground-truth event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A campaign entered an active SEO window.
+    CampaignActive {
+        /// Campaign.
+        campaign: CampaignId,
+        /// Window start.
+        from: SimDate,
+        /// Window end (inclusive).
+        to: SimDate,
+    },
+    /// The search engine detected a doorway and penalized it.
+    DoorwayPenalized {
+        /// The doorway domain.
+        domain: DomainId,
+        /// Day the penalty/label landed.
+        day: SimDate,
+        /// Whether the hacked label was applied (vs. demotion only).
+        labeled: bool,
+    },
+    /// A firm seized a batch of domains under one court case.
+    CaseFiled {
+        /// Executing firm.
+        firm: FirmId,
+        /// Case id.
+        case: CaseId,
+        /// Effective day.
+        day: SimDate,
+        /// Domains seized.
+        domains: Vec<DomainId>,
+    },
+    /// A store rotated to a new domain.
+    StoreRotated {
+        /// The store.
+        store: StoreId,
+        /// Day of the switch.
+        day: SimDate,
+        /// Old domain.
+        from: DomainId,
+        /// New domain.
+        to: DomainId,
+        /// Whether this was a reaction to a seizure (vs. proactive).
+        reactive: bool,
+    },
+}
+
+/// Append-only event log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// All events.
+    pub fn all(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// All seizure cases.
+    pub fn cases(&self) -> impl Iterator<Item = (&FirmId, &CaseId, &SimDate, &Vec<DomainId>)> {
+        self.events.iter().filter_map(|e| match e {
+            Event::CaseFiled { firm, case, day, domains } => Some((firm, case, day, domains)),
+            _ => None,
+        })
+    }
+
+    /// Rotations for one store, in order.
+    pub fn rotations_of(&self, store: StoreId) -> Vec<(&SimDate, &DomainId, &DomainId, bool)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::StoreRotated { store: s, day, from, to, reactive } if *s == store => {
+                    Some((day, from, to, *reactive))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_filters_by_kind() {
+        let mut log = EventLog::new();
+        log.push(Event::CaseFiled {
+            firm: FirmId(0),
+            case: CaseId(1),
+            day: SimDate::from_day_index(200),
+            domains: vec![DomainId(5)],
+        });
+        log.push(Event::StoreRotated {
+            store: StoreId(3),
+            day: SimDate::from_day_index(205),
+            from: DomainId(5),
+            to: DomainId(9),
+            reactive: true,
+        });
+        assert_eq!(log.cases().count(), 1);
+        let rot = log.rotations_of(StoreId(3));
+        assert_eq!(rot.len(), 1);
+        assert!(rot[0].3);
+        assert!(log.rotations_of(StoreId(4)).is_empty());
+        assert_eq!(log.all().len(), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Brand-protection firms and the seizure legal process (§3.2.2, §5.3).
+
+use ss_types::{BrandId, CaseId, DomainId, FirmId, SimDate};
+
+use crate::scenario::SeizurePolicy;
+
+/// One court case: a bulk seizure of domains for one plaintiff brand.
+#[derive(Debug, Clone)]
+pub struct CourtCase {
+    /// Case id (dense across the world).
+    pub id: CaseId,
+    /// Executing firm.
+    pub firm: FirmId,
+    /// Plaintiff brand.
+    pub brand: BrandId,
+    /// Docket label, e.g. "14-cv-00231".
+    pub docket: String,
+    /// Effective (seizure) day.
+    pub day: SimDate,
+    /// All domains seized by the order — storefronts we might observe in
+    /// PSRs plus offstage bulk (court schedules run to hundreds or
+    /// thousands of names).
+    pub domains: Vec<DomainId>,
+}
+
+/// A brand-protection firm.
+#[derive(Debug, Clone)]
+pub struct FirmState {
+    /// Id.
+    pub id: FirmId,
+    /// Name (GBC / SMGPA).
+    pub name: String,
+    /// Brands it represents.
+    pub brands: Vec<BrandId>,
+    /// Seizure cadence and targeting policy.
+    pub policy: SeizurePolicy,
+    /// Cases filed so far.
+    pub cases: Vec<CourtCase>,
+}
+
+impl FirmState {
+    /// Whether the firm files a case on `day` (fixed cadence from its
+    /// policy, offset by the firm index so firms don't synchronize).
+    pub fn files_on(&self, day: SimDate) -> bool {
+        let offset = (self.id.index() as u32) * 5;
+        let d = day.day_index();
+        d >= offset && (d - offset) % self.policy.case_interval == 0
+    }
+
+    /// Docket string for the next case.
+    pub fn next_docket(&self, day: SimDate) -> String {
+        let (year, _, _) = day.ymd();
+        format!("{}-cv-{:05}", year % 100, 100 + self.cases.len() * 7 + self.id.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn firm(interval: u32, idx: u32) -> FirmState {
+        FirmState {
+            id: FirmId(idx),
+            name: "GBC".into(),
+            brands: vec![BrandId(0)],
+            policy: SeizurePolicy {
+                case_interval: interval,
+                observed_fraction: 0.01,
+                target_lifetime: 60,
+            },
+            cases: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn cadence_is_periodic_with_offset() {
+        let f = firm(13, 0);
+        let hits: Vec<u32> = (0..60)
+            .filter(|d| f.files_on(SimDate::from_day_index(*d)))
+            .collect();
+        assert_eq!(hits, vec![0, 13, 26, 39, 52]);
+        let g = firm(13, 1);
+        let hits_g: Vec<u32> = (0..60)
+            .filter(|d| g.files_on(SimDate::from_day_index(*d)))
+            .collect();
+        assert_eq!(hits_g, vec![5, 18, 31, 44, 57], "firms are phase-shifted");
+    }
+
+    #[test]
+    fn dockets_are_unique_per_case_count() {
+        let mut f = firm(13, 0);
+        let d1 = f.next_docket(SimDate::from_day_index(200));
+        f.cases.push(CourtCase {
+            id: CaseId(0),
+            firm: f.id,
+            brand: BrandId(0),
+            docket: d1.clone(),
+            day: SimDate::from_day_index(200),
+            domains: vec![],
+        });
+        let d2 = f.next_docket(SimDate::from_day_index(213));
+        assert_ne!(d1, d2);
+        assert!(d1.starts_with("14-cv-"));
+    }
+}

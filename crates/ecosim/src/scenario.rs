@@ -1,0 +1,283 @@
+//! Scenario configuration: scale presets, calibration knobs, and the
+//! intervention-policy parameters the what-if experiments sweep.
+
+use ss_types::{Error, Result, SimDate};
+
+/// How big a world to build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scale {
+    /// Number of verticals to monitor (≤ 16; taken in Table 1 order).
+    pub verticals: usize,
+    /// Monitored search terms per vertical (paper: 100).
+    pub terms_per_vertical: usize,
+    /// Legitimate pages indexed per term (competition for doorways).
+    pub legit_per_term: usize,
+    /// SERP depth crawled daily (paper: top 100).
+    pub serp_depth: usize,
+    /// Multiplier applied to Table 2 per-campaign doorway/store counts.
+    pub entity_scale: f64,
+    /// Number of unclassified "shadow" campaigns filling the long tail.
+    pub shadow_campaigns: usize,
+    /// Simulation end day (inclusive). The paper's world runs to the end of
+    /// the Figure 5 window; the crawl subset of it is fixed by
+    /// [`ss_types::CRAWL_START_DAY`]/[`ss_types::CRAWL_END_DAY`].
+    pub end_day: u32,
+}
+
+impl Scale {
+    /// Paper-scale world: 16 verticals × 100 terms, Table 2 sizes.
+    pub fn paper() -> Self {
+        Scale {
+            verticals: 16,
+            terms_per_vertical: 100,
+            legit_per_term: 150,
+            serp_depth: 100,
+            entity_scale: 1.0,
+            shadow_campaigns: 240,
+            end_day: ss_types::CASE_STUDY_END_DAY,
+        }
+    }
+
+    /// Small world for tests and examples: every dynamic preserved,
+    /// ~50× fewer pages. The crawl window still starts on day 131 but the
+    /// world ends shortly after the Figure 6 seizure beat.
+    pub fn small() -> Self {
+        Scale {
+            verticals: 6,
+            terms_per_vertical: 12,
+            legit_per_term: 40,
+            serp_depth: 50,
+            entity_scale: 0.08,
+            shadow_campaigns: 70,
+            end_day: 260,
+        }
+    }
+
+    /// Tiny world for unit tests of downstream crates.
+    pub fn tiny() -> Self {
+        Scale {
+            verticals: 3,
+            terms_per_vertical: 6,
+            legit_per_term: 25,
+            serp_depth: 30,
+            entity_scale: 0.04,
+            shadow_campaigns: 6,
+            end_day: 200,
+        }
+    }
+}
+
+/// Search-engine intervention policy (§5.2): how aggressively the engine
+/// detects and penalizes doorways. The defaults reproduce the paper's
+/// observations; the what-if example sweeps them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchPolicy {
+    /// Probability that an active doorway domain is ever detected.
+    /// The paper measures only 2.5% of PSRs carrying the hacked label.
+    pub detect_prob: f64,
+    /// Detection delay bounds in days once a doorway starts ranking
+    /// (paper: labels appear 13–32 days after first sighting).
+    pub delay_min: u32,
+    /// Upper delay bound.
+    pub delay_max: u32,
+    /// Demotion penalty applied on detection (score units; 0 disables).
+    pub demote_penalty: f64,
+    /// Whether detection also sets the "hacked" label.
+    pub apply_label: bool,
+    /// Click-through deterrence of a visible label (fraction of users who
+    /// skip a labeled result).
+    pub label_deterrence: f64,
+}
+
+impl Default for SearchPolicy {
+    fn default() -> Self {
+        SearchPolicy {
+            detect_prob: 0.08,
+            delay_min: 13,
+            delay_max: 32,
+            demote_penalty: 0.25,
+            apply_label: true,
+            label_deterrence: 0.35,
+        }
+    }
+}
+
+/// Brand-holder seizure policy (§5.3) for one firm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeizurePolicy {
+    /// Days between court cases (bulk seizure rounds).
+    pub case_interval: u32,
+    /// Fraction of a case's domains that are storefronts we could observe
+    /// via PSRs (the rest are "offstage" bulk filler, as in the court docs).
+    pub observed_fraction: f64,
+    /// Mean store lifetime before seizure in days (drives which stores get
+    /// picked: older stores are likelier targets).
+    pub target_lifetime: u32,
+}
+
+/// Payment-level intervention (the §4.3.2 future work, implemented as an
+/// extension): from `start_day`, the named processors stop settling for
+/// counterfeit merchants. Campaigns with an unblocked processor available
+/// migrate after `migration_days`; blocking all three with no migration
+/// window models the full "follow the money" intervention of the
+/// Priceless line of work the paper cites.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PaymentPolicy {
+    /// Whether the intervention is active at all.
+    pub enabled: bool,
+    /// Day the processors cut the merchants off.
+    pub start_day: u32,
+    /// Processor names blocked ("realypay", "mallpayment", "globalbill").
+    pub blocked: Vec<String>,
+    /// Days a campaign needs to onboard with a surviving processor
+    /// (`None` = no migration possible).
+    pub migration_days: Option<u32>,
+}
+
+/// Full scenario configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Master seed; every stream in the world derives from it.
+    pub seed: u64,
+    /// World size.
+    pub scale: Scale,
+    /// Search-engine intervention policy.
+    pub search_policy: SearchPolicy,
+    /// Per-firm seizure cadence (GBC, SMGPA order).
+    pub seizure_policies: Vec<SeizurePolicy>,
+    /// Visit → order conversion rate (paper estimate: 0.7%, §5.2.3).
+    pub conversion_rate: f64,
+    /// Mean HTML pages per store visit (paper: 5.6).
+    pub pages_per_visit: f64,
+    /// Fraction of visits that carry a referrer (paper: 60%).
+    pub referrer_rate: f64,
+    /// Mean daily query impressions per monitored term.
+    pub impressions_per_term: f64,
+    /// Non-search baseline orders per store per day (direct/email traffic).
+    pub organic_orders_per_day: f64,
+    /// Whether campaigns proactively rotate store domains even without a
+    /// seizure (the BIGLOVE coco*.com behaviour, §5.2.3).
+    pub proactive_rotation: bool,
+    /// Payment-level intervention (disabled by default; §4.3.2 extension).
+    pub payment_policy: PaymentPolicy,
+}
+
+impl ScenarioConfig {
+    /// Paper-calibrated scenario at the given scale.
+    pub fn new(seed: u64, scale: Scale) -> Self {
+        ScenarioConfig {
+            seed,
+            scale,
+            search_policy: SearchPolicy::default(),
+            seizure_policies: vec![
+                // GBC: ~69 cases over ~2.4 years ≈ every 13 days; reacts on
+                // stores that lived ~58–68 days.
+                SeizurePolicy { case_interval: 13, observed_fraction: 0.007, target_lifetime: 63 },
+                // SMGPA: ~47 cases over ~2.4 years ≈ every 19 days.
+                SeizurePolicy { case_interval: 19, observed_fraction: 0.009, target_lifetime: 52 },
+            ],
+            conversion_rate: 0.007,
+            pages_per_visit: 5.6,
+            referrer_rate: 0.60,
+            impressions_per_term: 420.0,
+            organic_orders_per_day: 0.8,
+            proactive_rotation: true,
+            payment_policy: PaymentPolicy::default(),
+        }
+    }
+
+    /// Paper-scale scenario.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(seed, Scale::paper())
+    }
+
+    /// Small scenario for tests/examples.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, Scale::small())
+    }
+
+    /// Tiny scenario for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self::new(seed, Scale::tiny())
+    }
+
+    /// Validates configuration invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.scale.verticals == 0 || self.scale.verticals > ss_types::market::VERTICALS.len() {
+            return Err(Error::InvalidConfig(format!(
+                "verticals must be 1..={}, got {}",
+                ss_types::market::VERTICALS.len(),
+                self.scale.verticals
+            )));
+        }
+        if self.scale.terms_per_vertical == 0 {
+            return Err(Error::InvalidConfig("terms_per_vertical must be positive".into()));
+        }
+        if self.scale.end_day <= ss_types::CRAWL_START_DAY {
+            return Err(Error::InvalidConfig("end_day must exceed the crawl start".into()));
+        }
+        if !(0.0..=1.0).contains(&self.conversion_rate)
+            || !(0.0..=1.0).contains(&self.referrer_rate)
+            || !(0.0..=1.0).contains(&self.search_policy.detect_prob)
+            || !(0.0..=1.0).contains(&self.search_policy.label_deterrence)
+        {
+            return Err(Error::InvalidConfig("rates must lie in [0, 1]".into()));
+        }
+        if self.search_policy.delay_min > self.search_policy.delay_max {
+            return Err(Error::InvalidConfig("label delay bounds inverted".into()));
+        }
+        if self.seizure_policies.is_empty() {
+            return Err(Error::InvalidConfig("at least one seizure firm required".into()));
+        }
+        Ok(())
+    }
+
+    /// Last simulated day as a date.
+    pub fn end_date(&self) -> SimDate {
+        SimDate::from_day_index(self.scale.end_day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [ScenarioConfig::paper(1), ScenarioConfig::small(1), ScenarioConfig::tiny(1)] {
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = ScenarioConfig::small(1);
+        cfg.scale.verticals = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ScenarioConfig::small(1);
+        cfg.conversion_rate = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ScenarioConfig::small(1);
+        cfg.search_policy.delay_min = 40;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ScenarioConfig::small(1);
+        cfg.scale.end_day = 10;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ScenarioConfig::small(1);
+        cfg.seizure_policies.clear();
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn paper_scale_matches_study_shape() {
+        let s = Scale::paper();
+        assert_eq!(s.verticals, 16);
+        assert_eq!(s.terms_per_vertical, 100);
+        assert_eq!(s.serp_depth, 100);
+        assert_eq!(s.end_day, ss_types::CASE_STUDY_END_DAY);
+    }
+}

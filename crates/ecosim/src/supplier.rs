@@ -1,0 +1,162 @@
+//! The supplier agent: fulfillment for partnered campaigns and the
+//! tracking-portal data the paper scraped (§4.5).
+
+use rand::Rng;
+use ss_types::rng::SimRng;
+use ss_types::{SimDate, StoreId};
+use ss_web::pagegen::supplier::{ShipRecord, ShipStatus};
+
+/// The supplier's state: an order counter and the full shipment ledger.
+#[derive(Debug)]
+pub struct SupplierState {
+    /// Ledger of shipment records, in order-number order.
+    pub records: Vec<ShipRecord>,
+    /// Which store each record came from (ground truth; not exposed on the
+    /// portal).
+    pub record_stores: Vec<StoreId>,
+    next_order: u64,
+    rng: SimRng,
+}
+
+impl SupplierState {
+    /// Creates a supplier whose order numbers start at `base`.
+    pub fn new(seed: u64, base: u64) -> Self {
+        SupplierState {
+            records: Vec::new(),
+            record_stores: Vec::new(),
+            next_order: base,
+            rng: ss_types::rng::sub_rng(seed, "supplier"),
+        }
+    }
+
+    /// Registers `n` fulfillment orders from `store` on `day`, sampling
+    /// destination and final status per the paper's observed mix
+    /// (256K delivered / 4K seized at source / 15K seized at destination /
+    /// 1,319 returned, §4.5).
+    pub fn fulfill(&mut self, store: StoreId, day: SimDate, n: u64) {
+        for _ in 0..n {
+            let order_no = self.next_order;
+            self.next_order += 1;
+            let status = self.sample_status();
+            let country = self.sample_country();
+            // Tracking events trail the order by a short transit delay.
+            let transit: u32 = self.rng.gen_range(4..18);
+            self.records.push(ShipRecord { order_no, date: day + transit, country, status });
+            self.record_stores.push(store);
+        }
+    }
+
+    fn sample_status(&mut self) -> ShipStatus {
+        // Mix from §4.5 out of ~276.3K resolved shipments.
+        let x: f64 = self.rng.gen();
+        if x < 0.9266 {
+            ShipStatus::Delivered
+        } else if x < 0.9266 + 0.0145 {
+            ShipStatus::SeizedAtSource
+        } else if x < 0.9266 + 0.0145 + 0.0543 {
+            ShipStatus::SeizedAtDestination
+        } else {
+            ShipStatus::Returned
+        }
+    }
+
+    fn sample_country(&mut self) -> String {
+        // Weighted by the paper's destination counts (§4.5).
+        let table = ss_types::market::SHIP_COUNTRIES;
+        let total: u32 = table.iter().map(|(_, w)| w).sum();
+        let mut x = self.rng.gen_range(0..total);
+        for (name, w) in table {
+            if x < *w {
+                return (*name).to_owned();
+            }
+            x -= w;
+        }
+        unreachable!("weights cover the range")
+    }
+
+    /// Portal bulk lookup: up to 20 order numbers per query (§4.5).
+    pub fn lookup(&self, orders: &[u64]) -> (Vec<ShipRecord>, Vec<u64>) {
+        let capped = &orders[..orders.len().min(20)];
+        let mut found = Vec::new();
+        let mut missing = Vec::new();
+        for &o in capped {
+            match self.records.binary_search_by_key(&o, |r| r.order_no) {
+                Ok(i) => found.push(self.records[i].clone()),
+                Err(_) => missing.push(o),
+            }
+        }
+        (found, missing)
+    }
+
+    /// The most recent `n` records (the portal's scrolling list).
+    pub fn recent(&self, n: usize) -> &[ShipRecord] {
+        let len = self.records.len();
+        &self.records[len.saturating_sub(n)..]
+    }
+
+    /// Lowest and highest order numbers on the ledger, if any.
+    pub fn order_range(&self) -> Option<(u64, u64)> {
+        Some((self.records.first()?.order_no, self.records.last()?.order_no))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fulfillment_allocates_sequential_orders() {
+        let mut s = SupplierState::new(1, 10_000);
+        s.fulfill(StoreId(0), SimDate::from_day_index(10), 5);
+        s.fulfill(StoreId(1), SimDate::from_day_index(11), 3);
+        let nos: Vec<u64> = s.records.iter().map(|r| r.order_no).collect();
+        assert_eq!(nos, (10_000..10_008).collect::<Vec<u64>>());
+        assert_eq!(s.order_range(), Some((10_000, 10_007)));
+    }
+
+    #[test]
+    fn lookup_finds_and_reports_missing_capped_at_20() {
+        let mut s = SupplierState::new(1, 100);
+        s.fulfill(StoreId(0), SimDate::from_day_index(10), 30);
+        let query: Vec<u64> = (95..130).collect(); // 35 asked, 20 honoured
+        let (found, missing) = s.lookup(&query);
+        assert_eq!(found.len() + missing.len(), 20);
+        assert!(missing.contains(&95));
+        assert!(found.iter().any(|r| r.order_no == 100));
+    }
+
+    #[test]
+    fn status_mix_approximates_the_paper() {
+        let mut s = SupplierState::new(7, 0);
+        s.fulfill(StoreId(0), SimDate::from_day_index(10), 20_000);
+        let delivered =
+            s.records.iter().filter(|r| r.status == ShipStatus::Delivered).count() as f64;
+        let frac = delivered / 20_000.0;
+        assert!((frac - 0.9266).abs() < 0.01, "delivered fraction {frac}");
+        let seized_dest = s
+            .records
+            .iter()
+            .filter(|r| r.status == ShipStatus::SeizedAtDestination)
+            .count() as f64
+            / 20_000.0;
+        assert!((seized_dest - 0.0543).abs() < 0.01, "seized-at-dest fraction {seized_dest}");
+    }
+
+    #[test]
+    fn destinations_lean_us_jp_au() {
+        let mut s = SupplierState::new(9, 0);
+        s.fulfill(StoreId(0), SimDate::from_day_index(5), 30_000);
+        let us = s.records.iter().filter(|r| r.country == "United States").count() as f64 / 30_000.0;
+        assert!((us - 0.322).abs() < 0.02, "US share {us}");
+    }
+
+    #[test]
+    fn recent_returns_tail() {
+        let mut s = SupplierState::new(2, 50);
+        s.fulfill(StoreId(0), SimDate::from_day_index(1), 10);
+        let r = s.recent(3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[2].order_no, 59);
+        assert_eq!(s.recent(100).len(), 10);
+    }
+}

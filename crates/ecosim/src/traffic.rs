@@ -1,0 +1,120 @@
+//! The user-traffic model: impressions, rank-biased clicks, conversions.
+//!
+//! §4.4/§5.2.3 give the calibration anchors: visits convert to orders at
+//! ~0.7%, a visit generates ~5.6 HTML page fetches, ~60% of visits carry a
+//! referrer, and order volume correlates with SERP presence — top-10
+//! presence mattering most, but a fat top-100 tail still sustaining volume
+//! (the MOONKIS observation). Traffic is aggregated statistically per
+//! (term, day); only the measurement pipeline fetches real pages.
+
+use rand::Rng;
+use ss_types::rng::SimRng;
+
+/// Click-through rate by 1-based SERP rank.
+///
+/// A standard heavy-headed curve: rank 1 ≈ 28%, steep power-law decay
+/// through the top 10, then a thin but non-zero tail across ranks 11–100.
+/// The tail is what makes aggressive demotion (out of the top 100, not just
+/// the top 10) necessary — §5.2.1's conclusion.
+pub fn ctr(rank: u32) -> f64 {
+    match rank {
+        0 => 0.0,
+        1..=10 => 0.28 * f64::from(rank).powf(-1.35),
+        11..=100 => 0.003 * (1.0 - (f64::from(rank) - 11.0) / 120.0),
+        _ => 0.0,
+    }
+}
+
+/// Samples a Poisson variate (Knuth for small λ, normal approximation for
+/// large λ — adequate for traffic volumes).
+pub fn poisson(rng: &mut SimRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation with continuity correction.
+        let u: f64 = rng.gen();
+        let v: f64 = rng.gen();
+        let z = (-2.0 * u.max(1e-12).ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        (lambda + z * lambda.sqrt()).round().max(0.0) as u64
+    }
+}
+
+/// Samples a binomial count via Poisson approximation when appropriate or
+/// direct Bernoulli summation for small n.
+pub fn binomial(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    if p <= 0.0 || n == 0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if n <= 64 {
+        (0..n).filter(|_| rng.gen::<f64>() < p).count() as u64
+    } else {
+        poisson(rng, n as f64 * p).min(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::rng::sub_rng;
+
+    #[test]
+    fn ctr_decays_and_has_top100_tail() {
+        assert!(ctr(1) > ctr(2));
+        assert!(ctr(2) > ctr(10));
+        assert!(ctr(10) > ctr(11));
+        assert!(ctr(50) > 0.0);
+        assert!(ctr(100) > 0.0);
+        assert_eq!(ctr(101), 0.0);
+        assert_eq!(ctr(0), 0.0);
+    }
+
+    #[test]
+    fn top10_dominates_but_tail_matters_in_aggregate() {
+        let top10: f64 = (1..=10).map(ctr).sum();
+        let tail: f64 = (11..=100).map(ctr).sum();
+        assert!(top10 > tail, "top10 {top10} vs tail {tail}");
+        // …but 90 tail slots together still carry meaningful traffic —
+        // MOONKIS kept selling from the tail alone (§5.2.1).
+        assert!(tail > 0.25 * top10, "tail {tail} too thin vs {top10}");
+    }
+
+    #[test]
+    fn poisson_matches_mean() {
+        let mut rng = sub_rng(1, "p");
+        for lambda in [0.5, 4.0, 80.0] {
+            let n = 20_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.05, "λ={lambda} mean={mean}");
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn binomial_respects_bounds_and_mean() {
+        let mut rng = sub_rng(2, "b");
+        assert_eq!(binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 10, 1.0), 10);
+        let total: u64 = (0..5_000).map(|_| binomial(&mut rng, 40, 0.25)).sum();
+        let mean = total as f64 / 5_000.0;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean}");
+        for _ in 0..200 {
+            assert!(binomial(&mut rng, 1000, 0.001) <= 1000);
+        }
+    }
+}

@@ -1,0 +1,1040 @@
+//! The world: composed state, the day-tick loop, and the `Web` façade.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use ss_types::market::VerticalSpec;
+use ss_types::rng::{sub_rng, SimRng};
+use ss_types::{
+    BrandId, CampaignId, CaseId, DomainId, FirmId, SimDate, StoreId, TermId, Url, VerticalId,
+};
+
+use ss_search::{SearchEngine, Serp};
+use ss_web::cloak::{self, CloakMode, ServeDecision};
+use ss_web::http::{Request, Response, Web};
+use ss_web::pagegen::storefront::StoreTemplate;
+use ss_web::pagegen::{awstats, doorway, legit, notice, storefront, supplier as supplier_pages};
+
+use crate::campaign::CampaignState;
+use crate::domains::{DomainRegistry, Seizure, SiteKind};
+use crate::events::{Event, EventLog};
+use crate::legal::{CourtCase, FirmState};
+use crate::scenario::ScenarioConfig;
+use crate::store::StoreState;
+use crate::supplier::SupplierState;
+use crate::traffic;
+
+/// Per-vertical runtime state.
+#[derive(Debug)]
+pub struct VerticalState {
+    /// Id.
+    pub id: VerticalId,
+    /// The static spec (Table 1 row etc.).
+    pub spec: &'static VerticalSpec,
+    /// Term ids, in registration order.
+    pub terms: Vec<TermId>,
+    /// Relative query popularity (scales impressions).
+    pub popularity: f64,
+    /// Probability that a doorway in this vertical is "elite" (top-10
+    /// capable), derived from the Figure 3 top-10 envelope.
+    pub elite_prob: f64,
+}
+
+/// A pre-drawn penalization verdict for one doorway.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PenaltyPlan {
+    pub(crate) domain: DomainId,
+    pub(crate) due: SimDate,
+}
+
+/// The assembled world. Construct via [`World::build`], drive with
+/// [`World::tick`] / [`World::run_until`], observe through `Web::fetch`
+/// and the public state.
+pub struct World {
+    /// Scenario this world was built from.
+    pub cfg: ScenarioConfig,
+    /// Current day (the day `tick` will simulate next).
+    pub day: SimDate,
+    /// The search engine.
+    pub engine: SearchEngine,
+    /// The suggest service.
+    pub suggest: ss_search::suggest::SuggestService,
+    /// Domain registry.
+    pub domains: DomainRegistry,
+    /// Monitored verticals.
+    pub verticals: Vec<VerticalState>,
+    /// Brand names by `BrandId` index.
+    pub brand_names: Vec<&'static str>,
+    /// Campaign agents (classified first, then the shadow tail).
+    pub campaigns: Vec<CampaignState>,
+    /// Store agents.
+    pub stores: Vec<StoreState>,
+    /// Brand-protection firms.
+    pub firms: Vec<FirmState>,
+    /// The supplier.
+    pub supplier: SupplierState,
+    /// The supplier portal's domain.
+    pub supplier_domain: DomainId,
+    /// Ground-truth event log.
+    pub events: EventLog,
+    /// domain → (campaign index, doorway index) for fetch routing.
+    pub(crate) doorway_of: HashMap<DomainId, (usize, usize)>,
+    /// Penalization schedule (sorted by due day at build time).
+    pub(crate) penalty_plans: Vec<PenaltyPlan>,
+    /// Store rotations queued by seizure reactions: `(due, store)`.
+    pub(crate) pending_rotations: Vec<(SimDate, StoreId)>,
+    /// Scripted proactive rotations: `(day, store)`.
+    pub(crate) proactive_rotations: Vec<(SimDate, StoreId)>,
+    /// Scripted seizures: `(day, domain, firm)`.
+    pub(crate) scripted_seizures: Vec<(SimDate, DomainId, FirmId)>,
+    /// Per-campaign storefront templates (same index as `campaigns`).
+    pub(crate) templates: Vec<StoreTemplate>,
+    /// World-tick RNG.
+    pub(crate) rng: SimRng,
+    next_case: u32,
+}
+
+impl World {
+    /// Builds a world from a scenario (see the [`crate::scenario`] knobs).
+    pub fn build(cfg: ScenarioConfig) -> ss_types::Result<Self> {
+        crate::build::build_world(cfg)
+    }
+
+    pub(crate) fn new_shell(cfg: ScenarioConfig, engine: SearchEngine) -> Self {
+        let seed = cfg.seed;
+        World {
+            suggest: ss_search::suggest::SuggestService::new(ss_types::rng::derive_seed(
+                seed, "suggest",
+            )),
+            cfg,
+            day: SimDate::EPOCH,
+            engine,
+            domains: DomainRegistry::new(),
+            verticals: Vec::new(),
+            brand_names: Vec::new(),
+            campaigns: Vec::new(),
+            stores: Vec::new(),
+            firms: Vec::new(),
+            supplier: SupplierState::new(seed, 100_000),
+            supplier_domain: DomainId(u32::MAX),
+            events: EventLog::new(),
+            doorway_of: HashMap::new(),
+            penalty_plans: Vec::new(),
+            pending_rotations: Vec::new(),
+            proactive_rotations: Vec::new(),
+            scripted_seizures: Vec::new(),
+            templates: Vec::new(),
+            rng: sub_rng(seed, "world-tick"),
+            next_case: 0,
+        }
+    }
+
+    /// Campaign template accessor.
+    pub fn template_of(&self, campaign: CampaignId) -> &StoreTemplate {
+        &self.templates[campaign.index()]
+    }
+
+    /// Store accessor.
+    pub fn store(&self, id: StoreId) -> &StoreState {
+        &self.stores[id.index()]
+    }
+
+    /// Brand name accessor.
+    pub fn brand_name(&self, id: BrandId) -> &'static str {
+        self.brand_names[id.index()]
+    }
+
+    /// Ground-truth lookup: is this domain a doorway, and for whom?
+    pub fn doorway_truth(&self, domain: DomainId) -> Option<(CampaignId, &crate::campaign::DoorwayState)> {
+        self.doorway_of
+            .get(&domain)
+            .map(|(c, d)| (CampaignId::from_index(*c), &self.campaigns[*c].doorways[*d]))
+    }
+
+    /// Convenience: the term text for a term id.
+    pub fn term_text(&self, term: TermId) -> &str {
+        &self.engine.terms()[term.index()].text
+    }
+
+    /// Whether `campaign` can settle payments on `day` under the payment
+    /// intervention (§4.3.2 extension). Campaigns migrate to a surviving
+    /// processor after the policy's migration window when one exists.
+    pub fn payment_available(&self, campaign: CampaignId, day: SimDate) -> bool {
+        let policy = &self.cfg.payment_policy;
+        if !policy.enabled || day.day_index() < policy.start_day {
+            return true;
+        }
+        let current = self.templates[campaign.index()].payment.name();
+        if !policy.blocked.iter().any(|b| b == current) {
+            return true;
+        }
+        // Blocked: has the campaign migrated yet?
+        match policy.migration_days {
+            Some(migration) if day.day_index() >= policy.start_day + migration => {
+                // A surviving processor exists iff not all three are blocked.
+                policy.blocked.len() < 3
+            }
+            _ => false,
+        }
+    }
+
+    /// The packing slip of a physical delivery from `store_domain` (§4.5:
+    /// the study "discovered the supplier site from the packing slip of two
+    /// of our purchases"). This models a physical-world channel, not a web
+    /// observation: it returns the supplier portal's domain when the
+    /// store's campaign fulfills through the tracked supplier.
+    pub fn packing_slip(&self, store_domain: &ss_types::DomainName) -> Option<String> {
+        let id = self.domains.lookup(store_domain)?;
+        let SiteKind::Storefront { store } = self.domains.get(id).kind else { return None };
+        let campaign = self.stores[store.index()].campaign;
+        self.campaigns[campaign.index()]
+            .supplier_partner
+            .then(|| self.domains.get(self.supplier_domain).name.as_str().to_owned())
+    }
+
+    /// Runs `tick` until (and including) `last`.
+    pub fn run_until(&mut self, last: SimDate) {
+        while self.day <= last {
+            self.tick();
+        }
+    }
+
+    /// Simulates the current day, then advances `self.day`.
+    pub fn tick(&mut self) {
+        let today = self.day;
+        self.tick_campaign_juice(today);
+        self.tick_search_policy(today);
+        self.tick_seizures(today);
+        self.tick_rotations(today);
+        self.tick_traffic(today);
+        self.day = today + 1;
+    }
+
+    // ---- tick stages ----
+
+    /// Stage 1: campaigns push juice onto live doorway domains.
+    fn tick_campaign_juice(&mut self, today: SimDate) {
+        for c in &self.campaigns {
+            let base = c.juice_on(today);
+            for d in &c.doorways {
+                let juice = if base > 0.0 && d.is_live(today) {
+                    // Per-doorway multiplier: elites carry full juice (they
+                    // crack the top 10), the rest ride the top-100 tail.
+                    let p_elite = self.verticals[d.vertical.index()].elite_prob;
+                    let elite = elite_draw(self.cfg.seed, d.domain) < p_elite;
+                    let m = if elite { 1.0 } else { 0.42 };
+                    base * m
+                } else {
+                    0.0
+                };
+                self.engine.set_juice(d.domain, juice);
+            }
+        }
+    }
+
+    /// Stage 2: the search engine's anti-abuse team lands pre-scheduled
+    /// penalties (demotion + hacked label) on detected doorways.
+    fn tick_search_policy(&mut self, today: SimDate) {
+        let policy = self.cfg.search_policy.clone();
+        let due: Vec<DomainId> = self
+            .penalty_plans
+            .iter()
+            .filter(|p| p.due == today)
+            .map(|p| p.domain)
+            .collect();
+        for domain in due {
+            let Some(&(ci, di)) = self.doorway_of.get(&domain) else { continue };
+            if !self.campaigns[ci].doorways[di].is_live(today) {
+                continue; // doorway died before detection caught up
+            }
+            if policy.demote_penalty > 0.0 {
+                self.engine.demote(domain, policy.demote_penalty);
+            }
+            if policy.apply_label {
+                self.engine.label_hacked(domain, today);
+            }
+            self.campaigns[ci].doorways[di].penalized = Some(today);
+            self.events.push(Event::DoorwayPenalized {
+                domain,
+                day: today,
+                labeled: policy.apply_label,
+            });
+        }
+    }
+
+    /// Stage 3: brand-protection firms file bulk seizure cases; scripted
+    /// seizures land on their exact days.
+    fn tick_seizures(&mut self, today: SimDate) {
+        // Scripted first (case studies).
+        let scripted: Vec<(DomainId, FirmId)> = self
+            .scripted_seizures
+            .iter()
+            .filter(|(d, _, _)| *d == today)
+            .map(|(_, dom, firm)| (*dom, *firm))
+            .collect();
+        for (dom, firm) in scripted {
+            let brand = self.firms[firm.index()].brands.first().copied().unwrap_or(BrandId(0));
+            self.execute_case(firm, brand, today, vec![dom]);
+        }
+
+        for fi in 0..self.firms.len() {
+            if !self.firms[fi].files_on(today) {
+                continue;
+            }
+            let firm = FirmId::from_index(fi);
+            let policy = self.firms[fi].policy.clone();
+            // Rotate through the firm's brand portfolio case by case.
+            let brands = self.firms[fi].brands.clone();
+            if brands.is_empty() {
+                continue;
+            }
+            let brand = brands[self.firms[fi].cases.len() % brands.len()];
+
+            // Targets: current domains of live stores selling the brand
+            // whose current domain has been serving long enough.
+            let mut targets: Vec<DomainId> = Vec::new();
+            for s in &self.stores {
+                if s.retired || s.created > today || !s.brands.contains(&brand) {
+                    continue;
+                }
+                if self.domains.get(s.current_domain).seized.is_some() {
+                    continue;
+                }
+                let since = s.domain_history.last().map(|(d, _)| *d).unwrap_or(s.created);
+                let age = today.days_since(since);
+                if age < i64::from(policy.target_lifetime) / 2 {
+                    continue;
+                }
+                // Firms find a store with probability rising in its age.
+                let p = (age as f64 / f64::from(policy.target_lifetime.max(1))).min(1.0) * 0.35;
+                if self.rng.gen::<f64>() < p {
+                    targets.push(s.current_domain);
+                }
+            }
+            // Bulk offstage filler: the court schedules' long tail.
+            let bulk = ((targets.len().max(1)) as f64 / policy.observed_fraction
+                * self.cfg.scale.entity_scale)
+                .min(800.0) as usize;
+            for b in 0..bulk {
+                let name = format!(
+                    "bulk-{}-{}-{}.com",
+                    fi,
+                    today.day_index(),
+                    b
+                );
+                let id = self.domains.register_unique(&name, SiteKind::OffstageStore, today);
+                targets.push(id);
+            }
+            if !targets.is_empty() {
+                self.execute_case(firm, brand, today, targets);
+            }
+        }
+    }
+
+    fn execute_case(&mut self, firm: FirmId, brand: BrandId, today: SimDate, domains: Vec<DomainId>) {
+        let case = CaseId(self.next_case);
+        self.next_case += 1;
+        for &d in &domains {
+            self.domains.seize(d, Seizure { day: today, case, firm });
+            // Stores whose current domain was seized schedule a reactive
+            // rotation after the campaign's reaction delay.
+            if let SiteKind::Storefront { store } = self.domains.get(d).kind {
+                let st = &self.stores[store.index()];
+                if st.current_domain == d && !st.retired {
+                    let delay = self.campaigns[st.campaign.index()].reaction_days;
+                    self.pending_rotations.push((today + delay, store));
+                }
+            }
+        }
+        let docket = self.firms[firm.index()].next_docket(today);
+        self.firms[firm.index()].cases.push(CourtCase {
+            id: case,
+            firm,
+            brand,
+            docket,
+            day: today,
+            domains: domains.clone(),
+        });
+        self.events.push(Event::CaseFiled { firm, case, day: today, domains });
+    }
+
+    /// Stage 4: due rotations (reactive and scripted-proactive) execute.
+    fn tick_rotations(&mut self, today: SimDate) {
+        let mut due: Vec<(StoreId, bool)> = Vec::new();
+        self.pending_rotations.retain(|(d, s)| {
+            if *d <= today {
+                due.push((*s, true));
+                false
+            } else {
+                true
+            }
+        });
+        self.proactive_rotations.retain(|(d, s)| {
+            if *d == today {
+                due.push((*s, false));
+                false
+            } else {
+                true
+            }
+        });
+        for (store, reactive) in due {
+            let st = &mut self.stores[store.index()];
+            if st.retired {
+                continue;
+            }
+            match st.rotate_domain(today) {
+                Some((from, to)) => {
+                    self.events.push(Event::StoreRotated { store, day: today, from, to, reactive });
+                }
+                None => {
+                    // Pool exhausted: the store folds; its doorways re-point
+                    // to a sibling store in the same campaign if one lives.
+                    st.retired = true;
+                    let campaign = st.campaign;
+                    let sibling = self.campaigns[campaign.index()]
+                        .stores
+                        .iter()
+                        .copied()
+                        .find(|s| *s != store && !self.stores[s.index()].retired);
+                    if let Some(sib) = sibling {
+                        self.campaigns[campaign.index()].repoint_doorways(store, sib);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stage 5: users search, click, browse, buy.
+    fn tick_traffic(&mut self, today: SimDate) {
+        let depth = self.cfg.scale.serp_depth;
+        let deterrence = self.cfg.search_policy.label_deterrence;
+        // store → (visits, referred[(host, n)])
+        let mut store_visits: HashMap<StoreId, (u64, Vec<(String, u64)>)> = HashMap::new();
+
+        for v in &self.verticals {
+            let lambda = self.cfg.impressions_per_term * v.popularity;
+            for &term in &v.terms {
+                let impressions = traffic::poisson(&mut self.rng, lambda);
+                if impressions == 0 {
+                    continue;
+                }
+                let serp: Serp = self.engine.serp(term, today, depth);
+                for r in &serp.results {
+                    let Some(&(ci, di)) = self.doorway_of.get(&r.domain) else { continue };
+                    let d = &self.campaigns[ci].doorways[di];
+                    if !d.is_live(today) {
+                        continue;
+                    }
+                    let mut rate = traffic::ctr(r.rank);
+                    if r.hacked_label {
+                        rate *= 1.0 - deterrence;
+                    }
+                    let clicks = traffic::binomial(&mut self.rng, impressions, rate);
+                    if clicks == 0 {
+                        continue;
+                    }
+                    // Click lands on the doorway; the cloak forwards it to
+                    // the store unless the store's domain is seized.
+                    let store = d.target_store;
+                    let st = &self.stores[store.index()];
+                    if st.retired
+                        || st.created > today
+                        || self.domains.get(st.current_domain).seized.is_some()
+                    {
+                        continue; // notice page or dead store: traffic lost
+                    }
+                    let entry = store_visits.entry(store).or_default();
+                    entry.0 += clicks;
+                    let referred =
+                        traffic::binomial(&mut self.rng, clicks, self.cfg.referrer_rate);
+                    if referred > 0 {
+                        let host = self.domains.get(r.domain).name.as_str().to_owned();
+                        entry.1.push((host, referred));
+                    }
+                }
+            }
+        }
+
+        // Fold visits into stores: orders, AWStats, supplier fulfillment.
+        for si in 0..self.stores.len() {
+            let store_id = StoreId::from_index(si);
+            let (search_visits, referred) =
+                store_visits.remove(&store_id).unwrap_or((0, Vec::new()));
+            let st = &mut self.stores[si];
+            if st.retired || st.created > today {
+                continue;
+            }
+            let seized = self.domains.get(st.current_domain).seized.is_some();
+            let direct_visits = if seized {
+                0
+            } else {
+                traffic::poisson(&mut self.rng, self.cfg.organic_orders_per_day * 12.0)
+            };
+            let visits = search_visits + direct_visits;
+            let referred_total: u64 = referred.iter().map(|(_, n)| n).sum();
+            let direct = visits - referred_total.min(visits);
+            let pages = traffic::poisson(&mut self.rng, visits as f64 * self.cfg.pages_per_visit);
+            let mut orders = traffic::binomial(&mut self.rng, visits, self.cfg.conversion_rate)
+                + if seized { 0 } else { traffic::poisson(&mut self.rng, self.cfg.organic_orders_per_day * 0.12) };
+            // Payment intervention: customers cannot complete checkout, so
+            // no order numbers are consumed by sales (§4.3.2 extension).
+            if !self.payment_available(self.stores[si].campaign, today) {
+                orders = 0;
+            }
+            let st = &mut self.stores[si];
+            st.add_orders(orders);
+            st.record_traffic(today, visits, pages, &referred, direct);
+            let campaign = st.campaign;
+            if orders > 0 && self.campaigns[campaign.index()].supplier_partner {
+                self.supplier.fulfill(store_id, today, orders);
+            }
+        }
+
+        // The supplier also serves outside wholesale members the study
+        // never saw (§3.1.2: the portal "support[s] outside sales on an
+        // á la carte basis"). Stops with the record window.
+        if today.day_index() <= ss_types::SUPPLIER_END_DAY {
+            let external = traffic::poisson(
+                &mut self.rng,
+                900.0 * self.cfg.scale.entity_scale.max(0.02),
+            );
+            self.supplier.fulfill(StoreId(u32::MAX), today, external);
+        }
+    }
+}
+
+/// Deterministic uniform draw deciding whether a doorway is "elite"
+/// (top-10 capable); compared against the vertical's elite probability.
+pub(crate) fn elite_draw(seed: u64, domain: DomainId) -> f64 {
+    ss_types::rng::unit_f64(ss_types::rng::mix(seed, 0xe117e, u64::from(domain.0)))
+}
+
+// ---- the Web façade ----
+
+impl Web for World {
+    fn fetch(&mut self, req: &Request) -> Response {
+        let Some(domain) = self.domains.lookup(&req.url.host) else {
+            return Response::not_found();
+        };
+        let record = self.domains.get(domain);
+
+        // Seized domains serve the notice page regardless of prior kind.
+        if let Some(seizure) = record.seized {
+            if seizure.day <= self.day {
+                return self.serve_notice(domain, seizure);
+            }
+        }
+
+        match record.kind.clone() {
+            SiteKind::Legit { theme, brand } => {
+                let ctx = legit::LegitCtx {
+                    domain: record.name.as_str(),
+                    theme,
+                    brand,
+                    seed: ss_types::rng::derive_seed(self.cfg.seed, record.name.as_str()),
+                };
+                Response::ok(legit::page(&ctx))
+            }
+            SiteKind::Doorway { campaign, compromised, cloak: mode, target_store } => {
+                self.serve_doorway(domain, campaign, compromised, mode, target_store, req)
+            }
+            SiteKind::Storefront { store } => self.serve_store(domain, store, req),
+            SiteKind::Supplier => self.serve_supplier(req),
+            SiteKind::OffstageStore => Response::ok(ss_web::pagegen::legit::page(
+                &legit::LegitCtx {
+                    domain: record.name.as_str(),
+                    theme: legit::LegitTheme::Retailer,
+                    brand: "Louis Vuitton",
+                    seed: ss_types::rng::derive_seed(self.cfg.seed, record.name.as_str()),
+                },
+            )),
+        }
+    }
+}
+
+impl World {
+    fn serve_notice(&self, domain: DomainId, seizure: Seizure) -> Response {
+        let firm = &self.firms[seizure.firm.index()];
+        let case = firm.cases.iter().find(|c| c.id == seizure.case);
+        let (docket, brand, schedule) = match case {
+            Some(c) => (
+                c.docket.clone(),
+                self.brand_name(c.brand).to_owned(),
+                c.domains
+                    .iter()
+                    .map(|d| self.domains.get(*d).name.as_str().to_owned())
+                    .collect::<Vec<_>>(),
+            ),
+            None => (format!("{}-cv-00000", 14), "Unknown".to_owned(), Vec::new()),
+        };
+        Response::ok(notice::page(&notice::NoticeCtx {
+            domain: self.domains.get(domain).name.as_str(),
+            firm: &firm.name,
+            case_id: &docket,
+            brand: &brand,
+            seized_domains: &schedule,
+        }))
+    }
+
+    fn serve_doorway(
+        &mut self,
+        domain: DomainId,
+        _campaign: CampaignId,
+        compromised: bool,
+        mode: CloakMode,
+        target_store: StoreId,
+        req: &Request,
+    ) -> Response {
+        let record = self.domains.get(domain);
+        let name = record.name.as_str().to_owned();
+        let (ci, di) = self.doorway_of[&domain];
+        let d = &self.campaigns[ci].doorways[di];
+        let live = d.is_live(self.day);
+        let seed = ss_types::rng::derive_seed(self.cfg.seed, &name);
+
+        // Which term does this URL carry?
+        let term = req
+            .url
+            .query_param("key")
+            .and_then(|key| {
+                d.terms
+                    .iter()
+                    .copied()
+                    .find(|t| self.engine.terms()[t.index()].text == key)
+            })
+            .or_else(|| d.terms.first().copied());
+        let term_text = term.map(|t| self.term_text(t).to_owned()).unwrap_or_default();
+        let vertical = &self.verticals[d.vertical.index()];
+        let brand = vertical.spec.brands.first().copied().unwrap_or("luxury");
+
+        // Backlinks: a few sibling doorways of the same campaign.
+        let backlinks: Vec<String> = self.campaigns[ci]
+            .doorways
+            .iter()
+            .filter(|o| o.domain != domain)
+            .take(4)
+            .map(|o| self.domains.get(o.domain).name.as_str().to_owned())
+            .collect();
+        let ctx = doorway::DoorwayCtx {
+            domain: &name,
+            term: &term_text,
+            brand,
+            backlinks: &backlinks,
+            seed,
+        };
+
+        // A dead doorway (cleaned or cohort-retired) shows its original
+        // face again — or nothing, for attacker-registered names.
+        if !live {
+            return if compromised {
+                Response::ok(doorway::original_content(&ctx))
+            } else {
+                Response::not_found()
+            };
+        }
+
+        let st = &self.stores[target_store.index()];
+        let target =
+            Url::root(self.domains.get(st.current_domain).name.clone());
+        match cloak::decide(mode, compromised, &target, req, cloak::SEARCH_HOSTS) {
+            ServeDecision::SeoPage => Response::ok(doorway::seo_page(&ctx)),
+            ServeDecision::HttpRedirect(to) => Response::redirect(to),
+            ServeDecision::SeoPageWithJsRedirect(to) => {
+                Response::ok(doorway::seo_page_with_js_redirect(&ctx, &to.to_string()))
+            }
+            ServeDecision::IframePage { target, obfuscation } => {
+                Response::ok(doorway::iframe_page(&ctx, &target.to_string(), obfuscation))
+            }
+            ServeDecision::OriginalContent => Response::ok(doorway::original_content(&ctx)),
+        }
+    }
+
+    fn serve_store(&mut self, domain: DomainId, store: StoreId, req: &Request) -> Response {
+        let st = &self.stores[store.index()];
+        // Former (rotated-away, unseized) domains bounce to the current one.
+        if st.current_domain != domain {
+            return Response::redirect(Url::root(
+                self.domains.get(st.current_domain).name.clone(),
+            ));
+        }
+        if st.retired || st.created > self.day {
+            return Response::not_found();
+        }
+        let campaign_name = self.campaigns[st.campaign.index()].name.clone();
+        let template = self.templates[st.campaign.index()].clone();
+        let brands: Vec<&str> =
+            st.brands.iter().map(|b| self.brand_names[b.index()]).collect();
+        let domain_name = self.domains.get(domain).name.as_str().to_owned();
+        let merchant_id = st.name.clone();
+        let ctx = storefront::StoreCtx {
+            domain: &domain_name,
+            store_name: &merchant_id,
+            template: &template,
+            brands: &brands,
+            locale: &st.locale,
+            merchant_id: &st.merchant_id,
+            seed: st.seed,
+        };
+        let cookies = storefront::cookies(&template);
+        let path = req.url.path.as_str();
+        let _ = campaign_name;
+
+        if path == "/" {
+            Response::ok(storefront::home_page(&ctx)).with_cookies(cookies)
+        } else if let Some(idx) = path.strip_prefix("/product/") {
+            let idx: u32 = idx.parse().unwrap_or(0);
+            Response::ok(storefront::product_page(&ctx, idx)).with_cookies(cookies)
+        } else if path == "/cart" {
+            Response::ok(storefront::product_page(&ctx, 0)).with_cookies(cookies)
+        } else if path == "/checkout" {
+            let order = self.stores[store.index()].allocate_order();
+            let st = &self.stores[store.index()];
+            let payment_ok = self.payment_available(st.campaign, self.day);
+            let ctx = storefront::StoreCtx {
+                domain: &domain_name,
+                store_name: &st.name,
+                template: &template,
+                brands: &brands,
+                locale: &st.locale,
+                merchant_id: &st.merchant_id,
+                seed: st.seed,
+            };
+            let body = if payment_ok {
+                storefront::checkout_page(&ctx, order)
+            } else {
+                // Order numbers are still handed out before payment, so
+                // purchase-pair sampling keeps working; only real payment
+                // fails (§4.3.2 extension).
+                storefront::checkout_unavailable_page(&ctx, order)
+            };
+            Response::ok(body).with_cookies(cookies)
+        } else if path == "/awstats/awstats.pl" {
+            if !st.awstats_public {
+                return Response::not_found();
+            }
+            let report_month = req.url.query_param("month");
+            self.serve_awstats(store, report_month.as_deref())
+        } else {
+            Response::not_found()
+        }
+    }
+
+    fn serve_awstats(&self, store: StoreId, month: Option<&str>) -> Response {
+        let st = &self.stores[store.index()];
+        let bucket = match month {
+            Some(m) => {
+                let mut it = m.split('-');
+                let (Some(y), Some(mm)) = (it.next(), it.next()) else {
+                    return Response::not_found();
+                };
+                let (Ok(y), Ok(mm)) = (y.parse::<i32>(), mm.parse::<u32>()) else {
+                    return Response::not_found();
+                };
+                st.months.iter().find(|b| b.year_month == (y, mm))
+            }
+            None => st.months.last(),
+        };
+        let Some(bucket) = bucket else { return Response::not_found() };
+        let report = awstats::TrafficReport {
+            period: format!("{:04}-{:02}", bucket.year_month.0, bucket.year_month.1),
+            unique_visitors: bucket.visits * 7 / 10,
+            visits: bucket.visits,
+            pages: bucket.pages,
+            hits: bucket.pages * 4,
+            referrers: bucket.referrers.clone(),
+            direct_visits: bucket.direct_visits,
+            daily: bucket
+                .daily
+                .iter()
+                .map(|(d, v, p)| (d.to_string(), *v, *p))
+                .collect(),
+        };
+        let site = self.domains.get(st.current_domain).name.as_str();
+        Response::ok(awstats::page(site, &report))
+    }
+
+    fn serve_supplier(&mut self, req: &Request) -> Response {
+        match req.url.path.as_str() {
+            "/" => Response::ok(supplier_pages::home_page(self.supplier.recent(50))),
+            "/track" => {
+                let orders: Vec<u64> = req
+                    .url
+                    .query_param("orders")
+                    .map(|s| s.split(',').filter_map(|o| o.trim().parse().ok()).collect())
+                    .unwrap_or_default();
+                let (found, missing) = self.supplier.lookup(&orders);
+                Response::ok(supplier_pages::lookup_page(&found, &missing))
+            }
+            _ => Response::not_found(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    fn run_world(seed: u64, until: u32) -> World {
+        let mut w = World::build(ScenarioConfig::tiny(seed)).unwrap();
+        w.run_until(SimDate::from_day_index(until));
+        w
+    }
+
+    #[test]
+    fn ticks_advance_and_orders_accumulate() {
+        let w = run_world(11, ss_types::CRAWL_START_DAY + 30);
+        assert_eq!(w.day.day_index(), ss_types::CRAWL_START_DAY + 31);
+        // During the crawl window campaigns are active; someone sold something.
+        let base_total: u64 = 0;
+        let total: u64 = w.stores.iter().map(|s| s.order_counter).sum();
+        assert!(total > base_total);
+        // AWStats buckets exist and carry daily rows.
+        let busy = w.stores.iter().find(|s| !s.months.is_empty()).expect("some traffic");
+        assert!(!busy.months.last().unwrap().daily.is_empty());
+    }
+
+    #[test]
+    fn doorways_reach_serps_during_active_windows() {
+        let mut w = World::build(ScenarioConfig::tiny(5)).unwrap();
+        w.run_until(SimDate::from_day_index(ss_types::CRAWL_START_DAY + 10));
+        let day = SimDate::from_day_index(ss_types::CRAWL_START_DAY + 10);
+        let mut poisoned = 0usize;
+        let mut total = 0usize;
+        for v in &w.verticals {
+            for &t in &v.terms {
+                let serp = w.engine.serp(t, day, w.cfg.scale.serp_depth);
+                total += serp.results.len();
+                poisoned +=
+                    serp.results.iter().filter(|r| w.doorway_of.contains_key(&r.domain)).count();
+            }
+        }
+        assert!(total > 0);
+        assert!(poisoned > 0, "no poisoned results at all");
+        let frac = poisoned as f64 / total as f64;
+        assert!(frac < 0.6, "poisoning implausibly total: {frac}");
+    }
+
+    #[test]
+    fn fetch_serves_every_site_kind() {
+        let mut w = run_world(7, ss_types::CRAWL_START_DAY + 5);
+        // Legit.
+        let legit = w
+            .domains
+            .iter()
+            .find(|(_, r)| matches!(r.kind, SiteKind::Legit { .. }))
+            .map(|(_, r)| r.name.clone())
+            .unwrap();
+        let resp = w.fetch(&Request::browser(Url::root(legit)));
+        assert_eq!(resp.status, 200);
+
+        // Storefront home sets cookies and has cart/checkout.
+        let today = w.day;
+        let store = w.stores.iter().find(|s| !s.retired && s.created < today).unwrap();
+        let host = w.domains.get(store.current_domain).name.clone();
+        let resp = w.fetch(&Request::browser(Url::root(host.clone())));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.cookies.len(), 3);
+        assert!(resp.body.to_ascii_lowercase().contains("checkout"));
+
+        // Checkout allocates monotone order numbers.
+        let co = Url::new(host.clone(), "/checkout", "");
+        let r1 = w.fetch(&Request::browser(co.clone()));
+        let r2 = w.fetch(&Request::browser(co));
+        let n1 = extract_order(&r1.body);
+        let n2 = extract_order(&r2.body);
+        assert_eq!(n2, n1 + 1);
+
+        // Supplier portal.
+        let sup = w.domains.get(w.supplier_domain).name.clone();
+        let resp = w.fetch(&Request::browser(Url::root(sup)));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("Order Tracking"));
+
+        // Unknown domain.
+        let resp = w.fetch(&Request::browser(Url::parse("http://no-such-host.com/").unwrap()));
+        assert_eq!(resp.status, 404);
+    }
+
+    fn extract_order(body: &str) -> u64 {
+        let doc = ss_web::Document::parse(body);
+        doc.by_id("order-no").unwrap().text_content().parse().unwrap()
+    }
+
+    #[test]
+    fn doorway_cloaks_by_visitor_class() {
+        let mut w = run_world(13, ss_types::CRAWL_START_DAY + 20);
+        let day = w.day;
+        // A live doorway.
+        let (domain, _) = w
+            .campaigns
+            .iter()
+            .flat_map(|c| c.doorways.iter())
+            .find(|d| d.is_live(day))
+            .map(|d| (d.domain, d.vertical))
+            .expect("some live doorway");
+        let host = w.domains.get(domain).name.clone();
+        let url = Url::root(host);
+        let as_bot = w.fetch(&Request::crawler(url.clone()));
+        let as_search_user = w.fetch(&Request::browser_from(
+            url.clone(),
+            Url::parse("http://google.com/search?q=x").unwrap(),
+        ));
+        assert_eq!(as_bot.status, 200);
+        // One of the cloaking signatures must show: different bytes, an HTTP
+        // redirect, or an embedded payload script.
+        let cloaked = as_search_user.is_redirect()
+            || as_search_user.body != as_bot.body
+            || as_search_user.body.contains("<script>");
+        assert!(cloaked);
+    }
+
+    #[test]
+    fn seizures_fire_and_stores_rotate() {
+        let w = run_world(3, 240);
+        let cases = w.events.cases().count();
+        assert!(cases > 0, "no court cases by day 240");
+        let seized = w.domains.iter().filter(|(_, r)| r.seized.is_some()).count();
+        assert!(seized > 0);
+        // The PHP?P= scripted seizure on day 219 triggers a reactive
+        // rotation within its 1-day reaction window.
+        let phpp = w.campaigns.iter().find(|c| c.name == "PHP?P=").unwrap();
+        let uk_store = phpp
+            .stores
+            .iter()
+            .copied()
+            .find(|s| w.stores[s.index()].name.contains("abercrombie uk"))
+            .expect("scripted abercrombie-uk store");
+        let rotations = w.events.rotations_of(uk_store);
+        assert!(!rotations.is_empty(), "abercrombie-uk never rotated");
+        assert_eq!(rotations[0].0.day_index(), 220, "rotation lands a day after the seizure");
+        assert!(rotations[0].3, "rotation must be reactive");
+    }
+
+    #[test]
+    fn seized_domain_serves_notice_with_court_doc() {
+        let mut w = run_world(3, 240);
+        let (domain, _) = w
+            .domains
+            .iter()
+            .find(|(_, r)| r.seized.is_some() && matches!(r.kind, SiteKind::Storefront { .. }))
+            .map(|(id, r)| (id, r.name.clone()))
+            .expect("a seized storefront");
+        let host = w.domains.get(domain).name.clone();
+        let resp = w.fetch(&Request::browser(Url::root(host)));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("has been seized"));
+        let doc = ss_web::Document::parse(&resp.body);
+        assert!(doc.by_id("court-doc").is_some());
+    }
+
+    #[test]
+    fn supplier_accumulates_records_until_window_end() {
+        let w = run_world(9, ss_types::SUPPLIER_END_DAY + 20);
+        assert!(!w.supplier.records.is_empty());
+        // Tracking dates trail the order day by at most the transit bound.
+        let last = w.supplier.records.last().unwrap();
+        assert!(last.date.day_index() <= w.day.day_index() + 18);
+        // The bulk external volume stops with the record window, so most of
+        // the ledger predates it.
+        let in_window = w
+            .supplier
+            .records
+            .iter()
+            .filter(|r| r.date.day_index() <= ss_types::SUPPLIER_END_DAY + 18)
+            .count();
+        assert!(in_window as f64 > 0.9 * w.supplier.records.len() as f64);
+    }
+
+    #[test]
+    fn world_is_deterministic_end_to_end() {
+        let a = run_world(21, ss_types::CRAWL_START_DAY + 15);
+        let b = run_world(21, ss_types::CRAWL_START_DAY + 15);
+        let ta: u64 = a.stores.iter().map(|s| s.order_counter).sum();
+        let tb: u64 = b.stores.iter().map(|s| s.order_counter).sum();
+        assert_eq!(ta, tb);
+        assert_eq!(a.events.all().len(), b.events.all().len());
+        assert_eq!(a.supplier.records.len(), b.supplier.records.len());
+    }
+}
+
+#[cfg(test)]
+mod payment_tests {
+    use super::*;
+    use crate::scenario::{PaymentPolicy, ScenarioConfig};
+
+    fn policy(blocked: Vec<&str>, migration: Option<u32>) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::tiny(77);
+        cfg.payment_policy = PaymentPolicy {
+            enabled: true,
+            start_day: ss_types::CRAWL_START_DAY + 10,
+            blocked: blocked.into_iter().map(str::to_owned).collect(),
+            migration_days: migration,
+        };
+        cfg
+    }
+
+    #[test]
+    fn blocking_all_processors_freezes_customer_orders() {
+        let cfg = policy(vec!["realypay", "mallpayment", "globalbill"], Some(5));
+        let mut w = World::build(cfg).unwrap();
+        let start = ss_types::CRAWL_START_DAY;
+        w.run_until(SimDate::from_day_index(start + 9));
+        let before: u64 = w.stores.iter().map(|s| s.order_counter).sum();
+        w.run_until(SimDate::from_day_index(start + 30));
+        let after: u64 = w.stores.iter().map(|s| s.order_counter).sum();
+        // With every processor blocked and no survivor to migrate to, no
+        // customer order completes after the start day.
+        assert_eq!(before, after, "orders must freeze under a full payment block");
+    }
+
+    #[test]
+    fn migration_to_surviving_processor_restores_orders() {
+        let cfg = policy(vec!["realypay"], Some(3));
+        let mut w = World::build(cfg).unwrap();
+        let day = SimDate::from_day_index(ss_types::CRAWL_START_DAY + 30);
+        w.run_until(day);
+        // Every campaign settles again: either it never used realypay, or
+        // it migrated after 3 days.
+        for c in &w.campaigns {
+            assert!(w.payment_available(c.id, day), "{} still blocked", c.name);
+        }
+        // But during the migration window, realypay campaigns were dark.
+        let mid = SimDate::from_day_index(ss_types::CRAWL_START_DAY + 11);
+        let blocked_then = w
+            .campaigns
+            .iter()
+            .filter(|c| !w.payment_available(c.id, mid))
+            .count();
+        assert!(blocked_then > 0, "someone must have used realypay");
+    }
+
+    #[test]
+    fn blocked_checkout_still_allocates_order_numbers() {
+        let cfg = policy(vec!["realypay", "mallpayment", "globalbill"], None);
+        let mut w = World::build(cfg).unwrap();
+        w.run_until(SimDate::from_day_index(ss_types::CRAWL_START_DAY + 15));
+        let today = w.day;
+        let store = w
+            .stores
+            .iter()
+            .find(|s| {
+                !s.retired
+                    && s.created < today
+                    && w.domains.get(s.current_domain).seized.is_none()
+            })
+            .unwrap();
+        let host = w.domains.get(store.current_domain).name.clone();
+        let url = Url::new(host, "/checkout", "");
+        let r1 = w.fetch(&Request::browser(url.clone()));
+        let r2 = w.fetch(&Request::browser(url));
+        assert!(r1.body.contains("payment-unavailable"), "body: {}", &r1.body[..r1.body.len().min(400)]);
+        let doc1 = ss_web::Document::parse(&r1.body);
+        let doc2 = ss_web::Document::parse(&r2.body);
+        let n1: u64 = doc1.by_id("order-no").unwrap().text_content().parse().unwrap();
+        let n2: u64 = doc2.by_id("order-no").unwrap().text_content().parse().unwrap();
+        assert_eq!(n2, n1 + 1, "purchase-pair sampling must keep working");
+        assert!(doc1.find_all("form").is_empty(), "no payment form when blocked");
+        let _ = doc2;
+    }
+}

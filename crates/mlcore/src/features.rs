@@ -1,0 +1,189 @@
+//! Bag-of-words feature extraction over HTML tag-attribute-value triplets.
+//!
+//! §4.2.1: each page becomes "a sparse, high-dimensional vector of feature
+//! counts" from "a custom bag-of-words feature extractor based on
+//! tag-attribute-value triplets". For every element we emit three token
+//! classes — the tag, each `tag.attr` pair, and each `tag.attr=value`
+//! triplet — plus visible-text word tokens. Counts are log-damped and
+//! L2-normalized so template structure (not page length) dominates.
+
+use std::collections::HashMap;
+
+use ss_web::Document;
+
+use crate::sparse::SparseVec;
+
+/// A grow-on-demand token dictionary shared across a corpus.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_token: HashMap<String, u32>,
+    tokens: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a token (training mode).
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.by_token.get(token) {
+            return id;
+        }
+        let id = self.tokens.len() as u32;
+        self.tokens.push(token.to_owned());
+        self.by_token.insert(token.to_owned(), id);
+        id
+    }
+
+    /// Looks a token up without growing (prediction mode: unseen tokens
+    /// are dropped, as LIBLINEAR does).
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.by_token.get(token).copied()
+    }
+
+    /// Token text for an id (for model introspection).
+    pub fn token(&self, id: u32) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    /// Dictionary size.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// Attribute values longer than this are hashed into a length bucket
+/// rather than kept verbatim (keeps per-store noise like inline text out
+/// of the vocabulary while preserving template-identity values).
+const MAX_VALUE_LEN: usize = 40;
+
+fn value_token(value: &str) -> String {
+    if value.len() > MAX_VALUE_LEN {
+        format!("len{}", value.len() / 16)
+    } else {
+        value.to_owned()
+    }
+}
+
+/// Emits the raw token stream for a page.
+pub fn tokens_of(html: &str) -> Vec<String> {
+    let doc = Document::parse(html);
+    let mut out = Vec::new();
+    for el in doc.elements() {
+        out.push(el.tag.clone());
+        for (attr, value) in &el.attrs {
+            out.push(format!("{}.{}", el.tag, attr));
+            out.push(format!("{}.{}={}", el.tag, attr, value_token(value)));
+        }
+    }
+    for word in doc.text_content().split_whitespace() {
+        let w: String = word.chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+        if w.len() >= 3 {
+            out.push(format!("w:{}", w.to_ascii_lowercase()));
+        }
+    }
+    out
+}
+
+/// Extracts the feature vector for a page. With `grow`, unseen tokens are
+/// added to the dictionary (training); without, they are dropped
+/// (prediction).
+pub fn extract_features(html: &str, dict: &mut Dictionary, grow: bool) -> SparseVec {
+    let mut counts: HashMap<u32, f32> = HashMap::new();
+    for tok in tokens_of(html) {
+        let id = if grow { Some(dict.intern(&tok)) } else { dict.get(&tok) };
+        if let Some(id) = id {
+            *counts.entry(id).or_insert(0.0) += 1.0;
+        }
+    }
+    let pairs: Vec<(u32, f32)> =
+        counts.into_iter().map(|(i, c)| (i, (1.0 + c).ln())).collect();
+    SparseVec::from_pairs(pairs).l2_normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_and_words_are_emitted() {
+        let toks = tokens_of(r#"<div class="biglove-grid"><p>Cheap Bags</p></div>"#);
+        assert!(toks.contains(&"div".to_owned()));
+        assert!(toks.contains(&"div.class".to_owned()));
+        assert!(toks.contains(&"div.class=biglove-grid".to_owned()));
+        assert!(toks.contains(&"w:cheap".to_owned()));
+        assert!(toks.contains(&"w:bags".to_owned()));
+    }
+
+    #[test]
+    fn long_values_are_bucketed() {
+        let long = "x".repeat(100);
+        let toks = tokens_of(&format!(r#"<a href="{long}">z</a>"#));
+        assert!(toks.iter().any(|t| t.starts_with("a.href=len")));
+        assert!(!toks.iter().any(|t| t.contains(&long)));
+    }
+
+    #[test]
+    fn growth_mode_controls_vocabulary() {
+        let mut dict = Dictionary::new();
+        let v1 = extract_features("<div class=\"a\">hello world</div>", &mut dict, true);
+        assert!(!v1.is_empty());
+        let size = dict.len();
+        let v2 = extract_features("<span data-x=\"new\">fresh tokens</span>", &mut dict, false);
+        assert_eq!(dict.len(), size, "prediction must not grow the dictionary");
+        assert!(v2.nnz() <= v1.nnz());
+    }
+
+    #[test]
+    fn vectors_are_normalized() {
+        let mut dict = Dictionary::new();
+        let v = extract_features("<p>a few words appear here</p>", &mut dict, true);
+        assert!((v.l2_norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn same_template_different_noise_stays_close() {
+        // Two stores of one campaign share structure; a store of another
+        // campaign differs more. Cosine similarity must reflect that.
+        let mut dict = Dictionary::new();
+        let t = ss_web::pagegen::storefront::StoreTemplate::for_campaign("BIGLOVE", 1);
+        let u = ss_web::pagegen::storefront::StoreTemplate::for_campaign("MOONKIS", 1);
+        let page = |tpl, seed| {
+            ss_web::pagegen::storefront::home_page(&ss_web::pagegen::storefront::StoreCtx {
+                domain: "x.com",
+                store_name: "x",
+                template: tpl,
+                brands: &["Chanel"],
+                locale: "us",
+                merchant_id: "m-1",
+                seed,
+            })
+        };
+        let a = extract_features(&page(&t, 1), &mut dict, true);
+        let b = extract_features(&page(&t, 2), &mut dict, true);
+        let c = extract_features(&page(&u, 3), &mut dict, true);
+        let dense_b: Vec<f32> = {
+            let mut d = vec![0.0; dict.len()];
+            b.add_scaled_into(1.0, &mut d);
+            d
+        };
+        let dense_c: Vec<f32> = {
+            let mut d = vec![0.0; dict.len()];
+            c.add_scaled_into(1.0, &mut d);
+            d
+        };
+        let sim_same = a.dot(&dense_b);
+        let sim_cross = a.dot(&dense_c);
+        assert!(
+            sim_same > sim_cross,
+            "same-campaign similarity {sim_same} should beat cross-campaign {sim_cross}"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # ss-ml
+//!
+//! The machine-learning substrate behind campaign identification (§4.2),
+//! built from scratch (the paper used LIBLINEAR; we depend on nothing):
+//!
+//! * [`sparse`] — sparse feature vectors and a term dictionary;
+//! * [`features`] — the bag-of-words extractor over HTML
+//!   tag-attribute-value triplets (§4.2.1, following Der et al.);
+//! * [`logreg`] — L1-regularized logistic regression trained by proximal
+//!   gradient descent, wrapped one-vs-rest for 52-way classification
+//!   (§4.2.2), with per-class probability outputs and an "unknown"
+//!   abstention threshold (the paper attributes 58% of PSRs, not all);
+//! * [`eval`] — stratified k-fold cross-validation, accuracy, confusion
+//!   and top-weighted-feature introspection (the L1 models are
+//!   "highly interpretable": a handful of features per campaign);
+//! * [`refine`] — the §4.2.3 human-machine loop: train on a labeled seed,
+//!   validate the classifier's most confident predictions with an expert
+//!   oracle, fold confirmations back in, retrain, repeat.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod features;
+pub mod logreg;
+pub mod refine;
+pub mod sparse;
+
+pub use features::{extract_features, Dictionary};
+pub use logreg::{BinaryLogReg, MulticlassModel, TrainConfig};
+pub use sparse::SparseVec;

@@ -1,0 +1,134 @@
+//! Sparse vectors and the feature dictionary's numeric side.
+
+/// A sparse feature vector: sorted `(index, value)` pairs with unique
+/// indices. All training and prediction math runs on these.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVec {
+    entries: Vec<(u32, f32)>,
+}
+
+impl SparseVec {
+    /// Builds from unsorted `(index, value)` pairs, summing duplicates and
+    /// dropping zeros.
+    pub fn from_pairs(mut pairs: Vec<(u32, f32)>) -> Self {
+        pairs.sort_by_key(|(i, _)| *i);
+        let mut entries: Vec<(u32, f32)> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            match entries.last_mut() {
+                Some((j, acc)) if *j == i => *acc += v,
+                _ => entries.push((i, v)),
+            }
+        }
+        entries.retain(|(_, v)| *v != 0.0);
+        SparseVec { entries }
+    }
+
+    /// The sorted entries.
+    pub fn entries(&self) -> &[(u32, f32)] {
+        &self.entries
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector is all-zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Dot product against a dense weight vector (indices beyond the dense
+    /// length contribute nothing — lets models score unseen features).
+    pub fn dot(&self, dense: &[f32]) -> f32 {
+        self.entries
+            .iter()
+            .filter_map(|(i, v)| dense.get(*i as usize).map(|w| w * v))
+            .sum()
+    }
+
+    /// Adds `scale * self` into a dense accumulator (must be long enough).
+    pub fn add_scaled_into(&self, scale: f32, dense: &mut [f32]) {
+        for (i, v) in &self.entries {
+            if let Some(slot) = dense.get_mut(*i as usize) {
+                *slot += scale * v;
+            }
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn l2_norm(&self) -> f32 {
+        self.entries.iter().map(|(_, v)| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Returns a copy scaled to unit L2 norm (zero vectors unchanged).
+    pub fn l2_normalized(&self) -> SparseVec {
+        let n = self.l2_norm();
+        if n == 0.0 {
+            return self.clone();
+        }
+        SparseVec {
+            entries: self.entries.iter().map(|(i, v)| (*i, v / n)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_pairs_sorts_merges_and_drops_zeros() {
+        let v = SparseVec::from_pairs(vec![(5, 1.0), (2, 2.0), (5, 3.0), (7, 0.0)]);
+        assert_eq!(v.entries(), &[(2, 2.0), (5, 4.0)]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn dot_and_add_scaled() {
+        let v = SparseVec::from_pairs(vec![(0, 1.0), (3, 2.0)]);
+        let dense = [1.0, 0.0, 0.0, 4.0];
+        assert_eq!(v.dot(&dense), 9.0);
+        let mut acc = vec![0.0; 4];
+        v.add_scaled_into(0.5, &mut acc);
+        assert_eq!(acc, vec![0.5, 0.0, 0.0, 1.0]);
+        // Out-of-range indices are ignored in both directions.
+        let long = SparseVec::from_pairs(vec![(10, 5.0)]);
+        assert_eq!(long.dot(&dense), 0.0);
+        let mut short = vec![0.0; 2];
+        long.add_scaled_into(1.0, &mut short);
+        assert_eq!(short, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = SparseVec::from_pairs(vec![(0, 3.0), (1, 4.0)]);
+        assert_eq!(v.l2_norm(), 5.0);
+        let n = v.l2_normalized();
+        assert!((n.l2_norm() - 1.0).abs() < 1e-6);
+        let z = SparseVec::default();
+        assert_eq!(z.l2_normalized(), z);
+    }
+
+    proptest! {
+        #[test]
+        fn normalized_norm_is_unit(pairs in proptest::collection::vec((0u32..100, -10.0f32..10.0), 1..20)) {
+            let v = SparseVec::from_pairs(pairs);
+            if !v.is_empty() {
+                let n = v.l2_normalized().l2_norm();
+                prop_assert!((n - 1.0).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn dot_is_linear_in_scale(pairs in proptest::collection::vec((0u32..20, -5.0f32..5.0), 1..10), k in -3.0f32..3.0) {
+            let v = SparseVec::from_pairs(pairs);
+            let dense: Vec<f32> = (0..20).map(|i| i as f32 * 0.1).collect();
+            let mut acc = vec![0.0f32; 20];
+            v.add_scaled_into(k, &mut acc);
+            let via_acc: f32 = acc.iter().zip(&dense).map(|(a, d)| a * d).sum();
+            prop_assert!((via_acc - k * v.dot(&dense)).abs() < 1e-3);
+        }
+    }
+}

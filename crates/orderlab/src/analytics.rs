@@ -1,0 +1,230 @@
+//! The AWStats scraper (§4.4) and the conversion metrics of §5.2.3.
+//!
+//! Stores that left their AWStats installation public expose visits, pages,
+//! referrers and per-day rows at the default URL. The scraper fetches and
+//! parses those reports; the analysis combines them with order-rate
+//! estimates into the paper's conversion numbers (visits per sale, pages
+//! per visit, referrer-set fraction, doorway coverage).
+
+use ss_types::{SimDate, Url};
+use ss_web::http::{Request, UserAgent, Web};
+use ss_web::Document;
+
+/// A parsed AWStats report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedReport {
+    /// Period label, `YYYY-MM`.
+    pub period: String,
+    /// Visits in the period.
+    pub visits: u64,
+    /// HTML pages served.
+    pub pages: u64,
+    /// Referrer hosts with visit counts.
+    pub referrers: Vec<(String, u64)>,
+    /// Visits with no referrer.
+    pub direct_visits: u64,
+    /// Per-day `(date, visits, pages)` rows.
+    pub daily: Vec<(SimDate, u64, u64)>,
+}
+
+/// Fetches and parses a store's AWStats report for a month
+/// (`month = "YYYY-MM"`, or `None` for the current month).
+pub fn fetch_report(web: &mut impl Web, site: &str, month: Option<&str>) -> Option<ParsedReport> {
+    let host = ss_types::DomainName::parse(site).ok()?;
+    let query = match month {
+        Some(m) => format!("config={site}&month={m}"),
+        None => format!("config={site}"),
+    };
+    let url = Url::new(host, "/awstats/awstats.pl", &query);
+    let resp = web.fetch(&Request { url, user_agent: UserAgent::Browser, referrer: None });
+    if resp.status != 200 {
+        return None;
+    }
+    parse_report(&resp.body)
+}
+
+/// Parses an AWStats report page.
+pub fn parse_report(body: &str) -> Option<ParsedReport> {
+    let doc = Document::parse(body);
+    let num = |id: &str| -> Option<u64> { doc.by_id(id)?.text_content().trim().parse().ok() };
+    let period = doc.by_id("period")?.text_content().trim().to_owned();
+    let visits = num("visits")?;
+    let pages = num("pages")?;
+
+    let mut referrers = Vec::new();
+    let mut direct_visits = 0;
+    for tr in doc.find_all("tr") {
+        match tr.attr("class") {
+            Some("referrer") => {
+                let tds: Vec<String> = tr
+                    .children
+                    .iter()
+                    .filter_map(|n| n.as_element())
+                    .map(|td| td.text_content())
+                    .collect();
+                if tds.len() == 2 {
+                    if let Ok(n) = tds[1].trim().parse() {
+                        referrers.push((tds[0].trim().to_owned(), n));
+                    }
+                }
+            }
+            Some("direct") => {
+                let tds: Vec<String> = tr
+                    .children
+                    .iter()
+                    .filter_map(|n| n.as_element())
+                    .map(|td| td.text_content())
+                    .collect();
+                if let Some(last) = tds.last() {
+                    direct_visits = last.trim().parse().unwrap_or(0);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut daily = Vec::new();
+    for tr in doc.find_all("tr") {
+        if tr.attr("class") != Some("dayrow") {
+            continue;
+        }
+        let tds: Vec<String> = tr
+            .children
+            .iter()
+            .filter_map(|n| n.as_element())
+            .map(|td| td.text_content())
+            .collect();
+        if tds.len() != 3 {
+            continue;
+        }
+        let mut parts = tds[0].split('-');
+        let (Some(y), Some(m), Some(d)) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        let (Ok(y), Ok(m), Ok(d)) = (y.parse(), m.parse(), d.parse()) else { continue };
+        let Ok(date) = SimDate::from_ymd(y, m, d) else { continue };
+        let (Ok(v), Ok(p)) = (tds[1].trim().parse(), tds[2].trim().parse()) else { continue };
+        daily.push((date, v, p));
+    }
+
+    Some(ParsedReport { period, visits, pages, referrers, direct_visits, daily })
+}
+
+/// Conversion metrics across a set of monthly reports plus an order count
+/// over the same window (§5.2.3's coco*.com arithmetic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConversionMetrics {
+    /// Total visits.
+    pub visits: u64,
+    /// Fraction of visits with a referrer set.
+    pub referrer_fraction: f64,
+    /// Mean HTML pages per visit.
+    pub pages_per_visit: f64,
+    /// Orders / visits.
+    pub conversion_rate: f64,
+    /// Visits per sale (reciprocal of the conversion rate).
+    pub visits_per_sale: f64,
+    /// Distinct referrer hosts (candidate doorways).
+    pub referrer_hosts: Vec<String>,
+}
+
+/// Computes conversion metrics from reports plus an estimated order count.
+pub fn conversion_metrics(reports: &[ParsedReport], orders: f64) -> Option<ConversionMetrics> {
+    let visits: u64 = reports.iter().map(|r| r.visits).sum();
+    if visits == 0 {
+        return None;
+    }
+    let pages: u64 = reports.iter().map(|r| r.pages).sum();
+    let referred: u64 = reports.iter().flat_map(|r| &r.referrers).map(|(_, n)| n).sum();
+    let mut hosts: Vec<String> = reports
+        .iter()
+        .flat_map(|r| r.referrers.iter().map(|(h, _)| h.clone()))
+        .collect();
+    hosts.sort();
+    hosts.dedup();
+    let conversion = orders / visits as f64;
+    Some(ConversionMetrics {
+        visits,
+        referrer_fraction: referred as f64 / visits as f64,
+        pages_per_visit: pages as f64 / visits as f64,
+        conversion_rate: conversion,
+        visits_per_sale: if conversion > 0.0 { 1.0 / conversion } else { f64::INFINITY },
+        referrer_hosts: hosts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_web::pagegen::awstats::{page, TrafficReport};
+
+    fn sample_page() -> String {
+        page(
+            "coco.com",
+            &TrafficReport {
+                period: "2014-07".into(),
+                unique_visitors: 700,
+                visits: 1_000,
+                pages: 5_600,
+                hits: 20_000,
+                referrers: vec![("door1.com".into(), 400), ("door2.com".into(), 200)],
+                direct_visits: 400,
+                daily: vec![("2014-07-01".into(), 500, 2_800), ("2014-07-02".into(), 500, 2_800)],
+            },
+        )
+    }
+
+    #[test]
+    fn parse_roundtrips_generator_output() {
+        let r = parse_report(&sample_page()).unwrap();
+        assert_eq!(r.period, "2014-07");
+        assert_eq!(r.visits, 1_000);
+        assert_eq!(r.pages, 5_600);
+        assert_eq!(r.direct_visits, 400);
+        assert_eq!(r.referrers.len(), 2);
+        assert_eq!(r.daily.len(), 2);
+        assert_eq!(r.daily[0].0, SimDate::from_ymd(2014, 7, 1).unwrap());
+        assert_eq!(r.daily[0].1, 500);
+    }
+
+    #[test]
+    fn conversion_metrics_match_arithmetic() {
+        let r = parse_report(&sample_page()).unwrap();
+        let m = conversion_metrics(&[r], 7.0).unwrap();
+        assert_eq!(m.visits, 1_000);
+        assert!((m.referrer_fraction - 0.6).abs() < 1e-9);
+        assert!((m.pages_per_visit - 5.6).abs() < 1e-9);
+        assert!((m.conversion_rate - 0.007).abs() < 1e-9);
+        assert!((m.visits_per_sale - 142.857).abs() < 0.01);
+        assert_eq!(m.referrer_hosts, vec!["door1.com".to_owned(), "door2.com".to_owned()]);
+    }
+
+    #[test]
+    fn non_reports_yield_none() {
+        assert_eq!(parse_report("<p>not awstats</p>"), None);
+        assert_eq!(conversion_metrics(&[], 3.0), None);
+    }
+
+    #[test]
+    fn fetch_against_the_world() {
+        use ss_eco::{ScenarioConfig, World};
+        let mut w = World::build(ScenarioConfig::tiny(37)).unwrap();
+        w.run_until(SimDate::from_day_index(ss_types::CRAWL_START_DAY + 10));
+        let store = w
+            .stores
+            .iter()
+            .find(|s| s.awstats_public && !s.months.is_empty() && !s.retired)
+            .expect("some leaky store with traffic");
+        let site = w.domains.get(store.current_domain).name.as_str().to_owned();
+        let visits_truth: u64 = store.months.last().unwrap().visits;
+        let r = fetch_report(&mut w, &site, None).expect("report should parse");
+        assert_eq!(r.visits, visits_truth);
+        assert!(!r.daily.is_empty());
+
+        // Private stores 404.
+        if let Some(private) = w.stores.iter().find(|s| !s.awstats_public && !s.retired) {
+            let site = w.domains.get(private.current_domain).name.as_str().to_owned();
+            assert_eq!(fetch_report(&mut w, &site, None), None);
+        }
+    }
+}

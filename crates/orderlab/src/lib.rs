@@ -1,0 +1,28 @@
+//! # ss-orders
+//!
+//! The order-side measurement programme of §4.3–§4.5:
+//!
+//! * [`purchasepair`] — the purchase-pair technique: weekly test orders on
+//!   monitored stores (capped at three per campaign per day to stay under
+//!   the radar), yielding order-number samples whose deltas upper-bound
+//!   customer order volume; rate estimation with interpolation over gaps;
+//! * [`transactions`] — real purchases: completing checkout, recording the
+//!   payment processor and settling bank (BIN concentration, §4.3.2), and
+//!   following the packing slip to the supplier;
+//! * [`analytics`] — the AWStats scraper: fetching each leaky store's
+//!   public report, parsing visits / pages / referrers / per-day rows, and
+//!   deriving conversion metrics (§4.4, §5.2.3);
+//! * [`supplier_scrape`] — bulk harvesting of the supplier's shipping
+//!   records, 20 order numbers per lookup (§4.5).
+//!
+//! Everything here observes the world strictly through `Web::fetch`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod purchasepair;
+pub mod supplier_scrape;
+pub mod transactions;
+
+pub use purchasepair::{OrderSampler, SamplerConfig};

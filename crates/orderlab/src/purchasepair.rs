@@ -1,0 +1,269 @@
+//! The purchase-pair technique (§4.3.1).
+//!
+//! Stores hand out monotonically increasing order numbers *before* payment,
+//! so creating a test order at two points in time bounds the number of
+//! orders placed in between. The sampler visits each monitored store's
+//! checkout on a weekly cadence (at most three orders per campaign per day,
+//! as the study did to avoid tipping off stores or processors), records the
+//! order numbers, and estimates daily order rates from the deltas.
+
+use std::collections::HashMap;
+
+use ss_types::{SimDate, Url};
+use ss_web::http::{Request, UserAgent, Web};
+use ss_web::Document;
+
+use ss_stats::DailySeries;
+
+/// Sampler configuration.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Days between samples of the same store (paper: weekly).
+    pub interval_days: u32,
+    /// Maximum test orders per campaign per day (paper: 3).
+    pub per_campaign_per_day: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig { interval_days: 7, per_campaign_per_day: 3 }
+    }
+}
+
+/// One order-number sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderSample {
+    /// Sampling day.
+    pub day: SimDate,
+    /// The order number the checkout displayed.
+    pub order_number: u64,
+}
+
+/// A store under order monitoring. `campaign_key` is whatever grouping the
+/// analyst uses for the rate cap (the classifier's campaign name, or the
+/// store domain itself before attribution).
+#[derive(Debug, Clone)]
+pub struct MonitoredStore {
+    /// Store domain name.
+    pub domain: String,
+    /// Grouping key for the per-campaign daily cap.
+    pub campaign_key: String,
+    /// Collected samples, in time order.
+    pub samples: Vec<OrderSample>,
+    /// Day of the last sample attempt (successful or not).
+    pub last_attempt: Option<SimDate>,
+}
+
+/// The sampling programme across all monitored stores.
+#[derive(Debug)]
+pub struct OrderSampler {
+    /// Configuration.
+    pub cfg: SamplerConfig,
+    /// Monitored stores, keyed by domain.
+    pub stores: HashMap<String, MonitoredStore>,
+    /// Total test orders created.
+    pub orders_created: usize,
+}
+
+impl OrderSampler {
+    /// Creates an empty sampler.
+    pub fn new(cfg: SamplerConfig) -> Self {
+        OrderSampler { cfg, stores: HashMap::new(), orders_created: 0 }
+    }
+
+    /// Adds a store to the monitoring set (idempotent).
+    pub fn monitor(&mut self, domain: &str, campaign_key: &str) {
+        self.stores.entry(domain.to_owned()).or_insert_with(|| MonitoredStore {
+            domain: domain.to_owned(),
+            campaign_key: campaign_key.to_owned(),
+            samples: Vec::new(),
+            last_attempt: None,
+        });
+    }
+
+    /// Runs one day of sampling: stores due for their weekly sample get a
+    /// test order, subject to the per-campaign daily cap.
+    pub fn sample_day(&mut self, web: &mut impl Web, day: SimDate) {
+        let mut per_campaign: HashMap<String, usize> = HashMap::new();
+        let mut domains: Vec<String> = self.stores.keys().cloned().collect();
+        domains.sort(); // deterministic order
+        for domain in domains {
+            let store = self.stores.get_mut(&domain).expect("key from map");
+            let due = match store.last_attempt {
+                None => true,
+                Some(last) => day.days_since(last) >= i64::from(self.cfg.interval_days),
+            };
+            if !due {
+                continue;
+            }
+            let used = per_campaign.entry(store.campaign_key.clone()).or_insert(0);
+            if *used >= self.cfg.per_campaign_per_day {
+                continue; // retry next day; last_attempt stays put
+            }
+            store.last_attempt = Some(day);
+            *used += 1;
+            let Ok(host) = ss_types::DomainName::parse(&domain) else { continue };
+            let url = Url::new(host, "/checkout", "");
+            // Orders are placed via TOR in the study; a plain browser
+            // request models that (no referrer, fresh identity).
+            let resp = web.fetch(&Request { url, user_agent: UserAgent::Browser, referrer: None });
+            if resp.status != 200 {
+                continue; // store dead or seized
+            }
+            if let Some(n) = extract_order_number(&resp.body) {
+                store.samples.push(OrderSample { day, order_number: n });
+                self.orders_created += 1;
+            }
+        }
+    }
+
+    /// Cumulative order-number series for a store (the "Volume" rows of
+    /// Figure 4), zeroed at the first sample.
+    pub fn volume_series(&self, domain: &str, start: SimDate, end: SimDate) -> Option<DailySeries> {
+        let store = self.stores.get(domain)?;
+        let first = store.samples.first()?.order_number;
+        let mut s = DailySeries::new(start, end);
+        for sample in &store.samples {
+            s.set(sample.day, (sample.order_number - first.min(sample.order_number)) as f64);
+        }
+        Some(s)
+    }
+
+    /// Estimated daily order rate for a store (the "Rate" rows of
+    /// Figure 4): deltas spread uniformly across their interval, then
+    /// interpolated. Values upper-bound true customer orders (§4.3.1), and
+    /// include our own test order (subtracted here: 1 per delta).
+    pub fn rate_series(&self, domain: &str, start: SimDate, end: SimDate) -> Option<DailySeries> {
+        let _exists = self.stores.get(domain)?;
+        let mut s = DailySeries::new(start, end);
+        for (from, to, delta) in self.volume_series(domain, start, end)?.sample_deltas() {
+            let span = to.days_since(from).max(1) as f64;
+            let rate = (delta - 1.0).max(0.0) / span;
+            for d in SimDate::range_inclusive(from, to) {
+                s.set(d, rate);
+            }
+        }
+        Some(s.interpolated())
+    }
+
+    /// Number of distinct stores with at least one successful sample.
+    pub fn stores_sampled(&self) -> usize {
+        self.stores.values().filter(|s| !s.samples.is_empty()).count()
+    }
+}
+
+/// Pulls the order number out of a checkout page.
+pub fn extract_order_number(body: &str) -> Option<u64> {
+    let doc = Document::parse(body);
+    doc.by_id("order-no")?.text_content().trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_web::http::Response;
+
+    /// A toy store whose order counter grows by a fixed amount per day.
+    struct ToyStores {
+        day: SimDate,
+        counters: HashMap<String, u64>,
+        daily_growth: u64,
+    }
+
+    impl ToyStores {
+        fn new(domains: &[&str]) -> Self {
+            ToyStores {
+                day: SimDate::from_day_index(0),
+                counters: domains.iter().map(|d| ((*d).to_owned(), 1000)).collect(),
+                daily_growth: 10,
+            }
+        }
+        fn advance(&mut self, to: SimDate) {
+            let days = to.days_since(self.day).max(0) as u64;
+            for c in self.counters.values_mut() {
+                *c += days * self.daily_growth;
+            }
+            self.day = to;
+        }
+    }
+
+    impl Web for ToyStores {
+        fn fetch(&mut self, req: &Request) -> Response {
+            let Some(c) = self.counters.get_mut(req.url.host.as_str()) else {
+                return Response::not_found();
+            };
+            *c += 1;
+            Response::ok(format!("<p>Order <b id=\"order-no\">{c}</b></p>"))
+        }
+    }
+
+    fn day(n: u32) -> SimDate {
+        SimDate::from_day_index(n)
+    }
+
+    #[test]
+    fn weekly_sampling_reconstructs_rate() {
+        let mut web = ToyStores::new(&["s1.com"]);
+        let mut sampler = OrderSampler::new(SamplerConfig::default());
+        sampler.monitor("s1.com", "CAMP");
+        for d in 0..29 {
+            web.advance(day(d));
+            sampler.sample_day(&mut web, day(d));
+        }
+        let store = &sampler.stores["s1.com"];
+        assert_eq!(store.samples.len(), 5); // days 0, 7, 14, 21, 28
+        let rate = sampler.rate_series("s1.com", day(0), day(28)).unwrap();
+        // True customer growth is 10/day; our own weekly order is excluded.
+        let v = rate.get(day(10)).unwrap();
+        assert!((v - 10.0).abs() < 1.0, "estimated rate {v}");
+    }
+
+    #[test]
+    fn volume_series_is_cumulative_from_first_sample() {
+        let mut web = ToyStores::new(&["s1.com"]);
+        let mut sampler = OrderSampler::new(SamplerConfig::default());
+        sampler.monitor("s1.com", "CAMP");
+        for d in [0, 7, 14] {
+            web.advance(day(d));
+            sampler.sample_day(&mut web, day(d));
+        }
+        let vol = sampler.volume_series("s1.com", day(0), day(14)).unwrap();
+        assert_eq!(vol.get(day(0)), Some(0.0));
+        let v14 = vol.get(day(14)).unwrap();
+        assert!(v14 > 0.0);
+    }
+
+    #[test]
+    fn per_campaign_cap_limits_daily_orders() {
+        let domains = ["a.com", "b.com", "c.com", "d.com", "e.com"];
+        let mut web = ToyStores::new(&domains);
+        let mut sampler = OrderSampler::new(SamplerConfig::default());
+        for d in &domains {
+            sampler.monitor(d, "SAME-CAMPAIGN");
+        }
+        sampler.sample_day(&mut web, day(0));
+        let sampled_day0: usize =
+            sampler.stores.values().filter(|s| !s.samples.is_empty()).count();
+        assert_eq!(sampled_day0, 3, "cap of 3 per campaign per day");
+        // The deferred stores get their turn the next day.
+        sampler.sample_day(&mut web, day(1));
+        assert_eq!(sampler.stores_sampled(), 5);
+    }
+
+    #[test]
+    fn dead_stores_yield_no_samples() {
+        let mut web = ToyStores::new(&["alive.com"]);
+        let mut sampler = OrderSampler::new(SamplerConfig::default());
+        sampler.monitor("gone.com", "X");
+        sampler.sample_day(&mut web, day(0));
+        assert_eq!(sampler.stores_sampled(), 0);
+        assert_eq!(sampler.orders_created, 0);
+    }
+
+    #[test]
+    fn order_number_extraction() {
+        assert_eq!(extract_order_number("<b id=\"order-no\">42</b>"), Some(42));
+        assert_eq!(extract_order_number("<b id=\"other\">42</b>"), None);
+        assert_eq!(extract_order_number("<b id=\"order-no\">nope</b>"), None);
+    }
+}

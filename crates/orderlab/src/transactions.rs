@@ -1,0 +1,141 @@
+//! Real purchases (§4.3.2): completing checkout to learn payment
+//! processing and order fulfillment.
+//!
+//! The study placed 16 successful orders across 12 campaigns, received 12
+//! knock-offs shipped from China, and found the money cleared through just
+//! three banks (two Chinese, one Korean). The reproduction completes the
+//! checkout flow, reads the processor off the payment form, resolves the
+//! settling bank from the card statement (simulated via the processor→bank
+//! table the world uses), and — when the shipment comes from the tracked
+//! supplier — follows the packing slip to the portal, which is how §4.5's
+//! dataset was discovered.
+
+use ss_types::{SimDate, Url};
+use ss_web::http::{Request, UserAgent, Web};
+use ss_web::pagegen::storefront::PaymentProcessor;
+use ss_web::Document;
+
+/// One completed purchase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transaction {
+    /// Store domain.
+    pub store_domain: String,
+    /// Day of purchase.
+    pub day: SimDate,
+    /// Order number issued.
+    pub order_number: u64,
+    /// Payment processor named on the form.
+    pub processor: String,
+    /// `(BIN, bank name)` that settled the charge.
+    pub bank: (String, String),
+    /// Merchant id exposed in the form.
+    pub merchant_id: String,
+}
+
+/// Attempts a purchase at `domain`'s checkout. Returns `None` when the
+/// store is dead, seized, or the page carries no payment form.
+pub fn purchase(web: &mut impl Web, domain: &str, day: SimDate) -> Option<Transaction> {
+    let host = ss_types::DomainName::parse(domain).ok()?;
+    let url = Url::new(host, "/checkout", "");
+    let resp = web.fetch(&Request { url, user_agent: UserAgent::Browser, referrer: None });
+    if resp.status != 200 {
+        return None;
+    }
+    let doc = Document::parse(&resp.body);
+    let order_number: u64 = doc.by_id("order-no")?.text_content().trim().parse().ok()?;
+
+    // The payment form posts to http://pay.<processor>.com/charge.
+    let form = doc.find_all("form").into_iter().find(|f| {
+        f.attr("action").map(|a| a.contains("/charge")).unwrap_or(false)
+    })?;
+    let action = form.attr("action")?;
+    let action_url = Url::parse(action).ok()?;
+    let processor_name = action_url.host.as_str().strip_prefix("pay.")?.strip_suffix(".com")?.to_owned();
+    let merchant_id = form
+        .children
+        .iter()
+        .filter_map(|n| n.as_element())
+        .find(|e| e.tag == "input" && e.attr("name") == Some("merchant"))
+        .and_then(|e| e.attr("value"))
+        .unwrap_or("")
+        .to_owned();
+
+    let processor = match processor_name.as_str() {
+        "realypay" => PaymentProcessor::Realypay,
+        "mallpayment" => PaymentProcessor::Mallpayment,
+        "globalbill" => PaymentProcessor::GlobalBill,
+        _ => return None,
+    };
+    let (bin, bank) = processor.settling_bank();
+    Some(Transaction {
+        store_domain: domain.to_owned(),
+        day,
+        order_number,
+        processor: processor_name,
+        bank: (bin.to_owned(), bank.to_owned()),
+        merchant_id,
+    })
+}
+
+/// Bank concentration across a purchase set: `(bank name, count)` sorted
+/// by count (§4.3.2's "three banks" observation).
+pub fn bank_concentration(txs: &[Transaction]) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for t in txs {
+        match counts.iter_mut().find(|(b, _)| *b == t.bank.1) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((t.bank.1.clone(), 1)),
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_eco::{ScenarioConfig, World};
+
+    #[test]
+    fn purchase_roundtrips_through_a_live_store() {
+        let mut w = World::build(ScenarioConfig::tiny(31)).unwrap();
+        w.run_until(SimDate::from_day_index(ss_types::CRAWL_START_DAY + 3));
+        let day = w.day;
+        let store = w.stores.iter().find(|s| !s.retired && s.created < day).unwrap();
+        let domain = w.domains.get(store.current_domain).name.as_str().to_owned();
+        let merchant = store.merchant_id.clone();
+
+        let tx = purchase(&mut w, &domain, day).expect("purchase should complete");
+        assert_eq!(tx.store_domain, domain);
+        assert_eq!(tx.merchant_id, merchant);
+        assert!(["realypay", "mallpayment", "globalbill"].contains(&tx.processor.as_str()));
+        assert!(!tx.bank.0.is_empty());
+
+        // A second purchase gets a later order number.
+        let tx2 = purchase(&mut w, &domain, day).unwrap();
+        assert!(tx2.order_number > tx.order_number);
+    }
+
+    #[test]
+    fn purchase_fails_on_dead_domains() {
+        let mut w = World::build(ScenarioConfig::tiny(31)).unwrap();
+        w.run_until(SimDate::from_day_index(140));
+        let day = w.day;
+        assert_eq!(purchase(&mut w, "no-such-store-here.com", day), None);
+    }
+
+    #[test]
+    fn bank_concentration_counts() {
+        let t = |bank: &str| Transaction {
+            store_domain: "s.com".into(),
+            day: SimDate::EPOCH,
+            order_number: 1,
+            processor: "p".into(),
+            bank: ("622202".into(), bank.into()),
+            merchant_id: "m".into(),
+        };
+        let txs = vec![t("Bank A"), t("Bank B"), t("Bank A")];
+        let c = bank_concentration(&txs);
+        assert_eq!(c, vec![("Bank A".to_owned(), 2), ("Bank B".to_owned(), 1)]);
+    }
+}

@@ -1,0 +1,441 @@
+//! The index, the ranking function, SERP generation, and penalization.
+
+use std::collections::HashMap;
+
+use ss_types::rng::{mix, unit_f64};
+use ss_types::{DomainId, SimDate, TermId, Url, VerticalId};
+
+/// A document id, dense per engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u32);
+
+/// A monitored search term.
+#[derive(Debug, Clone)]
+pub struct TermRecord {
+    /// The vertical this term belongs to.
+    pub vertical: VerticalId,
+    /// The query string, e.g. "cheap louis vuitton".
+    pub text: String,
+}
+
+/// One indexed page, attached to exactly one term's posting list.
+#[derive(Debug, Clone)]
+pub struct Doc {
+    /// The result URL.
+    pub url: Url,
+    /// Owning registered domain.
+    pub domain: DomainId,
+    /// The term whose postings this document sits in.
+    pub term: TermId,
+    /// Query-independent quality (reputation) in `[0, 1]`.
+    pub quality: f64,
+    /// Query-dependent relevance in `[0, 1]`.
+    pub relevance: f64,
+    /// When the page entered the index.
+    pub first_indexed: SimDate,
+}
+
+/// One search result as the engine presents it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// 1-based rank.
+    pub rank: u32,
+    /// Result URL.
+    pub url: Url,
+    /// Owning domain.
+    pub domain: DomainId,
+    /// Whether the result carries the "This site may be hacked" label.
+    /// Under the root-only policy (§5.2.2) this is set only on the result
+    /// whose URL is the site root, even when the whole domain is flagged.
+    pub hacked_label: bool,
+}
+
+/// A search-engine results page: the top-k results for one term on one day.
+#[derive(Debug, Clone)]
+pub struct Serp {
+    /// The queried term.
+    pub term: TermId,
+    /// The day of the query.
+    pub day: SimDate,
+    /// Results in rank order.
+    pub results: Vec<SearchResult>,
+}
+
+/// The engine.
+///
+/// Scoring model (per document, per day):
+///
+/// ```text
+/// score = 0.45·relevance + 0.35·quality + juice(domain) − penalty(domain) + jitter(doc, day)
+/// ```
+///
+/// `juice` is what black-hat SEO buys (backlink farms raising perceived
+/// reputation); campaigns set it while actively SEOing and it decays when
+/// they stop. `penalty` models demotion. `jitter` is a small deterministic
+/// per-(doc, day) perturbation that makes rankings churn realistically.
+#[derive(Debug)]
+pub struct SearchEngine {
+    terms: Vec<TermRecord>,
+    docs: Vec<Doc>,
+    postings: Vec<Vec<DocId>>,
+    /// Per-domain SEO juice, indexed by `DomainId` (grown on demand).
+    juice: Vec<f64>,
+    /// Per-domain demotion penalty.
+    penalty: Vec<f64>,
+    /// Day the domain was labeled "hacked", if ever.
+    hacked_since: HashMap<DomainId, SimDate>,
+    /// Jitter amplitude (score units).
+    jitter_amp: f64,
+    seed: u64,
+}
+
+impl SearchEngine {
+    /// Creates an empty engine. `jitter_amp` controls day-to-day SERP
+    /// churn; 0.05 yields low single-digit percent daily domain churn with
+    /// the default score weights.
+    pub fn new(seed: u64, jitter_amp: f64) -> Self {
+        SearchEngine {
+            terms: Vec::new(),
+            docs: Vec::new(),
+            postings: Vec::new(),
+            juice: Vec::new(),
+            penalty: Vec::new(),
+            hacked_since: HashMap::new(),
+            jitter_amp,
+            seed,
+        }
+    }
+
+    /// Registers a monitored term and returns its id.
+    pub fn add_term(&mut self, vertical: VerticalId, text: &str) -> TermId {
+        let id = TermId::from_index(self.terms.len());
+        self.terms.push(TermRecord { vertical, text: text.to_owned() });
+        self.postings.push(Vec::new());
+        id
+    }
+
+    /// All registered terms.
+    pub fn terms(&self) -> &[TermRecord] {
+        &self.terms
+    }
+
+    /// Number of registered terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Indexes a page into a term's postings.
+    pub fn index_page(
+        &mut self,
+        term: TermId,
+        url: Url,
+        domain: DomainId,
+        quality: f64,
+        relevance: f64,
+        day: SimDate,
+    ) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        self.docs.push(Doc { url, domain, term, quality, relevance, first_indexed: day });
+        self.postings[term.index()].push(id);
+        self.ensure_domain(domain);
+        id
+    }
+
+    /// Removes a page from the index (site cleaned or de-indexed).
+    pub fn deindex_page(&mut self, doc: DocId) {
+        let term = self.docs[doc.0 as usize].term;
+        self.postings[term.index()].retain(|d| *d != doc);
+    }
+
+    fn ensure_domain(&mut self, domain: DomainId) {
+        let need = domain.index() + 1;
+        if self.juice.len() < need {
+            self.juice.resize(need, 0.0);
+            self.penalty.resize(need, 0.0);
+        }
+    }
+
+    /// Sets the SEO juice for a domain (what a campaign's link farm buys).
+    pub fn set_juice(&mut self, domain: DomainId, juice: f64) {
+        self.ensure_domain(domain);
+        self.juice[domain.index()] = juice;
+    }
+
+    /// Current juice for a domain.
+    pub fn juice(&self, domain: DomainId) -> f64 {
+        self.juice.get(domain.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Applies (adds) a demotion penalty to a domain.
+    pub fn demote(&mut self, domain: DomainId, penalty: f64) {
+        self.ensure_domain(domain);
+        self.penalty[domain.index()] += penalty;
+    }
+
+    /// Current penalty for a domain.
+    pub fn penalty(&self, domain: DomainId) -> f64 {
+        self.penalty.get(domain.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Marks a domain "hacked" as of `day` (GSB-style label, §5.2.2).
+    pub fn label_hacked(&mut self, domain: DomainId, day: SimDate) {
+        self.hacked_since.entry(domain).or_insert(day);
+    }
+
+    /// Whether (and since when) a domain carries the hacked label.
+    pub fn hacked_since(&self, domain: DomainId) -> Option<SimDate> {
+        self.hacked_since.get(&domain).copied()
+    }
+
+    /// Deterministic per-(doc, day) jitter in `[-amp/2, amp/2]`. Uses the
+    /// allocation-free numeric mixer — this runs per document per SERP.
+    fn jitter(&self, doc: DocId, day: SimDate) -> f64 {
+        let h = mix(self.seed, u64::from(doc.0), u64::from(day.day_index()));
+        (unit_f64(h) - 0.5) * self.jitter_amp
+    }
+
+    /// Scores one document on one day.
+    pub fn score(&self, doc: DocId, day: SimDate) -> f64 {
+        let d = &self.docs[doc.0 as usize];
+        0.45 * d.relevance + 0.35 * d.quality + self.juice(d.domain) - self.penalty(d.domain)
+            + self.jitter(doc, day)
+    }
+
+    /// Produces the top-`k` SERP for `term` on `day`.
+    pub fn serp(&self, term: TermId, day: SimDate, k: usize) -> Serp {
+        let mut scored: Vec<(f64, DocId)> = self.postings[term.index()]
+            .iter()
+            .filter(|d| self.docs[d.0 as usize].first_indexed <= day)
+            .map(|d| (self.score(*d, day), *d))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+        let results = scored
+            .into_iter()
+            .take(k)
+            .enumerate()
+            .map(|(i, (_, d))| {
+                let doc = &self.docs[d.0 as usize];
+                let labeled = self
+                    .hacked_since
+                    .get(&doc.domain)
+                    .map(|since| *since <= day)
+                    .unwrap_or(false)
+                    && doc.url.is_root_page();
+                SearchResult {
+                    rank: (i + 1) as u32,
+                    url: doc.url.clone(),
+                    domain: doc.domain,
+                    hacked_label: labeled,
+                }
+            })
+            .collect();
+        Serp { term, day, results }
+    }
+
+    /// `site:` query — every indexed page of `domain` (§4.1.1 uses this to
+    /// harvest a doorway's search results for term extraction).
+    pub fn site_query(&self, domain: DomainId) -> Vec<&Doc> {
+        self.docs.iter().filter(|d| d.domain == domain).collect()
+    }
+
+    /// Document lookup.
+    pub fn doc(&self, id: DocId) -> &Doc {
+        &self.docs[id.0 as usize]
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::DomainName;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn day(n: u32) -> SimDate {
+        SimDate::from_day_index(n)
+    }
+
+    /// An engine with one term, 30 legit docs and 3 doorway docs.
+    fn setup() -> (SearchEngine, TermId, Vec<DomainId>) {
+        let mut e = SearchEngine::new(42, 0.05);
+        let t = e.add_term(VerticalId(0), "cheap louis vuitton");
+        let mut domains = Vec::new();
+        for i in 0..30 {
+            let d = DomainId(i);
+            domains.push(d);
+            e.index_page(
+                t,
+                url(&format!("http://legit{i}.com/")),
+                d,
+                0.4 + (i as f64) * 0.01,
+                0.5,
+                day(0),
+            );
+        }
+        for i in 30..33 {
+            let d = DomainId(i);
+            domains.push(d);
+            // Fresh doorways: no reputation, decent keyword relevance —
+            // without juice they sit below page one.
+            e.index_page(t, url(&format!("http://door{i}.com/?key=cheap+louis+vuitton")), d, 0.0, 0.6, day(0));
+        }
+        (e, t, domains)
+    }
+
+    #[test]
+    fn juice_lifts_doorways_into_top_ranks() {
+        let (mut e, t, domains) = setup();
+        let before = e.serp(t, day(10), 10);
+        assert!(before.results.iter().all(|r| r.domain.index() < 30), "no juice, no doorways on page one");
+        for d in &domains[30..] {
+            e.set_juice(*d, 0.5);
+        }
+        let after = e.serp(t, day(10), 10);
+        let doorway_hits = after.results.iter().filter(|r| r.domain.index() >= 30).count();
+        assert_eq!(doorway_hits, 3, "juiced doorways should dominate");
+        assert_eq!(after.results[0].rank, 1);
+    }
+
+    #[test]
+    fn demotion_pushes_a_domain_out() {
+        let (mut e, t, domains) = setup();
+        let target = domains[32];
+        e.set_juice(target, 0.5);
+        assert!(e.serp(t, day(5), 10).results.iter().any(|r| r.domain == target));
+        e.demote(target, 1.0);
+        assert!(e.serp(t, day(5), 10).results.iter().all(|r| r.domain != target));
+        // With only 33 candidates the demoted doc still shows in a full
+        // listing, but dead last — i.e. out of any top-k that matters.
+        let all = e.serp(t, day(5), 100);
+        assert_eq!(all.results.last().unwrap().domain, target);
+    }
+
+    #[test]
+    fn hacked_label_is_root_only_and_dated() {
+        let mut e = SearchEngine::new(1, 0.0);
+        let t = e.add_term(VerticalId(0), "x");
+        let d = DomainId(0);
+        e.index_page(t, url("http://site.com/"), d, 0.9, 0.9, day(0));
+        e.index_page(t, url("http://site.com/shop/page.html"), d, 0.9, 0.9, day(0));
+        e.label_hacked(d, day(50));
+        let before = e.serp(t, day(49), 10);
+        assert!(before.results.iter().all(|r| !r.hacked_label));
+        let after = e.serp(t, day(50), 10);
+        let root = after.results.iter().find(|r| r.url.is_root_page()).unwrap();
+        let sub = after.results.iter().find(|r| !r.url.is_root_page()).unwrap();
+        assert!(root.hacked_label, "root result must be labeled");
+        assert!(!sub.hacked_label, "sub-page result must not be labeled (root-only policy)");
+        assert_eq!(e.hacked_since(d), Some(day(50)));
+    }
+
+    #[test]
+    fn serp_is_deterministic_but_churns_across_days() {
+        let (mut e, t, domains) = setup();
+        for d in &domains[30..] {
+            e.set_juice(*d, 0.2);
+        }
+        let a = e.serp(t, day(10), 100);
+        let b = e.serp(t, day(10), 100);
+        assert_eq!(a.results, b.results, "same day, same SERP");
+        let c = e.serp(t, day(11), 100);
+        let order_a: Vec<DomainId> = a.results.iter().map(|r| r.domain).collect();
+        let order_c: Vec<DomainId> = c.results.iter().map(|r| r.domain).collect();
+        assert_ne!(order_a, order_c, "jitter must churn the ordering day to day");
+    }
+
+    #[test]
+    fn pages_only_appear_after_indexing_day() {
+        let mut e = SearchEngine::new(9, 0.0);
+        let t = e.add_term(VerticalId(0), "x");
+        e.index_page(t, url("http://new.com/"), DomainId(0), 0.9, 0.9, day(100));
+        assert!(e.serp(t, day(99), 10).results.is_empty());
+        assert_eq!(e.serp(t, day(100), 10).results.len(), 1);
+    }
+
+    #[test]
+    fn deindex_removes_from_serps() {
+        let mut e = SearchEngine::new(9, 0.0);
+        let t = e.add_term(VerticalId(0), "x");
+        let doc = e.index_page(t, url("http://gone.com/"), DomainId(0), 0.9, 0.9, day(0));
+        assert_eq!(e.serp(t, day(1), 10).results.len(), 1);
+        e.deindex_page(doc);
+        assert!(e.serp(t, day(1), 10).results.is_empty());
+    }
+
+    #[test]
+    fn site_query_lists_domain_pages() {
+        let mut e = SearchEngine::new(9, 0.0);
+        let t1 = e.add_term(VerticalId(0), "a");
+        let t2 = e.add_term(VerticalId(0), "b");
+        let d = DomainId(7);
+        e.index_page(t1, url("http://door.com/?key=a"), d, 0.1, 0.9, day(0));
+        e.index_page(t2, url("http://door.com/?key=b"), d, 0.1, 0.9, day(0));
+        e.index_page(t1, url("http://other.com/"), DomainId(8), 0.5, 0.5, day(0));
+        let pages = e.site_query(d);
+        assert_eq!(pages.len(), 2);
+        assert!(pages.iter().all(|p| p.url.host == DomainName::parse("door.com").unwrap()));
+    }
+
+    #[test]
+    fn rank_is_one_based_and_contiguous() {
+        let (e, t, _) = setup();
+        let serp = e.serp(t, day(3), 20);
+        let ranks: Vec<u32> = serp.results.iter().map(|r| r.rank).collect();
+        assert_eq!(ranks, (1..=20).collect::<Vec<u32>>());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ss_types::VerticalId;
+
+    proptest! {
+        /// SERP results are always ordered by non-increasing score, and the
+        /// top-k is a prefix of the full ordering.
+        #[test]
+        fn serps_are_sorted_and_prefix_stable(
+            n_docs in 2usize..60,
+            day in 0u32..300,
+            k in 1usize..30,
+        ) {
+            let mut e = SearchEngine::new(7, 0.05);
+            let t = e.add_term(VerticalId(0), "q");
+            let mut docs = Vec::new();
+            for i in 0..n_docs {
+                let q = (i as f64 * 37.0 % 17.0) / 17.0;
+                let r = (i as f64 * 11.0 % 13.0) / 13.0;
+                docs.push(e.index_page(
+                    t,
+                    Url::parse(&format!("http://d{i}.com/")).unwrap(),
+                    DomainId(i as u32),
+                    q,
+                    r,
+                    SimDate::from_day_index(0),
+                ));
+            }
+            let date = SimDate::from_day_index(day);
+            let full = e.serp(t, date, n_docs);
+            let scores: Vec<f64> =
+                full.results.iter().map(|r| {
+                    let doc = docs.iter().find(|d| e.doc(**d).domain == r.domain).unwrap();
+                    e.score(*doc, date)
+                }).collect();
+            for w in scores.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12, "scores not sorted: {scores:?}");
+            }
+            let topk = e.serp(t, date, k);
+            for (a, b) in topk.results.iter().zip(&full.results) {
+                prop_assert_eq!(a.domain, b.domain, "top-k must be a prefix");
+            }
+        }
+    }
+}

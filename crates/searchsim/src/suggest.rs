@@ -1,0 +1,140 @@
+//! A Google-Suggest-style completion service.
+//!
+//! §4.1.1: for verticals the KEY campaign did not target, search terms were
+//! chosen by "recursively fetch[ing] suggestions" for a brand and by
+//! combining "commonly used adjective[s] (e.g., cheap, new, online, outlet,
+//! sale or store)" with the brand name. The simulated service expands a
+//! query into deterministic suggestions from the same grammar the
+//! ecosystem's users and campaigns speak, so the two term-selection
+//! methodologies (KEY-doorway extraction vs. Suggest) can be compared for
+//! bias exactly as the paper does (experiment S3).
+
+use rand::seq::SliceRandom;
+use ss_types::market::{PRODUCT_NOUNS, TERM_ADJECTIVES};
+use ss_types::rng::sub_rng;
+
+/// The suggestion service.
+#[derive(Debug, Clone)]
+pub struct SuggestService {
+    seed: u64,
+    /// How many suggestions a single query returns (Google shows ~10).
+    pub per_query: usize,
+}
+
+impl SuggestService {
+    /// Creates a service. Suggestions are a pure function of `(seed, query)`.
+    pub fn new(seed: u64) -> Self {
+        SuggestService { seed, per_query: 10 }
+    }
+
+    /// Returns completions for `query` (a brand or brand+noun phrase).
+    ///
+    /// The grammar mirrors how real luxury-counterfeit queries look:
+    /// `<brand> <noun>`, `<adjective> <brand>`, `<brand> <noun> <qualifier>`.
+    pub fn suggest(&self, query: &str) -> Vec<String> {
+        let query = query.trim().to_ascii_lowercase();
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = sub_rng(self.seed, &format!("suggest/{query}"));
+        let qualifiers = ["sale", "outlet", "online", "for women", "for men", "uk", "free shipping", "2014"];
+        let mut pool: Vec<String> = Vec::new();
+        for noun in PRODUCT_NOUNS {
+            pool.push(format!("{query} {noun}"));
+        }
+        for adj in TERM_ADJECTIVES {
+            // Only prepend adjectives when the query doesn't already start
+            // with one (mirrors real autocomplete behaviour loosely).
+            if !TERM_ADJECTIVES.iter().any(|a| query.starts_with(a)) {
+                pool.push(format!("{adj} {query}"));
+            }
+        }
+        for q in qualifiers {
+            pool.push(format!("{query} {q}"));
+        }
+        pool.shuffle(&mut rng);
+        pool.truncate(self.per_query);
+        pool.sort();
+        pool
+    }
+
+    /// The paper's recursive expansion: fetch suggestions for `brand`, then
+    /// suggestions for each suggestion, plus adjective+brand compositions;
+    /// dedup and return the full candidate set.
+    pub fn expand_recursive(&self, brand: &str, depth: usize) -> Vec<String> {
+        let mut seen: Vec<String> = Vec::new();
+        let mut frontier = vec![brand.trim().to_ascii_lowercase()];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for q in &frontier {
+                for s in self.suggest(q) {
+                    if !seen.contains(&s) {
+                        seen.push(s.clone());
+                        next.push(s);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for adj in TERM_ADJECTIVES {
+            let composed = format!("{adj} {}", brand.trim().to_ascii_lowercase());
+            for s in self.suggest(&composed) {
+                if !seen.contains(&s) {
+                    seen.push(s);
+                }
+            }
+            if !seen.contains(&composed) {
+                seen.push(composed);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suggestions_are_deterministic_and_contain_query() {
+        let s = SuggestService::new(7);
+        let a = s.suggest("louis vuitton");
+        let b = s.suggest("louis vuitton");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|x| x.contains("louis vuitton")));
+    }
+
+    #[test]
+    fn different_queries_differ() {
+        let s = SuggestService::new(7);
+        assert_ne!(s.suggest("uggs"), s.suggest("ed hardy"));
+    }
+
+    #[test]
+    fn recursion_grows_the_candidate_set() {
+        let s = SuggestService::new(7);
+        let d1 = s.expand_recursive("uggs", 1);
+        let d2 = s.expand_recursive("uggs", 2);
+        assert!(d2.len() > d1.len(), "{} vs {}", d2.len(), d1.len());
+        // Enough candidates to sample 100 terms per vertical from.
+        assert!(d2.len() >= 100, "only {} candidates", d2.len());
+    }
+
+    #[test]
+    fn adjective_compositions_present() {
+        let s = SuggestService::new(7);
+        let set = s.expand_recursive("moncler", 1);
+        assert!(set.iter().any(|t| t.starts_with("cheap moncler")));
+    }
+
+    #[test]
+    fn no_duplicate_candidates() {
+        let s = SuggestService::new(3);
+        let set = s.expand_recursive("nike", 2);
+        let mut dedup = set.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), set.len());
+    }
+}

@@ -1,0 +1,292 @@
+//! Cloaking: the decision logic of §3.1.1.
+//!
+//! A cloaked doorway serves different content to different visitor classes.
+//! This module encodes *which* view a given request receives; the actual
+//! page bytes come from [`crate::pagegen`]. Three mechanisms are modeled:
+//!
+//! * **Redirect cloaking** — the classic server-side technique: crawlers
+//!   (identified by User-Agent) get a keyword-stuffed SEO page; users
+//!   arriving from a search results page get an HTTP 302 to the store.
+//! * **JS-redirect cloaking** — same decision, but the hop is a
+//!   `window.location` assignment in a script, invisible without rendering.
+//! * **Iframe cloaking** — the paper's newly documented method: *every*
+//!   visitor receives the same HTML, and client-side script loads the store
+//!   in a full-viewport iframe. Server-side detection sees no difference;
+//!   only a rendering crawler catches it.
+//!
+//! Compromised doorways additionally gate on the referrer: visitors who do
+//! not arrive via a search engine see the original legitimate site, which
+//! keeps the compromise invisible to the site owner.
+
+use ss_types::Url;
+
+use crate::http::{Request, UserAgent};
+
+/// How a doorway conceals its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloakMode {
+    /// Server-side 302 redirect for search-referred users.
+    Redirect,
+    /// Client-side `window.location` redirect emitted in a script.
+    JsRedirect,
+    /// Full-viewport iframe loaded client-side; `obfuscation` selects how
+    /// disguised the payload script is (0 = plain, 3 = heaviest).
+    Iframe {
+        /// Obfuscation level 0–3.
+        obfuscation: u8,
+    },
+}
+
+impl CloakMode {
+    /// Whether this mode returns identical HTTP bodies to crawlers and
+    /// users (making server-side diffing blind).
+    pub fn same_bytes_for_all(self) -> bool {
+        matches!(self, CloakMode::Iframe { .. })
+    }
+}
+
+/// The visitor classes a doorway distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisitorClass {
+    /// A search-engine crawler (User-Agent sniffed).
+    Crawler,
+    /// A user who clicked through from a search results page.
+    SearchUser,
+    /// Any other visitor (direct, bookmarked, site owner).
+    DirectUser,
+}
+
+/// Classifies a request the way SEO kits do: User-Agent first, then the
+/// referrer. `search_hosts` lists hostnames treated as search engines.
+pub fn classify_visitor(req: &Request, search_hosts: &[&str]) -> VisitorClass {
+    if req.user_agent == UserAgent::GoogleBot {
+        return VisitorClass::Crawler;
+    }
+    match &req.referrer {
+        Some(r) if is_search_referrer(r, search_hosts) => VisitorClass::SearchUser,
+        _ => VisitorClass::DirectUser,
+    }
+}
+
+fn is_search_referrer(referrer: &Url, search_hosts: &[&str]) -> bool {
+    search_hosts.iter().any(|h| referrer.host.as_str() == *h)
+}
+
+/// What the doorway decides to serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeDecision {
+    /// Serve the keyword-stuffed SEO page (crawler view).
+    SeoPage,
+    /// HTTP 302 to the store.
+    HttpRedirect(Url),
+    /// Serve the SEO page with a JS redirect payload embedded.
+    SeoPageWithJsRedirect(Url),
+    /// Serve the doorway page with the iframe-cloaking payload.
+    IframePage {
+        /// The store URL the iframe loads.
+        target: Url,
+        /// Obfuscation level to emit.
+        obfuscation: u8,
+    },
+    /// Serve the original (legitimate) content — compromised doorways keep
+    /// non-search visitors on the real site.
+    OriginalContent,
+}
+
+/// Resolves a request against a doorway's cloaking configuration.
+///
+/// `compromised` doorways show original content to direct visitors; SEO-kit
+/// "dedicated" doorways (on attacker-registered domains) have no original
+/// content to show, so direct users get the payload too.
+pub fn decide(
+    mode: CloakMode,
+    compromised: bool,
+    target: &Url,
+    req: &Request,
+    search_hosts: &[&str],
+) -> ServeDecision {
+    let class = classify_visitor(req, search_hosts);
+    match (mode, class) {
+        // Iframe cloaking serves the same bytes to everyone; the payload
+        // only *acts* in a rendering browser. Compromised hosts still show
+        // direct visitors the original page to stay hidden.
+        (CloakMode::Iframe { obfuscation }, VisitorClass::Crawler) => {
+            ServeDecision::IframePage { target: target.clone(), obfuscation }
+        }
+        (CloakMode::Iframe { obfuscation }, VisitorClass::SearchUser) => {
+            ServeDecision::IframePage { target: target.clone(), obfuscation }
+        }
+        (CloakMode::Iframe { obfuscation }, VisitorClass::DirectUser) => {
+            if compromised {
+                ServeDecision::OriginalContent
+            } else {
+                ServeDecision::IframePage { target: target.clone(), obfuscation }
+            }
+        }
+        (_, VisitorClass::Crawler) => ServeDecision::SeoPage,
+        (CloakMode::Redirect, VisitorClass::SearchUser) => {
+            ServeDecision::HttpRedirect(target.clone())
+        }
+        (CloakMode::JsRedirect, VisitorClass::SearchUser) => {
+            ServeDecision::SeoPageWithJsRedirect(target.clone())
+        }
+        (_, VisitorClass::DirectUser) => {
+            if compromised {
+                ServeDecision::OriginalContent
+            } else {
+                match mode {
+                    CloakMode::Redirect => ServeDecision::HttpRedirect(target.clone()),
+                    CloakMode::JsRedirect => ServeDecision::SeoPageWithJsRedirect(target.clone()),
+                    CloakMode::Iframe { .. } => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+}
+
+/// The default search-engine hosts the simulated SEO kits sniff for.
+pub const SEARCH_HOSTS: &[&str] = &["google.com", "www.google.com"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn store() -> Url {
+        url("http://store.com/")
+    }
+
+    fn search_req() -> Request {
+        Request::browser_from(url("http://door.com/p"), url("http://google.com/search?q=x"))
+    }
+
+    #[test]
+    fn classifies_visitors() {
+        assert_eq!(
+            classify_visitor(&Request::crawler(url("http://d.com/")), SEARCH_HOSTS),
+            VisitorClass::Crawler
+        );
+        assert_eq!(classify_visitor(&search_req(), SEARCH_HOSTS), VisitorClass::SearchUser);
+        assert_eq!(
+            classify_visitor(&Request::browser(url("http://d.com/")), SEARCH_HOSTS),
+            VisitorClass::DirectUser
+        );
+        // A referrer from a non-search site is a direct visit.
+        let other = Request::browser_from(url("http://d.com/"), url("http://blog.com/"));
+        assert_eq!(classify_visitor(&other, SEARCH_HOSTS), VisitorClass::DirectUser);
+    }
+
+    #[test]
+    fn redirect_cloaking_splits_by_class() {
+        let m = CloakMode::Redirect;
+        assert_eq!(
+            decide(m, true, &store(), &Request::crawler(url("http://d.com/")), SEARCH_HOSTS),
+            ServeDecision::SeoPage
+        );
+        assert_eq!(
+            decide(m, true, &store(), &search_req(), SEARCH_HOSTS),
+            ServeDecision::HttpRedirect(store())
+        );
+        assert_eq!(
+            decide(m, true, &store(), &Request::browser(url("http://d.com/")), SEARCH_HOSTS),
+            ServeDecision::OriginalContent
+        );
+    }
+
+    #[test]
+    fn dedicated_doorways_redirect_direct_users_too() {
+        let m = CloakMode::Redirect;
+        assert_eq!(
+            decide(m, false, &store(), &Request::browser(url("http://d.com/")), SEARCH_HOSTS),
+            ServeDecision::HttpRedirect(store())
+        );
+    }
+
+    #[test]
+    fn iframe_cloaking_serves_same_shape_to_crawler_and_search_user() {
+        let m = CloakMode::Iframe { obfuscation: 2 };
+        let to_crawler =
+            decide(m, true, &store(), &Request::crawler(url("http://d.com/")), SEARCH_HOSTS);
+        let to_user = decide(m, true, &store(), &search_req(), SEARCH_HOSTS);
+        assert_eq!(to_crawler, to_user);
+        assert!(matches!(to_crawler, ServeDecision::IframePage { .. }));
+        assert!(m.same_bytes_for_all());
+    }
+
+    #[test]
+    fn compromised_iframe_doorway_hides_from_owner() {
+        let m = CloakMode::Iframe { obfuscation: 0 };
+        assert_eq!(
+            decide(m, true, &store(), &Request::browser(url("http://d.com/")), SEARCH_HOSTS),
+            ServeDecision::OriginalContent
+        );
+    }
+
+    #[test]
+    fn js_redirect_embeds_payload() {
+        let m = CloakMode::JsRedirect;
+        assert_eq!(
+            decide(m, true, &store(), &search_req(), SEARCH_HOSTS),
+            ServeDecision::SeoPageWithJsRedirect(store())
+        );
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn any_mode() -> impl Strategy<Value = CloakMode> {
+        prop_oneof![
+            Just(CloakMode::Redirect),
+            Just(CloakMode::JsRedirect),
+            (0u8..4).prop_map(|o| CloakMode::Iframe { obfuscation: o }),
+        ]
+    }
+
+    proptest! {
+        /// Crawlers never receive an HTTP redirect to the store — that
+        /// would expose the scam to the search engine directly.
+        #[test]
+        fn crawlers_never_get_http_redirects(mode in any_mode(), compromised: bool) {
+            let store = Url::parse("http://store.com/").unwrap();
+            let req = crate::http::Request::crawler(Url::parse("http://d.com/").unwrap());
+            let decision = decide(mode, compromised, &store, &req, SEARCH_HOSTS);
+            prop_assert!(!matches!(decision, ServeDecision::HttpRedirect(_)));
+            prop_assert!(!matches!(decision, ServeDecision::SeoPageWithJsRedirect(_)));
+        }
+
+        /// Compromised doorways never reveal the payload to direct
+        /// visitors (that is what keeps the compromise invisible).
+        #[test]
+        fn compromised_hosts_hide_from_direct_visitors(mode in any_mode()) {
+            let store = Url::parse("http://store.com/").unwrap();
+            let req = crate::http::Request::browser(Url::parse("http://d.com/").unwrap());
+            let decision = decide(mode, true, &store, &req, SEARCH_HOSTS);
+            prop_assert_eq!(decision, ServeDecision::OriginalContent);
+        }
+
+        /// Search users always end up exposed to the store, one way or
+        /// another (that is the point of the doorway).
+        #[test]
+        fn search_users_always_reach_the_payload(mode in any_mode(), compromised: bool) {
+            let store = Url::parse("http://store.com/").unwrap();
+            let req = crate::http::Request::browser_from(
+                Url::parse("http://d.com/").unwrap(),
+                Url::parse("http://google.com/search?q=x").unwrap(),
+            );
+            let decision = decide(mode, compromised, &store, &req, SEARCH_HOSTS);
+            let exposed = matches!(
+                decision,
+                ServeDecision::HttpRedirect(_)
+                    | ServeDecision::SeoPageWithJsRedirect(_)
+                    | ServeDecision::IframePage { .. }
+            );
+            prop_assert!(exposed, "search user was not funneled to the store");
+        }
+    }
+}

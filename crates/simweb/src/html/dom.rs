@@ -1,0 +1,367 @@
+//! The DOM tree and its query operations.
+
+use super::token::{tokenize, Token};
+
+/// Elements that never have children (HTML void elements we emit/accept).
+fn is_void(tag: &str) -> bool {
+    matches!(
+        tag,
+        "br" | "hr" | "img" | "meta" | "link" | "input" | "base" | "area" | "col" | "embed"
+            | "source" | "track" | "wbr"
+    )
+}
+
+/// An element node: tag, attributes, children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Lower-cased tag name.
+    pub tag: String,
+    /// Attributes in document order (names lower-cased, values decoded).
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an element with no attributes or children.
+    pub fn new(tag: &str) -> Self {
+        Element { tag: tag.to_ascii_lowercase(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// First value of attribute `name`, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Sets (or replaces) attribute `name`.
+    pub fn set_attr(&mut self, name: &str, value: &str) {
+        let name = name.to_ascii_lowercase();
+        match self.attrs.iter_mut().find(|(k, _)| *k == name) {
+            Some(slot) => slot.1 = value.to_owned(),
+            None => self.attrs.push((name, value.to_owned())),
+        }
+    }
+
+    /// Concatenated text content of the subtree (script/style excluded).
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        collect_text(&self.children, &mut out);
+        out
+    }
+}
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element with children.
+    Element(Element),
+    /// A text run.
+    Text(String),
+    /// A comment.
+    Comment(String),
+}
+
+impl Node {
+    /// The element inside this node, if it is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn collect_text(nodes: &[Node], out: &mut String) {
+    for n in nodes {
+        match n {
+            Node::Text(t) => out.push_str(t),
+            Node::Element(e) if e.tag == "script" || e.tag == "style" => {}
+            Node::Element(e) => collect_text(&e.children, out),
+            Node::Comment(_) => {}
+        }
+    }
+}
+
+/// A parsed HTML document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Document {
+    /// Top-level nodes.
+    pub roots: Vec<Node>,
+}
+
+impl Document {
+    /// Parses HTML into a tree. Lenient: stray end tags are dropped,
+    /// unclosed elements are closed at end of input, and void elements
+    /// never take children.
+    pub fn parse(html: &str) -> Self {
+        Self::from_tokens(tokenize(html))
+    }
+
+    /// Builds a document from a pre-tokenized stream.
+    pub fn from_tokens(tokens: Vec<Token>) -> Self {
+        // Stack of open elements; index 0 is a synthetic root.
+        let mut stack: Vec<Element> = vec![Element::new("#root")];
+        for tok in tokens {
+            match tok {
+                Token::Text(t) => {
+                    stack.last_mut().expect("root").children.push(Node::Text(t));
+                }
+                Token::Comment(c) => {
+                    stack.last_mut().expect("root").children.push(Node::Comment(c));
+                }
+                Token::Start { tag, attrs, self_closing } => {
+                    let el = Element { tag: tag.clone(), attrs, children: Vec::new() };
+                    if self_closing || is_void(&tag) {
+                        stack.last_mut().expect("root").children.push(Node::Element(el));
+                    } else {
+                        stack.push(el);
+                    }
+                }
+                Token::End { tag } => {
+                    // Find the matching open element; ignore if none.
+                    if let Some(pos) = stack.iter().rposition(|e| e.tag == tag) {
+                        if pos == 0 {
+                            continue; // never close the synthetic root
+                        }
+                        while stack.len() > pos {
+                            let done = stack.pop().expect("len > pos >= 1");
+                            stack
+                                .last_mut()
+                                .expect("stack non-empty")
+                                .children
+                                .push(Node::Element(done));
+                        }
+                    }
+                }
+            }
+        }
+        // Close any dangling elements.
+        while stack.len() > 1 {
+            let done = stack.pop().expect("len > 1");
+            stack.last_mut().expect("root remains").children.push(Node::Element(done));
+        }
+        Document { roots: stack.pop().expect("root").children }
+    }
+
+    /// Depth-first iterator over all elements.
+    pub fn elements(&self) -> Vec<&Element> {
+        let mut out = Vec::new();
+        fn walk<'a>(nodes: &'a [Node], out: &mut Vec<&'a Element>) {
+            for n in nodes {
+                if let Node::Element(e) = n {
+                    out.push(e);
+                    walk(&e.children, out);
+                }
+            }
+        }
+        walk(&self.roots, &mut out);
+        out
+    }
+
+    /// All elements with the given tag name.
+    pub fn find_all(&self, tag: &str) -> Vec<&Element> {
+        self.elements().into_iter().filter(|e| e.tag == tag).collect()
+    }
+
+    /// First element with the given tag name.
+    pub fn find_first(&self, tag: &str) -> Option<&Element> {
+        self.elements().into_iter().find(|e| e.tag == tag)
+    }
+
+    /// First element with the given `id` attribute.
+    pub fn by_id(&self, id: &str) -> Option<&Element> {
+        self.elements().into_iter().find(|e| e.attr("id") == Some(id))
+    }
+
+    /// The `<title>` text, if any.
+    pub fn title(&self) -> Option<String> {
+        self.find_first("title").map(|t| t.text_content())
+    }
+
+    /// Visible text of the whole document.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        collect_text(&self.roots, &mut out);
+        out
+    }
+
+    /// All `href` values of `<a>` elements.
+    pub fn links(&self) -> Vec<String> {
+        self.find_all("a")
+            .into_iter()
+            .filter_map(|a| a.attr("href").map(str::to_owned))
+            .collect()
+    }
+
+    /// Bodies of all `<script>` elements (inline source text).
+    pub fn scripts(&self) -> Vec<String> {
+        self.find_all("script").into_iter().map(|s| s.text_content_raw()).collect()
+    }
+
+    /// All comment nodes' contents.
+    pub fn comments(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(nodes: &'a [Node], out: &mut Vec<&'a str>) {
+            for n in nodes {
+                match n {
+                    Node::Comment(c) => out.push(c.as_str()),
+                    Node::Element(e) => walk(&e.children, out),
+                    Node::Text(_) => {}
+                }
+            }
+        }
+        walk(&self.roots, &mut out);
+        out
+    }
+
+    /// Serializes the document back to HTML.
+    pub fn to_html(&self) -> String {
+        let mut out = String::new();
+        for n in &self.roots {
+            write_node(n, &mut out);
+        }
+        out
+    }
+}
+
+impl Element {
+    /// Raw text content including script/style bodies (used to pull JS
+    /// source out of `<script>` elements).
+    pub fn text_content_raw(&self) -> String {
+        let mut out = String::new();
+        fn walk(nodes: &[Node], out: &mut String) {
+            for n in nodes {
+                match n {
+                    Node::Text(t) => out.push_str(t),
+                    Node::Element(e) => walk(&e.children, out),
+                    Node::Comment(_) => {}
+                }
+            }
+        }
+        walk(&self.children, &mut out);
+        out
+    }
+}
+
+fn write_node(node: &Node, out: &mut String) {
+    match node {
+        Node::Text(t) => out.push_str(&super::escape_text(t)),
+        Node::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        Node::Element(e) => {
+            out.push('<');
+            out.push_str(&e.tag);
+            for (k, v) in &e.attrs {
+                out.push(' ');
+                out.push_str(k);
+                if !v.is_empty() {
+                    out.push_str("=\"");
+                    out.push_str(&super::escape_attr(v));
+                    out.push('"');
+                }
+            }
+            out.push('>');
+            if e.tag == "script" || e.tag == "style" {
+                // Raw text: emit verbatim.
+                for c in &e.children {
+                    if let Node::Text(t) = c {
+                        out.push_str(t);
+                    }
+                }
+                out.push_str(&format!("</{}>", e.tag));
+            } else if !is_void(&e.tag) {
+                for c in &e.children {
+                    write_node(c, out);
+                }
+                out.push_str(&format!("</{}>", e.tag));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_nested_structure() {
+        let doc = Document::parse("<html><head><title>T</title></head><body><p>a<b>c</b></p></body></html>");
+        assert_eq!(doc.title().as_deref(), Some("T"));
+        let ps = doc.find_all("p");
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].text_content(), "ac");
+    }
+
+    #[test]
+    fn void_elements_do_not_swallow_siblings() {
+        let doc = Document::parse("<p>a<br>b<img src=\"x.png\">c</p>");
+        assert_eq!(doc.find_first("p").unwrap().text_content(), "abc");
+        assert_eq!(doc.find_all("img")[0].attr("src"), Some("x.png"));
+    }
+
+    #[test]
+    fn stray_end_tags_ignored_and_unclosed_closed() {
+        let doc = Document::parse("</b><div><p>text");
+        assert_eq!(doc.find_first("div").unwrap().text_content(), "text");
+    }
+
+    #[test]
+    fn misnesting_recovers() {
+        let doc = Document::parse("<b><i>x</b></i>y");
+        // </b> closes both i and b; y is top-level text.
+        assert!(doc.text_content().contains('x'));
+        assert!(doc.text_content().contains('y'));
+    }
+
+    #[test]
+    fn by_id_and_links() {
+        let doc = Document::parse(r#"<div id="main"><a href="/a">1</a><a href="http://x.com/b">2</a></div>"#);
+        assert!(doc.by_id("main").is_some());
+        assert_eq!(doc.links(), vec!["/a", "http://x.com/b"]);
+    }
+
+    #[test]
+    fn scripts_extracted_raw() {
+        let doc = Document::parse(r#"<script>var a = 1 < 2 && "</x>";</script>"#);
+        let s = doc.scripts();
+        assert_eq!(s.len(), 1);
+        assert!(s[0].contains("1 < 2"));
+    }
+
+    #[test]
+    fn text_excludes_script_and_style() {
+        let doc = Document::parse("<p>seen</p><script>hidden()</script><style>.x{}</style>");
+        let t = doc.text_content();
+        assert!(t.contains("seen"));
+        assert!(!t.contains("hidden"));
+        assert!(!t.contains(".x"));
+    }
+
+    #[test]
+    fn serialization_roundtrips_structure() {
+        let src = r#"<div class="a b"><p>Hello &amp; bye</p><iframe width="100%" height="900"></iframe></div>"#;
+        let doc = Document::parse(src);
+        let re = Document::parse(&doc.to_html());
+        assert_eq!(doc, re);
+    }
+
+    proptest! {
+        #[test]
+        fn parse_never_panics(s in "[ -~]{0,200}") {
+            let _ = Document::parse(&s);
+        }
+
+        #[test]
+        fn reserialization_fixpoint(words in proptest::collection::vec("[a-z]{1,8}", 1..6)) {
+            let html = format!("<div id=\"{}\"><p>{}</p></div>", words[0], words.join(" "));
+            let doc = Document::parse(&html);
+            let once = doc.to_html();
+            let twice = Document::parse(&once).to_html();
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The HTTP-shaped interface between the crawler and the simulated web.
+//!
+//! The paper's detectors hinge on exactly the fields modeled here: the
+//! `User-Agent` (Dagger fetches each page once as Googlebot and once as a
+//! browser, §4.1.2), the `Referer` (compromised doorways only redirect
+//! visitors arriving *from a search results page*, §3.1.1; AWStats reports
+//! referrers, §5.2.3), `Set-Cookie` (store detection keys on payment /
+//! e-commerce / analytics cookies, §4.1.3), and redirects (redirect
+//! cloaking; seizure notices).
+
+use ss_types::Url;
+
+/// Who is fetching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UserAgent {
+    /// A human visitor's browser (renders JavaScript when the caller asks).
+    Browser,
+    /// A search-engine crawler self-identifying as Googlebot. Cloaked sites
+    /// key off this (server-side cloaking), and real crawlers do not render
+    /// JS at scale — which is the assumption iframe cloaking exploits.
+    GoogleBot,
+}
+
+impl UserAgent {
+    /// The header string sent on the wire.
+    pub fn header_value(self) -> &'static str {
+        match self {
+            UserAgent::Browser => {
+                "Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36 Safari/537.36"
+            }
+            UserAgent::GoogleBot => "Mozilla/5.0 (compatible; Googlebot/2.1)",
+        }
+    }
+}
+
+/// A fetch request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The URL to fetch.
+    pub url: Url,
+    /// Which agent identity to present.
+    pub user_agent: UserAgent,
+    /// The `Referer` header, when the navigation came from another page.
+    /// `None` models direct visits, proxies that strip the header, email
+    /// clients, and HTTPS→HTTP transitions (§5.2.3 footnote).
+    pub referrer: Option<Url>,
+}
+
+impl Request {
+    /// A direct browser visit with no referrer.
+    pub fn browser(url: Url) -> Self {
+        Request { url, user_agent: UserAgent::Browser, referrer: None }
+    }
+
+    /// A browser visit that arrived by clicking a link on `referrer`.
+    pub fn browser_from(url: Url, referrer: Url) -> Self {
+        Request { url, user_agent: UserAgent::Browser, referrer: Some(referrer) }
+    }
+
+    /// A search-engine crawler visit.
+    pub fn crawler(url: Url) -> Self {
+        Request { url, user_agent: UserAgent::GoogleBot, referrer: None }
+    }
+}
+
+/// A cookie set by a response. Only the name matters for the paper's store
+/// detection heuristics, but we keep the value for realism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cookie {
+    /// Cookie name, e.g. `zenid` or `cnzz_a`.
+    pub name: String,
+    /// Opaque value.
+    pub value: String,
+}
+
+/// A fetch response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code (200, 302, 404, …).
+    pub status: u16,
+    /// Redirect target for 3xx responses.
+    pub location: Option<Url>,
+    /// Cookies set by this response.
+    pub cookies: Vec<Cookie>,
+    /// The HTML body (empty for redirects and errors).
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response carrying `body`.
+    pub fn ok(body: String) -> Self {
+        Response { status: 200, location: None, cookies: Vec::new(), body }
+    }
+
+    /// A 302 redirect to `to`.
+    pub fn redirect(to: Url) -> Self {
+        Response { status: 302, location: Some(to), cookies: Vec::new(), body: String::new() }
+    }
+
+    /// A 404 response.
+    pub fn not_found() -> Self {
+        Response {
+            status: 404,
+            location: None,
+            cookies: Vec::new(),
+            body: "<html><body><h1>404 Not Found</h1></body></html>".into(),
+        }
+    }
+
+    /// Attaches cookies (builder style).
+    pub fn with_cookies(mut self, cookies: Vec<Cookie>) -> Self {
+        self.cookies = cookies;
+        self
+    }
+
+    /// Whether this response is an HTTP redirect.
+    pub fn is_redirect(&self) -> bool {
+        (300..400).contains(&self.status) && self.location.is_some()
+    }
+}
+
+/// The interface every consumer of the simulated web speaks.
+///
+/// Implemented by `ss-eco`'s `World`. `fetch` takes `&mut self` because the
+/// web is stateful in exactly the ways the paper exploits: storefronts
+/// allocate order numbers when a visitor reaches checkout, and AWStats logs
+/// record every page view.
+pub trait Web {
+    /// Serves one request.
+    fn fetch(&mut self, req: &Request) -> Response;
+
+    /// Follows redirects (HTTP only — JS redirects need a renderer) up to
+    /// `max_hops`, returning the chain of URLs visited and the final
+    /// response. The chain always contains at least the request URL.
+    fn fetch_following(&mut self, req: &Request, max_hops: usize) -> (Vec<Url>, Response) {
+        let mut chain = vec![req.url.clone()];
+        let mut current = req.clone();
+        let mut resp = self.fetch(&current);
+        let mut hops = 0;
+        while resp.is_redirect() && hops < max_hops {
+            let next = resp.location.clone().expect("is_redirect checked location");
+            // The redirect carries the original referrer onward, which is
+            // how storefronts see search-engine referrers via doorways.
+            current = Request {
+                url: next.clone(),
+                user_agent: current.user_agent,
+                referrer: current.referrer.clone(),
+            };
+            chain.push(next);
+            resp = self.fetch(&current);
+            hops += 1;
+        }
+        (chain, resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::DomainName;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    /// A toy web for exercising the default redirect-following logic.
+    struct ToyWeb;
+    impl Web for ToyWeb {
+        fn fetch(&mut self, req: &Request) -> Response {
+            match req.url.host.as_str() {
+                "a.com" => Response::redirect(url("http://b.com/")),
+                "b.com" => Response::redirect(url("http://c.com/")),
+                "loop.com" => Response::redirect(url("http://loop.com/")),
+                _ => Response::ok(format!("<p>host {}</p>", req.url.host)),
+            }
+        }
+    }
+
+    #[test]
+    fn follows_redirect_chain() {
+        let mut web = ToyWeb;
+        let (chain, resp) = web.fetch_following(&Request::browser(url("http://a.com/")), 10);
+        let hosts: Vec<&str> = chain.iter().map(|u| u.host.as_str()).collect();
+        assert_eq!(hosts, ["a.com", "b.com", "c.com"]);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("c.com"));
+    }
+
+    #[test]
+    fn redirect_loops_are_bounded() {
+        let mut web = ToyWeb;
+        let (chain, resp) = web.fetch_following(&Request::browser(url("http://loop.com/")), 5);
+        assert_eq!(chain.len(), 6);
+        assert!(resp.is_redirect());
+    }
+
+    #[test]
+    fn request_constructors() {
+        let u = url("http://x.com/p");
+        let r = Request::browser_from(u.clone(), url("http://google.com/search?q=x"));
+        assert_eq!(r.user_agent, UserAgent::Browser);
+        assert_eq!(r.referrer.as_ref().unwrap().host, DomainName::parse("google.com").unwrap());
+        assert_eq!(Request::crawler(u).user_agent, UserAgent::GoogleBot);
+    }
+
+    #[test]
+    fn response_helpers() {
+        assert!(Response::redirect(url("http://x.com/")).is_redirect());
+        assert!(!Response::ok(String::new()).is_redirect());
+        assert_eq!(Response::not_found().status, 404);
+    }
+}

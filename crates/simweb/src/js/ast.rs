@@ -1,0 +1,93 @@
+//! The JavaScript AST.
+
+/// Binary operators, in source syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` — numeric addition or string concatenation.
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==` / `===` (we treat both as value equality after light coercion).
+    Eq,
+    /// `!=` / `!==`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `!`
+    Not,
+    /// `-`
+    Neg,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null` (and `undefined` lexes as an identifier resolved at runtime).
+    Null,
+    /// Variable reference.
+    Ident(String),
+    /// `[a, b, c]`
+    Array(Vec<Expr>),
+    /// `obj.field`
+    Member(Box<Expr>, String),
+    /// `obj[idx]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `callee(args…)` — callee may be an identifier or member.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// `cond ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Assignment, `target = value`; target must be Ident/Member/Index.
+    Assign(Box<Expr>, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var name = init;` (init optional).
+    Var(String, Option<Expr>),
+    /// A bare expression (usually a call or assignment).
+    Expr(Expr),
+    /// `if (cond) { … } else { … }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { … }`
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) { … }`
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Vec<Stmt>),
+    /// `function name(params) { … }`
+    Function(String, Vec<String>, Vec<Stmt>),
+    /// `return expr;`
+    Return(Option<Expr>),
+    /// Empty statement `;`.
+    Empty,
+}

@@ -1,0 +1,227 @@
+//! The JavaScript lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (always f64, as in JS).
+    Num(f64),
+    /// String literal, unescaped.
+    Str(String),
+    /// Punctuation / operator, e.g. `(`, `==`, `&&`.
+    Punct(&'static str),
+}
+
+/// A lexing failure with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+/// Multi-character operators, longest first so `==` beats `=`.
+const PUNCTS: &[&str] = &[
+    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "(", ")", "{", "}",
+    "[", "]", ";", ",", ".", "=", "<", ">", "+", "-", "*", "/", "%", "!", "?", ":",
+];
+
+/// Lexes a source string into tokens. Comments (`//`, `/* */`) and
+/// whitespace are skipped.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    'outer: while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if src[i..].starts_with("//") {
+            i = src[i..].find('\n').map(|e| i + e + 1).unwrap_or(bytes.len());
+            continue;
+        }
+        if src[i..].starts_with("/*") {
+            i = src[i + 2..]
+                .find("*/")
+                .map(|e| i + 2 + e + 2)
+                .ok_or(LexError { pos: i, msg: "unterminated block comment".into() })?;
+            continue;
+        }
+        // Strings.
+        if b == b'"' || b == b'\'' {
+            let quote = b;
+            let mut out = String::new();
+            let mut j = i + 1;
+            while j < bytes.len() {
+                match bytes[j] {
+                    q if q == quote => {
+                        toks.push(Tok::Str(out));
+                        i = j + 1;
+                        continue 'outer;
+                    }
+                    b'\\' => {
+                        let esc = bytes.get(j + 1).copied().ok_or(LexError {
+                            pos: j,
+                            msg: "dangling escape".into(),
+                        })?;
+                        match esc {
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'\\' => out.push('\\'),
+                            b'\'' => out.push('\''),
+                            b'"' => out.push('"'),
+                            b'/' => out.push('/'),
+                            b'x' => {
+                                let hex = src.get(j + 2..j + 4).ok_or(LexError {
+                                    pos: j,
+                                    msg: "truncated \\x escape".into(),
+                                })?;
+                                let v = u8::from_str_radix(hex, 16).map_err(|_| LexError {
+                                    pos: j,
+                                    msg: format!("bad \\x escape {hex:?}"),
+                                })?;
+                                out.push(v as char);
+                                j += 2;
+                            }
+                            b'u' => {
+                                let hex = src.get(j + 2..j + 6).ok_or(LexError {
+                                    pos: j,
+                                    msg: "truncated \\u escape".into(),
+                                })?;
+                                let v = u32::from_str_radix(hex, 16).map_err(|_| LexError {
+                                    pos: j,
+                                    msg: format!("bad \\u escape {hex:?}"),
+                                })?;
+                                out.push(char::from_u32(v).unwrap_or('\u{fffd}'));
+                                j += 4;
+                            }
+                            other => out.push(other as char),
+                        }
+                        j += 2;
+                    }
+                    _ => {
+                        // Multi-byte UTF-8 safe: copy the whole char.
+                        let ch = src[j..].chars().next().expect("in bounds");
+                        out.push(ch);
+                        j += ch.len_utf8();
+                    }
+                }
+            }
+            return Err(LexError { pos: i, msg: "unterminated string".into() });
+        }
+        // Numbers.
+        if b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let n = text.parse::<f64>().map_err(|_| LexError {
+                pos: start,
+                msg: format!("bad number {text:?}"),
+            })?;
+            toks.push(Tok::Num(n));
+            continue;
+        }
+        // Identifiers / keywords.
+        if b.is_ascii_alphabetic() || b == b'_' || b == b'$' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+            {
+                i += 1;
+            }
+            toks.push(Tok::Ident(src[start..i].to_owned()));
+            continue;
+        }
+        // Punctuation.
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                toks.push(Tok::Punct(p));
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError { pos: i, msg: format!("unexpected byte {:?}", b as char) });
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_statement() {
+        let t = lex("var x = 'a' + \"b\";").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("var".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Str("a".into()),
+                Tok::Punct("+"),
+                Tok::Str("b".into()),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn longest_match_operators() {
+        let t = lex("a===b==c=d").unwrap();
+        let puncts: Vec<&str> = t
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, ["===", "==", "="]);
+    }
+
+    #[test]
+    fn escapes_in_strings() {
+        let t = lex(r#"'a\x41B\n\'q\''"#).unwrap();
+        assert_eq!(t, vec![Tok::Str("aAB\n'q'".into())]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("1 // line\n + /* block */ 2").unwrap();
+        assert_eq!(t, vec![Tok::Num(1.0), Tok::Punct("+"), Tok::Num(2.0)]);
+    }
+
+    #[test]
+    fn numbers_with_decimals() {
+        assert_eq!(lex("3.25").unwrap(), vec![Tok::Num(3.25)]);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("/* open").is_err());
+    }
+
+    #[test]
+    fn dollar_and_underscore_idents() {
+        let t = lex("$el _tmp2").unwrap();
+        assert_eq!(t, vec![Tok::Ident("$el".into()), Tok::Ident("_tmp2".into())]);
+    }
+}

@@ -1,0 +1,41 @@
+//! A miniature JavaScript implementation.
+//!
+//! Iframe cloaking (§3.1.1) "runs entirely on the client, relying on the
+//! assumption that crawlers do not fully render pages at scale", and the
+//! payloads are "frequently obfuscated … in some cases the iframe itself is
+//! dynamically generated". Detecting it therefore "requires a complete
+//! browser that evaluates JavaScript". This module is that (small) browser
+//! core: a lexer, a recursive-descent parser, and a tree-walking interpreter
+//! with the DOM bindings the ecosystem's payloads use:
+//!
+//! * `document.write`, `document.createElement`, `document.getElementById`,
+//!   `document.body.appendChild`, element attribute assignment;
+//! * `window.location` assignment / `.href` / `.replace()` for JS redirects;
+//! * `navigator.userAgent` and `document.referrer` for client-side cloaking
+//!   decisions;
+//! * `String.fromCharCode`, `unescape`, `parseInt`, string/array methods —
+//!   the toolbox the generators' obfuscator builds payloads from.
+//!
+//! The language subset: `var`, `function`, `if`/`else`, `while`, `for`,
+//! `return`, assignment (including member/index targets), `? :`, `&&`/`||`,
+//! comparison/arithmetic operators, arrays, and calls. Execution is bounded
+//! by a step budget so hostile pages cannot hang the crawler.
+
+mod ast;
+mod interp;
+mod lexer;
+mod parser;
+pub mod render;
+
+pub use ast::{BinOp, Expr, Stmt, UnOp};
+pub use interp::{Interpreter, JsError, PageEnv, RenderEffects, Value};
+pub use lexer::{lex, LexError, Tok};
+pub use parser::{parse_program, ParseError};
+
+/// Parses and runs a script against a page environment, accumulating
+/// effects. Errors are returned, not panicked — hostile or truncated
+/// scripts are an expected crawler input.
+pub fn run_script(src: &str, env: &mut PageEnv) -> Result<(), JsError> {
+    let prog = parse_program(src).map_err(|e| JsError::Syntax(e.to_string()))?;
+    Interpreter::new(env).run(&prog)
+}

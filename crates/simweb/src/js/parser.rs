@@ -1,0 +1,507 @@
+//! Recursive-descent parser producing the [`crate::js::ast`] tree.
+
+use std::fmt;
+
+use super::ast::{BinOp, Expr, Stmt, UnOp};
+use super::lexer::{lex, Tok};
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Token index of the failure.
+    pub at: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.msg)
+    }
+}
+
+/// Parses a full program.
+pub fn parse_program(src: &str) -> Result<Vec<Stmt>, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError { at: 0, msg: e.to_string() })?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        stmts.push(p.statement()?);
+    }
+    Ok(stmts)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { at: self.pos, msg: msg.into() })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected {p:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    // ---- statements ----
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_punct(";") {
+            return Ok(Stmt::Empty);
+        }
+        if self.eat_keyword("var") {
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct("=") { Some(self.expression()?) } else { None };
+            self.eat_punct(";");
+            return Ok(Stmt::Var(name, init));
+        }
+        if self.eat_keyword("if") {
+            self.expect_punct("(")?;
+            let cond = self.expression()?;
+            self.expect_punct(")")?;
+            let then = self.block_or_single()?;
+            let els = if self.eat_keyword("else") { self.block_or_single()? } else { Vec::new() };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_keyword("while") {
+            self.expect_punct("(")?;
+            let cond = self.expression()?;
+            self.expect_punct(")")?;
+            let body = self.block_or_single()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat_keyword("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else {
+                let s = if self.eat_keyword("var") {
+                    let name = self.expect_ident()?;
+                    let init = if self.eat_punct("=") { Some(self.expression()?) } else { None };
+                    Stmt::Var(name, init)
+                } else {
+                    Stmt::Expr(self.expression()?)
+                };
+                self.expect_punct(";")?;
+                Some(Box::new(s))
+            };
+            let cond = if matches!(self.peek(), Some(Tok::Punct(";"))) {
+                None
+            } else {
+                Some(self.expression()?)
+            };
+            self.expect_punct(";")?;
+            let step = if matches!(self.peek(), Some(Tok::Punct(")"))) {
+                None
+            } else {
+                Some(self.expression()?)
+            };
+            self.expect_punct(")")?;
+            let body = self.block_or_single()?;
+            return Ok(Stmt::For(init, cond, step, body));
+        }
+        if self.eat_keyword("function") {
+            let name = self.expect_ident()?;
+            self.expect_punct("(")?;
+            let mut params = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    params.push(self.expect_ident()?);
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            self.expect_punct("{")?;
+            let body = self.block_body()?;
+            return Ok(Stmt::Function(name, params, body));
+        }
+        if self.eat_keyword("return") {
+            if self.eat_punct(";") || self.at_end() {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expression()?;
+            self.eat_punct(";");
+            return Ok(Stmt::Return(Some(e)));
+        }
+        let e = self.expression()?;
+        self.eat_punct(";");
+        Ok(Stmt::Expr(e))
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.eat_punct("{") {
+            self.block_body()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_end() {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.ternary()?;
+        if self.eat_punct("=") {
+            let rhs = self.assignment()?;
+            match &lhs {
+                Expr::Ident(_) | Expr::Member(..) | Expr::Index(..) => {
+                    return Ok(Expr::Assign(Box::new(lhs), Box::new(rhs)))
+                }
+                _ => return self.err("invalid assignment target"),
+            }
+        }
+        // Compound assignment and increment sugar.
+        if self.eat_punct("+=") {
+            let rhs = self.assignment()?;
+            return Ok(Expr::Assign(
+                Box::new(lhs.clone()),
+                Box::new(Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs))),
+            ));
+        }
+        if self.eat_punct("-=") {
+            let rhs = self.assignment()?;
+            return Ok(Expr::Assign(
+                Box::new(lhs.clone()),
+                Box::new(Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs))),
+            ));
+        }
+        if self.eat_punct("++") {
+            return Ok(Expr::Assign(
+                Box::new(lhs.clone()),
+                Box::new(Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(Expr::Num(1.0)))),
+            ));
+        }
+        if self.eat_punct("--") {
+            return Ok(Expr::Assign(
+                Box::new(lhs.clone()),
+                Box::new(Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(Expr::Num(1.0)))),
+            ));
+        }
+        Ok(lhs)
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.or_expr()?;
+        if self.eat_punct("?") {
+            let a = self.assignment()?;
+            self.expect_punct(":")?;
+            let b = self.assignment()?;
+            return Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)));
+        }
+        Ok(cond)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct("||") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality()?;
+        while self.eat_punct("&&") {
+            let rhs = self.equality()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.comparison()?;
+        loop {
+            let op = if self.eat_punct("===") || self.eat_punct("==") {
+                BinOp::Eq
+            } else if self.eat_punct("!==") || self.eat_punct("!=") {
+                BinOp::Ne
+            } else {
+                break;
+            };
+            let rhs = self.comparison()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = if self.eat_punct("<=") {
+                BinOp::Le
+            } else if self.eat_punct(">=") {
+                BinOp::Ge
+            } else if self.eat_punct("<") {
+                BinOp::Lt
+            } else if self.eat_punct(">") {
+                BinOp::Gt
+            } else {
+                break;
+            };
+            let rhs = self.additive()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                BinOp::Add
+            } else if self.eat_punct("-") {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                BinOp::Mul
+            } else if self.eat_punct("/") {
+                BinOp::Div
+            } else if self.eat_punct("%") {
+                BinOp::Rem
+            } else {
+                break;
+            };
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("!") {
+            return Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("-") {
+            return Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_punct(".") {
+                let name = self.expect_ident()?;
+                e = Expr::Member(Box::new(e), name);
+            } else if self.eat_punct("[") {
+                let idx = self.expression()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if self.eat_punct("(") {
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.assignment()?);
+                        if self.eat_punct(")") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                e = Expr::Call(Box::new(e), args);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                Ok(Expr::Num(n))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            Some(Tok::Ident(id)) => {
+                self.pos += 1;
+                match id.as_str() {
+                    "true" => Ok(Expr::Bool(true)),
+                    "false" => Ok(Expr::Bool(false)),
+                    "null" => Ok(Expr::Null),
+                    _ => Ok(Expr::Ident(id)),
+                }
+            }
+            Some(Tok::Punct("(")) => {
+                self.pos += 1;
+                let e = self.expression()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Punct("[")) => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if !self.eat_punct("]") {
+                    loop {
+                        items.push(self.assignment()?);
+                        if self.eat_punct("]") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                Ok(Expr::Array(items))
+            }
+            other => self.err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_var_and_call() {
+        let p = parse_program("var f = document.createElement('iframe'); f.setAttribute('width', '100%');").unwrap();
+        assert_eq!(p.len(), 2);
+        match &p[0] {
+            Stmt::Var(name, Some(Expr::Call(callee, args))) => {
+                assert_eq!(name, "f");
+                assert_eq!(**callee, Expr::Member(Box::new(Expr::Ident("document".into())), "createElement".into()));
+                assert_eq!(args[0], Expr::Str("iframe".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let p = parse_program("var x = 1 + 2 * 3 < 10 && a || b;").unwrap();
+        match &p[0] {
+            Stmt::Var(_, Some(Expr::Bin(BinOp::Or, lhs, _))) => match &**lhs {
+                Expr::Bin(BinOp::And, cmp, _) => match &**cmp {
+                    Expr::Bin(BinOp::Lt, add, _) => match &**add {
+                        Expr::Bin(BinOp::Add, _, mul) => {
+                            assert!(matches!(&**mul, Expr::Bin(BinOp::Mul, _, _)))
+                        }
+                        other => panic!("{other:?}"),
+                    },
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "for (var i = 0; i < 3; i++) { if (i == 1) x = x + i; else x = 0; } while (x > 0) x--;";
+        let p = parse_program(src).unwrap();
+        assert!(matches!(p[0], Stmt::For(..)));
+        assert!(matches!(p[1], Stmt::While(..)));
+    }
+
+    #[test]
+    fn parses_function_and_return() {
+        let p = parse_program("function add(a, b) { return a + b; } var z = add(1, 2);").unwrap();
+        match &p[0] {
+            Stmt::Function(name, params, body) => {
+                assert_eq!(name, "add");
+                assert_eq!(params, &["a", "b"]);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn member_chains_and_indexing() {
+        let p = parse_program("document.body.appendChild(els[0]);").unwrap();
+        match &p[0] {
+            Stmt::Expr(Expr::Call(callee, args)) => {
+                assert!(matches!(&**callee, Expr::Member(_, m) if m == "appendChild"));
+                assert!(matches!(&args[0], Expr::Index(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_and_assignment_chain() {
+        let p = parse_program("x = a ? 'y' : 'n';").unwrap();
+        assert!(matches!(&p[0], Stmt::Expr(Expr::Assign(_, rhs)) if matches!(&**rhs, Expr::Ternary(..))));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("var = 3;").is_err());
+        assert!(parse_program("if (").is_err());
+        assert!(parse_program("1 + = 2").is_err());
+        assert!(parse_program("(1 + 2) = 3").is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! AWStats report pages.
+//!
+//! §4.4: a number of storefronts "left their AWStats pages publicly
+//! accessible", letting the study fetch per-site visitor statistics (number
+//! of visits, pages per visit, referrers, …) from the default AWStats URL.
+//! This generator renders the subset of an AWStats monthly report that the
+//! `ss-orders` analytics scraper parses back out.
+
+/// Aggregate traffic numbers for one reporting period of one site.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficReport {
+    /// Period label, e.g. "Jul 2014".
+    pub period: String,
+    /// Unique visitors.
+    pub unique_visitors: u64,
+    /// Number of visits.
+    pub visits: u64,
+    /// HTML pages served.
+    pub pages: u64,
+    /// Hits (pages + assets).
+    pub hits: u64,
+    /// Referrer hosts with visit counts (search pages and doorways).
+    pub referrers: Vec<(String, u64)>,
+    /// Share of visits with no referrer ("direct / bookmark / unknown").
+    pub direct_visits: u64,
+    /// Per-day rows (the "Days of month" section): `(ISO date, visits,
+    /// pages)`.
+    pub daily: Vec<(String, u64, u64)>,
+}
+
+/// Renders the AWStats-style report page for a site.
+pub fn page(site: &str, report: &TrafficReport) -> String {
+    let mut body = format!(
+        "<div class=\"awstats\"><h1>Statistics for {}</h1>\
+         <h2>Summary — <span id=\"period\">{}</span></h2>\
+         <table id=\"summary\">\
+         <tr><th>Unique visitors</th><td id=\"unique\">{}</td></tr>\
+         <tr><th>Number of visits</th><td id=\"visits\">{}</td></tr>\
+         <tr><th>Pages</th><td id=\"pages\">{}</td></tr>\
+         <tr><th>Hits</th><td id=\"hits\">{}</td></tr>\
+         </table>",
+        crate::html::escape_text(site),
+        crate::html::escape_text(&report.period),
+        report.unique_visitors,
+        report.visits,
+        report.pages,
+        report.hits,
+    );
+    body.push_str(
+        "<h2>Connect to site from</h2><table id=\"referrers\">\
+         <tr><th>Origin</th><th>Visits</th></tr>",
+    );
+    body.push_str(&format!(
+        "<tr class=\"direct\"><td>Direct address / Bookmark</td><td>{}</td></tr>",
+        report.direct_visits
+    ));
+    for (host, n) in &report.referrers {
+        body.push_str(&format!(
+            "<tr class=\"referrer\"><td class=\"host\">{}</td><td class=\"count\">{}</td></tr>",
+            crate::html::escape_text(host),
+            n
+        ));
+    }
+    body.push_str("</table>");
+    body.push_str(
+        "<h2>Days of month</h2><table id=\"days\">\
+         <tr><th>Day</th><th>Visits</th><th>Pages</th></tr>",
+    );
+    for (date, visits, pages) in &report.daily {
+        body.push_str(&format!(
+            "<tr class=\"dayrow\"><td class=\"date\">{}</td><td class=\"v\">{}</td><td class=\"p\">{}</td></tr>",
+            crate::html::escape_text(date),
+            visits,
+            pages
+        ));
+    }
+    body.push_str("</table></div>");
+    super::shell(&format!("AWStats — {site}"), "", &body)
+}
+
+/// The conventional public AWStats path for `site` (§4.4 shows the pattern
+/// `/awstats/awstats.pl?config=<site>`).
+pub fn default_path(site: &str) -> (String, String) {
+    ("/awstats/awstats.pl".to_owned(), format!("config={site}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::Document;
+
+    fn report() -> TrafficReport {
+        TrafficReport {
+            period: "Jul 2014".into(),
+            unique_visitors: 18_200,
+            visits: 46_700,
+            pages: 261_520,
+            hits: 980_001,
+            referrers: vec![
+                ("google.com".into(), 14_000),
+                ("door1.com".into(), 6_000),
+                ("door2.com".into(), 4_100),
+            ],
+            direct_visits: 18_680,
+            daily: vec![("2014-07-01".into(), 1_500, 8_400), ("2014-07-02".into(), 1_600, 8_960)],
+        }
+    }
+
+    #[test]
+    fn page_encodes_summary_fields() {
+        let html = page("cocovipbags.com", &report());
+        let doc = Document::parse(&html);
+        assert_eq!(doc.by_id("visits").unwrap().text_content(), "46700");
+        assert_eq!(doc.by_id("pages").unwrap().text_content(), "261520");
+        assert_eq!(doc.by_id("period").unwrap().text_content(), "Jul 2014");
+    }
+
+    #[test]
+    fn referrer_rows_are_parseable() {
+        let html = page("s.com", &report());
+        let doc = Document::parse(&html);
+        let rows: Vec<(String, String)> = doc
+            .find_all("tr")
+            .into_iter()
+            .filter(|tr| tr.attr("class") == Some("referrer"))
+            .map(|tr| {
+                let tds = tr.children.iter().filter_map(|n| n.as_element()).collect::<Vec<_>>();
+                (tds[0].text_content(), tds[1].text_content())
+            })
+            .collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], ("google.com".to_owned(), "14000".to_owned()));
+    }
+
+    #[test]
+    fn daily_rows_render() {
+        let html = page("s.com", &report());
+        let doc = Document::parse(&html);
+        let rows: Vec<&crate::html::Element> = doc
+            .find_all("tr")
+            .into_iter()
+            .filter(|tr| tr.attr("class") == Some("dayrow"))
+            .collect();
+        assert_eq!(rows.len(), 2);
+        let tds: Vec<String> = rows[0]
+            .children
+            .iter()
+            .filter_map(|n| n.as_element())
+            .map(|td| td.text_content())
+            .collect();
+        assert_eq!(tds, vec!["2014-07-01", "1500", "8400"]);
+    }
+
+    #[test]
+    fn default_path_matches_awstats_convention() {
+        let (path, query) = default_path("shop.com");
+        assert_eq!(path, "/awstats/awstats.pl");
+        assert_eq!(query, "config=shop.com");
+    }
+}

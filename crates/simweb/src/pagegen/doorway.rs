@@ -1,0 +1,164 @@
+//! Doorway pages: the SEO-facing view, the JS-redirect variant, the
+//! iframe-cloaked variant, and the original content of compromised hosts.
+
+
+use super::obfuscate;
+use super::words;
+
+/// Inputs for generating a doorway's pages.
+#[derive(Debug, Clone)]
+pub struct DoorwayCtx<'a> {
+    /// The doorway's own domain (for self-referential links).
+    pub domain: &'a str,
+    /// The search term this page targets (appears in path, title, body).
+    pub term: &'a str,
+    /// Brand the term centers on.
+    pub brand: &'a str,
+    /// Sibling doorway domains to emit backlinks to (link-farm structure,
+    /// §2: doorways "mimic the structure of high reputation sites,
+    /// typically by creating backlinks to each other").
+    pub backlinks: &'a [String],
+    /// Per-domain seed.
+    pub seed: u64,
+}
+
+/// The keyword-stuffed page served to search-engine crawlers.
+///
+/// Structure matters: the crawler extracts terms from the URL path of
+/// search results (§4.1.1), the title and headers carry the targeted term,
+/// and backlinks knit the farm together.
+pub fn seo_page(ctx: &DoorwayCtx<'_>) -> String {
+    let mut rng = words::page_rng(ctx.seed, &format!("doorway/seo/{}", ctx.term));
+    let title = format!("{} - {} outlet online", ctx.term, ctx.brand);
+    let mut body = format!("<h1>{}</h1>", crate::html::escape_text(&title));
+    for _ in 0..3 {
+        body.push_str(&format!(
+            "<h2>{} {}</h2><p>{} {} {}</p>",
+            crate::html::escape_text(ctx.term),
+            crate::html::escape_text(&words::pick_words(
+                &mut rng,
+                &["sale", "cheap", "official", "outlet", "store", "online"],
+                2
+            )),
+            crate::html::escape_text(ctx.term),
+            crate::html::escape_text(&words::paragraph(&mut rng, 3, true)),
+            crate::html::escape_text(ctx.brand),
+        ));
+    }
+    body.push_str("<ul>");
+    for link in ctx.backlinks {
+        body.push_str(&format!(
+            "<li><a href=\"http://{link}/?key={}\">{}</a></li>",
+            ss_types::url::encode_component(ctx.term),
+            crate::html::escape_text(ctx.term),
+        ));
+    }
+    body.push_str("</ul>");
+    let meta = format!(
+        "<meta name=\"keywords\" content=\"{}\"><meta name=\"description\" content=\"{}\">",
+        crate::html::escape_attr(&format!("{}, {} outlet, cheap {}", ctx.term, ctx.brand, ctx.brand)),
+        crate::html::escape_attr(&words::commerce_sentence(&mut rng)),
+    );
+    super::shell(&title, &meta, &body)
+}
+
+/// The SEO page with an embedded JS redirect (served to search users under
+/// [`crate::cloak::CloakMode::JsRedirect`]).
+pub fn seo_page_with_js_redirect(ctx: &DoorwayCtx<'_>, target: &str) -> String {
+    let page = seo_page(ctx);
+    let payload = format!("<script>window.location = '{target}';</script>");
+    page.replace("</body>", &format!("{payload}</body>"))
+}
+
+/// The iframe-cloaked page: same skeleton for crawlers and users, with the
+/// payload activating only in a rendering browser.
+pub fn iframe_page(ctx: &DoorwayCtx<'_>, target: &str, obfuscation: u8) -> String {
+    let page = seo_page(ctx);
+    let inject = if obfuscation == 0 {
+        obfuscate::static_iframe(target)
+    } else {
+        let mut rng = words::page_rng(ctx.seed, &format!("doorway/obf/{}", ctx.term));
+        format!("<script>{}</script>", obfuscate::iframe_payload(target, obfuscation, &mut rng))
+    };
+    page.replace("</body>", &format!("{inject}</body>"))
+}
+
+/// The original legitimate content of a compromised host (what direct
+/// visitors — and the site's owner — keep seeing).
+pub fn original_content(ctx: &DoorwayCtx<'_>) -> String {
+    let mut rng = words::page_rng(ctx.seed, "doorway/original");
+    let title = format!("{} — home", ctx.domain);
+    let mut body = format!("<h1>Welcome to {}</h1>", crate::html::escape_text(ctx.domain));
+    for _ in 0..4 {
+        body.push_str(&format!("<p>{}</p>", words::paragraph(&mut rng, 4, false)));
+    }
+    body.push_str("<p><a href=\"/about.html\">About us</a> | <a href=\"/contact.html\">Contact</a></p>");
+    super::shell(&title, "", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::Document;
+    use crate::http::UserAgent;
+    use crate::js::render::render;
+
+    fn ctx<'a>(backlinks: &'a [String]) -> DoorwayCtx<'a> {
+        DoorwayCtx {
+            domain: "hacked-blog.com",
+            term: "cheap louis vuitton",
+            brand: "Louis Vuitton",
+            backlinks,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn seo_page_is_keyword_stuffed_with_backlinks() {
+        let links = vec!["door2.com".to_owned(), "door3.com".to_owned()];
+        let html = seo_page(&ctx(&links));
+        let doc = Document::parse(&html);
+        assert!(doc.title().unwrap().contains("cheap louis vuitton"));
+        let text = doc.text_content();
+        assert!(text.matches("cheap louis vuitton").count() >= 3);
+        let hrefs = doc.links();
+        assert!(hrefs.iter().any(|h| h.contains("door2.com")));
+        assert!(hrefs.iter().any(|h| h.contains("key=cheap+louis+vuitton")));
+    }
+
+    #[test]
+    fn seo_and_original_views_differ_semantically() {
+        let links = Vec::new();
+        let c = ctx(&links);
+        let seo = Document::parse(&seo_page(&c)).text_content();
+        let orig = Document::parse(&original_content(&c)).text_content();
+        assert!(seo.contains("louis vuitton"));
+        assert!(!orig.contains("louis vuitton"));
+    }
+
+    #[test]
+    fn js_redirect_variant_redirects_when_rendered() {
+        let links = Vec::new();
+        let html = seo_page_with_js_redirect(&ctx(&links), "http://store.com/");
+        let r = render(&html, "http://hacked-blog.com/p", UserAgent::Browser, None);
+        assert_eq!(r.js_redirect.as_deref(), Some("http://store.com/"));
+    }
+
+    #[test]
+    fn iframe_variant_renders_fullpage_iframe_at_all_levels() {
+        let links = Vec::new();
+        for level in 0..=3 {
+            let html = iframe_page(&ctx(&links), "http://store.com/", level);
+            let r = render(&html, "http://hacked-blog.com/p", UserAgent::Browser, None);
+            let frames = r.iframes();
+            assert_eq!(frames.len(), 1, "level {level}");
+            assert_eq!(frames[0].2, "http://store.com/");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let links = vec!["a.com".to_owned()];
+        assert_eq!(seo_page(&ctx(&links)), seo_page(&ctx(&links)));
+    }
+}

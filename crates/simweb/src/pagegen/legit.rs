@@ -1,0 +1,163 @@
+//! Legitimate sites: the organic results that share SERPs with PSRs.
+//!
+//! These matter for two reasons. First, the false-positive property the
+//! paper leans on — "legitimate sites advertising brands do not cloak"
+//! (§4.1) — must hold in the simulation: legit pages serve identical
+//! content to every visitor. Second, legit retailers and review sites *do*
+//! mention brands and even "cart"/"checkout", so store detection cannot be
+//! a trivial keyword match; heuristics must survive these near-misses.
+
+use rand::Rng;
+
+use super::words;
+
+/// Flavours of legitimate sites populating organic results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LegitTheme {
+    /// News / editorial content mentioning brands.
+    News,
+    /// Personal blog.
+    Blog,
+    /// An authorized retailer — has a real cart and checkout, sets a
+    /// platform cookie, yet never cloaks. The store detector's closest
+    /// decoy.
+    Retailer,
+    /// A discussion forum.
+    Forum,
+    /// The brand's own official site.
+    Official,
+}
+
+/// Context for one legitimate page.
+#[derive(Debug, Clone)]
+pub struct LegitCtx<'a> {
+    /// The site's domain.
+    pub domain: &'a str,
+    /// Theme.
+    pub theme: LegitTheme,
+    /// Brand this page relates to (relevance for ranking).
+    pub brand: &'a str,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// Renders the page — same bytes for every visitor class, by construction.
+pub fn page(ctx: &LegitCtx<'_>) -> String {
+    let mut rng = words::page_rng(ctx.seed, &format!("legit/{}", ctx.domain));
+    match ctx.theme {
+        LegitTheme::News => {
+            let title = format!("{} coverage — {}", ctx.brand, ctx.domain);
+            let mut body = format!("<h1>{}</h1>", crate::html::escape_text(&title));
+            for _ in 0..4 {
+                body.push_str(&format!(
+                    "<article><h2>{} {}</h2><p>{}</p></article>",
+                    crate::html::escape_text(ctx.brand),
+                    crate::html::escape_text(&words::pick_words(&mut rng, &["launch", "review", "season", "report"], 1)),
+                    words::paragraph(&mut rng, 4, false)
+                ));
+            }
+            super::shell(&title, "", &body)
+        }
+        LegitTheme::Blog => {
+            let title = format!("My {} notes", ctx.brand);
+            let body = format!(
+                "<h1>{}</h1><p>{}</p><p>{}</p>",
+                crate::html::escape_text(&title),
+                words::paragraph(&mut rng, 5, false),
+                words::paragraph(&mut rng, 4, false)
+            );
+            super::shell(&title, "", &body)
+        }
+        LegitTheme::Retailer => {
+            let title = format!("{} — authorized {} retailer", ctx.domain, ctx.brand);
+            let mut body = format!(
+                "<h1>{}</h1><a href=\"/cart\">Cart</a> <a href=\"/checkout\">Checkout</a><div class=\"catalog\">",
+                crate::html::escape_text(&title)
+            );
+            for _ in 0..6 {
+                body.push_str(&format!(
+                    "<div class=\"item\"><h3>{}</h3><span>{}</span></div>",
+                    crate::html::escape_text(&words::product_name(&mut rng, ctx.brand)),
+                    // Full retail prices, not counterfeit discounts.
+                    format_args!("${}", rng.gen_range(900..3200)),
+                ));
+            }
+            body.push_str("</div>");
+            super::shell(&title, "", &body)
+        }
+        LegitTheme::Forum => {
+            let title = format!("Forum: is this {} real?", ctx.brand);
+            let mut body = format!("<h1>{}</h1>", crate::html::escape_text(&title));
+            for i in 0..5 {
+                body.push_str(&format!(
+                    "<div class=\"post\"><b>user{}</b><p>{}</p></div>",
+                    i,
+                    words::paragraph(&mut rng, 2, false)
+                ));
+            }
+            super::shell(&title, "", &body)
+        }
+        LegitTheme::Official => {
+            let title = format!("{} — official site", ctx.brand);
+            let body = format!(
+                "<h1>{}</h1><p>{}</p><nav><a href=\"/collections\">Collections</a><a href=\"/stores\">Store locator</a></nav>",
+                crate::html::escape_text(&title),
+                words::paragraph(&mut rng, 3, false)
+            );
+            super::shell(&title, "", &body)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::Document;
+
+    fn ctx(theme: LegitTheme) -> String {
+        page(&LegitCtx { domain: "example-site.com", theme, brand: "Moncler", seed: 3 })
+    }
+
+    #[test]
+    fn all_themes_render_and_mention_brand() {
+        for theme in [
+            LegitTheme::News,
+            LegitTheme::Blog,
+            LegitTheme::Retailer,
+            LegitTheme::Forum,
+            LegitTheme::Official,
+        ] {
+            let html = ctx(theme);
+            let doc = Document::parse(&html);
+            assert!(doc.text_content().contains("Moncler"), "{theme:?}");
+            assert!(doc.title().is_some());
+        }
+    }
+
+    #[test]
+    fn retailer_is_a_near_miss_for_store_detection() {
+        let html = ctx(LegitTheme::Retailer);
+        let lower = html.to_ascii_lowercase();
+        // Contains the substrings the detector looks for…
+        assert!(lower.contains("cart") && lower.contains("checkout"));
+        // …but none of the counterfeit-ecosystem trackers or processors.
+        for marker in ["cnzz", "51.la", "ajstat", "realypay", "mallpayment"] {
+            assert!(!lower.contains(marker), "unexpected marker {marker}");
+        }
+    }
+
+    #[test]
+    fn legit_pages_never_cloak() {
+        // Same bytes regardless of who asks is guaranteed by construction
+        // (page() has no visitor input); pin it anyway.
+        assert_eq!(ctx(LegitTheme::News), ctx(LegitTheme::News));
+    }
+
+    #[test]
+    fn no_scripts_that_redirect() {
+        for theme in [LegitTheme::News, LegitTheme::Retailer, LegitTheme::Official] {
+            let doc = Document::parse(&ctx(theme));
+            assert!(doc.scripts().is_empty());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Deterministic page generation for every page class in the study.
+//!
+//! All generators are pure functions of their context (which embeds a seed),
+//! so the same URL always serves the same bytes — a property both the
+//! crawler's dedup layer and the test suite rely on.
+//!
+//! * [`words`] — seeded filler-text and naming utilities;
+//! * [`obfuscate`] — the iframe-cloaking JS payloads at four obfuscation
+//!   levels (plain DOM calls → string splitting → charCode assembly → eval
+//!   of a string built at runtime);
+//! * [`doorway`] — keyword-stuffed SEO pages with doorway backlinks and the
+//!   original-content view of compromised hosts;
+//! * [`storefront`] — counterfeit store pages built from campaign-specific
+//!   templates over shared e-commerce platforms (the signal the campaign
+//!   classifier learns, §4.2.1);
+//! * [`legit`] — legitimate sites that populate organic search results;
+//! * [`notice`] — seizure-notice pages with embedded court documents
+//!   (§5.3's data source);
+//! * [`awstats`] — publicly reachable AWStats reports (§4.4);
+//! * [`supplier`] — the supplier's order-tracking portal (§4.5).
+
+pub mod awstats;
+pub mod doorway;
+pub mod legit;
+pub mod notice;
+pub mod obfuscate;
+pub mod storefront;
+pub mod supplier;
+pub mod words;
+
+/// Standard HTML shell shared by the generators.
+pub(crate) fn shell(title: &str, head_extra: &str, body: &str) -> String {
+    format!(
+        "<html><head><title>{}</title>{}</head><body>{}</body></html>",
+        crate::html::escape_text(title),
+        head_extra,
+        body
+    )
+}

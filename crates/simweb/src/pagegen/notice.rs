@@ -1,0 +1,85 @@
+//! Seizure-notice pages with embedded court documents.
+//!
+//! §5.3: when a brand holder seizes a storefront domain, the domain is
+//! re-pointed to a "serving notice" page naming the brand-protection firm
+//! and the court case, and — crucially for the paper's methodology — the
+//! embedded court document "typically list[s] the other domains seized as a
+//! part of a given action", which is how the study measured seizures beyond
+//! what its own crawls touched.
+
+/// Inputs for a seizure-notice page.
+#[derive(Debug, Clone)]
+pub struct NoticeCtx<'a> {
+    /// The seized domain being visited.
+    pub domain: &'a str,
+    /// Brand-protection firm executing the seizure.
+    pub firm: &'a str,
+    /// Court case identifier, e.g. "14-cv-02317".
+    pub case_id: &'a str,
+    /// Plaintiff brand.
+    pub brand: &'a str,
+    /// All domains seized by the same court order.
+    pub seized_domains: &'a [String],
+}
+
+/// Renders the notice page. The `court-doc` list is machine-readable by
+/// design — the crawler's seizure observer parses it.
+pub fn page(ctx: &NoticeCtx<'_>) -> String {
+    let mut body = format!(
+        "<div class=\"seizure-banner\"><h1>This domain has been seized</h1>\
+         <p>The domain <b>{}</b> has been seized pursuant to a court order \
+         obtained by <span id=\"firm\">{}</span> on behalf of \
+         <span id=\"plaintiff\">{}</span>.</p>\
+         <p>Case <span id=\"case\">{}</span>.</p></div>",
+        crate::html::escape_text(ctx.domain),
+        crate::html::escape_text(ctx.firm),
+        crate::html::escape_text(ctx.brand),
+        crate::html::escape_text(ctx.case_id),
+    );
+    body.push_str("<div id=\"court-doc\"><h2>Schedule A — Defendant Domain Names</h2><ol>");
+    for d in ctx.seized_domains {
+        body.push_str(&format!("<li class=\"seized-domain\">{}</li>", crate::html::escape_text(d)));
+    }
+    body.push_str("</ol></div>");
+    super::shell("Seized Domain", "", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::Document;
+
+    #[test]
+    fn notice_carries_firm_case_and_domain_schedule() {
+        let seized = vec!["a-store.com".to_owned(), "b-store.com".to_owned(), "c-store.net".to_owned()];
+        let html = page(&NoticeCtx {
+            domain: "a-store.com",
+            firm: "Greer, Burns & Crain",
+            case_id: "14-cv-02317",
+            brand: "Uggs",
+            seized_domains: &seized,
+        });
+        let doc = Document::parse(&html);
+        assert_eq!(doc.by_id("firm").unwrap().text_content(), "Greer, Burns & Crain");
+        assert_eq!(doc.by_id("case").unwrap().text_content(), "14-cv-02317");
+        let listed: Vec<String> = doc
+            .find_all("li")
+            .into_iter()
+            .filter(|li| li.attr("class") == Some("seized-domain"))
+            .map(|li| li.text_content())
+            .collect();
+        assert_eq!(listed, seized);
+    }
+
+    #[test]
+    fn notice_is_identifiable_as_seizure() {
+        let html = page(&NoticeCtx {
+            domain: "x.com",
+            firm: "SMGPA",
+            case_id: "13-cv-00001",
+            brand: "Chanel",
+            seized_domains: &[],
+        });
+        assert!(html.contains("has been seized"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Iframe-cloaking payload generation at four obfuscation levels.
+//!
+//! §3.1.1: "The JavaScript implementation is frequently obfuscated to
+//! further complicate analysis and in some cases the iframe itself is
+//! dynamically generated." The four levels here span that spectrum; all of
+//! them produce the same observable effect when rendered — a full-viewport
+//! iframe loading the store — which is exactly the invariant the VanGogh
+//! detector (and our property tests) check.
+
+use rand::Rng;
+use ss_types::rng::SimRng;
+
+/// Builds the iframe-cloaking `<script>` body for `target` at the given
+/// obfuscation level (clamped to 0–3).
+///
+/// * **0** — no JS at all: the caller should emit a static full-size
+///   `<iframe>` tag instead (returns an empty string).
+/// * **1** — straightforward DOM construction.
+/// * **2** — the target URL and attribute names are split into shuffled
+///   string fragments reassembled at runtime.
+/// * **3** — the level-1 program itself is encoded as a character-code
+///   array and executed through `eval(String.fromCharCode(…))`.
+pub fn iframe_payload(target: &str, level: u8, rng: &mut SimRng) -> String {
+    match level {
+        0 => String::new(),
+        1 => plain_payload(target, rng),
+        2 => split_payload(target, rng),
+        _ => charcode_payload(target, rng),
+    }
+}
+
+/// The static iframe tag used at level 0 (and as the rendered ground truth
+/// shape). Occupies the full viewport per the paper's detection criterion.
+pub fn static_iframe(target: &str) -> String {
+    format!(
+        r#"<iframe src="{}" width="100%" height="100%" frameborder="0" scrolling="auto"></iframe>"#,
+        crate::html::escape_attr(target)
+    )
+}
+
+fn var_name(rng: &mut SimRng) -> String {
+    const HEADS: &[&str] = &["f", "el", "fr", "w", "q", "z", "node", "box"];
+    format!("{}{}", HEADS[rng.gen_range(0..HEADS.len())], rng.gen_range(0..100))
+}
+
+fn plain_payload(target: &str, rng: &mut SimRng) -> String {
+    let v = var_name(rng);
+    format!(
+        "var {v} = document.createElement('iframe');\n\
+         {v}.setAttribute('src', '{target}');\n\
+         {v}.setAttribute('width', '100%');\n\
+         {v}.setAttribute('height', '100%');\n\
+         {v}.setAttribute('frameborder', '0');\n\
+         document.body.appendChild({v});"
+    )
+}
+
+/// Splits `s` into 2–4 character fragments as a JS array literal.
+fn fragments(s: &str, rng: &mut SimRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    let mut parts = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let take = rng.gen_range(2..5).min(chars.len() - i);
+        let frag: String = chars[i..i + take].iter().collect();
+        parts.push(format!("'{}'", frag.replace('\\', "\\\\").replace('\'', "\\'")));
+        i += take;
+    }
+    format!("[{}]", parts.join(","))
+}
+
+fn split_payload(target: &str, rng: &mut SimRng) -> String {
+    let v = var_name(rng);
+    let u = var_name(rng);
+    let url_parts = fragments(target, rng);
+    let tag_parts = fragments("iframe", rng);
+    format!(
+        "var {u} = {url_parts}.join('');\n\
+         var tg = {tag_parts}.join('');\n\
+         var {v} = document.createElement(tg);\n\
+         {v}.src = {u};\n\
+         {v}.width = '100%';\n\
+         {v}.height = '100%';\n\
+         document.body.appendChild({v});"
+    )
+}
+
+fn charcode_payload(target: &str, rng: &mut SimRng) -> String {
+    let inner = plain_payload(target, rng);
+    let codes: Vec<String> = inner.chars().map(|c| (c as u32).to_string()).collect();
+    // Break the code list across several vars to imitate real packers.
+    let chunk = (codes.len() / 3).max(1);
+    let mut decls = Vec::new();
+    let mut names = Vec::new();
+    for (i, slice) in codes.chunks(chunk).enumerate() {
+        let name = format!("c{i}");
+        decls.push(format!("var {name} = [{}];", slice.join(",")));
+        names.push(name);
+    }
+    let concat = names.join(".concat(") + &")".repeat(names.len().saturating_sub(1));
+    format!(
+        "{}\nvar all = {};\nvar src = '';\n\
+         for (var i = 0; i < all.length; i++) {{ src = src + String.fromCharCode(all[i]); }}\n\
+         eval(src);",
+        decls.join("\n"),
+        concat
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::UserAgent;
+    use crate::js::render::render;
+    use ss_types::rng::sub_rng;
+
+    const TARGET: &str = "http://cocovipbags.com/";
+
+    /// Renders a page embedding the payload and asserts the full-viewport
+    /// iframe pointing at the target appears.
+    fn assert_payload_renders(level: u8) {
+        let mut rng = sub_rng(99, &format!("obf/{level}"));
+        let html = if level == 0 {
+            format!("<html><body>{}</body></html>", static_iframe(TARGET))
+        } else {
+            let js = iframe_payload(TARGET, level, &mut rng);
+            format!("<html><body><p>door</p><script>{js}</script></body></html>")
+        };
+        let r = render(&html, "http://door.com/x", UserAgent::Browser, None);
+        assert_eq!(r.script_errors, 0, "level {level} payload failed to run");
+        let frames = r.iframes();
+        assert_eq!(frames.len(), 1, "level {level}: expected one iframe");
+        let (w, h, src) = &frames[0];
+        assert_eq!(src, TARGET, "level {level}");
+        assert_eq!(w, "100%");
+        assert_eq!(h, "100%");
+    }
+
+    #[test]
+    fn all_levels_render_to_fullpage_iframe() {
+        for level in 0..=3 {
+            assert_payload_renders(level);
+        }
+    }
+
+    #[test]
+    fn higher_levels_hide_the_url_in_source() {
+        let mut rng = sub_rng(5, "hide");
+        let l1 = iframe_payload(TARGET, 1, &mut rng);
+        assert!(l1.contains(TARGET), "level 1 is plain");
+        let mut rng = sub_rng(5, "hide2");
+        let l2 = iframe_payload(TARGET, 2, &mut rng);
+        assert!(!l2.contains(TARGET), "level 2 must split the URL");
+        let mut rng = sub_rng(5, "hide3");
+        let l3 = iframe_payload(TARGET, 3, &mut rng);
+        assert!(!l3.contains(TARGET), "level 3 must encode the URL");
+        assert!(!l3.contains("createElement"), "level 3 hides the DOM calls too");
+    }
+
+    #[test]
+    fn payloads_are_deterministic() {
+        let a = iframe_payload(TARGET, 2, &mut sub_rng(1, "d"));
+        let b = iframe_payload(TARGET, 2, &mut sub_rng(1, "d"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn level_zero_is_static() {
+        let mut rng = sub_rng(1, "z");
+        assert!(iframe_payload(TARGET, 0, &mut rng).is_empty());
+        assert!(static_iframe(TARGET).contains("width=\"100%\""));
+    }
+}

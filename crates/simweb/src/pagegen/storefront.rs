@@ -1,0 +1,426 @@
+//! Counterfeit storefront pages, built from campaign-specific templates.
+//!
+//! §4.2.1 explains why HTML features identify campaigns: "campaigns often
+//! develop in-house templates for the large-scale deployment of online
+//! storefronts (e.g., customized templates for Zen Cart or Magento
+//! providing a certain look and feel)". We model that directly:
+//!
+//! * every campaign owns a [`StoreTemplate`] — a platform flavour, an
+//!   analytics provider, a payment processor, a CSS class prefix and a set
+//!   of signature tokens baked into tag-attribute-value triplets;
+//! * every *store* of the campaign renders the shared template with
+//!   per-store noise (names, products, prices), so stores of one campaign
+//!   look alike but not identical — the exact situation the paper's
+//!   classifier exploits.
+//!
+//! The store detector (§4.1.3) keys on cookies from payment processors,
+//! e-commerce platforms and analytics, plus "cart"/"checkout" substrings —
+//! all of which these pages produce.
+
+use rand::Rng;
+
+use super::words;
+use crate::http::Cookie;
+
+/// E-commerce platform flavour a template is built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Zen Cart-style markup and `zenid` session cookie.
+    ZenCart,
+    /// Magento-style markup and `frontend` cookie.
+    Magento,
+    /// A hand-rolled PHP cart.
+    CustomCart,
+}
+
+impl Platform {
+    /// The session cookie this platform sets.
+    pub fn cookie(self) -> Cookie {
+        match self {
+            Platform::ZenCart => Cookie { name: "zenid".into(), value: "sess".into() },
+            Platform::Magento => Cookie { name: "frontend".into(), value: "sess".into() },
+            Platform::CustomCart => Cookie { name: "PHPSESSID".into(), value: "sess".into() },
+        }
+    }
+
+    /// A marker string embedded in the markup (meta generator).
+    pub fn generator(self) -> &'static str {
+        match self {
+            Platform::ZenCart => "Zen Cart",
+            Platform::Magento => "Magento",
+            Platform::CustomCart => "ShopBuilder 2.1",
+        }
+    }
+}
+
+/// Web-analytics provider embedded in store pages (§4.1.3 lists Ajstat,
+/// CNZZ; §4.2.3 adds 51.la and statcounter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Analytics {
+    /// cnzz.com tracker.
+    Cnzz,
+    /// 51.la tracker.
+    La51,
+    /// Ajstat tracker.
+    Ajstat,
+    /// statcounter.com tracker.
+    StatCounter,
+}
+
+impl Analytics {
+    /// The tracker script src marker.
+    pub fn script_host(self) -> &'static str {
+        match self {
+            Analytics::Cnzz => "s11.cnzz.com",
+            Analytics::La51 => "js.users.51.la",
+            Analytics::Ajstat => "ajstat.com",
+            Analytics::StatCounter => "statcounter.com",
+        }
+    }
+
+    /// The cookie the tracker sets.
+    pub fn cookie(self) -> Cookie {
+        let name = match self {
+            Analytics::Cnzz => "cnzz_a",
+            Analytics::La51 => "la51_vid",
+            Analytics::Ajstat => "ajstat_uid",
+            Analytics::StatCounter => "sc_is_visitor",
+        };
+        Cookie { name: name.into(), value: "v".into() }
+    }
+}
+
+/// Payment processor the storefront engages directly (§3.1.2: "merchant
+/// identifiers exposed directly in the HTML source on storefront pages").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaymentProcessor {
+    /// "Realypay" (named in §4.1.3).
+    Realypay,
+    /// "Mallpayment" (named in §4.1.3).
+    Mallpayment,
+    /// A third processor to diversify the population.
+    GlobalBill,
+}
+
+impl PaymentProcessor {
+    /// Marker string and cookie name base.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaymentProcessor::Realypay => "realypay",
+            PaymentProcessor::Mallpayment => "mallpayment",
+            PaymentProcessor::GlobalBill => "globalbill",
+        }
+    }
+
+    /// The cookie the payment widget sets.
+    pub fn cookie(self) -> Cookie {
+        Cookie { name: format!("{}_tk", self.name()), value: "tk".into() }
+    }
+
+    /// The bank (by BIN country) that settles for this processor — §4.3.2:
+    /// purchases cleared through three banks, two in China, one in Korea.
+    pub fn settling_bank(self) -> (&'static str, &'static str) {
+        match self {
+            PaymentProcessor::Realypay => ("622202", "Bank of Suzhou (CN)"),
+            PaymentProcessor::Mallpayment => ("621483", "Guangfa Bank (CN)"),
+            PaymentProcessor::GlobalBill => ("540926", "Hanmi Card (KR)"),
+        }
+    }
+}
+
+/// A campaign's storefront template: the shared "look and feel" that makes
+/// its stores classifiable.
+#[derive(Debug, Clone)]
+pub struct StoreTemplate {
+    /// Platform flavour.
+    pub platform: Platform,
+    /// Analytics provider.
+    pub analytics: Analytics,
+    /// Payment processor.
+    pub payment: PaymentProcessor,
+    /// Campaign-specific CSS class prefix (e.g. `biglove-`).
+    pub css_prefix: String,
+    /// Campaign-specific tokens baked into attributes (template name,
+    /// wrapper ids, footer slogans) — the classifier's strongest signal.
+    pub signature_tokens: Vec<String>,
+    /// Layout variant, adding structural diversity between campaigns that
+    /// share a platform.
+    pub layout: u8,
+}
+
+impl StoreTemplate {
+    /// Derives a campaign's template deterministically from its name.
+    pub fn for_campaign(name: &str, seed: u64) -> Self {
+        let mut rng = words::page_rng(seed, &format!("template/{name}"));
+        let platforms = [Platform::ZenCart, Platform::Magento, Platform::CustomCart];
+        let analytics =
+            [Analytics::Cnzz, Analytics::La51, Analytics::Ajstat, Analytics::StatCounter];
+        let payments =
+            [PaymentProcessor::Realypay, PaymentProcessor::Mallpayment, PaymentProcessor::GlobalBill];
+        let slug: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        let slug = if slug.is_empty() { "tpl".to_owned() } else { slug };
+        let signature_tokens = vec![
+            format!("{}-theme-{}", slug, words::token(&mut rng, 4)),
+            format!("tpl-{}", words::token(&mut rng, 6)),
+            format!("{}wrap", words::token(&mut rng, 5)),
+        ];
+        StoreTemplate {
+            platform: platforms[rng.gen_range(0..platforms.len())],
+            analytics: analytics[rng.gen_range(0..analytics.len())],
+            payment: payments[rng.gen_range(0..payments.len())],
+            css_prefix: slug,
+            signature_tokens,
+            layout: rng.gen_range(0..4),
+        }
+    }
+}
+
+/// Per-store rendering context.
+#[derive(Debug, Clone)]
+pub struct StoreCtx<'a> {
+    /// The store's current domain.
+    pub domain: &'a str,
+    /// Display name, e.g. "coco vip bags".
+    pub store_name: &'a str,
+    /// The campaign template.
+    pub template: &'a StoreTemplate,
+    /// Brands on sale.
+    pub brands: &'a [&'a str],
+    /// Locale suffix ("us", "uk", "jp", …) for localized storefronts.
+    pub locale: &'a str,
+    /// Merchant id with the payment processor (exposed in markup).
+    pub merchant_id: &'a str,
+    /// Per-store seed (varies products/noise between sibling stores).
+    pub seed: u64,
+}
+
+/// Cookies a storefront visit sets — the store detector's first heuristic.
+pub fn cookies(t: &StoreTemplate) -> Vec<Cookie> {
+    vec![t.platform.cookie(), t.analytics.cookie(), t.payment.cookie()]
+}
+
+/// The storefront landing page (product grid + cart/checkout chrome).
+pub fn home_page(ctx: &StoreCtx<'_>) -> String {
+    let t = ctx.template;
+    let mut rng = words::page_rng(ctx.seed, "store/home");
+    let title = format!("{} — {} official outlet", ctx.store_name, ctx.brands.first().unwrap_or(&""));
+
+    let head = format!(
+        "<meta name=\"generator\" content=\"{}\">\
+         <link rel=\"stylesheet\" href=\"/css/{}.css\">\
+         <script src=\"http://{}/z_stat.js\"></script>",
+        t.platform.generator(),
+        t.signature_tokens[0],
+        t.analytics.script_host(),
+    );
+
+    let mut body = String::new();
+    body.push_str(&format!(
+        "<div id=\"{}\" class=\"{}-page layout{}\">",
+        t.signature_tokens[2], t.css_prefix, t.layout
+    ));
+    body.push_str(&format!(
+        "<div class=\"{}-header\"><h1>{}</h1>\
+         <a class=\"{}-cartlink\" href=\"/cart\">View Cart</a> \
+         <a href=\"/checkout\">Checkout</a></div>",
+        t.css_prefix,
+        crate::html::escape_text(ctx.store_name),
+        t.css_prefix
+    ));
+
+    body.push_str(&format!("<div class=\"{}-grid\" data-template=\"{}\">", t.css_prefix, t.signature_tokens[1]));
+    let n_products = 8 + (ctx.seed % 5) as usize;
+    for i in 0..n_products {
+        let brand = ctx.brands[i % ctx.brands.len().max(1)];
+        body.push_str(&format!(
+            "<div class=\"{}-product\"><h3>{}</h3><span class=\"price\">{}</span>\
+             <a href=\"/product/{}\">Add to cart</a></div>",
+            t.css_prefix,
+            crate::html::escape_text(&words::product_name(&mut rng, brand)),
+            words::price(&mut rng),
+            i
+        ));
+    }
+    body.push_str("</div>");
+
+    // Payment processor widget + merchant id (in an HTML comment, as seen
+    // in the wild per §3.1.2).
+    body.push_str(&format!(
+        "<!-- {} merchant: {} -->\
+         <div class=\"payments\"><img src=\"http://img.{}.com/badge.png\" alt=\"{}\"></div>",
+        t.payment.name(),
+        ctx.merchant_id,
+        t.payment.name(),
+        t.payment.name()
+    ));
+
+    body.push_str(&format!(
+        "<div class=\"{}-footer\">{} | locale: {} | {}</div></div>",
+        t.css_prefix,
+        crate::html::escape_text(&words::commerce_sentence(&mut rng)),
+        ctx.locale,
+        t.signature_tokens[0]
+    ));
+
+    super::shell(&title, &head, &body)
+}
+
+/// A product detail page.
+pub fn product_page(ctx: &StoreCtx<'_>, product_idx: u32) -> String {
+    let t = ctx.template;
+    let mut rng = words::page_rng(ctx.seed, &format!("store/product/{product_idx}"));
+    let brand = ctx.brands[(product_idx as usize) % ctx.brands.len().max(1)];
+    let name = words::product_name(&mut rng, brand);
+    let body = format!(
+        "<div class=\"{}-product-detail\" data-template=\"{}\">\
+         <h1>{}</h1><p>{}</p><span class=\"price\">{}</span>\
+         <form action=\"/cart\" method=\"get\"><button>Add to cart</button></form>\
+         <a href=\"/checkout\">Proceed to checkout</a></div>",
+        t.css_prefix,
+        t.signature_tokens[1],
+        crate::html::escape_text(&name),
+        crate::html::escape_text(&words::paragraph(&mut rng, 3, true)),
+        words::price(&mut rng),
+    );
+    super::shell(&name, "", &body)
+}
+
+/// The checkout confirmation page, exposing the freshly allocated order
+/// number — the signal the purchase-pair technique samples (§4.3.1).
+pub fn checkout_page(ctx: &StoreCtx<'_>, order_number: u64) -> String {
+    let t = ctx.template;
+    let body = format!(
+        "<div class=\"{}-checkout\">\
+         <h1>Checkout — {}</h1>\
+         <p>Your order number is <b id=\"order-no\">{}</b>.</p>\
+         <p>Enter payment details to complete your purchase.</p>\
+         <form action=\"http://pay.{}.com/charge\" method=\"post\">\
+         <input name=\"merchant\" value=\"{}\">\
+         <input name=\"card\"><input name=\"cvv\"><button>Pay now</button></form></div>",
+        t.css_prefix,
+        crate::html::escape_text(ctx.store_name),
+        order_number,
+        t.payment.name(),
+        crate::html::escape_attr(ctx.merchant_id),
+    );
+    super::shell("Checkout", "", &body)
+}
+
+/// The checkout page when the store's processor has cut it off (the
+/// §4.3.2 payment-intervention extension): an order number still gets
+/// allocated — purchase-pair sampling keeps working — but no payment form
+/// renders, so real purchases fail.
+pub fn checkout_unavailable_page(ctx: &StoreCtx<'_>, order_number: u64) -> String {
+    let t = ctx.template;
+    let body = format!(
+        "<div class=\"{}-checkout\">\
+         <h1>Checkout — {}</h1>\
+         <p>Your order number is <b id=\"order-no\">{}</b>.</p>\
+         <p id=\"payment-unavailable\">Payment is temporarily unavailable. \
+         Please contact customer service.</p></div>",
+        t.css_prefix,
+        crate::html::escape_text(ctx.store_name),
+        order_number,
+    );
+    super::shell("Checkout", "", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::Document;
+
+    fn template() -> StoreTemplate {
+        StoreTemplate::for_campaign("BIGLOVE", 42)
+    }
+
+    fn ctx<'a>(t: &'a StoreTemplate) -> StoreCtx<'a> {
+        StoreCtx {
+            domain: "cocovipbags.com",
+            store_name: "Coco Vip Bags",
+            template: t,
+            brands: &["Chanel", "Louis Vuitton"],
+            locale: "us",
+            merchant_id: "m-889231",
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn home_page_has_cart_checkout_and_trackers() {
+        let t = template();
+        let html = home_page(&ctx(&t));
+        let lower = html.to_ascii_lowercase();
+        assert!(lower.contains("cart"));
+        assert!(lower.contains("checkout"));
+        assert!(html.contains(t.analytics.script_host()));
+        assert!(html.contains(t.platform.generator()));
+        assert!(html.contains("m-889231"));
+    }
+
+    #[test]
+    fn cookies_cover_all_three_heuristic_classes() {
+        let t = template();
+        let names: Vec<String> = cookies(&t).into_iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&t.platform.cookie().name));
+        assert!(names.contains(&t.analytics.cookie().name));
+        assert!(names.contains(&t.payment.cookie().name));
+    }
+
+    #[test]
+    fn sibling_stores_share_signature_but_differ_in_noise() {
+        let t = template();
+        let a = home_page(&StoreCtx { seed: 1, domain: "a.com", ..ctx(&t) });
+        let b = home_page(&StoreCtx { seed: 2, domain: "b.com", ..ctx(&t) });
+        assert_ne!(a, b, "per-store noise must differ");
+        for tok in &t.signature_tokens {
+            assert!(a.contains(tok) && b.contains(tok), "signature token {tok} must persist");
+        }
+    }
+
+    #[test]
+    fn different_campaigns_get_different_templates() {
+        let a = StoreTemplate::for_campaign("BIGLOVE", 42);
+        let b = StoreTemplate::for_campaign("MSVALIDATE", 42);
+        assert_ne!(a.signature_tokens, b.signature_tokens);
+        assert_ne!(a.css_prefix, b.css_prefix);
+    }
+
+    #[test]
+    fn checkout_exposes_order_number() {
+        let t = template();
+        let html = checkout_page(&ctx(&t), 48_821);
+        let doc = Document::parse(&html);
+        assert_eq!(doc.by_id("order-no").unwrap().text_content(), "48821");
+    }
+
+    #[test]
+    fn unavailable_checkout_has_number_but_no_form() {
+        let t = template();
+        let html = checkout_unavailable_page(&ctx(&t), 991);
+        let doc = Document::parse(&html);
+        assert_eq!(doc.by_id("order-no").unwrap().text_content(), "991");
+        assert!(doc.by_id("payment-unavailable").is_some());
+        assert!(doc.find_all("form").is_empty());
+    }
+
+    #[test]
+    fn product_page_links_to_checkout() {
+        let t = template();
+        let html = product_page(&ctx(&t), 3);
+        assert!(html.contains("/checkout"));
+    }
+
+    #[test]
+    fn template_derivation_is_deterministic() {
+        let a = StoreTemplate::for_campaign("KEY", 9);
+        let b = StoreTemplate::for_campaign("KEY", 9);
+        assert_eq!(a.signature_tokens, b.signature_tokens);
+        assert_eq!(a.platform, b.platform);
+    }
+}

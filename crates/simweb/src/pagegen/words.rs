@@ -1,0 +1,133 @@
+//! Seeded filler text and naming utilities.
+//!
+//! The generators need prose that is deterministic, cheap, and *lexically
+//! distinct across sites* so the Dagger semantic diff and the bag-of-words
+//! classifier have realistic material to work on. We synthesize text from
+//! small word pools mixed by a seeded RNG instead of shipping corpora.
+
+use rand::Rng;
+use ss_types::rng::{sub_rng, SimRng};
+
+/// Common filler words for sentence assembly.
+const FILLER: &[&str] = &[
+    "quality", "classic", "premium", "genuine", "fashion", "style", "collection", "season",
+    "leather", "design", "authentic", "discount", "shipping", "delivery", "guarantee", "original",
+    "luxury", "series", "limited", "edition", "popular", "newest", "womens", "mens", "official",
+    "online", "bargain", "wholesale", "retail", "clearance", "exclusive", "handmade", "vintage",
+    "comfort", "durable", "lightweight", "waterproof", "signature", "boutique", "catalog",
+];
+
+/// Neutral words for legitimate-site prose.
+const NEUTRAL: &[&str] = &[
+    "report", "community", "article", "review", "update", "guide", "story", "event", "local",
+    "weather", "travel", "garden", "recipe", "family", "school", "music", "festival", "history",
+    "library", "market", "science", "health", "council", "project", "photo", "journal", "forum",
+];
+
+/// Generates a deterministic RNG for a page-generation context.
+pub fn page_rng(seed: u64, label: &str) -> SimRng {
+    sub_rng(seed, label)
+}
+
+/// Picks `n` words from `pool` (with repetition) as a space-joined string.
+pub fn pick_words(rng: &mut SimRng, pool: &[&str], n: usize) -> String {
+    (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect::<Vec<_>>().join(" ")
+}
+
+/// A sentence of commerce-flavoured filler.
+pub fn commerce_sentence(rng: &mut SimRng) -> String {
+    let n = rng.gen_range(6..14);
+    let mut s = pick_words(rng, FILLER, n);
+    capitalize(&mut s);
+    s.push('.');
+    s
+}
+
+/// A sentence of neutral prose for legitimate sites.
+pub fn neutral_sentence(rng: &mut SimRng) -> String {
+    let n = rng.gen_range(6..14);
+    let mut s = pick_words(rng, NEUTRAL, n);
+    capitalize(&mut s);
+    s.push('.');
+    s
+}
+
+/// A paragraph of `k` sentences.
+pub fn paragraph(rng: &mut SimRng, k: usize, commerce: bool) -> String {
+    (0..k)
+        .map(|_| if commerce { commerce_sentence(rng) } else { neutral_sentence(rng) })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A pseudo-random lower-case token (for ids, cookie values, merchant ids).
+pub fn token(rng: &mut SimRng, len: usize) -> String {
+    const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    (0..len).map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char).collect()
+}
+
+/// A synthetic product name for `brand`.
+pub fn product_name(rng: &mut SimRng, brand: &str) -> String {
+    let line = ["Classic", "Sport", "Heritage", "Premier", "Urban", "Metro", "Royal", "Alpine"];
+    let item = ["Tote", "Jacket", "Sneaker", "Boot", "Wallet", "Watch", "Hoodie", "Scarf", "Bag"];
+    format!(
+        "{} {} {} {}",
+        brand,
+        line[rng.gen_range(0..line.len())],
+        item[rng.gen_range(0..item.len())],
+        rng.gen_range(100..9999)
+    )
+}
+
+/// A plausible counterfeit price: a deep discount off a luxury figure.
+pub fn price(rng: &mut SimRng) -> String {
+    format!("${}.{:02}", rng.gen_range(49..399), rng.gen_range(0..100))
+}
+
+fn capitalize(s: &mut String) {
+    if let Some(first) = s.get(0..1) {
+        let up = first.to_ascii_uppercase();
+        s.replace_range(0..1, &up);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_label() {
+        let mut a = page_rng(7, "x");
+        let mut b = page_rng(7, "x");
+        assert_eq!(commerce_sentence(&mut a), commerce_sentence(&mut b));
+        let mut c = page_rng(7, "y");
+        assert_ne!(commerce_sentence(&mut page_rng(7, "x")), commerce_sentence(&mut c));
+    }
+
+    #[test]
+    fn sentences_are_capitalized_and_terminated() {
+        let mut rng = page_rng(1, "s");
+        let s = neutral_sentence(&mut rng);
+        assert!(s.ends_with('.'));
+        assert!(s.chars().next().unwrap().is_ascii_uppercase());
+    }
+
+    #[test]
+    fn token_has_requested_length() {
+        let mut rng = page_rng(2, "t");
+        assert_eq!(token(&mut rng, 12).len(), 12);
+    }
+
+    #[test]
+    fn product_mentions_brand() {
+        let mut rng = page_rng(3, "p");
+        assert!(product_name(&mut rng, "Moncler").contains("Moncler"));
+    }
+
+    #[test]
+    fn paragraph_joins_sentences() {
+        let mut rng = page_rng(4, "g");
+        let p = paragraph(&mut rng, 3, true);
+        assert_eq!(p.matches('.').count(), 3);
+    }
+}

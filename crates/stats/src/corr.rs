@@ -1,0 +1,124 @@
+//! Correlation and simple summary statistics.
+
+/// Pearson correlation between two equal-length slices. Returns `None` for
+/// mismatched lengths, fewer than two points, or zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Mean of a slice (`None` when empty).
+pub fn mean(x: &[f64]) -> Option<f64> {
+    if x.is_empty() {
+        None
+    } else {
+        Some(x.iter().sum::<f64>() / x.len() as f64)
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(x: &[f64]) -> Option<f64> {
+    let m = mean(x)?;
+    Some((x.iter().map(|v| (v - m).powi(2)).sum::<f64>() / x.len() as f64).sqrt())
+}
+
+/// Lagged Pearson correlation: correlates `x[t]` with `y[t + lag]`
+/// (positive lag means y trails x). Useful for "order volume follows PSR
+/// visibility" checks (Figure 4).
+pub fn lagged_pearson(x: &[f64], y: &[f64], lag: i64) -> Option<f64> {
+    let n = x.len().min(y.len());
+    if n == 0 {
+        return None;
+    }
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for t in 0..n as i64 {
+        let u = t + lag;
+        if u >= 0 && (u as usize) < n {
+            xs.push(x[t as usize]);
+            ys.push(y[u as usize]);
+        }
+    }
+    pearson(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+        assert_eq!(pearson(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn lag_recovers_shifted_signal() {
+        let x: Vec<f64> = (0..50).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let mut y = vec![0.0; 50];
+        for i in 0..45 {
+            y[i + 5] = x[i];
+        }
+        let at_lag = lagged_pearson(&x, &y, 5).unwrap();
+        let at_zero = lagged_pearson(&x, &y, 0).unwrap();
+        assert!(at_lag > 0.99, "{at_lag}");
+        assert!(at_lag > at_zero);
+    }
+
+    #[test]
+    fn summary_stats() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert!((std_dev(&[2.0, 4.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn pearson_is_bounded(xy in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 3..40)) {
+            let x: Vec<f64> = xy.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = xy.iter().map(|p| p.1).collect();
+            if let Some(r) = pearson(&x, &y) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+
+        #[test]
+        fn pearson_is_symmetric(xy in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 3..40)) {
+            let x: Vec<f64> = xy.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = xy.iter().map(|p| p.1).collect();
+            match (pearson(&x, &y), pearson(&y, &x)) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+    }
+}

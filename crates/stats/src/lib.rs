@@ -1,0 +1,20 @@
+//! # ss-stats
+//!
+//! Time-series and estimation utilities shared by the measurement pipeline
+//! and the analysis layer: daily series, the paper's "peak range" burstiness
+//! metric (§5.1.2), censored lifetime bounds (§5.2.2/§5.3.2's two-number
+//! estimates), correlation, histogram binning, and plain-text renderers
+//! (CSV, markdown, sparklines) used to regenerate every figure as data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corr;
+pub mod lifetime;
+pub mod peak;
+pub mod render;
+pub mod series;
+
+pub use lifetime::LifetimeBound;
+pub use peak::peak_range;
+pub use series::DailySeries;

@@ -1,0 +1,129 @@
+//! The paper's burstiness metric (§5.1.2): the **peak range** of a
+//! campaign is "the shortest contiguous time span that includes 60% or
+//! more of all PSRs from the campaign".
+
+use ss_types::SimDate;
+
+use crate::series::DailySeries;
+
+/// A computed peak range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakRange {
+    /// First day of the span.
+    pub from: SimDate,
+    /// Last day of the span (inclusive).
+    pub to: SimDate,
+    /// Span length in days.
+    pub days: u32,
+    /// Fraction of total mass inside the span (≥ the requested quantile).
+    pub mass: f64,
+}
+
+/// Computes the shortest contiguous window of `series` containing at least
+/// `quantile` (e.g. 0.6) of its total mass. Returns `None` when the series
+/// has no positive mass. Two-pointer sweep, O(n).
+pub fn peak_range(series: &DailySeries, quantile: f64) -> Option<PeakRange> {
+    let dense = series.dense_or_zero();
+    let total: f64 = dense.iter().sum();
+    if total <= 0.0 || !(0.0..=1.0).contains(&quantile) {
+        return None;
+    }
+    let need = total * quantile;
+    let mut best: Option<(usize, usize, f64)> = None;
+    let mut lo = 0usize;
+    let mut acc = 0.0;
+    for hi in 0..dense.len() {
+        acc += dense[hi];
+        while acc - dense[lo] >= need && lo < hi {
+            acc -= dense[lo];
+            lo += 1;
+        }
+        if acc >= need {
+            let len = hi - lo;
+            match best {
+                Some((blo, bhi, _)) if bhi - blo <= len => {}
+                _ => best = Some((lo, hi, acc)),
+            }
+        }
+    }
+    best.map(|(lo, hi, mass)| PeakRange {
+        from: series.start + lo as u32,
+        to: series.start + hi as u32,
+        days: (hi - lo) as u32 + 1,
+        mass: mass / total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn day(n: u32) -> SimDate {
+        SimDate::from_day_index(n)
+    }
+
+    #[test]
+    fn concentrated_burst_has_short_peak() {
+        let mut s = DailySeries::new(day(0), day(99));
+        for i in 0..100u32 {
+            s.set(day(i), 1.0);
+        }
+        // A 10-day burst carrying most of the mass.
+        for i in 40..50u32 {
+            s.set(day(i), 50.0);
+        }
+        let p = peak_range(&s, 0.6).unwrap();
+        assert!(p.days <= 12, "peak {} days", p.days);
+        assert!(p.from >= day(39) && p.to <= day(51));
+        assert!(p.mass >= 0.6);
+    }
+
+    #[test]
+    fn uniform_series_needs_a_proportional_span() {
+        let mut s = DailySeries::new(day(0), day(99));
+        for i in 0..100u32 {
+            s.set(day(i), 2.0);
+        }
+        let p = peak_range(&s, 0.6).unwrap();
+        assert_eq!(p.days, 60);
+    }
+
+    #[test]
+    fn empty_or_zero_series_has_no_peak() {
+        let s = DailySeries::new(day(0), day(10));
+        assert_eq!(peak_range(&s, 0.6), None);
+        let mut z = DailySeries::new(day(0), day(10));
+        z.set(day(3), 0.0);
+        assert_eq!(peak_range(&z, 0.6), None);
+    }
+
+    #[test]
+    fn single_spike_is_a_one_day_peak() {
+        let mut s = DailySeries::new(day(0), day(30));
+        s.set(day(17), 100.0);
+        let p = peak_range(&s, 0.6).unwrap();
+        assert_eq!((p.from, p.to, p.days), (day(17), day(17), 1));
+        assert_eq!(p.mass, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn peak_always_carries_requested_mass(
+            vals in proptest::collection::vec(0.0f64..10.0, 10..60),
+            q in 0.1f64..0.95,
+        ) {
+            let mut s = DailySeries::new(day(0), day(vals.len() as u32 - 1));
+            for (i, v) in vals.iter().enumerate() {
+                s.set(day(i as u32), *v);
+            }
+            if let Some(p) = peak_range(&s, q) {
+                prop_assert!(p.mass >= q - 1e-9);
+                prop_assert!(p.days as usize <= vals.len());
+                prop_assert!(p.from <= p.to);
+            } else {
+                prop_assert!(vals.iter().sum::<f64>() == 0.0);
+            }
+        }
+    }
+}

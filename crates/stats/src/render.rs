@@ -1,0 +1,167 @@
+//! Plain-text renderers: CSV, markdown tables, sparklines.
+//!
+//! Every figure in the paper is regenerated as *data* (CSV series) plus a
+//! terminal-friendly view (sparkline / table), so `repro figN` output can
+//! be diffed, plotted, or pasted into EXPERIMENTS.md.
+
+use crate::series::DailySeries;
+
+/// Renders named daily series as a CSV with a `day` column. Missing values
+/// render empty. All series must share a start day (asserted).
+pub fn series_csv(columns: &[(&str, &DailySeries)]) -> String {
+    let mut out = String::from("day");
+    for (name, _) in columns {
+        out.push(',');
+        out.push_str(&csv_escape(name));
+    }
+    out.push('\n');
+    if columns.is_empty() {
+        return out;
+    }
+    let start = columns[0].1.start;
+    let len = columns.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for (_, s) in columns {
+        assert_eq!(s.start, start, "series must share a start day");
+    }
+    for i in 0..len {
+        let day = start + i as u32;
+        out.push_str(&day.to_string());
+        for (_, s) in columns {
+            out.push(',');
+            if let Some(v) = s.get(day) {
+                out.push_str(&trim_float(v));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!("|{}\n", "---|".repeat(headers.len())));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Unicode block characters for sparklines, lowest to highest.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders values as a sparkline, scaling to the series' own min/max
+/// (missing values render as spaces). Mirrors Figure 3's presentation.
+pub fn sparkline(series: &DailySeries) -> String {
+    let Some((lo, hi)) = series.min_max() else {
+        return String::new();
+    };
+    let span = (hi - lo).max(f64::EPSILON);
+    (0..series.len())
+        .map(|i| match series.get(series.start + i as u32) {
+            None => ' ',
+            Some(v) => {
+                let t = ((v - lo) / span * 7.0).round() as usize;
+                BLOCKS[t.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Compacts a sparkline to at most `width` characters by averaging buckets.
+pub fn sparkline_compact(series: &DailySeries, width: usize) -> String {
+    if series.len() <= width || width == 0 {
+        return sparkline(series);
+    }
+    let dense = series.dense_or_zero();
+    let chunk = dense.len().div_ceil(width);
+    let mut squeezed = DailySeries::new(series.start, series.start + (width as u32 - 1));
+    for (i, vals) in dense.chunks(chunk).enumerate() {
+        let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+        squeezed.set(series.start + i as u32, avg);
+    }
+    sparkline(&squeezed)
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Formats a float without trailing zero noise.
+pub fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::SimDate;
+
+    fn day(n: u32) -> SimDate {
+        SimDate::from_day_index(n)
+    }
+
+    #[test]
+    fn csv_includes_days_and_gaps() {
+        let mut a = DailySeries::new(day(5), day(7));
+        a.set(day(5), 1.0);
+        a.set(day(7), 2.5);
+        let mut b = DailySeries::new(day(5), day(7));
+        b.set(day(6), 4.0);
+        let csv = series_csv(&[("psrs", &a), ("orders,weekly", &b)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "day,psrs,\"orders,weekly\"");
+        assert_eq!(lines[1], "2013-07-10,1,");
+        assert_eq!(lines[2], "2013-07-11,,4");
+        assert_eq!(lines[3], "2013-07-12,2.5,");
+    }
+
+    #[test]
+    fn sparkline_scales_and_marks_gaps() {
+        let mut s = DailySeries::new(day(0), day(4));
+        s.set(day(0), 0.0);
+        s.set(day(2), 5.0);
+        s.set(day(4), 10.0);
+        let line = sparkline(&s);
+        let chars: Vec<char> = line.chars().collect();
+        assert_eq!(chars.len(), 5);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], ' ');
+        assert_eq!(chars[4], '█');
+    }
+
+    #[test]
+    fn compact_sparkline_respects_width() {
+        let mut s = DailySeries::new(day(0), day(99));
+        for i in 0..100u32 {
+            s.set(day(i), f64::from(i));
+        }
+        let line = sparkline_compact(&s, 20);
+        assert_eq!(line.chars().count(), 20);
+        assert!(line.starts_with('▁'));
+        assert!(line.ends_with('█'));
+    }
+
+    #[test]
+    fn markdown_table_shapes() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t, "| a | b |\n|---|---|\n| 1 | 2 |\n");
+    }
+
+    #[test]
+    fn trim_float_formats() {
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(3.25), "3.25");
+        assert_eq!(trim_float(0.12345), "0.1235");
+    }
+}

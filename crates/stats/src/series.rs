@@ -1,0 +1,240 @@
+//! Daily time series.
+
+use ss_types::SimDate;
+
+/// A dense daily series anchored at a start day. Missing observations are
+/// explicit (`None`) so interpolation is a deliberate act, exactly as the
+/// paper interpolates order-number samples "in regions where we lack
+/// samples" (Figure 4 caption).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DailySeries {
+    /// Day of index 0.
+    pub start: SimDate,
+    values: Vec<Option<f64>>,
+}
+
+impl DailySeries {
+    /// Creates an empty series covering `[start, end]`.
+    pub fn new(start: SimDate, end: SimDate) -> Self {
+        let len = (end.days_since(start).max(0) as usize) + 1;
+        DailySeries { start, values: vec![None; len] }
+    }
+
+    /// Number of days covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series covers no days.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Last day covered.
+    pub fn end(&self) -> SimDate {
+        self.start + (self.values.len().saturating_sub(1)) as u32
+    }
+
+    fn idx(&self, day: SimDate) -> Option<usize> {
+        let off = day.days_since(self.start);
+        if off < 0 || off as usize >= self.values.len() {
+            None
+        } else {
+            Some(off as usize)
+        }
+    }
+
+    /// Sets the value for a day (out-of-range days are ignored).
+    pub fn set(&mut self, day: SimDate, v: f64) {
+        if let Some(i) = self.idx(day) {
+            self.values[i] = Some(v);
+        }
+    }
+
+    /// Adds to the value for a day, treating missing as 0.
+    pub fn add(&mut self, day: SimDate, v: f64) {
+        if let Some(i) = self.idx(day) {
+            self.values[i] = Some(self.values[i].unwrap_or(0.0) + v);
+        }
+    }
+
+    /// Value for a day, if observed.
+    pub fn get(&self, day: SimDate) -> Option<f64> {
+        self.idx(day).and_then(|i| self.values[i])
+    }
+
+    /// Iterates `(day, value)` over observed days.
+    pub fn observed(&self) -> impl Iterator<Item = (SimDate, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, v)| v.map(|v| (self.start + i as u32, v)))
+    }
+
+    /// All values with missing treated as 0 (for count-type series).
+    pub fn dense_or_zero(&self) -> Vec<f64> {
+        self.values.iter().map(|v| v.unwrap_or(0.0)).collect()
+    }
+
+    /// Minimum and maximum over observed values.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        let mut it = self.values.iter().flatten();
+        let first = *it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for &v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Sum over observed values.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().flatten().sum()
+    }
+
+    /// Linearly interpolates gaps *between* observed samples (leading and
+    /// trailing gaps stay missing), returning a new series.
+    pub fn interpolated(&self) -> DailySeries {
+        let mut out = self.clone();
+        let obs: Vec<(usize, f64)> = self
+            .values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (i, v)))
+            .collect();
+        for pair in obs.windows(2) {
+            let (i0, v0) = pair[0];
+            let (i1, v1) = pair[1];
+            if i1 - i0 > 1 {
+                for i in i0 + 1..i1 {
+                    let t = (i - i0) as f64 / (i1 - i0) as f64;
+                    out.values[i] = Some(v0 + (v1 - v0) * t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Differences between consecutive observed samples, as
+    /// `(from, to, delta)` — the raw material of purchase-pair estimation.
+    pub fn sample_deltas(&self) -> Vec<(SimDate, SimDate, f64)> {
+        let obs: Vec<(SimDate, f64)> = self.observed().collect();
+        obs.windows(2).map(|p| (p[0].0, p[1].0, p[1].1 - p[0].1)).collect()
+    }
+
+    /// Aggregates observed days into `bin_days`-sized bins by sum,
+    /// returning `(bin_start, sum)` for non-empty bins.
+    pub fn binned_sum(&self, bin_days: u32) -> Vec<(SimDate, f64)> {
+        assert!(bin_days > 0, "bin width must be positive");
+        let mut out: Vec<(SimDate, f64)> = Vec::new();
+        for (day, v) in self.observed() {
+            let bin = (day.days_since(self.start) as u32) / bin_days;
+            let bin_start = self.start + bin * bin_days;
+            match out.last_mut() {
+                Some((b, acc)) if *b == bin_start => *acc += v,
+                _ => out.push((bin_start, v)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn day(n: u32) -> SimDate {
+        SimDate::from_day_index(n)
+    }
+
+    fn series() -> DailySeries {
+        let mut s = DailySeries::new(day(10), day(20));
+        s.set(day(10), 1.0);
+        s.set(day(14), 9.0);
+        s.set(day(20), 3.0);
+        s
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = series();
+        assert_eq!(s.len(), 11);
+        assert_eq!(s.end(), day(20));
+        assert_eq!(s.get(day(14)), Some(9.0));
+        assert_eq!(s.get(day(11)), None);
+        assert_eq!(s.get(day(9)), None);
+        assert_eq!(s.min_max(), Some((1.0, 9.0)));
+        assert_eq!(s.sum(), 13.0);
+    }
+
+    #[test]
+    fn add_accumulates_and_ignores_out_of_range() {
+        let mut s = DailySeries::new(day(0), day(2));
+        s.add(day(1), 2.0);
+        s.add(day(1), 3.0);
+        s.add(day(99), 7.0);
+        assert_eq!(s.get(day(1)), Some(5.0));
+        assert_eq!(s.sum(), 5.0);
+    }
+
+    #[test]
+    fn interpolation_fills_interior_gaps_only() {
+        let s = series().interpolated();
+        assert_eq!(s.get(day(12)), Some(5.0)); // halfway 1→9
+        assert_eq!(s.get(day(17)), Some(6.0)); // halfway 9→3
+        // No extrapolation outside the observed span.
+        let mut t = DailySeries::new(day(0), day(10));
+        t.set(day(5), 4.0);
+        t.set(day(7), 8.0);
+        let t = t.interpolated();
+        assert_eq!(t.get(day(3)), None);
+        assert_eq!(t.get(day(9)), None);
+        assert_eq!(t.get(day(6)), Some(6.0));
+    }
+
+    #[test]
+    fn sample_deltas_pair_consecutive_observations() {
+        let d = series().sample_deltas();
+        assert_eq!(d, vec![(day(10), day(14), 8.0), (day(14), day(20), -6.0)]);
+    }
+
+    #[test]
+    fn binned_sum_groups_by_width() {
+        let mut s = DailySeries::new(day(0), day(13));
+        for i in 0..14 {
+            s.set(day(i), 1.0);
+        }
+        let bins = s.binned_sum(7);
+        assert_eq!(bins, vec![(day(0), 7.0), (day(7), 7.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn interpolation_preserves_observations(vals in proptest::collection::vec(0.0f64..100.0, 2..8)) {
+            let mut s = DailySeries::new(day(0), day(40));
+            for (i, v) in vals.iter().enumerate() {
+                s.set(day((i * 5) as u32), *v);
+            }
+            let interp = s.interpolated();
+            for (d, v) in s.observed() {
+                prop_assert_eq!(interp.get(d), Some(v));
+            }
+        }
+
+        #[test]
+        fn interpolated_values_bounded_by_neighbours(a in 0.0f64..50.0, b in 0.0f64..50.0) {
+            let mut s = DailySeries::new(day(0), day(10));
+            s.set(day(0), a);
+            s.set(day(10), b);
+            let interp = s.interpolated();
+            let (lo, hi) = (a.min(b), a.max(b));
+            for i in 0..=10u32 {
+                let v = interp.get(day(i)).unwrap();
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Simulation dates.
+//!
+//! The whole study lives inside a ~14 month window, so instead of pulling in
+//! `chrono` we keep a single `u32` day counter anchored at the epoch
+//! 2013-07-05 ([`crate::EPOCH_YMD`]) plus a small, well-tested proleptic
+//! Gregorian converter for pretty-printing and for translating the paper's
+//! calendar dates into day indices.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// Days-per-month table for non-leap years.
+const MONTH_LEN: [u32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Returns `true` when `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `month` (1-based) of `year`.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    if month == 2 && is_leap_year(year) {
+        29
+    } else {
+        MONTH_LEN[(month - 1) as usize]
+    }
+}
+
+/// Days from the epoch 0001-01-01 to the start of `year` (proleptic
+/// Gregorian, "rata die" style).
+fn days_before_year(year: i32) -> i64 {
+    let y = i64::from(year) - 1;
+    y * 365 + y / 4 - y / 100 + y / 400
+}
+
+/// Days from 0001-01-01 to the given calendar date ("rata die" number - 1).
+fn rata_die(year: i32, month: u32, day: u32) -> i64 {
+    let mut doy = i64::from(day) - 1;
+    for m in 1..month {
+        doy += i64::from(days_in_month(year, m));
+    }
+    days_before_year(year) + doy
+}
+
+/// Rata-die value of the simulation epoch, 2013-07-05.
+fn epoch_rd() -> i64 {
+    rata_die(crate::EPOCH_YMD.0, crate::EPOCH_YMD.1, crate::EPOCH_YMD.2)
+}
+
+/// A date inside the simulation, stored as a day offset from 2013-07-05.
+///
+/// `SimDate` is `Copy`, totally ordered, and cheap to hash; all simulator
+/// state is keyed by it. Conversion to and from calendar dates is provided
+/// for reporting and for encoding the paper's milestones.
+///
+/// ```
+/// use ss_types::SimDate;
+/// let d = SimDate::from_ymd(2013, 11, 13).unwrap();
+/// assert_eq!(d.day_index(), 131);
+/// assert_eq!(d.to_string(), "2013-11-13");
+/// assert_eq!((d + 1).to_string(), "2013-11-14");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDate(u32);
+
+impl SimDate {
+    /// The simulation epoch itself (day 0, 2013-07-05).
+    pub const EPOCH: SimDate = SimDate(0);
+
+    /// Builds a date directly from a day offset.
+    pub const fn from_day_index(day: u32) -> Self {
+        SimDate(day)
+    }
+
+    /// Builds a date from a calendar `(year, month, day)` triple.
+    ///
+    /// Fails when the triple is not a valid Gregorian date or falls before
+    /// the simulation epoch.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Self> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(Error::InvalidDate { year, month, day });
+        }
+        let offset = rata_die(year, month, day) - epoch_rd();
+        if offset < 0 {
+            return Err(Error::InvalidDate { year, month, day });
+        }
+        Ok(SimDate(offset as u32))
+    }
+
+    /// Day offset from the epoch.
+    pub const fn day_index(self) -> u32 {
+        self.0
+    }
+
+    /// Calendar `(year, month, day)` of this date.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        let mut rd = epoch_rd() + i64::from(self.0);
+        // Estimate the year, then correct; rd counts days since 0001-01-01.
+        let mut year = ((rd * 400) / 146_097) as i32 + 1;
+        while days_before_year(year + 1) <= rd {
+            year += 1;
+        }
+        while days_before_year(year) > rd {
+            year -= 1;
+        }
+        rd -= days_before_year(year);
+        let mut month = 1;
+        while rd >= i64::from(days_in_month(year, month)) {
+            rd -= i64::from(days_in_month(year, month));
+            month += 1;
+        }
+        (year, month, rd as u32 + 1)
+    }
+
+    /// Saturating subtraction of whole days.
+    pub fn saturating_sub_days(self, days: u32) -> Self {
+        SimDate(self.0.saturating_sub(days))
+    }
+
+    /// Number of days from `earlier` to `self` (negative when `self` is
+    /// before `earlier`).
+    pub fn days_since(self, earlier: SimDate) -> i64 {
+        i64::from(self.0) - i64::from(earlier.0)
+    }
+
+    /// ISO-week-ish bucket: the index of the 7-day bin this date falls in,
+    /// counted from the epoch. Used for weekly order-sampling schedules.
+    pub fn week_index(self) -> u32 {
+        self.0 / 7
+    }
+
+    /// Iterator over every date in `[start, end]` inclusive.
+    pub fn range_inclusive(start: SimDate, end: SimDate) -> impl Iterator<Item = SimDate> {
+        (start.0..=end.0).map(SimDate)
+    }
+}
+
+impl fmt::Display for SimDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl std::ops::Add<u32> for SimDate {
+    type Output = SimDate;
+    fn add(self, rhs: u32) -> SimDate {
+        SimDate(self.0 + rhs)
+    }
+}
+
+impl std::ops::Sub<SimDate> for SimDate {
+    type Output = i64;
+    fn sub(self, rhs: SimDate) -> i64 {
+        self.days_since(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_roundtrips() {
+        assert_eq!(SimDate::EPOCH.ymd(), (2013, 7, 5));
+        assert_eq!(SimDate::from_ymd(2013, 7, 5).unwrap(), SimDate::EPOCH);
+    }
+
+    #[test]
+    fn known_paper_milestones() {
+        let cases = [
+            ((2013, 7, 5), 0),
+            ((2013, 11, 13), 131),   // crawl start
+            ((2013, 11, 29), 147),   // first test order
+            ((2014, 3, 28), 266),    // supplier record end
+            ((2014, 7, 15), 375),    // crawl end
+            ((2014, 8, 31), 422),    // Fig. 5 window end
+        ];
+        for ((y, m, d), idx) in cases {
+            let date = SimDate::from_ymd(y, m, d).unwrap();
+            assert_eq!(date.day_index(), idx, "{y}-{m}-{d}");
+            assert_eq!(date.ymd(), (y, m, d));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(SimDate::from_ymd(2014, 2, 29).is_err()); // not a leap year
+        assert!(SimDate::from_ymd(2014, 13, 1).is_err());
+        assert!(SimDate::from_ymd(2014, 0, 1).is_err());
+        assert!(SimDate::from_ymd(2014, 6, 31).is_err());
+        assert!(SimDate::from_ymd(2013, 7, 4).is_err()); // pre-epoch
+    }
+
+    #[test]
+    fn leap_february_accepted() {
+        // 2016 is a leap year inside u32 range from the epoch.
+        let d = SimDate::from_ymd(2016, 2, 29).unwrap();
+        assert_eq!(d.ymd(), (2016, 2, 29));
+    }
+
+    #[test]
+    fn display_formats_iso() {
+        assert_eq!(SimDate::from_day_index(131).to_string(), "2013-11-13");
+    }
+
+    #[test]
+    fn week_index_buckets_by_seven() {
+        assert_eq!(SimDate::from_day_index(0).week_index(), 0);
+        assert_eq!(SimDate::from_day_index(6).week_index(), 0);
+        assert_eq!(SimDate::from_day_index(7).week_index(), 1);
+    }
+
+    #[test]
+    fn range_inclusive_counts() {
+        let n = SimDate::range_inclusive(
+            SimDate::from_day_index(crate::CRAWL_START_DAY),
+            SimDate::from_day_index(crate::CRAWL_END_DAY),
+        )
+        .count();
+        assert_eq!(n as u32, crate::CRAWL_DAYS);
+    }
+
+    proptest! {
+        #[test]
+        fn ymd_roundtrip(day in 0u32..200_000) {
+            let date = SimDate::from_day_index(day);
+            let (y, m, d) = date.ymd();
+            prop_assert_eq!(SimDate::from_ymd(y, m, d).unwrap(), date);
+        }
+
+        #[test]
+        fn successive_days_are_calendar_successors(day in 0u32..200_000) {
+            let (y1, m1, d1) = SimDate::from_day_index(day).ymd();
+            let (y2, m2, d2) = SimDate::from_day_index(day + 1).ymd();
+            // Either the day advances within the month, or we rolled over.
+            if d2 != d1 + 1 {
+                prop_assert_eq!(d2, 1);
+                if m2 != m1 + 1 {
+                    prop_assert_eq!((m1, m2), (12, 1));
+                    prop_assert_eq!(y2, y1 + 1);
+                } else {
+                    prop_assert_eq!(y2, y1);
+                }
+                prop_assert_eq!(d1, days_in_month(y1, m1));
+            } else {
+                prop_assert_eq!((y1, m1), (y2, m2));
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Validated domain names.
+//!
+//! The simulator registers tens of thousands of synthetic domains (doorways,
+//! storefronts, legitimate sites, seizure-notice hosts). A [`DomainName`] is
+//! a lower-cased, dot-separated sequence of LDH labels — the subset of real
+//! DNS syntax the study needs. Validation up front means the crawler, the
+//! hosting registry and the seizure court documents can all trust the string.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// A validated, normalized (lower-case) domain name such as
+/// `cocovipbags.com`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainName(String);
+
+impl DomainName {
+    /// Maximum total length we accept (the DNS limit is 253).
+    pub const MAX_LEN: usize = 253;
+    /// Maximum label length (DNS limit).
+    pub const MAX_LABEL: usize = 63;
+
+    /// Parses and normalizes a domain name.
+    ///
+    /// Rules enforced: at least two labels, every label 1–63 chars of
+    /// `[a-z0-9-]`, no leading/trailing hyphen in a label, total ≤ 253
+    /// bytes, final label (TLD) alphabetic.
+    pub fn parse(s: &str) -> Result<Self> {
+        let lowered = s.trim().to_ascii_lowercase();
+        if lowered.is_empty() || lowered.len() > Self::MAX_LEN {
+            return Err(Error::InvalidDomain(s.into()));
+        }
+        let labels: Vec<&str> = lowered.split('.').collect();
+        if labels.len() < 2 {
+            return Err(Error::InvalidDomain(s.into()));
+        }
+        for label in &labels {
+            let ok = !label.is_empty()
+                && label.len() <= Self::MAX_LABEL
+                && label.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-')
+                && !label.starts_with('-')
+                && !label.ends_with('-');
+            if !ok {
+                return Err(Error::InvalidDomain(s.into()));
+            }
+        }
+        let tld = labels.last().expect("at least two labels");
+        if !tld.bytes().all(|b| b.is_ascii_alphabetic()) {
+            return Err(Error::InvalidDomain(s.into()));
+        }
+        Ok(DomainName(lowered))
+    }
+
+    /// The normalized name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The registrable "root" of the domain: its last two labels.
+    ///
+    /// Google's "hacked" label applies to the *root* of a site (§5.2.2); the
+    /// simulator and the label-coverage analysis both key on this.
+    pub fn root(&self) -> &str {
+        let mut dots = self.0.rmatch_indices('.').map(|(i, _)| i);
+        let _tld_dot = dots.next();
+        match dots.next() {
+            Some(i) => &self.0[i + 1..],
+            None => &self.0,
+        }
+    }
+
+    /// Whether this name is a subdomain (has more than two labels).
+    pub fn is_subdomain(&self) -> bool {
+        self.0.bytes().filter(|&b| b == b'.').count() > 1
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for DomainName {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self> {
+        DomainName::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accepts_typical_names() {
+        for s in [
+            "example.com",
+            "cocovipbags.com",
+            "shop.example.co",
+            "a-b.example.org",
+            "EXAMPLE.COM",
+        ] {
+            let d = DomainName::parse(s).unwrap();
+            assert_eq!(d.as_str(), s.to_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        for s in [
+            "",
+            "nodots",
+            ".com",
+            "a..com",
+            "-bad.com",
+            "bad-.com",
+            "bad.c0m1.999",
+            "sp ace.com",
+            "under_score.com",
+        ] {
+            assert!(DomainName::parse(s).is_err(), "{s:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn root_strips_subdomains() {
+        let d = DomainName::parse("blog.shop.example.com").unwrap();
+        assert_eq!(d.root(), "example.com");
+        assert!(d.is_subdomain());
+        let r = DomainName::parse("example.com").unwrap();
+        assert_eq!(r.root(), "example.com");
+        assert!(!r.is_subdomain());
+    }
+
+    proptest! {
+        #[test]
+        fn parse_is_idempotent(label in "[a-z0-9]{1,10}", tld in "[a-z]{2,4}") {
+            let s = format!("{label}.{tld}");
+            let d = DomainName::parse(&s).unwrap();
+            let d2 = DomainName::parse(d.as_str()).unwrap();
+            prop_assert_eq!(d, d2);
+        }
+    }
+}

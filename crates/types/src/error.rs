@@ -1,0 +1,60 @@
+//! The shared error type.
+//!
+//! Following the guides' "simplicity over cleverness" rule this is one plain
+//! enum with `Display`/`Error` impls — no error-derive dependency.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the shared type layer and its direct consumers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A `(year, month, day)` triple that is not a valid date on or after
+    /// the simulation epoch.
+    InvalidDate {
+        /// Year component of the rejected triple.
+        year: i32,
+        /// Month component of the rejected triple.
+        month: u32,
+        /// Day component of the rejected triple.
+        day: u32,
+    },
+    /// A string that does not parse as a domain name.
+    InvalidDomain(String),
+    /// A string that does not parse as a URL.
+    InvalidUrl(String),
+    /// A lookup for an entity id that was never registered.
+    UnknownEntity(String),
+    /// A configuration value outside its legal range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidDate { year, month, day } => {
+                write!(f, "invalid simulation date {year:04}-{month:02}-{day:02}")
+            }
+            Error::InvalidDomain(s) => write!(f, "invalid domain name: {s:?}"),
+            Error::InvalidUrl(s) => write!(f, "invalid URL: {s:?}"),
+            Error::UnknownEntity(s) => write!(f, "unknown entity: {s}"),
+            Error::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = Error::InvalidDate { year: 2014, month: 2, day: 30 };
+        assert_eq!(e.to_string(), "invalid simulation date 2014-02-30");
+        assert!(Error::InvalidUrl("x".into()).to_string().contains("URL"));
+    }
+}

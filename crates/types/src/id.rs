@@ -1,0 +1,95 @@
+//! Strongly-typed integer identifiers.
+//!
+//! Every entity class in the simulated ecosystem gets its own id newtype so
+//! a `StoreId` can never be confused with a `DomainId` at a call site. Ids
+//! are dense (assigned 0..n by their registries) which lets downstream code
+//! index `Vec`s with them instead of hashing.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw dense index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            pub const fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// One of the 52 SEO campaigns (Table 2 of the paper).
+    CampaignId,
+    "campaign#"
+);
+define_id!(
+    /// A counterfeit storefront (a logical store, which may rotate across
+    /// several domain names over its lifetime).
+    StoreId,
+    "store#"
+);
+define_id!(
+    /// A registered domain name in the simulated DNS.
+    DomainId,
+    "domain#"
+);
+define_id!(
+    /// One of the 16 luxury verticals of Table 1 (brand or composite).
+    VerticalId,
+    "vertical#"
+);
+define_id!(
+    /// A trademarked brand (a vertical may composite several brands).
+    BrandId,
+    "brand#"
+);
+define_id!(
+    /// A search term monitored within a vertical (100 per vertical).
+    TermId,
+    "term#"
+);
+define_id!(
+    /// A brand-protection firm (GBC, SMGPA) executing domain seizures.
+    FirmId,
+    "firm#"
+);
+define_id!(
+    /// A court case bundling a bulk domain seizure action.
+    CaseId,
+    "case#"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_roundtrip() {
+        let c = CampaignId::from_index(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c.to_string(), "campaign#7");
+        assert_eq!(StoreId(3).to_string(), "store#3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(DomainId(1) < DomainId(2));
+        assert_eq!(TermId(5), TermId::from_index(5));
+    }
+}

@@ -1,0 +1,87 @@
+//! # ss-types
+//!
+//! Shared domain vocabulary for the `search-seizure` workspace, the Rust
+//! reproduction of *"Search + Seizure: The Effectiveness of Interventions on
+//! SEO Campaigns"* (IMC 2014).
+//!
+//! This crate deliberately has no knowledge of the simulator or the
+//! measurement pipeline; it only defines the nouns every other crate speaks:
+//!
+//! * [`id`] — strongly-typed integer ids for campaigns, stores, domains,
+//!   verticals, brands, terms and court cases;
+//! * [`date`] — [`SimDate`](date::SimDate), a proleptic-Gregorian day counter
+//!   anchored at the study epoch (2013-07-05), replacing a `chrono`
+//!   dependency with ~100 audited lines;
+//! * [`domain`] — validated DNS-ish domain names;
+//! * [`url`] — a small, strict URL type and parser (scheme/host/path/query);
+//! * [`rng`] — deterministic sub-seed derivation so one scenario seed
+//!   reproduces the whole world bit-for-bit;
+//! * [`market`] — the paper's 16 luxury verticals, the brands behind them,
+//!   and the 52 SEO campaign names of Table 2;
+//! * [`error`] — the shared error enum.
+//!
+//! Everything here is `#![forbid(unsafe_code)]`, allocation-light, and
+//! exhaustively unit- and property-tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod date;
+pub mod domain;
+pub mod error;
+pub mod id;
+pub mod market;
+pub mod rng;
+pub mod url;
+
+pub use date::SimDate;
+pub use domain::DomainName;
+pub use error::{Error, Result};
+pub use id::{BrandId, CampaignId, CaseId, DomainId, FirmId, StoreId, TermId, VerticalId};
+pub use url::Url;
+
+/// First day of the simulation epoch: 2013-07-05 (start of the supplier
+/// shipment record window in §4.5 of the paper).
+pub const EPOCH_YMD: (i32, u32, u32) = (2013, 7, 5);
+
+/// First day of the crawl window, 2013-11-13 (§4.1), as a day offset from
+/// [`EPOCH_YMD`].
+pub const CRAWL_START_DAY: u32 = 131;
+
+/// Last day of the crawl window, 2014-07-15 (§4.1), inclusive.
+pub const CRAWL_END_DAY: u32 = 375;
+
+/// Number of days in the crawl window (eight months, inclusive).
+pub const CRAWL_DAYS: u32 = CRAWL_END_DAY - CRAWL_START_DAY + 1;
+
+/// Last day of the supplier shipment record window, 2014-03-28 (§4.5).
+pub const SUPPLIER_END_DAY: u32 = 266;
+
+/// End of the Figure 5 AWStats case-study window, 2014-08-31.
+pub const CASE_STUDY_END_DAY: u32 = 422;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crawl_window_matches_paper_dates() {
+        let start = SimDate::from_ymd(2013, 11, 13).unwrap();
+        let end = SimDate::from_ymd(2014, 7, 15).unwrap();
+        assert_eq!(start.day_index(), CRAWL_START_DAY);
+        assert_eq!(end.day_index(), CRAWL_END_DAY);
+        assert_eq!(CRAWL_DAYS, 245);
+    }
+
+    #[test]
+    fn supplier_window_matches_paper_dates() {
+        assert_eq!(
+            SimDate::from_ymd(2014, 3, 28).unwrap().day_index(),
+            SUPPLIER_END_DAY
+        );
+        assert_eq!(
+            SimDate::from_ymd(2014, 8, 31).unwrap().day_index(),
+            CASE_STUDY_END_DAY
+        );
+    }
+}

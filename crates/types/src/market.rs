@@ -1,0 +1,451 @@
+//! The counterfeit-luxury market universe, transcribed from the paper.
+//!
+//! This module is pure data: the 16 monitored verticals with their Table 1
+//! row and Figure 3 poisoning envelope, the brand universe behind them, the
+//! 38 named SEO campaigns of Table 2 plus the 14 below-cutoff campaigns that
+//! round out the 52, and small shared vocabularies (adjectives used to build
+//! search terms, destination countries for shipments).
+//!
+//! These numbers serve two distinct purposes downstream, and the distinction
+//! matters for honesty in EXPERIMENTS.md:
+//!
+//! * as **calibration targets** for the world generator (`ss-eco`), which
+//!   sizes campaigns and traffic so the simulated ecosystem resembles 2013's;
+//! * as **paper-reported values** that the analysis layer compares its own
+//!   *measured* outputs against.
+
+/// One row of Table 1 (quantities observed by the paper's crawler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Poisoned search results observed over the eight-month crawl.
+    pub psrs: u32,
+    /// Unique doorway domains.
+    pub doorways: u32,
+    /// Unique storefronts reached.
+    pub stores: u32,
+    /// Distinct campaigns observed in the vertical.
+    pub campaigns: u32,
+}
+
+/// Figure 3 poisoning envelope for one vertical: min/max of the daily
+/// percentage of poisoned results among the top-10 and top-100.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Row {
+    /// Minimum % of top-10 results poisoned on any day.
+    pub top10_min: f64,
+    /// Maximum % of top-10 results poisoned on any day.
+    pub top10_max: f64,
+    /// Minimum % of top-100 results poisoned on any day.
+    pub top100_min: f64,
+    /// Maximum % of top-100 results poisoned on any day.
+    pub top100_max: f64,
+}
+
+/// A monitored luxury vertical (§4.1.1): a brand or a composite category,
+/// monitored through 100 search terms.
+#[derive(Debug, Clone, Copy)]
+pub struct VerticalSpec {
+    /// Display name as used in Table 1.
+    pub name: &'static str,
+    /// Brands whose trademarks this vertical covers (singleton for brand
+    /// verticals, several for composites like Sunglasses).
+    pub brands: &'static [&'static str],
+    /// Whether the KEY campaign targets this vertical (all but the three
+    /// starred rows of Table 1: Ed Hardy, Louis Vuitton, Uggs).
+    pub key_targeted: bool,
+    /// Table 1 row for calibration/comparison.
+    pub table1: Table1Row,
+    /// Figure 3 envelope for calibration/comparison.
+    pub fig3: Fig3Row,
+}
+
+/// The 16 verticals of Table 1, in table order.
+pub const VERTICALS: &[VerticalSpec] = &[
+    VerticalSpec {
+        name: "Abercrombie",
+        brands: &["Abercrombie"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 117_319, doorways: 2_059, stores: 786, campaigns: 35 },
+        fig3: Fig3Row { top10_min: 1.76, top10_max: 13.03, top100_min: 1.96, top100_max: 11.14 },
+    },
+    VerticalSpec {
+        name: "Adidas",
+        brands: &["Adidas"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 102_694, doorways: 1_275, stores: 462, campaigns: 22 },
+        fig3: Fig3Row { top10_min: 0.12, top10_max: 7.80, top100_min: 2.25, top100_max: 8.07 },
+    },
+    VerticalSpec {
+        name: "Beats By Dre",
+        brands: &["Beats By Dre"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 342_674, doorways: 2_425, stores: 506, campaigns: 16 },
+        fig3: Fig3Row { top10_min: 2.24, top10_max: 23.39, top100_min: 6.81, top100_max: 36.50 },
+    },
+    VerticalSpec {
+        name: "Clarisonic",
+        brands: &["Clarisonic"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 10_726, doorways: 243, stores: 148, campaigns: 6 },
+        fig3: Fig3Row { top10_min: 0.00, top10_max: 0.25, top100_min: 0.11, top100_max: 1.32 },
+    },
+    VerticalSpec {
+        name: "Ed Hardy",
+        brands: &["Ed Hardy"],
+        key_targeted: false,
+        table1: Table1Row { psrs: 99_167, doorways: 1_828, stores: 648, campaigns: 31 },
+        fig3: Fig3Row { top10_min: 0.00, top10_max: 11.15, top100_min: 0.48, top100_max: 31.20 },
+    },
+    VerticalSpec {
+        name: "Golf",
+        brands: &["Titleist", "Callaway", "TaylorMade"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 11_257, doorways: 679, stores: 318, campaigns: 20 },
+        fig3: Fig3Row { top10_min: 0.00, top10_max: 0.35, top100_min: 0.26, top100_max: 1.28 },
+    },
+    VerticalSpec {
+        name: "Isabel Marant",
+        brands: &["Isabel Marant"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 153_927, doorways: 2_356, stores: 1_150, campaigns: 35 },
+        fig3: Fig3Row { top10_min: 0.12, top10_max: 3.63, top100_min: 1.19, top100_max: 11.02 },
+    },
+    VerticalSpec {
+        name: "Louis Vuitton",
+        brands: &["Louis Vuitton"],
+        key_targeted: false,
+        table1: Table1Row { psrs: 523_368, doorways: 5_462, stores: 1_246, campaigns: 34 },
+        fig3: Fig3Row { top10_min: 5.88, top10_max: 20.55, top100_min: 12.26, top100_max: 37.30 },
+    },
+    VerticalSpec {
+        name: "Moncler",
+        brands: &["Moncler"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 454_671, doorways: 3_566, stores: 912, campaigns: 38 },
+        fig3: Fig3Row { top10_min: 6.89, top10_max: 39.58, top100_min: 8.79, top100_max: 42.45 },
+    },
+    VerticalSpec {
+        name: "Nike",
+        brands: &["Nike"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 180_953, doorways: 3_521, stores: 1_141, campaigns: 32 },
+        fig3: Fig3Row { top10_min: 0.71, top10_max: 8.23, top100_min: 5.02, top100_max: 11.51 },
+    },
+    VerticalSpec {
+        name: "Ralph Lauren",
+        brands: &["Ralph Lauren"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 74_893, doorways: 1_276, stores: 648, campaigns: 27 },
+        fig3: Fig3Row { top10_min: 0.23, top10_max: 3.74, top100_min: 1.73, top100_max: 5.00 },
+    },
+    VerticalSpec {
+        name: "Sunglasses",
+        brands: &["Oakley", "Ray-Ban", "Christian Dior"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 93_928, doorways: 3_585, stores: 1_269, campaigns: 34 },
+        fig3: Fig3Row { top10_min: 0.24, top10_max: 5.51, top100_min: 1.95, top100_max: 11.48 },
+    },
+    VerticalSpec {
+        name: "Tiffany",
+        brands: &["Tiffany"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 37_054, doorways: 1_015, stores: 432, campaigns: 22 },
+        fig3: Fig3Row { top10_min: 0.00, top10_max: 10.22, top100_min: 0.23, top100_max: 17.10 },
+    },
+    VerticalSpec {
+        name: "Uggs",
+        brands: &["Uggs"],
+        key_targeted: false,
+        table1: Table1Row { psrs: 405_518, doorways: 4_966, stores: 1_015, campaigns: 39 },
+        fig3: Fig3Row { top10_min: 1.70, top10_max: 17.99, top100_min: 6.90, top100_max: 37.96 },
+    },
+    VerticalSpec {
+        name: "Watches",
+        brands: &["Rolex", "Omega", "Breitling"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 109_016, doorways: 3_615, stores: 1_470, campaigns: 35 },
+        fig3: Fig3Row { top10_min: 0.71, top10_max: 1.87, top100_min: 3.89, top100_max: 7.04 },
+    },
+    VerticalSpec {
+        name: "Woolrich",
+        brands: &["Woolrich"],
+        key_targeted: true,
+        table1: Table1Row { psrs: 55_879, doorways: 1_924, stores: 888, campaigns: 38 },
+        fig3: Fig3Row { top10_min: 0.23, top10_max: 2.42, top100_min: 1.39, top100_max: 4.97 },
+    },
+];
+
+/// Paper-reported Table 1 totals (bottom row).
+pub const TABLE1_TOTAL: Table1Row =
+    Table1Row { psrs: 2_773_044, doorways: 27_008, stores: 7_484, campaigns: 52 };
+
+/// Brands that appear in the study beyond the vertical anchors (targeted by
+/// campaigns, seized by firms, or sold alongside: §3.1.2 mentions campaigns
+/// shilling for thirty distinct brands).
+pub const EXTRA_BRANDS: &[&str] = &[
+    "Chanel",
+    "Christian Louboutin",
+    "Hollister",
+    "North Face",
+    "Gucci",
+    "Prada",
+    "Burberry",
+    "Michael Kors",
+];
+
+/// The full brand universe: vertical anchors plus [`EXTRA_BRANDS`],
+/// deduplicated, in deterministic order.
+pub fn all_brands() -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = Vec::new();
+    for v in VERTICALS {
+        for b in v.brands {
+            if !out.contains(b) {
+                out.push(b);
+            }
+        }
+    }
+    for b in EXTRA_BRANDS {
+        if !out.contains(b) {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// One row of Table 2: a named, classified SEO campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignSpec {
+    /// Campaign name derived from a URL pattern, C&C domain, or telltale
+    /// operational quirk (Table 2 caption).
+    pub name: &'static str,
+    /// Doorway domains seen redirecting for the campaign.
+    pub doorways: u32,
+    /// Storefronts monetizing its traffic.
+    pub stores: u32,
+    /// Brands whose trademarks it abuses.
+    pub brands: u32,
+    /// Peak poisoning duration in days (shortest span holding ≥60% of the
+    /// campaign's PSRs, §5.1.2).
+    pub peak_days: u32,
+}
+
+/// The 38 campaigns with 25+ doorways, exactly as printed in Table 2.
+pub const NAMED_CAMPAIGNS: &[CampaignSpec] = &[
+    CampaignSpec { name: "171760", doorways: 30, stores: 14, brands: 7, peak_days: 44 },
+    CampaignSpec { name: "ADFLYID", doorways: 100, stores: 18, brands: 4, peak_days: 66 },
+    CampaignSpec { name: "BIGLOVE", doorways: 767, stores: 92, brands: 30, peak_days: 92 },
+    CampaignSpec { name: "BITLY", doorways: 190, stores: 40, brands: 15, peak_days: 89 },
+    CampaignSpec { name: "CAMPAIGN.02", doorways: 26, stores: 4, brands: 3, peak_days: 61 },
+    CampaignSpec { name: "CAMPAIGN.10", doorways: 94, stores: 18, brands: 5, peak_days: 99 },
+    CampaignSpec { name: "CAMPAIGN.12", doorways: 118, stores: 5, brands: 1, peak_days: 59 },
+    CampaignSpec { name: "CAMPAIGN.14", doorways: 39, stores: 8, brands: 2, peak_days: 67 },
+    CampaignSpec { name: "CAMPAIGN.15", doorways: 364, stores: 10, brands: 10, peak_days: 8 },
+    CampaignSpec { name: "CAMPAIGN.17", doorways: 61, stores: 8, brands: 3, peak_days: 44 },
+    CampaignSpec { name: "CHANEL.1", doorways: 50, stores: 10, brands: 4, peak_days: 24 },
+    CampaignSpec { name: "G2GMART", doorways: 916, stores: 28, brands: 3, peak_days: 53 },
+    CampaignSpec { name: "HACKEDLIVEZILLA", doorways: 43, stores: 49, brands: 9, peak_days: 56 },
+    CampaignSpec { name: "IFRAMEINJS", doorways: 200, stores: 2, brands: 1, peak_days: 39 },
+    CampaignSpec { name: "JAROKRAFKA", doorways: 266, stores: 55, brands: 3, peak_days: 87 },
+    CampaignSpec { name: "JSUS", doorways: 439, stores: 59, brands: 27, peak_days: 68 },
+    CampaignSpec { name: "KEY", doorways: 1_980, stores: 97, brands: 28, peak_days: 65 },
+    CampaignSpec { name: "LIVEZILLA", doorways: 420, stores: 33, brands: 16, peak_days: 70 },
+    CampaignSpec { name: "LV.0", doorways: 42, stores: 3, brands: 1, peak_days: 62 },
+    CampaignSpec { name: "LV.1", doorways: 270, stores: 12, brands: 9, peak_days: 90 },
+    CampaignSpec { name: "M10", doorways: 581, stores: 35, brands: 8, peak_days: 30 },
+    CampaignSpec { name: "MOKLELE", doorways: 982, stores: 15, brands: 4, peak_days: 36 },
+    CampaignSpec { name: "MOONKIS", doorways: 95, stores: 7, brands: 4, peak_days: 99 },
+    CampaignSpec { name: "MSVALIDATE", doorways: 530, stores: 98, brands: 6, peak_days: 52 },
+    CampaignSpec { name: "NEWSORG", doorways: 926, stores: 7, brands: 5, peak_days: 24 },
+    CampaignSpec { name: "NORTHFACEC", doorways: 432, stores: 2, brands: 1, peak_days: 60 },
+    CampaignSpec { name: "NYY", doorways: 29, stores: 14, brands: 5, peak_days: 40 },
+    CampaignSpec { name: "PAGERAND", doorways: 122, stores: 7, brands: 4, peak_days: 43 },
+    CampaignSpec { name: "PARTNER", doorways: 62, stores: 9, brands: 5, peak_days: 33 },
+    CampaignSpec { name: "PAULSIMON", doorways: 328, stores: 33, brands: 12, peak_days: 128 },
+    CampaignSpec { name: "PHP?P=", doorways: 255, stores: 55, brands: 24, peak_days: 96 },
+    CampaignSpec { name: "ROBERTPENNER", doorways: 56, stores: 7, brands: 12, peak_days: 50 },
+    CampaignSpec { name: "SCHEMA.ORG", doorways: 46, stores: 17, brands: 7, peak_days: 54 },
+    CampaignSpec { name: "SNOWFLASH", doorways: 271, stores: 14, brands: 1, peak_days: 48 },
+    CampaignSpec { name: "STYLESHEET", doorways: 222, stores: 9, brands: 6, peak_days: 63 },
+    CampaignSpec { name: "TIFFANY.0", doorways: 26, stores: 1, brands: 1, peak_days: 4 },
+    CampaignSpec { name: "UGGS.0", doorways: 428, stores: 6, brands: 5, peak_days: 30 },
+    CampaignSpec { name: "VERA", doorways: 155, stores: 38, brands: 12, peak_days: 156 },
+];
+
+/// The 14 classified campaigns below Table 2's 25-doorway display cutoff
+/// (the paper identifies 52 campaigns total but prints only 38). Sizes are
+/// our synthesis: under 25 doorways each, small store counts, consistent
+/// with the table caption.
+pub const SMALL_CAMPAIGNS: &[CampaignSpec] = &[
+    CampaignSpec { name: "SMALL.01", doorways: 24, stores: 6, brands: 3, peak_days: 35 },
+    CampaignSpec { name: "SMALL.02", doorways: 22, stores: 4, brands: 2, peak_days: 52 },
+    CampaignSpec { name: "SMALL.03", doorways: 21, stores: 7, brands: 4, peak_days: 28 },
+    CampaignSpec { name: "SMALL.04", doorways: 19, stores: 3, brands: 2, peak_days: 61 },
+    CampaignSpec { name: "SMALL.05", doorways: 18, stores: 5, brands: 3, peak_days: 44 },
+    CampaignSpec { name: "SMALL.06", doorways: 16, stores: 2, brands: 1, peak_days: 19 },
+    CampaignSpec { name: "SMALL.07", doorways: 15, stores: 4, brands: 2, peak_days: 73 },
+    CampaignSpec { name: "SMALL.08", doorways: 14, stores: 3, brands: 2, peak_days: 31 },
+    CampaignSpec { name: "SMALL.09", doorways: 12, stores: 2, brands: 1, peak_days: 26 },
+    CampaignSpec { name: "SMALL.10", doorways: 11, stores: 3, brands: 2, peak_days: 48 },
+    CampaignSpec { name: "SMALL.11", doorways: 9, stores: 2, brands: 1, peak_days: 22 },
+    CampaignSpec { name: "SMALL.12", doorways: 8, stores: 2, brands: 1, peak_days: 37 },
+    CampaignSpec { name: "SMALL.13", doorways: 7, stores: 1, brands: 1, peak_days: 15 },
+    CampaignSpec { name: "SMALL.14", doorways: 6, stores: 1, brands: 1, peak_days: 12 },
+];
+
+/// All 52 classified campaigns, named first, in deterministic order.
+pub fn all_campaigns() -> Vec<CampaignSpec> {
+    NAMED_CAMPAIGNS.iter().chain(SMALL_CAMPAIGNS).copied().collect()
+}
+
+/// Adjectives composed with brand names to form search strings (§4.1.1).
+pub const TERM_ADJECTIVES: &[&str] = &["cheap", "new", "online", "outlet", "sale", "store"];
+
+/// Product nouns used in suggest expansions and doorway keyword paths.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "bags", "handbags", "wallet", "shoes", "boots", "jacket", "coat", "headphones", "watch",
+    "sunglasses", "polo", "hoodie", "scarf", "belt", "purse", "sneakers", "outlet", "official",
+];
+
+/// Destination countries for supplier shipments (§4.5), with the paper's
+/// reported order counts where given. "Western Europe" is decomposed into
+/// its four largest markets.
+pub const SHIP_COUNTRIES: &[(&str, u32)] = &[
+    ("United States", 90_000),
+    ("Japan", 57_000),
+    ("Australia", 39_000),
+    ("United Kingdom", 15_000),
+    ("Germany", 12_000),
+    ("France", 8_000),
+    ("Italy", 6_000),
+    ("Canada", 14_000),
+    ("Other", 38_000),
+];
+
+/// Localized storefront markets (§3.1.2: "localized sites catering to
+/// international markets").
+pub const STORE_LOCALES: &[&str] = &["us", "uk", "de", "jp", "fr", "it", "au"];
+
+/// The two brand-protection firms of Table 3.
+#[derive(Debug, Clone, Copy)]
+pub struct FirmSpec {
+    /// Firm name.
+    pub name: &'static str,
+    /// Court cases observed (Feb 2012 – Jul 2014).
+    pub cases: u32,
+    /// Brands represented.
+    pub brands: u32,
+    /// Total domains seized across all cases.
+    pub seized_domains: u32,
+    /// Seized store domains directly observed in crawled PSRs.
+    pub observed_stores: u32,
+    /// Of those, stores classified into campaigns.
+    pub classified_stores: u32,
+    /// Campaigns affected.
+    pub campaigns: u32,
+    /// Mean days between a store first appearing in PSRs and its seizure
+    /// (lower bound of the paper's two-number estimate, §5.3.2).
+    pub store_lifetime_lo: u32,
+    /// Upper bound of the lifetime estimate.
+    pub store_lifetime_hi: u32,
+    /// Mean days for campaigns to re-point doorways after a seizure.
+    pub reaction_days: u32,
+}
+
+/// Table 3 rows: Greer, Burns & Crain and SMGPA.
+pub const FIRMS: &[FirmSpec] = &[
+    FirmSpec {
+        name: "Greer, Burns & Crain",
+        cases: 69,
+        brands: 17,
+        seized_domains: 31_819,
+        observed_stores: 214,
+        classified_stores: 40,
+        campaigns: 17,
+        store_lifetime_lo: 58,
+        store_lifetime_hi: 68,
+        reaction_days: 7,
+    },
+    FirmSpec {
+        name: "SMGPA",
+        cases: 47,
+        brands: 11,
+        seized_domains: 8_056,
+        observed_stores: 76,
+        classified_stores: 20,
+        campaigns: 12,
+        store_lifetime_lo: 48,
+        store_lifetime_hi: 56,
+        reaction_days: 15,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_verticals_and_52_campaigns() {
+        assert_eq!(VERTICALS.len(), 16);
+        assert_eq!(all_campaigns().len(), 52);
+        assert_eq!(NAMED_CAMPAIGNS.len(), 38);
+    }
+
+    #[test]
+    fn table1_psr_total_matches() {
+        let sum: u32 = VERTICALS.iter().map(|v| v.table1.psrs).sum();
+        assert_eq!(sum, TABLE1_TOTAL.psrs);
+        // Doorways/stores overlap across verticals, so the per-vertical sums
+        // exceed the unique totals in the bottom row of Table 1.
+        let doorways: u32 = VERTICALS.iter().map(|v| v.table1.doorways).sum();
+        assert!(doorways >= TABLE1_TOTAL.doorways);
+        let stores: u32 = VERTICALS.iter().map(|v| v.table1.stores).sum();
+        assert!(stores >= TABLE1_TOTAL.stores);
+    }
+
+    #[test]
+    fn key_skips_exactly_the_starred_verticals() {
+        let skipped: Vec<&str> =
+            VERTICALS.iter().filter(|v| !v.key_targeted).map(|v| v.name).collect();
+        assert_eq!(skipped, ["Ed Hardy", "Louis Vuitton", "Uggs"]);
+    }
+
+    #[test]
+    fn small_campaigns_sit_below_cutoff() {
+        assert!(SMALL_CAMPAIGNS.iter().all(|c| c.doorways < 25));
+        assert!(NAMED_CAMPAIGNS.iter().all(|c| c.doorways >= 25));
+    }
+
+    #[test]
+    fn brand_universe_covers_thirty() {
+        let brands = all_brands();
+        assert!(brands.len() >= 30, "only {} brands", brands.len());
+        // No duplicates.
+        let mut dedup = brands.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), brands.len());
+    }
+
+    #[test]
+    fn fig3_envelopes_are_ordered() {
+        for v in VERTICALS {
+            assert!(v.fig3.top10_min <= v.fig3.top10_max, "{}", v.name);
+            assert!(v.fig3.top100_min <= v.fig3.top100_max, "{}", v.name);
+        }
+    }
+
+    #[test]
+    fn campaign_names_unique() {
+        let mut names: Vec<&str> = all_campaigns().iter().map(|c| c.name).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn firm_specs_match_table3() {
+        assert_eq!(FIRMS[0].seized_domains + FIRMS[1].seized_domains, 39_875);
+        assert_eq!(FIRMS[0].observed_stores + FIRMS[1].observed_stores, 290);
+    }
+}

@@ -1,0 +1,232 @@
+//! A small, strict URL type.
+//!
+//! The crawler extracts search terms from doorway URL paths (§4.1.1, e.g.
+//! `http://doorway.com/?key=cheap+beats+by+dre`), follows redirect chains,
+//! and issues `site:` queries — all of which need structured access to
+//! scheme, host, path and query. This is a deliberately small subset of a
+//! full URL parser: `http`/`https`, a validated [`DomainName`] host, an
+//! absolute path, and an optional `k=v&k=v` query string.
+
+use std::fmt;
+
+use crate::domain::DomainName;
+use crate::error::{Error, Result};
+
+/// URL scheme; the simulated web only speaks HTTP(S).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Plain HTTP.
+    Http,
+    /// TLS HTTP. Matters for referrer semantics: HTTPS→HTTP transitions
+    /// strip the referrer header (§5.2.3 footnote 5).
+    Https,
+}
+
+impl Scheme {
+    /// The scheme as it appears before `://`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Http => "http",
+            Scheme::Https => "https",
+        }
+    }
+}
+
+/// A parsed absolute URL: `scheme://host/path?query`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Url {
+    /// URL scheme.
+    pub scheme: Scheme,
+    /// Host domain.
+    pub host: DomainName,
+    /// Absolute path, always beginning with `/`.
+    pub path: String,
+    /// Raw query string without the leading `?`, empty when absent.
+    pub query: String,
+}
+
+impl Url {
+    /// Builds a URL for the root page of `host`.
+    pub fn root(host: DomainName) -> Self {
+        Url { scheme: Scheme::Http, host, path: "/".into(), query: String::new() }
+    }
+
+    /// Builds an HTTP URL from parts, normalizing the path.
+    pub fn new(host: DomainName, path: &str, query: &str) -> Self {
+        let path = if path.starts_with('/') { path.to_owned() } else { format!("/{path}") };
+        Url { scheme: Scheme::Http, host, path, query: query.to_owned() }
+    }
+
+    /// Parses an absolute URL string.
+    pub fn parse(s: &str) -> Result<Self> {
+        let s = s.trim();
+        let (scheme, rest) = if let Some(r) = s.strip_prefix("https://") {
+            (Scheme::Https, r)
+        } else if let Some(r) = s.strip_prefix("http://") {
+            (Scheme::Http, r)
+        } else {
+            return Err(Error::InvalidUrl(s.into()));
+        };
+        if rest.is_empty() {
+            return Err(Error::InvalidUrl(s.into()));
+        }
+        let (host_str, path_query) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        let host = DomainName::parse(host_str).map_err(|_| Error::InvalidUrl(s.into()))?;
+        let (path, query) = match path_query.find('?') {
+            Some(i) => (path_query[..i].to_owned(), path_query[i + 1..].to_owned()),
+            None => (path_query.to_owned(), String::new()),
+        };
+        if path.contains(char::is_whitespace) || query.contains(char::is_whitespace) {
+            return Err(Error::InvalidUrl(s.into()));
+        }
+        Ok(Url { scheme, host, path, query })
+    }
+
+    /// Whether this URL points at the *root page* of its host. Only root
+    /// results receive Google's "hacked" label under the policy the paper
+    /// documents in §5.2.2.
+    pub fn is_root_page(&self) -> bool {
+        self.path == "/" && self.query.is_empty()
+    }
+
+    /// Looks up a query parameter value (first match), percent/plus-decoded.
+    pub fn query_param(&self, key: &str) -> Option<String> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then(|| decode_component(v))
+        })
+    }
+
+    /// A stable `(host, path, query)` key identifying the page irrespective
+    /// of scheme — what the crawler dedups on.
+    pub fn page_key(&self) -> String {
+        format!("{}{}{}{}", self.host, self.path, if self.query.is_empty() { "" } else { "?" }, self.query)
+    }
+}
+
+/// Decodes `+` as space and `%XX` escapes; invalid escapes pass through.
+pub fn decode_component(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Encodes a component: space → `+`, non-unreserved bytes → `%XX`.
+pub fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' => out.push(b as char),
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}{}", self.scheme.as_str(), self.host, self.path)?;
+        if !self.query.is_empty() {
+            write!(f, "?{}", self.query)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_typical_urls() {
+        let u = Url::parse("http://doorway.com/?key=cheap+beats+by+dre").unwrap();
+        assert_eq!(u.scheme, Scheme::Http);
+        assert_eq!(u.host.as_str(), "doorway.com");
+        assert_eq!(u.path, "/");
+        assert_eq!(u.query_param("key").as_deref(), Some("cheap beats by dre"));
+        assert!(!u.is_root_page()); // query present
+
+        let r = Url::parse("https://example.com").unwrap();
+        assert_eq!(r.path, "/");
+        assert!(r.is_root_page());
+    }
+
+    #[test]
+    fn rejects_bad_urls() {
+        for s in ["ftp://x.com/", "example.com/a", "http://", "http://bad host.com/"] {
+            assert!(Url::parse(s).is_err(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in [
+            "http://a.com/",
+            "https://shop.b.org/checkout?item=3&qty=2",
+            "http://c.net/deep/path.html",
+        ] {
+            assert_eq!(Url::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn component_codec() {
+        assert_eq!(encode_component("cheap louis vuitton"), "cheap+louis+vuitton");
+        assert_eq!(decode_component("cheap+louis+vuitton"), "cheap louis vuitton");
+        assert_eq!(decode_component("a%2Fb"), "a/b");
+        assert_eq!(decode_component("bad%zz"), "bad%zz");
+    }
+
+    #[test]
+    fn page_key_ignores_scheme() {
+        let a = Url::parse("http://x.com/p?q=1").unwrap();
+        let b = Url::parse("https://x.com/p?q=1").unwrap();
+        assert_eq!(a.page_key(), b.page_key());
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(s in "[ -~]{0,40}") {
+            prop_assert_eq!(decode_component(&encode_component(&s)), s);
+        }
+
+        #[test]
+        fn parse_display_roundtrip(host in "[a-z]{1,8}", tld in "[a-z]{2,3}",
+                                   path in "(/[a-z0-9]{1,6}){0,3}") {
+            let s = format!("http://{host}.{tld}{}", if path.is_empty() { "/".to_owned() } else { path });
+            let u = Url::parse(&s).unwrap();
+            prop_assert_eq!(u.to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 1, live: the same doorway URL fetched as a search-engine crawler
+//! and as a search-referred user, showing why iframe cloaking defeats
+//! fetch-and-diff detection and requires a rendering crawler.
+//!
+//! ```text
+//! cargo run --release --example iframe_cloaking
+//! ```
+
+use ss_crawl::{dagger, vangogh};
+use ss_eco::{ScenarioConfig, World};
+use ss_types::{SimDate, Url};
+use ss_web::cloak::CloakMode;
+use ss_web::http::{Request, Web};
+
+fn main() {
+    let mut world = World::build(ScenarioConfig::tiny(99)).expect("world builds");
+    world.run_until(SimDate::from_day_index(ss_types::CRAWL_START_DAY + 5));
+    let day = world.day;
+
+    // Find a live doorway from an iframe-cloaking campaign.
+    let (campaign_name, domain, term) = world
+        .campaigns
+        .iter()
+        .filter(|c| matches!(c.cloak, CloakMode::Iframe { .. }))
+        .flat_map(|c| c.doorways.iter().map(move |d| (c, d)))
+        .find(|(_, d)| d.is_live(day))
+        .map(|(c, d)| (c.name.clone(), d.domain, world.term_text(d.terms[0]).to_owned()))
+        .expect("an iframe-cloaking doorway is live");
+
+    let url = Url::root(world.domains.get(domain).name.clone());
+    println!("Doorway {url} (campaign {campaign_name}), targeted term: {term:?}\n");
+
+    // 1. Fetch as Googlebot.
+    let bot = world.fetch(&Request::crawler(url.clone()));
+    println!("As Googlebot:        {} bytes, status {}", bot.body.len(), bot.status);
+
+    // 2. Fetch as a search-referred browser.
+    let user = world.fetch(&Request::browser_from(
+        url.clone(),
+        dagger::google_referrer(&term),
+    ));
+    println!("As search user:      {} bytes, status {}", user.body.len(), user.status);
+    println!("Bytes identical:     {}", bot.body == user.body);
+
+    // 3. Dagger (fetch-and-diff) is blind to this.
+    let dagger_verdict = dagger::check(&mut world, &url, &term, 6);
+    println!("\nDagger verdict:      {:?}  ← the §3.1.1 blind spot", dagger_verdict.cloaked);
+
+    // 4. VanGogh renders the page — and catches the payload.
+    let vangogh_verdict = vangogh::check(&mut world, &url, &term, 6);
+    println!("VanGogh verdict:     {:?}", vangogh_verdict.cloaked);
+    if let Some(landing) = &vangogh_verdict.landing {
+        println!("Store behind iframe: {landing}");
+    }
+
+    // 5. Show the payload itself.
+    let doc = ss_web::Document::parse(&user.body);
+    if let Some(script) = doc.scripts().first() {
+        println!("\nEmbedded payload (first lines):");
+        for line in script.lines().take(6) {
+            println!("    {line}");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The §6 recommendations as an experiment: sweep intervention
+//! aggressiveness (search-engine detection coverage/latency and seizure
+//! cadence) and measure the impact on poisoned-result exposure and
+//! counterfeit order volume.
+//!
+//! ```text
+//! cargo run --release --example intervention_whatif
+//! ```
+
+use search_seizure::{Study, StudyConfig, StudyOutput};
+
+/// One sweep point's outcome.
+struct Outcome {
+    label: &'static str,
+    psr_rate: f64,
+    orders: u64,
+    seized_stores: u64,
+}
+
+fn measure(label: &'static str, cfg: StudyConfig) -> Outcome {
+    let out: StudyOutput = Study::new(cfg).run().expect("study runs");
+    let seen: u64 = out.crawler.db.daily_counts.iter().map(|c| u64::from(c.total_seen)).sum();
+    let psr_rate = out.crawler.db.psrs.len() as f64 / seen.max(1) as f64;
+    // True counterfeit order volume over the crawl window — the quantity
+    // interventions exist to suppress (readable here because we own the
+    // simulator; the paper could only estimate it).
+    let orders: u64 = out.world.stores.iter().map(|s| s.orders_accrued).sum();
+    let seized_stores = out
+        .crawler
+        .db
+        .store_info
+        .values()
+        .filter(|s| s.seizure.is_some())
+        .count() as u64;
+    Outcome { label, psr_rate, orders, seized_stores }
+}
+
+fn base_cfg(seed: u64) -> StudyConfig {
+    let mut cfg = StudyConfig::fast_test(seed);
+    cfg.crawl_end = cfg.crawl_start + 45;
+    cfg
+}
+
+fn main() {
+    let seed = 4242;
+    println!("Sweeping intervention policies over identical 45-day worlds…\n");
+
+    let mut outcomes = Vec::new();
+
+    // Baseline: the 2013 status quo the paper measured.
+    outcomes.push(measure("status quo (paper's 2013 policies)", base_cfg(seed)));
+
+    // Search: detect everything, fast, and demote hard (§5.2.1's "search
+    // rank penalization would need to be even more aggressive").
+    let mut cfg = base_cfg(seed);
+    cfg.scenario.search_policy.detect_prob = 0.9;
+    cfg.scenario.search_policy.delay_min = 1;
+    cfg.scenario.search_policy.delay_max = 4;
+    cfg.scenario.search_policy.demote_penalty = 1.0;
+    outcomes.push(measure("aggressive search (90% coverage, 1-4d, hard demote)", cfg));
+
+    // Labels only, no demotion: the warning-label policy in isolation.
+    let mut cfg = base_cfg(seed);
+    cfg.scenario.search_policy.detect_prob = 0.9;
+    cfg.scenario.search_policy.delay_min = 1;
+    cfg.scenario.search_policy.delay_max = 4;
+    cfg.scenario.search_policy.demote_penalty = 0.0;
+    outcomes.push(measure("labels only (no demotion)", cfg));
+
+    // Seizure-heavy: brands file twice as often and react to younger
+    // stores (§5.3.2's "far more aggressive" requirement).
+    let mut cfg = base_cfg(seed);
+    for p in &mut cfg.scenario.seizure_policies {
+        p.case_interval = (p.case_interval / 2).max(2);
+        p.target_lifetime /= 2;
+    }
+    outcomes.push(measure("aggressive seizures (2x cadence, younger targets)", cfg));
+
+    // Follow the money (§4.3.2's future work, implemented here): all three
+    // settling processors drop counterfeit merchants mid-window.
+    let mut cfg = base_cfg(seed);
+    cfg.scenario.payment_policy = ss_eco::scenario::PaymentPolicy {
+        enabled: true,
+        start_day: cfg.crawl_start.day_index() + 15,
+        blocked: vec!["realypay".into(), "mallpayment".into(), "globalbill".into()],
+        migration_days: None,
+    };
+    outcomes.push(measure("payment intervention (all processors, no migration)", cfg));
+
+    // Everything at once.
+    let mut cfg = base_cfg(seed);
+    cfg.scenario.search_policy.detect_prob = 0.9;
+    cfg.scenario.search_policy.delay_min = 1;
+    cfg.scenario.search_policy.delay_max = 4;
+    cfg.scenario.search_policy.demote_penalty = 1.0;
+    for p in &mut cfg.scenario.seizure_policies {
+        p.case_interval = (p.case_interval / 2).max(2);
+        p.target_lifetime /= 2;
+    }
+    outcomes.push(measure("combined", cfg));
+
+    let base_orders = outcomes[0].orders.max(1);
+    println!(
+        "{:<52} {:>9} {:>12} {:>8}",
+        "policy", "PSR rate", "orders (Δ%)", "seized"
+    );
+    for o in &outcomes {
+        let delta = (o.orders as f64 / base_orders as f64 - 1.0) * 100.0;
+        println!(
+            "{:<52} {:>8.2}% {:>9} ({delta:+.1}%) {:>6}",
+            o.label,
+            o.psr_rate * 100.0,
+            o.orders,
+            o.seized_stores,
+        );
+    }
+
+    println!(
+        "\nReading: demotion-backed search intervention suppresses exposure far \
+         more than labels alone; seizure cadence without coverage barely moves \
+         order volume (the paper's §6 conclusion); and cutting payment \
+         processing — the intervention the paper flags as future work — \
+         collapses revenue without touching search at all."
+    );
+}

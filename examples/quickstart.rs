@@ -1,0 +1,58 @@
+//! Quickstart: build a small counterfeit-luxury SEO world, run the paper's
+//! measurement pipeline over a short crawl window, and print what it found.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use search_seizure::analysis::{ecosystem, interventions};
+use search_seizure::{Study, StudyConfig};
+use ss_eco::ScenarioConfig;
+
+fn main() {
+    // A tiny world keeps this example fast; swap in `ScenarioConfig::small`
+    // or `::paper` for bigger runs.
+    let mut cfg = StudyConfig::new(ScenarioConfig::tiny(2014));
+    cfg.monitored_terms = 6;
+    cfg.crawler.serp_depth = 30;
+    cfg.crawl_end = cfg.crawl_start + 28; // four weeks of daily crawling
+
+    println!("Building the world and running a 4-week study…");
+    let out = Study::new(cfg).run().expect("study runs");
+
+    let db = &out.crawler.db;
+    println!("\n== crawl summary ==");
+    println!("PSR observations:        {}", db.psrs.len());
+    println!("poisoned doorway domains: {}", db.poisoned_domains().count());
+    println!("counterfeit stores found: {}", db.detected_stores().count());
+    println!("test orders created:      {}", out.sampler.orders_created);
+    println!("purchases completed:      {}", out.transactions.len());
+    if let Some(s) = &out.supplier {
+        println!("supplier records scraped: {}", s.records.len());
+    }
+
+    println!("\n== Table 1 (measured, paper values in parentheses) ==");
+    print!("{}", ecosystem::table1(&out).to_markdown());
+
+    println!("\n== campaigns (top of Table 2) ==");
+    let t2 = ecosystem::table2(&out);
+    for row in t2.rows.iter().take(8) {
+        println!(
+            "{:<16} doorways={:<4} stores={:<3} peak={:?} days",
+            row.name, row.doorways, row.stores, row.peak_days
+        );
+    }
+
+    println!("\n== interventions ==");
+    let labels = interventions::labels(&out);
+    println!(
+        "hacked-label coverage: {:.2}% of {} PSRs",
+        labels.coverage * 100.0,
+        labels.total_psrs
+    );
+    let seizures = interventions::seizures(&out);
+    match seizures.firms.is_empty() {
+        true => println!("no seizures observed in this short window"),
+        false => print!("{}", seizures.to_markdown()),
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end integration: run the complete study on a small world and
+//! check that every dataset the paper collected exists and is coherent.
+
+use search_seizure::analysis::{ecosystem, figures};
+use search_seizure::{Study, StudyConfig};
+
+fn study() -> search_seizure::StudyOutput {
+    Study::new(StudyConfig::fast_test(101)).run().expect("study runs")
+}
+
+#[test]
+fn tables_and_figures_regenerate() {
+    let out = study();
+
+    // Table 1: rows per monitored vertical, non-trivial counts.
+    let t1 = ecosystem::table1(&out);
+    assert_eq!(t1.rows.len(), out.monitored.len());
+    assert!(t1.total.0 > 0, "no PSRs counted");
+    assert!(t1.total.1 > 0, "no doorways counted");
+    assert!(t1.total.2 > 0, "no stores counted");
+    assert!(t1.attributed_psr_fraction > 0.0 && t1.attributed_psr_fraction <= 1.0);
+    let md = t1.to_markdown();
+    assert!(md.contains("| Vertical |"));
+
+    // Table 2: campaigns with doorway counts and peaks.
+    let t2 = ecosystem::table2(&out);
+    assert!(!t2.rows.is_empty(), "no campaigns in Table 2");
+    assert!(t2.rows.windows(2).all(|w| w[0].doorways >= w[1].doorways));
+    assert!(t2.mean_peak_days >= 0.0);
+
+    // Figure 2 for the first vertical.
+    let f2 = figures::fig2(&out, 0, 4);
+    assert!(f2.poisoned_pct.min_max().is_some());
+    let csv = f2.to_csv();
+    assert!(csv.lines().count() > 2);
+    assert!(csv.starts_with("day,poisoned_pct"));
+
+    // Figure 3: one row per vertical, envelopes ordered.
+    let (rows, series) = figures::fig3(&out);
+    assert_eq!(rows.len(), out.monitored.len());
+    for r in &rows {
+        assert!(r.top10.0 <= r.top10.1);
+        assert!(r.top100.0 <= r.top100.1);
+    }
+    let text = figures::fig3_text(&rows, &series, 24);
+    assert!(text.contains(&rows[0].name));
+}
+
+#[test]
+fn ecosystem_is_skewed_and_churn_is_low() {
+    let out = study();
+    // §5.1: a handful of large campaigns should dominate attributed PSRs.
+    let top5 = ecosystem::top_k_psr_share(&out, 5);
+    let top_all = ecosystem::top_k_psr_share(&out, usize::MAX);
+    assert!((top_all - 1.0).abs() < 1e-9);
+    assert!(top5 > 0.5, "top-5 campaigns only carry {top5} of PSRs");
+
+    // §4.1.2: daily churn settles low after warm-up.
+    let churn = ecosystem::mean_daily_churn(&out);
+    assert!(churn < 0.4, "mean churn {churn}");
+}
+
+#[test]
+fn order_side_is_consistent_with_search_side() {
+    let out = study();
+    // Stores under order monitoring were all detected by the crawler.
+    for domain in out.sampler.stores.keys() {
+        assert!(
+            out.crawler.db.domains.get(domain).is_some(),
+            "monitored store {domain} never seen by the crawler"
+        );
+    }
+    // Sampled order numbers are monotone per store.
+    for mon in out.sampler.stores.values() {
+        for pair in mon.samples.windows(2) {
+            assert!(
+                pair[1].order_number > pair[0].order_number,
+                "order numbers must increase at {}",
+                mon.domain
+            );
+        }
+    }
+}
+
+#[test]
+fn supplier_ledger_matches_world_ledger() {
+    let out = study();
+    let ds = out.supplier.as_ref().expect("supplier scraped");
+    assert_eq!(
+        ds.records.len(),
+        out.world.supplier.records.len(),
+        "scrape should recover the full ledger"
+    );
+}
