@@ -28,12 +28,10 @@ fn probe_setup() -> (World, Url, String) {
 }
 
 fn bench_detectors(c: &mut Criterion) {
-    let (mut w, url, term) = probe_setup();
-    c.bench_function("crawl/dagger_check", |b| {
-        b.iter(|| dagger::check(&mut w, &url, &term, 6))
-    });
+    let (w, url, term) = probe_setup();
+    c.bench_function("crawl/dagger_check", |b| b.iter(|| dagger::check(&w, &url, &term, 6)));
     c.bench_function("crawl/vangogh_render_check", |b| {
-        b.iter(|| vangogh::check(&mut w, &url, &term, 6))
+        b.iter(|| vangogh::check(&w, &url, &term, 6))
     });
 }
 
@@ -44,21 +42,52 @@ fn bench_crawl_day(c: &mut Criterion) {
                 let mut w = World::build(ScenarioConfig::tiny(7)).expect("world");
                 let start = SimDate::from_day_index(ss_types::CRAWL_START_DAY);
                 w.run_until(start + 1);
-                let monitored = terms::select_all(&mut w, start, 6, 5);
+                let monitored = terms::select_all(&w, start, 6, 5);
                 let crawler = Crawler::new(
                     CrawlerConfig { serp_depth: 30, ..CrawlerConfig::default() },
                     monitored,
                 );
                 (w, crawler)
             },
-            |(mut w, mut crawler)| {
+            |(w, mut crawler)| {
                 let day = SimDate::from_day_index(ss_types::CRAWL_START_DAY + 1);
-                crawler.crawl_day(&mut w, day);
+                crawler.crawl_day(&w, day);
                 crawler.db.psrs.len()
             },
             BatchSize::LargeInput,
         )
     });
+}
+
+/// Serial vs. parallel crawl of one day at `Scale::small`: same world, same
+/// verticals, only `CrawlerConfig::threads` differs. The crawl phase reads
+/// a frozen `&World`, so the (expensive) world build happens once and each
+/// iteration only rebuilds the cheap crawler state.
+fn bench_crawl_day_scaling(c: &mut Criterion) {
+    let mut w = World::build(ScenarioConfig::small(13)).expect("world");
+    let start = SimDate::from_day_index(ss_types::CRAWL_START_DAY);
+    w.run_until(start + 1);
+    let day = start + 1;
+    let monitored = terms::select_all(&w, start, 8, 5);
+    for (name, threads) in
+        [("crawl/full_day_small_serial", 1usize), ("crawl/full_day_small_4threads", 4)]
+    {
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    Crawler::new(
+                        CrawlerConfig { serp_depth: 30, threads, ..CrawlerConfig::default() },
+                        monitored.clone(),
+                    )
+                },
+                |mut crawler| {
+                    crawler.crawl_day(&w, day);
+                    crawler.db.psrs.len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
 }
 
 fn bench_world_tick(c: &mut Criterion) {
@@ -105,6 +134,6 @@ criterion_group! {
     // World builds and crawl days are hundreds of ms each; a small sample
     // budget keeps `cargo bench` wall time reasonable.
     config = Criterion::default().sample_size(10);
-    targets = bench_detectors, bench_crawl_day, bench_world_tick, bench_purchase_pair
+    targets = bench_detectors, bench_crawl_day, bench_crawl_day_scaling, bench_world_tick, bench_purchase_pair
 }
 criterion_main!(benches);

@@ -176,7 +176,7 @@ fn ablation_report(seed: u64) -> ExperimentReport {
 fn fig1_report(seed: u64) -> ExperimentReport {
     use ss_eco::{ScenarioConfig, World};
     use ss_types::{SimDate, Url};
-    use ss_web::http::{Request, UserAgent, Web};
+    use ss_web::http::{Fetcher, Request, UserAgent};
 
     let mut w = World::build(ScenarioConfig::tiny(seed)).expect("world builds");
     w.run_until(SimDate::from_day_index(ss_types::CRAWL_START_DAY + 5));
@@ -196,8 +196,8 @@ fn fig1_report(seed: u64) -> ExperimentReport {
     };
     let host = w.domains.get(domain).name.clone();
     let url = Url::root(host);
-    let bot = w.fetch(&Request::crawler(url.clone()));
-    let user = w.fetch(&Request::browser_from(
+    let (bot, _) = w.fetch(&Request::crawler(url.clone()));
+    let (user, _) = w.fetch(&Request::browser_from(
         url.clone(),
         Url::parse("http://google.com/search?q=x").expect("static url"),
     ));

@@ -398,21 +398,16 @@ pub struct Fig6 {
 /// Builds Figure 6 for the stores of `campaign` whose domains match any of
 /// `patterns` (the paper's four international PHP?P= stores).
 pub fn fig6(out: &StudyOutput, campaign: &str, patterns: &[&str]) -> Option<Fig6> {
-    let class = out.attribution.class_index(campaign)?;
+    // The campaign must exist in the attribution index; the stores
+    // themselves are selected by domain pattern, as in the paper (the four
+    // international stores were identified by their PHP?P= URL structure).
+    out.attribution.class_index(campaign)?;
     let mut stores = Vec::new();
     let mut seizures = Vec::new();
     let mut matched: HashSet<String> = HashSet::new();
     for (domain, mon) in &out.sampler.stores {
-        let attributed = out
-            .crawler
-            .db
-            .domains
-            .get(domain)
-            .and_then(|id| out.attribution.store_class.get(&id))
-            .copied()
-            .flatten();
         let pattern_hit = patterns.iter().any(|p| domain.contains(p));
-        if !(pattern_hit || attributed == Some(class)) || !pattern_hit {
+        if !pattern_hit {
             continue;
         }
         matched.insert(domain.clone());

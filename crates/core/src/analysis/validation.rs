@@ -170,7 +170,7 @@ pub fn term_bias(out: &mut StudyOutput) -> TermBias {
             continue;
         }
         let alt = terms::suggest_expansion_terms(
-            &mut out.world,
+            &out.world,
             vi,
             probe_day,
             mv.terms.len(),
@@ -191,9 +191,9 @@ pub fn term_bias(out: &mut StudyOutput) -> TermBias {
         ..CrawlerConfig::default()
     };
     let mut crawl_alt = Crawler::new(cfg.clone(), alternates);
-    crawl_alt.crawl_day(&mut out.world, probe_day);
+    crawl_alt.crawl_day(&out.world, probe_day);
     let mut crawl_orig = Crawler::new(cfg, out.monitored.clone());
-    crawl_orig.crawl_day(&mut out.world, probe_day);
+    crawl_orig.crawl_day(&out.world, probe_day);
 
     let rate = |c: &Crawler| -> f64 {
         let seen: u64 = c.db.daily_counts.iter().map(|d| u64::from(d.total_seen)).sum();
@@ -292,7 +292,7 @@ pub fn detector_ablation(seed: u64, crawl_days: u32) -> DetectorAblation {
         let mut w = World::build(ScenarioConfig::tiny(seed)).expect("world builds");
         let start = SimDate::from_day_index(ss_types::CRAWL_START_DAY);
         w.run_until(start);
-        let monitored = terms::select_all(&mut w, start, 6, seed);
+        let monitored = terms::select_all(&w, start, 6, seed);
         (w, monitored, start)
     };
 
@@ -305,7 +305,7 @@ pub fn detector_ablation(seed: u64, crawl_days: u32) -> DetectorAblation {
         for d in 1..=crawl_days {
             let day = start + d;
             w.run_until(day);
-            crawler.crawl_day(&mut w, day);
+            crawler.crawl_day(&w, day);
         }
         crawler
     };

@@ -193,7 +193,7 @@ mod tests {
         let mut w = World::build(ScenarioConfig::tiny(61)).unwrap();
         let start = SimDate::from_day_index(ss_types::CRAWL_START_DAY);
         w.run_until(start);
-        let monitored = terms::select_all(&mut w, start, 6, 5);
+        let monitored = terms::select_all(&w, start, 6, 5);
         let mut crawler = Crawler::new(
             CrawlerConfig { serp_depth: 30, ..CrawlerConfig::default() },
             monitored,
@@ -201,7 +201,7 @@ mod tests {
         for d in 1..=8u32 {
             let day = start + d;
             w.run_until(day);
-            crawler.crawl_day(&mut w, day);
+            crawler.crawl_day(&w, day);
         }
         (w, crawler)
     }

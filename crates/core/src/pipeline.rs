@@ -1,6 +1,15 @@
 //! The study pipeline: §4's data-collection programme run end to end.
+//!
+//! The daily programme is a schedule of [`DailyStage`]s — crawl, store
+//! enrollment, purchase-pair sampling, real purchases, AWStats sweeps —
+//! each a self-contained unit over the shared [`DailyState`]. [`Study::run`]
+//! iterates the registered schedule for every day of the window, so the
+//! programme can be reordered, trimmed, or extended without touching the
+//! driver loop. Stages receive `&mut World` but only the purchase-plane
+//! stages use it mutably (via `Web::fetch_apply`); observation stages go
+//! through the read-only fetch plane.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use ss_types::{DomainName, SimDate};
 
@@ -97,16 +106,173 @@ pub struct StudyOutput {
     pub window: (SimDate, SimDate),
 }
 
+/// Mutable programme state threaded through the daily stage schedule.
+pub struct DailyState {
+    /// The crawler with its accumulating database.
+    pub crawler: Crawler,
+    /// The purchase-pair sampler.
+    pub sampler: OrderSampler,
+    /// Completed real purchases.
+    pub transactions: Vec<Transaction>,
+    /// Collected AWStats reports per store domain.
+    pub awstats: HashMap<String, Vec<ParsedReport>>,
+    /// Stores already purchased from (at most one real order per store).
+    pub purchased: HashSet<String>,
+}
+
+/// Read-only context shared by every stage invocation.
+pub struct StageContext<'a> {
+    /// The study configuration.
+    pub cfg: &'a StudyConfig,
+    /// First day of the crawl window (cadence anchors key off it).
+    pub start: SimDate,
+}
+
+/// One unit of the daily programme. Implementations must be independent
+/// of wall-clock and thread scheduling: everything they need arrives via
+/// the context, the state, the world, and the day.
+pub trait DailyStage {
+    /// Stable stage name (for schedules, logs, and tests).
+    fn name(&self) -> &'static str;
+    /// Runs the stage for one day.
+    fn run(&self, ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate);
+}
+
+/// The daily SERP crawl (§4.1.2). Pure observation: the crawler sees only
+/// the world's read plane.
+pub struct CrawlStage;
+
+impl DailyStage for CrawlStage {
+    fn name(&self) -> &'static str {
+        "crawl"
+    }
+    fn run(&self, _ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate) {
+        state.crawler.crawl_day(world, day);
+    }
+}
+
+/// Newly detected stores join order monitoring, up to the cap, keyed
+/// initially by their own domain; attribution re-groups them later.
+pub struct EnrollStoresStage;
+
+impl DailyStage for EnrollStoresStage {
+    fn name(&self) -> &'static str {
+        "enroll-stores"
+    }
+    fn run(&self, ctx: &StageContext<'_>, state: &mut DailyState, _world: &mut World, _day: SimDate) {
+        let cap = ctx.cfg.monitor_store_cap;
+        if state.sampler.stores.len() >= cap {
+            return;
+        }
+        for domain in state.crawler.db.detected_store_domains() {
+            if state.sampler.stores.len() >= cap {
+                break;
+            }
+            state.sampler.monitor(&domain, &domain);
+        }
+    }
+}
+
+/// Purchase-pair sampling (§4.3.1): test orders at stores due for their
+/// weekly sample. These are real orders, so the stage commits effects.
+pub struct SamplePairsStage;
+
+impl DailyStage for SamplePairsStage {
+    fn name(&self) -> &'static str {
+        "purchase-pairs"
+    }
+    fn run(&self, _ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate) {
+        state.sampler.sample_day(world, day);
+    }
+}
+
+/// Real purchases (§4.3.2): spread through the window until the target is
+/// hit, at most one per store, two candidate stores per purchase day.
+pub struct PurchaseStage;
+
+impl DailyStage for PurchaseStage {
+    fn name(&self) -> &'static str {
+        "purchases"
+    }
+    fn run(&self, ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate) {
+        if state.transactions.len() >= ctx.cfg.purchase_target || !day.day_index().is_multiple_of(9)
+        {
+            return;
+        }
+        let candidates: Vec<String> = state
+            .crawler
+            .db
+            .detected_store_domains()
+            .into_iter()
+            .filter(|d| !state.purchased.contains(d))
+            .take(2)
+            .collect();
+        for domain in candidates {
+            if let Some(tx) = transactions::purchase(world, &domain, day) {
+                state.purchased.insert(domain);
+                state.transactions.push(tx);
+            }
+        }
+    }
+}
+
+/// Periodic AWStats sweep over detected stores (§4.4): most return 404;
+/// the leaky ones yield reports. Read-only.
+pub struct AwstatsSweepStage;
+
+impl DailyStage for AwstatsSweepStage {
+    fn name(&self) -> &'static str {
+        "awstats-sweep"
+    }
+    fn run(&self, ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate) {
+        if day.days_since(ctx.start) % i64::from(ctx.cfg.awstats_interval) != 0 {
+            return;
+        }
+        for site in state.crawler.db.detected_store_domains() {
+            if let Some(report) = analytics::fetch_report(&*world, &site, None) {
+                let entry = state.awstats.entry(site).or_default();
+                // Keep at most one report per period (latest wins).
+                entry.retain(|r| r.period != report.period);
+                entry.push(report);
+            }
+        }
+    }
+}
+
 /// The runnable study.
 pub struct Study {
     /// Configuration.
     pub cfg: StudyConfig,
+    /// The daily stage schedule, executed in order each day.
+    stages: Vec<Box<dyn DailyStage>>,
 }
 
 impl Study {
-    /// Creates a study.
+    /// Creates a study with the default five-stage schedule.
     pub fn new(cfg: StudyConfig) -> Self {
-        Study { cfg }
+        Study { cfg, stages: Self::default_schedule() }
+    }
+
+    /// Creates a study with a custom stage schedule.
+    pub fn with_schedule(cfg: StudyConfig, stages: Vec<Box<dyn DailyStage>>) -> Self {
+        Study { cfg, stages }
+    }
+
+    /// The paper's daily programme, in order: crawl, enroll newly found
+    /// stores, purchase-pair sampling, real purchases, AWStats sweep.
+    pub fn default_schedule() -> Vec<Box<dyn DailyStage>> {
+        vec![
+            Box::new(CrawlStage),
+            Box::new(EnrollStoresStage),
+            Box::new(SamplePairsStage),
+            Box::new(PurchaseStage),
+            Box::new(AwstatsSweepStage),
+        ]
+    }
+
+    /// Names of the registered stages, in execution order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
     }
 
     /// Runs the full programme and returns its outputs.
@@ -118,79 +284,25 @@ impl Study {
 
         // Warm the world to the eve of the crawl, then pick terms.
         world.run_until(start);
-        let monitored =
-            terms::select_all(&mut world, start, cfg.monitored_terms, cfg.scenario.seed);
+        let monitored = terms::select_all(&world, start, cfg.monitored_terms, cfg.scenario.seed);
 
-        let mut crawler = Crawler::new(cfg.crawler.clone(), monitored.clone());
-        let mut sampler = OrderSampler::new(cfg.sampler.clone());
-        let mut transactions: Vec<Transaction> = Vec::new();
-        let mut awstats: HashMap<String, Vec<ParsedReport>> = HashMap::new();
-        let mut purchased_stores: Vec<String> = Vec::new();
+        let mut state = DailyState {
+            crawler: Crawler::new(cfg.crawler.clone(), monitored.clone()),
+            sampler: OrderSampler::new(cfg.sampler.clone()),
+            transactions: Vec::new(),
+            awstats: HashMap::new(),
+            purchased: HashSet::new(),
+        };
 
-        // ---- the daily programme ----
+        // ---- the daily programme: run the registered schedule ----
+        let ctx = StageContext { cfg: &cfg, start };
         for day in SimDate::range_inclusive(start + 1, end) {
             world.run_until(day);
-            crawler.crawl_day(&mut world, day);
-
-            // Newly detected stores join order monitoring (up to the cap),
-            // keyed initially by their own domain; attribution re-groups
-            // them later.
-            if sampler.stores.len() < cfg.monitor_store_cap {
-                let mut new_stores: Vec<String> = crawler
-                    .db
-                    .detected_stores()
-                    .map(|(id, _)| crawler.db.domains.resolve(*id).to_owned())
-                    .collect();
-                // HashMap iteration order is unstable; sort so the cap
-                // admits the same stores on every run.
-                new_stores.sort();
-                for domain in new_stores {
-                    if sampler.stores.len() >= cfg.monitor_store_cap {
-                        break;
-                    }
-                    sampler.monitor(&domain, &domain);
-                }
-            }
-            sampler.sample_day(&mut world, day);
-
-            // Purchases: spread through the window until the target is hit
-            // (§4.3.2), at most one per store.
-            if transactions.len() < cfg.purchase_target && day.day_index() % 9 == 0 {
-                let mut all: Vec<String> = crawler
-                    .db
-                    .detected_stores()
-                    .map(|(id, _)| crawler.db.domains.resolve(*id).to_owned())
-                    .filter(|d| !purchased_stores.contains(d))
-                    .collect();
-                all.sort();
-                let candidates: Vec<String> = all.into_iter().take(2).collect();
-                for domain in candidates {
-                    if let Some(tx) = transactions::purchase(&mut world, &domain, day) {
-                        purchased_stores.push(domain);
-                        transactions.push(tx);
-                    }
-                }
-            }
-
-            // Periodic AWStats sweep over detected stores (§4.4): most
-            // return 404; the leaky ones yield reports.
-            if day.days_since(start) % i64::from(cfg.awstats_interval) == 0 {
-                let mut stores: Vec<String> = crawler
-                    .db
-                    .detected_stores()
-                    .map(|(id, _)| crawler.db.domains.resolve(*id).to_owned())
-                    .collect();
-                stores.sort();
-                for site in stores {
-                    if let Some(report) = analytics::fetch_report(&mut world, &site, None) {
-                        let entry = awstats.entry(site).or_default();
-                        // Keep at most one report per period (latest wins).
-                        entry.retain(|r| r.period != report.period);
-                        entry.push(report);
-                    }
-                }
+            for stage in &self.stages {
+                stage.run(&ctx, &mut state, &mut world, day);
             }
         }
+        let DailyState { crawler, sampler, mut transactions, awstats, purchased: _ } = state;
 
         // ---- post-crawl collection ----
 
@@ -199,8 +311,8 @@ impl Study {
         for tx in &transactions {
             let Ok(host) = DomainName::parse(&tx.store_domain) else { continue };
             if let Some(portal) = world.packing_slip(&host) {
-                if let Some(max) = supplier_scrape::probe_max_order(&mut world, &portal) {
-                    supplier = Some(supplier_scrape::scrape(&mut world, &portal, max, 4));
+                if let Some(max) = supplier_scrape::probe_max_order(&world, &portal) {
+                    supplier = Some(supplier_scrape::scrape(&world, &portal, max, 4));
                 }
                 break;
             }
@@ -209,15 +321,10 @@ impl Study {
         // purchase set missed every partnered store, buy once more from
         // one (still a legitimate purchase path).
         if supplier.is_none() {
-            let mut detected: Vec<String> = crawler
-                .db
-                .detected_stores()
-                .map(|(id, _)| crawler.db.domains.resolve(*id).to_owned())
-                .collect();
-            detected.sort();
-            let partnered: Option<String> = detected.into_iter().find(|d| {
-                DomainName::parse(d).ok().and_then(|h| world.packing_slip(&h)).is_some()
-            });
+            let partnered: Option<String> =
+                crawler.db.detected_store_domains().into_iter().find(|d| {
+                    DomainName::parse(d).ok().and_then(|h| world.packing_slip(&h)).is_some()
+                });
             if let Some(domain) = partnered {
                 if let Some(tx) = transactions::purchase(&mut world, &domain, end) {
                     transactions.push(tx);
@@ -225,8 +332,8 @@ impl Study {
                 let portal = world
                     .packing_slip(&DomainName::parse(&domain).expect("validated"))
                     .expect("checked above");
-                if let Some(max) = supplier_scrape::probe_max_order(&mut world, &portal) {
-                    supplier = Some(supplier_scrape::scrape(&mut world, &portal, max, 4));
+                if let Some(max) = supplier_scrape::probe_max_order(&world, &portal) {
+                    supplier = Some(supplier_scrape::scrape(&world, &portal, max, 4));
                 }
             }
         }
@@ -278,5 +385,27 @@ mod tests {
             a.attribution.store_class.len(),
             b.attribution.store_class.len()
         );
+    }
+
+    #[test]
+    fn default_schedule_registers_the_five_stages() {
+        let study = Study::new(StudyConfig::fast_test(73));
+        assert_eq!(
+            study.stage_names(),
+            ["crawl", "enroll-stores", "purchase-pairs", "purchases", "awstats-sweep"]
+        );
+    }
+
+    /// The schedule is genuinely what drives the loop: dropping stages
+    /// changes what gets produced, without touching the driver.
+    #[test]
+    fn trimmed_schedule_skips_omitted_programmes() {
+        let mut cfg = StudyConfig::fast_test(74);
+        cfg.crawl_end = cfg.crawl_start + 10;
+        let study = Study::with_schedule(cfg, vec![Box::new(CrawlStage)]);
+        let out = study.run().unwrap();
+        assert!(!out.crawler.db.psrs.is_empty(), "crawl stage must still run");
+        assert_eq!(out.sampler.orders_created, 0, "sampling was not scheduled");
+        assert!(out.awstats.is_empty(), "awstats was not scheduled");
     }
 }

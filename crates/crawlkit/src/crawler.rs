@@ -14,17 +14,32 @@
 //!
 //! Store detection and seizure parsing run on landing pages as they are
 //! (re)resolved.
+//!
+//! # Parallelism and determinism
+//!
+//! A crawl day is a map/reduce over verticals. The **map** phase is pure:
+//! each vertical worker sees only `&World` (the read-only fetch plane)
+//! plus an immutable [`DbSnapshot`] of yesterday's knowledge, and emits a
+//! [`CrawlEvent`] log. Workers never touch the database, so any number of
+//! them can run concurrently on scoped threads. The **reduce** phase
+//! replays the event logs into [`CrawlDb`] strictly in vertical-index
+//! order on the calling thread — which is where all interning and
+//! mutation happens. Because worker output depends only on
+//! `(world, snapshot, vertical, day)` and the reduce order is fixed, the
+//! database is bit-identical at any thread count, including one.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use ss_types::{SimDate, Url};
-use ss_web::http::{Request, UserAgent, Web};
+use ss_web::http::{Fetcher, Request, UserAgent};
 
 use ss_eco::World;
 
 use crate::dagger::{self, CloakSignal};
 use crate::db::{CrawlDb, DailyCount, DomainInfo, PsrRecord, StoreInfo};
-use crate::stores;
+use crate::stores::{self, SeizureNotice};
 use crate::terms::{query_by_text, MonitoredVertical};
 use crate::vangogh;
 
@@ -39,12 +54,70 @@ pub struct CrawlerConfig {
     pub reverify_days: u32,
     /// Maximum redirect hops to follow.
     pub max_hops: usize,
+    /// Worker threads for the per-vertical map phase. The database is
+    /// bit-identical at any value; 1 runs the map inline.
+    pub threads: usize,
 }
 
 impl Default for CrawlerConfig {
     fn default() -> Self {
-        CrawlerConfig { serp_depth: 100, render_sample: 3, reverify_days: 3, max_hops: 6 }
+        CrawlerConfig { serp_depth: 100, render_sample: 3, reverify_days: 3, max_hops: 6, threads: 1 }
     }
+}
+
+/// What a vertical worker knows about one poisoned doorway, frozen at the
+/// start of the day. Name-keyed: workers never see interned ids.
+#[derive(Debug, Clone)]
+struct PoisonSnap {
+    signal: CloakSignal,
+    last_verified: SimDate,
+}
+
+/// Immutable start-of-day view of the crawler's accumulated knowledge,
+/// shared read-only by every vertical worker.
+#[derive(Debug, Default)]
+struct DbSnapshot {
+    /// Known-poisoned doorways by domain name.
+    poisoned: HashMap<String, PoisonSnap>,
+    /// Domain names checked and found clean.
+    clean: HashSet<String>,
+}
+
+/// What a vertical worker saw when it visited a landing (store) page.
+#[derive(Debug, Clone)]
+enum StoreObservation {
+    /// The page was a seizure notice.
+    Notice(SeizureNotice),
+    /// A live page: store-detection verdict plus captured evidence.
+    Page { is_store: bool, html: String, cookie_names: Vec<String> },
+}
+
+/// One entry in a vertical worker's output log. Replaying a day's logs in
+/// vertical order reproduces exactly the mutations the sequential crawler
+/// performed; every field is a plain string or value so the map phase
+/// never touches the interner.
+#[derive(Debug, Clone)]
+enum CrawlEvent {
+    /// A known-poisoned domain appeared in a SERP again.
+    Seen { domain: String },
+    /// Detection ran on a new domain and found it clean.
+    Clean { domain: String },
+    /// Detection ran on a new domain and confirmed cloaking.
+    Detected { domain: String, signal: CloakSignal, landing: Option<String> },
+    /// A known-poisoned doorway's landing was re-resolved.
+    Reverified { domain: String, landing: Option<String> },
+    /// Hacked-label state observed for a poisoned domain.
+    Label { domain: String, labeled: bool },
+    /// A poisoned search result to record.
+    Psr { term: String, rank: u8, domain: String, is_root: bool, labeled: bool },
+    /// A landing page was fetched and parsed.
+    StoreVisit { domain: String, outcome: StoreObservation },
+}
+
+/// A vertical worker's complete output for one day.
+struct VerticalLog {
+    count: DailyCount,
+    events: Vec<CrawlEvent>,
 }
 
 /// The crawler: monitored terms plus accumulated database.
@@ -71,10 +144,208 @@ impl Crawler {
         self.clean.iter()
     }
 
-    /// Crawls one day across all monitored verticals.
-    pub fn crawl_day(&mut self, world: &mut World, day: SimDate) {
-        for vi in 0..self.monitored.len() {
-            self.crawl_vertical(world, day, vi);
+    /// Crawls one day across all monitored verticals: snapshot, map
+    /// (possibly threaded), then an ordered reduce. The world is only
+    /// read — crawling never perturbs the ecosystem it measures.
+    pub fn crawl_day(&mut self, world: &World, day: SimDate) {
+        let snap = self.snapshot();
+        let n = self.monitored.len();
+        let logs = if self.cfg.threads <= 1 || n <= 1 {
+            (0..n)
+                .map(|vi| crawl_vertical(world, &self.cfg, &snap, &self.monitored[vi].terms, vi, day))
+                .collect()
+        } else {
+            self.map_parallel(world, &snap, day)
+        };
+        for (vi, log) in logs.into_iter().enumerate() {
+            self.apply_log(day, vi as u16, log);
+        }
+    }
+
+    /// Runs the map phase on `cfg.threads` scoped worker threads pulling
+    /// vertical indices from a shared counter. Results land in their
+    /// vertical's slot, so scheduling order cannot leak into the output.
+    fn map_parallel(&self, world: &World, snap: &DbSnapshot, day: SimDate) -> Vec<VerticalLog> {
+        let n = self.monitored.len();
+        let cfg = &self.cfg;
+        let monitored = &self.monitored;
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<VerticalLog>>> = Mutex::new((0..n).map(|_| None).collect());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..cfg.threads.min(n) {
+                s.spawn(|_| loop {
+                    let vi = next.fetch_add(1, Ordering::Relaxed);
+                    if vi >= n {
+                        break;
+                    }
+                    let log = crawl_vertical(world, cfg, snap, &monitored[vi].terms, vi, day);
+                    slots.lock().expect("no worker panicked holding the lock")[vi] = Some(log);
+                });
+            }
+        })
+        .expect("crawl worker panicked");
+        slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|slot| slot.expect("every vertical produced a log"))
+            .collect()
+    }
+
+    /// Freezes the database into the name-keyed view workers read.
+    fn snapshot(&self) -> DbSnapshot {
+        let mut snap = DbSnapshot::default();
+        for (id, info) in &self.db.doorway_info {
+            let name = self.db.domains.resolve(*id).to_owned();
+            match info.cloak {
+                Some(signal) => {
+                    snap.poisoned
+                        .insert(name, PoisonSnap { signal, last_verified: info.last_verified });
+                }
+                None => {
+                    snap.clean.insert(name);
+                }
+            }
+        }
+        for id in &self.clean {
+            snap.clean.insert(self.db.domains.resolve(*id).to_owned());
+        }
+        snap
+    }
+
+    /// Reduce: replays one vertical's event log into the database. This is
+    /// the only place crawl results touch the interner or the maps.
+    fn apply_log(&mut self, day: SimDate, vertical: u16, log: VerticalLog) {
+        for event in log.events {
+            match event {
+                CrawlEvent::Seen { domain } => {
+                    let id = self.db.domains.intern(&domain);
+                    if let Some(info) = self.db.doorway_info.get_mut(&id) {
+                        info.last_seen = day;
+                    }
+                }
+                CrawlEvent::Clean { domain } => {
+                    let id = self.db.domains.intern(&domain);
+                    // A domain another vertical already confirmed poisoned
+                    // today stays poisoned (positive detections win).
+                    if !self.db.doorway_info.contains_key(&id) {
+                        self.clean.insert(id);
+                    }
+                }
+                CrawlEvent::Detected { domain, signal, landing } => {
+                    let id = self.db.domains.intern(&domain);
+                    self.clean.remove(&id);
+                    let landing_id = landing.map(|l| self.db.domains.intern(&l));
+                    match self.db.doorway_info.get_mut(&id) {
+                        // Another vertical detected it earlier today.
+                        Some(info) => {
+                            info.last_seen = day;
+                            if let Some(lid) = landing_id {
+                                let changed =
+                                    info.landings.last().map(|(_, l)| *l != lid).unwrap_or(true);
+                                if changed {
+                                    info.landings.push((day, lid));
+                                }
+                            }
+                        }
+                        None => {
+                            self.db.doorway_info.insert(
+                                id,
+                                DomainInfo {
+                                    first_seen: day,
+                                    last_seen: day,
+                                    cloak: Some(signal),
+                                    landings: landing_id.map(|l| (day, l)).into_iter().collect(),
+                                    label_seen: None,
+                                    last_unlabeled_before: None,
+                                    rendered_pages: 1,
+                                    last_verified: day,
+                                },
+                            );
+                        }
+                    }
+                }
+                CrawlEvent::Reverified { domain, landing } => {
+                    let id = self.db.domains.intern(&domain);
+                    let landing_id = landing.map(|l| self.db.domains.intern(&l));
+                    if let Some(info) = self.db.doorway_info.get_mut(&id) {
+                        info.last_verified = day;
+                        if let Some(lid) = landing_id {
+                            let changed =
+                                info.landings.last().map(|(_, l)| *l != lid).unwrap_or(true);
+                            if changed {
+                                info.landings.push((day, lid));
+                            }
+                        }
+                    }
+                }
+                CrawlEvent::Label { domain, labeled } => {
+                    let id = self.db.domains.intern(&domain);
+                    self.observe_label(id, day, labeled);
+                }
+                CrawlEvent::Psr { term, rank, domain, is_root, labeled } => {
+                    let term_id = self.db.terms.intern(&term);
+                    let domain_id = self.db.domains.intern(&domain);
+                    // The landing is read back from the database, after the
+                    // Detected/Reverified events preceding this record have
+                    // been applied — same read-your-writes order as the
+                    // sequential crawler.
+                    let landing = self
+                        .db
+                        .doorway_info
+                        .get(&domain_id)
+                        .and_then(|i| i.landings.last().map(|(_, l)| *l));
+                    self.db.psrs.push(PsrRecord {
+                        day,
+                        vertical,
+                        term: term_id,
+                        rank,
+                        domain: domain_id,
+                        is_root,
+                        labeled,
+                        landing,
+                    });
+                }
+                CrawlEvent::StoreVisit { domain, outcome } => {
+                    let landing_id = self.db.domains.intern(&domain);
+                    self.apply_store_visit(day, landing_id, outcome);
+                }
+            }
+        }
+        self.db.daily_counts.push(log.count);
+    }
+
+    /// Replays one landing-page observation into the store table.
+    fn apply_store_visit(&mut self, day: SimDate, landing_id: u32, outcome: StoreObservation) {
+        let fresh = || StoreInfo {
+            first_seen: day,
+            last_seen: day,
+            is_store: false,
+            html: String::new(),
+            cookie_names: Vec::new(),
+            seizure: None,
+            last_alive_before_seizure: None,
+        };
+        match outcome {
+            StoreObservation::Notice(notice) => {
+                let last_alive = self.db.store_info.get(&landing_id).map(|s| s.last_seen);
+                let entry = self.db.store_info.entry(landing_id).or_insert_with(fresh);
+                if entry.seizure.is_none() {
+                    entry.seizure = Some((day, notice));
+                    entry.last_alive_before_seizure = last_alive;
+                }
+            }
+            StoreObservation::Page { is_store, html, cookie_names } => {
+                let entry = self.db.store_info.entry(landing_id).or_insert_with(fresh);
+                entry.last_seen = day;
+                if is_store {
+                    entry.is_store = true;
+                    if entry.html.is_empty() {
+                        entry.html = html;
+                        entry.cookie_names = cookie_names;
+                    }
+                }
+            }
         }
     }
 
@@ -98,194 +369,6 @@ impl Crawler {
         new as f64 / seen_today.len() as f64
     }
 
-    fn crawl_vertical(&mut self, world: &mut World, day: SimDate, vi: usize) {
-        let terms = self.monitored[vi].terms.clone();
-        let mut count = DailyCount {
-            day,
-            vertical: vi as u16,
-            top10_seen: 0,
-            top10_poisoned: 0,
-            total_seen: 0,
-            total_poisoned: 0,
-        };
-        for term in &terms {
-            let Some(results) = query_by_text(world, term, day, self.cfg.serp_depth) else {
-                continue;
-            };
-            for (rank, url, labeled) in results {
-                count.total_seen += 1;
-                if rank <= 10 {
-                    count.top10_seen += 1;
-                }
-                let domain_id = self.db.domains.intern(url.host.as_str());
-
-                let poisoned = self.resolve_domain(world, day, domain_id, &url, term);
-                if poisoned {
-                    count.total_poisoned += 1;
-                    if rank <= 10 {
-                        count.top10_poisoned += 1;
-                    }
-                    let term_id = self.db.terms.intern(term);
-                    let landing = self
-                        .db
-                        .doorway_info
-                        .get(&domain_id)
-                        .and_then(|i| i.landings.last().map(|(_, l)| *l));
-                    self.observe_label(domain_id, day, labeled);
-                    self.db.psrs.push(PsrRecord {
-                        day,
-                        vertical: vi as u16,
-                        term: term_id,
-                        rank: rank.min(255) as u8,
-                        domain: domain_id,
-                        is_root: url.is_root_page(),
-                        labeled,
-                        landing,
-                    });
-                }
-            }
-        }
-        self.db.daily_counts.push(count);
-    }
-
-    /// Returns whether the domain is (now) known to be poisoned, running
-    /// detection/verification as needed.
-    fn resolve_domain(
-        &mut self,
-        world: &mut World,
-        day: SimDate,
-        domain_id: u32,
-        url: &Url,
-        term: &str,
-    ) -> bool {
-        if let Some(info) = self.db.doorway_info.get_mut(&domain_id) {
-            info.last_seen = day;
-            if info.cloak.is_none() {
-                return false; // churn trim: known clean
-            }
-            // Known poisoned: periodic cheap landing re-verification.
-            if day.days_since(info.last_verified) >= i64::from(self.cfg.reverify_days) {
-                self.reverify_landing(world, day, domain_id, url, term);
-            }
-            return true;
-        }
-        if self.clean.contains(&domain_id) {
-            return false;
-        }
-
-        // First sighting: run the detection stack.
-        let mut verdict = dagger::check(world, url, term, self.cfg.max_hops);
-        if verdict.cloaked.is_none() {
-            // Dagger quiet: rendering pass, within the per-domain budget.
-            let rendered_so_far = 0u8;
-            if rendered_so_far < self.cfg.render_sample {
-                verdict = vangogh::check(world, url, term, self.cfg.max_hops);
-            }
-        }
-
-        match verdict.cloaked {
-            None => {
-                self.clean.insert(domain_id);
-                false
-            }
-            Some(signal) => {
-                let mut info = DomainInfo {
-                    first_seen: day,
-                    last_seen: day,
-                    cloak: Some(signal),
-                    landings: Vec::new(),
-                    label_seen: None,
-                    last_unlabeled_before: None,
-                    rendered_pages: 1,
-                    last_verified: day,
-                };
-                if let Some(landing) = verdict.landing.clone() {
-                    let landing_id = self.db.domains.intern(landing.host.as_str());
-                    info.landings.push((day, landing_id));
-                    self.db.doorway_info.insert(domain_id, info);
-                    self.visit_store(world, day, landing_id, &landing);
-                } else {
-                    self.db.doorway_info.insert(domain_id, info);
-                }
-                true
-            }
-        }
-    }
-
-    /// Re-resolves where a known-poisoned doorway lands today.
-    fn reverify_landing(
-        &mut self,
-        world: &mut World,
-        day: SimDate,
-        domain_id: u32,
-        url: &Url,
-        term: &str,
-    ) {
-        let signal = self.db.doorway_info[&domain_id].cloak.expect("poisoned");
-        let verdict = match signal {
-            CloakSignal::Iframe => vangogh::check(world, url, term, self.cfg.max_hops),
-            _ => dagger::check(world, url, term, self.cfg.max_hops),
-        };
-        let info = self.db.doorway_info.get_mut(&domain_id).expect("known");
-        info.last_verified = day;
-        if let Some(landing) = verdict.landing {
-            let landing_id = self.db.domains.intern(landing.host.as_str());
-            let changed = info.landings.last().map(|(_, l)| *l != landing_id).unwrap_or(true);
-            if changed {
-                info.landings.push((day, landing_id));
-            }
-            self.visit_store(world, day, landing_id, &landing);
-        }
-    }
-
-    /// Visits a landing (store) domain: store detection, HTML capture,
-    /// seizure observation.
-    fn visit_store(&mut self, world: &mut World, day: SimDate, landing_id: u32, landing: &Url) {
-        let root = Url::root(landing.host.clone());
-        let resp = world.fetch(&Request {
-            url: root,
-            user_agent: UserAgent::Browser,
-            referrer: Some(dagger::google_referrer("landing")),
-        });
-
-        if let Some(notice) = stores::parse_seizure_notice(&resp.body) {
-            let last_alive = self.db.store_info.get(&landing_id).map(|s| s.last_seen);
-            let entry = self.db.store_info.entry(landing_id).or_insert_with(|| StoreInfo {
-                first_seen: day,
-                last_seen: day,
-                is_store: false,
-                html: String::new(),
-                cookie_names: Vec::new(),
-                seizure: None,
-                last_alive_before_seizure: None,
-            });
-            if entry.seizure.is_none() {
-                entry.seizure = Some((day, notice));
-                entry.last_alive_before_seizure = last_alive;
-            }
-            return;
-        }
-
-        let verdict = stores::detect_store(&resp.body, &resp.cookies);
-        let entry = self.db.store_info.entry(landing_id).or_insert_with(|| StoreInfo {
-            first_seen: day,
-            last_seen: day,
-            is_store: false,
-            html: String::new(),
-            cookie_names: Vec::new(),
-            seizure: None,
-            last_alive_before_seizure: None,
-        });
-        entry.last_seen = day;
-        if verdict.is_store() {
-            entry.is_store = true;
-            if entry.html.is_empty() {
-                entry.html = resp.body;
-                entry.cookie_names = resp.cookies.into_iter().map(|c| c.name).collect();
-            }
-        }
-    }
-
     /// Records hacked-label state transitions for delay estimation.
     fn observe_label(&mut self, domain_id: u32, day: SimDate, labeled: bool) {
         let Some(info) = self.db.doorway_info.get_mut(&domain_id) else { return };
@@ -298,27 +381,169 @@ impl Crawler {
     }
 }
 
+/// The pure map phase for one vertical: crawl every monitored term's SERP
+/// against `&World`, deciding each domain from the frozen snapshot plus a
+/// thread-local overlay of this day's own discoveries.
+fn crawl_vertical(
+    world: &World,
+    cfg: &CrawlerConfig,
+    snap: &DbSnapshot,
+    terms: &[String],
+    vi: usize,
+    day: SimDate,
+) -> VerticalLog {
+    // This vertical's same-day discoveries, layered over the snapshot so a
+    // domain appearing under several terms is only detected once — the
+    // same memoization the sequential crawler got from its database.
+    let mut local_poisoned: HashMap<String, PoisonSnap> = HashMap::new();
+    let mut local_clean: HashSet<String> = HashSet::new();
+
+    let mut count = DailyCount {
+        day,
+        vertical: vi as u16,
+        top10_seen: 0,
+        top10_poisoned: 0,
+        total_seen: 0,
+        total_poisoned: 0,
+    };
+    let mut events: Vec<CrawlEvent> = Vec::new();
+
+    for term in terms {
+        let Some(results) = query_by_text(world, term, day, cfg.serp_depth) else {
+            continue;
+        };
+        for (rank, url, labeled) in results {
+            count.total_seen += 1;
+            if rank <= 10 {
+                count.top10_seen += 1;
+            }
+            let name = url.host.as_str();
+
+            let known = local_poisoned.get(name).or_else(|| snap.poisoned.get(name)).cloned();
+            let poisoned = if let Some(info) = known {
+                events.push(CrawlEvent::Seen { domain: name.to_owned() });
+                // Known poisoned: periodic cheap landing re-verification.
+                if day.days_since(info.last_verified) >= i64::from(cfg.reverify_days) {
+                    let verdict = match info.signal {
+                        CloakSignal::Iframe => vangogh::check(world, &url, term, cfg.max_hops),
+                        _ => dagger::check(world, &url, term, cfg.max_hops),
+                    };
+                    local_poisoned.insert(
+                        name.to_owned(),
+                        PoisonSnap { signal: info.signal, last_verified: day },
+                    );
+                    let landing = verdict.landing;
+                    events.push(CrawlEvent::Reverified {
+                        domain: name.to_owned(),
+                        landing: landing.as_ref().map(|l| l.host.as_str().to_owned()),
+                    });
+                    if let Some(landing) = landing {
+                        events.push(visit_store(world, &landing));
+                    }
+                }
+                true
+            } else if local_clean.contains(name) || snap.clean.contains(name) {
+                false // churn trim: known clean
+            } else {
+                // First sighting: run the detection stack — Dagger, then a
+                // rendering pass within the per-domain budget.
+                let mut verdict = dagger::check(world, &url, term, cfg.max_hops);
+                if verdict.cloaked.is_none() && cfg.render_sample > 0 {
+                    verdict = vangogh::check(world, &url, term, cfg.max_hops);
+                }
+                match verdict.cloaked {
+                    None => {
+                        local_clean.insert(name.to_owned());
+                        events.push(CrawlEvent::Clean { domain: name.to_owned() });
+                        false
+                    }
+                    Some(signal) => {
+                        local_poisoned.insert(
+                            name.to_owned(),
+                            PoisonSnap { signal, last_verified: day },
+                        );
+                        let landing = verdict.landing;
+                        events.push(CrawlEvent::Detected {
+                            domain: name.to_owned(),
+                            signal,
+                            landing: landing.as_ref().map(|l| l.host.as_str().to_owned()),
+                        });
+                        if let Some(landing) = landing {
+                            events.push(visit_store(world, &landing));
+                        }
+                        true
+                    }
+                }
+            };
+
+            if poisoned {
+                count.total_poisoned += 1;
+                if rank <= 10 {
+                    count.top10_poisoned += 1;
+                }
+                events.push(CrawlEvent::Label { domain: name.to_owned(), labeled });
+                events.push(CrawlEvent::Psr {
+                    term: term.clone(),
+                    rank: rank.min(255) as u8,
+                    domain: name.to_owned(),
+                    is_root: url.is_root_page(),
+                    labeled,
+                });
+            }
+        }
+    }
+    VerticalLog { count, events }
+}
+
+/// Visits a landing (store) domain read-only: store detection, HTML
+/// capture, seizure observation — packaged as an event for the reduce.
+fn visit_store(world: &World, landing: &Url) -> CrawlEvent {
+    let root = Url::root(landing.host.clone());
+    let (resp, _) = world.fetch(&Request {
+        url: root,
+        user_agent: UserAgent::Browser,
+        referrer: Some(dagger::google_referrer("landing")),
+    });
+    let domain = landing.host.as_str().to_owned();
+    if let Some(notice) = stores::parse_seizure_notice(&resp.body) {
+        return CrawlEvent::StoreVisit { domain, outcome: StoreObservation::Notice(notice) };
+    }
+    let verdict = stores::detect_store(&resp.body, &resp.cookies);
+    CrawlEvent::StoreVisit {
+        domain,
+        outcome: StoreObservation::Page {
+            is_store: verdict.is_store(),
+            html: resp.body,
+            cookie_names: resp.cookies.into_iter().map(|c| c.name).collect(),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::terms;
     use ss_eco::ScenarioConfig;
 
-    fn crawl_world(days: u32) -> (World, Crawler) {
+    fn crawl_world_threaded(days: u32, threads: usize) -> (World, Crawler) {
         let mut w = World::build(ScenarioConfig::tiny(23)).unwrap();
         let start = SimDate::from_day_index(ss_types::CRAWL_START_DAY);
         w.run_until(start);
-        let monitored = terms::select_all(&mut w, start, 6, 5);
+        let monitored = terms::select_all(&w, start, 6, 5);
         let mut crawler = Crawler::new(
-            CrawlerConfig { serp_depth: 30, ..CrawlerConfig::default() },
+            CrawlerConfig { serp_depth: 30, threads, ..CrawlerConfig::default() },
             monitored,
         );
         for d in 0..days {
             let day = start + 1 + d;
             w.run_until(day);
-            crawler.crawl_day(&mut w, day);
+            crawler.crawl_day(&w, day);
         }
         (w, crawler)
+    }
+
+    fn crawl_world(days: u32) -> (World, Crawler) {
+        crawl_world_threaded(days, 1)
     }
 
     #[test]
@@ -381,5 +606,45 @@ mod tests {
         let last = SimDate::from_day_index(ss_types::CRAWL_START_DAY + 8);
         let churn = crawler.last_day_churn(last);
         assert!(churn < 0.5, "churn {churn} implausibly high after warmup");
+    }
+
+    /// The tentpole determinism guarantee at the crawler level: the entire
+    /// database — PSR stream, doorway table, store table, daily counts,
+    /// and both interners — is bit-identical at any thread count.
+    #[test]
+    fn crawl_is_bit_identical_across_thread_counts() {
+        let (_w1, serial) = crawl_world_threaded(5, 1);
+        for threads in [2, 8] {
+            let (_w, parallel) = crawl_world_threaded(5, threads);
+            assert_eq!(serial.db.psrs, parallel.db.psrs, "{threads} threads: PSRs differ");
+            assert_eq!(
+                serial.db.daily_counts, parallel.db.daily_counts,
+                "{threads} threads: daily counts differ"
+            );
+            assert_eq!(
+                serial.db.domains.len(),
+                parallel.db.domains.len(),
+                "{threads} threads: interner sizes differ"
+            );
+            for id in 0..serial.db.domains.len() as u32 {
+                assert_eq!(serial.db.domains.resolve(id), parallel.db.domains.resolve(id));
+            }
+            assert_eq!(serial.db.doorway_info.len(), parallel.db.doorway_info.len());
+            for (id, info) in &serial.db.doorway_info {
+                let other = &parallel.db.doorway_info[id];
+                assert_eq!(info.cloak, other.cloak);
+                assert_eq!(info.landings, other.landings);
+                assert_eq!(info.first_seen, other.first_seen);
+                assert_eq!(info.last_verified, other.last_verified);
+            }
+            assert_eq!(serial.db.store_info.len(), parallel.db.store_info.len());
+            for (id, info) in &serial.db.store_info {
+                let other = &parallel.db.store_info[id];
+                assert_eq!(info.is_store, other.is_store);
+                assert_eq!(info.html, other.html);
+                assert_eq!(info.seizure.is_some(), other.seizure.is_some());
+            }
+            assert_eq!(serial.clean, parallel.clean, "{threads} threads: clean sets differ");
+        }
     }
 }

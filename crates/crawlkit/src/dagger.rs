@@ -18,7 +18,7 @@
 use std::collections::HashSet;
 
 use ss_types::Url;
-use ss_web::http::{Request, Response, UserAgent, Web};
+use ss_web::http::{Fetcher, Request, Response, UserAgent};
 use ss_web::js::render::render;
 use ss_web::Document;
 
@@ -73,16 +73,19 @@ pub fn text_dice(a: &str, b: &str) -> f64 {
 pub const DICE_THRESHOLD: f64 = 0.5;
 
 /// Runs the detector against one URL.
-pub fn check(web: &mut impl Web, url: &Url, term: &str, max_hops: usize) -> DaggerVerdict {
+///
+/// Takes the read plane only: detection fetches must never perturb the
+/// world, so whatever effects the fetches report are dropped here.
+pub fn check(web: &impl Fetcher, url: &Url, term: &str, max_hops: usize) -> DaggerVerdict {
     let crawler_req = Request::crawler(url.clone());
-    let (crawler_chain, crawler_resp) = web.fetch_following(&crawler_req, max_hops);
+    let (crawler_chain, crawler_resp, _) = web.fetch_following(&crawler_req, max_hops);
 
     let user_req = Request {
         url: url.clone(),
         user_agent: UserAgent::Browser,
         referrer: Some(google_referrer(term)),
     };
-    let (user_chain, user_resp) = web.fetch_following(&user_req, max_hops);
+    let (user_chain, user_resp, _) = web.fetch_following(&user_req, max_hops);
 
     let crawler_host = crawler_chain.last().expect("chain non-empty").host.clone();
     let user_host = user_chain.last().expect("chain non-empty").host.clone();
@@ -133,7 +136,7 @@ pub fn check(web: &mut impl Web, url: &Url, term: &str, max_hops: usize) -> Dagg
 /// Follows a JS navigation target, returning the final landing URL and
 /// response when the target parses.
 pub(crate) fn follow_js(
-    web: &mut impl Web,
+    web: &impl Fetcher,
     target: &str,
     prior: &Request,
     max_hops: usize,
@@ -145,7 +148,7 @@ pub(crate) fn follow_js(
                 user_agent: UserAgent::Browser,
                 referrer: Some(prior.url.clone()),
             };
-            let (chain, resp) = web.fetch_following(&req, max_hops);
+            let (chain, resp, _) = web.fetch_following(&req, max_hops);
             (chain.last().cloned(), Some(resp))
         }
         Err(_) => (None, None),
@@ -160,12 +163,12 @@ mod tests {
     /// A toy web exercising each cloaking style.
     struct CloakWeb;
 
-    impl Web for CloakWeb {
-        fn fetch(&mut self, req: &Request) -> Response {
+    impl Fetcher for CloakWeb {
+        fn fetch(&self, req: &Request) -> (Response, Vec<ss_web::SideEffect>) {
             let is_bot = req.user_agent == UserAgent::GoogleBot;
             let from_search =
                 req.referrer.as_ref().map(|r| r.host.as_str().contains("google")).unwrap_or(false);
-            match req.url.host.as_str() {
+            let resp = match req.url.host.as_str() {
                 "redirect-cloak.com" => {
                     if is_bot {
                         Response::ok("<p>seo words here</p>".into())
@@ -201,7 +204,8 @@ mod tests {
                 ),
                 "store.com" => Response::ok("<p>buy bags checkout</p>".into()),
                 _ => Response::not_found(),
-            }
+            };
+            (resp, Vec::new())
         }
     }
 
@@ -211,7 +215,7 @@ mod tests {
 
     #[test]
     fn detects_redirect_cloaking() {
-        let v = check(&mut CloakWeb, &url("http://redirect-cloak.com/"), "cheap bags", 5);
+        let v = check(&CloakWeb, &url("http://redirect-cloak.com/"), "cheap bags", 5);
         assert_eq!(v.cloaked, Some(CloakSignal::HttpRedirect));
         assert_eq!(v.landing.unwrap().host.as_str(), "store.com");
         assert!(v.user_body.contains("checkout"));
@@ -219,27 +223,27 @@ mod tests {
 
     #[test]
     fn detects_js_redirect_cloaking() {
-        let v = check(&mut CloakWeb, &url("http://js-cloak.com/"), "cheap bags", 5);
+        let v = check(&CloakWeb, &url("http://js-cloak.com/"), "cheap bags", 5);
         assert_eq!(v.cloaked, Some(CloakSignal::JsRedirect));
         assert_eq!(v.landing.unwrap().host.as_str(), "store.com");
     }
 
     #[test]
     fn detects_content_cloaking() {
-        let v = check(&mut CloakWeb, &url("http://content-cloak.com/"), "cheap bags", 5);
+        let v = check(&CloakWeb, &url("http://content-cloak.com/"), "cheap bags", 5);
         assert_eq!(v.cloaked, Some(CloakSignal::ContentDiff));
     }
 
     #[test]
     fn honest_pages_pass() {
-        let v = check(&mut CloakWeb, &url("http://honest.com/"), "cheap bags", 5);
+        let v = check(&CloakWeb, &url("http://honest.com/"), "cheap bags", 5);
         assert_eq!(v.cloaked, None);
     }
 
     #[test]
     fn iframe_cloaking_evades_dagger_by_design() {
         // Same bytes to everyone: exactly the blind spot §3.1.1 describes.
-        let v = check(&mut CloakWeb, &url("http://iframe-cloak.com/"), "cheap bags", 5);
+        let v = check(&CloakWeb, &url("http://iframe-cloak.com/"), "cheap bags", 5);
         assert_eq!(v.cloaked, None, "Dagger must NOT catch iframe cloaking");
     }
 

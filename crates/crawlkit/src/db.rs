@@ -168,6 +168,19 @@ impl CrawlDb {
         self.store_info.iter().filter(|(_, s)| s.is_store)
     }
 
+    /// Detected store domain names, sorted. `store_info` is a `HashMap`
+    /// with unstable iteration order; every consumer that enrolls, caps,
+    /// or sweeps the store set needs the same deterministic order, so the
+    /// sort lives here once.
+    pub fn detected_store_domains(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .detected_stores()
+            .map(|(id, _)| self.domains.resolve(*id).to_owned())
+            .collect();
+        names.sort();
+        names
+    }
+
     /// All PSRs for a vertical.
     pub fn psrs_of_vertical(&self, vertical: u16) -> impl Iterator<Item = &PsrRecord> {
         self.psrs.iter().filter(move |p| p.vertical == vertical)

@@ -51,7 +51,7 @@ fn bootstrap_queries(brands: &[&str]) -> Vec<String> {
 /// Methodology A: discover doorways via bootstrap queries + Dagger, then
 /// extract keywords from their `site:`-listed URLs.
 pub fn doorway_extraction_terms(
-    world: &mut World,
+    world: &World,
     vertical_index: usize,
     probe_day: SimDate,
     want: usize,
@@ -94,7 +94,7 @@ pub fn doorway_extraction_terms(
 /// actually return results (the study's operators sanity-checked queries
 /// by hand), then sampling `want`.
 pub fn suggest_expansion_terms(
-    world: &mut World,
+    world: &World,
     vertical_index: usize,
     probe_day: SimDate,
     want: usize,
@@ -143,7 +143,7 @@ pub fn suggest_expansion_terms(
 /// the exact split of §4.1.1. Returns one [`MonitoredVertical`] per world
 /// vertical, in order. `sample_bootstrap_verticals` caps how many verticals
 /// run the (expensive) doorway probe before falling back to suggest.
-pub fn select_all(world: &mut World, probe_day: SimDate, want: usize, seed: u64) -> Vec<MonitoredVertical> {
+pub fn select_all(world: &World, probe_day: SimDate, want: usize, seed: u64) -> Vec<MonitoredVertical> {
     let n = world.verticals.len();
     let mut out = Vec::with_capacity(n);
     for vi in 0..n {
@@ -212,9 +212,9 @@ mod tests {
 
     #[test]
     fn doorway_extraction_finds_kit_terms() {
-        let mut w = probe_world();
+        let w = probe_world();
         let day = SimDate::from_day_index(ss_types::CRAWL_START_DAY + 4);
-        let terms = doorway_extraction_terms(&mut w, 0, day, 6, 1);
+        let terms = doorway_extraction_terms(&w, 0, day, 6, 1);
         assert!(!terms.is_empty(), "no terms extracted");
         // Extracted terms must come from the engine's universe (they were
         // pulled out of indexed URLs).
@@ -228,17 +228,17 @@ mod tests {
 
     #[test]
     fn suggest_expansion_returns_live_terms() {
-        let mut w = probe_world();
+        let w = probe_world();
         let day = SimDate::from_day_index(ss_types::CRAWL_START_DAY + 4);
-        let terms = suggest_expansion_terms(&mut w, 1, day, 6, 1);
+        let terms = suggest_expansion_terms(&w, 1, day, 6, 1);
         assert_eq!(terms.len(), 6);
     }
 
     #[test]
     fn select_all_uses_the_papers_split() {
-        let mut w = probe_world();
+        let w = probe_world();
         let day = SimDate::from_day_index(ss_types::CRAWL_START_DAY + 4);
-        let selected = select_all(&mut w, day, 5, 9);
+        let selected = select_all(&w, day, 5, 9);
         assert_eq!(selected.len(), w.verticals.len());
         for (vi, mv) in selected.iter().enumerate() {
             let expected = if w.verticals[vi].spec.key_targeted {

@@ -8,7 +8,7 @@
 //! domain — the same workload trim the paper applies.
 
 use ss_types::Url;
-use ss_web::http::{Request, UserAgent, Web};
+use ss_web::http::{Fetcher, Request, UserAgent};
 use ss_web::js::render::render;
 
 use crate::dagger::{google_referrer, CloakSignal, DaggerVerdict};
@@ -25,13 +25,14 @@ pub fn is_fullpage(width: &str, height: &str) -> bool {
 }
 
 /// Renders `url` as a search-referred user and reports iframe cloaking.
-pub fn check(web: &mut impl Web, url: &Url, term: &str, max_hops: usize) -> DaggerVerdict {
+/// Pure read-plane work: any reported fetch effects are dropped.
+pub fn check(web: &impl Fetcher, url: &Url, term: &str, max_hops: usize) -> DaggerVerdict {
     let req = Request {
         url: url.clone(),
         user_agent: UserAgent::Browser,
         referrer: Some(google_referrer(term)),
     };
-    let (chain, resp) = web.fetch_following(&req, max_hops);
+    let (chain, resp, _) = web.fetch_following(&req, max_hops);
     let final_url = chain.last().expect("chain non-empty").clone();
     let rendered = render(
         &resp.body,
@@ -71,9 +72,9 @@ mod tests {
     use ss_web::http::Response;
 
     struct IframeWeb;
-    impl Web for IframeWeb {
-        fn fetch(&mut self, req: &Request) -> Response {
-            match req.url.host.as_str() {
+    impl Fetcher for IframeWeb {
+        fn fetch(&self, req: &Request) -> (Response, Vec<ss_web::SideEffect>) {
+            let resp = match req.url.host.as_str() {
                 // Obfuscated dynamic iframe — only a renderer sees it.
                 "dyn.com" => Response::ok(
                     "<p>door</p><script>var p = ['http://sto', 're.com/'];\
@@ -92,7 +93,8 @@ mod tests {
                         .into(),
                 ),
                 _ => Response::ok("<p>plain</p>".into()),
-            }
+            };
+            (resp, Vec::new())
         }
     }
 
@@ -102,20 +104,20 @@ mod tests {
 
     #[test]
     fn catches_dynamic_obfuscated_iframe() {
-        let v = check(&mut IframeWeb, &url("http://dyn.com/p"), "cheap bags", 5);
+        let v = check(&IframeWeb, &url("http://dyn.com/p"), "cheap bags", 5);
         assert_eq!(v.cloaked, Some(CloakSignal::Iframe));
         assert_eq!(v.landing.unwrap().host.as_str(), "store.com");
     }
 
     #[test]
     fn catches_static_fullpage_iframe() {
-        let v = check(&mut IframeWeb, &url("http://static.com/"), "cheap bags", 5);
+        let v = check(&IframeWeb, &url("http://static.com/"), "cheap bags", 5);
         assert_eq!(v.cloaked, Some(CloakSignal::Iframe));
     }
 
     #[test]
     fn ignores_banner_iframes() {
-        let v = check(&mut IframeWeb, &url("http://ads.com/"), "cheap bags", 5);
+        let v = check(&IframeWeb, &url("http://ads.com/"), "cheap bags", 5);
         assert_eq!(v.cloaked, None);
     }
 

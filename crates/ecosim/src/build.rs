@@ -283,7 +283,7 @@ fn create_store(
         Some(names) => {
             let ids: Vec<DomainId> = names
                 .iter()
-                .map(|n| w.domains.register_unique(&n, SiteKind::Storefront { store: id }, created))
+                .map(|n| w.domains.register_unique(n, SiteKind::Storefront { store: id }, created))
                 .collect();
             (ids[0], ids[1..].to_vec())
         }

@@ -44,7 +44,7 @@ impl FirmState {
     pub fn files_on(&self, day: SimDate) -> bool {
         let offset = (self.id.index() as u32) * 5;
         let d = day.day_index();
-        d >= offset && (d - offset) % self.policy.case_interval == 0
+        d >= offset && (d - offset).is_multiple_of(self.policy.case_interval)
     }
 
     /// Docket string for the next case.

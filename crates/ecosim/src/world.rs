@@ -1,4 +1,5 @@
-//! The world: composed state, the day-tick loop, and the `Web` façade.
+//! The world: composed state, the day-tick loop, and the web façade —
+//! a pure [`Fetcher`] read plane plus the [`Web::apply`] tick plane.
 
 use std::collections::HashMap;
 
@@ -11,7 +12,7 @@ use ss_types::{
 
 use ss_search::{SearchEngine, Serp};
 use ss_web::cloak::{self, CloakMode, ServeDecision};
-use ss_web::http::{Request, Response, Web};
+use ss_web::http::{Fetcher, Request, Response, SideEffect, Web};
 use ss_web::pagegen::storefront::StoreTemplate;
 use ss_web::pagegen::{awstats, doorway, legit, notice, storefront, supplier as supplier_pages};
 
@@ -511,17 +512,20 @@ pub(crate) fn elite_draw(seed: u64, domain: DomainId) -> f64 {
 
 // ---- the Web façade ----
 
-impl Web for World {
-    fn fetch(&mut self, req: &Request) -> Response {
+impl Fetcher for World {
+    /// Serves one request as a pure read. The only state change a visit
+    /// can imply — a checkout allocating the next order number — comes
+    /// back as a [`SideEffect`] for [`Web::apply`] to commit.
+    fn fetch(&self, req: &Request) -> (Response, Vec<SideEffect>) {
         let Some(domain) = self.domains.lookup(&req.url.host) else {
-            return Response::not_found();
+            return (Response::not_found(), Vec::new());
         };
         let record = self.domains.get(domain);
 
         // Seized domains serve the notice page regardless of prior kind.
         if let Some(seizure) = record.seized {
             if seizure.day <= self.day {
-                return self.serve_notice(domain, seizure);
+                return (self.serve_notice(domain, seizure), Vec::new());
             }
         }
 
@@ -533,21 +537,52 @@ impl Web for World {
                     brand,
                     seed: ss_types::rng::derive_seed(self.cfg.seed, record.name.as_str()),
                 };
-                Response::ok(legit::page(&ctx))
+                (Response::ok(legit::page(&ctx)), Vec::new())
             }
-            SiteKind::Doorway { campaign, compromised, cloak: mode, target_store } => {
-                self.serve_doorway(domain, campaign, compromised, mode, target_store, req)
-            }
+            SiteKind::Doorway { campaign, compromised, cloak: mode, target_store } => (
+                self.serve_doorway(domain, campaign, compromised, mode, target_store, req),
+                Vec::new(),
+            ),
             SiteKind::Storefront { store } => self.serve_store(domain, store, req),
-            SiteKind::Supplier => self.serve_supplier(req),
-            SiteKind::OffstageStore => Response::ok(ss_web::pagegen::legit::page(
-                &legit::LegitCtx {
+            SiteKind::Supplier => (self.serve_supplier(req), Vec::new()),
+            SiteKind::OffstageStore => (
+                Response::ok(ss_web::pagegen::legit::page(&legit::LegitCtx {
                     domain: record.name.as_str(),
                     theme: legit::LegitTheme::Retailer,
                     brand: "Louis Vuitton",
                     seed: ss_types::rng::derive_seed(self.cfg.seed, record.name.as_str()),
-                },
-            )),
+                })),
+                Vec::new(),
+            ),
+        }
+    }
+}
+
+impl Web for World {
+    /// The single choke point for fetch-time mutation. Effects resolve
+    /// against the current state, which is exactly the state the fetch
+    /// that produced them saw (callers apply immediately after fetching).
+    fn apply(&mut self, effects: Vec<SideEffect>) {
+        for effect in effects {
+            match effect {
+                SideEffect::OrderAllocated { host } => {
+                    let store = self.domains.lookup(&host).and_then(|d| {
+                        match self.domains.get(d).kind {
+                            SiteKind::Storefront { store } => Some(store),
+                            _ => None,
+                        }
+                    });
+                    match store {
+                        Some(id) => {
+                            self.stores[id.index()].allocate_order();
+                        }
+                        None => debug_assert!(
+                            false,
+                            "OrderAllocated for {host}, which is not a storefront"
+                        ),
+                    }
+                }
+            }
         }
     }
 }
@@ -577,7 +612,7 @@ impl World {
     }
 
     fn serve_doorway(
-        &mut self,
+        &self,
         domain: DomainId,
         _campaign: CampaignId,
         compromised: bool,
@@ -649,16 +684,22 @@ impl World {
         }
     }
 
-    fn serve_store(&mut self, domain: DomainId, store: StoreId, req: &Request) -> Response {
+    fn serve_store(
+        &self,
+        domain: DomainId,
+        store: StoreId,
+        req: &Request,
+    ) -> (Response, Vec<SideEffect>) {
         let st = &self.stores[store.index()];
         // Former (rotated-away, unseized) domains bounce to the current one.
         if st.current_domain != domain {
-            return Response::redirect(Url::root(
-                self.domains.get(st.current_domain).name.clone(),
-            ));
+            return (
+                Response::redirect(Url::root(self.domains.get(st.current_domain).name.clone())),
+                Vec::new(),
+            );
         }
         if st.retired || st.created > self.day {
-            return Response::not_found();
+            return (Response::not_found(), Vec::new());
         }
         let campaign_name = self.campaigns[st.campaign.index()].name.clone();
         let template = self.templates[st.campaign.index()].clone();
@@ -680,25 +721,18 @@ impl World {
         let _ = campaign_name;
 
         if path == "/" {
-            Response::ok(storefront::home_page(&ctx)).with_cookies(cookies)
+            (Response::ok(storefront::home_page(&ctx)).with_cookies(cookies), Vec::new())
         } else if let Some(idx) = path.strip_prefix("/product/") {
             let idx: u32 = idx.parse().unwrap_or(0);
-            Response::ok(storefront::product_page(&ctx, idx)).with_cookies(cookies)
+            (Response::ok(storefront::product_page(&ctx, idx)).with_cookies(cookies), Vec::new())
         } else if path == "/cart" {
-            Response::ok(storefront::product_page(&ctx, 0)).with_cookies(cookies)
+            (Response::ok(storefront::product_page(&ctx, 0)).with_cookies(cookies), Vec::new())
         } else if path == "/checkout" {
-            let order = self.stores[store.index()].allocate_order();
-            let st = &self.stores[store.index()];
+            // The page shows the order number this visit would be issued;
+            // the counter itself only advances when the caller commits the
+            // effect through `Web::apply`.
+            let order = st.order_counter + 1;
             let payment_ok = self.payment_available(st.campaign, self.day);
-            let ctx = storefront::StoreCtx {
-                domain: &domain_name,
-                store_name: &st.name,
-                template: &template,
-                brands: &brands,
-                locale: &st.locale,
-                merchant_id: &st.merchant_id,
-                seed: st.seed,
-            };
             let body = if payment_ok {
                 storefront::checkout_page(&ctx, order)
             } else {
@@ -707,15 +741,18 @@ impl World {
                 // fails (§4.3.2 extension).
                 storefront::checkout_unavailable_page(&ctx, order)
             };
-            Response::ok(body).with_cookies(cookies)
+            (
+                Response::ok(body).with_cookies(cookies),
+                vec![SideEffect::OrderAllocated { host: self.domains.get(domain).name.clone() }],
+            )
         } else if path == "/awstats/awstats.pl" {
             if !st.awstats_public {
-                return Response::not_found();
+                return (Response::not_found(), Vec::new());
             }
             let report_month = req.url.query_param("month");
-            self.serve_awstats(store, report_month.as_deref())
+            (self.serve_awstats(store, report_month.as_deref()), Vec::new())
         } else {
-            Response::not_found()
+            (Response::not_found(), Vec::new())
         }
     }
 
@@ -753,7 +790,7 @@ impl World {
         Response::ok(awstats::page(site, &report))
     }
 
-    fn serve_supplier(&mut self, req: &Request) -> Response {
+    fn serve_supplier(&self, req: &Request) -> Response {
         match req.url.path.as_str() {
             "/" => Response::ok(supplier_pages::home_page(self.supplier.recent(50))),
             "/track" => {
@@ -825,34 +862,55 @@ mod tests {
             .find(|(_, r)| matches!(r.kind, SiteKind::Legit { .. }))
             .map(|(_, r)| r.name.clone())
             .unwrap();
-        let resp = w.fetch(&Request::browser(Url::root(legit)));
+        let (resp, effects) = w.fetch(&Request::browser(Url::root(legit)));
         assert_eq!(resp.status, 200);
+        assert!(effects.is_empty(), "legit pages have no side effects");
 
-        // Storefront home sets cookies and has cart/checkout.
+        // Storefront home sets cookies and has cart/checkout. The store
+        // must still hold its serving domain: a store whose domain was
+        // seized serves the notice page instead (also 200, no cookies).
         let today = w.day;
-        let store = w.stores.iter().find(|s| !s.retired && s.created < today).unwrap();
+        let store = w
+            .stores
+            .iter()
+            .find(|s| {
+                !s.retired
+                    && s.created < today
+                    && w.domains.get(s.current_domain).seized.is_none()
+            })
+            .unwrap();
         let host = w.domains.get(store.current_domain).name.clone();
-        let resp = w.fetch(&Request::browser(Url::root(host.clone())));
+        let (resp, effects) = w.fetch(&Request::browser(Url::root(host.clone())));
         assert_eq!(resp.status, 200);
         assert_eq!(resp.cookies.len(), 3);
         assert!(resp.body.to_ascii_lowercase().contains("checkout"));
+        assert!(effects.is_empty(), "browsing the home page orders nothing");
 
-        // Checkout allocates monotone order numbers.
+        // Checkout allocates monotone order numbers — once applied.
         let co = Url::new(host.clone(), "/checkout", "");
-        let r1 = w.fetch(&Request::browser(co.clone()));
-        let r2 = w.fetch(&Request::browser(co));
+        let r1 = w.fetch_apply(&Request::browser(co.clone()));
+        let r2 = w.fetch_apply(&Request::browser(co.clone()));
         let n1 = extract_order(&r1.body);
         let n2 = extract_order(&r2.body);
         assert_eq!(n2, n1 + 1);
 
+        // An unapplied checkout fetch is a pure read: the world keeps
+        // quoting the same next order number.
+        let (r3, fx3) = w.fetch(&Request::browser(co.clone()));
+        let (r4, _) = w.fetch(&Request::browser(co));
+        assert_eq!(extract_order(&r3.body), n2 + 1);
+        assert_eq!(extract_order(&r4.body), n2 + 1);
+        assert_eq!(fx3, vec![ss_web::SideEffect::OrderAllocated { host }]);
+
         // Supplier portal.
         let sup = w.domains.get(w.supplier_domain).name.clone();
-        let resp = w.fetch(&Request::browser(Url::root(sup)));
+        let (resp, _) = w.fetch(&Request::browser(Url::root(sup)));
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("Order Tracking"));
 
         // Unknown domain.
-        let resp = w.fetch(&Request::browser(Url::parse("http://no-such-host.com/").unwrap()));
+        let (resp, _) =
+            w.fetch(&Request::browser(Url::parse("http://no-such-host.com/").unwrap()));
         assert_eq!(resp.status, 404);
     }
 
@@ -863,7 +921,7 @@ mod tests {
 
     #[test]
     fn doorway_cloaks_by_visitor_class() {
-        let mut w = run_world(13, ss_types::CRAWL_START_DAY + 20);
+        let w = run_world(13, ss_types::CRAWL_START_DAY + 20);
         let day = w.day;
         // A live doorway.
         let (domain, _) = w
@@ -875,8 +933,8 @@ mod tests {
             .expect("some live doorway");
         let host = w.domains.get(domain).name.clone();
         let url = Url::root(host);
-        let as_bot = w.fetch(&Request::crawler(url.clone()));
-        let as_search_user = w.fetch(&Request::browser_from(
+        let (as_bot, _) = w.fetch(&Request::crawler(url.clone()));
+        let (as_search_user, _) = w.fetch(&Request::browser_from(
             url.clone(),
             Url::parse("http://google.com/search?q=x").unwrap(),
         ));
@@ -913,7 +971,7 @@ mod tests {
 
     #[test]
     fn seized_domain_serves_notice_with_court_doc() {
-        let mut w = run_world(3, 240);
+        let w = run_world(3, 240);
         let (domain, _) = w
             .domains
             .iter()
@@ -921,7 +979,8 @@ mod tests {
             .map(|(id, r)| (id, r.name.clone()))
             .expect("a seized storefront");
         let host = w.domains.get(domain).name.clone();
-        let resp = w.fetch(&Request::browser(Url::root(host)));
+        let (resp, effects) = w.fetch(&Request::browser(Url::root(host)));
+        assert!(effects.is_empty(), "seizure notices allocate nothing");
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("has been seized"));
         let doc = ss_web::Document::parse(&resp.body);
@@ -1026,8 +1085,8 @@ mod payment_tests {
             .unwrap();
         let host = w.domains.get(store.current_domain).name.clone();
         let url = Url::new(host, "/checkout", "");
-        let r1 = w.fetch(&Request::browser(url.clone()));
-        let r2 = w.fetch(&Request::browser(url));
+        let r1 = w.fetch_apply(&Request::browser(url.clone()));
+        let r2 = w.fetch_apply(&Request::browser(url));
         assert!(r1.body.contains("payment-unavailable"), "body: {}", &r1.body[..r1.body.len().min(400)]);
         let doc1 = ss_web::Document::parse(&r1.body);
         let doc2 = ss_web::Document::parse(&r2.body);

@@ -92,7 +92,7 @@ pub fn cross_validate(
 
     let mut confusions: Vec<(usize, usize, usize)> =
         confusion.into_iter().map(|((t, p), c)| (t, p, c)).collect();
-    confusions.sort_by(|a, b| b.2.cmp(&a.2));
+    confusions.sort_by_key(|c| std::cmp::Reverse(c.2));
     CvResult {
         accuracy: if total == 0 { 0.0 } else { correct as f64 / total as f64 },
         fold_accuracy,

@@ -40,6 +40,7 @@ pub struct RefineResult {
 /// * `per_class_per_round` — how many top-confidence predictions per class
 ///   the expert checks each round;
 /// * `rounds` — how many label→retrain rounds to run.
+#[allow(clippy::too_many_arguments)]
 pub fn refine(
     pool: &[SparseVec],
     seed_labels: &[(usize, usize)],

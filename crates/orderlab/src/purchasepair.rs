@@ -105,8 +105,9 @@ impl OrderSampler {
             let Ok(host) = ss_types::DomainName::parse(&domain) else { continue };
             let url = Url::new(host, "/checkout", "");
             // Orders are placed via TOR in the study; a plain browser
-            // request models that (no referrer, fresh identity).
-            let resp = web.fetch(&Request { url, user_agent: UserAgent::Browser, referrer: None });
+            // request models that (no referrer, fresh identity). Test
+            // orders are real orders, so their effects are committed.
+            let resp = web.fetch_apply(&Request { url, user_agent: UserAgent::Browser, referrer: None });
             if resp.status != 200 {
                 continue; // store dead or seized
             }
@@ -187,13 +188,25 @@ mod tests {
         }
     }
 
-    impl Web for ToyStores {
-        fn fetch(&mut self, req: &Request) -> Response {
-            let Some(c) = self.counters.get_mut(req.url.host.as_str()) else {
-                return Response::not_found();
+    impl ss_web::Fetcher for ToyStores {
+        fn fetch(&self, req: &Request) -> (Response, Vec<ss_web::SideEffect>) {
+            let Some(c) = self.counters.get(req.url.host.as_str()) else {
+                return (Response::not_found(), Vec::new());
             };
-            *c += 1;
-            Response::ok(format!("<p>Order <b id=\"order-no\">{c}</b></p>"))
+            let shown = c + 1;
+            (
+                Response::ok(format!("<p>Order <b id=\"order-no\">{shown}</b></p>")),
+                vec![ss_web::SideEffect::OrderAllocated { host: req.url.host.clone() }],
+            )
+        }
+    }
+    impl Web for ToyStores {
+        fn apply(&mut self, effects: Vec<ss_web::SideEffect>) {
+            for ss_web::SideEffect::OrderAllocated { host } in effects {
+                if let Some(c) = self.counters.get_mut(host.as_str()) {
+                    *c += 1;
+                }
+            }
         }
     }
 

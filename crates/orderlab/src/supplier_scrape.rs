@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use ss_types::{SimDate, Url};
-use ss_web::http::{Request, UserAgent, Web};
+use ss_web::http::{Fetcher, Request, UserAgent};
 use ss_web::pagegen::supplier::{parse_records, ShipRecord, ShipStatus};
 use ss_web::Document;
 
@@ -60,9 +60,9 @@ impl SupplierDataset {
 }
 
 /// Reads the portal's recent list to find the highest visible order number.
-pub fn probe_max_order(web: &mut impl Web, portal: &str) -> Option<u64> {
+pub fn probe_max_order(web: &impl Fetcher, portal: &str) -> Option<u64> {
     let host = ss_types::DomainName::parse(portal).ok()?;
-    let resp = web.fetch(&Request {
+    let (resp, _) = web.fetch(&Request {
         url: Url::root(host),
         user_agent: UserAgent::Browser,
         referrer: None,
@@ -76,7 +76,7 @@ pub fn probe_max_order(web: &mut impl Web, portal: &str) -> Option<u64> {
 /// Walks the order-number space backwards from `max_order`, 20 ids per
 /// lookup, stopping after `dry_limit` consecutive all-missing chunks.
 pub fn scrape(
-    web: &mut impl Web,
+    web: &impl Fetcher,
     portal: &str,
     max_order: u64,
     dry_limit: usize,
@@ -92,7 +92,7 @@ pub fn scrape(
         let lo = hi.saturating_sub(20);
         let ids: Vec<String> = (lo..hi).map(|o| o.to_string()).collect();
         let url = Url::new(host.clone(), "/track", &format!("orders={}", ids.join(",")));
-        let resp =
+        let (resp, _) =
             web.fetch(&Request { url, user_agent: UserAgent::Browser, referrer: None });
         queries += 1;
         let found = if resp.status == 200 { parse_records(&resp.body) } else { Vec::new() };
@@ -132,10 +132,10 @@ mod tests {
 
     #[test]
     fn scrape_recovers_the_full_ledger() {
-        let (mut w, portal) = world_with_supplier();
+        let (w, portal) = world_with_supplier();
         let truth = w.supplier.records.len();
-        let max = probe_max_order(&mut w, &portal).unwrap();
-        let ds = scrape(&mut w, &portal, max, 3);
+        let max = probe_max_order(&w, &portal).unwrap();
+        let ds = scrape(&w, &portal, max, 3);
         assert_eq!(ds.records.len(), truth, "scrape missed records");
         assert!(ds.queries >= truth / 20);
         // Ascending and unique.
@@ -146,9 +146,9 @@ mod tests {
 
     #[test]
     fn aggregates_compute() {
-        let (mut w, portal) = world_with_supplier();
-        let max = probe_max_order(&mut w, &portal).unwrap();
-        let ds = scrape(&mut w, &portal, max, 3);
+        let (w, portal) = world_with_supplier();
+        let max = probe_max_order(&w, &portal).unwrap();
+        let ds = scrape(&w, &portal, max, 3);
         let status = ds.status_counts();
         assert_eq!(status.values().sum::<usize>(), ds.records.len());
         let countries = ds.country_counts();
@@ -167,9 +167,9 @@ mod tests {
 
     #[test]
     fn scrape_handles_missing_portal() {
-        let mut w = World::build(ScenarioConfig::tiny(43)).unwrap();
-        assert_eq!(probe_max_order(&mut w, "not-the-portal.com"), None);
-        let ds = scrape(&mut w, "not-the-portal.com", 100, 2);
+        let w = World::build(ScenarioConfig::tiny(43)).unwrap();
+        assert_eq!(probe_max_order(&w, "not-the-portal.com"), None);
+        let ds = scrape(&w, "not-the-portal.com", 100, 2);
         assert!(ds.records.is_empty());
     }
 }

@@ -37,7 +37,8 @@ pub struct Transaction {
 pub fn purchase(web: &mut impl Web, domain: &str, day: SimDate) -> Option<Transaction> {
     let host = ss_types::DomainName::parse(domain).ok()?;
     let url = Url::new(host, "/checkout", "");
-    let resp = web.fetch(&Request { url, user_agent: UserAgent::Browser, referrer: None });
+    // A real purchase commits its effects: the order counter advances.
+    let resp = web.fetch_apply(&Request { url, user_agent: UserAgent::Browser, referrer: None });
     if resp.status != 200 {
         return None;
     }
@@ -87,7 +88,7 @@ pub fn bank_concentration(txs: &[Transaction]) -> Vec<(String, usize)> {
             None => counts.push((t.bank.1.clone(), 1)),
         }
     }
-    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts.sort_by_key(|c| std::cmp::Reverse(c.1));
     counts
 }
 

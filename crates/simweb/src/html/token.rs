@@ -148,9 +148,11 @@ pub fn tokenize(input: &str) -> Vec<Token> {
     tokens
 }
 
-/// Parses `<name attrs…>` at the start of `s`; returns
-/// `(tag, attrs, self_closing, bytes_consumed)`.
-fn parse_start_tag(s: &str) -> Option<(String, Vec<(String, String)>, bool, usize)> {
+/// Parsed `<name attrs…>`: `(tag, attrs, self_closing, bytes_consumed)`.
+type StartTag = (String, Vec<(String, String)>, bool, usize);
+
+/// Parses `<name attrs…>` at the start of `s`.
+fn parse_start_tag(s: &str) -> Option<StartTag> {
     let bytes = s.as_bytes();
     debug_assert_eq!(bytes[0], b'<');
     let mut i = 1;

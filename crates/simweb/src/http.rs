@@ -8,7 +8,7 @@
 //! e-commerce / analytics cookies, §4.1.3), and redirects (redirect
 //! cloaking; seizure notices).
 
-use ss_types::Url;
+use ss_types::{DomainName, Url};
 
 /// Who is fetching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -119,23 +119,48 @@ impl Response {
     }
 }
 
-/// The interface every consumer of the simulated web speaks.
+/// A state change a fetch *would* cause, reified as a value.
 ///
-/// Implemented by `ss-eco`'s `World`. `fetch` takes `&mut self` because the
-/// web is stateful in exactly the ways the paper exploits: storefronts
-/// allocate order numbers when a visitor reaches checkout, and AWStats logs
-/// record every page view.
-pub trait Web {
-    /// Serves one request.
-    fn fetch(&mut self, req: &Request) -> Response;
+/// Serving a page is a pure read ([`Fetcher::fetch`]); anything the visit
+/// would mutate comes back as a `SideEffect` for the caller to commit (or
+/// deliberately drop) through [`Web::apply`]. This split is what lets the
+/// crawler fan out over `&World` across threads, and it encodes a
+/// methodological invariant from the paper: the measurement apparatus
+/// observes the market without perturbing it — only the purchase
+/// programme (§4.3), which knowingly places test orders, applies effects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SideEffect {
+    /// A visitor reached `/checkout` on `host` and the storefront handed
+    /// out its next order number. Committing this advances the store's
+    /// monotone order counter — the invariant purchase-pair estimation
+    /// (§4.3.1) rests on.
+    OrderAllocated {
+        /// The storefront's serving domain at fetch time.
+        host: DomainName,
+    },
+}
+
+/// The read plane: serving any request without changing the world.
+///
+/// Implemented by `ss-eco`'s `World` over `&self`. Every mutation the
+/// visit implies is returned as [`SideEffect`]s alongside the response.
+pub trait Fetcher {
+    /// Serves one request, returning the response and the effects the
+    /// visit would have on the world.
+    fn fetch(&self, req: &Request) -> (Response, Vec<SideEffect>);
 
     /// Follows redirects (HTTP only — JS redirects need a renderer) up to
-    /// `max_hops`, returning the chain of URLs visited and the final
-    /// response. The chain always contains at least the request URL.
-    fn fetch_following(&mut self, req: &Request, max_hops: usize) -> (Vec<Url>, Response) {
+    /// `max_hops`, returning the chain of URLs visited, the final
+    /// response, and the accumulated effects of every hop. The chain
+    /// always contains at least the request URL.
+    fn fetch_following(
+        &self,
+        req: &Request,
+        max_hops: usize,
+    ) -> (Vec<Url>, Response, Vec<SideEffect>) {
         let mut chain = vec![req.url.clone()];
         let mut current = req.clone();
-        let mut resp = self.fetch(&current);
+        let (mut resp, mut effects) = self.fetch(&current);
         let mut hops = 0;
         while resp.is_redirect() && hops < max_hops {
             let next = resp.location.clone().expect("is_redirect checked location");
@@ -147,9 +172,37 @@ pub trait Web {
                 referrer: current.referrer.clone(),
             };
             chain.push(next);
-            resp = self.fetch(&current);
+            let (next_resp, next_effects) = self.fetch(&current);
+            resp = next_resp;
+            effects.extend(next_effects);
             hops += 1;
         }
+        (chain, resp, effects)
+    }
+}
+
+/// The tick plane: a fetchable world that can also commit fetch effects.
+///
+/// `apply` is the single choke point through which every fetch-time
+/// mutation flows. Callers that *should* perturb the world (the purchase
+/// programme, the order sampler) use the `*_apply` conveniences; the
+/// crawler and AWStats sweeps stay on [`Fetcher`] and drop effects.
+pub trait Web: Fetcher {
+    /// Commits the state changes of one or more fetches, in order.
+    fn apply(&mut self, effects: Vec<SideEffect>);
+
+    /// Fetches and immediately commits the visit's effects — the behavior
+    /// of a real visitor hitting the live site.
+    fn fetch_apply(&mut self, req: &Request) -> Response {
+        let (resp, effects) = self.fetch(req);
+        self.apply(effects);
+        resp
+    }
+
+    /// [`Fetcher::fetch_following`], committing effects of every hop.
+    fn fetch_following_apply(&mut self, req: &Request, max_hops: usize) -> (Vec<Url>, Response) {
+        let (chain, resp, effects) = self.fetch_following(req, max_hops);
+        self.apply(effects);
         (chain, resp)
     }
 }
@@ -163,35 +216,83 @@ mod tests {
         Url::parse(s).unwrap()
     }
 
-    /// A toy web for exercising the default redirect-following logic.
+    /// A toy web for exercising the default redirect-following logic and
+    /// the effect-accumulation contract.
     struct ToyWeb;
-    impl Web for ToyWeb {
-        fn fetch(&mut self, req: &Request) -> Response {
+    impl Fetcher for ToyWeb {
+        fn fetch(&self, req: &Request) -> (Response, Vec<SideEffect>) {
+            let host = req.url.host.clone();
             match req.url.host.as_str() {
-                "a.com" => Response::redirect(url("http://b.com/")),
-                "b.com" => Response::redirect(url("http://c.com/")),
-                "loop.com" => Response::redirect(url("http://loop.com/")),
-                _ => Response::ok(format!("<p>host {}</p>", req.url.host)),
+                "a.com" => (Response::redirect(url("http://b.com/")), Vec::new()),
+                "b.com" => (
+                    Response::redirect(url("http://c.com/")),
+                    vec![SideEffect::OrderAllocated { host }],
+                ),
+                "loop.com" => (Response::redirect(url("http://loop.com/")), Vec::new()),
+                _ => (
+                    Response::ok(format!("<p>host {}</p>", req.url.host)),
+                    vec![SideEffect::OrderAllocated { host }],
+                ),
             }
         }
     }
 
     #[test]
-    fn follows_redirect_chain() {
-        let mut web = ToyWeb;
-        let (chain, resp) = web.fetch_following(&Request::browser(url("http://a.com/")), 10);
+    fn follows_redirect_chain_and_accumulates_effects() {
+        let web = ToyWeb;
+        let (chain, resp, effects) =
+            web.fetch_following(&Request::browser(url("http://a.com/")), 10);
         let hosts: Vec<&str> = chain.iter().map(|u| u.host.as_str()).collect();
         assert_eq!(hosts, ["a.com", "b.com", "c.com"]);
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("c.com"));
+        // Effects arrive in hop order: b.com's, then c.com's.
+        let effect_hosts: Vec<&str> = effects
+            .iter()
+            .map(|SideEffect::OrderAllocated { host }| host.as_str())
+            .collect();
+        assert_eq!(effect_hosts, ["b.com", "c.com"]);
     }
 
     #[test]
     fn redirect_loops_are_bounded() {
-        let mut web = ToyWeb;
-        let (chain, resp) = web.fetch_following(&Request::browser(url("http://loop.com/")), 5);
+        let web = ToyWeb;
+        let (chain, resp, _) = web.fetch_following(&Request::browser(url("http://loop.com/")), 5);
         assert_eq!(chain.len(), 6);
         assert!(resp.is_redirect());
+    }
+
+    #[test]
+    fn fetch_apply_commits_what_fetch_reports() {
+        /// A web that counts committed orders, mutable only via `apply`.
+        struct CountingWeb {
+            committed: u32,
+        }
+        impl Fetcher for CountingWeb {
+            fn fetch(&self, req: &Request) -> (Response, Vec<SideEffect>) {
+                (
+                    Response::ok(format!("order {}", self.committed + 1)),
+                    vec![SideEffect::OrderAllocated { host: req.url.host.clone() }],
+                )
+            }
+        }
+        impl Web for CountingWeb {
+            fn apply(&mut self, effects: Vec<SideEffect>) {
+                self.committed += effects.len() as u32;
+            }
+        }
+
+        let mut web = CountingWeb { committed: 0 };
+        let r1 = web.fetch_apply(&Request::browser(url("http://s.com/checkout")));
+        let r2 = web.fetch_apply(&Request::browser(url("http://s.com/checkout")));
+        assert_eq!(r1.body, "order 1");
+        assert_eq!(r2.body, "order 2");
+        // A pure fetch observes without advancing the counter.
+        let (r3, effects) = web.fetch(&Request::browser(url("http://s.com/checkout")));
+        let (r4, _) = web.fetch(&Request::browser(url("http://s.com/checkout")));
+        assert_eq!(r3.body, r4.body);
+        assert_eq!(effects.len(), 1);
+        assert_eq!(web.committed, 2);
     }
 
     #[test]

@@ -636,7 +636,7 @@ impl<'e> Interpreter<'e> {
                 }
                 "getElementById" => {
                     let id = arg_str(0);
-                    if self.env.dom_ids.iter().any(|d| *d == id) {
+                    if self.env.dom_ids.contains(&id) {
                         // Materialize a handle standing in for the static
                         // element; appends to it attach to the document.
                         self.env.effects.elements.push(DynElement {

@@ -18,7 +18,10 @@
 //!   generators emit — and therefore rich enough that "rendering a page"
 //!   in the VanGogh detector is real work, as in the paper (§3.1.1);
 //! * [`http`] — request/response types with user agents, referrers, cookies
-//!   and redirects, plus the [`http::Web`] trait the crawler speaks;
+//!   and redirects, plus the fetch-plane/tick-plane trait pair: the pure
+//!   [`http::Fetcher`] read plane the crawler speaks (`fetch(&self)`
+//!   returning [`http::SideEffect`]s) and the [`http::Web`] tick plane
+//!   whose `apply` is the one choke point for fetch-time mutation;
 //! * [`cloak`] — the three cloaking mechanisms of §3.1.1 (redirect cloaking,
 //!   JS redirect cloaking, iframe cloaking) as pure decision logic;
 //! * [`pagegen`] — deterministic generators for every page class in the
@@ -38,4 +41,4 @@ pub mod js;
 pub mod pagegen;
 
 pub use html::{Document, Node};
-pub use http::{Request, Response, UserAgent, Web};
+pub use http::{Fetcher, Request, Response, SideEffect, UserAgent, Web};

@@ -85,9 +85,7 @@ mod tests {
     fn lag_recovers_shifted_signal() {
         let x: Vec<f64> = (0..50).map(|i| ((i as f64) * 0.7).sin()).collect();
         let mut y = vec![0.0; 50];
-        for i in 0..45 {
-            y[i + 5] = x[i];
-        }
+        y[5..50].copy_from_slice(&x[..45]);
         let at_lag = lagged_pearson(&x, &y, 5).unwrap();
         let at_zero = lagged_pearson(&x, &y, 0).unwrap();
         assert!(at_lag > 0.99, "{at_lag}");

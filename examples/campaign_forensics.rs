@@ -41,7 +41,7 @@ fn main() {
             None => per_class.push((name, vec![domain])),
         }
     }
-    per_class.sort_by(|a, b| b.1.len().cmp(&a.1.len()));
+    per_class.sort_by_key(|c| std::cmp::Reverse(c.1.len()));
     for (name, domains) in per_class.iter().take(6) {
         println!("{:<16} {} store(s): {}", name, domains.len(), domains.join(", "));
     }

@@ -10,7 +10,7 @@ use ss_crawl::{dagger, vangogh};
 use ss_eco::{ScenarioConfig, World};
 use ss_types::{SimDate, Url};
 use ss_web::cloak::CloakMode;
-use ss_web::http::{Request, Web};
+use ss_web::http::{Fetcher, Request};
 
 fn main() {
     let mut world = World::build(ScenarioConfig::tiny(99)).expect("world builds");
@@ -31,11 +31,11 @@ fn main() {
     println!("Doorway {url} (campaign {campaign_name}), targeted term: {term:?}\n");
 
     // 1. Fetch as Googlebot.
-    let bot = world.fetch(&Request::crawler(url.clone()));
+    let (bot, _) = world.fetch(&Request::crawler(url.clone()));
     println!("As Googlebot:        {} bytes, status {}", bot.body.len(), bot.status);
 
     // 2. Fetch as a search-referred browser.
-    let user = world.fetch(&Request::browser_from(
+    let (user, _) = world.fetch(&Request::browser_from(
         url.clone(),
         dagger::google_referrer(&term),
     ));
@@ -43,11 +43,11 @@ fn main() {
     println!("Bytes identical:     {}", bot.body == user.body);
 
     // 3. Dagger (fetch-and-diff) is blind to this.
-    let dagger_verdict = dagger::check(&mut world, &url, &term, 6);
+    let dagger_verdict = dagger::check(&world, &url, &term, 6);
     println!("\nDagger verdict:      {:?}  ← the §3.1.1 blind spot", dagger_verdict.cloaked);
 
     // 4. VanGogh renders the page — and catches the payload.
-    let vangogh_verdict = vangogh::check(&mut world, &url, &term, 6);
+    let vangogh_verdict = vangogh::check(&world, &url, &term, 6);
     println!("VanGogh verdict:     {:?}", vangogh_verdict.cloaked);
     if let Some(landing) = &vangogh_verdict.landing {
         println!("Store behind iframe: {landing}");

@@ -96,9 +96,8 @@ fn figure4_panels_correlate_visibility_with_orders() {
     let mut found = 0;
     for name in out.attribution.class_names.clone() {
         if let Some(panel) = figures::fig4(&out, &name) {
-            if panel.volume.is_some() {
+            if let Some(v) = panel.volume.as_ref() {
                 found += 1;
-                let v = panel.volume.as_ref().unwrap();
                 // Cumulative volume never decreases over observed samples.
                 let obs: Vec<f64> = v.observed().map(|(_, x)| x).collect();
                 assert!(obs.windows(2).all(|w| w[1] >= w[0]), "volume must be cumulative");

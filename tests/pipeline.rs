@@ -83,6 +83,40 @@ fn order_side_is_consistent_with_search_side() {
 }
 
 #[test]
+fn study_output_is_identical_across_crawl_thread_counts() {
+    // The parallel crawl fan-out must not leak scheduling into results:
+    // the whole study — PSRs, orders, purchases, attribution — has to be
+    // identical whether verticals are crawled serially or on 2 or 8 threads.
+    let run = |threads: usize| {
+        let mut cfg = StudyConfig::fast_test(101);
+        cfg.crawler.threads = threads;
+        Study::new(cfg).run().expect("study runs")
+    };
+    let base = run(1);
+    for threads in [2usize, 8] {
+        let out = run(threads);
+        assert_eq!(
+            out.crawler.db.psrs, base.crawler.db.psrs,
+            "PSR log diverged at {threads} threads"
+        );
+        assert_eq!(
+            out.sampler.orders_created, base.sampler.orders_created,
+            "test-order count diverged at {threads} threads"
+        );
+        assert_eq!(
+            out.transactions.len(),
+            base.transactions.len(),
+            "purchase count diverged at {threads} threads"
+        );
+        assert_eq!(
+            out.attribution.store_class.len(),
+            base.attribution.store_class.len(),
+            "attribution size diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn supplier_ledger_matches_world_ledger() {
     let out = study();
     let ds = out.supplier.as_ref().expect("supplier scraped");

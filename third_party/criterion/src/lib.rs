@@ -1,0 +1,198 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the macro/type surface the workspace's benches compile
+//! against (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `Bencher::iter`/`iter_batched`, `BatchSize`, `black_box`) backed by a
+//! simple wall-clock harness: per sample it runs enough iterations to
+//! cover a minimum measurement window, then reports the median, minimum,
+//! and mean per-iteration time. No warm-up plots, statistics, or HTML
+//! reports — just honest numbers on stdout, which is what an offline CI
+//! lane can actually consume.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the compiler's optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped per measurement; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream; one per measurement here.
+    SmallInput,
+    /// Large inputs: few per batch upstream; one per measurement here.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver: collects samples and prints a summary per bench.
+pub struct Criterion {
+    sample_size: usize,
+    min_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, min_sample_time: Duration::from_millis(8) }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), min_sample_time: self.min_sample_time };
+        // One warm-up pass (discarded), then the measured samples.
+        f(&mut b);
+        b.samples.clear();
+        while b.samples.len() < self.sample_size {
+            f(&mut b);
+        }
+        b.samples.truncate(self.sample_size);
+        report(name, &mut b.samples);
+        self
+    }
+}
+
+/// Passed to the bench closure; measures one routine.
+pub struct Bencher {
+    /// Per-iteration nanoseconds, one entry per completed sample.
+    samples: Vec<f64>,
+    min_sample_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as needed to fill the
+    /// sample window. Appends one sample per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = started.elapsed();
+            if elapsed >= self.min_sample_time {
+                self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+                return;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        loop {
+            let input = setup();
+            let started = Instant::now();
+            black_box(routine(black_box(input)));
+            spent += started.elapsed();
+            iters += 1;
+            if spent >= self.min_sample_time {
+                self.samples.push(spent.as_nanos() as f64 / iters as f64);
+                return;
+            }
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [f64]) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<40} time: [min {} | median {} | mean {}]",
+        fmt_ns(samples[0]),
+        fmt_ns(median),
+        fmt_ns(mean),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmarks; supports both the positional and the
+/// `name/config/targets` forms of the upstream macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_one_sample_per_call() {
+        let mut b = Bencher { samples: Vec::new(), min_sample_time: Duration::from_micros(50) };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert_eq!(b.samples.len(), 2);
+        assert!(b.samples.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_cost() {
+        let mut b = Bencher { samples: Vec::new(), min_sample_time: Duration::from_micros(10) };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), 1);
+    }
+
+    #[test]
+    fn bench_function_reports_requested_samples() {
+        let mut c = Criterion { sample_size: 3, min_sample_time: Duration::from_micros(20) };
+        let mut calls = 0u32;
+        c.bench_function("stub-self-test", |b| {
+            calls += 1;
+            b.iter(|| black_box(1u32) + 1)
+        });
+        assert!(calls >= 4, "warm-up plus three samples, got {calls}");
+    }
+}

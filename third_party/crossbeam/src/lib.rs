@@ -1,0 +1,99 @@
+//! Minimal offline stand-in for `crossbeam`, providing the scoped-thread
+//! API the crawler's parallel fan-out uses.
+//!
+//! Built directly on `std::thread::scope` (stable since Rust 1.63), which
+//! did not exist when crossbeam's scoped threads were designed. One
+//! deliberate deviation from upstream: closures receive the [`thread::Scope`]
+//! **by value** (it is `Copy` — a wrapper around `&std::thread::Scope`)
+//! instead of by reference, which sidesteps a lifetime knot in the
+//! delegation. Call sites that ignore the scope argument (`|_| …`) or
+//! re-spawn from it are source-compatible either way.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of joining a scoped thread: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle for spawning more threads inside the scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// A handle to join one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing scope.
+        pub fn spawn<F, T>(self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(self)) }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which borrowed-data threads can be spawned; all
+    /// threads are joined before `scope` returns. Returns `Err` with the
+    /// panic payload if the closure or an unjoined child panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let data = &data;
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..2).map(|i| s.spawn(move |_| data[i * 2] + data[i * 2 + 1])).collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum::<u64>()
+        })
+        .expect("scope completes");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_handle() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21u32).join().expect("inner") * 2)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope completes");
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join().is_err()
+        });
+        assert!(matches!(r, Ok(true)));
+    }
+}

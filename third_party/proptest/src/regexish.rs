@@ -1,0 +1,194 @@
+//! Tiny regex-subset string generator backing `&str` strategies.
+//!
+//! Supported syntax (everything the workspace's patterns use):
+//! - literal characters, including `\x` escapes
+//! - character classes `[a-z0-9]` with ranges and literal members
+//! - groups `( … )`
+//! - repetition `{n}` / `{m,n}` on the preceding atom
+//!
+//! Unsupported constructs panic with the offending pattern, so a new
+//! test pattern fails loudly rather than generating garbage.
+
+use crate::TestRng;
+
+enum Atom {
+    Literal(char),
+    /// Inclusive `(lo, hi)` ranges; single members are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Group(Vec<Piece>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (pieces, consumed) = parse_seq(pattern, &chars, 0, None);
+    assert_eq!(consumed, chars.len(), "unbalanced pattern: {pattern}");
+    let mut out = String::new();
+    emit_seq(&pieces, rng, &mut out);
+    out
+}
+
+fn parse_seq(
+    pattern: &str,
+    chars: &[char],
+    mut i: usize,
+    until: Option<char>,
+) -> (Vec<Piece>, usize) {
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        if Some(chars[i]) == until {
+            return (pieces, i + 1);
+        }
+        let atom = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(pattern, chars, i + 1);
+                i = next;
+                Atom::Class(class)
+            }
+            '(' => {
+                let (inner, next) = parse_seq(pattern, chars, i + 1, Some(')'));
+                i = next;
+                Atom::Group(inner)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in pattern: {pattern}");
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c if "|*+?.^$".contains(c) => {
+                panic!("regex construct `{c}` not supported by the proptest stand-in: {pattern}")
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{…}} in pattern: {pattern}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().unwrap_or_else(|_| panic!("bad repeat `{spec}` in {pattern}")),
+                    hi.parse().unwrap_or_else(|_| panic!("bad repeat `{spec}` in {pattern}")),
+                ),
+                None => {
+                    let n =
+                        spec.parse().unwrap_or_else(|_| panic!("bad repeat `{spec}` in {pattern}"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repeat in pattern: {pattern}");
+        pieces.push(Piece { atom, min, max });
+    }
+    assert!(until.is_none(), "unclosed group in pattern: {pattern}");
+    (pieces, i)
+}
+
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Vec<(char, char)>, usize) {
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = chars[i];
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let hi = chars[i + 2];
+            assert!(lo <= hi, "inverted class range in pattern: {pattern}");
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unclosed class in pattern: {pattern}");
+    assert!(!ranges.is_empty(), "empty class in pattern: {pattern}");
+    (ranges, i + 1)
+}
+
+fn emit_seq(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for piece in pieces {
+        let reps = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let total: u64 =
+                        ranges.iter().map(|&(lo, hi)| u64::from(hi as u32 - lo as u32) + 1).sum();
+                    let mut pick = rng.below(total);
+                    for &(lo, hi) in ranges {
+                        let size = u64::from(hi as u32 - lo as u32) + 1;
+                        if pick < size {
+                            out.push(
+                                char::from_u32(lo as u32 + pick as u32).expect("valid class char"),
+                            );
+                            break;
+                        }
+                        pick -= size;
+                    }
+                }
+                Atom::Group(inner) => emit_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_n(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::for_test(pattern);
+        (0..n).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn classes_respect_bounds_and_members() {
+        for s in gen_n("[a-z0-9]{1,10}", 200) {
+            assert!((1..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class_spans_space_to_tilde() {
+        let all: String = gen_n("[ -~]{0,200}", 100).concat();
+        assert!(all.chars().all(|c| (' '..='~').contains(&c)));
+        assert!(all.chars().any(|c| !c.is_ascii_alphanumeric()), "should hit punctuation");
+    }
+
+    #[test]
+    fn groups_repeat_as_units() {
+        for s in gen_n("(/[a-z0-9]{1,6}){0,3}", 200) {
+            if s.is_empty() {
+                continue;
+            }
+            assert!(s.starts_with('/'), "{s:?}");
+            let segs: Vec<&str> = s.split('/').skip(1).collect();
+            assert!((1..=3).contains(&segs.len()), "{s:?}");
+            assert!(segs.iter().all(|seg| (1..=6).contains(&seg.len())), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn plain_literals_pass_through() {
+        assert!(gen_n("hacked", 5).iter().all(|s| s == "hacked"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn unsupported_constructs_fail_loudly() {
+        generate("a|b", &mut TestRng::for_test("x"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Uniform sampling over ranges, the engine behind `Rng::gen_range`.
+//!
+//! Mirrors rand 0.8's structure — a `SampleUniform` trait per element
+//! type plus blanket `SampleRange` impls for `Range`/`RangeInclusive` —
+//! because the blanket impls are what let type inference flow from a
+//! call like `gen_range(2..5).min(len)` back into the literals.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Element types that can be drawn uniformly from a bounded interval.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+/// A range that knows how to sample a single uniform value from itself.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample; panics on an empty range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// Unbiased uniform integer in `[0, bound)` via Lemire's widening-multiply
+/// rejection method (the same family of algorithm rand 0.8 uses).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let zone = bound.wrapping_neg() % bound; // number of biased low values
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        if (m as u64) >= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if inclusive {
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+                } else {
+                    lo.wrapping_add(uniform_below(rng, span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let unit: f64 = crate::distributions::Distribution::sample(
+                    &crate::distributions::Standard,
+                    rng,
+                );
+                let x = (lo as f64 + unit * (hi as f64 - lo as f64)) as $t;
+                // Rounding can land on the excluded endpoint of a
+                // half-open range; fold it back to the start.
+                if !_inclusive && x >= hi { lo } else { x }
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);

@@ -1,0 +1,106 @@
+//! Minimal offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! Only the slice of the API this workspace uses is provided: the `Rng`
+//! extension trait (`gen`, `gen_range`, `gen_bool`), the `Standard`
+//! distribution for primitives and const-generic arrays, uniform sampling
+//! over integer and float ranges, and `seq::SliceRandom::shuffle`.
+//! Algorithms follow the real crate where cheap (widening-multiply uniform
+//! integers, 53-bit floats, Fisher–Yates), so the statistical properties
+//! the simulation's tests assert hold just as they would upstream.
+
+pub use rand_core::{RngCore, SeedableRng};
+
+pub mod distributions;
+pub mod seq;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// User-facing extension methods over any `RngCore`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the `Standard` distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct SplitMix(u64);
+    impl RngCore for SplitMix {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SplitMix(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval_uniformly() {
+        let mut r = SplitMix(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn array_sampling_fills_every_lane() {
+        let mut r = SplitMix(3);
+        let a: [u64; 8] = r.gen();
+        let b: [u64; 8] = r.gen();
+        assert_ne!(a, b);
+        assert!(a.iter().all(|&x| x != 0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut r = SplitMix(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

@@ -1,0 +1,181 @@
+//! Minimal offline stand-in for `serde`'s serialization half.
+//!
+//! The real serde serializes through a visitor (`Serializer`); this stub
+//! collapses that to an owned [`Value`] tree, which is all `serde_json`'s
+//! pretty-printer (the only consumer in this workspace) needs. The derive
+//! macro is re-exported from the companion `serde_derive` crate, so
+//! `#[derive(serde::Serialize)]` on plain named-field structs works
+//! unchanged.
+
+// Lets the derive macro's generated `::serde::…` paths resolve even when
+// expanded inside this crate's own tests (the same trick upstream uses).
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// An owned, serializer-agnostic data tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (from `Option::None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, `Vec`, tuples).
+    Seq(Vec<Value>),
+    /// Key-ordered map (struct fields, in declaration order).
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serializer-agnostic tree.
+    fn serialize(&self) -> Value;
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize);
+ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+    };
+}
+
+ser_tuple!(A: 0);
+ser_tuple!(A: 0, B: 1);
+ser_tuple!(A: 0, B: 1, C: 2);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.serialize(), Value::UInt(3));
+        assert_eq!((-2i64).serialize(), Value::Int(-2));
+        assert_eq!(1.5f64.serialize(), Value::Float(1.5));
+        assert_eq!("x".serialize(), Value::Str("x".into()));
+        assert_eq!(Option::<u32>::None.serialize(), Value::Null);
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![("a".to_owned(), 1u64), ("b".to_owned(), 2u64)];
+        assert_eq!(
+            v.serialize(),
+            Value::Seq(vec![
+                Value::Seq(vec![Value::Str("a".into()), Value::UInt(1)]),
+                Value::Seq(vec![Value::Str("b".into()), Value::UInt(2)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_emits_declaration_ordered_map() {
+        #[derive(crate::Serialize)]
+        struct Row {
+            name: String,
+            hits: u64,
+        }
+        // The derive emits paths via `::serde`, which inside this crate's
+        // tests resolves through the extern-crate name, i.e. this crate.
+        let row = Row { name: "n".into(), hits: 7 };
+        let v = Serialize::serialize(&row);
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                ("name".into(), Value::Str("n".into())),
+                ("hits".into(), Value::UInt(7)),
+            ])
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Supports `#[derive(Serialize)]` on non-generic structs with named
+//! fields — the only shape this workspace derives. Implemented directly
+//! on the `proc_macro` token API (no `syn`/`quote`, which the offline
+//! build cannot fetch): we walk the token trees to collect field names,
+//! then emit an `impl serde::Serialize` that builds the field map in
+//! declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[…]`, including doc comments) and visibility.
+    let mut name = None;
+    let mut body = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(ref p) if p.as_char() == '#' => {
+                // Consume the attribute's bracket group.
+                tokens.next();
+            }
+            TokenTree::Ident(ref id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(id)) => name = Some(id.to_string()),
+                    other => panic!("derive(Serialize): expected struct name, got {other:?}"),
+                }
+                // Next significant token decides the shape. Named-field
+                // structs go straight to a brace group; anything else
+                // (generics, tuple structs, unit structs) is unsupported.
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        body = Some(g.stream());
+                    }
+                    other => panic!(
+                        "derive(Serialize) stub supports only plain named-field \
+                         structs; `{}` has unexpected token {other:?}",
+                        name.as_deref().unwrap_or("?")
+                    ),
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.expect("derive(Serialize): no `struct` keyword found");
+    let body = body.expect("derive(Serialize): no struct body found");
+    let fields = field_names(body);
+
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::serialize(&self.{f})),"
+            )
+        })
+        .collect();
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("derive(Serialize): generated impl parses")
+}
+
+/// Collects field names from the brace-group token stream of a
+/// named-field struct: `#[attr]* vis? name : Type ,` repeated. Commas
+/// inside parenthesized groups are invisible here (they live in nested
+/// `Group`s), but commas inside angle-bracketed generics are top-level
+/// punctuation, so we track `<`/`>` depth while skipping type tokens.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    'fields: loop {
+        // Skip attributes and visibility, then read the field name.
+        let fname = loop {
+            match tokens.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // `pub(crate)` carries a parenthesized group.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("derive(Serialize): unexpected token {other:?}"),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive(Serialize): expected `:` after `{fname}`, got {other:?}"),
+        }
+        fields.push(fname);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => continue 'fields,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}

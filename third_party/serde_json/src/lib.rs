@@ -1,0 +1,176 @@
+//! Minimal offline stand-in for `serde_json`: renders the vendored
+//! `serde::Value` tree as JSON. Only the entry points this workspace
+//! calls (`to_string`, `to_string_pretty`) are provided.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The value-tree model cannot actually fail, but
+/// the signature mirrors upstream so call sites keep their `Result`
+/// handling.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.serialize(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.serialize(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Ryū-style shortest form is overkill; Rust's Display for
+                // f64 is already round-trippable. JSON has no non-finite
+                // literals, so those become null (as upstream's default).
+                let s = x.to_string();
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Seq(items) => {
+            container(out, '[', ']', indent, depth, items.len(), |out, i| {
+                render(&items[i], indent, depth + 1, out)
+            });
+        }
+        Value::Map(entries) => {
+            container(out, '{', '}', indent, depth, entries.len(), |out, i| {
+                let (k, v) = &entries[i];
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(v, indent, depth + 1, out);
+            });
+        }
+    }
+}
+
+fn container(
+    out: &mut String,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(serde::Serialize)]
+    struct Row {
+        name: String,
+        share: f64,
+        pair: (u32, u32),
+        tags: Vec<String>,
+        note: Option<String>,
+    }
+
+    #[test]
+    fn pretty_prints_nested_structs() {
+        let rows = vec![Row {
+            name: "coco \"vip\"".into(),
+            share: 0.5,
+            pair: (1, 2),
+            tags: vec!["a".into()],
+            note: None,
+        }];
+        let s = to_string_pretty(&rows).expect("serializes");
+        let expected = r#"[
+  {
+    "name": "coco \"vip\"",
+    "share": 0.5,
+    "pair": [
+      1,
+      2
+    ],
+    "tags": [
+      "a"
+    ],
+    "note": null
+  }
+]"#;
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn compact_form_has_no_whitespace() {
+        let s = to_string(&vec![1u32, 2]).expect("serializes");
+        assert_eq!(s, "[1,2]");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let s = to_string(&2.0f64).expect("serializes");
+        assert_eq!(s, "2.0");
+    }
+}
