@@ -69,6 +69,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("conversion", "§5.2.3 — conversion metrics"),
     ("purchases", "§4.3 — order-sampling and purchase programme"),
     ("ablation", "§3.1.1 — detector ablation: Dagger alone vs +VanGogh"),
+    ("manifest", "run manifest — stage timings, counters, headline observables"),
 ];
 
 fn main() {
@@ -95,8 +96,14 @@ fn main() {
         args.preset.describe(args.seed)
     );
     let t0 = std::time::Instant::now();
-    let mut out = ss_bench::run_preset(args.preset, args.seed);
+    let mut cfg = args.preset.config(args.seed);
+    // Every repro run leaves a manifest behind (CI uploads it).
+    cfg.manifest_path.get_or_insert_with(|| "reports/run_manifest.json".to_owned());
+    let manifest_path = cfg.manifest_path.clone().expect("just set");
+    let mut out = search_seizure::Study::new(cfg).run().expect("study preset runs");
     eprintln!("[repro] study done in {:.1?}", t0.elapsed());
+    eprint!("{}", out.manifest.summary_table());
+    eprintln!("[repro] wrote {manifest_path}");
 
     let reports: Vec<ExperimentReport> = if args.experiment == "all" {
         let mut all = vec![fig1_report(args.seed)];
@@ -148,8 +155,23 @@ fn run_experiment(id: &str, out: &mut StudyOutput) -> ExperimentReport {
         "conversion" => conversion_report(out),
         "purchases" => purchases_report(out),
         "ablation" => ablation_report(out.world.cfg.seed),
+        "manifest" => manifest_report(out),
         other => panic!("unknown experiment {other:?}; try `repro list`"),
     }
+}
+
+fn manifest_report(out: &StudyOutput) -> ExperimentReport {
+    let m = &out.manifest;
+    ExperimentReport::new("S10", "run manifest — telemetry summary")
+        .narrate(
+            "Provenance and instrumentation of this very run: per-stage wall-clock              spans, the deterministic counter/histogram registry, and the headline              observables the golden test pins.",
+        )
+        .compare("stages timed", "5", m.stage_timings.len(), false)
+        .compare("distinct metrics recorded", "≥ 12", out.metrics.metric_names().len(), false)
+        .compare("PSR observations", "—", m.headline.psrs, false)
+        .compare("seizure notices observed", "—", m.headline.seizure_notices, false)
+        .compare("test orders", "—", m.headline.test_orders, false)
+        .artifact("summary table", m.summary_table())
 }
 
 fn ablation_report(seed: u64) -> ExperimentReport {

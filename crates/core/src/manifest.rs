@@ -1,0 +1,323 @@
+//! The run manifest: a machine-readable record of what a study run did.
+//!
+//! [`RunManifest`] captures the provenance (config hash, seed, window),
+//! the per-stage wall-clock timings, the headline observables (PSRs,
+//! seizure notices, estimated orders per campaign), and a per-day
+//! progress trace. [`RunManifest::write`] renders it, together with the
+//! full metric registry, to `reports/run_manifest.json`; CI uploads that
+//! file as the run's artifact, and the golden test pins the deterministic
+//! half (see `tests/golden_manifest.rs`).
+//!
+//! Determinism: everything in the manifest except the `spans` section and
+//! the timing fields is a pure function of the configuration — two runs
+//! with the same config produce identical headline and metric sections at
+//! any crawl thread count (the crawl merges per-worker registries in
+//! vertical order; see the `ss-obs` crate docs).
+
+use std::collections::HashMap;
+
+use serde::{Serialize as _, Value};
+use ss_obs::Registry;
+use ss_orders::purchasepair::OrderSampler;
+use ss_orders::transactions::Transaction;
+
+use crate::attribution::Attribution;
+use crate::pipeline::StudyConfig;
+use ss_crawl::db::CrawlDb;
+
+/// Wall-clock timing of one pipeline stage, aggregated across all days.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct StageTiming {
+    /// Stage name, as registered in the schedule.
+    pub stage: String,
+    /// Number of days the stage ran.
+    pub days: u64,
+    /// Total wall-clock milliseconds across the run.
+    pub total_ms: f64,
+    /// Exclusive milliseconds (children's spans carved out).
+    pub self_ms: f64,
+    /// Slowest single day, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Cumulative progress at the end of one study day.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DayRecord {
+    /// Day index.
+    pub day: u32,
+    /// PSR observations so far.
+    pub psrs: u64,
+    /// Purchase-pair test orders created so far.
+    pub test_orders: u64,
+    /// Real purchases completed so far.
+    pub purchases: u64,
+    /// Wall-clock milliseconds this day took.
+    pub elapsed_ms: f64,
+}
+
+/// Purchase-pair order estimate for one attributed campaign.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CampaignOrders {
+    /// Classifier campaign name, or `"unattributed"`.
+    pub campaign: String,
+    /// Monitored stores attributed to the campaign with ≥ 2 samples.
+    pub stores_sampled: u64,
+    /// Sum over those stores of (last − first) order numbers: an upper
+    /// bound on orders placed during monitoring (§4.3.1).
+    pub estimated_orders: u64,
+}
+
+/// The run's headline observables — the numbers the paper leads with.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Headline {
+    /// Total PSR observations.
+    pub psrs: u64,
+    /// Unique doorway domains confirmed cloaked.
+    pub cloaked_doorways: u64,
+    /// Unique detected store domains.
+    pub detected_stores: u64,
+    /// Store domains where a seizure notice was observed.
+    pub seizure_notices: u64,
+    /// Purchase-pair test orders created.
+    pub test_orders: u64,
+    /// Real purchases completed.
+    pub purchases: u64,
+    /// Per-campaign order estimates, sorted by campaign name.
+    pub campaign_orders: Vec<CampaignOrders>,
+}
+
+/// The full manifest of one study run.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// FNV-1a hash of the study configuration's debug rendering.
+    pub config_hash: u64,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Crawl window `(first, last)` day indices, inclusive.
+    pub window: (u32, u32),
+    /// Per-stage wall-clock timings (from the `stage.*` spans).
+    pub stage_timings: Vec<StageTiming>,
+    /// Headline observables.
+    pub headline: Headline,
+    /// Per-day progress trace.
+    pub days: Vec<DayRecord>,
+}
+
+/// FNV-1a over the configuration's `Debug` rendering: cheap, stable
+/// within a build, and sensitive to every knob.
+pub fn config_hash(cfg: &StudyConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{cfg:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Sums each monitored store's purchase-pair span (last − first order
+/// number) into its attributed campaign, `"unattributed"` when the
+/// classifier abstained or never saw the domain. Sorted by campaign name.
+pub fn campaign_orders(
+    sampler: &OrderSampler,
+    db: &CrawlDb,
+    attribution: &Attribution,
+) -> Vec<CampaignOrders> {
+    let mut by_campaign: HashMap<String, (u64, u64)> = HashMap::new();
+    let mut domains: Vec<&String> = sampler.stores.keys().collect();
+    domains.sort();
+    for domain in domains {
+        let store = &sampler.stores[domain];
+        let (Some(first), Some(last)) = (store.samples.first(), store.samples.last()) else {
+            continue;
+        };
+        if store.samples.len() < 2 {
+            continue;
+        }
+        let campaign = db
+            .domains
+            .get(domain)
+            .and_then(|id| attribution.store_class.get(&id).copied().flatten())
+            .and_then(|ci| attribution.class_names.get(ci).cloned())
+            .unwrap_or_else(|| "unattributed".to_owned());
+        let entry = by_campaign.entry(campaign).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += last.order_number.saturating_sub(first.order_number);
+    }
+    let mut rows: Vec<CampaignOrders> = by_campaign
+        .into_iter()
+        .map(|(campaign, (stores_sampled, estimated_orders))| CampaignOrders {
+            campaign,
+            stores_sampled,
+            estimated_orders,
+        })
+        .collect();
+    rows.sort_by(|a, b| a.campaign.cmp(&b.campaign));
+    rows
+}
+
+/// Assembles the headline section from the run's datasets.
+pub fn headline(
+    db: &CrawlDb,
+    sampler: &OrderSampler,
+    transactions: &[Transaction],
+    attribution: &Attribution,
+) -> Headline {
+    Headline {
+        psrs: db.psrs.len() as u64,
+        cloaked_doorways: db.poisoned_domains().count() as u64,
+        detected_stores: db.detected_stores().count() as u64,
+        seizure_notices: db
+            .store_info
+            .values()
+            .filter(|s| s.seizure.is_some())
+            .count() as u64,
+        test_orders: sampler.orders_created as u64,
+        purchases: transactions.len() as u64,
+        campaign_orders: campaign_orders(sampler, db, attribution),
+    }
+}
+
+/// Extracts `stage.*` span aggregates from the registry, in the
+/// schedule's execution order.
+pub fn stage_timings(obs: &Registry, stage_names: &[&'static str]) -> Vec<StageTiming> {
+    let ns_ms = |ns: u64| ns as f64 / 1_000_000.0;
+    stage_names
+        .iter()
+        .filter_map(|name| {
+            let s = obs.span_stats(&format!("stage.{name}"))?;
+            Some(StageTiming {
+                stage: (*name).to_owned(),
+                days: s.count,
+                total_ms: ns_ms(s.total_ns),
+                self_ms: ns_ms(s.self_ns),
+                max_ms: ns_ms(s.max_ns),
+            })
+        })
+        .collect()
+}
+
+impl RunManifest {
+    /// Renders the manifest plus the registry's metric and span sections
+    /// as one JSON document.
+    pub fn to_value(&self, obs: &Registry) -> Value {
+        Value::Map(vec![
+            ("config_hash".into(), Value::Str(format!("{:016x}", self.config_hash))),
+            ("seed".into(), Value::UInt(self.seed)),
+            (
+                "window".into(),
+                Value::Seq(vec![
+                    Value::UInt(u64::from(self.window.0)),
+                    Value::UInt(u64::from(self.window.1)),
+                ]),
+            ),
+            ("stage_timings".into(), self.stage_timings.serialize()),
+            ("headline".into(), self.headline.serialize()),
+            ("days".into(), self.days.serialize()),
+            ("metrics".into(), obs.metrics_value()),
+            ("spans".into(), obs.spans_value()),
+        ])
+    }
+
+    /// Writes the manifest (with metrics) to `path`, creating parent
+    /// directories. Errors are reported, not fatal: telemetry must never
+    /// kill a finished run.
+    pub fn write(&self, obs: &Registry, path: &str) {
+        let rendered = match serde_json::to_string_pretty(&self.to_value(obs)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("run manifest: render failed: {e:?}");
+                return;
+            }
+        };
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        if let Err(e) = std::fs::write(path, rendered + "\n") {
+            eprintln!("run manifest: write to {path} failed: {e}");
+        }
+    }
+
+    /// A human-readable summary table for terminal output.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run manifest  seed={}  config={:016x}  days {}..={}\n",
+            self.seed, self.config_hash, self.window.0, self.window.1
+        ));
+        out.push_str(&format!(
+            "  {:<16} {:>6} {:>12} {:>12} {:>10}\n",
+            "stage", "days", "total_ms", "self_ms", "max_ms"
+        ));
+        for t in &self.stage_timings {
+            out.push_str(&format!(
+                "  {:<16} {:>6} {:>12.1} {:>12.1} {:>10.2}\n",
+                t.stage, t.days, t.total_ms, t.self_ms, t.max_ms
+            ));
+        }
+        let h = &self.headline;
+        out.push_str(&format!(
+            "  psrs={}  cloaked_doorways={}  stores={}  seizure_notices={}  test_orders={}  purchases={}\n",
+            h.psrs, h.cloaked_doorways, h.detected_stores, h.seizure_notices, h.test_orders, h.purchases
+        ));
+        for c in &h.campaign_orders {
+            out.push_str(&format!(
+                "    {:<24} stores={:<4} est_orders={}\n",
+                c.campaign, c.stores_sampled, c.estimated_orders
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::StudyConfig;
+
+    #[test]
+    fn config_hash_is_stable_and_knob_sensitive() {
+        let a = StudyConfig::fast_test(7);
+        let b = StudyConfig::fast_test(7);
+        assert_eq!(config_hash(&a), config_hash(&b));
+        let mut c = StudyConfig::fast_test(7);
+        c.monitor_store_cap += 1;
+        assert_ne!(config_hash(&a), config_hash(&c));
+    }
+
+    #[test]
+    fn summary_table_lists_stages_and_headline() {
+        let m = RunManifest {
+            config_hash: 0xabc,
+            seed: 9,
+            window: (1, 3),
+            stage_timings: vec![StageTiming {
+                stage: "crawl".into(),
+                days: 3,
+                total_ms: 12.0,
+                self_ms: 12.0,
+                max_ms: 5.0,
+            }],
+            headline: Headline {
+                psrs: 10,
+                cloaked_doorways: 4,
+                detected_stores: 3,
+                seizure_notices: 1,
+                test_orders: 5,
+                purchases: 2,
+                campaign_orders: vec![CampaignOrders {
+                    campaign: "Uggs".into(),
+                    stores_sampled: 2,
+                    estimated_orders: 77,
+                }],
+            },
+            days: Vec::new(),
+        };
+        let table = m.summary_table();
+        assert!(table.contains("crawl"));
+        assert!(table.contains("psrs=10"));
+        assert!(table.contains("Uggs"));
+        assert!(table.contains("est_orders=77"));
+    }
+}

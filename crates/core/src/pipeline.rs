@@ -8,9 +8,23 @@
 //! driver loop. Stages receive `&mut World` but only the purchase-plane
 //! stages use it mutably (via `Web::fetch_apply`); observation stages go
 //! through the read-only fetch plane.
+//!
+//! # Telemetry
+//!
+//! The run owns one [`ss_obs::Registry`]. Every stage executes under a
+//! `stage.{name}` span and records `pipeline.*` counters through
+//! [`StageContext::obs`]; the crawler, sampler, and world contribute
+//! `crawl.*`, `orders.*`, and `eco.*` metrics of their own. At the end of
+//! the run everything is folded into one registry, summarized as a
+//! [`RunManifest`], and (when [`StudyConfig::manifest_path`] is set)
+//! written to disk. The counters and histograms are deterministic for a
+//! given config — identical at any crawl thread count — while span
+//! timings are wall-clock and live in a separate, non-compared section.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
+use ss_obs::Registry;
 use ss_types::{DomainName, SimDate};
 
 use ss_crawl::crawler::{Crawler, CrawlerConfig};
@@ -22,6 +36,7 @@ use ss_orders::supplier_scrape::{self, SupplierDataset};
 use ss_orders::transactions::{self, Transaction};
 
 use crate::attribution::{self, Attribution, AttributionConfig};
+use crate::manifest::{self, DayRecord, RunManifest};
 
 /// Study configuration: the scenario plus every §4 programme knob.
 #[derive(Debug, Clone)]
@@ -47,6 +62,9 @@ pub struct StudyConfig {
     pub crawl_end: SimDate,
     /// Days between AWStats collection sweeps (§4.4: "periodically").
     pub awstats_interval: u32,
+    /// Where to write the run manifest; `None` disables the write (the
+    /// manifest is still built and returned in [`StudyOutput`]).
+    pub manifest_path: Option<String>,
 }
 
 impl StudyConfig {
@@ -66,6 +84,7 @@ impl StudyConfig {
             crawl_start: SimDate::from_day_index(ss_types::CRAWL_START_DAY),
             crawl_end: SimDate::from_day_index(crawl_end_day),
             awstats_interval: 14,
+            manifest_path: Some("reports/run_manifest.json".to_owned()),
             scenario,
         }
     }
@@ -80,6 +99,7 @@ impl StudyConfig {
         cfg.attribution.train.epochs = 120;
         cfg.attribution.refine_rounds = 1;
         cfg.awstats_interval = 7;
+        cfg.manifest_path = None;
         cfg
     }
 }
@@ -104,6 +124,10 @@ pub struct StudyOutput {
     pub monitored: Vec<MonitoredVertical>,
     /// Crawl window actually executed.
     pub window: (SimDate, SimDate),
+    /// The run's merged telemetry registry (crawl, eco, orders, pipeline).
+    pub metrics: Registry,
+    /// The run manifest (also written to [`StudyConfig::manifest_path`]).
+    pub manifest: RunManifest,
 }
 
 /// Mutable programme state threaded through the daily stage schedule.
@@ -126,6 +150,9 @@ pub struct StageContext<'a> {
     pub cfg: &'a StudyConfig,
     /// First day of the crawl window (cadence anchors key off it).
     pub start: SimDate,
+    /// The run's telemetry registry; stages record `pipeline.*` metrics
+    /// here and pass it down to metered subsystems.
+    pub obs: &'a Registry,
 }
 
 /// One unit of the daily programme. Implementations must be independent
@@ -146,8 +173,8 @@ impl DailyStage for CrawlStage {
     fn name(&self) -> &'static str {
         "crawl"
     }
-    fn run(&self, _ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate) {
-        state.crawler.crawl_day(world, day);
+    fn run(&self, ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate) {
+        state.crawler.crawl_day_metered(world, day, ctx.obs);
     }
 }
 
@@ -168,6 +195,9 @@ impl DailyStage for EnrollStoresStage {
             if state.sampler.stores.len() >= cap {
                 break;
             }
+            if !state.sampler.stores.contains_key(&domain) {
+                ss_obs::count!(ctx.obs, "pipeline.stores_enrolled");
+            }
             state.sampler.monitor(&domain, &domain);
         }
     }
@@ -181,8 +211,8 @@ impl DailyStage for SamplePairsStage {
     fn name(&self) -> &'static str {
         "purchase-pairs"
     }
-    fn run(&self, _ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate) {
-        state.sampler.sample_day(world, day);
+    fn run(&self, ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate) {
+        state.sampler.sample_day_metered(world, day, ctx.obs);
     }
 }
 
@@ -208,7 +238,9 @@ impl DailyStage for PurchaseStage {
             .take(2)
             .collect();
         for domain in candidates {
+            ss_obs::count!(ctx.obs, "pipeline.purchase_attempts");
             if let Some(tx) = transactions::purchase(world, &domain, day) {
+                ss_obs::count!(ctx.obs, "pipeline.purchases");
                 state.purchased.insert(domain);
                 state.transactions.push(tx);
             }
@@ -228,8 +260,11 @@ impl DailyStage for AwstatsSweepStage {
         if day.days_since(ctx.start) % i64::from(ctx.cfg.awstats_interval) != 0 {
             return;
         }
+        ss_obs::count!(ctx.obs, "pipeline.awstats_sweeps");
         for site in state.crawler.db.detected_store_domains() {
+            ss_obs::count!(ctx.obs, "pipeline.awstats_probes");
             if let Some(report) = analytics::fetch_report(&*world, &site, None) {
+                ss_obs::count!(ctx.obs, "pipeline.awstats_reports");
                 let entry = state.awstats.entry(site).or_default();
                 // Keep at most one report per period (latest wins).
                 entry.retain(|r| r.period != report.period);
@@ -278,13 +313,16 @@ impl Study {
     /// Runs the full programme and returns its outputs.
     pub fn run(self) -> ss_types::Result<StudyOutput> {
         let cfg = self.cfg;
+        let obs = Registry::new();
         let mut world = World::build(cfg.scenario.clone())?;
         let start = cfg.crawl_start;
         let end = cfg.crawl_end;
 
         // Warm the world to the eve of the crawl, then pick terms.
-        world.run_until(start);
-        let monitored = terms::select_all(&world, start, cfg.monitored_terms, cfg.scenario.seed);
+        let monitored = ss_obs::time!(obs, "study.warmup", {
+            world.run_until(start);
+            terms::select_all(&world, start, cfg.monitored_terms, cfg.scenario.seed)
+        });
 
         let mut state = DailyState {
             crawler: Crawler::new(cfg.crawler.clone(), monitored.clone()),
@@ -295,18 +333,32 @@ impl Study {
         };
 
         // ---- the daily programme: run the registered schedule ----
-        let ctx = StageContext { cfg: &cfg, start };
+        let ctx = StageContext { cfg: &cfg, start, obs: &obs };
+        let mut day_records: Vec<DayRecord> = Vec::new();
         for day in SimDate::range_inclusive(start + 1, end) {
-            world.run_until(day);
-            for stage in &self.stages {
-                stage.run(&ctx, &mut state, &mut world, day);
+            let day_clock = Instant::now();
+            {
+                let _day_span = obs.span("study.day");
+                ss_obs::time!(obs, "study.world_tick", world.run_until(day));
+                for stage in &self.stages {
+                    let _stage_span = obs.span(&format!("stage.{}", stage.name()));
+                    stage.run(&ctx, &mut state, &mut world, day);
+                }
             }
+            day_records.push(DayRecord {
+                day: day.day_index(),
+                psrs: state.crawler.db.psrs.len() as u64,
+                test_orders: state.sampler.orders_created as u64,
+                purchases: state.transactions.len() as u64,
+                elapsed_ms: day_clock.elapsed().as_secs_f64() * 1_000.0,
+            });
         }
         let DailyState { crawler, sampler, mut transactions, awstats, purchased: _ } = state;
 
         // ---- post-crawl collection ----
 
         // Supplier discovery via packing slips of completed purchases.
+        let _supplier_span = obs.span("study.supplier");
         let mut supplier = None;
         for tx in &transactions {
             let Ok(host) = DomainName::parse(&tx.store_domain) else { continue };
@@ -338,9 +390,27 @@ impl Study {
             }
         }
 
+        drop(_supplier_span);
+
         // Campaign identification (§4.2).
-        let attribution =
-            attribution::attribute(&world, &crawler.db, &cfg.attribution, cfg.scenario.seed);
+        let attribution = ss_obs::time!(obs, "study.attribution", {
+            attribution::attribute(&world, &crawler.db, &cfg.attribution, cfg.scenario.seed)
+        });
+
+        // Fold the ecosystem's own counters in and assemble the manifest.
+        obs.merge_from(&world.metrics);
+        let stage_names: Vec<&'static str> = self.stages.iter().map(|s| s.name()).collect();
+        let run_manifest = RunManifest {
+            config_hash: manifest::config_hash(&cfg),
+            seed: cfg.scenario.seed,
+            window: ((start + 1).day_index(), end.day_index()),
+            stage_timings: manifest::stage_timings(&obs, &stage_names),
+            headline: manifest::headline(&crawler.db, &sampler, &transactions, &attribution),
+            days: day_records,
+        };
+        if let Some(path) = &cfg.manifest_path {
+            run_manifest.write(&obs, path);
+        }
 
         Ok(StudyOutput {
             world,
@@ -352,6 +422,8 @@ impl Study {
             attribution,
             monitored,
             window: (start + 1, end),
+            metrics: obs,
+            manifest: run_manifest,
         })
     }
 }

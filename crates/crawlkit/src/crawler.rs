@@ -27,11 +27,22 @@
 //! mutation happens. Because worker output depends only on
 //! `(world, snapshot, vertical, day)` and the reduce order is fixed, the
 //! database is bit-identical at any thread count, including one.
+//!
+//! # Telemetry
+//!
+//! Workers record per-vertical counters (fetches, detections, PSR hits,
+//! store visits) into a private [`ss_obs::Registry`] carried alongside
+//! the event log, and the reduce merges those registries into the
+//! caller's registry strictly in vertical order — the same replay rule
+//! the database follows, so instrumented runs stay bit-identical at any
+//! thread count (counter/histogram merging is integer addition and
+//! order-insensitive besides).
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use ss_obs::Registry;
 use ss_types::{SimDate, Url};
 use ss_web::http::{Fetcher, Request, UserAgent};
 
@@ -114,10 +125,12 @@ enum CrawlEvent {
     StoreVisit { domain: String, outcome: StoreObservation },
 }
 
-/// A vertical worker's complete output for one day.
+/// A vertical worker's complete output for one day: the event log, the
+/// SERP tallies, and the worker's private metric registry.
 struct VerticalLog {
     count: DailyCount,
     events: Vec<CrawlEvent>,
+    metrics: Registry,
 }
 
 /// The crawler: monitored terms plus accumulated database.
@@ -147,18 +160,27 @@ impl Crawler {
     /// Crawls one day across all monitored verticals: snapshot, map
     /// (possibly threaded), then an ordered reduce. The world is only
     /// read — crawling never perturbs the ecosystem it measures.
+    /// Telemetry is discarded; use [`Crawler::crawl_day_metered`] to keep it.
     pub fn crawl_day(&mut self, world: &World, day: SimDate) {
+        self.crawl_day_metered(world, day, &Registry::new());
+    }
+
+    /// [`Crawler::crawl_day`], recording crawl telemetry into `obs`:
+    /// per-vertical fetch/detection/PSR counters and rank histograms,
+    /// aggregated from per-worker registries merged in vertical order.
+    pub fn crawl_day_metered(&mut self, world: &World, day: SimDate, obs: &Registry) {
+        let _span = obs.span("crawl.day");
         let snap = self.snapshot();
         let n = self.monitored.len();
         let logs = if self.cfg.threads <= 1 || n <= 1 {
             (0..n)
-                .map(|vi| crawl_vertical(world, &self.cfg, &snap, &self.monitored[vi].terms, vi, day))
+                .map(|vi| crawl_vertical(world, &self.cfg, &snap, &self.monitored[vi], vi, day))
                 .collect()
         } else {
             self.map_parallel(world, &snap, day)
         };
         for (vi, log) in logs.into_iter().enumerate() {
-            self.apply_log(day, vi as u16, log);
+            self.apply_log(day, vi as u16, log, obs);
         }
     }
 
@@ -178,7 +200,7 @@ impl Crawler {
                     if vi >= n {
                         break;
                     }
-                    let log = crawl_vertical(world, cfg, snap, &monitored[vi].terms, vi, day);
+                    let log = crawl_vertical(world, cfg, snap, &monitored[vi], vi, day);
                     slots.lock().expect("no worker panicked holding the lock")[vi] = Some(log);
                 });
             }
@@ -213,9 +235,12 @@ impl Crawler {
         snap
     }
 
-    /// Reduce: replays one vertical's event log into the database. This is
-    /// the only place crawl results touch the interner or the maps.
-    fn apply_log(&mut self, day: SimDate, vertical: u16, log: VerticalLog) {
+    /// Reduce: replays one vertical's event log into the database (the
+    /// only place crawl results touch the interner or the maps) and folds
+    /// the worker's metric registry into the caller's — in vertical
+    /// order, mirroring the event-replay determinism rule.
+    fn apply_log(&mut self, day: SimDate, vertical: u16, log: VerticalLog, obs: &Registry) {
+        obs.merge_from(&log.metrics);
         for event in log.events {
             match event {
                 CrawlEvent::Seen { domain } => {
@@ -383,15 +408,18 @@ impl Crawler {
 
 /// The pure map phase for one vertical: crawl every monitored term's SERP
 /// against `&World`, deciding each domain from the frozen snapshot plus a
-/// thread-local overlay of this day's own discoveries.
+/// thread-local overlay of this day's own discoveries. Counters land in
+/// the log's private registry, labeled with the vertical name.
 fn crawl_vertical(
     world: &World,
     cfg: &CrawlerConfig,
     snap: &DbSnapshot,
-    terms: &[String],
+    mv: &MonitoredVertical,
     vi: usize,
     day: SimDate,
 ) -> VerticalLog {
+    let vertical = mv.name.as_str();
+    let metrics = Registry::new();
     // This vertical's same-day discoveries, layered over the snapshot so a
     // domain appearing under several terms is only detected once — the
     // same memoization the sequential crawler got from its database.
@@ -408,10 +436,12 @@ fn crawl_vertical(
     };
     let mut events: Vec<CrawlEvent> = Vec::new();
 
-    for term in terms {
+    for term in &mv.terms {
         let Some(results) = query_by_text(world, term, day, cfg.serp_depth) else {
             continue;
         };
+        ss_obs::count!(metrics, "crawl.serp_queries", 1, vertical = vertical);
+        ss_obs::observe!(metrics, "crawl.serp_results", results.len());
         for (rank, url, labeled) in results {
             count.total_seen += 1;
             if rank <= 10 {
@@ -424,6 +454,8 @@ fn crawl_vertical(
                 events.push(CrawlEvent::Seen { domain: name.to_owned() });
                 // Known poisoned: periodic cheap landing re-verification.
                 if day.days_since(info.last_verified) >= i64::from(cfg.reverify_days) {
+                    ss_obs::count!(metrics, "crawl.fetches", 1, vertical = vertical);
+                    ss_obs::count!(metrics, "crawl.reverifies", 1, vertical = vertical);
                     let verdict = match info.signal {
                         CloakSignal::Iframe => vangogh::check(world, &url, term, cfg.max_hops),
                         _ => dagger::check(world, &url, term, cfg.max_hops),
@@ -438,7 +470,7 @@ fn crawl_vertical(
                         landing: landing.as_ref().map(|l| l.host.as_str().to_owned()),
                     });
                     if let Some(landing) = landing {
-                        events.push(visit_store(world, &landing));
+                        events.push(visit_store(world, &landing, &metrics, vertical));
                     }
                 }
                 true
@@ -447,17 +479,23 @@ fn crawl_vertical(
             } else {
                 // First sighting: run the detection stack — Dagger, then a
                 // rendering pass within the per-domain budget.
+                ss_obs::count!(metrics, "crawl.fetches", 2, vertical = vertical);
+                ss_obs::count!(metrics, "crawl.detector_runs", 1, vertical = vertical);
                 let mut verdict = dagger::check(world, &url, term, cfg.max_hops);
                 if verdict.cloaked.is_none() && cfg.render_sample > 0 {
+                    ss_obs::count!(metrics, "crawl.fetches", 1, vertical = vertical);
+                    ss_obs::count!(metrics, "crawl.render_passes", 1, vertical = vertical);
                     verdict = vangogh::check(world, &url, term, cfg.max_hops);
                 }
                 match verdict.cloaked {
                     None => {
+                        ss_obs::count!(metrics, "crawl.clean_verdicts", 1, vertical = vertical);
                         local_clean.insert(name.to_owned());
                         events.push(CrawlEvent::Clean { domain: name.to_owned() });
                         false
                     }
                     Some(signal) => {
+                        ss_obs::count!(metrics, "crawl.cloak_detections", 1, vertical = vertical);
                         local_poisoned.insert(
                             name.to_owned(),
                             PoisonSnap { signal, last_verified: day },
@@ -469,7 +507,7 @@ fn crawl_vertical(
                             landing: landing.as_ref().map(|l| l.host.as_str().to_owned()),
                         });
                         if let Some(landing) = landing {
-                            events.push(visit_store(world, &landing));
+                            events.push(visit_store(world, &landing, &metrics, vertical));
                         }
                         true
                     }
@@ -477,6 +515,8 @@ fn crawl_vertical(
             };
 
             if poisoned {
+                ss_obs::count!(metrics, "crawl.psrs", 1, vertical = vertical);
+                ss_obs::observe!(metrics, "crawl.psr_rank", rank);
                 count.total_poisoned += 1;
                 if rank <= 10 {
                     count.top10_poisoned += 1;
@@ -492,12 +532,14 @@ fn crawl_vertical(
             }
         }
     }
-    VerticalLog { count, events }
+    VerticalLog { count, events, metrics }
 }
 
 /// Visits a landing (store) domain read-only: store detection, HTML
 /// capture, seizure observation — packaged as an event for the reduce.
-fn visit_store(world: &World, landing: &Url) -> CrawlEvent {
+fn visit_store(world: &World, landing: &Url, metrics: &Registry, vertical: &str) -> CrawlEvent {
+    ss_obs::count!(metrics, "crawl.fetches", 1, vertical = vertical);
+    ss_obs::count!(metrics, "crawl.store_visits", 1, vertical = vertical);
     let root = Url::root(landing.host.clone());
     let (resp, _) = world.fetch(&Request {
         url: root,
@@ -506,6 +548,7 @@ fn visit_store(world: &World, landing: &Url) -> CrawlEvent {
     });
     let domain = landing.host.as_str().to_owned();
     if let Some(notice) = stores::parse_seizure_notice(&resp.body) {
+        ss_obs::count!(metrics, "crawl.seizure_notices", 1, vertical = vertical);
         return CrawlEvent::StoreVisit { domain, outcome: StoreObservation::Notice(notice) };
     }
     let verdict = stores::detect_store(&resp.body, &resp.cookies);
@@ -525,7 +568,7 @@ mod tests {
     use crate::terms;
     use ss_eco::ScenarioConfig;
 
-    fn crawl_world_threaded(days: u32, threads: usize) -> (World, Crawler) {
+    fn crawl_world_threaded(days: u32, threads: usize) -> (World, Crawler, Registry) {
         let mut w = World::build(ScenarioConfig::tiny(23)).unwrap();
         let start = SimDate::from_day_index(ss_types::CRAWL_START_DAY);
         w.run_until(start);
@@ -534,16 +577,18 @@ mod tests {
             CrawlerConfig { serp_depth: 30, threads, ..CrawlerConfig::default() },
             monitored,
         );
+        let obs = Registry::new();
         for d in 0..days {
             let day = start + 1 + d;
             w.run_until(day);
-            crawler.crawl_day(&w, day);
+            crawler.crawl_day_metered(&w, day, &obs);
         }
-        (w, crawler)
+        (w, crawler, obs)
     }
 
     fn crawl_world(days: u32) -> (World, Crawler) {
-        crawl_world_threaded(days, 1)
+        let (w, crawler, _) = crawl_world_threaded(days, 1);
+        (w, crawler)
     }
 
     #[test]
@@ -613,9 +658,17 @@ mod tests {
     /// and both interners — is bit-identical at any thread count.
     #[test]
     fn crawl_is_bit_identical_across_thread_counts() {
-        let (_w1, serial) = crawl_world_threaded(5, 1);
+        let (_w1, serial, serial_obs) = crawl_world_threaded(5, 1);
         for threads in [2, 8] {
-            let (_w, parallel) = crawl_world_threaded(5, threads);
+            let (_w, parallel, parallel_obs) = crawl_world_threaded(5, threads);
+            // Telemetry follows the same replay rule as the database:
+            // per-worker registries merged in vertical order, so the
+            // deterministic half renders byte-identically.
+            assert_eq!(
+                serial_obs.metrics_json(),
+                parallel_obs.metrics_json(),
+                "{threads} threads: merged metric registries differ"
+            );
             assert_eq!(serial.db.psrs, parallel.db.psrs, "{threads} threads: PSRs differ");
             assert_eq!(
                 serial.db.daily_counts, parallel.db.daily_counts,
@@ -646,5 +699,21 @@ mod tests {
             }
             assert_eq!(serial.clean, parallel.clean, "{threads} threads: clean sets differ");
         }
+    }
+
+    /// The crawl records a meaningful per-vertical metric surface: fetch,
+    /// detection, and PSR counters plus the rank histogram, all labeled.
+    #[test]
+    fn crawl_metrics_cover_fetches_detections_and_psrs() {
+        let (_w, crawler, obs) = crawl_world_threaded(5, 2);
+        assert!(obs.counter_total("crawl.serp_queries") > 0);
+        assert!(obs.counter_total("crawl.fetches") > 0);
+        assert!(obs.counter_total("crawl.cloak_detections") > 0);
+        assert_eq!(obs.counter_total("crawl.psrs"), crawler.db.psrs.len() as u64);
+        let ranks = obs.histogram("crawl.psr_rank").expect("rank histogram recorded");
+        assert_eq!(ranks.count(), crawler.db.psrs.len() as u64);
+        assert!(ranks.max().unwrap_or(0) <= 30, "ranks bounded by crawl depth");
+        // Labels carry the vertical name.
+        assert!(obs.metric_names().iter().any(|n| n.starts_with("crawl.psrs{vertical=")));
     }
 }

@@ -93,6 +93,10 @@ pub struct World {
     /// World-tick RNG.
     pub(crate) rng: SimRng,
     next_case: u32,
+    /// Telemetry registry: ecosystem-side counters and histograms
+    /// (`eco.*`), recorded as ticks execute. Deterministic for a given
+    /// seed — the tick plane is single-threaded.
+    pub metrics: ss_obs::Registry,
 }
 
 impl World {
@@ -127,6 +131,7 @@ impl World {
             templates: Vec::new(),
             rng: sub_rng(seed, "world-tick"),
             next_case: 0,
+            metrics: ss_obs::Registry::new(),
         }
     }
 
@@ -255,6 +260,7 @@ impl World {
                 self.engine.label_hacked(domain, today);
             }
             self.campaigns[ci].doorways[di].penalized = Some(today);
+            ss_obs::count!(self.metrics, "eco.doorways_penalized");
             self.events.push(Event::DoorwayPenalized {
                 domain,
                 day: today,
@@ -335,6 +341,9 @@ impl World {
     fn execute_case(&mut self, firm: FirmId, brand: BrandId, today: SimDate, domains: Vec<DomainId>) {
         let case = CaseId(self.next_case);
         self.next_case += 1;
+        ss_obs::count!(self.metrics, "eco.seizure_cases");
+        ss_obs::count!(self.metrics, "eco.domains_seized", domains.len());
+        ss_obs::observe!(self.metrics, "eco.case_size", domains.len());
         for &d in &domains {
             self.domains.seize(d, Seizure { day: today, case, firm });
             // Stores whose current domain was seized schedule a reactive
@@ -385,9 +394,16 @@ impl World {
             }
             match st.rotate_domain(today) {
                 Some((from, to)) => {
+                    ss_obs::count!(
+                        self.metrics,
+                        "eco.store_rotations",
+                        1,
+                        reactive = reactive
+                    );
                     self.events.push(Event::StoreRotated { store, day: today, from, to, reactive });
                 }
                 None => {
+                    ss_obs::count!(self.metrics, "eco.stores_folded");
                     // Pool exhausted: the store folds; its doorways re-point
                     // to a sibling store in the same campaign if one lives.
                     st.retired = true;
@@ -482,6 +498,8 @@ impl World {
             if !self.payment_available(self.stores[si].campaign, today) {
                 orders = 0;
             }
+            ss_obs::count!(self.metrics, "eco.store_visits", visits);
+            ss_obs::count!(self.metrics, "eco.orders", orders);
             let st = &mut self.stores[si];
             st.add_orders(orders);
             st.record_traffic(today, visits, pages, &referred, direct);

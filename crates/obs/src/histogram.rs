@@ -1,0 +1,199 @@
+//! Fixed log-scale histograms over unsigned integer observations.
+//!
+//! Buckets are powers of two: bucket 0 holds the value `0`, bucket `i`
+//! (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i)`. The bounds are fixed at
+//! compile time, so merging two histograms is a plain element-wise sum —
+//! associative, commutative, and bit-exact regardless of merge order
+//! (observations are integers; no floating-point accumulation anywhere).
+//! Quantiles are bucket-resolution approximations: the reported `p50`/`p95`
+//! is the inclusive upper bound of the bucket where the cumulative count
+//! crosses the rank. `min`, `max`, and `sum` are exact.
+
+/// Number of buckets: one for zero plus one per bit width of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A mergeable log-scale histogram of `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+/// Bucket index for a value: 0 for zero, else the value's bit width.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one. Element-wise integer sums,
+    /// so the result is independent of merge order and grouping.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Bucket-resolution quantile: the upper bound of the bucket where the
+    /// cumulative count reaches `q · count`. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                // The extreme buckets are exact: nothing above max or
+                // below min can be in them.
+                return Some(bucket_bound(i).min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (bucket resolution).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket resolution).
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs, in
+    /// ascending bound order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| (bucket_bound(i), *n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log_scale() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn stats_are_exact_quantiles_bucketed() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        // p50 rank 3 → value 3 lives in bucket [2,3] → bound 3.
+        assert_eq!(h.p50(), Some(3));
+        // p95 rank 5 → bucket of 1000 is [512,1023], capped at max.
+        assert_eq!(h.p95(), Some(1000));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn merge_equals_interleaved_observation() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..200u64 {
+            if v % 3 == 0 { a.observe(v * 7) } else { b.observe(v * 7) }
+            whole.observe(v * 7);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        // And the other order, bit-identically.
+        let mut merged2 = b.clone();
+        merged2.merge(&a);
+        assert_eq!(merged2, whole);
+    }
+}

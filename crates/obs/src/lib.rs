@@ -1,0 +1,261 @@
+//! # ss-obs
+//!
+//! Zero-dependency telemetry for the study pipeline: a thread-safe
+//! [`Registry`] of named [`Counter`](Registry::count)s, log-scale
+//! [`Histogram`]s (fixed power-of-two buckets with `p50`/`p95`/`max`),
+//! and RAII [`SpanTimer`]s with exclusive-time accounting — plus label
+//! support (`crawl.psr{vertical=Uggs}`), a macro-lite recording API
+//! ([`count!`], [`observe!`], [`time!`]), registry merging, and JSON
+//! export through the vendored `serde_json`.
+//!
+//! ## Determinism contract
+//!
+//! The registry is split into a **deterministic half** (counters and
+//! histograms — pure integer aggregates of what the program *did*) and a
+//! **wall-clock half** (span timings). [`Registry::merge_from`] on the
+//! deterministic half is associative and commutative, so per-worker
+//! registries merged in any fixed order reproduce the single-threaded
+//! registry bit-for-bit; [`Registry::metrics_json`] exports only that
+//! half and is the string thread-matrix tests compare. Span timings are
+//! exported separately ([`Registry::spans_value`]) and never participate
+//! in determinism checks.
+//!
+//! ## Usage
+//!
+//! ```
+//! use ss_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! ss_obs::count!(reg, "crawl.fetch");
+//! ss_obs::count!(reg, "crawl.fetch", 2, vertical = "Uggs");
+//! ss_obs::observe!(reg, "crawl.psr_rank", 7);
+//! let answer = ss_obs::time!(reg, "stage.crawl", { 6 * 7 });
+//! assert_eq!(answer, 42);
+//! assert_eq!(reg.counter_total("crawl.fetch"), 3);
+//! assert_eq!(reg.counter("crawl.fetch{vertical=Uggs}"), 2);
+//! assert_eq!(reg.span_stats("stage.crawl").unwrap().count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+mod span;
+
+pub use histogram::{Histogram, BUCKETS};
+pub use registry::{MetricKey, Registry};
+pub use span::{SpanStats, SpanTimer};
+
+/// Increments a counter: `count!(reg, "name")`, `count!(reg, "name", n)`,
+/// or with labels `count!(reg, "name", n, vertical = name, kind = "x")`.
+#[macro_export]
+macro_rules! count {
+    ($reg:expr, $name:expr) => {
+        $reg.count($name, 1)
+    };
+    ($reg:expr, $name:expr, $n:expr) => {
+        $reg.count($name, $n as u64)
+    };
+    ($reg:expr, $name:expr, $n:expr, $($k:ident = $v:expr),+ $(,)?) => {
+        $reg.count_with($name, &[$((stringify!($k), &*$v.to_string())),+], $n as u64)
+    };
+}
+
+/// Records a histogram observation: `observe!(reg, "name", value)`, or
+/// with labels `observe!(reg, "name", value, vertical = name)`.
+#[macro_export]
+macro_rules! observe {
+    ($reg:expr, $name:expr, $v:expr) => {
+        $reg.observe($name, $v as u64)
+    };
+    ($reg:expr, $name:expr, $v:expr, $($k:ident = $lv:expr),+ $(,)?) => {
+        $reg.observe_with($name, &[$((stringify!($k), &*$lv.to_string())),+], $v as u64)
+    };
+}
+
+/// Times an expression under a span name and evaluates to its value:
+/// `let x = time!(reg, "stage.crawl", { expensive() });`.
+#[macro_export]
+macro_rules! time {
+    ($reg:expr, $name:expr, $body:expr) => {{
+        let _obs_span_guard = $reg.span($name);
+        $body
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::proptest;
+
+    #[test]
+    fn labels_are_order_insensitive() {
+        let reg = Registry::new();
+        reg.count_with("m", &[("b", "2"), ("a", "1")], 1);
+        reg.count_with("m", &[("a", "1"), ("b", "2")], 2);
+        assert_eq!(reg.counter("m{a=1,b=2}"), 3);
+        assert_eq!(reg.metric_names(), vec!["m{a=1,b=2}".to_owned()]);
+    }
+
+    #[test]
+    fn merge_folds_counters_histograms_and_spans() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.count("c", 2);
+        b.count("c", 3);
+        a.observe("h", 10);
+        b.observe("h", 20);
+        a.span_enter();
+        a.span_exit("s", 100);
+        b.span_enter();
+        b.span_exit("s", 50);
+        a.merge_from(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        let s = a.span_stats("s").unwrap();
+        assert_eq!((s.count, s.total_ns, s.max_ns), (2, 150, 100));
+    }
+
+    #[test]
+    fn metrics_json_excludes_spans_to_json_includes_them() {
+        let reg = Registry::new();
+        reg.count("c", 1);
+        let _t = reg.span("wall");
+        drop(_t);
+        assert!(!reg.metrics_json().contains("wall"));
+        assert!(reg.to_json().contains("wall"));
+    }
+
+    #[test]
+    fn span_timer_nests_via_raii() {
+        let reg = Registry::new();
+        {
+            let _outer = reg.span("outer");
+            let _inner = reg.span("inner");
+        }
+        let outer = reg.span_stats("outer").unwrap();
+        let inner = reg.span_stats("inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // The child's full elapsed time was carved out of the parent.
+        assert!(outer.total_ns >= inner.total_ns);
+        assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+        // The child had no children: all its time is self time.
+        assert_eq!(inner.self_ns, inner.total_ns);
+    }
+
+    /// Replays a generated sequence of counter increments split across
+    /// `k` registries, merged in two different groupings; both must equal
+    /// the registry that saw every increment directly.
+    fn counters_by_split(ops: &[(u8, u8, u32)]) -> (Registry, Registry, Registry) {
+        let direct = Registry::new();
+        let parts: Vec<Registry> = (0..4).map(|_| Registry::new()).collect();
+        for (part, name, n) in ops {
+            let name = format!("c{}", name % 5);
+            direct.count(&name, u64::from(*n));
+            parts[(*part % 4) as usize].count(&name, u64::from(*n));
+        }
+        // Left fold: ((p0 + p1) + p2) + p3.
+        let left = Registry::new();
+        for p in &parts {
+            left.merge_from(p);
+        }
+        // Right-ish fold with a different association and order:
+        // p3 + (p2 + (p1 + p0)).
+        let right = Registry::new();
+        for p in parts.iter().rev() {
+            right.merge_from(p);
+        }
+        (direct, left, right)
+    }
+
+    proptest! {
+        /// Counter merge is associative and commutative: any grouping or
+        /// order of per-worker registries equals direct recording.
+        #[test]
+        fn counter_merge_is_associative_and_commutative(
+            ops in proptest::collection::vec((0u8..4, 0u8..5, 0u32..1000), 0..64)
+        ) {
+            let (direct, left, right) = counters_by_split(&ops);
+            assert_eq!(direct.metrics_json(), left.metrics_json());
+            assert_eq!(direct.metrics_json(), right.metrics_json());
+        }
+
+        /// Histogram merge is order-independent: observations scattered
+        /// across workers and merged in opposite orders produce the exact
+        /// histogram of the full observation stream.
+        #[test]
+        fn histogram_merge_is_order_independent(
+            obs in proptest::collection::vec((0u8..4, 0u64..1_000_000), 0..64)
+        ) {
+            let direct = Registry::new();
+            let parts: Vec<Registry> = (0..4).map(|_| Registry::new()).collect();
+            for (part, v) in &obs {
+                direct.observe("h", *v);
+                parts[(*part % 4) as usize].observe("h", *v);
+            }
+            let fwd = Registry::new();
+            for p in &parts {
+                fwd.merge_from(p);
+            }
+            let rev = Registry::new();
+            for p in parts.iter().rev() {
+                rev.merge_from(p);
+            }
+            assert_eq!(direct.metrics_json(), fwd.metrics_json());
+            assert_eq!(direct.metrics_json(), rev.metrics_json());
+            assert_eq!(direct.histogram("h"), fwd.histogram("h"));
+        }
+
+        /// Span nesting never double-counts: for any well-formed nesting
+        /// replayed through `span_enter`/`span_exit` with synthetic
+        /// durations, the exclusive (self) times across all spans sum
+        /// exactly to the root spans' total elapsed time — every
+        /// nanosecond attributed once, none twice.
+        #[test]
+        fn span_nesting_never_double_counts(
+            shape in proptest::collection::vec((0u8..3, 0u8..2, 1u64..1_000_000), 1..32)
+        ) {
+            let reg = Registry::new();
+            // Shadow stack mirroring the registry's frames: each open span
+            // carries its own exclusive work `own` and accumulates its
+            // children's elapsed time, exactly like a real timed region.
+            let mut shadow: Vec<(String, u64, u64)> = Vec::new(); // (name, own, child)
+            let mut roots_elapsed = 0u64;
+            let mut own_work_total = 0u64;
+            let close_innermost = |reg: &Registry,
+                                       shadow: &mut Vec<(String, u64, u64)>,
+                                       roots: &mut u64| {
+                let Some((name, own, child)) = shadow.pop() else { return };
+                let elapsed = own + child;
+                reg.span_exit(&name, elapsed);
+                match shadow.last_mut() {
+                    Some(parent) => parent.2 += elapsed,
+                    None => *roots += elapsed,
+                }
+            };
+            for (kind, close_after, dur) in &shape {
+                let name = format!("s{kind}");
+                reg.span_enter();
+                shadow.push((name, *dur, 0));
+                own_work_total += *dur;
+                if *close_after == 1 {
+                    close_innermost(&reg, &mut shadow, &mut roots_elapsed);
+                }
+            }
+            while !shadow.is_empty() {
+                close_innermost(&reg, &mut shadow, &mut roots_elapsed);
+            }
+            let sum_self: u64 = reg.spans().iter().map(|(_, s)| s.self_ns).sum();
+            // Exclusive times partition the root elapsed exactly: nothing
+            // double-counted (sum equals the work actually performed),
+            // nothing lost (it also equals the roots' elapsed total).
+            // Note `total_ns` is *inclusive* and aggregates per name, so
+            // it can legitimately exceed the roots' elapsed when a span
+            // nests inside a same-named span; only self time partitions.
+            assert_eq!(sum_self, roots_elapsed);
+            assert_eq!(sum_self, own_work_total);
+        }
+    }
+}

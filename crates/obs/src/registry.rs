@@ -1,0 +1,299 @@
+//! The metric registry: named counters, histograms, and span aggregates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use serde::Value;
+
+use crate::histogram::Histogram;
+use crate::span::{self, SpanStats, SpanTimer};
+
+/// A metric identity: a name plus an ordered set of label pairs.
+///
+/// Rendered as `name` or `name{k=v,k2=v2}` with labels sorted by key, so
+/// the same logical metric always maps to the same key no matter how the
+/// labels were listed at the call site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key; labels are sorted by label name.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect();
+        labels.sort();
+        MetricKey { name: name.to_owned(), labels }
+    }
+
+    /// The metric name without labels.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.labels.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A thread-safe registry of counters, histograms, and span timings.
+///
+/// All mutation goes through `&self`, so a registry can be shared freely
+/// across stages and threads. Counters and histograms are pure integer
+/// aggregates: [`Registry::merge_from`] is associative and commutative,
+/// and the deterministic export ([`Registry::metrics_json`]) contains
+/// only them — span timings are wall-clock and live in a separate
+/// section so run-to-run comparisons stay bit-stable.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<MetricKey, u64>>,
+    histograms: Mutex<BTreeMap<MetricKey, Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- counters ----
+
+    /// Adds `n` to the unlabeled counter `name`.
+    pub fn count(&self, name: &str, n: u64) {
+        self.count_with(name, &[], n);
+    }
+
+    /// Adds `n` to the counter `name` with the given labels.
+    pub fn count_with(&self, name: &str, labels: &[(&str, &str)], n: u64) {
+        let mut counters = self.counters.lock().expect("obs counters poisoned");
+        *counters.entry(MetricKey::new(name, labels)).or_insert(0) += n;
+    }
+
+    /// Current value of a counter by rendered key (`name` or
+    /// `name{k=v}`), 0 when absent. Label-blind totals are available via
+    /// [`Registry::counter_total`].
+    pub fn counter(&self, rendered: &str) -> u64 {
+        let counters = self.counters.lock().expect("obs counters poisoned");
+        counters.iter().find(|(k, _)| k.to_string() == rendered).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Sum of every counter sharing `name`, across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        let counters = self.counters.lock().expect("obs counters poisoned");
+        counters.iter().filter(|(k, _)| k.name() == name).map(|(_, v)| *v).sum()
+    }
+
+    // ---- histograms ----
+
+    /// Records an observation into the unlabeled histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.observe_with(name, &[], value);
+    }
+
+    /// Records an observation into the histogram `name` with labels.
+    pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let mut hists = self.histograms.lock().expect("obs histograms poisoned");
+        hists.entry(MetricKey::new(name, labels)).or_default().observe(value);
+    }
+
+    /// Snapshot of a histogram by rendered key.
+    pub fn histogram(&self, rendered: &str) -> Option<Histogram> {
+        let hists = self.histograms.lock().expect("obs histograms poisoned");
+        hists.iter().find(|(k, _)| k.to_string() == rendered).map(|(_, h)| h.clone())
+    }
+
+    // ---- spans ----
+
+    /// Opens a wall-clock span; it records itself under `name` when the
+    /// returned guard drops. Spans opened while another span is live on
+    /// the same thread count as its children for self-time accounting.
+    pub fn span(&self, name: &str) -> SpanTimer<'_> {
+        SpanTimer::new(self, name)
+    }
+
+    /// Manually opens a span frame (the testable half of [`Registry::span`]).
+    /// Every `span_enter` must be paired with exactly one [`Registry::span_exit`]
+    /// on the same thread, in LIFO order.
+    pub fn span_enter(&self) {
+        span::enter_frame();
+    }
+
+    /// Manually closes the innermost span frame as `name` with a caller-
+    /// supplied duration. Records count/total/max and exclusive self time
+    /// (children's elapsed subtracted), and credits `elapsed_ns` to the
+    /// parent frame.
+    pub fn span_exit(&self, name: &str, elapsed_ns: u64) {
+        let child_ns = span::exit_frame(elapsed_ns);
+        let mut spans = self.spans.lock().expect("obs spans poisoned");
+        let stats = spans.entry(name.to_owned()).or_default();
+        stats.count += 1;
+        stats.total_ns = stats.total_ns.saturating_add(elapsed_ns);
+        stats.self_ns = stats.self_ns.saturating_add(elapsed_ns.saturating_sub(child_ns));
+        stats.max_ns = stats.max_ns.max(elapsed_ns);
+    }
+
+    /// Aggregate for one span name.
+    pub fn span_stats(&self, name: &str) -> Option<SpanStats> {
+        let spans = self.spans.lock().expect("obs spans poisoned");
+        spans.get(name).copied()
+    }
+
+    /// All span aggregates, sorted by name.
+    pub fn spans(&self) -> Vec<(String, SpanStats)> {
+        let spans = self.spans.lock().expect("obs spans poisoned");
+        spans.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    // ---- merge ----
+
+    /// Folds another registry's contents into this one. Counter and
+    /// histogram merging is integer addition, so any merge order or
+    /// grouping produces the identical registry; span aggregates merge
+    /// the same way on their nanosecond totals.
+    pub fn merge_from(&self, other: &Registry) {
+        {
+            let theirs = other.counters.lock().expect("obs counters poisoned");
+            let mut ours = self.counters.lock().expect("obs counters poisoned");
+            for (k, v) in theirs.iter() {
+                *ours.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+        {
+            let theirs = other.histograms.lock().expect("obs histograms poisoned");
+            let mut ours = self.histograms.lock().expect("obs histograms poisoned");
+            for (k, h) in theirs.iter() {
+                ours.entry(k.clone()).or_default().merge(h);
+            }
+        }
+        {
+            let theirs = other.spans.lock().expect("obs spans poisoned");
+            let mut ours = self.spans.lock().expect("obs spans poisoned");
+            for (k, s) in theirs.iter() {
+                ours.entry(k.clone()).or_default().merge(s);
+            }
+        }
+    }
+
+    /// Rendered keys of every counter and histogram, sorted.
+    pub fn metric_names(&self) -> Vec<String> {
+        let counters = self.counters.lock().expect("obs counters poisoned");
+        let hists = self.histograms.lock().expect("obs histograms poisoned");
+        let mut names: Vec<String> = counters
+            .keys()
+            .map(MetricKey::to_string)
+            .chain(hists.keys().map(MetricKey::to_string))
+            .collect();
+        names.sort();
+        names
+    }
+
+    // ---- export ----
+
+    /// The deterministic half of the registry — counters and histograms,
+    /// sorted by rendered key — as a JSON value tree. Two runs of the
+    /// same deterministic program produce byte-identical output here, at
+    /// any thread count; wall-clock spans are deliberately excluded.
+    pub fn metrics_value(&self) -> Value {
+        let counters = self.counters.lock().expect("obs counters poisoned");
+        let hists = self.histograms.lock().expect("obs histograms poisoned");
+        let counter_map: Vec<(String, Value)> =
+            counters.iter().map(|(k, v)| (k.to_string(), Value::UInt(*v))).collect();
+        let hist_map: Vec<(String, Value)> = hists
+            .iter()
+            .map(|(k, h)| {
+                let buckets = h
+                    .nonzero_buckets()
+                    .into_iter()
+                    .map(|(bound, n)| Value::Seq(vec![Value::UInt(bound), Value::UInt(n)]))
+                    .collect();
+                (
+                    k.to_string(),
+                    Value::Map(vec![
+                        ("count".into(), Value::UInt(h.count())),
+                        ("sum".into(), Value::UInt(u64::try_from(h.sum()).unwrap_or(u64::MAX))),
+                        ("min".into(), opt_uint(h.min())),
+                        ("max".into(), opt_uint(h.max())),
+                        ("p50".into(), opt_uint(h.p50())),
+                        ("p95".into(), opt_uint(h.p95())),
+                        ("buckets".into(), Value::Seq(buckets)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Map(vec![
+            ("counters".into(), Value::Map(counter_map)),
+            ("histograms".into(), Value::Map(hist_map)),
+        ])
+    }
+
+    /// Span timings as a JSON value tree (milliseconds, wall-clock — not
+    /// comparable across runs; see [`Registry::metrics_value`]).
+    pub fn spans_value(&self) -> Value {
+        let spans = self.spans.lock().expect("obs spans poisoned");
+        let map = spans
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    Value::Map(vec![
+                        ("count".into(), Value::UInt(s.count)),
+                        ("total_ms".into(), Value::Float(ns_to_ms(s.total_ns))),
+                        ("self_ms".into(), Value::Float(ns_to_ms(s.self_ns))),
+                        ("max_ms".into(), Value::Float(ns_to_ms(s.max_ns))),
+                        (
+                            "mean_ms".into(),
+                            Value::Float(if s.count == 0 {
+                                0.0
+                            } else {
+                                ns_to_ms(s.total_ns) / s.count as f64
+                            }),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Map(map)
+    }
+
+    /// Deterministic metrics (counters + histograms) as pretty JSON.
+    /// Bit-identical across runs and thread counts of a deterministic
+    /// program — the string the thread-matrix tests compare.
+    pub fn metrics_json(&self) -> String {
+        serde_json::to_string_pretty(&self.metrics_value()).expect("value tree renders")
+    }
+
+    /// Full registry — metrics plus wall-clock spans — as pretty JSON.
+    pub fn to_json(&self) -> String {
+        let Value::Map(mut root) = self.metrics_value() else { unreachable!("metrics are a map") };
+        root.push(("spans".into(), self.spans_value()));
+        serde_json::to_string_pretty(&Value::Map(root)).expect("value tree renders")
+    }
+}
+
+fn opt_uint(v: Option<u64>) -> Value {
+    match v {
+        Some(v) => Value::UInt(v),
+        None => Value::Null,
+    }
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1.0e6
+}

@@ -1,0 +1,90 @@
+//! RAII span timing with exclusive-time accounting.
+//!
+//! A [`SpanTimer`](crate::SpanTimer) measures the wall-clock time between
+//! its creation and drop and records it under the span's name. Spans nest:
+//! each thread keeps a stack of open frames, and when a span closes its
+//! elapsed time is credited to the enclosing frame as *child time*. A
+//! span's **self time** is its elapsed time minus its children's elapsed
+//! time, so summing self time over every span never double-counts a
+//! nanosecond — the invariant the property tests pin down.
+//!
+//! The stack manipulation is separated from the clock
+//! ([`Registry::span_enter`](crate::Registry::span_enter) /
+//! [`Registry::span_exit`](crate::Registry::span_exit) take the elapsed
+//! nanoseconds as an argument) so the accounting logic is deterministic
+//! and testable without sleeping.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::Registry;
+
+thread_local! {
+    /// Per-thread stack of open span frames; each entry accumulates the
+    /// elapsed nanoseconds of already-closed child spans.
+    static FRAMES: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total elapsed nanoseconds (inclusive of children).
+    pub total_ns: u64,
+    /// Total exclusive nanoseconds (children subtracted).
+    pub self_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Folds another span aggregate into this one.
+    pub fn merge(&mut self, other: &SpanStats) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.self_ns = self.self_ns.saturating_add(other.self_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Pushes a fresh child-time accumulator for an opening span.
+pub(crate) fn enter_frame() {
+    FRAMES.with(|f| f.borrow_mut().push(0));
+}
+
+/// Pops the closing span's accumulator, returning its accumulated child
+/// time, and credits the closing span's elapsed time to the parent frame
+/// (when one is open).
+pub(crate) fn exit_frame(elapsed_ns: u64) -> u64 {
+    FRAMES.with(|f| {
+        let mut frames = f.borrow_mut();
+        let child_ns = frames.pop().unwrap_or(0);
+        if let Some(parent) = frames.last_mut() {
+            *parent = parent.saturating_add(elapsed_ns);
+        }
+        child_ns
+    })
+}
+
+/// RAII wall-clock span. Created by [`Registry::span`]; records on drop.
+#[must_use = "a span measures the scope it is bound to; binding it to _ drops it immediately"]
+pub struct SpanTimer<'a> {
+    registry: &'a Registry,
+    name: String,
+    start: Instant,
+}
+
+impl<'a> SpanTimer<'a> {
+    pub(crate) fn new(registry: &'a Registry, name: &str) -> Self {
+        enter_frame();
+        SpanTimer { registry, name: name.to_owned(), start: Instant::now() }
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        let elapsed = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.registry.span_exit(&self.name, elapsed);
+    }
+}

@@ -84,6 +84,13 @@ impl OrderSampler {
     /// Runs one day of sampling: stores due for their weekly sample get a
     /// test order, subject to the per-campaign daily cap.
     pub fn sample_day(&mut self, web: &mut impl Web, day: SimDate) {
+        self.sample_day_metered(web, day, &ss_obs::Registry::new());
+    }
+
+    /// [`sample_day`](Self::sample_day), recording `orders.*` counters
+    /// (attempts, cap deferrals, dead stores, successful samples and the
+    /// order-number deltas they resolve) into `obs`.
+    pub fn sample_day_metered(&mut self, web: &mut impl Web, day: SimDate, obs: &ss_obs::Registry) {
         let mut per_campaign: HashMap<String, usize> = HashMap::new();
         let mut domains: Vec<String> = self.stores.keys().cloned().collect();
         domains.sort(); // deterministic order
@@ -98,10 +105,12 @@ impl OrderSampler {
             }
             let used = per_campaign.entry(store.campaign_key.clone()).or_insert(0);
             if *used >= self.cfg.per_campaign_per_day {
+                ss_obs::count!(obs, "orders.cap_deferrals");
                 continue; // retry next day; last_attempt stays put
             }
             store.last_attempt = Some(day);
             *used += 1;
+            ss_obs::count!(obs, "orders.sample_attempts");
             let Ok(host) = ss_types::DomainName::parse(&domain) else { continue };
             let url = Url::new(host, "/checkout", "");
             // Orders are placed via TOR in the study; a plain browser
@@ -109,9 +118,15 @@ impl OrderSampler {
             // orders are real orders, so their effects are committed.
             let resp = web.fetch_apply(&Request { url, user_agent: UserAgent::Browser, referrer: None });
             if resp.status != 200 {
+                ss_obs::count!(obs, "orders.dead_stores");
                 continue; // store dead or seized
             }
             if let Some(n) = extract_order_number(&resp.body) {
+                if let Some(prev) = store.samples.last() {
+                    ss_obs::count!(obs, "orders.pair_resolutions");
+                    ss_obs::observe!(obs, "orders.pair_delta", n.saturating_sub(prev.order_number));
+                }
+                ss_obs::count!(obs, "orders.samples");
                 store.samples.push(OrderSample { day, order_number: n });
                 self.orders_created += 1;
             }
@@ -278,5 +293,84 @@ mod tests {
         assert_eq!(extract_order_number("<b id=\"order-no\">42</b>"), Some(42));
         assert_eq!(extract_order_number("<b id=\"other\">42</b>"), None);
         assert_eq!(extract_order_number("<b id=\"order-no\">nope</b>"), None);
+    }
+
+    #[test]
+    fn sample_day_metered_counts_attempts_and_resolutions() {
+        let mut web = ToyStores::new(&["s1.com"]);
+        let mut sampler = OrderSampler::new(SamplerConfig::default());
+        sampler.monitor("s1.com", "CAMP");
+        sampler.monitor("gone.com", "CAMP");
+        let obs = ss_obs::Registry::new();
+        for d in [0, 7] {
+            web.advance(day(d));
+            sampler.sample_day_metered(&mut web, day(d), &obs);
+        }
+        assert_eq!(obs.counter("orders.sample_attempts"), 4);
+        assert_eq!(obs.counter("orders.dead_stores"), 2);
+        assert_eq!(obs.counter("orders.samples"), 2);
+        // Only the second s1.com sample closes a purchase pair.
+        assert_eq!(obs.counter("orders.pair_resolutions"), 1);
+        assert_eq!(obs.histogram("orders.pair_delta").unwrap().count(), 1);
+    }
+
+    /// Builds a sampler holding exactly the given `(day, order_number)`
+    /// samples for one store, bypassing the web.
+    fn sampler_with_samples(samples: &[(u32, u64)]) -> OrderSampler {
+        let mut sampler = OrderSampler::new(SamplerConfig::default());
+        sampler.monitor("s1.com", "CAMP");
+        let store = sampler.stores.get_mut("s1.com").expect("monitored");
+        for (d, n) in samples {
+            store.samples.push(OrderSample { day: day(*d), order_number: *n });
+        }
+        sampler
+    }
+
+    proptest::proptest! {
+        /// The purchase-pair order estimate is monotone in the order-number
+        /// deltas: inflating any sample-to-sample delta (more orders placed
+        /// between the same two visits) never lowers the estimated rate on
+        /// any day, and strictly raises the total estimate.
+        #[test]
+        fn order_estimate_is_monotone_in_deltas(
+            deltas in proptest::collection::vec(0u64..500, 2..8),
+            bump_at in 0usize..7,
+            // ≥ 2 so the strictness claim survives the 1-test-order
+            // subtraction even when the base delta was 0.
+            bump in 2u64..300,
+        ) {
+            let bump_at = bump_at % deltas.len();
+            let mut number = 1_000u64;
+            let mut base: Vec<(u32, u64)> = vec![(0, number)];
+            let mut bumped: Vec<(u32, u64)> = vec![(0, number)];
+            let mut bumped_number = number;
+            for (i, d) in deltas.iter().enumerate() {
+                number += d;
+                bumped_number += d + if i == bump_at { bump } else { 0 };
+                let sample_day = (i as u32 + 1) * 7;
+                base.push((sample_day, number));
+                bumped.push((sample_day, bumped_number));
+            }
+            let last_day = day((deltas.len() as u32) * 7);
+            let a = sampler_with_samples(&base);
+            let b = sampler_with_samples(&bumped);
+            let ra = a.rate_series("s1.com", day(0), last_day).unwrap();
+            let rb = b.rate_series("s1.com", day(0), last_day).unwrap();
+            let (mut total_a, mut total_b) = (0.0f64, 0.0f64);
+            for d in SimDate::range_inclusive(day(0), last_day) {
+                let (va, vb) = (ra.get(d).unwrap_or(0.0), rb.get(d).unwrap_or(0.0));
+                assert!(vb >= va - 1e-9, "day {d}: rate dropped {va} -> {vb}");
+                total_a += va;
+                total_b += vb;
+            }
+            assert!(total_b > total_a, "total estimate must strictly rise");
+            // The volume endpoint mirrors the same monotonicity exactly.
+            let va = a.volume_series("s1.com", day(0), last_day).unwrap();
+            let vb = b.volume_series("s1.com", day(0), last_day).unwrap();
+            assert_eq!(
+                vb.get(last_day).unwrap() - va.get(last_day).unwrap(),
+                bump as f64
+            );
+        }
     }
 }

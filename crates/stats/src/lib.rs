@@ -2,9 +2,13 @@
 //!
 //! Time-series and estimation utilities shared by the measurement pipeline
 //! and the analysis layer: daily series, the paper's "peak range" burstiness
-//! metric (§5.1.2), censored lifetime bounds (§5.2.2/§5.3.2's two-number
+//! measure (§5.1.2), censored lifetime bounds (§5.2.2/§5.3.2's two-number
 //! estimates), correlation, histogram binning, and plain-text renderers
 //! (CSV, markdown, sparklines) used to regenerate every figure as data.
+//!
+//! Terminology: throughout this workspace, "metric" means an `ss-obs`
+//! telemetry counter or histogram; the statistical quantities here are
+//! called *measures* or *estimates* to keep the two vocabularies apart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,4 +1,4 @@
-//! The paper's burstiness metric (§5.1.2): the **peak range** of a
+//! The paper's burstiness measure (§5.1.2): the **peak range** of a
 //! campaign is "the shortest contiguous time span that includes 60% or
 //! more of all PSRs from the campaign".
 

@@ -113,7 +113,73 @@ fn study_output_is_identical_across_crawl_thread_counts() {
             base.attribution.store_class.len(),
             "attribution size diverged at {threads} threads"
         );
+        // Telemetry rides the same determinism rule: per-worker crawl
+        // registries merge in vertical order, so the deterministic half of
+        // the study's registry (counters + histograms, spans excluded)
+        // renders byte-identically at any thread count.
+        assert_eq!(
+            out.metrics.metrics_json(),
+            base.metrics.metrics_json(),
+            "metric registry diverged at {threads} threads"
+        );
+        assert_eq!(
+            out.manifest.headline.psrs, base.manifest.headline.psrs,
+            "manifest headline diverged at {threads} threads"
+        );
     }
+}
+
+#[test]
+fn telemetry_spans_every_stage_with_a_broad_metric_surface() {
+    let study = Study::new(StudyConfig::fast_test(101));
+    let stage_names = study.stage_names();
+    let out = study.run().expect("study runs");
+
+    // Every scheduled stage ran under its own span, once per study day.
+    let study_days = out.window.1.days_since(out.window.0) + 1;
+    for name in &stage_names {
+        let span = out
+            .metrics
+            .span_stats(&format!("stage.{name}"))
+            .unwrap_or_else(|| panic!("no span for stage {name}"));
+        assert_eq!(span.count as i64, study_days, "stage {name} span count");
+    }
+    assert_eq!(out.manifest.stage_timings.len(), stage_names.len());
+
+    // The registry spans all layers: crawl, ecosystem, orders, pipeline —
+    // well past the 12-distinct-metric floor.
+    let names = out.metrics.metric_names();
+    let base_names: std::collections::HashSet<&str> = names
+        .iter()
+        .map(|n| n.split('{').next().expect("split never empty"))
+        .collect();
+    assert!(
+        base_names.len() >= 12,
+        "only {} distinct metrics: {base_names:?}",
+        base_names.len()
+    );
+    for prefix in ["crawl.", "eco.", "orders.", "pipeline."] {
+        assert!(
+            base_names.iter().any(|n| n.starts_with(prefix)),
+            "no {prefix}* metric recorded; have {base_names:?}"
+        );
+    }
+
+    // Counters agree with the datasets they describe.
+    assert_eq!(out.metrics.counter_total("crawl.psrs"), out.crawler.db.psrs.len() as u64);
+    assert_eq!(
+        out.metrics.counter_total("orders.samples"),
+        out.sampler.orders_created as u64
+    );
+    assert_eq!(
+        out.metrics.counter_total("pipeline.purchases"),
+        out.transactions.len() as u64
+    );
+
+    // The manifest carries the per-day trace and the headline.
+    assert_eq!(out.manifest.days.len() as i64, study_days);
+    assert_eq!(out.manifest.headline.psrs, out.crawler.db.psrs.len() as u64);
+    assert!(out.manifest.days.windows(2).all(|w| w[0].psrs <= w[1].psrs));
 }
 
 #[test]

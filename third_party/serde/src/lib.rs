@@ -127,6 +127,14 @@ macro_rules! ser_tuple {
     };
 }
 
+impl Serialize for Value {
+    /// A `Value` is already the serialized tree; hand-assembled trees
+    /// (e.g. metric exports) can thus be passed straight to `serde_json`.
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
 ser_tuple!(A: 0);
 ser_tuple!(A: 0, B: 1);
 ser_tuple!(A: 0, B: 1, C: 2);
