@@ -29,7 +29,9 @@ fn probe_setup() -> (World, Url, String) {
 
 fn bench_detectors(c: &mut Criterion) {
     let (w, url, term) = probe_setup();
-    c.bench_function("crawl/dagger_check", |b| b.iter(|| dagger::check(&w, &url, &term, 6)));
+    c.bench_function("crawl/dagger_check", |b| {
+        b.iter(|| dagger::check(&w, &url, &term, 6))
+    });
     c.bench_function("crawl/vangogh_render_check", |b| {
         b.iter(|| vangogh::check(&w, &url, &term, 6))
     });
@@ -44,7 +46,10 @@ fn bench_crawl_day(c: &mut Criterion) {
                 w.run_until(start + 1);
                 let monitored = terms::select_all(&w, start, 6, 5);
                 let crawler = Crawler::new(
-                    CrawlerConfig { serp_depth: 30, ..CrawlerConfig::default() },
+                    CrawlerConfig {
+                        serp_depth: 30,
+                        ..CrawlerConfig::default()
+                    },
                     monitored,
                 );
                 (w, crawler)
@@ -69,14 +74,19 @@ fn bench_crawl_day_scaling(c: &mut Criterion) {
     w.run_until(start + 1);
     let day = start + 1;
     let monitored = terms::select_all(&w, start, 8, 5);
-    for (name, threads) in
-        [("crawl/full_day_small_serial", 1usize), ("crawl/full_day_small_4threads", 4)]
-    {
+    for (name, threads) in [
+        ("crawl/full_day_small_serial", 1usize),
+        ("crawl/full_day_small_4threads", 4),
+    ] {
         c.bench_function(name, |b| {
             b.iter_batched(
                 || {
                     Crawler::new(
-                        CrawlerConfig { serp_depth: 30, threads, ..CrawlerConfig::default() },
+                        CrawlerConfig {
+                            serp_depth: 30,
+                            threads,
+                            ..CrawlerConfig::default()
+                        },
                         monitored.clone(),
                     )
                 },

@@ -53,7 +53,14 @@ fn bench_js(c: &mut Criterion) {
     for level in [1u8, 2, 3] {
         let page = sample_iframe_page(level);
         c.bench_function(&format!("js/render_iframe_obf{level}"), |b| {
-            b.iter(|| render(std::hint::black_box(&page), "http://d.com/", UserAgent::Browser, None))
+            b.iter(|| {
+                render(
+                    std::hint::black_box(&page),
+                    "http://d.com/",
+                    UserAgent::Browser,
+                    None,
+                )
+            })
         });
     }
     let mut rng = sub_rng(1, "bench");
@@ -104,7 +111,10 @@ fn bench_ml(c: &mut Criterion) {
         }
     }
     let names: Vec<String> = (0..8).map(|c| format!("C{c}")).collect();
-    let cfg = TrainConfig { epochs: 60, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 60,
+        ..TrainConfig::default()
+    };
     c.bench_function("ml/train_8class_48docs", |b| {
         b.iter(|| MulticlassModel::train(&xs, &ys, names.clone(), dict.len(), &cfg))
     });

@@ -23,5 +23,8 @@ fn main() {
     );
     let t1 = std::time::Instant::now();
     w.run_until(SimDate::from_day_index(3));
-    println!("4 day ticks in {:.1?} (the crawl window spans 245 days)", t1.elapsed());
+    println!(
+        "4 day ticks in {:.1?} (the crawl window spans 245 days)",
+        t1.elapsed()
+    );
 }

@@ -41,35 +41,62 @@ fn parse_args() -> Args {
                 preset = Preset::parse(&v).unwrap_or_else(|| panic!("unknown preset {v:?}"));
             }
             "--seed" => {
-                seed = args.next().expect("--seed needs a value").parse().expect("numeric seed");
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("numeric seed");
             }
             "--out" => out_dir = Some(args.next().expect("--out needs a directory")),
             other => panic!("unknown flag {other:?}"),
         }
     }
-    Args { experiment, preset, seed, out_dir }
+    Args {
+        experiment,
+        preset,
+        seed,
+        out_dir,
+    }
 }
 
 const EXPERIMENTS: &[(&str, &str)] = &[
-    ("table1", "Table 1 — per-vertical PSRs/doorways/stores/campaigns"),
+    (
+        "table1",
+        "Table 1 — per-vertical PSRs/doorways/stores/campaigns",
+    ),
     ("table2", "Table 2 — per-campaign fleets and peak durations"),
     ("table3", "Table 3 — seizures per brand-protection firm"),
     ("fig1", "Figure 1 — iframe cloaking, same URL two ways"),
     ("fig2", "Figure 2 — campaign attribution of PSRs over time"),
     ("fig3", "Figure 3 — poisoning envelopes per vertical"),
-    ("fig4", "Figure 4 — PSR visibility vs order volume, four campaigns"),
+    (
+        "fig4",
+        "Figure 4 — PSR visibility vs order volume, four campaigns",
+    ),
     ("fig5", "Figure 5 — coco*.com case study"),
-    ("fig6", "Figure 6 — PHP?P= international stores around a seizure"),
+    (
+        "fig6",
+        "Figure 6 — PHP?P= international stores around a seizure",
+    ),
     ("classifier", "§4.2.2 — cross-validated campaign classifier"),
-    ("validation", "§4.1.3 — detection validation vs ground truth"),
+    (
+        "validation",
+        "§4.1.3 — detection validation vs ground truth",
+    ),
     ("termbias", "§4.1.1 — term-selection bias check"),
     ("labels", "§5.2.2 — hacked-label coverage and delay"),
     ("seizures", "§5.3 — seizure coverage, lifetimes, reactions"),
     ("supplier", "§4.5 — supplier shipment ledger"),
     ("conversion", "§5.2.3 — conversion metrics"),
     ("purchases", "§4.3 — order-sampling and purchase programme"),
-    ("ablation", "§3.1.1 — detector ablation: Dagger alone vs +VanGogh"),
-    ("manifest", "run manifest — stage timings, counters, headline observables"),
+    (
+        "ablation",
+        "§3.1.1 — detector ablation: Dagger alone vs +VanGogh",
+    ),
+    (
+        "manifest",
+        "run manifest — stage timings, counters, headline observables",
+    ),
 ];
 
 fn main() {
@@ -98,9 +125,12 @@ fn main() {
     let t0 = std::time::Instant::now();
     let mut cfg = args.preset.config(args.seed);
     // Every repro run leaves a manifest behind (CI uploads it).
-    cfg.manifest_path.get_or_insert_with(|| "reports/run_manifest.json".to_owned());
+    cfg.manifest_path
+        .get_or_insert_with(|| "reports/run_manifest.json".to_owned());
     let manifest_path = cfg.manifest_path.clone().expect("just set");
-    let mut out = search_seizure::Study::new(cfg).run().expect("study preset runs");
+    let mut out = search_seizure::Study::new(cfg)
+        .run()
+        .expect("study preset runs");
     eprintln!("[repro] study done in {:.1?}", t0.elapsed());
     eprint!("{}", out.manifest.summary_table());
     eprintln!("[repro] wrote {manifest_path}");
@@ -123,7 +153,10 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create out dir");
         let md = experiments_markdown(&args.preset.describe(args.seed), &reports, true);
         write_file(&format!("{dir}/EXPERIMENTS.md"), &md);
-        write_file(&format!("{dir}/experiments.json"), &experiments_json(&reports));
+        write_file(
+            &format!("{dir}/experiments.json"),
+            &experiments_json(&reports),
+        );
         eprintln!("[repro] wrote {dir}/EXPERIMENTS.md and experiments.json");
     }
 }
@@ -184,15 +217,33 @@ fn ablation_report(seed: u64) -> ExperimentReport {
              why detection \"requires a complete browser\", quantified.",
         )
         .compare("poisoned domains (full stack)", "—", a.full_poisoned, false)
-        .compare("poisoned domains (Dagger only)", "—", a.dagger_only_poisoned, false)
-        .compare("rendering-exclusive catches", "the iframe-cloaked population", a.rendering_exclusive, false)
+        .compare(
+            "poisoned domains (Dagger only)",
+            "—",
+            a.dagger_only_poisoned,
+            false,
+        )
+        .compare(
+            "rendering-exclusive catches",
+            "the iframe-cloaked population",
+            a.rendering_exclusive,
+            false,
+        )
         .compare(
             "of which truly iframe-cloaking",
             "all",
-            format!("{} / {}", a.rendering_exclusive_iframe, a.rendering_exclusive),
+            format!(
+                "{} / {}",
+                a.rendering_exclusive_iframe, a.rendering_exclusive
+            ),
             false,
         )
-        .compare("PSR observations (full vs Dagger-only)", "—", format!("{} vs {}", a.full_psrs, a.dagger_only_psrs), false)
+        .compare(
+            "PSR observations (full vs Dagger-only)",
+            "—",
+            format!("{} vs {}", a.full_psrs, a.dagger_only_psrs),
+            false,
+        )
 }
 
 fn fig1_report(seed: u64) -> ExperimentReport {
@@ -213,8 +264,9 @@ fn fig1_report(seed: u64) -> ExperimentReport {
         })
         .map(|(_, d)| d.domain);
     let Some(domain) = target else {
-        return ExperimentReport::new("F1", "Figure 1 — iframe cloaking")
-            .narrate("No live iframe-cloaking doorway in this tiny world; rerun with another seed.");
+        return ExperimentReport::new("F1", "Figure 1 — iframe cloaking").narrate(
+            "No live iframe-cloaking doorway in this tiny world; rerun with another seed.",
+        );
     };
     let host = w.domains.get(domain).name.clone();
     let url = Url::root(host);
@@ -223,7 +275,8 @@ fn fig1_report(seed: u64) -> ExperimentReport {
         url.clone(),
         Url::parse("http://google.com/search?q=x").expect("static url"),
     ));
-    let rendered = ss_web::js::render::render(&user.body, &url.to_string(), UserAgent::Browser, None);
+    let rendered =
+        ss_web::js::render::render(&user.body, &url.to_string(), UserAgent::Browser, None);
     let frames = rendered.iframes();
     ExperimentReport::new("F1", "Figure 1 — iframe cloaking, same URL two ways")
         .narrate(format!(
@@ -234,12 +287,20 @@ fn fig1_report(seed: u64) -> ExperimentReport {
             bot.body.len(),
             frames.len()
         ))
-        .compare("same bytes to crawler and user", "yes (iframe cloaking)", (bot.body == user.body).to_string(), false)
+        .compare(
+            "same bytes to crawler and user",
+            "yes (iframe cloaking)",
+            (bot.body == user.body).to_string(),
+            false,
+        )
         .compare("rendered full-page iframes", "1", frames.len(), false)
         .compare(
             "iframe geometry",
             "width/height 100% or >800px",
-            frames.first().map(|(w, h, _)| format!("{w}×{h}")).unwrap_or_default(),
+            frames
+                .first()
+                .map(|(w, h, _)| format!("{w}×{h}"))
+                .unwrap_or_default(),
             false,
         )
 }
@@ -257,8 +318,18 @@ fn table1_report(out: &StudyOutput) -> ExperimentReport {
         .compare("unique doorways", "27,008", t1.total.1, true)
         .compare("unique stores", "7,484", t1.total.2, true)
         .compare("campaigns observed", "52", t1.total.3, false)
-        .compare("PSRs attributed to campaigns", "58%", pct(t1.attributed_psr_fraction), false)
-        .compare("stores attributed", "11%", pct(t1.attributed_store_fraction), false)
+        .compare(
+            "PSRs attributed to campaigns",
+            "58%",
+            pct(t1.attributed_psr_fraction),
+            false,
+        )
+        .compare(
+            "stores attributed",
+            "11%",
+            pct(t1.attributed_store_fraction),
+            false,
+        )
         .compare("mean daily domain churn", "1.84%", pct(churn), false)
         .artifact("Table 1 (measured, paper in parentheses)", t1.to_markdown())
 }
@@ -273,8 +344,18 @@ fn table2_report(out: &StudyOutput) -> ExperimentReport {
              carry most attributed PSRs.",
         )
         .compare("campaigns tabulated", "38 (of 52)", t2.rows.len(), false)
-        .compare("mean peak duration", "51.3 days", format!("{:.1} days", t2.mean_peak_days), false)
-        .compare("top-5 campaign share of attributed PSRs", "majority (skewed)", pct(top5), false)
+        .compare(
+            "mean peak duration",
+            "51.3 days",
+            format!("{:.1} days", t2.mean_peak_days),
+            false,
+        )
+        .compare(
+            "top-5 campaign share of attributed PSRs",
+            "majority (skewed)",
+            pct(top5),
+            false,
+        )
         .artifact("Table 2 (measured)", t2.to_markdown())
 }
 
@@ -301,24 +382,35 @@ fn fig2_report(out: &StudyOutput) -> ExperimentReport {
 
 fn fig3_report(out: &StudyOutput) -> ExperimentReport {
     let (rows, series) = figures::fig3(out);
-    let mut report = ExperimentReport::new("F3", "Figure 3 — poisoning envelopes")
-        .narrate(
-            "Min/max daily poisoned share per vertical (top-10 and crawled depth). \
+    let mut report = ExperimentReport::new("F3", "Figure 3 — poisoning envelopes").narrate(
+        "Min/max daily poisoned share per vertical (top-10 and crawled depth). \
              The claim under test is the cross-vertical ordering: the heavily \
              targeted verticals of the paper should also lead here.",
-        );
+    );
     // Rank correlation of vertical orderings (measured vs paper, by
     // top-100 max).
-    let mut measured: Vec<(usize, f64)> =
-        rows.iter().enumerate().map(|(i, r)| (i, r.top100.1)).collect();
-    let mut paper: Vec<(usize, f64)> =
-        rows.iter().enumerate().map(|(i, r)| (i, r.paper.3)).collect();
+    let mut measured: Vec<(usize, f64)> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, r.top100.1))
+        .collect();
+    let mut paper: Vec<(usize, f64)> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, r.paper.3))
+        .collect();
     measured.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     paper.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    let m_rank: HashMap<usize, usize> =
-        measured.iter().enumerate().map(|(r, (i, _))| (*i, r)).collect();
-    let p_rank: HashMap<usize, usize> =
-        paper.iter().enumerate().map(|(r, (i, _))| (*i, r)).collect();
+    let m_rank: HashMap<usize, usize> = measured
+        .iter()
+        .enumerate()
+        .map(|(r, (i, _))| (*i, r))
+        .collect();
+    let p_rank: HashMap<usize, usize> = paper
+        .iter()
+        .enumerate()
+        .map(|(r, (i, _))| (*i, r))
+        .collect();
     let xs: Vec<f64> = (0..rows.len()).map(|i| m_rank[&i] as f64).collect();
     let ys: Vec<f64> = (0..rows.len()).map(|i| p_rank[&i] as f64).collect();
     let rho = ss_stats::corr::pearson(&xs, &ys).unwrap_or(0.0);
@@ -328,18 +420,22 @@ fn fig3_report(out: &StudyOutput) -> ExperimentReport {
         format!("{rho:.2}"),
         true,
     );
-    report.artifact("Figure 3 (sparklines)", figures::fig3_text(&rows, &series, 40))
+    report.artifact(
+        "Figure 3 (sparklines)",
+        figures::fig3_text(&rows, &series, 40),
+    )
 }
 
 fn fig4_report(out: &StudyOutput) -> ExperimentReport {
-    let mut report = ExperimentReport::new("F4", "Figure 4 — visibility vs orders")
-        .narrate(
-            "Four campaign panels: PSR prevalence (top-100/top-10/labeled) and a \
+    let mut report = ExperimentReport::new("F4", "Figure 4 — visibility vs orders").narrate(
+        "Four campaign panels: PSR prevalence (top-100/top-10/labeled) and a \
              representative store's order volume and rate. The paper's claim is \
              the correlation between search visibility and order activity.",
-        );
+    );
     for name in ["KEY", "MOONKIS", "VERA", "PHP?P="] {
-        let Some(panel) = figures::fig4(out, name) else { continue };
+        let Some(panel) = figures::fig4(out, name) else {
+            continue;
+        };
         if let Some(r) = panel.visibility_rate_correlation {
             report = report.compare(
                 &format!("{name}: corr(PSRs, order rate)"),
@@ -375,7 +471,12 @@ fn fig5_report(out: &StudyOutput) -> ExperimentReport {
                      PSR visibility, AWStats daily traffic, and order activity move \
                      together across the rotations.",
                 )
-                .compare("storefront domains used", "3 (two rotations)", rotations, true)
+                .compare(
+                    "storefront domains used",
+                    "3 (two rotations)",
+                    rotations,
+                    true,
+                )
                 .compare(
                     "traffic observed (pages, window total)",
                     "14K–29K pages/day",
@@ -392,7 +493,12 @@ fn fig5_report(out: &StudyOutput) -> ExperimentReport {
 }
 
 fn fig6_report(out: &StudyOutput) -> ExperimentReport {
-    let patterns = ["abercrombie-uk", "abercrombie-de", "hollister-uk", "woolrich-de"];
+    let patterns = [
+        "abercrombie-uk",
+        "abercrombie-de",
+        "hollister-uk",
+        "woolrich-de",
+    ];
     match figures::fig6(out, "PHP?P=", &patterns) {
         Some(f6) => {
             let mut lines = String::new();
@@ -413,7 +519,12 @@ fn fig6_report(out: &StudyOutput) -> ExperimentReport {
                      unaffected — seizing one domain does not dent the campaign.",
                 )
                 .compare("international stores tracked", "4", f6.stores.len(), true)
-                .compare("seizures observed among them", "1 (Abercrombie UK, Feb 9)", f6.seizures.len(), true)
+                .compare(
+                    "seizures observed among them",
+                    "1 (Abercrombie UK, Feb 9)",
+                    f6.seizures.len(),
+                    true,
+                )
                 .artifact("order-number samples", lines)
         }
         None => ExperimentReport::new("F6", "Figure 6 — PHP?P= international stores").narrate(
@@ -435,8 +546,18 @@ fn classifier_report(out: &StudyOutput) -> ExperimentReport {
         .compare("k-fold CV accuracy", "86.8%", pct(v.cv_accuracy), false)
         .compare("chance baseline", "1.9%", pct(v.chance), false)
         .compare("labeled pages", "491", v.labeled, true)
-        .compare("ground-truth precision (confident)", "n/a in paper", pct(v.truth_precision), false)
-        .compare("ground-truth recall", "n/a in paper", pct(v.truth_recall), false);
+        .compare(
+            "ground-truth precision (confident)",
+            "n/a in paper",
+            pct(v.truth_precision),
+            false,
+        )
+        .compare(
+            "ground-truth recall",
+            "n/a in paper",
+            pct(v.truth_recall),
+            false,
+        );
     // Interpretability: top features for the biggest campaigns.
     let mut blob = String::new();
     for name in ["KEY", "BIGLOVE", "MSVALIDATE"] {
@@ -477,10 +598,30 @@ fn termbias_report(out: &mut StudyOutput) -> ExperimentReport {
             "Alternate suggest-derived term sets for the doorway-derived verticals, \
              crawled for one day: different strings, same campaigns.",
         )
-        .compare("term overlap", "4 / 1000", format!("{} / {}", b.overlapping_terms, b.total_terms), false)
-        .compare("PSR rate (original terms)", "—", pct(b.original_psr_rate), false)
-        .compare("PSR rate (alternate terms)", "no significant difference", pct(b.alternate_psr_rate), false)
-        .compare("campaign-set Jaccard", "\"same campaigns\"", format!("{:.2}", b.campaign_jaccard), false)
+        .compare(
+            "term overlap",
+            "4 / 1000",
+            format!("{} / {}", b.overlapping_terms, b.total_terms),
+            false,
+        )
+        .compare(
+            "PSR rate (original terms)",
+            "—",
+            pct(b.original_psr_rate),
+            false,
+        )
+        .compare(
+            "PSR rate (alternate terms)",
+            "no significant difference",
+            pct(b.alternate_psr_rate),
+            false,
+        )
+        .compare(
+            "campaign-set Jaccard",
+            "\"same campaigns\"",
+            format!("{:.2}", b.campaign_jaccard),
+            false,
+        )
 }
 
 fn labels_report(out: &StudyOutput) -> ExperimentReport {
@@ -495,7 +636,12 @@ fn labels_report(out: &StudyOutput) -> ExperimentReport {
         .compare(
             "labelable under same-domain policy",
             "68,193 → 102,104 (+49%)",
-            format!("{} → {} (+{:.0}%)", l.labeled_psrs, l.could_have_labeled, l.policy_gain * 100.0),
+            format!(
+                "{} → {} (+{:.0}%)",
+                l.labeled_psrs,
+                l.could_have_labeled,
+                l.policy_gain * 100.0
+            ),
             false,
         )
         .compare(
@@ -520,11 +666,17 @@ fn seizures_report(out: &StudyOutput, id: &str) -> ExperimentReport {
          stores live for weeks before seizure, and campaigns re-point doorways to \
          backups within days — the asymmetry that blunts the intervention.",
     )
-    .compare("seized share of observed stores", "3.9%", pct(s.seized_store_fraction), false)
+    .compare(
+        "seized share of observed stores",
+        "3.9%",
+        pct(s.seized_store_fraction),
+        false,
+    )
     .compare(
         "seizure observation lag vs truth",
         "n/a in paper (footnote 7)",
-        lag.map(|l| format!("{l:.1} days")).unwrap_or_else(|| "—".into()),
+        lag.map(|l| format!("{l:.1} days"))
+            .unwrap_or_else(|| "—".into()),
         false,
     );
     for f in &s.firms {
@@ -542,7 +694,9 @@ fn seizures_report(out: &StudyOutput, id: &str) -> ExperimentReport {
                     .unwrap_or_else(|| "—".into()),
                 f.redirected,
                 f.observed_stores,
-                f.mean_reaction_days.map(|d| format!("{d:.0} d")).unwrap_or_else(|| "—".into()),
+                f.mean_reaction_days
+                    .map(|d| format!("{d:.0} d"))
+                    .unwrap_or_else(|| "—".into()),
             ),
             true,
         );
@@ -569,7 +723,12 @@ fn supplier_report(out: &StudyOutput) -> ExperimentReport {
                 .compare("seized at source", "4K", s.seized_source, true)
                 .compare("seized at destination", "15K", s.seized_destination, true)
                 .compare("returned", "1,319", s.returned, true)
-                .compare("US+JP+AU+W.Europe share", ">81%", pct(s.top_market_share), true)
+                .compare(
+                    "US+JP+AU+W.Europe share",
+                    ">81%",
+                    pct(s.top_market_share),
+                    true,
+                )
                 .artifact("top destinations", countries)
         }
         None => ExperimentReport::new("S6", "§4.5 — supplier shipment ledger")
@@ -579,15 +738,14 @@ fn supplier_report(out: &StudyOutput) -> ExperimentReport {
 
 fn conversion_report(out: &StudyOutput) -> ExperimentReport {
     // Prefer the paper's coco store; otherwise the best-instrumented store.
-    let analysis = sidechannel::conversion(out, "coco")
-        .or_else(|| {
-            let best = out
-                .awstats
-                .iter()
-                .max_by_key(|(_, reports)| reports.iter().map(|r| r.visits).sum::<u64>())
-                .map(|(d, _)| d.clone())?;
-            sidechannel::conversion(out, &best)
-        });
+    let analysis = sidechannel::conversion(out, "coco").or_else(|| {
+        let best = out
+            .awstats
+            .iter()
+            .max_by_key(|(_, reports)| reports.iter().map(|r| r.visits).sum::<u64>())
+            .map(|(d, _)| d.clone())?;
+        sidechannel::conversion(out, &best)
+    });
     match analysis {
         Some(c) => ExperimentReport::new("S7", "§5.2.3 — conversion metrics")
             .narrate(format!(
@@ -595,10 +753,30 @@ fn conversion_report(out: &StudyOutput) -> ExperimentReport {
                 c.domains
             ))
             .compare("visits observed", "93,509", c.visits, false)
-            .compare("referrer-set fraction", "60%", pct(c.referrer_fraction), true)
-            .compare("pages per visit", "5.6", format!("{:.1}", c.pages_per_visit), true)
-            .compare("conversion rate", "0.7% (a sale every 151 visits)", pct(c.conversion_rate), true)
-            .compare("referrers seen as crawled doorways", "47.7%", pct(c.doorway_overlap), false),
+            .compare(
+                "referrer-set fraction",
+                "60%",
+                pct(c.referrer_fraction),
+                true,
+            )
+            .compare(
+                "pages per visit",
+                "5.6",
+                format!("{:.1}", c.pages_per_visit),
+                true,
+            )
+            .compare(
+                "conversion rate",
+                "0.7% (a sale every 151 visits)",
+                pct(c.conversion_rate),
+                true,
+            )
+            .compare(
+                "referrers seen as crawled doorways",
+                "47.7%",
+                pct(c.doorway_overlap),
+                false,
+            ),
         None => ExperimentReport::new("S7", "§5.2.3 — conversion metrics")
             .narrate("No store exposed AWStats in this run."),
     }

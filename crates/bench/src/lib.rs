@@ -64,7 +64,9 @@ impl Preset {
 
 /// Runs a study for a preset (convenience for benches and the binary).
 pub fn run_preset(preset: Preset, seed: u64) -> StudyOutput {
-    Study::new(preset.config(seed)).run().expect("study preset runs")
+    Study::new(preset.config(seed))
+        .run()
+        .expect("study preset runs")
 }
 
 #[cfg(test)]

@@ -85,8 +85,12 @@ pub fn table1(out: &StudyOutput) -> Table1 {
         });
     }
 
-    let attributed_stores =
-        out.attribution.store_class.values().filter(|c| c.is_some()).count() as f64;
+    let attributed_stores = out
+        .attribution
+        .store_class
+        .values()
+        .filter(|c| c.is_some())
+        .count() as f64;
     let detected_stores = db.detected_stores().count().max(1) as f64;
 
     Table1 {
@@ -130,7 +134,13 @@ impl Table1 {
             ]))
             .collect();
         render::markdown_table(
-            &["Vertical", "PSRs (paper)", "Doorways (paper)", "Stores (paper)", "Campaigns (paper)"],
+            &[
+                "Vertical",
+                "PSRs (paper)",
+                "Doorways (paper)",
+                "Stores (paper)",
+                "Campaigns (paper)",
+            ],
             &rows,
         )
     }
@@ -219,7 +229,11 @@ pub fn table2(out: &StudyOutput) -> Table2 {
     rows.sort_by(|a, b| b.doorways.cmp(&a.doorways).then(a.name.cmp(&b.name)));
     Table2 {
         rows,
-        mean_peak_days: if peak_n == 0 { 0.0 } else { peak_sum / peak_n as f64 },
+        mean_peak_days: if peak_n == 0 {
+            0.0
+        } else {
+            peak_sum / peak_n as f64
+        },
     }
 }
 
@@ -239,13 +253,22 @@ impl Table2 {
                     r.doorways.to_string(),
                     r.stores.to_string(),
                     r.brands.to_string(),
-                    r.peak_days.map(|d| d.to_string()).unwrap_or_else(|| "—".into()),
+                    r.peak_days
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "—".into()),
                     paper,
                 ]
             })
             .collect();
         render::markdown_table(
-            &["Campaign", "Doorways", "Stores", "Brands", "Peak (days)", "Paper d/s/b/p"],
+            &[
+                "Campaign",
+                "Doorways",
+                "Stores",
+                "Brands",
+                "Peak (days)",
+                "Paper d/s/b/p",
+            ],
             &rows,
         )
     }

@@ -103,7 +103,9 @@ pub fn fig2(out: &StudyOutput, vertical: usize, max_campaigns: usize) -> Fig2Ver
         }
     }
     campaign_pct.sort_by(|a, b| {
-        b.1.sum().partial_cmp(&a.1.sum()).unwrap_or(std::cmp::Ordering::Equal)
+        b.1.sum()
+            .partial_cmp(&a.1.sum())
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     campaign_pct.push(("misc".into(), pct(&misc)));
     campaign_pct.push(("unknown".into(), pct(&unknown)));
@@ -119,8 +121,10 @@ pub fn fig2(out: &StudyOutput, vertical: usize, max_campaigns: usize) -> Fig2Ver
 impl Fig2Vertical {
     /// CSV with one column per series.
     pub fn to_csv(&self) -> String {
-        let mut cols: Vec<(&str, &DailySeries)> =
-            vec![("poisoned_pct", &self.poisoned_pct), ("penalized_pct", &self.penalized_pct)];
+        let mut cols: Vec<(&str, &DailySeries)> = vec![
+            ("poisoned_pct", &self.poisoned_pct),
+            ("penalized_pct", &self.penalized_pct),
+        ];
         for (name, s) in &self.campaign_pct {
             cols.push((name.as_str(), s));
         }
@@ -135,7 +139,10 @@ impl Fig2Vertical {
             render::sparkline_compact(&self.poisoned_pct, width)
         ));
         for (name, s) in self.campaign_pct.iter().take(6) {
-            outp.push_str(&format!("  {name:<9} {}\n", render::sparkline_compact(s, width)));
+            outp.push_str(&format!(
+                "  {name:<9} {}\n",
+                render::sparkline_compact(s, width)
+            ));
         }
         outp.push_str(&format!(
             "  penalized {}\n",
@@ -172,10 +179,16 @@ pub fn fig3(out: &StudyOutput) -> (Vec<Fig3Row>, Vec<(DailySeries, DailySeries)>
                 continue;
             }
             if c.top10_seen > 0 {
-                t10.set(c.day, f64::from(c.top10_poisoned) / f64::from(c.top10_seen) * 100.0);
+                t10.set(
+                    c.day,
+                    f64::from(c.top10_poisoned) / f64::from(c.top10_seen) * 100.0,
+                );
             }
             if c.total_seen > 0 {
-                t100.set(c.day, f64::from(c.total_poisoned) / f64::from(c.total_seen) * 100.0);
+                t100.set(
+                    c.day,
+                    f64::from(c.total_poisoned) / f64::from(c.total_seen) * 100.0,
+                );
             }
         }
         let spec = out.world.verticals[vi].spec;
@@ -197,7 +210,9 @@ pub fn fig3(out: &StudyOutput) -> (Vec<Fig3Row>, Vec<(DailySeries, DailySeries)>
 
 /// Renders Figure 3 as sparkline pairs, in the paper's layout.
 pub fn fig3_text(rows: &[Fig3Row], series: &[(DailySeries, DailySeries)], width: usize) -> String {
-    let mut s = String::from("Figure 3 — % of results poisoned (top-10 | top-100), min..max, paper in ()\n");
+    let mut s = String::from(
+        "Figure 3 — % of results poisoned (top-10 | top-100), min..max, paper in ()\n",
+    );
     for (row, (t10, t100)) in rows.iter().zip(series) {
         s.push_str(&format!(
             "{:<14} {:5.2}..{:5.2} {} ({:.2}..{:.2}) | {:5.2}..{:5.2} {} ({:.2}..{:.2})\n",
@@ -273,12 +288,15 @@ pub fn fig4(out: &StudyOutput, campaign: &str) -> Option<Fig4Campaign> {
         .max_by_key(|s| s.samples.len())
         .map(|s| s.domain.clone());
 
-    let volume =
-        store_domain.as_ref().and_then(|d| out.sampler.volume_series(d, start, end));
-    let rate = store_domain.as_ref().and_then(|d| out.sampler.rate_series(d, start, end));
-    let visibility_rate_correlation = rate.as_ref().and_then(|r| {
-        ss_stats::corr::pearson(&top100.dense_or_zero(), &r.dense_or_zero())
-    });
+    let volume = store_domain
+        .as_ref()
+        .and_then(|d| out.sampler.volume_series(d, start, end));
+    let rate = store_domain
+        .as_ref()
+        .and_then(|d| out.sampler.rate_series(d, start, end));
+    let visibility_rate_correlation = rate
+        .as_ref()
+        .and_then(|r| ss_stats::corr::pearson(&top100.dense_or_zero(), &r.dense_or_zero()));
 
     Some(Fig4Campaign {
         name: campaign.to_owned(),
@@ -343,8 +361,10 @@ pub fn fig5(out: &StudyOutput, pattern: &str) -> Option<Fig5> {
     }
     ids.sort_by_key(|(_, d)| *d);
     let id_list: Vec<u32> = ids.iter().map(|(i, _)| *i).collect();
-    let domains: Vec<String> =
-        id_list.iter().map(|i| db.domains.resolve(*i).to_owned()).collect();
+    let domains: Vec<String> = id_list
+        .iter()
+        .map(|i| db.domains.resolve(*i).to_owned())
+        .collect();
 
     let top100 = super::landing_psr_series(out, &id_list, false);
     let top10 = super::landing_psr_series(out, &id_list, true);
@@ -364,7 +384,14 @@ pub fn fig5(out: &StudyOutput, pattern: &str) -> Option<Fig5> {
     let volume = sampled.and_then(|d| out.sampler.volume_series(d, start, end));
     let rate = sampled.and_then(|d| out.sampler.rate_series(d, start, end));
 
-    Some(Fig5 { domains, top100, top10, traffic_pages, volume, rate })
+    Some(Fig5 {
+        domains,
+        top100,
+        top10,
+        traffic_pages,
+        volume,
+        rate,
+    })
 }
 
 impl Fig5 {
@@ -411,8 +438,11 @@ pub fn fig6(out: &StudyOutput, campaign: &str, patterns: &[&str]) -> Option<Fig6
             continue;
         }
         matched.insert(domain.clone());
-        let samples: Vec<(SimDate, u64)> =
-            mon.samples.iter().map(|s| (s.day, s.order_number)).collect();
+        let samples: Vec<(SimDate, u64)> = mon
+            .samples
+            .iter()
+            .map(|s| (s.day, s.order_number))
+            .collect();
         stores.push((domain.clone(), samples));
     }
     for (id, info) in &out.crawler.db.store_info {

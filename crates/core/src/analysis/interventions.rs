@@ -41,20 +41,32 @@ pub fn labels(out: &StudyOutput) -> LabelAnalysis {
     let labeled_psrs = db.psrs.iter().filter(|p| p.labeled).count() as u64;
 
     // Domains with at least one labeled observation.
-    let labeled_domains: HashSet<u32> =
-        db.psrs.iter().filter(|p| p.labeled).map(|p| p.domain).collect();
+    let labeled_domains: HashSet<u32> = db
+        .psrs
+        .iter()
+        .filter(|p| p.labeled)
+        .map(|p| p.domain)
+        .collect();
     // Unlabeled PSRs on those domains after the label first appeared: the
     // root-only policy's coverage gap.
     let first_label_day: HashMap<u32, SimDate> = labeled_domains
         .iter()
-        .filter_map(|d| db.doorway_info.get(d).and_then(|i| i.label_seen).map(|(f, _)| (*d, f)))
+        .filter_map(|d| {
+            db.doorway_info
+                .get(d)
+                .and_then(|i| i.label_seen)
+                .map(|(f, _)| (*d, f))
+        })
         .collect();
     let missed = db
         .psrs
         .iter()
         .filter(|p| {
             !p.labeled
-                && first_label_day.get(&p.domain).map(|f| p.day >= *f).unwrap_or(false)
+                && first_label_day
+                    .get(&p.domain)
+                    .map(|f| p.day >= *f)
+                    .unwrap_or(false)
         })
         .count() as u64;
     let could_have_labeled = labeled_psrs + missed;
@@ -66,7 +78,9 @@ pub fn labels(out: &StudyOutput) -> LabelAnalysis {
     let mut obs = Vec::new();
     let mut prelabeled = 0u64;
     for info in db.doorway_info.values() {
-        let Some((first_labeled, _)) = info.label_seen else { continue };
+        let Some((first_labeled, _)) = info.label_seen else {
+            continue;
+        };
         let Some(lo_anchor) = info.last_unlabeled_before else {
             prelabeled += 1;
             continue;
@@ -79,7 +93,11 @@ pub fn labels(out: &StudyOutput) -> LabelAnalysis {
     LabelAnalysis {
         total_psrs,
         labeled_psrs,
-        coverage: if total_psrs == 0 { 0.0 } else { labeled_psrs as f64 / total_psrs as f64 },
+        coverage: if total_psrs == 0 {
+            0.0
+        } else {
+            labeled_psrs as f64 / total_psrs as f64
+        },
         could_have_labeled,
         policy_gain: if labeled_psrs == 0 {
             0.0
@@ -218,9 +236,11 @@ pub fn seizures(out: &StudyOutput) -> SeizureAnalysis {
     }
 
     let detected = db.detected_stores().count().max(1) as f64;
-    let seized_observed: f64 =
-        firms.iter().map(|f| f.observed_stores as f64).sum();
-    SeizureAnalysis { firms, seized_store_fraction: seized_observed / detected }
+    let seized_observed: f64 = firms.iter().map(|f| f.observed_stores as f64).sum();
+    SeizureAnalysis {
+        firms,
+        seized_store_fraction: seized_observed / detected,
+    }
 }
 
 impl SeizureAnalysis {
@@ -242,14 +262,24 @@ impl SeizureAnalysis {
                         .map(|l| format!("{:.0}–{:.0}", l.mean_lo, l.mean_hi))
                         .unwrap_or_else(|| "—".into()),
                     format!("{}/{}", f.redirected, f.observed_stores),
-                    f.mean_reaction_days.map(|d| format!("{d:.1}")).unwrap_or_else(|| "—".into()),
+                    f.mean_reaction_days
+                        .map(|d| format!("{d:.1}"))
+                        .unwrap_or_else(|| "—".into()),
                 ]
             })
             .collect();
         ss_stats::render::markdown_table(
             &[
-                "Firm", "Cases", "Brands", "Seized (docs)", "Stores", "Classified",
-                "Campaigns", "Lifetime (d)", "Redirected", "Reaction (d)",
+                "Firm",
+                "Cases",
+                "Brands",
+                "Seized (docs)",
+                "Stores",
+                "Classified",
+                "Campaigns",
+                "Lifetime (d)",
+                "Redirected",
+                "Reaction (d)",
             ],
             &rows,
         )
@@ -264,11 +294,19 @@ pub fn seizure_observation_lag(out: &StudyOutput) -> Option<f64> {
     let db = &out.crawler.db;
     let mut lags = Vec::new();
     for (id, s) in &db.store_info {
-        let Some((obs_day, _)) = &s.seizure else { continue };
+        let Some((obs_day, _)) = &s.seizure else {
+            continue;
+        };
         let name = db.domains.resolve(*id);
-        let Ok(dn) = ss_types::DomainName::parse(name) else { continue };
-        let Some(domain) = out.world.domains.lookup(&dn) else { continue };
-        let Some(truth) = out.world.domains.get(domain).seized else { continue };
+        let Ok(dn) = ss_types::DomainName::parse(name) else {
+            continue;
+        };
+        let Some(domain) = out.world.domains.lookup(&dn) else {
+            continue;
+        };
+        let Some(truth) = out.world.domains.get(domain).seized else {
+            continue;
+        };
         lags.push(obs_day.days_since(truth.day).max(0) as f64);
     }
     ss_stats::corr::mean(&lags)

@@ -35,11 +35,7 @@ pub fn campaign_psr_series(out: &StudyOutput, class: usize, top10_only: bool) ->
 }
 
 /// Daily PSR-count series for PSRs landing on a specific store domain set.
-pub fn landing_psr_series(
-    out: &StudyOutput,
-    landing_ids: &[u32],
-    top10_only: bool,
-) -> DailySeries {
+pub fn landing_psr_series(out: &StudyOutput, landing_ids: &[u32], top10_only: bool) -> DailySeries {
     let (start, end) = out.window;
     let mut s = DailySeries::new(start, end);
     for day in SimDate::range_inclusive(start, end) {
@@ -49,7 +45,11 @@ pub fn landing_psr_series(
         if top10_only && psr.rank > 10 {
             continue;
         }
-        if psr.landing.map(|l| landing_ids.contains(&l)).unwrap_or(false) {
+        if psr
+            .landing
+            .map(|l| landing_ids.contains(&l))
+            .unwrap_or(false)
+        {
             s.add(psr.day, 1.0);
         }
     }

@@ -89,8 +89,10 @@ pub fn conversion(out: &StudyOutput, pattern: &str) -> Option<ConversionAnalysis
     if domains.is_empty() {
         return None;
     }
-    let reports: Vec<_> =
-        domains.iter().flat_map(|d| out.awstats.get(d).cloned().unwrap_or_default()).collect();
+    let reports: Vec<_> = domains
+        .iter()
+        .flat_map(|d| out.awstats.get(d).cloned().unwrap_or_default())
+        .collect();
 
     // Order estimate over the report window from the purchase-pair data.
     let (start, end) = out.window;
@@ -108,7 +110,11 @@ pub fn conversion(out: &StudyOutput, pattern: &str) -> Option<ConversionAnalysis
         .poisoned_domains()
         .map(|(id, _)| out.crawler.db.domains.resolve(*id))
         .collect();
-    let known = m.referrer_hosts.iter().filter(|h| poisoned.contains(h.as_str())).count();
+    let known = m
+        .referrer_hosts
+        .iter()
+        .filter(|h| poisoned.contains(h.as_str()))
+        .count();
     let doorway_overlap = if m.referrer_hosts.is_empty() {
         0.0
     } else {

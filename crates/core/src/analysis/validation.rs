@@ -59,7 +59,9 @@ pub fn classifier(out: &StudyOutput) -> ClassifierValidation {
 fn true_campaign(out: &StudyOutput, domain: &str) -> Option<String> {
     let dn = DomainName::parse(domain).ok()?;
     let id = out.world.domains.lookup(&dn)?;
-    let SiteKind::Storefront { store } = out.world.domains.get(id).kind else { return None };
+    let SiteKind::Storefront { store } = out.world.domains.get(id).kind else {
+        return None;
+    };
     let campaign = &out.world.campaigns[out.world.stores[store.index()].campaign.index()];
     campaign.classified.then(|| campaign.name.clone())
 }
@@ -169,13 +171,7 @@ pub fn term_bias(out: &mut StudyOutput) -> TermBias {
             alternates.push(mv.clone());
             continue;
         }
-        let alt = terms::suggest_expansion_terms(
-            &out.world,
-            vi,
-            probe_day,
-            mv.terms.len(),
-            seed,
-        );
+        let alt = terms::suggest_expansion_terms(&out.world, vi, probe_day, mv.terms.len(), seed);
         overlap += terms::term_overlap(&alt, &mv.terms) as u64;
         total += alt.len() as u64;
         alternates.push(MonitoredVertical {
@@ -196,7 +192,11 @@ pub fn term_bias(out: &mut StudyOutput) -> TermBias {
     crawl_orig.crawl_day(&out.world, probe_day);
 
     let rate = |c: &Crawler| -> f64 {
-        let seen: u64 = c.db.daily_counts.iter().map(|d| u64::from(d.total_seen)).sum();
+        let seen: u64 =
+            c.db.daily_counts
+                .iter()
+                .map(|d| u64::from(d.total_seen))
+                .sum();
         if seen == 0 {
             0.0
         } else {
@@ -299,7 +299,11 @@ pub fn detector_ablation(seed: u64, crawl_days: u32) -> DetectorAblation {
     let run = |render_sample: u8| -> Crawler {
         let (mut w, monitored, start) = build();
         let mut crawler = Crawler::new(
-            CrawlerConfig { serp_depth: 30, render_sample, ..CrawlerConfig::default() },
+            CrawlerConfig {
+                serp_depth: 30,
+                render_sample,
+                ..CrawlerConfig::default()
+            },
             monitored,
         );
         for d in 1..=crawl_days {
@@ -329,8 +333,9 @@ pub fn detector_ablation(seed: u64, crawl_days: u32) -> DetectorAblation {
     let (w, _, _) = build();
     let mut exclusive_iframe = 0u64;
     for name in &exclusive {
-        let Some(domain) =
-            DomainName::parse(name).ok().and_then(|dn| w.domains.lookup(&dn))
+        let Some(domain) = DomainName::parse(name)
+            .ok()
+            .and_then(|dn| w.domains.lookup(&dn))
         else {
             continue;
         };

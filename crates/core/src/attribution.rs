@@ -69,12 +69,7 @@ impl Default for AttributionConfig {
 }
 
 /// Runs the full §4.2 pipeline over the crawler's detected stores.
-pub fn attribute(
-    world: &World,
-    db: &CrawlDb,
-    cfg: &AttributionConfig,
-    seed: u64,
-) -> Attribution {
+pub fn attribute(world: &World, db: &CrawlDb, cfg: &AttributionConfig, seed: u64) -> Attribution {
     // The classification corpus: every detected store's captured HTML.
     let mut pool_domains: Vec<String> = Vec::new();
     let mut pool_html: Vec<&str> = Vec::new();
@@ -86,13 +81,19 @@ pub fn attribute(
     // Feature extraction (dictionary grows over the whole corpus, as when
     // vectorizing a fixed crawl).
     let mut dict = Dictionary::new();
-    let pool: Vec<SparseVec> =
-        pool_html.iter().map(|h| extract_features(h, &mut dict, true)).collect();
+    let pool: Vec<SparseVec> = pool_html
+        .iter()
+        .map(|h| extract_features(h, &mut dict, true))
+        .collect();
 
     // The nameable campaign universe comes from expert analysis of C&C and
     // URL patterns (Table 2's naming); our expert enumerates it directly.
-    let class_names: Vec<String> =
-        world.campaigns.iter().filter(|c| c.classified).map(|c| c.name.clone()).collect();
+    let class_names: Vec<String> = world
+        .campaigns
+        .iter()
+        .filter(|c| c.classified)
+        .map(|c| c.name.clone())
+        .collect();
 
     let mut oracle = WorldOracle::new(
         world,
@@ -121,7 +122,12 @@ pub fn attribute(
     let seed_count = seed_labels.len();
 
     // Train + refine (§4.2.2–4.2.3).
-    let RefineResult { model, labeled, oracle_queries, .. } = refine(
+    let RefineResult {
+        model,
+        labeled,
+        oracle_queries,
+        ..
+    } = refine(
         &pool,
         &seed_labels,
         &class_names,
@@ -195,7 +201,10 @@ mod tests {
         w.run_until(start);
         let monitored = terms::select_all(&w, start, 6, 5);
         let mut crawler = Crawler::new(
-            CrawlerConfig { serp_depth: 30, ..CrawlerConfig::default() },
+            CrawlerConfig {
+                serp_depth: 30,
+                ..CrawlerConfig::default()
+            },
             monitored,
         );
         for d in 1..=8u32 {
@@ -210,7 +219,10 @@ mod tests {
     fn attribution_learns_real_campaigns() {
         let (w, crawler) = crawled_world();
         let cfg = AttributionConfig {
-            train: TrainConfig { epochs: 120, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 120,
+                ..TrainConfig::default()
+            },
             refine_rounds: 1,
             ..AttributionConfig::default()
         };
@@ -240,14 +252,21 @@ mod tests {
         }
         assert!(correct > 0, "nothing attributed correctly");
         let precision = correct as f64 / (correct + wrong).max(1) as f64;
-        assert!(precision > 0.6, "precision {precision} ({correct}/{})", correct + wrong);
+        assert!(
+            precision > 0.6,
+            "precision {precision} ({correct}/{})",
+            correct + wrong
+        );
     }
 
     #[test]
     fn top_features_carry_campaign_signatures() {
         let (w, crawler) = crawled_world();
         let cfg = AttributionConfig {
-            train: TrainConfig { epochs: 120, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 120,
+                ..TrainConfig::default()
+            },
             refine_rounds: 0,
             ..AttributionConfig::default()
         };

@@ -145,11 +145,13 @@ pub fn campaign_orders(
     }
     let mut rows: Vec<CampaignOrders> = by_campaign
         .into_iter()
-        .map(|(campaign, (stores_sampled, estimated_orders))| CampaignOrders {
-            campaign,
-            stores_sampled,
-            estimated_orders,
-        })
+        .map(
+            |(campaign, (stores_sampled, estimated_orders))| CampaignOrders {
+                campaign,
+                stores_sampled,
+                estimated_orders,
+            },
+        )
         .collect();
     rows.sort_by(|a, b| a.campaign.cmp(&b.campaign));
     rows
@@ -201,7 +203,10 @@ impl RunManifest {
     /// as one JSON document.
     pub fn to_value(&self, obs: &Registry) -> Value {
         Value::Map(vec![
-            ("config_hash".into(), Value::Str(format!("{:016x}", self.config_hash))),
+            (
+                "config_hash".into(),
+                Value::Str(format!("{:016x}", self.config_hash)),
+            ),
             ("seed".into(), Value::UInt(self.seed)),
             (
                 "window".into(),

@@ -106,9 +106,18 @@ mod tests {
             .iter()
             .find(|s| w.campaigns[s.campaign.index()].classified)
             .unwrap();
-        let dom = w.domains.get(classified.current_domain).name.as_str().to_owned();
-        let names: Vec<String> =
-            w.campaigns.iter().filter(|c| c.classified).map(|c| c.name.clone()).collect();
+        let dom = w
+            .domains
+            .get(classified.current_domain)
+            .name
+            .as_str()
+            .to_owned();
+        let names: Vec<String> = w
+            .campaigns
+            .iter()
+            .filter(|c| c.classified)
+            .map(|c| c.name.clone())
+            .collect();
         let oracle = WorldOracle::new(&w, vec![dom.clone()], names, 0.0, 1);
         let truth = oracle.true_campaign(&dom).unwrap();
         assert_eq!(truth, w.campaigns[classified.campaign.index()].name);
@@ -119,7 +128,12 @@ mod tests {
             .iter()
             .find(|s| !w.campaigns[s.campaign.index()].classified)
             .unwrap();
-        let sdom = w.domains.get(shadow.current_domain).name.as_str().to_owned();
+        let sdom = w
+            .domains
+            .get(shadow.current_domain)
+            .name
+            .as_str()
+            .to_owned();
         assert_eq!(oracle.true_campaign(&sdom), None);
 
         // Non-stores get no name either.
@@ -136,19 +150,24 @@ mod tests {
             .unwrap();
         let dom = w.domains.get(store.current_domain).name.as_str().to_owned();
         let truth_name = w.campaigns[store.campaign.index()].name.clone();
-        let names: Vec<String> =
-            w.campaigns.iter().filter(|c| c.classified).map(|c| c.name.clone()).collect();
+        let names: Vec<String> = w
+            .campaigns
+            .iter()
+            .filter(|c| c.classified)
+            .map(|c| c.name.clone())
+            .collect();
         let truth_class = names.iter().position(|n| *n == truth_name).unwrap();
 
-        let mut perfect =
-            WorldOracle::new(&w, vec![dom.clone(); 50], names.clone(), 0.0, 2);
+        let mut perfect = WorldOracle::new(&w, vec![dom.clone(); 50], names.clone(), 0.0, 2);
         for i in 0..50 {
             assert_eq!(perfect.label(i), Some(truth_class));
         }
         assert_eq!(perfect.consultations, 50);
 
         let mut flaky = WorldOracle::new(&w, vec![dom; 400], names, 0.3, 3);
-        let wrong = (0..400).filter(|&i| flaky.label(i) != Some(truth_class)).count();
+        let wrong = (0..400)
+            .filter(|&i| flaky.label(i) != Some(truth_class))
+            .count();
         // ~30% error, minus accidental correct random picks.
         assert!((50..180).contains(&wrong), "wrong={wrong}");
     }

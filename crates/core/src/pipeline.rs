@@ -186,7 +186,13 @@ impl DailyStage for EnrollStoresStage {
     fn name(&self) -> &'static str {
         "enroll-stores"
     }
-    fn run(&self, ctx: &StageContext<'_>, state: &mut DailyState, _world: &mut World, _day: SimDate) {
+    fn run(
+        &self,
+        ctx: &StageContext<'_>,
+        state: &mut DailyState,
+        _world: &mut World,
+        _day: SimDate,
+    ) {
         let cap = ctx.cfg.monitor_store_cap;
         if state.sampler.stores.len() >= cap {
             return;
@@ -285,7 +291,10 @@ pub struct Study {
 impl Study {
     /// Creates a study with the default five-stage schedule.
     pub fn new(cfg: StudyConfig) -> Self {
-        Study { cfg, stages: Self::default_schedule() }
+        Study {
+            cfg,
+            stages: Self::default_schedule(),
+        }
     }
 
     /// Creates a study with a custom stage schedule.
@@ -333,7 +342,11 @@ impl Study {
         };
 
         // ---- the daily programme: run the registered schedule ----
-        let ctx = StageContext { cfg: &cfg, start, obs: &obs };
+        let ctx = StageContext {
+            cfg: &cfg,
+            start,
+            obs: &obs,
+        };
         let mut day_records: Vec<DayRecord> = Vec::new();
         for day in SimDate::range_inclusive(start + 1, end) {
             let day_clock = Instant::now();
@@ -353,7 +366,13 @@ impl Study {
                 elapsed_ms: day_clock.elapsed().as_secs_f64() * 1_000.0,
             });
         }
-        let DailyState { crawler, sampler, mut transactions, awstats, purchased: _ } = state;
+        let DailyState {
+            crawler,
+            sampler,
+            mut transactions,
+            awstats,
+            purchased: _,
+        } = state;
 
         // ---- post-crawl collection ----
 
@@ -361,7 +380,9 @@ impl Study {
         let _supplier_span = obs.span("study.supplier");
         let mut supplier = None;
         for tx in &transactions {
-            let Ok(host) = DomainName::parse(&tx.store_domain) else { continue };
+            let Ok(host) = DomainName::parse(&tx.store_domain) else {
+                continue;
+            };
             if let Some(portal) = world.packing_slip(&host) {
                 if let Some(max) = supplier_scrape::probe_max_order(&world, &portal) {
                     supplier = Some(supplier_scrape::scrape(&world, &portal, max, 4));
@@ -375,7 +396,10 @@ impl Study {
         if supplier.is_none() {
             let partnered: Option<String> =
                 crawler.db.detected_store_domains().into_iter().find(|d| {
-                    DomainName::parse(d).ok().and_then(|h| world.packing_slip(&h)).is_some()
+                    DomainName::parse(d)
+                        .ok()
+                        .and_then(|h| world.packing_slip(&h))
+                        .is_some()
                 });
             if let Some(domain) = partnered {
                 if let Some(tx) = transactions::purchase(&mut world, &domain, end) {
@@ -464,7 +488,13 @@ mod tests {
         let study = Study::new(StudyConfig::fast_test(73));
         assert_eq!(
             study.stage_names(),
-            ["crawl", "enroll-stores", "purchase-pairs", "purchases", "awstats-sweep"]
+            [
+                "crawl",
+                "enroll-stores",
+                "purchase-pairs",
+                "purchases",
+                "awstats-sweep"
+            ]
         );
     }
 
@@ -476,7 +506,10 @@ mod tests {
         cfg.crawl_end = cfg.crawl_start + 10;
         let study = Study::with_schedule(cfg, vec![Box::new(CrawlStage)]);
         let out = study.run().unwrap();
-        assert!(!out.crawler.db.psrs.is_empty(), "crawl stage must still run");
+        assert!(
+            !out.crawler.db.psrs.is_empty(),
+            "crawl stage must still run"
+        );
         assert_eq!(out.sampler.orders_created, 0, "sampling was not scheduled");
         assert!(out.awstats.is_empty(), "awstats was not scheduled");
     }

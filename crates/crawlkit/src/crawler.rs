@@ -72,7 +72,13 @@ pub struct CrawlerConfig {
 
 impl Default for CrawlerConfig {
     fn default() -> Self {
-        CrawlerConfig { serp_depth: 100, render_sample: 3, reverify_days: 3, max_hops: 6, threads: 1 }
+        CrawlerConfig {
+            serp_depth: 100,
+            render_sample: 3,
+            reverify_days: 3,
+            max_hops: 6,
+            threads: 1,
+        }
     }
 }
 
@@ -100,7 +106,11 @@ enum StoreObservation {
     /// The page was a seizure notice.
     Notice(SeizureNotice),
     /// A live page: store-detection verdict plus captured evidence.
-    Page { is_store: bool, html: String, cookie_names: Vec<String> },
+    Page {
+        is_store: bool,
+        html: String,
+        cookie_names: Vec<String>,
+    },
 }
 
 /// One entry in a vertical worker's output log. Replaying a day's logs in
@@ -114,15 +124,31 @@ enum CrawlEvent {
     /// Detection ran on a new domain and found it clean.
     Clean { domain: String },
     /// Detection ran on a new domain and confirmed cloaking.
-    Detected { domain: String, signal: CloakSignal, landing: Option<String> },
+    Detected {
+        domain: String,
+        signal: CloakSignal,
+        landing: Option<String>,
+    },
     /// A known-poisoned doorway's landing was re-resolved.
-    Reverified { domain: String, landing: Option<String> },
+    Reverified {
+        domain: String,
+        landing: Option<String>,
+    },
     /// Hacked-label state observed for a poisoned domain.
     Label { domain: String, labeled: bool },
     /// A poisoned search result to record.
-    Psr { term: String, rank: u8, domain: String, is_root: bool, labeled: bool },
+    Psr {
+        term: String,
+        rank: u8,
+        domain: String,
+        is_root: bool,
+        labeled: bool,
+    },
     /// A landing page was fetched and parsed.
-    StoreVisit { domain: String, outcome: StoreObservation },
+    StoreVisit {
+        domain: String,
+        outcome: StoreObservation,
+    },
 }
 
 /// A vertical worker's complete output for one day: the event log, the
@@ -149,7 +175,12 @@ pub struct Crawler {
 impl Crawler {
     /// Creates a crawler over a monitored term set.
     pub fn new(cfg: CrawlerConfig, monitored: Vec<MonitoredVertical>) -> Self {
-        Crawler { cfg, monitored, db: CrawlDb::new(), clean: HashSet::new() }
+        Crawler {
+            cfg,
+            monitored,
+            db: CrawlDb::new(),
+            clean: HashSet::new(),
+        }
     }
 
     /// Domains checked and found clean (for methodology validation).
@@ -221,8 +252,13 @@ impl Crawler {
             let name = self.db.domains.resolve(*id).to_owned();
             match info.cloak {
                 Some(signal) => {
-                    snap.poisoned
-                        .insert(name, PoisonSnap { signal, last_verified: info.last_verified });
+                    snap.poisoned.insert(
+                        name,
+                        PoisonSnap {
+                            signal,
+                            last_verified: info.last_verified,
+                        },
+                    );
                 }
                 None => {
                     snap.clean.insert(name);
@@ -257,7 +293,11 @@ impl Crawler {
                         self.clean.insert(id);
                     }
                 }
-                CrawlEvent::Detected { domain, signal, landing } => {
+                CrawlEvent::Detected {
+                    domain,
+                    signal,
+                    landing,
+                } => {
                     let id = self.db.domains.intern(&domain);
                     self.clean.remove(&id);
                     let landing_id = landing.map(|l| self.db.domains.intern(&l));
@@ -308,7 +348,13 @@ impl Crawler {
                     let id = self.db.domains.intern(&domain);
                     self.observe_label(id, day, labeled);
                 }
-                CrawlEvent::Psr { term, rank, domain, is_root, labeled } => {
+                CrawlEvent::Psr {
+                    term,
+                    rank,
+                    domain,
+                    is_root,
+                    labeled,
+                } => {
                     let term_id = self.db.terms.intern(&term);
                     let domain_id = self.db.domains.intern(&domain);
                     // The landing is read back from the database, after the
@@ -360,7 +406,11 @@ impl Crawler {
                     entry.last_alive_before_seizure = last_alive;
                 }
             }
-            StoreObservation::Page { is_store, html, cookie_names } => {
+            StoreObservation::Page {
+                is_store,
+                html,
+                cookie_names,
+            } => {
                 let entry = self.db.store_info.entry(landing_id).or_insert_with(fresh);
                 entry.last_seen = day;
                 if is_store {
@@ -389,14 +439,22 @@ impl Crawler {
         }
         let new = seen_today
             .iter()
-            .filter(|d| self.db.doorway_info.get(d).map(|i| i.first_seen == day).unwrap_or(false))
+            .filter(|d| {
+                self.db
+                    .doorway_info
+                    .get(d)
+                    .map(|i| i.first_seen == day)
+                    .unwrap_or(false)
+            })
             .count();
         new as f64 / seen_today.len() as f64
     }
 
     /// Records hacked-label state transitions for delay estimation.
     fn observe_label(&mut self, domain_id: u32, day: SimDate, labeled: bool) {
-        let Some(info) = self.db.doorway_info.get_mut(&domain_id) else { return };
+        let Some(info) = self.db.doorway_info.get_mut(&domain_id) else {
+            return;
+        };
         match (labeled, info.label_seen) {
             (true, None) => info.label_seen = Some((day, day)),
             (true, Some((first, _))) => info.label_seen = Some((first, day)),
@@ -449,9 +507,14 @@ fn crawl_vertical(
             }
             let name = url.host.as_str();
 
-            let known = local_poisoned.get(name).or_else(|| snap.poisoned.get(name)).cloned();
+            let known = local_poisoned
+                .get(name)
+                .or_else(|| snap.poisoned.get(name))
+                .cloned();
             let poisoned = if let Some(info) = known {
-                events.push(CrawlEvent::Seen { domain: name.to_owned() });
+                events.push(CrawlEvent::Seen {
+                    domain: name.to_owned(),
+                });
                 // Known poisoned: periodic cheap landing re-verification.
                 if day.days_since(info.last_verified) >= i64::from(cfg.reverify_days) {
                     ss_obs::count!(metrics, "crawl.fetches", 1, vertical = vertical);
@@ -462,7 +525,10 @@ fn crawl_vertical(
                     };
                     local_poisoned.insert(
                         name.to_owned(),
-                        PoisonSnap { signal: info.signal, last_verified: day },
+                        PoisonSnap {
+                            signal: info.signal,
+                            last_verified: day,
+                        },
                     );
                     let landing = verdict.landing;
                     events.push(CrawlEvent::Reverified {
@@ -491,14 +557,19 @@ fn crawl_vertical(
                     None => {
                         ss_obs::count!(metrics, "crawl.clean_verdicts", 1, vertical = vertical);
                         local_clean.insert(name.to_owned());
-                        events.push(CrawlEvent::Clean { domain: name.to_owned() });
+                        events.push(CrawlEvent::Clean {
+                            domain: name.to_owned(),
+                        });
                         false
                     }
                     Some(signal) => {
                         ss_obs::count!(metrics, "crawl.cloak_detections", 1, vertical = vertical);
                         local_poisoned.insert(
                             name.to_owned(),
-                            PoisonSnap { signal, last_verified: day },
+                            PoisonSnap {
+                                signal,
+                                last_verified: day,
+                            },
                         );
                         let landing = verdict.landing;
                         events.push(CrawlEvent::Detected {
@@ -521,7 +592,10 @@ fn crawl_vertical(
                 if rank <= 10 {
                     count.top10_poisoned += 1;
                 }
-                events.push(CrawlEvent::Label { domain: name.to_owned(), labeled });
+                events.push(CrawlEvent::Label {
+                    domain: name.to_owned(),
+                    labeled,
+                });
                 events.push(CrawlEvent::Psr {
                     term: term.clone(),
                     rank: rank.min(255) as u8,
@@ -532,7 +606,11 @@ fn crawl_vertical(
             }
         }
     }
-    VerticalLog { count, events, metrics }
+    VerticalLog {
+        count,
+        events,
+        metrics,
+    }
 }
 
 /// Visits a landing (store) domain read-only: store detection, HTML
@@ -549,7 +627,10 @@ fn visit_store(world: &World, landing: &Url, metrics: &Registry, vertical: &str)
     let domain = landing.host.as_str().to_owned();
     if let Some(notice) = stores::parse_seizure_notice(&resp.body) {
         ss_obs::count!(metrics, "crawl.seizure_notices", 1, vertical = vertical);
-        return CrawlEvent::StoreVisit { domain, outcome: StoreObservation::Notice(notice) };
+        return CrawlEvent::StoreVisit {
+            domain,
+            outcome: StoreObservation::Notice(notice),
+        };
     }
     let verdict = stores::detect_store(&resp.body, &resp.cookies);
     CrawlEvent::StoreVisit {
@@ -574,7 +655,11 @@ mod tests {
         w.run_until(start);
         let monitored = terms::select_all(&w, start, 6, 5);
         let mut crawler = Crawler::new(
-            CrawlerConfig { serp_depth: 30, threads, ..CrawlerConfig::default() },
+            CrawlerConfig {
+                serp_depth: 30,
+                threads,
+                ..CrawlerConfig::default()
+            },
             monitored,
         );
         let obs = Registry::new();
@@ -609,7 +694,10 @@ mod tests {
         let (w, crawler) = crawl_world(5);
         for (id, _) in crawler.db.poisoned_domains() {
             let name = crawler.db.domains.resolve(*id);
-            let domain = w.domains.lookup(&ss_types::DomainName::parse(name).unwrap()).unwrap();
+            let domain = w
+                .domains
+                .lookup(&ss_types::DomainName::parse(name).unwrap())
+                .unwrap();
             assert!(
                 w.doorway_truth(domain).is_some(),
                 "crawler flagged non-doorway {name}"
@@ -624,7 +712,10 @@ mod tests {
         assert!(!stores.is_empty(), "no stores detected");
         for id in stores {
             let name = crawler.db.domains.resolve(*id);
-            let domain = w.domains.lookup(&ss_types::DomainName::parse(name).unwrap()).unwrap();
+            let domain = w
+                .domains
+                .lookup(&ss_types::DomainName::parse(name).unwrap())
+                .unwrap();
             let kind = &w.domains.get(domain).kind;
             assert!(
                 matches!(kind, ss_eco::domains::SiteKind::Storefront { .. }),
@@ -632,7 +723,10 @@ mod tests {
             );
         }
         // Store HTML was captured for the classifier.
-        assert!(crawler.db.detected_stores().all(|(_, s)| !s.html.is_empty()));
+        assert!(crawler
+            .db
+            .detected_stores()
+            .all(|(_, s)| !s.html.is_empty()));
     }
 
     #[test]
@@ -669,7 +763,10 @@ mod tests {
                 parallel_obs.metrics_json(),
                 "{threads} threads: merged metric registries differ"
             );
-            assert_eq!(serial.db.psrs, parallel.db.psrs, "{threads} threads: PSRs differ");
+            assert_eq!(
+                serial.db.psrs, parallel.db.psrs,
+                "{threads} threads: PSRs differ"
+            );
             assert_eq!(
                 serial.db.daily_counts, parallel.db.daily_counts,
                 "{threads} threads: daily counts differ"
@@ -680,7 +777,10 @@ mod tests {
                 "{threads} threads: interner sizes differ"
             );
             for id in 0..serial.db.domains.len() as u32 {
-                assert_eq!(serial.db.domains.resolve(id), parallel.db.domains.resolve(id));
+                assert_eq!(
+                    serial.db.domains.resolve(id),
+                    parallel.db.domains.resolve(id)
+                );
             }
             assert_eq!(serial.db.doorway_info.len(), parallel.db.doorway_info.len());
             for (id, info) in &serial.db.doorway_info {
@@ -697,7 +797,10 @@ mod tests {
                 assert_eq!(info.html, other.html);
                 assert_eq!(info.seizure.is_some(), other.seizure.is_some());
             }
-            assert_eq!(serial.clean, parallel.clean, "{threads} threads: clean sets differ");
+            assert_eq!(
+                serial.clean, parallel.clean,
+                "{threads} threads: clean sets differ"
+            );
         }
     }
 
@@ -709,11 +812,22 @@ mod tests {
         assert!(obs.counter_total("crawl.serp_queries") > 0);
         assert!(obs.counter_total("crawl.fetches") > 0);
         assert!(obs.counter_total("crawl.cloak_detections") > 0);
-        assert_eq!(obs.counter_total("crawl.psrs"), crawler.db.psrs.len() as u64);
-        let ranks = obs.histogram("crawl.psr_rank").expect("rank histogram recorded");
+        assert_eq!(
+            obs.counter_total("crawl.psrs"),
+            crawler.db.psrs.len() as u64
+        );
+        let ranks = obs
+            .histogram("crawl.psr_rank")
+            .expect("rank histogram recorded");
         assert_eq!(ranks.count(), crawler.db.psrs.len() as u64);
-        assert!(ranks.max().unwrap_or(0) <= 30, "ranks bounded by crawl depth");
+        assert!(
+            ranks.max().unwrap_or(0) <= 30,
+            "ranks bounded by crawl depth"
+        );
         // Labels carry the vertical name.
-        assert!(obs.metric_names().iter().any(|n| n.starts_with("crawl.psrs{vertical=")));
+        assert!(obs
+            .metric_names()
+            .iter()
+            .any(|n| n.starts_with("crawl.psrs{vertical=")));
     }
 }

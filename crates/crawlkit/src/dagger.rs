@@ -130,7 +130,12 @@ pub fn check(web: &impl Fetcher, url: &Url, term: &str, max_hops: usize) -> Dagg
         }
     }
 
-    DaggerVerdict { cloaked: None, landing: None, user_body: user_resp.body, cookies: user_resp.cookies }
+    DaggerVerdict {
+        cloaked: None,
+        landing: None,
+        user_body: user_resp.body,
+        cookies: user_resp.cookies,
+    }
 }
 
 /// Follows a JS navigation target, returning the final landing URL and
@@ -166,8 +171,11 @@ mod tests {
     impl Fetcher for CloakWeb {
         fn fetch(&self, req: &Request) -> (Response, Vec<ss_web::SideEffect>) {
             let is_bot = req.user_agent == UserAgent::GoogleBot;
-            let from_search =
-                req.referrer.as_ref().map(|r| r.host.as_str().contains("google")).unwrap_or(false);
+            let from_search = req
+                .referrer
+                .as_ref()
+                .map(|r| r.host.as_str().contains("google"))
+                .unwrap_or(false);
             let resp = match req.url.host.as_str() {
                 "redirect-cloak.com" => {
                     if is_bot {
@@ -215,7 +223,12 @@ mod tests {
 
     #[test]
     fn detects_redirect_cloaking() {
-        let v = check(&CloakWeb, &url("http://redirect-cloak.com/"), "cheap bags", 5);
+        let v = check(
+            &CloakWeb,
+            &url("http://redirect-cloak.com/"),
+            "cheap bags",
+            5,
+        );
         assert_eq!(v.cloaked, Some(CloakSignal::HttpRedirect));
         assert_eq!(v.landing.unwrap().host.as_str(), "store.com");
         assert!(v.user_body.contains("checkout"));
@@ -230,7 +243,12 @@ mod tests {
 
     #[test]
     fn detects_content_cloaking() {
-        let v = check(&CloakWeb, &url("http://content-cloak.com/"), "cheap bags", 5);
+        let v = check(
+            &CloakWeb,
+            &url("http://content-cloak.com/"),
+            "cheap bags",
+            5,
+        );
         assert_eq!(v.cloaked, Some(CloakSignal::ContentDiff));
     }
 

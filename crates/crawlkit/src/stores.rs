@@ -49,10 +49,15 @@ impl StoreVerdict {
 
 /// Applies both heuristics to a landing page.
 pub fn detect_store(body: &str, cookies: &[Cookie]) -> StoreVerdict {
-    let cookie_hit = cookies.iter().any(|c| STORE_COOKIE_NAMES.contains(&c.name.as_str()));
+    let cookie_hit = cookies
+        .iter()
+        .any(|c| STORE_COOKIE_NAMES.contains(&c.name.as_str()));
     let lower = body.to_ascii_lowercase();
     let cart_hit = lower.contains("cart") || lower.contains("checkout");
-    StoreVerdict { cookie_hit, cart_hit }
+    StoreVerdict {
+        cookie_hit,
+        cart_hit,
+    }
 }
 
 /// A parsed seizure notice.
@@ -95,7 +100,10 @@ mod tests {
     use super::*;
 
     fn cookie(name: &str) -> Cookie {
-        Cookie { name: name.into(), value: "v".into() }
+        Cookie {
+            name: name.into(),
+            value: "v".into(),
+        }
     }
 
     #[test]
@@ -124,8 +132,10 @@ mod tests {
 
     #[test]
     fn notice_parsing_roundtrips_generator_output() {
-        let seized =
-            vec!["cocoviphandbags.com".to_owned(), "other-store.net".to_owned()];
+        let seized = vec![
+            "cocoviphandbags.com".to_owned(),
+            "other-store.net".to_owned(),
+        ];
         let html = ss_web::pagegen::notice::page(&ss_web::pagegen::notice::NoticeCtx {
             domain: "cocoviphandbags.com",
             firm: "Greer, Burns & Crain",

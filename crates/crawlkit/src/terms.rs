@@ -62,7 +62,9 @@ pub fn doorway_extraction_terms(
     let mut pool: Vec<String> = Vec::new();
 
     for q in bootstrap_queries(spec.brands) {
-        let Some(serp) = query_by_text(world, &q, probe_day, 40) else { continue };
+        let Some(serp) = query_by_text(world, &q, probe_day, 40) else {
+            continue;
+        };
         for (_, url, _) in serp {
             // Probe with Dagger; only confirmed-cloaked doorways are mined.
             let verdict = crate::dagger::check(world, &url, &q, 5);
@@ -116,7 +118,10 @@ pub fn suggest_expansion_terms(
         if out.len() >= want {
             break;
         }
-        if query_by_text(world, &c, probe_day, 10).map(|r| !r.is_empty()).unwrap_or(false) {
+        if query_by_text(world, &c, probe_day, 10)
+            .map(|r| !r.is_empty())
+            .unwrap_or(false)
+        {
             out.push(c);
         }
     }
@@ -143,7 +148,12 @@ pub fn suggest_expansion_terms(
 /// the exact split of §4.1.1. Returns one [`MonitoredVertical`] per world
 /// vertical, in order. `sample_bootstrap_verticals` caps how many verticals
 /// run the (expensive) doorway probe before falling back to suggest.
-pub fn select_all(world: &World, probe_day: SimDate, want: usize, seed: u64) -> Vec<MonitoredVertical> {
+pub fn select_all(
+    world: &World,
+    probe_day: SimDate,
+    want: usize,
+    seed: u64,
+) -> Vec<MonitoredVertical> {
     let n = world.verticals.len();
     let mut out = Vec::with_capacity(n);
     for vi in 0..n {
@@ -169,7 +179,11 @@ pub fn select_all(world: &World, probe_day: SimDate, want: usize, seed: u64) -> 
             }
             terms.truncate(want);
         }
-        out.push(MonitoredVertical { name: spec.name.to_owned(), methodology, terms });
+        out.push(MonitoredVertical {
+            name: spec.name.to_owned(),
+            methodology,
+            terms,
+        });
     }
     out
 }
@@ -189,7 +203,12 @@ pub fn query_by_text(
         .position(|t| t.text == text)
         .map(ss_types::TermId::from_index)?;
     let serp = world.engine.serp(term, day, k);
-    Some(serp.results.into_iter().map(|r| (r.rank, r.url, r.hacked_label)).collect())
+    Some(
+        serp.results
+            .into_iter()
+            .map(|r| (r.rank, r.url, r.hacked_label))
+            .collect(),
+    )
 }
 
 /// Overlap between two term sets (the §4.1.1 bias check counted 4 / 1000

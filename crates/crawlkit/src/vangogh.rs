@@ -19,7 +19,11 @@ pub fn is_fullpage(width: &str, height: &str) -> bool {
         if dim.trim() == "100%" {
             return true;
         }
-        dim.trim().trim_end_matches("px").parse::<f64>().map(|v| v > 800.0).unwrap_or(false)
+        dim.trim()
+            .trim_end_matches("px")
+            .parse::<f64>()
+            .map(|v| v > 800.0)
+            .unwrap_or(false)
     }
     big(width) && big(height)
 }
@@ -63,7 +67,12 @@ pub fn check(web: &impl Fetcher, url: &Url, term: &str, max_hops: usize) -> Dagg
             };
         }
     }
-    DaggerVerdict { cloaked: None, landing: None, user_body: resp.body, cookies: resp.cookies }
+    DaggerVerdict {
+        cloaked: None,
+        landing: None,
+        user_body: resp.body,
+        cookies: resp.cookies,
+    }
 }
 
 #[cfg(test)]

@@ -12,8 +12,8 @@ use rand::Rng;
 use ss_types::market::{self, CampaignSpec};
 use ss_types::rng::{derive_seed, sub_rng, SimRng};
 use ss_types::{
-    BrandId, CampaignId, DomainId, FirmId, SimDate, StoreId, TermId, VerticalId,
-    CRAWL_END_DAY, CRAWL_START_DAY,
+    BrandId, CampaignId, DomainId, FirmId, SimDate, StoreId, TermId, VerticalId, CRAWL_END_DAY,
+    CRAWL_START_DAY,
 };
 use ss_web::cloak::CloakMode;
 use ss_web::pagegen::legit::LegitTheme;
@@ -56,7 +56,10 @@ fn build_brands(w: &mut World) {
 
 fn brand_id(w: &World, name: &str) -> BrandId {
     BrandId::from_index(
-        w.brand_names.iter().position(|b| *b == name).expect("brand registered"),
+        w.brand_names
+            .iter()
+            .position(|b| *b == name)
+            .expect("brand registered"),
     )
 }
 
@@ -101,16 +104,25 @@ fn build_verticals_and_terms(w: &mut World) {
         // Top up with composed strings if suggest ran dry.
         let mut salt = 0u32;
         while texts.len() < universe {
-            push_unique(&mut texts, format!("{} style {salt}", brand.to_ascii_lowercase()));
+            push_unique(
+                &mut texts,
+                format!("{} style {salt}", brand.to_ascii_lowercase()),
+            );
             salt += 1;
         }
 
-        let terms: Vec<TermId> =
-            texts.iter().map(|t| w.engine.add_term(vid, t)).collect();
-        let popularity =
-            (f64::from(spec.table1.psrs) / 170_000.0).sqrt().clamp(0.3, 2.2);
+        let terms: Vec<TermId> = texts.iter().map(|t| w.engine.add_term(vid, t)).collect();
+        let popularity = (f64::from(spec.table1.psrs) / 170_000.0)
+            .sqrt()
+            .clamp(0.3, 2.2);
         let elite_prob = (0.03 + spec.fig3.top10_max / 300.0).clamp(0.03, 0.17);
-        w.verticals.push(VerticalState { id: vid, spec, terms, popularity, elite_prob });
+        w.verticals.push(VerticalState {
+            id: vid,
+            spec,
+            terms,
+            popularity,
+            elite_prob,
+        });
     }
 }
 
@@ -153,7 +165,8 @@ fn build_legit_web(w: &mut World) {
                 };
                 let quality = rng.gen_range(0.2..0.95);
                 let relevance = rng.gen_range(0.4..0.9);
-                w.engine.index_page(term, url, domain, quality, relevance, SimDate::EPOCH);
+                w.engine
+                    .index_page(term, url, domain, quality, relevance, SimDate::EPOCH);
             }
         }
     }
@@ -162,9 +175,7 @@ fn build_legit_web(w: &mut World) {
 fn build_firms(w: &mut World) {
     let specs = market::FIRMS;
     let names = market::all_brands();
-    for (fi, (spec, policy)) in
-        specs.iter().zip(w.cfg.seizure_policies.clone()).enumerate()
-    {
+    for (fi, (spec, policy)) in specs.iter().zip(w.cfg.seizure_policies.clone()).enumerate() {
         let mut rng = sub_rng(w.cfg.seed, &format!("firm/{fi}"));
         // Each firm represents a deterministic subset of the brand universe.
         let mut brand_pool: Vec<&str> = names.clone();
@@ -246,7 +257,11 @@ fn scaled(n: u32, scale: f64) -> usize {
 /// Per-campaign activity schedule: a long background window plus the peak
 /// window whose length Table 2 reports.
 fn build_windows(spec_peak: u32, rng: &mut SimRng, early: bool) -> Vec<ActivityWindow> {
-    let bg_start = if early { rng.gen_range(0..40) } else { rng.gen_range(60..160) };
+    let bg_start = if early {
+        rng.gen_range(0..40)
+    } else {
+        rng.gen_range(60..160)
+    };
     let bg_len = rng.gen_range(180..320);
     let background = ActivityWindow {
         from: SimDate::from_day_index(bg_start),
@@ -254,7 +269,9 @@ fn build_windows(spec_peak: u32, rng: &mut SimRng, early: bool) -> Vec<ActivityW
         juice: 0.26,
     };
     let peak_len = spec_peak.max(3);
-    let latest = CRAWL_END_DAY.saturating_sub(peak_len).max(CRAWL_START_DAY + 1);
+    let latest = CRAWL_END_DAY
+        .saturating_sub(peak_len)
+        .max(CRAWL_START_DAY + 1);
     let peak_start = rng.gen_range(CRAWL_START_DAY..=latest);
     let peak = ActivityWindow {
         from: SimDate::from_day_index(peak_start),
@@ -283,7 +300,10 @@ fn create_store(
         Some(names) => {
             let ids: Vec<DomainId> = names
                 .iter()
-                .map(|n| w.domains.register_unique(n, SiteKind::Storefront { store: id }, created))
+                .map(|n| {
+                    w.domains
+                        .register_unique(n, SiteKind::Storefront { store: id }, created)
+                })
                 .collect();
             (ids[0], ids[1..].to_vec())
         }
@@ -303,7 +323,12 @@ fn create_store(
     };
     let name = {
         let host = w.domains.get(first).name.clone();
-        let stem = host.as_str().split('.').next().unwrap_or("store").replace('-', " ");
+        let stem = host
+            .as_str()
+            .split('.')
+            .next()
+            .unwrap_or("store")
+            .replace('-', " ");
         format!("{} {}", stem, locale)
     };
     w.stores.push(StoreState {
@@ -328,12 +353,7 @@ fn create_store(
 }
 
 /// Creates the doorway fleet for a campaign across its verticals/windows.
-fn create_doorways(
-    w: &mut World,
-    ci: usize,
-    n_doorways: usize,
-    rng: &mut SimRng,
-) {
+fn create_doorways(w: &mut World, ci: usize, n_doorways: usize, rng: &mut SimRng) {
     let campaign = CampaignId::from_index(ci);
     let verticals = w.campaigns[ci].verticals.clone();
     let windows = w.campaigns[ci].windows.clone();
@@ -357,9 +377,11 @@ fn create_doorways(
             .copied()
             .filter(|s| {
                 let st = &w.stores[s.index()];
-                w.verticals[vertical.index()].spec.brands.iter().any(|b| {
-                    st.brands.iter().any(|sb| w.brand_names[sb.index()] == *b)
-                })
+                w.verticals[vertical.index()]
+                    .spec
+                    .brands
+                    .iter()
+                    .any(|b| st.brands.iter().any(|sb| w.brand_names[sb.index()] == *b))
             })
             .nth(k % stores.len().max(1))
             .unwrap_or(stores[k % stores.len()]);
@@ -368,7 +390,12 @@ fn create_doorways(
         let name = domains::doorway_name(rng);
         let domain = w.domains.register_unique(
             &name,
-            SiteKind::Doorway { campaign, compromised, cloak, target_store: store },
+            SiteKind::Doorway {
+                campaign,
+                compromised,
+                cloak,
+                target_store: store,
+            },
             live_from,
         );
         // Term targets: the first term is indexed at the site root (this is
@@ -395,7 +422,8 @@ fn create_doorways(
             };
             let quality = rng.gen_range(0.05..0.3);
             let relevance = rng.gen_range(0.55..0.85);
-            w.engine.index_page(t, url, domain, quality, relevance, live_from);
+            w.engine
+                .index_page(t, url, domain, quality, relevance, live_from);
         }
         let di = w.campaigns[ci].doorways.len();
         w.campaigns[ci].doorways.push(DoorwayState {
@@ -451,7 +479,9 @@ fn build_campaigns(w: &mut World) {
         let cloak = match spec.name {
             "IFRAMEINJS" => CloakMode::Iframe { obfuscation: 3 },
             _ => match rng.gen_range(0..10) {
-                0..=4 => CloakMode::Iframe { obfuscation: rng.gen_range(0..4) },
+                0..=4 => CloakMode::Iframe {
+                    obfuscation: rng.gen_range(0..4),
+                },
                 5..=7 => CloakMode::Redirect,
                 _ => CloakMode::JsRedirect,
             },
@@ -522,7 +552,8 @@ fn build_campaigns(w: &mut World) {
             reaction_days,
             supplier_partner,
         });
-        w.templates.push(StoreTemplate::for_campaign(spec.name, w.cfg.seed));
+        w.templates
+            .push(StoreTemplate::for_campaign(spec.name, w.cfg.seed));
 
         // Stores: creation staggered across the study so store lifetimes
         // (first sighting → seizure) are not artificially compressed; real
@@ -542,7 +573,14 @@ fn build_campaigns(w: &mut World) {
                 }
             }
             let sid = create_store(
-                w, id, spec.name, vertical, &store_brands, &mut rng, created, None,
+                w,
+                id,
+                spec.name,
+                vertical,
+                &store_brands,
+                &mut rng,
+                created,
+                None,
             );
             w.campaigns[ci].stores.push(sid);
         }
@@ -571,13 +609,16 @@ fn build_campaigns(w: &mut World) {
             w.campaigns[ci].stores.push(sid);
             if w.cfg.proactive_rotation {
                 // Rotations at end of June and mid-August 2014 (Fig. 5).
-                w.proactive_rotations.push((SimDate::from_day_index(357), sid));
-                w.proactive_rotations.push((SimDate::from_day_index(406), sid));
+                w.proactive_rotations
+                    .push((SimDate::from_day_index(357), sid));
+                w.proactive_rotations
+                    .push((SimDate::from_day_index(406), sid));
             }
             // cocoviphandbags.com seized July 11, 2014 — after the store
             // had already moved on (§5.2.3).
             let first_domain = w.stores[sid.index()].domain_history[0].1;
-            w.scripted_seizures.push((SimDate::from_day_index(371), first_domain, FirmId(0)));
+            w.scripted_seizures
+                .push((SimDate::from_day_index(371), first_domain, FirmId(0)));
         }
         if spec.name == "PHP?P=" {
             // Figure 6: four international stores; the Abercrombie UK
@@ -612,7 +653,8 @@ fn build_campaigns(w: &mut World) {
                 intl.push(sid);
             }
             let uk_domain = w.stores[intl[0].index()].domain_history[0].1;
-            w.scripted_seizures.push((SimDate::from_day_index(219), uk_domain, FirmId(0)));
+            w.scripted_seizures
+                .push((SimDate::from_day_index(219), uk_domain, FirmId(0)));
         }
 
         // Doorways last (they need stores to target).
@@ -640,7 +682,9 @@ fn build_shadow_campaigns(w: &mut World) {
         let early = rng.gen::<f64>() < 0.3;
         let windows = build_windows(spec.peak_days, &mut rng, early);
         let cloak = match rng.gen_range(0..10) {
-            0..=4 => CloakMode::Iframe { obfuscation: rng.gen_range(0..4) },
+            0..=4 => CloakMode::Iframe {
+                obfuscation: rng.gen_range(0..4),
+            },
             5..=7 => CloakMode::Redirect,
             _ => CloakMode::JsRedirect,
         };
@@ -656,7 +700,8 @@ fn build_shadow_campaigns(w: &mut World) {
             reaction_days: rng.gen_range(3..30),
             supplier_partner: false,
         });
-        w.templates.push(StoreTemplate::for_campaign(&name, w.cfg.seed));
+        w.templates
+            .push(StoreTemplate::for_campaign(&name, w.cfg.seed));
 
         let n_stores = scaled(spec.stores, w.cfg.scale.entity_scale);
         for s in 0..n_stores {
@@ -679,7 +724,10 @@ fn plan_penalties(w: &mut World) {
         for d in &c.doorways {
             if rng.gen::<f64>() < policy.detect_prob {
                 let delay = rng.gen_range(policy.delay_min..=policy.delay_max);
-                plans.push(PenaltyPlan { domain: d.domain, due: d.live_from + delay });
+                plans.push(PenaltyPlan {
+                    domain: d.domain,
+                    due: d.live_from + delay,
+                });
             }
         }
     }
@@ -703,8 +751,7 @@ mod tests {
         assert_eq!(a.domains.len(), b.domains.len());
         assert_eq!(a.stores.len(), b.stores.len());
         assert_eq!(a.engine.doc_count(), b.engine.doc_count());
-        let an: Vec<&str> =
-            a.campaigns.iter().map(|c| c.name.as_str()).collect();
+        let an: Vec<&str> = a.campaigns.iter().map(|c| c.name.as_str()).collect();
         let bn: Vec<&str> = b.campaigns.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(an, bn);
     }
@@ -712,8 +759,7 @@ mod tests {
     #[test]
     fn classified_campaigns_come_first_and_complete() {
         let w = tiny_world();
-        let classified: Vec<&CampaignState> =
-            w.campaigns.iter().filter(|c| c.classified).collect();
+        let classified: Vec<&CampaignState> = w.campaigns.iter().filter(|c| c.classified).collect();
         assert_eq!(classified.len(), 52);
         assert!(w.campaigns.len() > 52, "shadow tail expected");
         for c in classified {

@@ -96,7 +96,9 @@ impl CampaignState {
 
     /// Doorways currently funneling to `store`.
     pub fn doorways_to(&self, store: StoreId) -> impl Iterator<Item = &DoorwayState> {
-        self.doorways.iter().filter(move |d| d.target_store == store)
+        self.doorways
+            .iter()
+            .filter(move |d| d.target_store == store)
     }
 
     /// Re-points every doorway currently targeting `from` to `to` (the
@@ -151,8 +153,16 @@ mod tests {
             stores: vec![StoreId(0), StoreId(1)],
             cloak: CloakMode::Redirect,
             windows: vec![
-                ActivityWindow { from: day(131), to: day(163), juice: 0.6 },
-                ActivityWindow { from: day(200), to: day(230), juice: 0.28 },
+                ActivityWindow {
+                    from: day(131),
+                    to: day(163),
+                    juice: 0.6,
+                },
+                ActivityWindow {
+                    from: day(200),
+                    to: day(230),
+                    juice: 0.28,
+                },
             ],
             reaction_days: 7,
             supplier_partner: false,

@@ -82,18 +82,18 @@ impl DomainRegistry {
         let id = DomainId::from_index(self.records.len());
         let prev = self.by_name.insert(name.clone(), id);
         assert!(prev.is_none(), "duplicate domain registration: {name}");
-        self.records.push(DomainRecord { name, kind, created, seized: None });
+        self.records.push(DomainRecord {
+            name,
+            kind,
+            created,
+            seized: None,
+        });
         id
     }
 
     /// Registers, appending a numeric suffix on collision (name generators
     /// can collide at scale; the web has no shortage of `-2` domains).
-    pub fn register_unique(
-        &mut self,
-        base: &str,
-        kind: SiteKind,
-        created: SimDate,
-    ) -> DomainId {
+    pub fn register_unique(&mut self, base: &str, kind: SiteKind, created: SimDate) -> DomainId {
         if let Ok(name) = DomainName::parse(base) {
             if !self.by_name.contains_key(&name) {
                 return self.register(name, kind, created);
@@ -138,7 +138,10 @@ impl DomainRegistry {
 
     /// Iterates over `(id, record)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (DomainId, &DomainRecord)> {
-        self.records.iter().enumerate().map(|(i, r)| (DomainId::from_index(i), r))
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (DomainId::from_index(i), r))
     }
 
     /// Marks a domain seized.
@@ -157,8 +160,9 @@ const LEGIT_TAILS: &[&str] = &[
     "news", "review", "journal", "blog", "times", "post", "shop", "market", "style", "life",
     "world", "report", "gazette", "digest", "weekly",
 ];
-const STORE_ADJ: &[&str] =
-    &["cheap", "discount", "outlet", "vip", "best", "top", "luxe", "official", "mall", "super"];
+const STORE_ADJ: &[&str] = &[
+    "cheap", "discount", "outlet", "vip", "best", "top", "luxe", "official", "mall", "super",
+];
 const TLDS: &[&str] = &["com", "net", "org", "biz", "info", "co"];
 
 /// Generates a legitimate-looking domain name.
@@ -185,8 +189,11 @@ pub fn doorway_name(rng: &mut SimRng) -> String {
 
 /// Generates a storefront name shilling `brand`.
 pub fn store_name(rng: &mut SimRng, brand: &str) -> String {
-    let slug: String =
-        brand.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_ascii_lowercase();
+    let slug: String = brand
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
     format!(
         "{}-{}-{}{}.{}",
         STORE_ADJ[rng.gen_range(0..STORE_ADJ.len())],
@@ -239,10 +246,25 @@ mod tests {
     #[test]
     fn seizure_is_first_writer_wins() {
         let mut reg = DomainRegistry::new();
-        let id = reg.register(DomainName::parse("s.com").unwrap(), SiteKind::OffstageStore, day0());
-        let first = Seizure { day: SimDate::from_day_index(10), case: CaseId(1), firm: FirmId(0) };
+        let id = reg.register(
+            DomainName::parse("s.com").unwrap(),
+            SiteKind::OffstageStore,
+            day0(),
+        );
+        let first = Seizure {
+            day: SimDate::from_day_index(10),
+            case: CaseId(1),
+            firm: FirmId(0),
+        };
         reg.seize(id, first);
-        reg.seize(id, Seizure { day: SimDate::from_day_index(99), case: CaseId(2), firm: FirmId(1) });
+        reg.seize(
+            id,
+            Seizure {
+                day: SimDate::from_day_index(99),
+                case: CaseId(2),
+                firm: FirmId(1),
+            },
+        );
         assert_eq!(reg.get(id).seized, Some(first));
     }
 

@@ -80,7 +80,12 @@ impl EventLog {
     /// All seizure cases.
     pub fn cases(&self) -> impl Iterator<Item = (&FirmId, &CaseId, &SimDate, &Vec<DomainId>)> {
         self.events.iter().filter_map(|e| match e {
-            Event::CaseFiled { firm, case, day, domains } => Some((firm, case, day, domains)),
+            Event::CaseFiled {
+                firm,
+                case,
+                day,
+                domains,
+            } => Some((firm, case, day, domains)),
             _ => None,
         })
     }
@@ -90,9 +95,13 @@ impl EventLog {
         self.events
             .iter()
             .filter_map(|e| match e {
-                Event::StoreRotated { store: s, day, from, to, reactive } if *s == store => {
-                    Some((day, from, to, *reactive))
-                }
+                Event::StoreRotated {
+                    store: s,
+                    day,
+                    from,
+                    to,
+                    reactive,
+                } if *s == store => Some((day, from, to, *reactive)),
                 _ => None,
             })
             .collect()

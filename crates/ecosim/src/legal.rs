@@ -50,7 +50,11 @@ impl FirmState {
     /// Docket string for the next case.
     pub fn next_docket(&self, day: SimDate) -> String {
         let (year, _, _) = day.ymd();
-        format!("{}-cv-{:05}", year % 100, 100 + self.cases.len() * 7 + self.id.index())
+        format!(
+            "{}-cv-{:05}",
+            year % 100,
+            100 + self.cases.len() * 7 + self.id.index()
+        )
     }
 }
 

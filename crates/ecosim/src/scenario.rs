@@ -172,9 +172,17 @@ impl ScenarioConfig {
             seizure_policies: vec![
                 // GBC: ~69 cases over ~2.4 years ≈ every 13 days; reacts on
                 // stores that lived ~58–68 days.
-                SeizurePolicy { case_interval: 13, observed_fraction: 0.007, target_lifetime: 63 },
+                SeizurePolicy {
+                    case_interval: 13,
+                    observed_fraction: 0.007,
+                    target_lifetime: 63,
+                },
                 // SMGPA: ~47 cases over ~2.4 years ≈ every 19 days.
-                SeizurePolicy { case_interval: 19, observed_fraction: 0.009, target_lifetime: 52 },
+                SeizurePolicy {
+                    case_interval: 19,
+                    observed_fraction: 0.009,
+                    target_lifetime: 52,
+                },
             ],
             conversion_rate: 0.007,
             pages_per_visit: 5.6,
@@ -211,10 +219,14 @@ impl ScenarioConfig {
             )));
         }
         if self.scale.terms_per_vertical == 0 {
-            return Err(Error::InvalidConfig("terms_per_vertical must be positive".into()));
+            return Err(Error::InvalidConfig(
+                "terms_per_vertical must be positive".into(),
+            ));
         }
         if self.scale.end_day <= ss_types::CRAWL_START_DAY {
-            return Err(Error::InvalidConfig("end_day must exceed the crawl start".into()));
+            return Err(Error::InvalidConfig(
+                "end_day must exceed the crawl start".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.conversion_rate)
             || !(0.0..=1.0).contains(&self.referrer_rate)
@@ -227,7 +239,9 @@ impl ScenarioConfig {
             return Err(Error::InvalidConfig("label delay bounds inverted".into()));
         }
         if self.seizure_policies.is_empty() {
-            return Err(Error::InvalidConfig("at least one seizure firm required".into()));
+            return Err(Error::InvalidConfig(
+                "at least one seizure firm required".into(),
+            ));
         }
         Ok(())
     }
@@ -244,7 +258,11 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for cfg in [ScenarioConfig::paper(1), ScenarioConfig::small(1), ScenarioConfig::tiny(1)] {
+        for cfg in [
+            ScenarioConfig::paper(1),
+            ScenarioConfig::small(1),
+            ScenarioConfig::tiny(1),
+        ] {
             cfg.validate().unwrap();
         }
     }

@@ -97,7 +97,10 @@ impl StoreState {
     ) {
         let (y, m, _) = day.ymd();
         if self.months.last().map(|b| b.year_month) != Some((y, m)) {
-            self.months.push(MonthStats { year_month: (y, m), ..MonthStats::default() });
+            self.months.push(MonthStats {
+                year_month: (y, m),
+                ..MonthStats::default()
+            });
         }
         let bucket = self.months.last_mut().expect("just ensured");
         bucket.visits += visits;
@@ -180,7 +183,10 @@ mod tests {
         assert_eq!(s.current_domain, DomainId(11));
         let (_, new2) = s.rotate_domain(SimDate::from_day_index(150)).unwrap();
         assert_eq!(new2, DomainId(12));
-        assert!(s.rotate_domain(SimDate::from_day_index(160)).is_none(), "pool exhausted");
+        assert!(
+            s.rotate_domain(SimDate::from_day_index(160)).is_none(),
+            "pool exhausted"
+        );
         assert_eq!(s.domain_history.len(), 3);
     }
 

@@ -41,7 +41,12 @@ impl SupplierState {
             let country = self.sample_country();
             // Tracking events trail the order by a short transit delay.
             let transit: u32 = self.rng.gen_range(4..18);
-            self.records.push(ShipRecord { order_no, date: day + transit, country, status });
+            self.records.push(ShipRecord {
+                order_no,
+                date: day + transit,
+                country,
+                status,
+            });
             self.record_stores.push(store);
         }
     }
@@ -96,7 +101,10 @@ impl SupplierState {
 
     /// Lowest and highest order numbers on the ledger, if any.
     pub fn order_range(&self) -> Option<(u64, u64)> {
-        Some((self.records.first()?.order_no, self.records.last()?.order_no))
+        Some((
+            self.records.first()?.order_no,
+            self.records.last()?.order_no,
+        ))
     }
 }
 
@@ -129,8 +137,11 @@ mod tests {
     fn status_mix_approximates_the_paper() {
         let mut s = SupplierState::new(7, 0);
         s.fulfill(StoreId(0), SimDate::from_day_index(10), 20_000);
-        let delivered =
-            s.records.iter().filter(|r| r.status == ShipStatus::Delivered).count() as f64;
+        let delivered = s
+            .records
+            .iter()
+            .filter(|r| r.status == ShipStatus::Delivered)
+            .count() as f64;
         let frac = delivered / 20_000.0;
         assert!((frac - 0.9266).abs() < 0.01, "delivered fraction {frac}");
         let seized_dest = s
@@ -139,14 +150,22 @@ mod tests {
             .filter(|r| r.status == ShipStatus::SeizedAtDestination)
             .count() as f64
             / 20_000.0;
-        assert!((seized_dest - 0.0543).abs() < 0.01, "seized-at-dest fraction {seized_dest}");
+        assert!(
+            (seized_dest - 0.0543).abs() < 0.01,
+            "seized-at-dest fraction {seized_dest}"
+        );
     }
 
     #[test]
     fn destinations_lean_us_jp_au() {
         let mut s = SupplierState::new(9, 0);
         s.fulfill(StoreId(0), SimDate::from_day_index(5), 30_000);
-        let us = s.records.iter().filter(|r| r.country == "United States").count() as f64 / 30_000.0;
+        let us = s
+            .records
+            .iter()
+            .filter(|r| r.country == "United States")
+            .count() as f64
+            / 30_000.0;
         assert!((us - 0.322).abs() < 0.02, "US share {us}");
     }
 

@@ -100,7 +100,10 @@ mod tests {
             let n = 20_000;
             let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
             let mean = total as f64 / n as f64;
-            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.05, "λ={lambda} mean={mean}");
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.05,
+                "λ={lambda} mean={mean}"
+            );
         }
         assert_eq!(poisson(&mut rng, 0.0), 0);
     }

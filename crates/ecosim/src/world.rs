@@ -151,7 +151,10 @@ impl World {
     }
 
     /// Ground-truth lookup: is this domain a doorway, and for whom?
-    pub fn doorway_truth(&self, domain: DomainId) -> Option<(CampaignId, &crate::campaign::DoorwayState)> {
+    pub fn doorway_truth(
+        &self,
+        domain: DomainId,
+    ) -> Option<(CampaignId, &crate::campaign::DoorwayState)> {
         self.doorway_of
             .get(&domain)
             .map(|(c, d)| (CampaignId::from_index(*c), &self.campaigns[*c].doorways[*d]))
@@ -191,11 +194,17 @@ impl World {
     /// store's campaign fulfills through the tracked supplier.
     pub fn packing_slip(&self, store_domain: &ss_types::DomainName) -> Option<String> {
         let id = self.domains.lookup(store_domain)?;
-        let SiteKind::Storefront { store } = self.domains.get(id).kind else { return None };
+        let SiteKind::Storefront { store } = self.domains.get(id).kind else {
+            return None;
+        };
         let campaign = self.stores[store.index()].campaign;
-        self.campaigns[campaign.index()]
-            .supplier_partner
-            .then(|| self.domains.get(self.supplier_domain).name.as_str().to_owned())
+        self.campaigns[campaign.index()].supplier_partner.then(|| {
+            self.domains
+                .get(self.supplier_domain)
+                .name
+                .as_str()
+                .to_owned()
+        })
     }
 
     /// Runs `tick` until (and including) `last`.
@@ -249,7 +258,9 @@ impl World {
             .map(|p| p.domain)
             .collect();
         for domain in due {
-            let Some(&(ci, di)) = self.doorway_of.get(&domain) else { continue };
+            let Some(&(ci, di)) = self.doorway_of.get(&domain) else {
+                continue;
+            };
             if !self.campaigns[ci].doorways[di].is_live(today) {
                 continue; // doorway died before detection caught up
             }
@@ -280,7 +291,11 @@ impl World {
             .map(|(_, dom, firm)| (*dom, *firm))
             .collect();
         for (dom, firm) in scripted {
-            let brand = self.firms[firm.index()].brands.first().copied().unwrap_or(BrandId(0));
+            let brand = self.firms[firm.index()]
+                .brands
+                .first()
+                .copied()
+                .unwrap_or(BrandId(0));
             self.execute_case(firm, brand, today, vec![dom]);
         }
 
@@ -307,7 +322,11 @@ impl World {
                 if self.domains.get(s.current_domain).seized.is_some() {
                     continue;
                 }
-                let since = s.domain_history.last().map(|(d, _)| *d).unwrap_or(s.created);
+                let since = s
+                    .domain_history
+                    .last()
+                    .map(|(d, _)| *d)
+                    .unwrap_or(s.created);
                 let age = today.days_since(since);
                 if age < i64::from(policy.target_lifetime) / 2 {
                     continue;
@@ -323,13 +342,10 @@ impl World {
                 * self.cfg.scale.entity_scale)
                 .min(800.0) as usize;
             for b in 0..bulk {
-                let name = format!(
-                    "bulk-{}-{}-{}.com",
-                    fi,
-                    today.day_index(),
-                    b
-                );
-                let id = self.domains.register_unique(&name, SiteKind::OffstageStore, today);
+                let name = format!("bulk-{}-{}-{}.com", fi, today.day_index(), b);
+                let id = self
+                    .domains
+                    .register_unique(&name, SiteKind::OffstageStore, today);
                 targets.push(id);
             }
             if !targets.is_empty() {
@@ -338,14 +354,27 @@ impl World {
         }
     }
 
-    fn execute_case(&mut self, firm: FirmId, brand: BrandId, today: SimDate, domains: Vec<DomainId>) {
+    fn execute_case(
+        &mut self,
+        firm: FirmId,
+        brand: BrandId,
+        today: SimDate,
+        domains: Vec<DomainId>,
+    ) {
         let case = CaseId(self.next_case);
         self.next_case += 1;
         ss_obs::count!(self.metrics, "eco.seizure_cases");
         ss_obs::count!(self.metrics, "eco.domains_seized", domains.len());
         ss_obs::observe!(self.metrics, "eco.case_size", domains.len());
         for &d in &domains {
-            self.domains.seize(d, Seizure { day: today, case, firm });
+            self.domains.seize(
+                d,
+                Seizure {
+                    day: today,
+                    case,
+                    firm,
+                },
+            );
             // Stores whose current domain was seized schedule a reactive
             // rotation after the campaign's reaction delay.
             if let SiteKind::Storefront { store } = self.domains.get(d).kind {
@@ -365,7 +394,12 @@ impl World {
             day: today,
             domains: domains.clone(),
         });
-        self.events.push(Event::CaseFiled { firm, case, day: today, domains });
+        self.events.push(Event::CaseFiled {
+            firm,
+            case,
+            day: today,
+            domains,
+        });
     }
 
     /// Stage 4: due rotations (reactive and scripted-proactive) execute.
@@ -394,13 +428,14 @@ impl World {
             }
             match st.rotate_domain(today) {
                 Some((from, to)) => {
-                    ss_obs::count!(
-                        self.metrics,
-                        "eco.store_rotations",
-                        1,
-                        reactive = reactive
-                    );
-                    self.events.push(Event::StoreRotated { store, day: today, from, to, reactive });
+                    ss_obs::count!(self.metrics, "eco.store_rotations", 1, reactive = reactive);
+                    self.events.push(Event::StoreRotated {
+                        store,
+                        day: today,
+                        from,
+                        to,
+                        reactive,
+                    });
                 }
                 None => {
                     ss_obs::count!(self.metrics, "eco.stores_folded");
@@ -437,7 +472,9 @@ impl World {
                 }
                 let serp: Serp = self.engine.serp(term, today, depth);
                 for r in &serp.results {
-                    let Some(&(ci, di)) = self.doorway_of.get(&r.domain) else { continue };
+                    let Some(&(ci, di)) = self.doorway_of.get(&r.domain) else {
+                        continue;
+                    };
                     let d = &self.campaigns[ci].doorways[di];
                     if !d.is_live(today) {
                         continue;
@@ -462,8 +499,7 @@ impl World {
                     }
                     let entry = store_visits.entry(store).or_default();
                     entry.0 += clicks;
-                    let referred =
-                        traffic::binomial(&mut self.rng, clicks, self.cfg.referrer_rate);
+                    let referred = traffic::binomial(&mut self.rng, clicks, self.cfg.referrer_rate);
                     if referred > 0 {
                         let host = self.domains.get(r.domain).name.as_str().to_owned();
                         entry.1.push((host, referred));
@@ -492,7 +528,11 @@ impl World {
             let direct = visits - referred_total.min(visits);
             let pages = traffic::poisson(&mut self.rng, visits as f64 * self.cfg.pages_per_visit);
             let mut orders = traffic::binomial(&mut self.rng, visits, self.cfg.conversion_rate)
-                + if seized { 0 } else { traffic::poisson(&mut self.rng, self.cfg.organic_orders_per_day * 0.12) };
+                + if seized {
+                    0
+                } else {
+                    traffic::poisson(&mut self.rng, self.cfg.organic_orders_per_day * 0.12)
+                };
             // Payment intervention: customers cannot complete checkout, so
             // no order numbers are consumed by sales (§4.3.2 extension).
             if !self.payment_available(self.stores[si].campaign, today) {
@@ -513,10 +553,8 @@ impl World {
         // never saw (§3.1.2: the portal "support[s] outside sales on an
         // á la carte basis"). Stops with the record window.
         if today.day_index() <= ss_types::SUPPLIER_END_DAY {
-            let external = traffic::poisson(
-                &mut self.rng,
-                900.0 * self.cfg.scale.entity_scale.max(0.02),
-            );
+            let external =
+                traffic::poisson(&mut self.rng, 900.0 * self.cfg.scale.entity_scale.max(0.02));
             self.supplier.fulfill(StoreId(u32::MAX), today, external);
         }
     }
@@ -557,7 +595,12 @@ impl Fetcher for World {
                 };
                 (Response::ok(legit::page(&ctx)), Vec::new())
             }
-            SiteKind::Doorway { campaign, compromised, cloak: mode, target_store } => (
+            SiteKind::Doorway {
+                campaign,
+                compromised,
+                cloak: mode,
+                target_store,
+            } => (
                 self.serve_doorway(domain, campaign, compromised, mode, target_store, req),
                 Vec::new(),
             ),
@@ -584,12 +627,13 @@ impl Web for World {
         for effect in effects {
             match effect {
                 SideEffect::OrderAllocated { host } => {
-                    let store = self.domains.lookup(&host).and_then(|d| {
-                        match self.domains.get(d).kind {
-                            SiteKind::Storefront { store } => Some(store),
-                            _ => None,
-                        }
-                    });
+                    let store =
+                        self.domains
+                            .lookup(&host)
+                            .and_then(|d| match self.domains.get(d).kind {
+                                SiteKind::Storefront { store } => Some(store),
+                                _ => None,
+                            });
                     match store {
                         Some(id) => {
                             self.stores[id.index()].allocate_order();
@@ -656,7 +700,9 @@ impl World {
                     .find(|t| self.engine.terms()[t.index()].text == key)
             })
             .or_else(|| d.terms.first().copied());
-        let term_text = term.map(|t| self.term_text(t).to_owned()).unwrap_or_default();
+        let term_text = term
+            .map(|t| self.term_text(t).to_owned())
+            .unwrap_or_default();
         let vertical = &self.verticals[d.vertical.index()];
         let brand = vertical.spec.brands.first().copied().unwrap_or("luxury");
 
@@ -687,17 +733,17 @@ impl World {
         }
 
         let st = &self.stores[target_store.index()];
-        let target =
-            Url::root(self.domains.get(st.current_domain).name.clone());
+        let target = Url::root(self.domains.get(st.current_domain).name.clone());
         match cloak::decide(mode, compromised, &target, req, cloak::SEARCH_HOSTS) {
             ServeDecision::SeoPage => Response::ok(doorway::seo_page(&ctx)),
             ServeDecision::HttpRedirect(to) => Response::redirect(to),
             ServeDecision::SeoPageWithJsRedirect(to) => {
                 Response::ok(doorway::seo_page_with_js_redirect(&ctx, &to.to_string()))
             }
-            ServeDecision::IframePage { target, obfuscation } => {
-                Response::ok(doorway::iframe_page(&ctx, &target.to_string(), obfuscation))
-            }
+            ServeDecision::IframePage {
+                target,
+                obfuscation,
+            } => Response::ok(doorway::iframe_page(&ctx, &target.to_string(), obfuscation)),
             ServeDecision::OriginalContent => Response::ok(doorway::original_content(&ctx)),
         }
     }
@@ -721,8 +767,11 @@ impl World {
         }
         let campaign_name = self.campaigns[st.campaign.index()].name.clone();
         let template = self.templates[st.campaign.index()].clone();
-        let brands: Vec<&str> =
-            st.brands.iter().map(|b| self.brand_names[b.index()]).collect();
+        let brands: Vec<&str> = st
+            .brands
+            .iter()
+            .map(|b| self.brand_names[b.index()])
+            .collect();
         let domain_name = self.domains.get(domain).name.as_str().to_owned();
         let merchant_id = st.name.clone();
         let ctx = storefront::StoreCtx {
@@ -739,12 +788,21 @@ impl World {
         let _ = campaign_name;
 
         if path == "/" {
-            (Response::ok(storefront::home_page(&ctx)).with_cookies(cookies), Vec::new())
+            (
+                Response::ok(storefront::home_page(&ctx)).with_cookies(cookies),
+                Vec::new(),
+            )
         } else if let Some(idx) = path.strip_prefix("/product/") {
             let idx: u32 = idx.parse().unwrap_or(0);
-            (Response::ok(storefront::product_page(&ctx, idx)).with_cookies(cookies), Vec::new())
+            (
+                Response::ok(storefront::product_page(&ctx, idx)).with_cookies(cookies),
+                Vec::new(),
+            )
         } else if path == "/cart" {
-            (Response::ok(storefront::product_page(&ctx, 0)).with_cookies(cookies), Vec::new())
+            (
+                Response::ok(storefront::product_page(&ctx, 0)).with_cookies(cookies),
+                Vec::new(),
+            )
         } else if path == "/checkout" {
             // The page shows the order number this visit would be issued;
             // the counter itself only advances when the caller commits the
@@ -761,14 +819,19 @@ impl World {
             };
             (
                 Response::ok(body).with_cookies(cookies),
-                vec![SideEffect::OrderAllocated { host: self.domains.get(domain).name.clone() }],
+                vec![SideEffect::OrderAllocated {
+                    host: self.domains.get(domain).name.clone(),
+                }],
             )
         } else if path == "/awstats/awstats.pl" {
             if !st.awstats_public {
                 return (Response::not_found(), Vec::new());
             }
             let report_month = req.url.query_param("month");
-            (self.serve_awstats(store, report_month.as_deref()), Vec::new())
+            (
+                self.serve_awstats(store, report_month.as_deref()),
+                Vec::new(),
+            )
         } else {
             (Response::not_found(), Vec::new())
         }
@@ -789,7 +852,9 @@ impl World {
             }
             None => st.months.last(),
         };
-        let Some(bucket) = bucket else { return Response::not_found() };
+        let Some(bucket) = bucket else {
+            return Response::not_found();
+        };
         let report = awstats::TrafficReport {
             period: format!("{:04}-{:02}", bucket.year_month.0, bucket.year_month.1),
             unique_visitors: bucket.visits * 7 / 10,
@@ -845,7 +910,11 @@ mod tests {
         let total: u64 = w.stores.iter().map(|s| s.order_counter).sum();
         assert!(total > base_total);
         // AWStats buckets exist and carry daily rows.
-        let busy = w.stores.iter().find(|s| !s.months.is_empty()).expect("some traffic");
+        let busy = w
+            .stores
+            .iter()
+            .find(|s| !s.months.is_empty())
+            .expect("some traffic");
         assert!(!busy.months.last().unwrap().daily.is_empty());
     }
 
@@ -860,8 +929,11 @@ mod tests {
             for &t in &v.terms {
                 let serp = w.engine.serp(t, day, w.cfg.scale.serp_depth);
                 total += serp.results.len();
-                poisoned +=
-                    serp.results.iter().filter(|r| w.doorway_of.contains_key(&r.domain)).count();
+                poisoned += serp
+                    .results
+                    .iter()
+                    .filter(|r| w.doorway_of.contains_key(&r.domain))
+                    .count();
             }
         }
         assert!(total > 0);
@@ -892,9 +964,7 @@ mod tests {
             .stores
             .iter()
             .find(|s| {
-                !s.retired
-                    && s.created < today
-                    && w.domains.get(s.current_domain).seized.is_none()
+                !s.retired && s.created < today && w.domains.get(s.current_domain).seized.is_none()
             })
             .unwrap();
         let host = w.domains.get(store.current_domain).name.clone();
@@ -927,14 +997,19 @@ mod tests {
         assert!(resp.body.contains("Order Tracking"));
 
         // Unknown domain.
-        let (resp, _) =
-            w.fetch(&Request::browser(Url::parse("http://no-such-host.com/").unwrap()));
+        let (resp, _) = w.fetch(&Request::browser(
+            Url::parse("http://no-such-host.com/").unwrap(),
+        ));
         assert_eq!(resp.status, 404);
     }
 
     fn extract_order(body: &str) -> u64 {
         let doc = ss_web::Document::parse(body);
-        doc.by_id("order-no").unwrap().text_content().parse().unwrap()
+        doc.by_id("order-no")
+            .unwrap()
+            .text_content()
+            .parse()
+            .unwrap()
     }
 
     #[test]
@@ -983,7 +1058,11 @@ mod tests {
             .expect("scripted abercrombie-uk store");
         let rotations = w.events.rotations_of(uk_store);
         assert!(!rotations.is_empty(), "abercrombie-uk never rotated");
-        assert_eq!(rotations[0].0.day_index(), 220, "rotation lands a day after the seizure");
+        assert_eq!(
+            rotations[0].0.day_index(),
+            220,
+            "rotation lands a day after the seizure"
+        );
         assert!(rotations[0].3, "rotation must be reactive");
     }
 
@@ -1062,7 +1141,10 @@ mod payment_tests {
         let after: u64 = w.stores.iter().map(|s| s.order_counter).sum();
         // With every processor blocked and no survivor to migrate to, no
         // customer order completes after the start day.
-        assert_eq!(before, after, "orders must freeze under a full payment block");
+        assert_eq!(
+            before, after,
+            "orders must freeze under a full payment block"
+        );
     }
 
     #[test]
@@ -1096,22 +1178,37 @@ mod payment_tests {
             .stores
             .iter()
             .find(|s| {
-                !s.retired
-                    && s.created < today
-                    && w.domains.get(s.current_domain).seized.is_none()
+                !s.retired && s.created < today && w.domains.get(s.current_domain).seized.is_none()
             })
             .unwrap();
         let host = w.domains.get(store.current_domain).name.clone();
         let url = Url::new(host, "/checkout", "");
         let r1 = w.fetch_apply(&Request::browser(url.clone()));
         let r2 = w.fetch_apply(&Request::browser(url));
-        assert!(r1.body.contains("payment-unavailable"), "body: {}", &r1.body[..r1.body.len().min(400)]);
+        assert!(
+            r1.body.contains("payment-unavailable"),
+            "body: {}",
+            &r1.body[..r1.body.len().min(400)]
+        );
         let doc1 = ss_web::Document::parse(&r1.body);
         let doc2 = ss_web::Document::parse(&r2.body);
-        let n1: u64 = doc1.by_id("order-no").unwrap().text_content().parse().unwrap();
-        let n2: u64 = doc2.by_id("order-no").unwrap().text_content().parse().unwrap();
+        let n1: u64 = doc1
+            .by_id("order-no")
+            .unwrap()
+            .text_content()
+            .parse()
+            .unwrap();
+        let n2: u64 = doc2
+            .by_id("order-no")
+            .unwrap()
+            .text_content()
+            .parse()
+            .unwrap();
         assert_eq!(n2, n1 + 1, "purchase-pair sampling must keep working");
-        assert!(doc1.find_all("form").is_empty(), "no payment form when blocked");
+        assert!(
+            doc1.find_all("form").is_empty(),
+            "no payment form when blocked"
+        );
         let _ = doc2;
     }
 }

@@ -16,8 +16,7 @@ pub fn stratified_folds(labels: &[usize], k: usize, seed: u64) -> Vec<usize> {
     let n_classes = labels.iter().copied().max().map(|m| m + 1).unwrap_or(0);
     let mut fold = vec![0usize; labels.len()];
     for c in 0..n_classes {
-        let mut members: Vec<usize> =
-            (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        let mut members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
         members.shuffle(&mut rng);
         // Offset by class so under-sized classes (fewer members than folds)
         // spread across folds instead of piling into fold 0.
@@ -74,8 +73,7 @@ pub fn cross_validate(
         if test_idx.is_empty() || train_x.is_empty() {
             continue;
         }
-        let model =
-            MulticlassModel::train(&train_x, &train_y, class_names.to_vec(), dim, cfg);
+        let model = MulticlassModel::train(&train_x, &train_y, class_names.to_vec(), dim, cfg);
         let mut fold_correct = 0usize;
         for &i in &test_idx {
             let pred = model.predict_forced(&xs[i]);
@@ -94,7 +92,11 @@ pub fn cross_validate(
         confusion.into_iter().map(|((t, p), c)| (t, p, c)).collect();
     confusions.sort_by_key(|c| std::cmp::Reverse(c.2));
     CvResult {
-        accuracy: if total == 0 { 0.0 } else { correct as f64 / total as f64 },
+        accuracy: if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        },
         fold_accuracy,
         confusions,
         chance: 1.0 / class_names.len().max(1) as f64,
@@ -110,10 +112,7 @@ mod tests {
         let mut ys = Vec::new();
         for c in 0..classes {
             for k in 0..n_per {
-                let pairs = vec![
-                    (c as u32, 1.0f32),
-                    ((classes + (k % 5)) as u32, 0.6),
-                ];
+                let pairs = vec![(c as u32, 1.0f32), ((classes + (k % 5)) as u32, 0.6)];
                 xs.push(SparseVec::from_pairs(pairs).l2_normalized());
                 ys.push(c);
             }
@@ -127,8 +126,7 @@ mod tests {
         let folds = stratified_folds(&labels, 4, 1);
         assert_eq!(folds.len(), labels.len());
         for f in 0..4 {
-            let members: Vec<usize> =
-                (0..labels.len()).filter(|&i| folds[i] == f).collect();
+            let members: Vec<usize> = (0..labels.len()).filter(|&i| folds[i] == f).collect();
             assert_eq!(members.len(), 3, "fold {f} unbalanced");
             // One member per class in each fold (classes offset-rotate, so
             // each fold still sees all three classes here).

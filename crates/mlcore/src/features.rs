@@ -98,13 +98,19 @@ pub fn tokens_of(html: &str) -> Vec<String> {
 pub fn extract_features(html: &str, dict: &mut Dictionary, grow: bool) -> SparseVec {
     let mut counts: HashMap<u32, f32> = HashMap::new();
     for tok in tokens_of(html) {
-        let id = if grow { Some(dict.intern(&tok)) } else { dict.get(&tok) };
+        let id = if grow {
+            Some(dict.intern(&tok))
+        } else {
+            dict.get(&tok)
+        };
         if let Some(id) = id {
             *counts.entry(id).or_insert(0.0) += 1.0;
         }
     }
-    let pairs: Vec<(u32, f32)> =
-        counts.into_iter().map(|(i, c)| (i, (1.0 + c).ln())).collect();
+    let pairs: Vec<(u32, f32)> = counts
+        .into_iter()
+        .map(|(i, c)| (i, (1.0 + c).ln()))
+        .collect();
     SparseVec::from_pairs(pairs).l2_normalized()
 }
 

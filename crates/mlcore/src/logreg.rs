@@ -25,7 +25,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { lambda: 1e-4, lr: 4.0, epochs: 300, min_confidence: 0.2 }
+        TrainConfig {
+            lambda: 1e-4,
+            lr: 4.0,
+            epochs: 300,
+            min_confidence: 0.2,
+        }
     }
 }
 
@@ -79,7 +84,10 @@ impl BinaryLogReg {
             }
             b -= step * gb;
         }
-        BinaryLogReg { weights: w, bias: b }
+        BinaryLogReg {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// Probability that `x` is positive.
@@ -133,11 +141,17 @@ impl MulticlassModel {
         assert_eq!(xs.len(), labels.len());
         let mut classes = Vec::with_capacity(class_names.len());
         for c in 0..class_names.len() {
-            let ys: Vec<f32> =
-                labels.iter().map(|&l| if l == c { 1.0 } else { 0.0 }).collect();
+            let ys: Vec<f32> = labels
+                .iter()
+                .map(|&l| if l == c { 1.0 } else { 0.0 })
+                .collect();
             classes.push(BinaryLogReg::train(xs, &ys, dim, cfg));
         }
-        MulticlassModel { classes, class_names, min_confidence: cfg.min_confidence }
+        MulticlassModel {
+            classes,
+            class_names,
+            min_confidence: cfg.min_confidence,
+        }
     }
 
     /// Per-class probabilities (independent OvR sigmoids).
@@ -198,18 +212,33 @@ mod tests {
             .zip(&labels)
             .filter(|(x, &y)| (m.prob(x) > 0.5) == (y > 0.5))
             .count();
-        assert!(correct as f64 / xs.len() as f64 > 0.95, "{correct}/{}", xs.len());
+        assert!(
+            correct as f64 / xs.len() as f64 > 0.95,
+            "{correct}/{}",
+            xs.len()
+        );
     }
 
     #[test]
     fn l1_produces_sparse_models() {
         let (xs, ys, dim) = toy(20, 2);
         let labels: Vec<f32> = ys.iter().map(|&y| y as f32).collect();
-        let dense_cfg = TrainConfig { lambda: 0.0, ..TrainConfig::default() };
-        let sparse_cfg = TrainConfig { lambda: 3e-3, ..TrainConfig::default() };
+        let dense_cfg = TrainConfig {
+            lambda: 0.0,
+            ..TrainConfig::default()
+        };
+        let sparse_cfg = TrainConfig {
+            lambda: 3e-3,
+            ..TrainConfig::default()
+        };
         let dense = BinaryLogReg::train(&xs, &labels, dim, &dense_cfg);
         let sparse = BinaryLogReg::train(&xs, &labels, dim, &sparse_cfg);
-        assert!(sparse.nnz() < dense.nnz(), "{} !< {}", sparse.nnz(), dense.nnz());
+        assert!(
+            sparse.nnz() < dense.nnz(),
+            "{} !< {}",
+            sparse.nnz(),
+            dense.nnz()
+        );
         assert!(sparse.nnz() > 0);
     }
 
@@ -219,7 +248,10 @@ mod tests {
         let labels: Vec<f32> = ys.iter().map(|&y| if y == 1 { 1.0 } else { 0.0 }).collect();
         let m = BinaryLogReg::train(&xs, &labels, dim, &TrainConfig::default());
         let top = m.top_features(1);
-        assert_eq!(top[0].0, 11, "indicator feature for class 1 sits at index 11");
+        assert_eq!(
+            top[0].0, 11,
+            "indicator feature for class 1 sits at index 11"
+        );
     }
 
     #[test]
@@ -232,7 +264,11 @@ mod tests {
             .zip(&ys)
             .filter(|(x, &y)| m.predict_forced(x) == y)
             .count();
-        assert!(correct as f64 / xs.len() as f64 > 0.9, "{correct}/{}", xs.len());
+        assert!(
+            correct as f64 / xs.len() as f64 > 0.9,
+            "{correct}/{}",
+            xs.len()
+        );
         // A featureless vector must be abstained on.
         let blank = SparseVec::default();
         assert_eq!(m.predict(&blank), None);

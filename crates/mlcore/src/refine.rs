@@ -90,7 +90,12 @@ pub fn refine(
         model = train_on(pool, &labeled, class_names, dim, cfg);
     }
 
-    RefineResult { model, labeled, oracle_queries, confirmed_per_round }
+    RefineResult {
+        model,
+        labeled,
+        oracle_queries,
+        confirmed_per_round,
+    }
 }
 
 fn train_on(
@@ -124,10 +129,7 @@ mod tests {
         let mut truth = Vec::new();
         for c in 0..classes {
             for k in 0..n_per {
-                let pairs = vec![
-                    (c as u32, 1.0f32),
-                    ((classes + (k % 4)) as u32, 0.5),
-                ];
+                let pairs = vec![(c as u32, 1.0f32), ((classes + (k % 4)) as u32, 0.5)];
                 xs.push(SparseVec::from_pairs(pairs).l2_normalized());
                 truth.push(c);
             }
@@ -150,8 +152,19 @@ mod tests {
             }
         }
         let names: Vec<String> = (0..3).map(|c| format!("C{c}")).collect();
-        let mut oracle = TruthOracle { truth: truth.clone() };
-        let r = refine(&pool, &seed, &names, dim, &TrainConfig::default(), &mut oracle, 4, 3);
+        let mut oracle = TruthOracle {
+            truth: truth.clone(),
+        };
+        let r = refine(
+            &pool,
+            &seed,
+            &names,
+            dim,
+            &TrainConfig::default(),
+            &mut oracle,
+            4,
+            3,
+        );
         assert!(r.labeled.len() > seed.len(), "labeled set did not grow");
         assert!(r.oracle_queries >= r.labeled.len() - seed.len());
         // Final model classifies the pool near-perfectly.
@@ -172,8 +185,12 @@ mod tests {
             }
         }
         let (pool, truth, dim) = toy_pool(10, 2);
-        let seed: Vec<(usize, usize)> =
-            vec![(0, truth[0]), (10, truth[10]), (1, truth[1]), (11, truth[11])];
+        let seed: Vec<(usize, usize)> = vec![
+            (0, truth[0]),
+            (10, truth[10]),
+            (1, truth[1]),
+            (11, truth[11]),
+        ];
         let names: Vec<String> = (0..2).map(|c| format!("C{c}")).collect();
         let r = refine(
             &pool,
@@ -186,6 +203,10 @@ mod tests {
             5,
         );
         assert_eq!(r.labeled.len(), seed.len());
-        assert_eq!(r.confirmed_per_round, vec![0], "loop should stop after one dry round");
+        assert_eq!(
+            r.confirmed_per_round,
+            vec![0],
+            "loop should stop after one dry round"
+        );
     }
 }

@@ -24,7 +24,13 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 }
 
@@ -185,7 +191,11 @@ mod tests {
         let mut b = Histogram::new();
         let mut whole = Histogram::new();
         for v in 0..200u64 {
-            if v % 3 == 0 { a.observe(v * 7) } else { b.observe(v * 7) }
+            if v % 3 == 0 {
+                a.observe(v * 7)
+            } else {
+                b.observe(v * 7)
+            }
             whole.observe(v * 7);
         }
         let mut merged = a.clone();

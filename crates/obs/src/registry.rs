@@ -23,10 +23,15 @@ pub struct MetricKey {
 impl MetricKey {
     /// Builds a key; labels are sorted by label name.
     pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
-        let mut labels: Vec<(String, String)> =
-            labels.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect();
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
         labels.sort();
-        MetricKey { name: name.to_owned(), labels }
+        MetricKey {
+            name: name.to_owned(),
+            labels,
+        }
     }
 
     /// The metric name without labels.
@@ -91,13 +96,21 @@ impl Registry {
     /// [`Registry::counter_total`].
     pub fn counter(&self, rendered: &str) -> u64 {
         let counters = self.counters.lock().expect("obs counters poisoned");
-        counters.iter().find(|(k, _)| k.to_string() == rendered).map(|(_, v)| *v).unwrap_or(0)
+        counters
+            .iter()
+            .find(|(k, _)| k.to_string() == rendered)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
     }
 
     /// Sum of every counter sharing `name`, across all label sets.
     pub fn counter_total(&self, name: &str) -> u64 {
         let counters = self.counters.lock().expect("obs counters poisoned");
-        counters.iter().filter(|(k, _)| k.name() == name).map(|(_, v)| *v).sum()
+        counters
+            .iter()
+            .filter(|(k, _)| k.name() == name)
+            .map(|(_, v)| *v)
+            .sum()
     }
 
     // ---- histograms ----
@@ -110,13 +123,19 @@ impl Registry {
     /// Records an observation into the histogram `name` with labels.
     pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], value: u64) {
         let mut hists = self.histograms.lock().expect("obs histograms poisoned");
-        hists.entry(MetricKey::new(name, labels)).or_default().observe(value);
+        hists
+            .entry(MetricKey::new(name, labels))
+            .or_default()
+            .observe(value);
     }
 
     /// Snapshot of a histogram by rendered key.
     pub fn histogram(&self, rendered: &str) -> Option<Histogram> {
         let hists = self.histograms.lock().expect("obs histograms poisoned");
-        hists.iter().find(|(k, _)| k.to_string() == rendered).map(|(_, h)| h.clone())
+        hists
+            .iter()
+            .find(|(k, _)| k.to_string() == rendered)
+            .map(|(_, h)| h.clone())
     }
 
     // ---- spans ----
@@ -145,7 +164,9 @@ impl Registry {
         let stats = spans.entry(name.to_owned()).or_default();
         stats.count += 1;
         stats.total_ns = stats.total_ns.saturating_add(elapsed_ns);
-        stats.self_ns = stats.self_ns.saturating_add(elapsed_ns.saturating_sub(child_ns));
+        stats.self_ns = stats
+            .self_ns
+            .saturating_add(elapsed_ns.saturating_sub(child_ns));
         stats.max_ns = stats.max_ns.max(elapsed_ns);
     }
 
@@ -213,8 +234,10 @@ impl Registry {
     pub fn metrics_value(&self) -> Value {
         let counters = self.counters.lock().expect("obs counters poisoned");
         let hists = self.histograms.lock().expect("obs histograms poisoned");
-        let counter_map: Vec<(String, Value)> =
-            counters.iter().map(|(k, v)| (k.to_string(), Value::UInt(*v))).collect();
+        let counter_map: Vec<(String, Value)> = counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::UInt(*v)))
+            .collect();
         let hist_map: Vec<(String, Value)> = hists
             .iter()
             .map(|(k, h)| {
@@ -227,7 +250,10 @@ impl Registry {
                     k.to_string(),
                     Value::Map(vec![
                         ("count".into(), Value::UInt(h.count())),
-                        ("sum".into(), Value::UInt(u64::try_from(h.sum()).unwrap_or(u64::MAX))),
+                        (
+                            "sum".into(),
+                            Value::UInt(u64::try_from(h.sum()).unwrap_or(u64::MAX)),
+                        ),
                         ("min".into(), opt_uint(h.min())),
                         ("max".into(), opt_uint(h.max())),
                         ("p50".into(), opt_uint(h.p50())),
@@ -281,7 +307,9 @@ impl Registry {
 
     /// Full registry — metrics plus wall-clock spans — as pretty JSON.
     pub fn to_json(&self) -> String {
-        let Value::Map(mut root) = self.metrics_value() else { unreachable!("metrics are a map") };
+        let Value::Map(mut root) = self.metrics_value() else {
+            unreachable!("metrics are a map")
+        };
         root.push(("spans".into(), self.spans_value()));
         serde_json::to_string_pretty(&Value::Map(root)).expect("value tree renders")
     }

@@ -78,7 +78,11 @@ pub struct SpanTimer<'a> {
 impl<'a> SpanTimer<'a> {
     pub(crate) fn new(registry: &'a Registry, name: &str) -> Self {
         enter_frame();
-        SpanTimer { registry, name: name.to_owned(), start: Instant::now() }
+        SpanTimer {
+            registry,
+            name: name.to_owned(),
+            start: Instant::now(),
+        }
     }
 }
 

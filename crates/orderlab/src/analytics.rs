@@ -36,7 +36,11 @@ pub fn fetch_report(web: &impl Fetcher, site: &str, month: Option<&str>) -> Opti
         None => format!("config={site}"),
     };
     let url = Url::new(host, "/awstats/awstats.pl", &query);
-    let (resp, _) = web.fetch(&Request { url, user_agent: UserAgent::Browser, referrer: None });
+    let (resp, _) = web.fetch(&Request {
+        url,
+        user_agent: UserAgent::Browser,
+        referrer: None,
+    });
     if resp.status != 200 {
         return None;
     }
@@ -101,13 +105,26 @@ pub fn parse_report(body: &str) -> Option<ParsedReport> {
         let (Some(y), Some(m), Some(d)) = (parts.next(), parts.next(), parts.next()) else {
             continue;
         };
-        let (Ok(y), Ok(m), Ok(d)) = (y.parse(), m.parse(), d.parse()) else { continue };
-        let Ok(date) = SimDate::from_ymd(y, m, d) else { continue };
-        let (Ok(v), Ok(p)) = (tds[1].trim().parse(), tds[2].trim().parse()) else { continue };
+        let (Ok(y), Ok(m), Ok(d)) = (y.parse(), m.parse(), d.parse()) else {
+            continue;
+        };
+        let Ok(date) = SimDate::from_ymd(y, m, d) else {
+            continue;
+        };
+        let (Ok(v), Ok(p)) = (tds[1].trim().parse(), tds[2].trim().parse()) else {
+            continue;
+        };
         daily.push((date, v, p));
     }
 
-    Some(ParsedReport { period, visits, pages, referrers, direct_visits, daily })
+    Some(ParsedReport {
+        period,
+        visits,
+        pages,
+        referrers,
+        direct_visits,
+        daily,
+    })
 }
 
 /// Conversion metrics across a set of monthly reports plus an order count
@@ -135,7 +152,11 @@ pub fn conversion_metrics(reports: &[ParsedReport], orders: f64) -> Option<Conve
         return None;
     }
     let pages: u64 = reports.iter().map(|r| r.pages).sum();
-    let referred: u64 = reports.iter().flat_map(|r| &r.referrers).map(|(_, n)| n).sum();
+    let referred: u64 = reports
+        .iter()
+        .flat_map(|r| &r.referrers)
+        .map(|(_, n)| n)
+        .sum();
     let mut hosts: Vec<String> = reports
         .iter()
         .flat_map(|r| r.referrers.iter().map(|(h, _)| h.clone()))
@@ -148,7 +169,11 @@ pub fn conversion_metrics(reports: &[ParsedReport], orders: f64) -> Option<Conve
         referrer_fraction: referred as f64 / visits as f64,
         pages_per_visit: pages as f64 / visits as f64,
         conversion_rate: conversion,
-        visits_per_sale: if conversion > 0.0 { 1.0 / conversion } else { f64::INFINITY },
+        visits_per_sale: if conversion > 0.0 {
+            1.0 / conversion
+        } else {
+            f64::INFINITY
+        },
         referrer_hosts: hosts,
     })
 }
@@ -169,7 +194,10 @@ mod tests {
                 hits: 20_000,
                 referrers: vec![("door1.com".into(), 400), ("door2.com".into(), 200)],
                 direct_visits: 400,
-                daily: vec![("2014-07-01".into(), 500, 2_800), ("2014-07-02".into(), 500, 2_800)],
+                daily: vec![
+                    ("2014-07-01".into(), 500, 2_800),
+                    ("2014-07-02".into(), 500, 2_800),
+                ],
             },
         )
     }
@@ -196,7 +224,10 @@ mod tests {
         assert!((m.pages_per_visit - 5.6).abs() < 1e-9);
         assert!((m.conversion_rate - 0.007).abs() < 1e-9);
         assert!((m.visits_per_sale - 142.857).abs() < 0.01);
-        assert_eq!(m.referrer_hosts, vec!["door1.com".to_owned(), "door2.com".to_owned()]);
+        assert_eq!(
+            m.referrer_hosts,
+            vec!["door1.com".to_owned(), "door2.com".to_owned()]
+        );
     }
 
     #[test]
@@ -223,7 +254,12 @@ mod tests {
 
         // Private stores 404.
         if let Some(private) = w.stores.iter().find(|s| !s.awstats_public && !s.retired) {
-            let site = w.domains.get(private.current_domain).name.as_str().to_owned();
+            let site = w
+                .domains
+                .get(private.current_domain)
+                .name
+                .as_str()
+                .to_owned();
             assert_eq!(fetch_report(&w, &site, None), None);
         }
     }

@@ -26,7 +26,10 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        SamplerConfig { interval_days: 7, per_campaign_per_day: 3 }
+        SamplerConfig {
+            interval_days: 7,
+            per_campaign_per_day: 3,
+        }
     }
 }
 
@@ -68,17 +71,23 @@ pub struct OrderSampler {
 impl OrderSampler {
     /// Creates an empty sampler.
     pub fn new(cfg: SamplerConfig) -> Self {
-        OrderSampler { cfg, stores: HashMap::new(), orders_created: 0 }
+        OrderSampler {
+            cfg,
+            stores: HashMap::new(),
+            orders_created: 0,
+        }
     }
 
     /// Adds a store to the monitoring set (idempotent).
     pub fn monitor(&mut self, domain: &str, campaign_key: &str) {
-        self.stores.entry(domain.to_owned()).or_insert_with(|| MonitoredStore {
-            domain: domain.to_owned(),
-            campaign_key: campaign_key.to_owned(),
-            samples: Vec::new(),
-            last_attempt: None,
-        });
+        self.stores
+            .entry(domain.to_owned())
+            .or_insert_with(|| MonitoredStore {
+                domain: domain.to_owned(),
+                campaign_key: campaign_key.to_owned(),
+                samples: Vec::new(),
+                last_attempt: None,
+            });
     }
 
     /// Runs one day of sampling: stores due for their weekly sample get a
@@ -111,12 +120,18 @@ impl OrderSampler {
             store.last_attempt = Some(day);
             *used += 1;
             ss_obs::count!(obs, "orders.sample_attempts");
-            let Ok(host) = ss_types::DomainName::parse(&domain) else { continue };
+            let Ok(host) = ss_types::DomainName::parse(&domain) else {
+                continue;
+            };
             let url = Url::new(host, "/checkout", "");
             // Orders are placed via TOR in the study; a plain browser
             // request models that (no referrer, fresh identity). Test
             // orders are real orders, so their effects are committed.
-            let resp = web.fetch_apply(&Request { url, user_agent: UserAgent::Browser, referrer: None });
+            let resp = web.fetch_apply(&Request {
+                url,
+                user_agent: UserAgent::Browser,
+                referrer: None,
+            });
             if resp.status != 200 {
                 ss_obs::count!(obs, "orders.dead_stores");
                 continue; // store dead or seized
@@ -124,10 +139,17 @@ impl OrderSampler {
             if let Some(n) = extract_order_number(&resp.body) {
                 if let Some(prev) = store.samples.last() {
                     ss_obs::count!(obs, "orders.pair_resolutions");
-                    ss_obs::observe!(obs, "orders.pair_delta", n.saturating_sub(prev.order_number));
+                    ss_obs::observe!(
+                        obs,
+                        "orders.pair_delta",
+                        n.saturating_sub(prev.order_number)
+                    );
                 }
                 ss_obs::count!(obs, "orders.samples");
-                store.samples.push(OrderSample { day, order_number: n });
+                store.samples.push(OrderSample {
+                    day,
+                    order_number: n,
+                });
                 self.orders_created += 1;
             }
         }
@@ -140,7 +162,10 @@ impl OrderSampler {
         let first = store.samples.first()?.order_number;
         let mut s = DailySeries::new(start, end);
         for sample in &store.samples {
-            s.set(sample.day, (sample.order_number - first.min(sample.order_number)) as f64);
+            s.set(
+                sample.day,
+                (sample.order_number - first.min(sample.order_number)) as f64,
+            );
         }
         Some(s)
     }
@@ -164,7 +189,10 @@ impl OrderSampler {
 
     /// Number of distinct stores with at least one successful sample.
     pub fn stores_sampled(&self) -> usize {
-        self.stores.values().filter(|s| !s.samples.is_empty()).count()
+        self.stores
+            .values()
+            .filter(|s| !s.samples.is_empty())
+            .count()
     }
 }
 
@@ -211,7 +239,9 @@ mod tests {
             let shown = c + 1;
             (
                 Response::ok(format!("<p>Order <b id=\"order-no\">{shown}</b></p>")),
-                vec![ss_web::SideEffect::OrderAllocated { host: req.url.host.clone() }],
+                vec![ss_web::SideEffect::OrderAllocated {
+                    host: req.url.host.clone(),
+                }],
             )
         }
     }
@@ -270,8 +300,11 @@ mod tests {
             sampler.monitor(d, "SAME-CAMPAIGN");
         }
         sampler.sample_day(&mut web, day(0));
-        let sampled_day0: usize =
-            sampler.stores.values().filter(|s| !s.samples.is_empty()).count();
+        let sampled_day0: usize = sampler
+            .stores
+            .values()
+            .filter(|s| !s.samples.is_empty())
+            .count();
         assert_eq!(sampled_day0, 3, "cap of 3 per campaign per day");
         // The deferred stores get their turn the next day.
         sampler.sample_day(&mut web, day(1));
@@ -321,7 +354,10 @@ mod tests {
         sampler.monitor("s1.com", "CAMP");
         let store = sampler.stores.get_mut("s1.com").expect("monitored");
         for (d, n) in samples {
-            store.samples.push(OrderSample { day: day(*d), order_number: *n });
+            store.samples.push(OrderSample {
+                day: day(*d),
+                order_number: *n,
+            });
         }
         sampler
     }

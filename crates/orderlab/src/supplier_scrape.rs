@@ -49,13 +49,20 @@ impl SupplierDataset {
         if self.records.is_empty() {
             return 0.0;
         }
-        let hit = self.records.iter().filter(|r| countries.contains(&r.country.as_str())).count();
+        let hit = self
+            .records
+            .iter()
+            .filter(|r| countries.contains(&r.country.as_str()))
+            .count();
         hit as f64 / self.records.len() as f64
     }
 
     /// Records dated within `[from, to]`.
     pub fn in_window(&self, from: SimDate, to: SimDate) -> usize {
-        self.records.iter().filter(|r| r.date >= from && r.date <= to).count()
+        self.records
+            .iter()
+            .filter(|r| r.date >= from && r.date <= to)
+            .count()
     }
 }
 
@@ -70,7 +77,10 @@ pub fn probe_max_order(web: &impl Fetcher, portal: &str) -> Option<u64> {
     if resp.status != 200 {
         return None;
     }
-    parse_records(&resp.body).into_iter().map(|r| r.order_no).max()
+    parse_records(&resp.body)
+        .into_iter()
+        .map(|r| r.order_no)
+        .max()
 }
 
 /// Walks the order-number space backwards from `max_order`, 20 ids per
@@ -92,10 +102,17 @@ pub fn scrape(
         let lo = hi.saturating_sub(20);
         let ids: Vec<String> = (lo..hi).map(|o| o.to_string()).collect();
         let url = Url::new(host.clone(), "/track", &format!("orders={}", ids.join(",")));
-        let (resp, _) =
-            web.fetch(&Request { url, user_agent: UserAgent::Browser, referrer: None });
+        let (resp, _) = web.fetch(&Request {
+            url,
+            user_agent: UserAgent::Browser,
+            referrer: None,
+        });
         queries += 1;
-        let found = if resp.status == 200 { parse_records(&resp.body) } else { Vec::new() };
+        let found = if resp.status == 200 {
+            parse_records(&resp.body)
+        } else {
+            Vec::new()
+        };
         // The page also reports misses; an all-missing chunk counts as dry.
         let missing = Document::parse(&resp.body)
             .find_all("li")
@@ -125,7 +142,8 @@ mod tests {
         let mut w = World::build(ScenarioConfig::tiny(41)).unwrap();
         // Hand-feed a burst of fulfillments so the ledger is non-trivial
         // even before traffic warms up.
-        w.supplier.fulfill(StoreId(0), SimDate::from_day_index(10), 137);
+        w.supplier
+            .fulfill(StoreId(0), SimDate::from_day_index(10), 137);
         let portal = w.domains.get(w.supplier_domain).name.as_str().to_owned();
         (w, portal)
     }

@@ -38,7 +38,11 @@ pub fn purchase(web: &mut impl Web, domain: &str, day: SimDate) -> Option<Transa
     let host = ss_types::DomainName::parse(domain).ok()?;
     let url = Url::new(host, "/checkout", "");
     // A real purchase commits its effects: the order counter advances.
-    let resp = web.fetch_apply(&Request { url, user_agent: UserAgent::Browser, referrer: None });
+    let resp = web.fetch_apply(&Request {
+        url,
+        user_agent: UserAgent::Browser,
+        referrer: None,
+    });
     if resp.status != 200 {
         return None;
     }
@@ -47,11 +51,18 @@ pub fn purchase(web: &mut impl Web, domain: &str, day: SimDate) -> Option<Transa
 
     // The payment form posts to http://pay.<processor>.com/charge.
     let form = doc.find_all("form").into_iter().find(|f| {
-        f.attr("action").map(|a| a.contains("/charge")).unwrap_or(false)
+        f.attr("action")
+            .map(|a| a.contains("/charge"))
+            .unwrap_or(false)
     })?;
     let action = form.attr("action")?;
     let action_url = Url::parse(action).ok()?;
-    let processor_name = action_url.host.as_str().strip_prefix("pay.")?.strip_suffix(".com")?.to_owned();
+    let processor_name = action_url
+        .host
+        .as_str()
+        .strip_prefix("pay.")?
+        .strip_suffix(".com")?
+        .to_owned();
     let merchant_id = form
         .children
         .iter()
@@ -102,7 +113,11 @@ mod tests {
         let mut w = World::build(ScenarioConfig::tiny(31)).unwrap();
         w.run_until(SimDate::from_day_index(ss_types::CRAWL_START_DAY + 3));
         let day = w.day;
-        let store = w.stores.iter().find(|s| !s.retired && s.created < day).unwrap();
+        let store = w
+            .stores
+            .iter()
+            .find(|s| !s.retired && s.created < day)
+            .unwrap();
         let domain = w.domains.get(store.current_domain).name.as_str().to_owned();
         let merchant = store.merchant_id.clone();
 

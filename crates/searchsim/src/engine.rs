@@ -109,7 +109,10 @@ impl SearchEngine {
     /// Registers a monitored term and returns its id.
     pub fn add_term(&mut self, vertical: VerticalId, text: &str) -> TermId {
         let id = TermId::from_index(self.terms.len());
-        self.terms.push(TermRecord { vertical, text: text.to_owned() });
+        self.terms.push(TermRecord {
+            vertical,
+            text: text.to_owned(),
+        });
         self.postings.push(Vec::new());
         id
     }
@@ -135,7 +138,14 @@ impl SearchEngine {
         day: SimDate,
     ) -> DocId {
         let id = DocId(self.docs.len() as u32);
-        self.docs.push(Doc { url, domain, term, quality, relevance, first_indexed: day });
+        self.docs.push(Doc {
+            url,
+            domain,
+            term,
+            quality,
+            relevance,
+            first_indexed: day,
+        });
         self.postings[term.index()].push(id);
         self.ensure_domain(domain);
         id
@@ -208,7 +218,11 @@ impl SearchEngine {
             .filter(|d| self.docs[d.0 as usize].first_indexed <= day)
             .map(|d| (self.score(*d, day), *d))
             .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
         let results = scored
             .into_iter()
             .take(k)
@@ -284,7 +298,14 @@ mod tests {
             domains.push(d);
             // Fresh doorways: no reputation, decent keyword relevance —
             // without juice they sit below page one.
-            e.index_page(t, url(&format!("http://door{i}.com/?key=cheap+louis+vuitton")), d, 0.0, 0.6, day(0));
+            e.index_page(
+                t,
+                url(&format!("http://door{i}.com/?key=cheap+louis+vuitton")),
+                d,
+                0.0,
+                0.6,
+                day(0),
+            );
         }
         (e, t, domains)
     }
@@ -293,12 +314,19 @@ mod tests {
     fn juice_lifts_doorways_into_top_ranks() {
         let (mut e, t, domains) = setup();
         let before = e.serp(t, day(10), 10);
-        assert!(before.results.iter().all(|r| r.domain.index() < 30), "no juice, no doorways on page one");
+        assert!(
+            before.results.iter().all(|r| r.domain.index() < 30),
+            "no juice, no doorways on page one"
+        );
         for d in &domains[30..] {
             e.set_juice(*d, 0.5);
         }
         let after = e.serp(t, day(10), 10);
-        let doorway_hits = after.results.iter().filter(|r| r.domain.index() >= 30).count();
+        let doorway_hits = after
+            .results
+            .iter()
+            .filter(|r| r.domain.index() >= 30)
+            .count();
         assert_eq!(doorway_hits, 3, "juiced doorways should dominate");
         assert_eq!(after.results[0].rank, 1);
     }
@@ -308,9 +336,17 @@ mod tests {
         let (mut e, t, domains) = setup();
         let target = domains[32];
         e.set_juice(target, 0.5);
-        assert!(e.serp(t, day(5), 10).results.iter().any(|r| r.domain == target));
+        assert!(e
+            .serp(t, day(5), 10)
+            .results
+            .iter()
+            .any(|r| r.domain == target));
         e.demote(target, 1.0);
-        assert!(e.serp(t, day(5), 10).results.iter().all(|r| r.domain != target));
+        assert!(e
+            .serp(t, day(5), 10)
+            .results
+            .iter()
+            .all(|r| r.domain != target));
         // With only 33 candidates the demoted doc still shows in a full
         // listing, but dead last — i.e. out of any top-k that matters.
         let all = e.serp(t, day(5), 100);
@@ -323,15 +359,29 @@ mod tests {
         let t = e.add_term(VerticalId(0), "x");
         let d = DomainId(0);
         e.index_page(t, url("http://site.com/"), d, 0.9, 0.9, day(0));
-        e.index_page(t, url("http://site.com/shop/page.html"), d, 0.9, 0.9, day(0));
+        e.index_page(
+            t,
+            url("http://site.com/shop/page.html"),
+            d,
+            0.9,
+            0.9,
+            day(0),
+        );
         e.label_hacked(d, day(50));
         let before = e.serp(t, day(49), 10);
         assert!(before.results.iter().all(|r| !r.hacked_label));
         let after = e.serp(t, day(50), 10);
         let root = after.results.iter().find(|r| r.url.is_root_page()).unwrap();
-        let sub = after.results.iter().find(|r| !r.url.is_root_page()).unwrap();
+        let sub = after
+            .results
+            .iter()
+            .find(|r| !r.url.is_root_page())
+            .unwrap();
         assert!(root.hacked_label, "root result must be labeled");
-        assert!(!sub.hacked_label, "sub-page result must not be labeled (root-only policy)");
+        assert!(
+            !sub.hacked_label,
+            "sub-page result must not be labeled (root-only policy)"
+        );
         assert_eq!(e.hacked_since(d), Some(day(50)));
     }
 
@@ -347,7 +397,10 @@ mod tests {
         let c = e.serp(t, day(11), 100);
         let order_a: Vec<DomainId> = a.results.iter().map(|r| r.domain).collect();
         let order_c: Vec<DomainId> = c.results.iter().map(|r| r.domain).collect();
-        assert_ne!(order_a, order_c, "jitter must churn the ordering day to day");
+        assert_ne!(
+            order_a, order_c,
+            "jitter must churn the ordering day to day"
+        );
     }
 
     #[test]
@@ -380,7 +433,9 @@ mod tests {
         e.index_page(t1, url("http://other.com/"), DomainId(8), 0.5, 0.5, day(0));
         let pages = e.site_query(d);
         assert_eq!(pages.len(), 2);
-        assert!(pages.iter().all(|p| p.url.host == DomainName::parse("door.com").unwrap()));
+        assert!(pages
+            .iter()
+            .all(|p| p.url.host == DomainName::parse("door.com").unwrap()));
     }
 
     #[test]

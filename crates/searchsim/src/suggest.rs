@@ -24,7 +24,10 @@ pub struct SuggestService {
 impl SuggestService {
     /// Creates a service. Suggestions are a pure function of `(seed, query)`.
     pub fn new(seed: u64) -> Self {
-        SuggestService { seed, per_query: 10 }
+        SuggestService {
+            seed,
+            per_query: 10,
+        }
     }
 
     /// Returns completions for `query` (a brand or brand+noun phrase).
@@ -37,7 +40,16 @@ impl SuggestService {
             return Vec::new();
         }
         let mut rng = sub_rng(self.seed, &format!("suggest/{query}"));
-        let qualifiers = ["sale", "outlet", "online", "for women", "for men", "uk", "free shipping", "2014"];
+        let qualifiers = [
+            "sale",
+            "outlet",
+            "online",
+            "for women",
+            "for men",
+            "uk",
+            "free shipping",
+            "2014",
+        ];
         let mut pool: Vec<String> = Vec::new();
         for noun in PRODUCT_NOUNS {
             pool.push(format!("{query} {noun}"));

@@ -110,17 +110,24 @@ pub fn decide(
         // Iframe cloaking serves the same bytes to everyone; the payload
         // only *acts* in a rendering browser. Compromised hosts still show
         // direct visitors the original page to stay hidden.
-        (CloakMode::Iframe { obfuscation }, VisitorClass::Crawler) => {
-            ServeDecision::IframePage { target: target.clone(), obfuscation }
-        }
+        (CloakMode::Iframe { obfuscation }, VisitorClass::Crawler) => ServeDecision::IframePage {
+            target: target.clone(),
+            obfuscation,
+        },
         (CloakMode::Iframe { obfuscation }, VisitorClass::SearchUser) => {
-            ServeDecision::IframePage { target: target.clone(), obfuscation }
+            ServeDecision::IframePage {
+                target: target.clone(),
+                obfuscation,
+            }
         }
         (CloakMode::Iframe { obfuscation }, VisitorClass::DirectUser) => {
             if compromised {
                 ServeDecision::OriginalContent
             } else {
-                ServeDecision::IframePage { target: target.clone(), obfuscation }
+                ServeDecision::IframePage {
+                    target: target.clone(),
+                    obfuscation,
+                }
             }
         }
         (_, VisitorClass::Crawler) => ServeDecision::SeoPage,
@@ -160,7 +167,10 @@ mod tests {
     }
 
     fn search_req() -> Request {
-        Request::browser_from(url("http://door.com/p"), url("http://google.com/search?q=x"))
+        Request::browser_from(
+            url("http://door.com/p"),
+            url("http://google.com/search?q=x"),
+        )
     }
 
     #[test]
@@ -169,21 +179,33 @@ mod tests {
             classify_visitor(&Request::crawler(url("http://d.com/")), SEARCH_HOSTS),
             VisitorClass::Crawler
         );
-        assert_eq!(classify_visitor(&search_req(), SEARCH_HOSTS), VisitorClass::SearchUser);
+        assert_eq!(
+            classify_visitor(&search_req(), SEARCH_HOSTS),
+            VisitorClass::SearchUser
+        );
         assert_eq!(
             classify_visitor(&Request::browser(url("http://d.com/")), SEARCH_HOSTS),
             VisitorClass::DirectUser
         );
         // A referrer from a non-search site is a direct visit.
         let other = Request::browser_from(url("http://d.com/"), url("http://blog.com/"));
-        assert_eq!(classify_visitor(&other, SEARCH_HOSTS), VisitorClass::DirectUser);
+        assert_eq!(
+            classify_visitor(&other, SEARCH_HOSTS),
+            VisitorClass::DirectUser
+        );
     }
 
     #[test]
     fn redirect_cloaking_splits_by_class() {
         let m = CloakMode::Redirect;
         assert_eq!(
-            decide(m, true, &store(), &Request::crawler(url("http://d.com/")), SEARCH_HOSTS),
+            decide(
+                m,
+                true,
+                &store(),
+                &Request::crawler(url("http://d.com/")),
+                SEARCH_HOSTS
+            ),
             ServeDecision::SeoPage
         );
         assert_eq!(
@@ -191,7 +213,13 @@ mod tests {
             ServeDecision::HttpRedirect(store())
         );
         assert_eq!(
-            decide(m, true, &store(), &Request::browser(url("http://d.com/")), SEARCH_HOSTS),
+            decide(
+                m,
+                true,
+                &store(),
+                &Request::browser(url("http://d.com/")),
+                SEARCH_HOSTS
+            ),
             ServeDecision::OriginalContent
         );
     }
@@ -200,7 +228,13 @@ mod tests {
     fn dedicated_doorways_redirect_direct_users_too() {
         let m = CloakMode::Redirect;
         assert_eq!(
-            decide(m, false, &store(), &Request::browser(url("http://d.com/")), SEARCH_HOSTS),
+            decide(
+                m,
+                false,
+                &store(),
+                &Request::browser(url("http://d.com/")),
+                SEARCH_HOSTS
+            ),
             ServeDecision::HttpRedirect(store())
         );
     }
@@ -208,8 +242,13 @@ mod tests {
     #[test]
     fn iframe_cloaking_serves_same_shape_to_crawler_and_search_user() {
         let m = CloakMode::Iframe { obfuscation: 2 };
-        let to_crawler =
-            decide(m, true, &store(), &Request::crawler(url("http://d.com/")), SEARCH_HOSTS);
+        let to_crawler = decide(
+            m,
+            true,
+            &store(),
+            &Request::crawler(url("http://d.com/")),
+            SEARCH_HOSTS,
+        );
         let to_user = decide(m, true, &store(), &search_req(), SEARCH_HOSTS);
         assert_eq!(to_crawler, to_user);
         assert!(matches!(to_crawler, ServeDecision::IframePage { .. }));
@@ -220,7 +259,13 @@ mod tests {
     fn compromised_iframe_doorway_hides_from_owner() {
         let m = CloakMode::Iframe { obfuscation: 0 };
         assert_eq!(
-            decide(m, true, &store(), &Request::browser(url("http://d.com/")), SEARCH_HOSTS),
+            decide(
+                m,
+                true,
+                &store(),
+                &Request::browser(url("http://d.com/")),
+                SEARCH_HOSTS
+            ),
             ServeDecision::OriginalContent
         );
     }

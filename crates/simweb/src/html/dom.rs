@@ -6,8 +6,18 @@ use super::token::{tokenize, Token};
 fn is_void(tag: &str) -> bool {
     matches!(
         tag,
-        "br" | "hr" | "img" | "meta" | "link" | "input" | "base" | "area" | "col" | "embed"
-            | "source" | "track" | "wbr"
+        "br" | "hr"
+            | "img"
+            | "meta"
+            | "link"
+            | "input"
+            | "base"
+            | "area"
+            | "col"
+            | "embed"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -25,12 +35,19 @@ pub struct Element {
 impl Element {
     /// Creates an element with no attributes or children.
     pub fn new(tag: &str) -> Self {
-        Element { tag: tag.to_ascii_lowercase(), attrs: Vec::new(), children: Vec::new() }
+        Element {
+            tag: tag.to_ascii_lowercase(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// First value of attribute `name`, if present.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Sets (or replaces) attribute `name`.
@@ -107,12 +124,28 @@ impl Document {
                     stack.last_mut().expect("root").children.push(Node::Text(t));
                 }
                 Token::Comment(c) => {
-                    stack.last_mut().expect("root").children.push(Node::Comment(c));
+                    stack
+                        .last_mut()
+                        .expect("root")
+                        .children
+                        .push(Node::Comment(c));
                 }
-                Token::Start { tag, attrs, self_closing } => {
-                    let el = Element { tag: tag.clone(), attrs, children: Vec::new() };
+                Token::Start {
+                    tag,
+                    attrs,
+                    self_closing,
+                } => {
+                    let el = Element {
+                        tag: tag.clone(),
+                        attrs,
+                        children: Vec::new(),
+                    };
                     if self_closing || is_void(&tag) {
-                        stack.last_mut().expect("root").children.push(Node::Element(el));
+                        stack
+                            .last_mut()
+                            .expect("root")
+                            .children
+                            .push(Node::Element(el));
                     } else {
                         stack.push(el);
                     }
@@ -138,9 +171,15 @@ impl Document {
         // Close any dangling elements.
         while stack.len() > 1 {
             let done = stack.pop().expect("len > 1");
-            stack.last_mut().expect("root remains").children.push(Node::Element(done));
+            stack
+                .last_mut()
+                .expect("root remains")
+                .children
+                .push(Node::Element(done));
         }
-        Document { roots: stack.pop().expect("root").children }
+        Document {
+            roots: stack.pop().expect("root").children,
+        }
     }
 
     /// Depth-first iterator over all elements.
@@ -160,7 +199,10 @@ impl Document {
 
     /// All elements with the given tag name.
     pub fn find_all(&self, tag: &str) -> Vec<&Element> {
-        self.elements().into_iter().filter(|e| e.tag == tag).collect()
+        self.elements()
+            .into_iter()
+            .filter(|e| e.tag == tag)
+            .collect()
     }
 
     /// First element with the given tag name.
@@ -170,7 +212,9 @@ impl Document {
 
     /// First element with the given `id` attribute.
     pub fn by_id(&self, id: &str) -> Option<&Element> {
-        self.elements().into_iter().find(|e| e.attr("id") == Some(id))
+        self.elements()
+            .into_iter()
+            .find(|e| e.attr("id") == Some(id))
     }
 
     /// The `<title>` text, if any.
@@ -195,7 +239,10 @@ impl Document {
 
     /// Bodies of all `<script>` elements (inline source text).
     pub fn scripts(&self) -> Vec<String> {
-        self.find_all("script").into_iter().map(|s| s.text_content_raw()).collect()
+        self.find_all("script")
+            .into_iter()
+            .map(|s| s.text_content_raw())
+            .collect()
     }
 
     /// All comment nodes' contents.
@@ -289,7 +336,9 @@ mod tests {
 
     #[test]
     fn parses_nested_structure() {
-        let doc = Document::parse("<html><head><title>T</title></head><body><p>a<b>c</b></p></body></html>");
+        let doc = Document::parse(
+            "<html><head><title>T</title></head><body><p>a<b>c</b></p></body></html>",
+        );
         assert_eq!(doc.title().as_deref(), Some("T"));
         let ps = doc.find_all("p");
         assert_eq!(ps.len(), 1);
@@ -319,7 +368,9 @@ mod tests {
 
     #[test]
     fn by_id_and_links() {
-        let doc = Document::parse(r#"<div id="main"><a href="/a">1</a><a href="http://x.com/b">2</a></div>"#);
+        let doc = Document::parse(
+            r#"<div id="main"><a href="/a">1</a><a href="http://x.com/b">2</a></div>"#,
+        );
         assert!(doc.by_id("main").is_some());
         assert_eq!(doc.links(), vec!["/a", "http://x.com/b"]);
     }

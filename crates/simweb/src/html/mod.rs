@@ -94,7 +94,10 @@ mod tests {
     #[test]
     fn escape_and_unescape() {
         assert_eq!(escape_text("a<b & c>d"), "a&lt;b &amp; c&gt;d");
-        assert_eq!(escape_attr(r#"say "hi" <now>"#), "say &quot;hi&quot; &lt;now>");
+        assert_eq!(
+            escape_attr(r#"say "hi" <now>"#),
+            "say &quot;hi&quot; &lt;now>"
+        );
         assert_eq!(unescape("a&lt;b &amp; c&gt;d"), "a<b & c>d");
         assert_eq!(unescape("&#65;&#66;"), "AB");
         assert_eq!(unescape("no entities"), "no entities");

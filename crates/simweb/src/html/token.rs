@@ -77,7 +77,10 @@ pub fn tokenize(input: &str) -> Vec<Token> {
         // Doctype / processing noise: skip to '>'.
         if input[i..].starts_with("<!") || input[i..].starts_with("<?") {
             flush_text(&mut tokens, text_start, i);
-            i = input[i..].find('>').map(|e| i + e + 1).unwrap_or(bytes.len());
+            i = input[i..]
+                .find('>')
+                .map(|e| i + e + 1)
+                .unwrap_or(bytes.len());
             text_start = i;
             continue;
         }
@@ -112,7 +115,11 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                 i += consumed;
                 text_start = i;
                 let raw = is_raw_text(&tag) && !self_closing;
-                tokens.push(Token::Start { tag: tag.clone(), attrs, self_closing });
+                tokens.push(Token::Start {
+                    tag: tag.clone(),
+                    attrs,
+                    self_closing,
+                });
                 if raw {
                     // Capture raw content verbatim until the close tag.
                     let close_pat = format!("</{tag}");
@@ -124,8 +131,10 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                                 tokens.push(Token::Text(rest[..e].to_owned()));
                             }
                             let after = i + e;
-                            let gt =
-                                input[after..].find('>').map(|g| after + g + 1).unwrap_or(bytes.len());
+                            let gt = input[after..]
+                                .find('>')
+                                .map(|g| after + g + 1)
+                                .unwrap_or(bytes.len());
                             tokens.push(Token::End { tag });
                             i = gt;
                             text_start = i;
@@ -215,9 +224,7 @@ fn parse_start_tag(s: &str) -> Option<StartTag> {
                         i += 1;
                     } else {
                         let vs = i;
-                        while i < bytes.len()
-                            && !bytes[i].is_ascii_whitespace()
-                            && bytes[i] != b'>'
+                        while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'>'
                         {
                             i += 1;
                         }
@@ -237,7 +244,10 @@ mod tests {
     fn start(tag: &str, attrs: &[(&str, &str)]) -> Token {
         Token::Start {
             tag: tag.into(),
-            attrs: attrs.iter().map(|(k, v)| ((*k).into(), (*v).into())).collect(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).into(), (*v).into()))
+                .collect(),
             self_closing: false,
         }
     }
@@ -262,13 +272,20 @@ mod tests {
 
     #[test]
     fn script_contents_are_raw() {
-        let t = tokenize(r#"<script type="text/javascript">if (a < b) { x("</s" + "cript>"); }</script>done"#);
+        let t = tokenize(
+            r#"<script type="text/javascript">if (a < b) { x("</s" + "cript>"); }</script>done"#,
+        );
         assert_eq!(t[0], start("script", &[("type", "text/javascript")]));
         match &t[1] {
             Token::Text(s) => assert!(s.contains("a < b"), "{s}"),
             other => panic!("expected raw text, got {other:?}"),
         }
-        assert_eq!(t[2], Token::End { tag: "script".into() });
+        assert_eq!(
+            t[2],
+            Token::End {
+                tag: "script".into()
+            }
+        );
         assert_eq!(t[3], Token::Text("done".into()));
     }
 
@@ -283,7 +300,11 @@ mod tests {
     fn attribute_styles() {
         let t = tokenize(r#"<iframe width="100%" height=900 allowfullscreen src='/a?b=1'/>"#);
         match &t[0] {
-            Token::Start { tag, attrs, self_closing } => {
+            Token::Start {
+                tag,
+                attrs,
+                self_closing,
+            } => {
                 assert_eq!(tag, "iframe");
                 assert!(self_closing);
                 assert_eq!(

@@ -49,17 +49,29 @@ pub struct Request {
 impl Request {
     /// A direct browser visit with no referrer.
     pub fn browser(url: Url) -> Self {
-        Request { url, user_agent: UserAgent::Browser, referrer: None }
+        Request {
+            url,
+            user_agent: UserAgent::Browser,
+            referrer: None,
+        }
     }
 
     /// A browser visit that arrived by clicking a link on `referrer`.
     pub fn browser_from(url: Url, referrer: Url) -> Self {
-        Request { url, user_agent: UserAgent::Browser, referrer: Some(referrer) }
+        Request {
+            url,
+            user_agent: UserAgent::Browser,
+            referrer: Some(referrer),
+        }
     }
 
     /// A search-engine crawler visit.
     pub fn crawler(url: Url) -> Self {
-        Request { url, user_agent: UserAgent::GoogleBot, referrer: None }
+        Request {
+            url,
+            user_agent: UserAgent::GoogleBot,
+            referrer: None,
+        }
     }
 }
 
@@ -89,12 +101,22 @@ pub struct Response {
 impl Response {
     /// A 200 response carrying `body`.
     pub fn ok(body: String) -> Self {
-        Response { status: 200, location: None, cookies: Vec::new(), body }
+        Response {
+            status: 200,
+            location: None,
+            cookies: Vec::new(),
+            body,
+        }
     }
 
     /// A 302 redirect to `to`.
     pub fn redirect(to: Url) -> Self {
-        Response { status: 302, location: Some(to), cookies: Vec::new(), body: String::new() }
+        Response {
+            status: 302,
+            location: Some(to),
+            cookies: Vec::new(),
+            body: String::new(),
+        }
     }
 
     /// A 404 response.
@@ -272,7 +294,9 @@ mod tests {
             fn fetch(&self, req: &Request) -> (Response, Vec<SideEffect>) {
                 (
                     Response::ok(format!("order {}", self.committed + 1)),
-                    vec![SideEffect::OrderAllocated { host: req.url.host.clone() }],
+                    vec![SideEffect::OrderAllocated {
+                        host: req.url.host.clone(),
+                    }],
                 )
             }
         }
@@ -300,7 +324,10 @@ mod tests {
         let u = url("http://x.com/p");
         let r = Request::browser_from(u.clone(), url("http://google.com/search?q=x"));
         assert_eq!(r.user_agent, UserAgent::Browser);
-        assert_eq!(r.referrer.as_ref().unwrap().host, DomainName::parse("google.com").unwrap());
+        assert_eq!(
+            r.referrer.as_ref().unwrap().host,
+            DomainName::parse("google.com").unwrap()
+        );
         assert_eq!(Request::crawler(u).user_agent, UserAgent::GoogleBot);
     }
 

@@ -47,7 +47,10 @@ pub struct DynElement {
 impl DynElement {
     /// First value of attribute `name`.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn set_attr(&mut self, name: &str, value: String) {
@@ -167,9 +170,12 @@ impl Value {
                 }
             }
             Value::Str(s) => s.clone(),
-            Value::Array(items) => {
-                items.borrow().iter().map(Value::to_js_string).collect::<Vec<_>>().join(",")
-            }
+            Value::Array(items) => items
+                .borrow()
+                .iter()
+                .map(Value::to_js_string)
+                .collect::<Vec<_>>()
+                .join(","),
             Value::Element(_) => "[object HTMLElement]".into(),
             Value::Native(n) => format!("[object {n}]"),
             Value::Function(_) => "function".into(),
@@ -204,7 +210,12 @@ pub struct Interpreter<'e> {
 impl<'e> Interpreter<'e> {
     /// Creates an interpreter with the default 200k step budget.
     pub fn new(env: &'e mut PageEnv) -> Self {
-        Interpreter { env, scopes: vec![HashMap::new()], steps: 0, max_steps: 200_000 }
+        Interpreter {
+            env,
+            scopes: vec![HashMap::new()],
+            steps: 0,
+            max_steps: 200_000,
+        }
     }
 
     /// Runs a parsed program to completion.
@@ -240,7 +251,10 @@ impl<'e> Interpreter<'e> {
                     Some(e) => self.eval(e)?,
                     None => Value::Undefined,
                 };
-                self.scopes.last_mut().expect("scope").insert(name.clone(), v);
+                self.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), v);
                 Ok(Flow::Normal)
             }
             Stmt::Expr(e) => {
@@ -288,7 +302,10 @@ impl<'e> Interpreter<'e> {
                     params: params.clone(),
                     body: body.clone(),
                 }));
-                self.scopes.first_mut().expect("global scope").insert(name.clone(), f);
+                self.scopes
+                    .first_mut()
+                    .expect("global scope")
+                    .insert(name.clone(), f);
                 Ok(Flow::Normal)
             }
             Stmt::Return(e) => {
@@ -318,7 +335,10 @@ impl<'e> Interpreter<'e> {
             }
         }
         // Implicit global, as in sloppy-mode JS.
-        self.scopes.first_mut().expect("global scope").insert(name.to_owned(), v);
+        self.scopes
+            .first_mut()
+            .expect("global scope")
+            .insert(name.to_owned(), v);
     }
 
     fn rt<T>(&self, msg: impl Into<String>) -> Result<T, JsError> {
@@ -523,9 +543,10 @@ impl<'e> Interpreter<'e> {
                 match field {
                     "tagName" => Ok(Value::Str(el.tag.to_ascii_uppercase())),
                     "innerHTML" => Ok(Value::Str(el.inner_html.clone())),
-                    other => {
-                        Ok(el.attr(other).map(|v| Value::Str(v.to_owned())).unwrap_or(Value::Undefined))
-                    }
+                    other => Ok(el
+                        .attr(other)
+                        .map(|v| Value::Str(v.to_owned()))
+                        .unwrap_or(Value::Undefined)),
                 }
             }
             _ => Ok(Value::Undefined),
@@ -577,7 +598,10 @@ impl<'e> Interpreter<'e> {
                         .chars()
                         .take_while(|c| c.is_ascii_digit() || *c == '-')
                         .collect();
-                    Ok(digits.parse::<f64>().map(Value::Num).unwrap_or(Value::Num(f64::NAN)))
+                    Ok(digits
+                        .parse::<f64>()
+                        .map(Value::Num)
+                        .unwrap_or(Value::Num(f64::NAN)))
                 }
                 "unescape" | "decodeURIComponent" => {
                     let s = argv.first().map(Value::to_js_string).unwrap_or_default();
@@ -619,7 +643,12 @@ impl<'e> Interpreter<'e> {
         }
     }
 
-    fn call_method(&mut self, base: &Value, method: &str, argv: Vec<Value>) -> Result<Value, JsError> {
+    fn call_method(
+        &mut self,
+        base: &Value,
+        method: &str,
+        argv: Vec<Value>,
+    ) -> Result<Value, JsError> {
         let arg_str = |i: usize| argv.get(i).map(Value::to_js_string).unwrap_or_default();
         match base {
             Value::Native("document") => match method {
@@ -631,7 +660,10 @@ impl<'e> Interpreter<'e> {
                 }
                 "createElement" => {
                     let tag = arg_str(0).to_ascii_lowercase();
-                    self.env.effects.elements.push(DynElement { tag, ..DynElement::default() });
+                    self.env.effects.elements.push(DynElement {
+                        tag,
+                        ..DynElement::default()
+                    });
                     Ok(Value::Element(self.env.effects.elements.len() - 1))
                 }
                 "getElementById" => {
@@ -686,11 +718,13 @@ impl<'e> Interpreter<'e> {
                     "abs" => Ok(Value::Num(x.abs())),
                     "round" => Ok(Value::Num(x.round())),
                     "max" => Ok(Value::Num(
-                        argv.iter().map(Value::to_num).fold(f64::NEG_INFINITY, f64::max),
+                        argv.iter()
+                            .map(Value::to_num)
+                            .fold(f64::NEG_INFINITY, f64::max),
                     )),
-                    "min" => {
-                        Ok(Value::Num(argv.iter().map(Value::to_num).fold(f64::INFINITY, f64::min)))
-                    }
+                    "min" => Ok(Value::Num(
+                        argv.iter().map(Value::to_num).fold(f64::INFINITY, f64::min),
+                    )),
                     _ => self.rt(format!("Math.{method} is not a function")),
                 }
             }
@@ -722,7 +756,11 @@ impl<'e> Interpreter<'e> {
             Value::Str(s) => self.string_method(s, method, argv),
             Value::Array(items) => match method {
                 "join" => {
-                    let sep = if argv.is_empty() { ",".to_owned() } else { arg_str(0) };
+                    let sep = if argv.is_empty() {
+                        ",".to_owned()
+                    } else {
+                        arg_str(0)
+                    };
                     let joined = items
                         .borrow()
                         .iter()
@@ -770,13 +808,22 @@ impl<'e> Interpreter<'e> {
                 } else if sep.is_empty() {
                     s.chars().map(|c| Value::Str(c.to_string())).collect()
                 } else {
-                    s.split(sep.as_str()).map(|p| Value::Str(p.to_owned())).collect()
+                    s.split(sep.as_str())
+                        .map(|p| Value::Str(p.to_owned()))
+                        .collect()
                 };
                 Ok(Value::Array(Rc::new(RefCell::new(parts))))
             }
-            "replace" => Ok(Value::Str(s.replacen(arg_str(0).as_str(), arg_str(1).as_str(), 1))),
+            "replace" => Ok(Value::Str(s.replacen(
+                arg_str(0).as_str(),
+                arg_str(1).as_str(),
+                1,
+            ))),
             "charAt" => Ok(Value::Str(
-                s.chars().nth(arg_num(0) as usize).map(|c| c.to_string()).unwrap_or_default(),
+                s.chars()
+                    .nth(arg_num(0) as usize)
+                    .map(|c| c.to_string())
+                    .unwrap_or_default(),
             )),
             "charCodeAt" => Ok(s
                 .chars()
@@ -841,7 +888,8 @@ mod tests {
     use super::*;
 
     fn run(src: &str) -> PageEnv {
-        let mut env = PageEnv::browser("http://door.com/page", Some("http://google.com/search?q=x"));
+        let mut env =
+            PageEnv::browser("http://door.com/page", Some("http://google.com/search?q=x"));
         run_script(src, &mut env).unwrap();
         env
     }
@@ -870,13 +918,11 @@ mod tests {
 
     #[test]
     fn create_and_attach_iframe() {
-        let env = run(
-            "var f = document.createElement('iframe');\
+        let env = run("var f = document.createElement('iframe');\
              f.setAttribute('width', '100%');\
              f.height = '100%';\
              f.src = 'http://store.com/';\
-             document.body.appendChild(f);",
-        );
+             document.body.appendChild(f);");
         let attached: Vec<_> = env.effects.attached_elements().collect();
         assert_eq!(attached.len(), 1);
         assert_eq!(attached[0].tag, "iframe");
@@ -918,11 +964,9 @@ mod tests {
 
     #[test]
     fn from_char_code_obfuscation() {
-        let env = run(
-            "var cs = [104, 116, 116, 112];\
+        let env = run("var cs = [104, 116, 116, 112];\
              var out = String.fromCharCode(cs[0], cs[1], cs[2], cs[3]);\
-             document.write(out);",
-        );
+             document.write(out);");
         assert_eq!(env.effects.written_html, "http");
     }
 
@@ -956,10 +1000,8 @@ mod tests {
 
     #[test]
     fn string_methods() {
-        let env = run(
-            "var s = 'HeLLo world';\
-             document.write(s.toLowerCase().replace('world', 'there').substring(0, 8));",
-        );
+        let env = run("var s = 'HeLLo world';\
+             document.write(s.toLowerCase().replace('world', 'there').substring(0, 8));");
         assert_eq!(env.effects.written_html, "hello th");
     }
 
@@ -971,7 +1013,10 @@ mod tests {
 
     #[test]
     fn get_element_by_id_honours_static_dom() {
-        let mut env = PageEnv { dom_ids: vec!["content".into()], ..PageEnv::default() };
+        let mut env = PageEnv {
+            dom_ids: vec!["content".into()],
+            ..PageEnv::default()
+        };
         run_script(
             "var c = document.getElementById('content');\
              if (c != null) { var f = document.createElement('iframe'); c.appendChild(f); }",
@@ -979,10 +1024,18 @@ mod tests {
         )
         .unwrap();
         // iframe attached through the static container.
-        assert!(env.effects.elements.iter().any(|e| e.tag == "iframe" && e.attached));
+        assert!(env
+            .effects
+            .elements
+            .iter()
+            .any(|e| e.tag == "iframe" && e.attached));
 
         let mut env2 = PageEnv::default();
-        run_script("var c = document.getElementById('content'); document.write(c == null ? 'no' : 'yes');", &mut env2).unwrap();
+        run_script(
+            "var c = document.getElementById('content'); document.write(c == null ? 'no' : 'yes');",
+            &mut env2,
+        )
+        .unwrap();
         assert_eq!(env2.effects.written_html, "no");
     }
 
@@ -995,7 +1048,13 @@ mod tests {
     #[test]
     fn runtime_errors_are_reported() {
         let mut env = PageEnv::default();
-        assert!(matches!(run_script("nosuchfn();", &mut env), Err(JsError::Runtime(_))));
-        assert!(matches!(run_script("var x = ;", &mut env), Err(JsError::Syntax(_))));
+        assert!(matches!(
+            run_script("nosuchfn();", &mut env),
+            Err(JsError::Runtime(_))
+        ));
+        assert!(matches!(
+            run_script("var x = ;", &mut env),
+            Err(JsError::Syntax(_))
+        ));
     }
 }

@@ -50,14 +50,20 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
         }
         // Comments.
         if src[i..].starts_with("//") {
-            i = src[i..].find('\n').map(|e| i + e + 1).unwrap_or(bytes.len());
+            i = src[i..]
+                .find('\n')
+                .map(|e| i + e + 1)
+                .unwrap_or(bytes.len());
             continue;
         }
         if src[i..].starts_with("/*") {
             i = src[i + 2..]
                 .find("*/")
                 .map(|e| i + 2 + e + 2)
-                .ok_or(LexError { pos: i, msg: "unterminated block comment".into() })?;
+                .ok_or(LexError {
+                    pos: i,
+                    msg: "unterminated block comment".into(),
+                })?;
             continue;
         }
         // Strings.
@@ -121,7 +127,10 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                     }
                 }
             }
-            return Err(LexError { pos: i, msg: "unterminated string".into() });
+            return Err(LexError {
+                pos: i,
+                msg: "unterminated string".into(),
+            });
         }
         // Numbers.
         if b.is_ascii_digit() {
@@ -156,7 +165,10 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                 continue 'outer;
             }
         }
-        return Err(LexError { pos: i, msg: format!("unexpected byte {:?}", b as char) });
+        return Err(LexError {
+            pos: i,
+            msg: format!("unexpected byte {:?}", b as char),
+        });
     }
     Ok(toks)
 }
@@ -222,6 +234,9 @@ mod tests {
     #[test]
     fn dollar_and_underscore_idents() {
         let t = lex("$el _tmp2").unwrap();
-        assert_eq!(t, vec![Tok::Ident("$el".into()), Tok::Ident("_tmp2".into())]);
+        assert_eq!(
+            t,
+            vec![Tok::Ident("$el".into()), Tok::Ident("_tmp2".into())]
+        );
     }
 }

@@ -22,7 +22,10 @@ impl fmt::Display for ParseError {
 
 /// Parses a full program.
 pub fn parse_program(src: &str) -> Result<Vec<Stmt>, ParseError> {
-    let toks = lex(src).map_err(|e| ParseError { at: 0, msg: e.to_string() })?;
+    let toks = lex(src).map_err(|e| ParseError {
+        at: 0,
+        msg: e.to_string(),
+    })?;
     let mut p = Parser { toks, pos: 0 };
     let mut stmts = Vec::new();
     while !p.at_end() {
@@ -46,7 +49,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { at: self.pos, msg: msg.into() })
+        Err(ParseError {
+            at: self.pos,
+            msg: msg.into(),
+        })
     }
 
     fn eat_punct(&mut self, p: &str) -> bool {
@@ -93,7 +99,11 @@ impl Parser {
         }
         if self.eat_keyword("var") {
             let name = self.expect_ident()?;
-            let init = if self.eat_punct("=") { Some(self.expression()?) } else { None };
+            let init = if self.eat_punct("=") {
+                Some(self.expression()?)
+            } else {
+                None
+            };
             self.eat_punct(";");
             return Ok(Stmt::Var(name, init));
         }
@@ -102,7 +112,11 @@ impl Parser {
             let cond = self.expression()?;
             self.expect_punct(")")?;
             let then = self.block_or_single()?;
-            let els = if self.eat_keyword("else") { self.block_or_single()? } else { Vec::new() };
+            let els = if self.eat_keyword("else") {
+                self.block_or_single()?
+            } else {
+                Vec::new()
+            };
             return Ok(Stmt::If(cond, then, els));
         }
         if self.eat_keyword("while") {
@@ -119,7 +133,11 @@ impl Parser {
             } else {
                 let s = if self.eat_keyword("var") {
                     let name = self.expect_ident()?;
-                    let init = if self.eat_punct("=") { Some(self.expression()?) } else { None };
+                    let init = if self.eat_punct("=") {
+                        Some(self.expression()?)
+                    } else {
+                        None
+                    };
                     Stmt::Var(name, init)
                 } else {
                     Stmt::Expr(self.expression()?)
@@ -226,13 +244,21 @@ impl Parser {
         if self.eat_punct("++") {
             return Ok(Expr::Assign(
                 Box::new(lhs.clone()),
-                Box::new(Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(Expr::Num(1.0)))),
+                Box::new(Expr::Bin(
+                    BinOp::Add,
+                    Box::new(lhs),
+                    Box::new(Expr::Num(1.0)),
+                )),
             ));
         }
         if self.eat_punct("--") {
             return Ok(Expr::Assign(
                 Box::new(lhs.clone()),
-                Box::new(Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(Expr::Num(1.0)))),
+                Box::new(Expr::Bin(
+                    BinOp::Sub,
+                    Box::new(lhs),
+                    Box::new(Expr::Num(1.0)),
+                )),
             ));
         }
         Ok(lhs)
@@ -426,12 +452,21 @@ mod tests {
 
     #[test]
     fn parses_var_and_call() {
-        let p = parse_program("var f = document.createElement('iframe'); f.setAttribute('width', '100%');").unwrap();
+        let p = parse_program(
+            "var f = document.createElement('iframe'); f.setAttribute('width', '100%');",
+        )
+        .unwrap();
         assert_eq!(p.len(), 2);
         match &p[0] {
             Stmt::Var(name, Some(Expr::Call(callee, args))) => {
                 assert_eq!(name, "f");
-                assert_eq!(**callee, Expr::Member(Box::new(Expr::Ident("document".into())), "createElement".into()));
+                assert_eq!(
+                    **callee,
+                    Expr::Member(
+                        Box::new(Expr::Ident("document".into())),
+                        "createElement".into()
+                    )
+                );
                 assert_eq!(args[0], Expr::Str("iframe".into()));
             }
             other => panic!("{other:?}"),
@@ -460,7 +495,8 @@ mod tests {
 
     #[test]
     fn parses_control_flow() {
-        let src = "for (var i = 0; i < 3; i++) { if (i == 1) x = x + i; else x = 0; } while (x > 0) x--;";
+        let src =
+            "for (var i = 0; i < 3; i++) { if (i == 1) x = x + i; else x = 0; } while (x > 0) x--;";
         let p = parse_program(src).unwrap();
         assert!(matches!(p[0], Stmt::For(..)));
         assert!(matches!(p[1], Stmt::While(..)));
@@ -494,7 +530,9 @@ mod tests {
     #[test]
     fn ternary_and_assignment_chain() {
         let p = parse_program("x = a ? 'y' : 'n';").unwrap();
-        assert!(matches!(&p[0], Stmt::Expr(Expr::Assign(_, rhs)) if matches!(&**rhs, Expr::Ternary(..))));
+        assert!(
+            matches!(&p[0], Stmt::Expr(Expr::Assign(_, rhs)) if matches!(&**rhs, Expr::Ternary(..)))
+        );
     }
 
     #[test]

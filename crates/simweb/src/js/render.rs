@@ -127,7 +127,10 @@ mod tests {
         let r = render(html, "http://door.com/", UserAgent::Browser, None);
         let frames = r.iframes();
         assert_eq!(frames.len(), 1);
-        assert_eq!(frames[0], ("100%".into(), "100%".into(), "http://store.com/".into()));
+        assert_eq!(
+            frames[0],
+            ("100%".into(), "100%".into(), "http://store.com/".into())
+        );
     }
 
     #[test]

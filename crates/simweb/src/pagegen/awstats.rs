@@ -102,7 +102,10 @@ mod tests {
                 ("door2.com".into(), 4_100),
             ],
             direct_visits: 18_680,
-            daily: vec![("2014-07-01".into(), 1_500, 8_400), ("2014-07-02".into(), 1_600, 8_960)],
+            daily: vec![
+                ("2014-07-01".into(), 1_500, 8_400),
+                ("2014-07-02".into(), 1_600, 8_960),
+            ],
         }
     }
 
@@ -124,7 +127,11 @@ mod tests {
             .into_iter()
             .filter(|tr| tr.attr("class") == Some("referrer"))
             .map(|tr| {
-                let tds = tr.children.iter().filter_map(|n| n.as_element()).collect::<Vec<_>>();
+                let tds = tr
+                    .children
+                    .iter()
+                    .filter_map(|n| n.as_element())
+                    .collect::<Vec<_>>();
                 (tds[0].text_content(), tds[1].text_content())
             })
             .collect();

@@ -1,7 +1,6 @@
 //! Doorway pages: the SEO-facing view, the JS-redirect variant, the
 //! iframe-cloaked variant, and the original content of compromised hosts.
 
-
 use super::obfuscate;
 use super::words;
 
@@ -56,7 +55,10 @@ pub fn seo_page(ctx: &DoorwayCtx<'_>) -> String {
     body.push_str("</ul>");
     let meta = format!(
         "<meta name=\"keywords\" content=\"{}\"><meta name=\"description\" content=\"{}\">",
-        crate::html::escape_attr(&format!("{}, {} outlet, cheap {}", ctx.term, ctx.brand, ctx.brand)),
+        crate::html::escape_attr(&format!(
+            "{}, {} outlet, cheap {}",
+            ctx.term, ctx.brand, ctx.brand
+        )),
         crate::html::escape_attr(&words::commerce_sentence(&mut rng)),
     );
     super::shell(&title, &meta, &body)
@@ -78,7 +80,10 @@ pub fn iframe_page(ctx: &DoorwayCtx<'_>, target: &str, obfuscation: u8) -> Strin
         obfuscate::static_iframe(target)
     } else {
         let mut rng = words::page_rng(ctx.seed, &format!("doorway/obf/{}", ctx.term));
-        format!("<script>{}</script>", obfuscate::iframe_payload(target, obfuscation, &mut rng))
+        format!(
+            "<script>{}</script>",
+            obfuscate::iframe_payload(target, obfuscation, &mut rng)
+        )
     };
     page.replace("</body>", &format!("{inject}</body>"))
 }
@@ -88,11 +93,16 @@ pub fn iframe_page(ctx: &DoorwayCtx<'_>, target: &str, obfuscation: u8) -> Strin
 pub fn original_content(ctx: &DoorwayCtx<'_>) -> String {
     let mut rng = words::page_rng(ctx.seed, "doorway/original");
     let title = format!("{} — home", ctx.domain);
-    let mut body = format!("<h1>Welcome to {}</h1>", crate::html::escape_text(ctx.domain));
+    let mut body = format!(
+        "<h1>Welcome to {}</h1>",
+        crate::html::escape_text(ctx.domain)
+    );
     for _ in 0..4 {
         body.push_str(&format!("<p>{}</p>", words::paragraph(&mut rng, 4, false)));
     }
-    body.push_str("<p><a href=\"/about.html\">About us</a> | <a href=\"/contact.html\">Contact</a></p>");
+    body.push_str(
+        "<p><a href=\"/about.html\">About us</a> | <a href=\"/contact.html\">Contact</a></p>",
+    );
     super::shell(&title, "", &body)
 }
 

@@ -52,7 +52,11 @@ pub fn page(ctx: &LegitCtx<'_>) -> String {
                 body.push_str(&format!(
                     "<article><h2>{} {}</h2><p>{}</p></article>",
                     crate::html::escape_text(ctx.brand),
-                    crate::html::escape_text(&words::pick_words(&mut rng, &["launch", "review", "season", "report"], 1)),
+                    crate::html::escape_text(&words::pick_words(
+                        &mut rng,
+                        &["launch", "review", "season", "report"],
+                        1
+                    )),
                     words::paragraph(&mut rng, 4, false)
                 ));
             }
@@ -115,7 +119,12 @@ mod tests {
     use crate::html::Document;
 
     fn ctx(theme: LegitTheme) -> String {
-        page(&LegitCtx { domain: "example-site.com", theme, brand: "Moncler", seed: 3 })
+        page(&LegitCtx {
+            domain: "example-site.com",
+            theme,
+            brand: "Moncler",
+            seed: 3,
+        })
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub fn page(ctx: &NoticeCtx<'_>) -> String {
     );
     body.push_str("<div id=\"court-doc\"><h2>Schedule A — Defendant Domain Names</h2><ol>");
     for d in ctx.seized_domains {
-        body.push_str(&format!("<li class=\"seized-domain\">{}</li>", crate::html::escape_text(d)));
+        body.push_str(&format!(
+            "<li class=\"seized-domain\">{}</li>",
+            crate::html::escape_text(d)
+        ));
     }
     body.push_str("</ol></div>");
     super::shell("Seized Domain", "", &body)
@@ -51,7 +54,11 @@ mod tests {
 
     #[test]
     fn notice_carries_firm_case_and_domain_schedule() {
-        let seized = vec!["a-store.com".to_owned(), "b-store.com".to_owned(), "c-store.net".to_owned()];
+        let seized = vec![
+            "a-store.com".to_owned(),
+            "b-store.com".to_owned(),
+            "c-store.net".to_owned(),
+        ];
         let html = page(&NoticeCtx {
             domain: "a-store.com",
             firm: "Greer, Burns & Crain",
@@ -60,7 +67,10 @@ mod tests {
             seized_domains: &seized,
         });
         let doc = Document::parse(&html);
-        assert_eq!(doc.by_id("firm").unwrap().text_content(), "Greer, Burns & Crain");
+        assert_eq!(
+            doc.by_id("firm").unwrap().text_content(),
+            "Greer, Burns & Crain"
+        );
         assert_eq!(doc.by_id("case").unwrap().text_content(), "14-cv-02317");
         let listed: Vec<String> = doc
             .find_all("li")

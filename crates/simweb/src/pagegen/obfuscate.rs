@@ -40,7 +40,11 @@ pub fn static_iframe(target: &str) -> String {
 
 fn var_name(rng: &mut SimRng) -> String {
     const HEADS: &[&str] = &["f", "el", "fr", "w", "q", "z", "node", "box"];
-    format!("{}{}", HEADS[rng.gen_range(0..HEADS.len())], rng.gen_range(0..100))
+    format!(
+        "{}{}",
+        HEADS[rng.gen_range(0..HEADS.len())],
+        rng.gen_range(0..100)
+    )
 }
 
 fn plain_payload(target: &str, rng: &mut SimRng) -> String {
@@ -63,7 +67,10 @@ fn fragments(s: &str, rng: &mut SimRng) -> String {
     while i < chars.len() {
         let take = rng.gen_range(2..5).min(chars.len() - i);
         let frag: String = chars[i..i + take].iter().collect();
-        parts.push(format!("'{}'", frag.replace('\\', "\\\\").replace('\'', "\\'")));
+        parts.push(format!(
+            "'{}'",
+            frag.replace('\\', "\\\\").replace('\'', "\\'")
+        ));
         i += take;
     }
     format!("[{}]", parts.join(","))
@@ -154,7 +161,10 @@ mod tests {
         let mut rng = sub_rng(5, "hide3");
         let l3 = iframe_payload(TARGET, 3, &mut rng);
         assert!(!l3.contains(TARGET), "level 3 must encode the URL");
-        assert!(!l3.contains("createElement"), "level 3 hides the DOM calls too");
+        assert!(
+            !l3.contains("createElement"),
+            "level 3 hides the DOM calls too"
+        );
     }
 
     #[test]

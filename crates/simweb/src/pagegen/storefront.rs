@@ -37,9 +37,18 @@ impl Platform {
     /// The session cookie this platform sets.
     pub fn cookie(self) -> Cookie {
         match self {
-            Platform::ZenCart => Cookie { name: "zenid".into(), value: "sess".into() },
-            Platform::Magento => Cookie { name: "frontend".into(), value: "sess".into() },
-            Platform::CustomCart => Cookie { name: "PHPSESSID".into(), value: "sess".into() },
+            Platform::ZenCart => Cookie {
+                name: "zenid".into(),
+                value: "sess".into(),
+            },
+            Platform::Magento => Cookie {
+                name: "frontend".into(),
+                value: "sess".into(),
+            },
+            Platform::CustomCart => Cookie {
+                name: "PHPSESSID".into(),
+                value: "sess".into(),
+            },
         }
     }
 
@@ -86,7 +95,10 @@ impl Analytics {
             Analytics::Ajstat => "ajstat_uid",
             Analytics::StatCounter => "sc_is_visitor",
         };
-        Cookie { name: name.into(), value: "v".into() }
+        Cookie {
+            name: name.into(),
+            value: "v".into(),
+        }
     }
 }
 
@@ -114,7 +126,10 @@ impl PaymentProcessor {
 
     /// The cookie the payment widget sets.
     pub fn cookie(self) -> Cookie {
-        Cookie { name: format!("{}_tk", self.name()), value: "tk".into() }
+        Cookie {
+            name: format!("{}_tk", self.name()),
+            value: "tk".into(),
+        }
     }
 
     /// The bank (by BIN country) that settles for this processor — §4.3.2:
@@ -153,16 +168,27 @@ impl StoreTemplate {
     pub fn for_campaign(name: &str, seed: u64) -> Self {
         let mut rng = words::page_rng(seed, &format!("template/{name}"));
         let platforms = [Platform::ZenCart, Platform::Magento, Platform::CustomCart];
-        let analytics =
-            [Analytics::Cnzz, Analytics::La51, Analytics::Ajstat, Analytics::StatCounter];
-        let payments =
-            [PaymentProcessor::Realypay, PaymentProcessor::Mallpayment, PaymentProcessor::GlobalBill];
+        let analytics = [
+            Analytics::Cnzz,
+            Analytics::La51,
+            Analytics::Ajstat,
+            Analytics::StatCounter,
+        ];
+        let payments = [
+            PaymentProcessor::Realypay,
+            PaymentProcessor::Mallpayment,
+            PaymentProcessor::GlobalBill,
+        ];
         let slug: String = name
             .chars()
             .filter(|c| c.is_ascii_alphanumeric())
             .collect::<String>()
             .to_ascii_lowercase();
-        let slug = if slug.is_empty() { "tpl".to_owned() } else { slug };
+        let slug = if slug.is_empty() {
+            "tpl".to_owned()
+        } else {
+            slug
+        };
         let signature_tokens = vec![
             format!("{}-theme-{}", slug, words::token(&mut rng, 4)),
             format!("tpl-{}", words::token(&mut rng, 6)),
@@ -200,14 +226,22 @@ pub struct StoreCtx<'a> {
 
 /// Cookies a storefront visit sets — the store detector's first heuristic.
 pub fn cookies(t: &StoreTemplate) -> Vec<Cookie> {
-    vec![t.platform.cookie(), t.analytics.cookie(), t.payment.cookie()]
+    vec![
+        t.platform.cookie(),
+        t.analytics.cookie(),
+        t.payment.cookie(),
+    ]
 }
 
 /// The storefront landing page (product grid + cart/checkout chrome).
 pub fn home_page(ctx: &StoreCtx<'_>) -> String {
     let t = ctx.template;
     let mut rng = words::page_rng(ctx.seed, "store/home");
-    let title = format!("{} — {} official outlet", ctx.store_name, ctx.brands.first().unwrap_or(&""));
+    let title = format!(
+        "{} — {} official outlet",
+        ctx.store_name,
+        ctx.brands.first().unwrap_or(&"")
+    );
 
     let head = format!(
         "<meta name=\"generator\" content=\"{}\">\
@@ -232,7 +266,10 @@ pub fn home_page(ctx: &StoreCtx<'_>) -> String {
         t.css_prefix
     ));
 
-    body.push_str(&format!("<div class=\"{}-grid\" data-template=\"{}\">", t.css_prefix, t.signature_tokens[1]));
+    body.push_str(&format!(
+        "<div class=\"{}-grid\" data-template=\"{}\">",
+        t.css_prefix, t.signature_tokens[1]
+    ));
     let n_products = 8 + (ctx.seed % 5) as usize;
     for i in 0..n_products {
         let brand = ctx.brands[i % ctx.brands.len().max(1)];
@@ -375,11 +412,22 @@ mod tests {
     #[test]
     fn sibling_stores_share_signature_but_differ_in_noise() {
         let t = template();
-        let a = home_page(&StoreCtx { seed: 1, domain: "a.com", ..ctx(&t) });
-        let b = home_page(&StoreCtx { seed: 2, domain: "b.com", ..ctx(&t) });
+        let a = home_page(&StoreCtx {
+            seed: 1,
+            domain: "a.com",
+            ..ctx(&t)
+        });
+        let b = home_page(&StoreCtx {
+            seed: 2,
+            domain: "b.com",
+            ..ctx(&t)
+        });
         assert_ne!(a, b, "per-store noise must differ");
         for tok in &t.signature_tokens {
-            assert!(a.contains(tok) && b.contains(tok), "signature token {tok} must persist");
+            assert!(
+                a.contains(tok) && b.contains(tok),
+                "signature token {tok} must persist"
+            );
         }
     }
 

@@ -130,16 +130,29 @@ pub fn parse_records(html: &str) -> Vec<ShipRecord> {
         else {
             continue;
         };
-        let Ok(order_no) = order.parse::<u64>() else { continue };
-        let Some(status) = ShipStatus::parse(&status) else { continue };
+        let Ok(order_no) = order.parse::<u64>() else {
+            continue;
+        };
+        let Some(status) = ShipStatus::parse(&status) else {
+            continue;
+        };
         // Dates render as YYYY-MM-DD.
         let mut parts = date.split('-');
         let (Some(y), Some(m), Some(d)) = (parts.next(), parts.next(), parts.next()) else {
             continue;
         };
-        let (Ok(y), Ok(m), Ok(d)) = (y.parse(), m.parse(), d.parse()) else { continue };
-        let Ok(date) = SimDate::from_ymd(y, m, d) else { continue };
-        out.push(ShipRecord { order_no, date, country, status });
+        let (Ok(y), Ok(m), Ok(d)) = (y.parse(), m.parse(), d.parse()) else {
+            continue;
+        };
+        let Ok(date) = SimDate::from_ymd(y, m, d) else {
+            continue;
+        };
+        out.push(ShipRecord {
+            order_no,
+            date,
+            country,
+            status,
+        });
     }
     out
 }

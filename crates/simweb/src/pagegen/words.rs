@@ -10,18 +10,77 @@ use ss_types::rng::{sub_rng, SimRng};
 
 /// Common filler words for sentence assembly.
 const FILLER: &[&str] = &[
-    "quality", "classic", "premium", "genuine", "fashion", "style", "collection", "season",
-    "leather", "design", "authentic", "discount", "shipping", "delivery", "guarantee", "original",
-    "luxury", "series", "limited", "edition", "popular", "newest", "womens", "mens", "official",
-    "online", "bargain", "wholesale", "retail", "clearance", "exclusive", "handmade", "vintage",
-    "comfort", "durable", "lightweight", "waterproof", "signature", "boutique", "catalog",
+    "quality",
+    "classic",
+    "premium",
+    "genuine",
+    "fashion",
+    "style",
+    "collection",
+    "season",
+    "leather",
+    "design",
+    "authentic",
+    "discount",
+    "shipping",
+    "delivery",
+    "guarantee",
+    "original",
+    "luxury",
+    "series",
+    "limited",
+    "edition",
+    "popular",
+    "newest",
+    "womens",
+    "mens",
+    "official",
+    "online",
+    "bargain",
+    "wholesale",
+    "retail",
+    "clearance",
+    "exclusive",
+    "handmade",
+    "vintage",
+    "comfort",
+    "durable",
+    "lightweight",
+    "waterproof",
+    "signature",
+    "boutique",
+    "catalog",
 ];
 
 /// Neutral words for legitimate-site prose.
 const NEUTRAL: &[&str] = &[
-    "report", "community", "article", "review", "update", "guide", "story", "event", "local",
-    "weather", "travel", "garden", "recipe", "family", "school", "music", "festival", "history",
-    "library", "market", "science", "health", "council", "project", "photo", "journal", "forum",
+    "report",
+    "community",
+    "article",
+    "review",
+    "update",
+    "guide",
+    "story",
+    "event",
+    "local",
+    "weather",
+    "travel",
+    "garden",
+    "recipe",
+    "family",
+    "school",
+    "music",
+    "festival",
+    "history",
+    "library",
+    "market",
+    "science",
+    "health",
+    "council",
+    "project",
+    "photo",
+    "journal",
+    "forum",
 ];
 
 /// Generates a deterministic RNG for a page-generation context.
@@ -31,7 +90,10 @@ pub fn page_rng(seed: u64, label: &str) -> SimRng {
 
 /// Picks `n` words from `pool` (with repetition) as a space-joined string.
 pub fn pick_words(rng: &mut SimRng, pool: &[&str], n: usize) -> String {
-    (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect::<Vec<_>>().join(" ")
+    (0..n)
+        .map(|_| pool[rng.gen_range(0..pool.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// A sentence of commerce-flavoured filler.
@@ -55,7 +117,13 @@ pub fn neutral_sentence(rng: &mut SimRng) -> String {
 /// A paragraph of `k` sentences.
 pub fn paragraph(rng: &mut SimRng, k: usize, commerce: bool) -> String {
     (0..k)
-        .map(|_| if commerce { commerce_sentence(rng) } else { neutral_sentence(rng) })
+        .map(|_| {
+            if commerce {
+                commerce_sentence(rng)
+            } else {
+                neutral_sentence(rng)
+            }
+        })
         .collect::<Vec<_>>()
         .join(" ")
 }
@@ -63,13 +131,19 @@ pub fn paragraph(rng: &mut SimRng, k: usize, commerce: bool) -> String {
 /// A pseudo-random lower-case token (for ids, cookie values, merchant ids).
 pub fn token(rng: &mut SimRng, len: usize) -> String {
     const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
-    (0..len).map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char).collect()
+    (0..len)
+        .map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char)
+        .collect()
 }
 
 /// A synthetic product name for `brand`.
 pub fn product_name(rng: &mut SimRng, brand: &str) -> String {
-    let line = ["Classic", "Sport", "Heritage", "Premier", "Urban", "Metro", "Royal", "Alpine"];
-    let item = ["Tote", "Jacket", "Sneaker", "Boot", "Wallet", "Watch", "Hoodie", "Scarf", "Bag"];
+    let line = [
+        "Classic", "Sport", "Heritage", "Premier", "Urban", "Metro", "Royal", "Alpine",
+    ];
+    let item = [
+        "Tote", "Jacket", "Sneaker", "Boot", "Wallet", "Watch", "Hoodie", "Scarf", "Bag",
+    ];
     format!(
         "{} {} {} {}",
         brand,
@@ -101,7 +175,10 @@ mod tests {
         let mut b = page_rng(7, "x");
         assert_eq!(commerce_sentence(&mut a), commerce_sentence(&mut b));
         let mut c = page_rng(7, "y");
-        assert_ne!(commerce_sentence(&mut page_rng(7, "x")), commerce_sentence(&mut c));
+        assert_ne!(
+            commerce_sentence(&mut page_rng(7, "x")),
+            commerce_sentence(&mut c)
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl CensoredLifetime {
         if lo_days <= hi_days {
             CensoredLifetime { lo_days, hi_days }
         } else {
-            CensoredLifetime { lo_days: hi_days, hi_days: lo_days }
+            CensoredLifetime {
+                lo_days: hi_days,
+                hi_days: lo_days,
+            }
         }
     }
 }

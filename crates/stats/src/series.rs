@@ -17,7 +17,10 @@ impl DailySeries {
     /// Creates an empty series covering `[start, end]`.
     pub fn new(start: SimDate, end: SimDate) -> Self {
         let len = (end.days_since(start).max(0) as usize) + 1;
-        DailySeries { start, values: vec![None; len] }
+        DailySeries {
+            start,
+            values: vec![None; len],
+        }
     }
 
     /// Number of days covered.
@@ -121,7 +124,9 @@ impl DailySeries {
     /// `(from, to, delta)` — the raw material of purchase-pair estimation.
     pub fn sample_deltas(&self) -> Vec<(SimDate, SimDate, f64)> {
         let obs: Vec<(SimDate, f64)> = self.observed().collect();
-        obs.windows(2).map(|p| (p[0].0, p[1].0, p[1].1 - p[0].1)).collect()
+        obs.windows(2)
+            .map(|p| (p[0].0, p[1].0, p[1].1 - p[0].1))
+            .collect()
     }
 
     /// Aggregates observed days into `bin_days`-sized bins by sum,
@@ -185,7 +190,7 @@ mod tests {
         let s = series().interpolated();
         assert_eq!(s.get(day(12)), Some(5.0)); // halfway 1→9
         assert_eq!(s.get(day(17)), Some(6.0)); // halfway 9→3
-        // No extrapolation outside the observed span.
+                                               // No extrapolation outside the observed span.
         let mut t = DailySeries::new(day(0), day(10));
         t.set(day(5), 4.0);
         t.set(day(7), 8.0);

@@ -172,11 +172,11 @@ mod tests {
     fn known_paper_milestones() {
         let cases = [
             ((2013, 7, 5), 0),
-            ((2013, 11, 13), 131),   // crawl start
-            ((2013, 11, 29), 147),   // first test order
-            ((2014, 3, 28), 266),    // supplier record end
-            ((2014, 7, 15), 375),    // crawl end
-            ((2014, 8, 31), 422),    // Fig. 5 window end
+            ((2013, 11, 13), 131), // crawl start
+            ((2013, 11, 29), 147), // first test order
+            ((2014, 3, 28), 266),  // supplier record end
+            ((2014, 7, 15), 375),  // crawl end
+            ((2014, 8, 31), 422),  // Fig. 5 window end
         ];
         for ((y, m, d), idx) in cases {
             let date = SimDate::from_ymd(y, m, d).unwrap();

@@ -38,7 +38,9 @@ impl DomainName {
         for label in &labels {
             let ok = !label.is_empty()
                 && label.len() <= Self::MAX_LABEL
-                && label.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-')
+                && label
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-')
                 && !label.starts_with('-')
                 && !label.ends_with('-');
             if !ok {

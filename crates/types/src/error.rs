@@ -53,7 +53,11 @@ mod tests {
 
     #[test]
     fn messages_are_descriptive() {
-        let e = Error::InvalidDate { year: 2014, month: 2, day: 30 };
+        let e = Error::InvalidDate {
+            year: 2014,
+            month: 2,
+            day: 30,
+        };
         assert_eq!(e.to_string(), "invalid simulation date 2014-02-30");
         assert!(Error::InvalidUrl("x".into()).to_string().contains("URL"));
     }

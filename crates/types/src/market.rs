@@ -65,119 +65,283 @@ pub const VERTICALS: &[VerticalSpec] = &[
         name: "Abercrombie",
         brands: &["Abercrombie"],
         key_targeted: true,
-        table1: Table1Row { psrs: 117_319, doorways: 2_059, stores: 786, campaigns: 35 },
-        fig3: Fig3Row { top10_min: 1.76, top10_max: 13.03, top100_min: 1.96, top100_max: 11.14 },
+        table1: Table1Row {
+            psrs: 117_319,
+            doorways: 2_059,
+            stores: 786,
+            campaigns: 35,
+        },
+        fig3: Fig3Row {
+            top10_min: 1.76,
+            top10_max: 13.03,
+            top100_min: 1.96,
+            top100_max: 11.14,
+        },
     },
     VerticalSpec {
         name: "Adidas",
         brands: &["Adidas"],
         key_targeted: true,
-        table1: Table1Row { psrs: 102_694, doorways: 1_275, stores: 462, campaigns: 22 },
-        fig3: Fig3Row { top10_min: 0.12, top10_max: 7.80, top100_min: 2.25, top100_max: 8.07 },
+        table1: Table1Row {
+            psrs: 102_694,
+            doorways: 1_275,
+            stores: 462,
+            campaigns: 22,
+        },
+        fig3: Fig3Row {
+            top10_min: 0.12,
+            top10_max: 7.80,
+            top100_min: 2.25,
+            top100_max: 8.07,
+        },
     },
     VerticalSpec {
         name: "Beats By Dre",
         brands: &["Beats By Dre"],
         key_targeted: true,
-        table1: Table1Row { psrs: 342_674, doorways: 2_425, stores: 506, campaigns: 16 },
-        fig3: Fig3Row { top10_min: 2.24, top10_max: 23.39, top100_min: 6.81, top100_max: 36.50 },
+        table1: Table1Row {
+            psrs: 342_674,
+            doorways: 2_425,
+            stores: 506,
+            campaigns: 16,
+        },
+        fig3: Fig3Row {
+            top10_min: 2.24,
+            top10_max: 23.39,
+            top100_min: 6.81,
+            top100_max: 36.50,
+        },
     },
     VerticalSpec {
         name: "Clarisonic",
         brands: &["Clarisonic"],
         key_targeted: true,
-        table1: Table1Row { psrs: 10_726, doorways: 243, stores: 148, campaigns: 6 },
-        fig3: Fig3Row { top10_min: 0.00, top10_max: 0.25, top100_min: 0.11, top100_max: 1.32 },
+        table1: Table1Row {
+            psrs: 10_726,
+            doorways: 243,
+            stores: 148,
+            campaigns: 6,
+        },
+        fig3: Fig3Row {
+            top10_min: 0.00,
+            top10_max: 0.25,
+            top100_min: 0.11,
+            top100_max: 1.32,
+        },
     },
     VerticalSpec {
         name: "Ed Hardy",
         brands: &["Ed Hardy"],
         key_targeted: false,
-        table1: Table1Row { psrs: 99_167, doorways: 1_828, stores: 648, campaigns: 31 },
-        fig3: Fig3Row { top10_min: 0.00, top10_max: 11.15, top100_min: 0.48, top100_max: 31.20 },
+        table1: Table1Row {
+            psrs: 99_167,
+            doorways: 1_828,
+            stores: 648,
+            campaigns: 31,
+        },
+        fig3: Fig3Row {
+            top10_min: 0.00,
+            top10_max: 11.15,
+            top100_min: 0.48,
+            top100_max: 31.20,
+        },
     },
     VerticalSpec {
         name: "Golf",
         brands: &["Titleist", "Callaway", "TaylorMade"],
         key_targeted: true,
-        table1: Table1Row { psrs: 11_257, doorways: 679, stores: 318, campaigns: 20 },
-        fig3: Fig3Row { top10_min: 0.00, top10_max: 0.35, top100_min: 0.26, top100_max: 1.28 },
+        table1: Table1Row {
+            psrs: 11_257,
+            doorways: 679,
+            stores: 318,
+            campaigns: 20,
+        },
+        fig3: Fig3Row {
+            top10_min: 0.00,
+            top10_max: 0.35,
+            top100_min: 0.26,
+            top100_max: 1.28,
+        },
     },
     VerticalSpec {
         name: "Isabel Marant",
         brands: &["Isabel Marant"],
         key_targeted: true,
-        table1: Table1Row { psrs: 153_927, doorways: 2_356, stores: 1_150, campaigns: 35 },
-        fig3: Fig3Row { top10_min: 0.12, top10_max: 3.63, top100_min: 1.19, top100_max: 11.02 },
+        table1: Table1Row {
+            psrs: 153_927,
+            doorways: 2_356,
+            stores: 1_150,
+            campaigns: 35,
+        },
+        fig3: Fig3Row {
+            top10_min: 0.12,
+            top10_max: 3.63,
+            top100_min: 1.19,
+            top100_max: 11.02,
+        },
     },
     VerticalSpec {
         name: "Louis Vuitton",
         brands: &["Louis Vuitton"],
         key_targeted: false,
-        table1: Table1Row { psrs: 523_368, doorways: 5_462, stores: 1_246, campaigns: 34 },
-        fig3: Fig3Row { top10_min: 5.88, top10_max: 20.55, top100_min: 12.26, top100_max: 37.30 },
+        table1: Table1Row {
+            psrs: 523_368,
+            doorways: 5_462,
+            stores: 1_246,
+            campaigns: 34,
+        },
+        fig3: Fig3Row {
+            top10_min: 5.88,
+            top10_max: 20.55,
+            top100_min: 12.26,
+            top100_max: 37.30,
+        },
     },
     VerticalSpec {
         name: "Moncler",
         brands: &["Moncler"],
         key_targeted: true,
-        table1: Table1Row { psrs: 454_671, doorways: 3_566, stores: 912, campaigns: 38 },
-        fig3: Fig3Row { top10_min: 6.89, top10_max: 39.58, top100_min: 8.79, top100_max: 42.45 },
+        table1: Table1Row {
+            psrs: 454_671,
+            doorways: 3_566,
+            stores: 912,
+            campaigns: 38,
+        },
+        fig3: Fig3Row {
+            top10_min: 6.89,
+            top10_max: 39.58,
+            top100_min: 8.79,
+            top100_max: 42.45,
+        },
     },
     VerticalSpec {
         name: "Nike",
         brands: &["Nike"],
         key_targeted: true,
-        table1: Table1Row { psrs: 180_953, doorways: 3_521, stores: 1_141, campaigns: 32 },
-        fig3: Fig3Row { top10_min: 0.71, top10_max: 8.23, top100_min: 5.02, top100_max: 11.51 },
+        table1: Table1Row {
+            psrs: 180_953,
+            doorways: 3_521,
+            stores: 1_141,
+            campaigns: 32,
+        },
+        fig3: Fig3Row {
+            top10_min: 0.71,
+            top10_max: 8.23,
+            top100_min: 5.02,
+            top100_max: 11.51,
+        },
     },
     VerticalSpec {
         name: "Ralph Lauren",
         brands: &["Ralph Lauren"],
         key_targeted: true,
-        table1: Table1Row { psrs: 74_893, doorways: 1_276, stores: 648, campaigns: 27 },
-        fig3: Fig3Row { top10_min: 0.23, top10_max: 3.74, top100_min: 1.73, top100_max: 5.00 },
+        table1: Table1Row {
+            psrs: 74_893,
+            doorways: 1_276,
+            stores: 648,
+            campaigns: 27,
+        },
+        fig3: Fig3Row {
+            top10_min: 0.23,
+            top10_max: 3.74,
+            top100_min: 1.73,
+            top100_max: 5.00,
+        },
     },
     VerticalSpec {
         name: "Sunglasses",
         brands: &["Oakley", "Ray-Ban", "Christian Dior"],
         key_targeted: true,
-        table1: Table1Row { psrs: 93_928, doorways: 3_585, stores: 1_269, campaigns: 34 },
-        fig3: Fig3Row { top10_min: 0.24, top10_max: 5.51, top100_min: 1.95, top100_max: 11.48 },
+        table1: Table1Row {
+            psrs: 93_928,
+            doorways: 3_585,
+            stores: 1_269,
+            campaigns: 34,
+        },
+        fig3: Fig3Row {
+            top10_min: 0.24,
+            top10_max: 5.51,
+            top100_min: 1.95,
+            top100_max: 11.48,
+        },
     },
     VerticalSpec {
         name: "Tiffany",
         brands: &["Tiffany"],
         key_targeted: true,
-        table1: Table1Row { psrs: 37_054, doorways: 1_015, stores: 432, campaigns: 22 },
-        fig3: Fig3Row { top10_min: 0.00, top10_max: 10.22, top100_min: 0.23, top100_max: 17.10 },
+        table1: Table1Row {
+            psrs: 37_054,
+            doorways: 1_015,
+            stores: 432,
+            campaigns: 22,
+        },
+        fig3: Fig3Row {
+            top10_min: 0.00,
+            top10_max: 10.22,
+            top100_min: 0.23,
+            top100_max: 17.10,
+        },
     },
     VerticalSpec {
         name: "Uggs",
         brands: &["Uggs"],
         key_targeted: false,
-        table1: Table1Row { psrs: 405_518, doorways: 4_966, stores: 1_015, campaigns: 39 },
-        fig3: Fig3Row { top10_min: 1.70, top10_max: 17.99, top100_min: 6.90, top100_max: 37.96 },
+        table1: Table1Row {
+            psrs: 405_518,
+            doorways: 4_966,
+            stores: 1_015,
+            campaigns: 39,
+        },
+        fig3: Fig3Row {
+            top10_min: 1.70,
+            top10_max: 17.99,
+            top100_min: 6.90,
+            top100_max: 37.96,
+        },
     },
     VerticalSpec {
         name: "Watches",
         brands: &["Rolex", "Omega", "Breitling"],
         key_targeted: true,
-        table1: Table1Row { psrs: 109_016, doorways: 3_615, stores: 1_470, campaigns: 35 },
-        fig3: Fig3Row { top10_min: 0.71, top10_max: 1.87, top100_min: 3.89, top100_max: 7.04 },
+        table1: Table1Row {
+            psrs: 109_016,
+            doorways: 3_615,
+            stores: 1_470,
+            campaigns: 35,
+        },
+        fig3: Fig3Row {
+            top10_min: 0.71,
+            top10_max: 1.87,
+            top100_min: 3.89,
+            top100_max: 7.04,
+        },
     },
     VerticalSpec {
         name: "Woolrich",
         brands: &["Woolrich"],
         key_targeted: true,
-        table1: Table1Row { psrs: 55_879, doorways: 1_924, stores: 888, campaigns: 38 },
-        fig3: Fig3Row { top10_min: 0.23, top10_max: 2.42, top100_min: 1.39, top100_max: 4.97 },
+        table1: Table1Row {
+            psrs: 55_879,
+            doorways: 1_924,
+            stores: 888,
+            campaigns: 38,
+        },
+        fig3: Fig3Row {
+            top10_min: 0.23,
+            top10_max: 2.42,
+            top100_min: 1.39,
+            top100_max: 4.97,
+        },
     },
 ];
 
 /// Paper-reported Table 1 totals (bottom row).
-pub const TABLE1_TOTAL: Table1Row =
-    Table1Row { psrs: 2_773_044, doorways: 27_008, stores: 7_484, campaigns: 52 };
+pub const TABLE1_TOTAL: Table1Row = Table1Row {
+    psrs: 2_773_044,
+    doorways: 27_008,
+    stores: 7_484,
+    campaigns: 52,
+};
 
 /// Brands that appear in the study beyond the vertical anchors (targeted by
 /// campaigns, seized by firms, or sold alongside: §3.1.2 mentions campaigns
@@ -231,44 +395,272 @@ pub struct CampaignSpec {
 
 /// The 38 campaigns with 25+ doorways, exactly as printed in Table 2.
 pub const NAMED_CAMPAIGNS: &[CampaignSpec] = &[
-    CampaignSpec { name: "171760", doorways: 30, stores: 14, brands: 7, peak_days: 44 },
-    CampaignSpec { name: "ADFLYID", doorways: 100, stores: 18, brands: 4, peak_days: 66 },
-    CampaignSpec { name: "BIGLOVE", doorways: 767, stores: 92, brands: 30, peak_days: 92 },
-    CampaignSpec { name: "BITLY", doorways: 190, stores: 40, brands: 15, peak_days: 89 },
-    CampaignSpec { name: "CAMPAIGN.02", doorways: 26, stores: 4, brands: 3, peak_days: 61 },
-    CampaignSpec { name: "CAMPAIGN.10", doorways: 94, stores: 18, brands: 5, peak_days: 99 },
-    CampaignSpec { name: "CAMPAIGN.12", doorways: 118, stores: 5, brands: 1, peak_days: 59 },
-    CampaignSpec { name: "CAMPAIGN.14", doorways: 39, stores: 8, brands: 2, peak_days: 67 },
-    CampaignSpec { name: "CAMPAIGN.15", doorways: 364, stores: 10, brands: 10, peak_days: 8 },
-    CampaignSpec { name: "CAMPAIGN.17", doorways: 61, stores: 8, brands: 3, peak_days: 44 },
-    CampaignSpec { name: "CHANEL.1", doorways: 50, stores: 10, brands: 4, peak_days: 24 },
-    CampaignSpec { name: "G2GMART", doorways: 916, stores: 28, brands: 3, peak_days: 53 },
-    CampaignSpec { name: "HACKEDLIVEZILLA", doorways: 43, stores: 49, brands: 9, peak_days: 56 },
-    CampaignSpec { name: "IFRAMEINJS", doorways: 200, stores: 2, brands: 1, peak_days: 39 },
-    CampaignSpec { name: "JAROKRAFKA", doorways: 266, stores: 55, brands: 3, peak_days: 87 },
-    CampaignSpec { name: "JSUS", doorways: 439, stores: 59, brands: 27, peak_days: 68 },
-    CampaignSpec { name: "KEY", doorways: 1_980, stores: 97, brands: 28, peak_days: 65 },
-    CampaignSpec { name: "LIVEZILLA", doorways: 420, stores: 33, brands: 16, peak_days: 70 },
-    CampaignSpec { name: "LV.0", doorways: 42, stores: 3, brands: 1, peak_days: 62 },
-    CampaignSpec { name: "LV.1", doorways: 270, stores: 12, brands: 9, peak_days: 90 },
-    CampaignSpec { name: "M10", doorways: 581, stores: 35, brands: 8, peak_days: 30 },
-    CampaignSpec { name: "MOKLELE", doorways: 982, stores: 15, brands: 4, peak_days: 36 },
-    CampaignSpec { name: "MOONKIS", doorways: 95, stores: 7, brands: 4, peak_days: 99 },
-    CampaignSpec { name: "MSVALIDATE", doorways: 530, stores: 98, brands: 6, peak_days: 52 },
-    CampaignSpec { name: "NEWSORG", doorways: 926, stores: 7, brands: 5, peak_days: 24 },
-    CampaignSpec { name: "NORTHFACEC", doorways: 432, stores: 2, brands: 1, peak_days: 60 },
-    CampaignSpec { name: "NYY", doorways: 29, stores: 14, brands: 5, peak_days: 40 },
-    CampaignSpec { name: "PAGERAND", doorways: 122, stores: 7, brands: 4, peak_days: 43 },
-    CampaignSpec { name: "PARTNER", doorways: 62, stores: 9, brands: 5, peak_days: 33 },
-    CampaignSpec { name: "PAULSIMON", doorways: 328, stores: 33, brands: 12, peak_days: 128 },
-    CampaignSpec { name: "PHP?P=", doorways: 255, stores: 55, brands: 24, peak_days: 96 },
-    CampaignSpec { name: "ROBERTPENNER", doorways: 56, stores: 7, brands: 12, peak_days: 50 },
-    CampaignSpec { name: "SCHEMA.ORG", doorways: 46, stores: 17, brands: 7, peak_days: 54 },
-    CampaignSpec { name: "SNOWFLASH", doorways: 271, stores: 14, brands: 1, peak_days: 48 },
-    CampaignSpec { name: "STYLESHEET", doorways: 222, stores: 9, brands: 6, peak_days: 63 },
-    CampaignSpec { name: "TIFFANY.0", doorways: 26, stores: 1, brands: 1, peak_days: 4 },
-    CampaignSpec { name: "UGGS.0", doorways: 428, stores: 6, brands: 5, peak_days: 30 },
-    CampaignSpec { name: "VERA", doorways: 155, stores: 38, brands: 12, peak_days: 156 },
+    CampaignSpec {
+        name: "171760",
+        doorways: 30,
+        stores: 14,
+        brands: 7,
+        peak_days: 44,
+    },
+    CampaignSpec {
+        name: "ADFLYID",
+        doorways: 100,
+        stores: 18,
+        brands: 4,
+        peak_days: 66,
+    },
+    CampaignSpec {
+        name: "BIGLOVE",
+        doorways: 767,
+        stores: 92,
+        brands: 30,
+        peak_days: 92,
+    },
+    CampaignSpec {
+        name: "BITLY",
+        doorways: 190,
+        stores: 40,
+        brands: 15,
+        peak_days: 89,
+    },
+    CampaignSpec {
+        name: "CAMPAIGN.02",
+        doorways: 26,
+        stores: 4,
+        brands: 3,
+        peak_days: 61,
+    },
+    CampaignSpec {
+        name: "CAMPAIGN.10",
+        doorways: 94,
+        stores: 18,
+        brands: 5,
+        peak_days: 99,
+    },
+    CampaignSpec {
+        name: "CAMPAIGN.12",
+        doorways: 118,
+        stores: 5,
+        brands: 1,
+        peak_days: 59,
+    },
+    CampaignSpec {
+        name: "CAMPAIGN.14",
+        doorways: 39,
+        stores: 8,
+        brands: 2,
+        peak_days: 67,
+    },
+    CampaignSpec {
+        name: "CAMPAIGN.15",
+        doorways: 364,
+        stores: 10,
+        brands: 10,
+        peak_days: 8,
+    },
+    CampaignSpec {
+        name: "CAMPAIGN.17",
+        doorways: 61,
+        stores: 8,
+        brands: 3,
+        peak_days: 44,
+    },
+    CampaignSpec {
+        name: "CHANEL.1",
+        doorways: 50,
+        stores: 10,
+        brands: 4,
+        peak_days: 24,
+    },
+    CampaignSpec {
+        name: "G2GMART",
+        doorways: 916,
+        stores: 28,
+        brands: 3,
+        peak_days: 53,
+    },
+    CampaignSpec {
+        name: "HACKEDLIVEZILLA",
+        doorways: 43,
+        stores: 49,
+        brands: 9,
+        peak_days: 56,
+    },
+    CampaignSpec {
+        name: "IFRAMEINJS",
+        doorways: 200,
+        stores: 2,
+        brands: 1,
+        peak_days: 39,
+    },
+    CampaignSpec {
+        name: "JAROKRAFKA",
+        doorways: 266,
+        stores: 55,
+        brands: 3,
+        peak_days: 87,
+    },
+    CampaignSpec {
+        name: "JSUS",
+        doorways: 439,
+        stores: 59,
+        brands: 27,
+        peak_days: 68,
+    },
+    CampaignSpec {
+        name: "KEY",
+        doorways: 1_980,
+        stores: 97,
+        brands: 28,
+        peak_days: 65,
+    },
+    CampaignSpec {
+        name: "LIVEZILLA",
+        doorways: 420,
+        stores: 33,
+        brands: 16,
+        peak_days: 70,
+    },
+    CampaignSpec {
+        name: "LV.0",
+        doorways: 42,
+        stores: 3,
+        brands: 1,
+        peak_days: 62,
+    },
+    CampaignSpec {
+        name: "LV.1",
+        doorways: 270,
+        stores: 12,
+        brands: 9,
+        peak_days: 90,
+    },
+    CampaignSpec {
+        name: "M10",
+        doorways: 581,
+        stores: 35,
+        brands: 8,
+        peak_days: 30,
+    },
+    CampaignSpec {
+        name: "MOKLELE",
+        doorways: 982,
+        stores: 15,
+        brands: 4,
+        peak_days: 36,
+    },
+    CampaignSpec {
+        name: "MOONKIS",
+        doorways: 95,
+        stores: 7,
+        brands: 4,
+        peak_days: 99,
+    },
+    CampaignSpec {
+        name: "MSVALIDATE",
+        doorways: 530,
+        stores: 98,
+        brands: 6,
+        peak_days: 52,
+    },
+    CampaignSpec {
+        name: "NEWSORG",
+        doorways: 926,
+        stores: 7,
+        brands: 5,
+        peak_days: 24,
+    },
+    CampaignSpec {
+        name: "NORTHFACEC",
+        doorways: 432,
+        stores: 2,
+        brands: 1,
+        peak_days: 60,
+    },
+    CampaignSpec {
+        name: "NYY",
+        doorways: 29,
+        stores: 14,
+        brands: 5,
+        peak_days: 40,
+    },
+    CampaignSpec {
+        name: "PAGERAND",
+        doorways: 122,
+        stores: 7,
+        brands: 4,
+        peak_days: 43,
+    },
+    CampaignSpec {
+        name: "PARTNER",
+        doorways: 62,
+        stores: 9,
+        brands: 5,
+        peak_days: 33,
+    },
+    CampaignSpec {
+        name: "PAULSIMON",
+        doorways: 328,
+        stores: 33,
+        brands: 12,
+        peak_days: 128,
+    },
+    CampaignSpec {
+        name: "PHP?P=",
+        doorways: 255,
+        stores: 55,
+        brands: 24,
+        peak_days: 96,
+    },
+    CampaignSpec {
+        name: "ROBERTPENNER",
+        doorways: 56,
+        stores: 7,
+        brands: 12,
+        peak_days: 50,
+    },
+    CampaignSpec {
+        name: "SCHEMA.ORG",
+        doorways: 46,
+        stores: 17,
+        brands: 7,
+        peak_days: 54,
+    },
+    CampaignSpec {
+        name: "SNOWFLASH",
+        doorways: 271,
+        stores: 14,
+        brands: 1,
+        peak_days: 48,
+    },
+    CampaignSpec {
+        name: "STYLESHEET",
+        doorways: 222,
+        stores: 9,
+        brands: 6,
+        peak_days: 63,
+    },
+    CampaignSpec {
+        name: "TIFFANY.0",
+        doorways: 26,
+        stores: 1,
+        brands: 1,
+        peak_days: 4,
+    },
+    CampaignSpec {
+        name: "UGGS.0",
+        doorways: 428,
+        stores: 6,
+        brands: 5,
+        peak_days: 30,
+    },
+    CampaignSpec {
+        name: "VERA",
+        doorways: 155,
+        stores: 38,
+        brands: 12,
+        peak_days: 156,
+    },
 ];
 
 /// The 14 classified campaigns below Table 2's 25-doorway display cutoff
@@ -276,25 +668,113 @@ pub const NAMED_CAMPAIGNS: &[CampaignSpec] = &[
 /// our synthesis: under 25 doorways each, small store counts, consistent
 /// with the table caption.
 pub const SMALL_CAMPAIGNS: &[CampaignSpec] = &[
-    CampaignSpec { name: "SMALL.01", doorways: 24, stores: 6, brands: 3, peak_days: 35 },
-    CampaignSpec { name: "SMALL.02", doorways: 22, stores: 4, brands: 2, peak_days: 52 },
-    CampaignSpec { name: "SMALL.03", doorways: 21, stores: 7, brands: 4, peak_days: 28 },
-    CampaignSpec { name: "SMALL.04", doorways: 19, stores: 3, brands: 2, peak_days: 61 },
-    CampaignSpec { name: "SMALL.05", doorways: 18, stores: 5, brands: 3, peak_days: 44 },
-    CampaignSpec { name: "SMALL.06", doorways: 16, stores: 2, brands: 1, peak_days: 19 },
-    CampaignSpec { name: "SMALL.07", doorways: 15, stores: 4, brands: 2, peak_days: 73 },
-    CampaignSpec { name: "SMALL.08", doorways: 14, stores: 3, brands: 2, peak_days: 31 },
-    CampaignSpec { name: "SMALL.09", doorways: 12, stores: 2, brands: 1, peak_days: 26 },
-    CampaignSpec { name: "SMALL.10", doorways: 11, stores: 3, brands: 2, peak_days: 48 },
-    CampaignSpec { name: "SMALL.11", doorways: 9, stores: 2, brands: 1, peak_days: 22 },
-    CampaignSpec { name: "SMALL.12", doorways: 8, stores: 2, brands: 1, peak_days: 37 },
-    CampaignSpec { name: "SMALL.13", doorways: 7, stores: 1, brands: 1, peak_days: 15 },
-    CampaignSpec { name: "SMALL.14", doorways: 6, stores: 1, brands: 1, peak_days: 12 },
+    CampaignSpec {
+        name: "SMALL.01",
+        doorways: 24,
+        stores: 6,
+        brands: 3,
+        peak_days: 35,
+    },
+    CampaignSpec {
+        name: "SMALL.02",
+        doorways: 22,
+        stores: 4,
+        brands: 2,
+        peak_days: 52,
+    },
+    CampaignSpec {
+        name: "SMALL.03",
+        doorways: 21,
+        stores: 7,
+        brands: 4,
+        peak_days: 28,
+    },
+    CampaignSpec {
+        name: "SMALL.04",
+        doorways: 19,
+        stores: 3,
+        brands: 2,
+        peak_days: 61,
+    },
+    CampaignSpec {
+        name: "SMALL.05",
+        doorways: 18,
+        stores: 5,
+        brands: 3,
+        peak_days: 44,
+    },
+    CampaignSpec {
+        name: "SMALL.06",
+        doorways: 16,
+        stores: 2,
+        brands: 1,
+        peak_days: 19,
+    },
+    CampaignSpec {
+        name: "SMALL.07",
+        doorways: 15,
+        stores: 4,
+        brands: 2,
+        peak_days: 73,
+    },
+    CampaignSpec {
+        name: "SMALL.08",
+        doorways: 14,
+        stores: 3,
+        brands: 2,
+        peak_days: 31,
+    },
+    CampaignSpec {
+        name: "SMALL.09",
+        doorways: 12,
+        stores: 2,
+        brands: 1,
+        peak_days: 26,
+    },
+    CampaignSpec {
+        name: "SMALL.10",
+        doorways: 11,
+        stores: 3,
+        brands: 2,
+        peak_days: 48,
+    },
+    CampaignSpec {
+        name: "SMALL.11",
+        doorways: 9,
+        stores: 2,
+        brands: 1,
+        peak_days: 22,
+    },
+    CampaignSpec {
+        name: "SMALL.12",
+        doorways: 8,
+        stores: 2,
+        brands: 1,
+        peak_days: 37,
+    },
+    CampaignSpec {
+        name: "SMALL.13",
+        doorways: 7,
+        stores: 1,
+        brands: 1,
+        peak_days: 15,
+    },
+    CampaignSpec {
+        name: "SMALL.14",
+        doorways: 6,
+        stores: 1,
+        brands: 1,
+        peak_days: 12,
+    },
 ];
 
 /// All 52 classified campaigns, named first, in deterministic order.
 pub fn all_campaigns() -> Vec<CampaignSpec> {
-    NAMED_CAMPAIGNS.iter().chain(SMALL_CAMPAIGNS).copied().collect()
+    NAMED_CAMPAIGNS
+        .iter()
+        .chain(SMALL_CAMPAIGNS)
+        .copied()
+        .collect()
 }
 
 /// Adjectives composed with brand names to form search strings (§4.1.1).
@@ -302,8 +782,24 @@ pub const TERM_ADJECTIVES: &[&str] = &["cheap", "new", "online", "outlet", "sale
 
 /// Product nouns used in suggest expansions and doorway keyword paths.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "bags", "handbags", "wallet", "shoes", "boots", "jacket", "coat", "headphones", "watch",
-    "sunglasses", "polo", "hoodie", "scarf", "belt", "purse", "sneakers", "outlet", "official",
+    "bags",
+    "handbags",
+    "wallet",
+    "shoes",
+    "boots",
+    "jacket",
+    "coat",
+    "headphones",
+    "watch",
+    "sunglasses",
+    "polo",
+    "hoodie",
+    "scarf",
+    "belt",
+    "purse",
+    "sneakers",
+    "outlet",
+    "official",
 ];
 
 /// Destination countries for supplier shipments (§4.5), with the paper's
@@ -404,8 +900,11 @@ mod tests {
 
     #[test]
     fn key_skips_exactly_the_starred_verticals() {
-        let skipped: Vec<&str> =
-            VERTICALS.iter().filter(|v| !v.key_targeted).map(|v| v.name).collect();
+        let skipped: Vec<&str> = VERTICALS
+            .iter()
+            .filter(|v| !v.key_targeted)
+            .map(|v| v.name)
+            .collect();
         assert_eq!(skipped, ["Ed Hardy", "Louis Vuitton", "Uggs"]);
     }
 

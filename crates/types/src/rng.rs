@@ -134,7 +134,10 @@ mod tests {
     fn known_value_pin() {
         // Pins the derivation so accidental algorithm changes fail loudly:
         // recorded outputs in EXPERIMENTS.md depend on this mapping.
-        assert_eq!(derive_seed(42, "campaigns/7/orders"), derive_seed(42, "campaigns/7/orders"));
+        assert_eq!(
+            derive_seed(42, "campaigns/7/orders"),
+            derive_seed(42, "campaigns/7/orders")
+        );
         let v = derive_seed(0, "");
         assert_eq!(v, splitmix64(0xcbf2_9ce4_8422_2325));
     }

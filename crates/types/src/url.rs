@@ -48,13 +48,27 @@ pub struct Url {
 impl Url {
     /// Builds a URL for the root page of `host`.
     pub fn root(host: DomainName) -> Self {
-        Url { scheme: Scheme::Http, host, path: "/".into(), query: String::new() }
+        Url {
+            scheme: Scheme::Http,
+            host,
+            path: "/".into(),
+            query: String::new(),
+        }
     }
 
     /// Builds an HTTP URL from parts, normalizing the path.
     pub fn new(host: DomainName, path: &str, query: &str) -> Self {
-        let path = if path.starts_with('/') { path.to_owned() } else { format!("/{path}") };
-        Url { scheme: Scheme::Http, host, path, query: query.to_owned() }
+        let path = if path.starts_with('/') {
+            path.to_owned()
+        } else {
+            format!("/{path}")
+        };
+        Url {
+            scheme: Scheme::Http,
+            host,
+            path,
+            query: query.to_owned(),
+        }
     }
 
     /// Parses an absolute URL string.
@@ -82,7 +96,12 @@ impl Url {
         if path.contains(char::is_whitespace) || query.contains(char::is_whitespace) {
             return Err(Error::InvalidUrl(s.into()));
         }
-        Ok(Url { scheme, host, path, query })
+        Ok(Url {
+            scheme,
+            host,
+            path,
+            query,
+        })
     }
 
     /// Whether this URL points at the *root page* of its host. Only root
@@ -103,7 +122,13 @@ impl Url {
     /// A stable `(host, path, query)` key identifying the page irrespective
     /// of scheme — what the crawler dedups on.
     pub fn page_key(&self) -> String {
-        format!("{}{}{}{}", self.host, self.path, if self.query.is_empty() { "" } else { "?" }, self.query)
+        format!(
+            "{}{}{}{}",
+            self.host,
+            self.path,
+            if self.query.is_empty() { "" } else { "?" },
+            self.query
+        )
     }
 }
 
@@ -184,7 +209,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_urls() {
-        for s in ["ftp://x.com/", "example.com/a", "http://", "http://bad host.com/"] {
+        for s in [
+            "ftp://x.com/",
+            "example.com/a",
+            "http://",
+            "http://bad host.com/",
+        ] {
             assert!(Url::parse(s).is_err(), "{s:?}");
         }
     }
@@ -202,8 +232,14 @@ mod tests {
 
     #[test]
     fn component_codec() {
-        assert_eq!(encode_component("cheap louis vuitton"), "cheap+louis+vuitton");
-        assert_eq!(decode_component("cheap+louis+vuitton"), "cheap louis vuitton");
+        assert_eq!(
+            encode_component("cheap louis vuitton"),
+            "cheap+louis+vuitton"
+        );
+        assert_eq!(
+            decode_component("cheap+louis+vuitton"),
+            "cheap louis vuitton"
+        );
         assert_eq!(decode_component("a%2Fb"), "a/b");
         assert_eq!(decode_component("bad%zz"), "bad%zz");
     }

@@ -43,13 +43,20 @@ fn main() {
     }
     per_class.sort_by_key(|c| std::cmp::Reverse(c.1.len()));
     for (name, domains) in per_class.iter().take(6) {
-        println!("{:<16} {} store(s): {}", name, domains.len(), domains.join(", "));
+        println!(
+            "{:<16} {} store(s): {}",
+            name,
+            domains.len(),
+            domains.join(", ")
+        );
     }
 
     // The interpretability payoff: campaign fingerprints.
     println!("\n== template fingerprints (top positive L1 weights) ==");
     for (name, _) in per_class.iter().take(4) {
-        let Some(c) = out.attribution.class_index(name) else { continue };
+        let Some(c) = out.attribution.class_index(name) else {
+            continue;
+        };
         let feats = out.attribution.top_features_of(c, 5);
         if feats.is_empty() {
             continue;
@@ -60,7 +67,12 @@ fn main() {
         }
     }
 
-    let unknown = out.attribution.store_class.values().filter(|c| c.is_none()).count();
+    let unknown = out
+        .attribution
+        .store_class
+        .values()
+        .filter(|c| c.is_none())
+        .count();
     println!(
         "\n{} of {} detected stores left unattributed (the long tail the paper \
          could not name either).",

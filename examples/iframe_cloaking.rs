@@ -24,7 +24,13 @@ fn main() {
         .filter(|c| matches!(c.cloak, CloakMode::Iframe { .. }))
         .flat_map(|c| c.doorways.iter().map(move |d| (c, d)))
         .find(|(_, d)| d.is_live(day))
-        .map(|(c, d)| (c.name.clone(), d.domain, world.term_text(d.terms[0]).to_owned()))
+        .map(|(c, d)| {
+            (
+                c.name.clone(),
+                d.domain,
+                world.term_text(d.terms[0]).to_owned(),
+            )
+        })
         .expect("an iframe-cloaking doorway is live");
 
     let url = Url::root(world.domains.get(domain).name.clone());
@@ -32,19 +38,30 @@ fn main() {
 
     // 1. Fetch as Googlebot.
     let (bot, _) = world.fetch(&Request::crawler(url.clone()));
-    println!("As Googlebot:        {} bytes, status {}", bot.body.len(), bot.status);
+    println!(
+        "As Googlebot:        {} bytes, status {}",
+        bot.body.len(),
+        bot.status
+    );
 
     // 2. Fetch as a search-referred browser.
     let (user, _) = world.fetch(&Request::browser_from(
         url.clone(),
         dagger::google_referrer(&term),
     ));
-    println!("As search user:      {} bytes, status {}", user.body.len(), user.status);
+    println!(
+        "As search user:      {} bytes, status {}",
+        user.body.len(),
+        user.status
+    );
     println!("Bytes identical:     {}", bot.body == user.body);
 
     // 3. Dagger (fetch-and-diff) is blind to this.
     let dagger_verdict = dagger::check(&world, &url, &term, 6);
-    println!("\nDagger verdict:      {:?}  ← the §3.1.1 blind spot", dagger_verdict.cloaked);
+    println!(
+        "\nDagger verdict:      {:?}  ← the §3.1.1 blind spot",
+        dagger_verdict.cloaked
+    );
 
     // 4. VanGogh renders the page — and catches the payload.
     let vangogh_verdict = vangogh::check(&world, &url, &term, 6);

@@ -19,7 +19,13 @@ struct Outcome {
 
 fn measure(label: &'static str, cfg: StudyConfig) -> Outcome {
     let out: StudyOutput = Study::new(cfg).run().expect("study runs");
-    let seen: u64 = out.crawler.db.daily_counts.iter().map(|c| u64::from(c.total_seen)).sum();
+    let seen: u64 = out
+        .crawler
+        .db
+        .daily_counts
+        .iter()
+        .map(|c| u64::from(c.total_seen))
+        .sum();
     let psr_rate = out.crawler.db.psrs.len() as f64 / seen.max(1) as f64;
     // True counterfeit order volume over the crawl window — the quantity
     // interventions exist to suppress (readable here because we own the
@@ -32,7 +38,12 @@ fn measure(label: &'static str, cfg: StudyConfig) -> Outcome {
         .values()
         .filter(|s| s.seizure.is_some())
         .count() as u64;
-    Outcome { label, psr_rate, orders, seized_stores }
+    Outcome {
+        label,
+        psr_rate,
+        orders,
+        seized_stores,
+    }
 }
 
 fn base_cfg(seed: u64) -> StudyConfig {
@@ -48,7 +59,10 @@ fn main() {
     let mut outcomes = Vec::new();
 
     // Baseline: the 2013 status quo the paper measured.
-    outcomes.push(measure("status quo (paper's 2013 policies)", base_cfg(seed)));
+    outcomes.push(measure(
+        "status quo (paper's 2013 policies)",
+        base_cfg(seed),
+    ));
 
     // Search: detect everything, fast, and demote hard (§5.2.1's "search
     // rank penalization would need to be even more aggressive").
@@ -57,7 +71,10 @@ fn main() {
     cfg.scenario.search_policy.delay_min = 1;
     cfg.scenario.search_policy.delay_max = 4;
     cfg.scenario.search_policy.demote_penalty = 1.0;
-    outcomes.push(measure("aggressive search (90% coverage, 1-4d, hard demote)", cfg));
+    outcomes.push(measure(
+        "aggressive search (90% coverage, 1-4d, hard demote)",
+        cfg,
+    ));
 
     // Labels only, no demotion: the warning-label policy in isolation.
     let mut cfg = base_cfg(seed);
@@ -74,7 +91,10 @@ fn main() {
         p.case_interval = (p.case_interval / 2).max(2);
         p.target_lifetime /= 2;
     }
-    outcomes.push(measure("aggressive seizures (2x cadence, younger targets)", cfg));
+    outcomes.push(measure(
+        "aggressive seizures (2x cadence, younger targets)",
+        cfg,
+    ));
 
     // Follow the money (§4.3.2's future work, implemented here): all three
     // settling processors drop counterfeit merchants mid-window.
@@ -85,7 +105,10 @@ fn main() {
         blocked: vec!["realypay".into(), "mallpayment".into(), "globalbill".into()],
         migration_days: None,
     };
-    outcomes.push(measure("payment intervention (all processors, no migration)", cfg));
+    outcomes.push(measure(
+        "payment intervention (all processors, no migration)",
+        cfg,
+    ));
 
     // Everything at once.
     let mut cfg = base_cfg(seed);

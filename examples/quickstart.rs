@@ -23,7 +23,10 @@ fn main() {
     let db = &out.crawler.db;
     println!("\n== crawl summary ==");
     println!("PSR observations:        {}", db.psrs.len());
-    println!("poisoned doorway domains: {}", db.poisoned_domains().count());
+    println!(
+        "poisoned doorway domains: {}",
+        db.poisoned_domains().count()
+    );
     println!("counterfeit stores found: {}", db.detected_stores().count());
     println!("test orders created:      {}", out.sampler.orders_created);
     println!("purchases completed:      {}", out.transactions.len());

@@ -18,16 +18,20 @@
 //! elapsed milliseconds): only what the run *did* is pinned, never how
 //! fast it did it.
 
-use serde::{Serialize as _, Value};
 use search_seizure::{Study, StudyConfig};
+use serde::{Serialize as _, Value};
 
-const GOLDEN_PATH: &str =
-    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/manifest_small.json");
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/manifest_small.json"
+);
 const GOLDEN_SEED: u64 = 101;
 
 /// The pinned projection: headline + deterministic metrics, no clocks.
 fn golden_value() -> Value {
-    let out = Study::new(StudyConfig::fast_test(GOLDEN_SEED)).run().expect("study runs");
+    let out = Study::new(StudyConfig::fast_test(GOLDEN_SEED))
+        .run()
+        .expect("study runs");
     Value::Map(vec![
         ("seed".into(), Value::UInt(GOLDEN_SEED)),
         (
@@ -44,8 +48,7 @@ fn golden_value() -> Value {
 
 #[test]
 fn manifest_matches_golden_snapshot() {
-    let rendered =
-        serde_json::to_string_pretty(&golden_value()).expect("manifest renders") + "\n";
+    let rendered = serde_json::to_string_pretty(&golden_value()).expect("manifest renders") + "\n";
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(GOLDEN_PATH, &rendered).expect("write golden file");
         eprintln!("golden manifest regenerated at {GOLDEN_PATH}");

@@ -5,7 +5,9 @@ use search_seizure::analysis::{figures, interventions};
 use search_seizure::{Study, StudyConfig};
 
 fn study(seed: u64) -> search_seizure::StudyOutput {
-    Study::new(StudyConfig::fast_test(seed)).run().expect("study runs")
+    Study::new(StudyConfig::fast_test(seed))
+        .run()
+        .expect("study runs")
 }
 
 #[test]
@@ -15,7 +17,11 @@ fn label_coverage_is_partial_and_delayed() {
     assert!(l.total_psrs > 0);
     // §5.2.2: the label covers a small fraction of PSRs — never zero,
     // never most of them.
-    assert!(l.coverage < 0.4, "label coverage implausibly high: {}", l.coverage);
+    assert!(
+        l.coverage < 0.4,
+        "label coverage implausibly high: {}",
+        l.coverage
+    );
     // The root-only policy leaves coverage on the table whenever labels
     // were observed at all.
     if l.labeled_psrs > 0 {
@@ -38,7 +44,10 @@ fn seizures_are_observed_with_lifetimes_and_reactions() {
     for firm in &s.firms {
         assert!(firm.cases > 0);
         assert!(firm.observed_stores > 0);
-        assert!(firm.seized_total >= firm.observed_stores, "court docs list the bulk");
+        assert!(
+            firm.seized_total >= firm.observed_stores,
+            "court docs list the bulk"
+        );
         if let Some(l) = firm.store_lifetime {
             assert!(l.mean_lo <= l.mean_hi);
         }
@@ -75,8 +84,13 @@ fn stronger_search_policy_cuts_psr_exposure() {
     let strong = Study::new(strong_cfg).run().expect("study runs");
 
     let psr_rate = |out: &search_seizure::StudyOutput| -> f64 {
-        let seen: u64 =
-            out.crawler.db.daily_counts.iter().map(|c| u64::from(c.total_seen)).sum();
+        let seen: u64 = out
+            .crawler
+            .db
+            .daily_counts
+            .iter()
+            .map(|c| u64::from(c.total_seen))
+            .sum();
         out.crawler.db.psrs.len() as f64 / seen.max(1) as f64
     };
     let weak_rate = psr_rate(&weak);
@@ -100,7 +114,10 @@ fn figure4_panels_correlate_visibility_with_orders() {
                 found += 1;
                 // Cumulative volume never decreases over observed samples.
                 let obs: Vec<f64> = v.observed().map(|(_, x)| x).collect();
-                assert!(obs.windows(2).all(|w| w[1] >= w[0]), "volume must be cumulative");
+                assert!(
+                    obs.windows(2).all(|w| w[1] >= w[0]),
+                    "volume must be cumulative"
+                );
                 let csv = panel.to_csv();
                 assert!(csv.contains("psrs_top100"));
             }

@@ -6,7 +6,9 @@ use search_seizure::analysis::validation;
 use search_seizure::{Study, StudyConfig};
 
 fn study() -> search_seizure::StudyOutput {
-    Study::new(StudyConfig::fast_test(103)).run().expect("study runs")
+    Study::new(StudyConfig::fast_test(103))
+        .run()
+        .expect("study runs")
 }
 
 #[test]
@@ -29,7 +31,12 @@ fn detection_has_no_false_positives_and_few_false_negatives() {
 fn classifier_beats_chance_by_a_wide_margin() {
     let out = study();
     let v = validation::classifier(&out);
-    assert!(v.cv_accuracy > 10.0 * v.chance, "cv {} vs chance {}", v.cv_accuracy, v.chance);
+    assert!(
+        v.cv_accuracy > 10.0 * v.chance,
+        "cv {} vs chance {}",
+        v.cv_accuracy,
+        v.chance
+    );
     assert!(v.labeled > 0);
     // Ground-truth precision of confident attributions.
     assert!(v.truth_precision > 0.6, "precision {}", v.truth_precision);
@@ -39,7 +46,10 @@ fn classifier_beats_chance_by_a_wide_margin() {
 fn term_bias_check_finds_same_campaigns_with_different_terms() {
     let mut out = study();
     let bias = validation::term_bias(&mut out);
-    assert!(bias.verticals > 0, "no doorway-derived verticals to compare");
+    assert!(
+        bias.verticals > 0,
+        "no doorway-derived verticals to compare"
+    );
     assert!(bias.total_terms > 0);
     // The two methodologies pick mostly different strings…
     assert!(
@@ -64,8 +74,15 @@ fn attribution_timelines_track_true_campaign_activity() {
     assert!(!fidelity.is_empty(), "no campaign timelines scored");
     // Among campaigns with meaningful signal (|r| > 0.3), the clear
     // majority must track true activity positively.
-    let strong: Vec<f64> = fidelity.values().copied().filter(|r| r.abs() > 0.3).collect();
-    assert!(!strong.is_empty(), "no campaign produced a strong timeline signal");
+    let strong: Vec<f64> = fidelity
+        .values()
+        .copied()
+        .filter(|r| r.abs() > 0.3)
+        .collect();
+    assert!(
+        !strong.is_empty(),
+        "no campaign produced a strong timeline signal"
+    );
     let positive = strong.iter().filter(|r| **r > 0.0).count();
     assert!(
         positive * 3 >= strong.len() * 2,

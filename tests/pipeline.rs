@@ -5,7 +5,9 @@ use search_seizure::analysis::{ecosystem, figures};
 use search_seizure::{Study, StudyConfig};
 
 fn study() -> search_seizure::StudyOutput {
-    Study::new(StudyConfig::fast_test(101)).run().expect("study runs")
+    Study::new(StudyConfig::fast_test(101))
+        .run()
+        .expect("study runs")
 }
 
 #[test]
@@ -166,7 +168,10 @@ fn telemetry_spans_every_stage_with_a_broad_metric_surface() {
     }
 
     // Counters agree with the datasets they describe.
-    assert_eq!(out.metrics.counter_total("crawl.psrs"), out.crawler.db.psrs.len() as u64);
+    assert_eq!(
+        out.metrics.counter_total("crawl.psrs"),
+        out.crawler.db.psrs.len() as u64
+    );
     assert_eq!(
         out.metrics.counter_total("orders.samples"),
         out.sampler.orders_created as u64

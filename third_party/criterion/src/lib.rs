@@ -35,7 +35,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20, min_sample_time: Duration::from_millis(8) }
+        Criterion {
+            sample_size: 20,
+            min_sample_time: Duration::from_millis(8),
+        }
     }
 }
 
@@ -52,7 +55,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: Vec::new(), min_sample_time: self.min_sample_time };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            min_sample_time: self.min_sample_time,
+        };
         // One warm-up pass (discarded), then the measured samples.
         f(&mut b);
         b.samples.clear();
@@ -171,7 +177,10 @@ mod tests {
 
     #[test]
     fn iter_collects_one_sample_per_call() {
-        let mut b = Bencher { samples: Vec::new(), min_sample_time: Duration::from_micros(50) };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            min_sample_time: Duration::from_micros(50),
+        };
         b.iter(|| black_box(3u64).wrapping_mul(7));
         b.iter(|| black_box(3u64).wrapping_mul(7));
         assert_eq!(b.samples.len(), 2);
@@ -180,14 +189,20 @@ mod tests {
 
     #[test]
     fn iter_batched_excludes_setup_cost() {
-        let mut b = Bencher { samples: Vec::new(), min_sample_time: Duration::from_micros(10) };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            min_sample_time: Duration::from_micros(10),
+        };
         b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
         assert_eq!(b.samples.len(), 1);
     }
 
     #[test]
     fn bench_function_reports_requested_samples() {
-        let mut c = Criterion { sample_size: 3, min_sample_time: Duration::from_micros(20) };
+        let mut c = Criterion {
+            sample_size: 3,
+            min_sample_time: Duration::from_micros(20),
+        };
         let mut calls = 0u32;
         c.bench_function("stub-self-test", |b| {
             calls += 1;

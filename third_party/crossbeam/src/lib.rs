@@ -40,7 +40,9 @@ pub mod thread {
             F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
             T: Send + 'scope,
         {
-            ScopedJoinHandle { inner: self.inner.spawn(move || f(self)) }
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(self)),
+            }
         }
     }
 
@@ -58,7 +60,9 @@ pub mod thread {
     where
         F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
     {
-        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(Scope { inner: s }))))
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
     }
 }
 
@@ -69,9 +73,13 @@ mod tests {
         let data = vec![1u64, 2, 3, 4];
         let data = &data;
         let total = crate::thread::scope(|s| {
-            let handles: Vec<_> =
-                (0..2).map(|i| s.spawn(move |_| data[i * 2] + data[i * 2 + 1])).collect();
-            handles.into_iter().map(|h| h.join().expect("no panic")).sum::<u64>()
+            let handles: Vec<_> = (0..2)
+                .map(|i| s.spawn(move |_| data[i * 2] + data[i * 2 + 1]))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum::<u64>()
         })
         .expect("scope completes");
         assert_eq!(total, 10);

@@ -116,7 +116,10 @@ pub struct Union<V> {
 impl<V> Union<V> {
     /// Builds a union; panics if `options` is empty.
     pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
         Union { options }
     }
 

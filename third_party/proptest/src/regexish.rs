@@ -79,12 +79,15 @@ fn parse_seq(
             i = close + 1;
             match spec.split_once(',') {
                 Some((lo, hi)) => (
-                    lo.parse().unwrap_or_else(|_| panic!("bad repeat `{spec}` in {pattern}")),
-                    hi.parse().unwrap_or_else(|_| panic!("bad repeat `{spec}` in {pattern}")),
+                    lo.parse()
+                        .unwrap_or_else(|_| panic!("bad repeat `{spec}` in {pattern}")),
+                    hi.parse()
+                        .unwrap_or_else(|_| panic!("bad repeat `{spec}` in {pattern}")),
                 ),
                 None => {
-                    let n =
-                        spec.parse().unwrap_or_else(|_| panic!("bad repeat `{spec}` in {pattern}"));
+                    let n = spec
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat `{spec}` in {pattern}"));
                     (n, n)
                 }
             }
@@ -124,8 +127,10 @@ fn emit_seq(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
             match &piece.atom {
                 Atom::Literal(c) => out.push(*c),
                 Atom::Class(ranges) => {
-                    let total: u64 =
-                        ranges.iter().map(|&(lo, hi)| u64::from(hi as u32 - lo as u32) + 1).sum();
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|&(lo, hi)| u64::from(hi as u32 - lo as u32) + 1)
+                        .sum();
                     let mut pick = rng.below(total);
                     for &(lo, hi) in ranges {
                         let size = u64::from(hi as u32 - lo as u32) + 1;
@@ -157,7 +162,11 @@ mod tests {
     fn classes_respect_bounds_and_members() {
         for s in gen_n("[a-z0-9]{1,10}", 200) {
             assert!((1..=10).contains(&s.chars().count()), "{s:?}");
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                "{s:?}"
+            );
         }
     }
 
@@ -165,7 +174,10 @@ mod tests {
     fn printable_ascii_class_spans_space_to_tilde() {
         let all: String = gen_n("[ -~]{0,200}", 100).concat();
         assert!(all.chars().all(|c| (' '..='~').contains(&c)));
-        assert!(all.chars().any(|c| !c.is_ascii_alphanumeric()), "should hit punctuation");
+        assert!(
+            all.chars().any(|c| !c.is_ascii_alphanumeric()),
+            "should hit punctuation"
+        );
     }
 
     #[test]

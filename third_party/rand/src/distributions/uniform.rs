@@ -11,8 +11,12 @@ use std::ops::{Range, RangeInclusive};
 /// Element types that can be drawn uniformly from a bounded interval.
 pub trait SampleUniform: Sized + PartialOrd {
     /// Uniform sample in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 /// A range that knows how to sample a single uniform value from itself.

@@ -77,7 +77,13 @@ impl SeedableRng for ChaCha8Rng {
         for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
             *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
         }
-        ChaCha8Rng { key, counter: 0, stream: [0; 2], buf: [0; 16], index: 16 }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: [0; 2],
+            buf: [0; 16],
+            index: 16,
+        }
     }
 }
 

@@ -176,7 +176,10 @@ mod tests {
         }
         // The derive emits paths via `::serde`, which inside this crate's
         // tests resolves through the extern-crate name, i.e. this crate.
-        let row = Row { name: "n".into(), hits: 7 };
+        let row = Row {
+            name: "n".into(),
+            hits: 7,
+        };
         let v = Serialize::serialize(&row);
         assert_eq!(
             v,

@@ -68,7 +68,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
              }}\n\
          }}"
     );
-    out.parse().expect("derive(Serialize): generated impl parses")
+    out.parse()
+        .expect("derive(Serialize): generated impl parses")
 }
 
 /// Collects field names from the brace-group token stream of a
