@@ -106,6 +106,22 @@ fn bench_world_tick(c: &mut Criterion) {
     c.bench_function("eco/world_tick_small", |b| b.iter(|| w.tick()));
 }
 
+/// Serial vs. parallel simulation of one full day at `Scale::small`: the
+/// same warmed world, only `tick_threads` differs. Stage planners fan out
+/// over verticals/store shards; `apply_plan` replays sequentially either
+/// way, so the committed state is bit-identical — only wall-clock moves.
+fn bench_tick_scaling(c: &mut Criterion) {
+    for (name, threads) in [
+        ("tick/full_day_small_serial", 1usize),
+        ("tick/full_day_small_4threads", 4),
+    ] {
+        let mut w = World::build(ScenarioConfig::small(13)).expect("world");
+        w.run_until(SimDate::from_day_index(ss_types::CRAWL_START_DAY));
+        w.tick_threads = threads;
+        c.bench_function(name, |b| b.iter(|| w.tick()));
+    }
+}
+
 fn bench_purchase_pair(c: &mut Criterion) {
     let mut w = World::build(ScenarioConfig::tiny(11)).expect("world");
     let start = SimDate::from_day_index(ss_types::CRAWL_START_DAY);
@@ -144,6 +160,6 @@ criterion_group! {
     // World builds and crawl days are hundreds of ms each; a small sample
     // budget keeps `cargo bench` wall time reasonable.
     config = Criterion::default().sample_size(10);
-    targets = bench_detectors, bench_crawl_day, bench_crawl_day_scaling, bench_world_tick, bench_purchase_pair
+    targets = bench_detectors, bench_crawl_day, bench_crawl_day_scaling, bench_world_tick, bench_tick_scaling, bench_purchase_pair
 }
 criterion_main!(benches);

@@ -4,9 +4,14 @@
 //!
 //! ```text
 //! repro <experiment> [--preset tiny|small|paper] [--seed N] [--out DIR]
+//!                    [--threads N]
 //! repro all          # every experiment + EXPERIMENTS.md
 //! repro list         # experiment index
 //! ```
+//!
+//! `--threads N` drives both planes — the crawler's per-vertical fan-out
+//! and the simulation's tick-stage planners. Output is bit-identical for
+//! every `N` (default: serial).
 //!
 //! Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6
 //! classifier validation termbias labels seizures supplier conversion
@@ -26,6 +31,7 @@ struct Args {
     preset: Preset,
     seed: u64,
     out_dir: Option<String>,
+    threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +40,7 @@ fn parse_args() -> Args {
     let mut preset = Preset::Small;
     let mut seed = 2014;
     let mut out_dir = None;
+    let mut threads = 1;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--preset" => {
@@ -48,6 +55,13 @@ fn parse_args() -> Args {
                     .expect("numeric seed");
             }
             "--out" => out_dir = Some(args.next().expect("--out needs a directory")),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("numeric thread count");
+            }
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -56,6 +70,7 @@ fn parse_args() -> Args {
         preset,
         seed,
         out_dir,
+        threads,
     }
 }
 
@@ -124,6 +139,8 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let mut cfg = args.preset.config(args.seed);
+    // One flag drives both planes: crawl fan-out and tick planners.
+    cfg.set_threads(args.threads);
     // Every repro run leaves a manifest behind (CI uploads it).
     cfg.manifest_path
         .get_or_insert_with(|| "reports/run_manifest.json".to_owned());

@@ -65,6 +65,10 @@ pub struct StudyConfig {
     /// Where to write the run manifest; `None` disables the write (the
     /// manifest is still built and returned in [`StudyOutput`]).
     pub manifest_path: Option<String>,
+    /// Worker threads for the simulation's tick-stage planners (`<= 1`
+    /// runs serially). Usually set together with `crawler.threads` via
+    /// [`StudyConfig::set_threads`]; any value is bit-identical.
+    pub tick_threads: usize,
 }
 
 impl StudyConfig {
@@ -85,8 +89,17 @@ impl StudyConfig {
             crawl_end: SimDate::from_day_index(crawl_end_day),
             awstats_interval: 14,
             manifest_path: Some("reports/run_manifest.json".to_owned()),
+            tick_threads: 1,
             scenario,
         }
+    }
+
+    /// Points both planes' worker pools at `n` threads: the crawler's
+    /// per-vertical fan-out and the tick planners' shard fan-out. Output
+    /// is bit-identical for every `n`.
+    pub fn set_threads(&mut self, n: usize) {
+        self.crawler.threads = n.max(1);
+        self.tick_threads = n.max(1);
     }
 
     /// A fast configuration for tests: tiny world, short crawl, light
@@ -324,6 +337,7 @@ impl Study {
         let cfg = self.cfg;
         let obs = Registry::new();
         let mut world = World::build(cfg.scenario.clone())?;
+        world.tick_threads = cfg.tick_threads;
         let start = cfg.crawl_start;
         let end = cfg.crawl_end;
 

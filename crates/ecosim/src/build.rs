@@ -25,7 +25,7 @@ use crate::domains::{self, SiteKind};
 use crate::legal::FirmState;
 use crate::scenario::ScenarioConfig;
 use crate::store::StoreState;
-use crate::world::{PenaltyPlan, VerticalState, World};
+use crate::world::{VerticalState, World};
 
 /// Multiple of the monitored term count that exists as a queryable term
 /// universe (users and campaigns are not limited to the crawler's picks).
@@ -609,16 +609,20 @@ fn build_campaigns(w: &mut World) {
             w.campaigns[ci].stores.push(sid);
             if w.cfg.proactive_rotation {
                 // Rotations at end of June and mid-August 2014 (Fig. 5).
-                w.proactive_rotations
-                    .push((SimDate::from_day_index(357), sid));
-                w.proactive_rotations
-                    .push((SimDate::from_day_index(406), sid));
+                for day in [357, 406] {
+                    w.proactive_rotations
+                        .entry(SimDate::from_day_index(day))
+                        .or_default()
+                        .push(sid);
+                }
             }
             // cocoviphandbags.com seized July 11, 2014 — after the store
             // had already moved on (§5.2.3).
             let first_domain = w.stores[sid.index()].domain_history[0].1;
             w.scripted_seizures
-                .push((SimDate::from_day_index(371), first_domain, FirmId(0)));
+                .entry(SimDate::from_day_index(371))
+                .or_default()
+                .push((first_domain, FirmId(0)));
         }
         if spec.name == "PHP?P=" {
             // Figure 6: four international stores; the Abercrombie UK
@@ -654,7 +658,9 @@ fn build_campaigns(w: &mut World) {
             }
             let uk_domain = w.stores[intl[0].index()].domain_history[0].1;
             w.scripted_seizures
-                .push((SimDate::from_day_index(219), uk_domain, FirmId(0)));
+                .entry(SimDate::from_day_index(219))
+                .or_default()
+                .push((uk_domain, FirmId(0)));
         }
 
         // Doorways last (they need stores to target).
@@ -719,20 +725,16 @@ fn build_shadow_campaigns(w: &mut World) {
 fn plan_penalties(w: &mut World) {
     let policy = &w.cfg.search_policy;
     let mut rng = sub_rng(w.cfg.seed, "abuse-team");
-    let mut plans = Vec::new();
+    let mut plans: std::collections::BTreeMap<SimDate, Vec<_>> = std::collections::BTreeMap::new();
     for c in &w.campaigns {
         for d in &c.doorways {
             if rng.gen::<f64>() < policy.detect_prob {
                 let delay = rng.gen_range(policy.delay_min..=policy.delay_max);
-                plans.push(PenaltyPlan {
-                    domain: d.domain,
-                    due: d.live_from + delay,
-                });
+                plans.entry(d.live_from + delay).or_default().push(d.domain);
             }
         }
     }
-    plans.sort_by_key(|p| p.due);
-    w.penalty_plans = plans;
+    w.penalty_due = plans;
 }
 
 #[cfg(test)]
@@ -819,7 +821,7 @@ mod tests {
     fn penalty_plans_cover_a_policy_fraction() {
         let w = tiny_world();
         let doorways: usize = w.campaigns.iter().map(|c| c.doorways.len()).sum();
-        let planned = w.penalty_plans.len();
+        let planned: usize = w.penalty_due.values().map(Vec::len).sum();
         let frac = planned as f64 / doorways as f64;
         let p = w.cfg.search_policy.detect_prob;
         assert!((frac - p).abs() < 0.08, "planned {frac} vs policy {p}");

@@ -22,7 +22,9 @@
 //! * **a supplier** fulfilling partnered campaigns' orders and exposing the
 //!   tracking portal the paper scraped ([`supplier`]).
 //!
-//! [`world::World`] composes all of it behind a day-tick loop, implements
+//! [`world::World`] composes all of it behind a plan/commit day-tick loop
+//! ([`plan`]: pure stage planners over `&World`, keyed RNG sub-streams, a
+//! single `apply_plan` reducer, optional worker fan-out), implements
 //! `ss_web::Web` so the measurement pipeline can fetch pages exactly as the
 //! paper's crawlers did, and keeps a ground-truth [`events`] log that the
 //! methodology-validation experiments score against.
@@ -35,11 +37,13 @@ pub mod campaign;
 pub mod domains;
 pub mod events;
 pub mod legal;
+pub mod plan;
 pub mod scenario;
 pub mod store;
 pub mod supplier;
 pub mod traffic;
 pub mod world;
 
+pub use plan::{TickStage, WorldEvent};
 pub use scenario::{Scale, ScenarioConfig};
 pub use world::World;

@@ -1,29 +1,28 @@
 //! The world: composed state, the day-tick loop, and the web façade —
 //! a pure [`Fetcher`] read plane plus the [`Web::apply`] tick plane.
+//!
+//! The day-tick loop itself lives in [`crate::plan`]: each stage plans as
+//! a pure function over `&World` and commits through `World::apply_plan`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-use rand::Rng;
 use ss_types::market::VerticalSpec;
-use ss_types::rng::{sub_rng, SimRng};
-use ss_types::{
-    BrandId, CampaignId, CaseId, DomainId, FirmId, SimDate, StoreId, TermId, Url, VerticalId,
-};
+use ss_types::{BrandId, CampaignId, DomainId, FirmId, SimDate, StoreId, TermId, Url, VerticalId};
 
-use ss_search::{SearchEngine, Serp};
+use ss_search::SearchEngine;
 use ss_web::cloak::{self, CloakMode, ServeDecision};
 use ss_web::http::{Fetcher, Request, Response, SideEffect, Web};
 use ss_web::pagegen::storefront::StoreTemplate;
+use ss_web::pagegen::supplier::ShipStatus;
 use ss_web::pagegen::{awstats, doorway, legit, notice, storefront, supplier as supplier_pages};
 
 use crate::campaign::CampaignState;
 use crate::domains::{DomainRegistry, Seizure, SiteKind};
-use crate::events::{Event, EventLog};
-use crate::legal::{CourtCase, FirmState};
+use crate::events::EventLog;
+use crate::legal::FirmState;
 use crate::scenario::ScenarioConfig;
 use crate::store::StoreState;
 use crate::supplier::SupplierState;
-use crate::traffic;
 
 /// Per-vertical runtime state.
 #[derive(Debug)]
@@ -39,13 +38,6 @@ pub struct VerticalState {
     /// Probability that a doorway in this vertical is "elite" (top-10
     /// capable), derived from the Figure 3 top-10 envelope.
     pub elite_prob: f64,
-}
-
-/// A pre-drawn penalization verdict for one doorway.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct PenaltyPlan {
-    pub(crate) domain: DomainId,
-    pub(crate) due: SimDate,
 }
 
 /// The assembled world. Construct via [`World::build`], drive with
@@ -80,22 +72,24 @@ pub struct World {
     pub events: EventLog,
     /// domain → (campaign index, doorway index) for fetch routing.
     pub(crate) doorway_of: HashMap<DomainId, (usize, usize)>,
-    /// Penalization schedule (sorted by due day at build time).
-    pub(crate) penalty_plans: Vec<PenaltyPlan>,
-    /// Store rotations queued by seizure reactions: `(due, store)`.
-    pub(crate) pending_rotations: Vec<(SimDate, StoreId)>,
-    /// Scripted proactive rotations: `(day, store)`.
-    pub(crate) proactive_rotations: Vec<(SimDate, StoreId)>,
-    /// Scripted seizures: `(day, domain, firm)`.
-    pub(crate) scripted_seizures: Vec<(SimDate, DomainId, FirmId)>,
+    /// Penalization schedule, indexed by due day.
+    pub(crate) penalty_due: BTreeMap<SimDate, Vec<DomainId>>,
+    /// Store rotations queued by seizure reactions, indexed by due day.
+    pub(crate) pending_rotations: BTreeMap<SimDate, Vec<StoreId>>,
+    /// Scripted proactive rotations, indexed by day.
+    pub(crate) proactive_rotations: BTreeMap<SimDate, Vec<StoreId>>,
+    /// Scripted seizures, indexed by day.
+    pub(crate) scripted_seizures: BTreeMap<SimDate, Vec<(DomainId, FirmId)>>,
     /// Per-campaign storefront templates (same index as `campaigns`).
     pub(crate) templates: Vec<StoreTemplate>,
-    /// World-tick RNG.
-    pub(crate) rng: SimRng,
-    next_case: u32,
+    pub(crate) next_case: u32,
+    /// Worker threads the tick-stage planners may fan out over (`<= 1`
+    /// plans serially). Any value commits a bit-identical world: planners
+    /// draw from keyed streams and replay merges in index order.
+    pub tick_threads: usize,
     /// Telemetry registry: ecosystem-side counters and histograms
     /// (`eco.*`), recorded as ticks execute. Deterministic for a given
-    /// seed — the tick plane is single-threaded.
+    /// seed at any `tick_threads`.
     pub metrics: ss_obs::Registry,
 }
 
@@ -124,13 +118,13 @@ impl World {
             supplier_domain: DomainId(u32::MAX),
             events: EventLog::new(),
             doorway_of: HashMap::new(),
-            penalty_plans: Vec::new(),
-            pending_rotations: Vec::new(),
-            proactive_rotations: Vec::new(),
-            scripted_seizures: Vec::new(),
+            penalty_due: BTreeMap::new(),
+            pending_rotations: BTreeMap::new(),
+            proactive_rotations: BTreeMap::new(),
+            scripted_seizures: BTreeMap::new(),
             templates: Vec::new(),
-            rng: sub_rng(seed, "world-tick"),
             next_case: 0,
+            tick_threads: 1,
             metrics: ss_obs::Registry::new(),
         }
     }
@@ -214,349 +208,107 @@ impl World {
         }
     }
 
-    /// Simulates the current day, then advances `self.day`.
-    pub fn tick(&mut self) {
-        let today = self.day;
-        self.tick_campaign_juice(today);
-        self.tick_search_policy(today);
-        self.tick_seizures(today);
-        self.tick_rotations(today);
-        self.tick_traffic(today);
-        self.day = today + 1;
-    }
+    /// A deterministic digest of the whole committed world: domains and
+    /// seizures, SERP state per monitored term, store counters and AWStats
+    /// months, court cases, supplier ledger, rotation queues, and the
+    /// clock. Two worlds with equal fingerprints (plus equal event logs
+    /// and metrics) are observably identical — the tick thread-matrix
+    /// tests assert this across worker counts.
+    pub fn state_fingerprint(&self) -> u64 {
+        fn fold(h: u64, v: u64) -> u64 {
+            ss_types::rng::mix(h, v, 0x5ca1_ab1e)
+        }
+        fn fold_str(h: u64, s: &str) -> u64 {
+            fold(h, ss_types::rng::hash_str(s))
+        }
+        let mut h: u64 = 0x5176_ce87_2e4c_7db1;
+        h = fold(h, u64::from(self.day.day_index()));
 
-    // ---- tick stages ----
-
-    /// Stage 1: campaigns push juice onto live doorway domains.
-    fn tick_campaign_juice(&mut self, today: SimDate) {
-        for c in &self.campaigns {
-            let base = c.juice_on(today);
-            for d in &c.doorways {
-                let juice = if base > 0.0 && d.is_live(today) {
-                    // Per-doorway multiplier: elites carry full juice (they
-                    // crack the top 10), the rest ride the top-100 tail.
-                    let p_elite = self.verticals[d.vertical.index()].elite_prob;
-                    let elite = elite_draw(self.cfg.seed, d.domain) < p_elite;
-                    let m = if elite { 1.0 } else { 0.42 };
-                    base * m
-                } else {
-                    0.0
-                };
-                self.engine.set_juice(d.domain, juice);
+        // Domains + seizures.
+        h = fold(h, self.domains.len() as u64);
+        for (_, rec) in self.domains.iter() {
+            h = fold_str(h, rec.name.as_str());
+            if let Some(s) = rec.seized {
+                h = fold(h, u64::from(s.day.day_index()));
+                h = fold(h, u64::from(s.case.0));
+                h = fold(h, s.firm.index() as u64);
             }
         }
-    }
 
-    /// Stage 2: the search engine's anti-abuse team lands pre-scheduled
-    /// penalties (demotion + hacked label) on detected doorways.
-    fn tick_search_policy(&mut self, today: SimDate) {
-        let policy = self.cfg.search_policy.clone();
-        let due: Vec<DomainId> = self
-            .penalty_plans
-            .iter()
-            .filter(|p| p.due == today)
-            .map(|p| p.domain)
-            .collect();
-        for domain in due {
-            let Some(&(ci, di)) = self.doorway_of.get(&domain) else {
-                continue;
-            };
-            if !self.campaigns[ci].doorways[di].is_live(today) {
-                continue; // doorway died before detection caught up
-            }
-            if policy.demote_penalty > 0.0 {
-                self.engine.demote(domain, policy.demote_penalty);
-            }
-            if policy.apply_label {
-                self.engine.label_hacked(domain, today);
-            }
-            self.campaigns[ci].doorways[di].penalized = Some(today);
-            ss_obs::count!(self.metrics, "eco.doorways_penalized");
-            self.events.push(Event::DoorwayPenalized {
-                domain,
-                day: today,
-                labeled: policy.apply_label,
-            });
-        }
-    }
-
-    /// Stage 3: brand-protection firms file bulk seizure cases; scripted
-    /// seizures land on their exact days.
-    fn tick_seizures(&mut self, today: SimDate) {
-        // Scripted first (case studies).
-        let scripted: Vec<(DomainId, FirmId)> = self
-            .scripted_seizures
-            .iter()
-            .filter(|(d, _, _)| *d == today)
-            .map(|(_, dom, firm)| (*dom, *firm))
-            .collect();
-        for (dom, firm) in scripted {
-            let brand = self.firms[firm.index()]
-                .brands
-                .first()
-                .copied()
-                .unwrap_or(BrandId(0));
-            self.execute_case(firm, brand, today, vec![dom]);
-        }
-
-        for fi in 0..self.firms.len() {
-            if !self.firms[fi].files_on(today) {
-                continue;
-            }
-            let firm = FirmId::from_index(fi);
-            let policy = self.firms[fi].policy.clone();
-            // Rotate through the firm's brand portfolio case by case.
-            let brands = self.firms[fi].brands.clone();
-            if brands.is_empty() {
-                continue;
-            }
-            let brand = brands[self.firms[fi].cases.len() % brands.len()];
-
-            // Targets: current domains of live stores selling the brand
-            // whose current domain has been serving long enough.
-            let mut targets: Vec<DomainId> = Vec::new();
-            for s in &self.stores {
-                if s.retired || s.created > today || !s.brands.contains(&brand) {
-                    continue;
-                }
-                if self.domains.get(s.current_domain).seized.is_some() {
-                    continue;
-                }
-                let since = s
-                    .domain_history
-                    .last()
-                    .map(|(d, _)| *d)
-                    .unwrap_or(s.created);
-                let age = today.days_since(since);
-                if age < i64::from(policy.target_lifetime) / 2 {
-                    continue;
-                }
-                // Firms find a store with probability rising in its age.
-                let p = (age as f64 / f64::from(policy.target_lifetime.max(1))).min(1.0) * 0.35;
-                if self.rng.gen::<f64>() < p {
-                    targets.push(s.current_domain);
-                }
-            }
-            // Bulk offstage filler: the court schedules' long tail.
-            let bulk = ((targets.len().max(1)) as f64 / policy.observed_fraction
-                * self.cfg.scale.entity_scale)
-                .min(800.0) as usize;
-            for b in 0..bulk {
-                let name = format!("bulk-{}-{}-{}.com", fi, today.day_index(), b);
-                let id = self
-                    .domains
-                    .register_unique(&name, SiteKind::OffstageStore, today);
-                targets.push(id);
-            }
-            if !targets.is_empty() {
-                self.execute_case(firm, brand, today, targets);
-            }
-        }
-    }
-
-    fn execute_case(
-        &mut self,
-        firm: FirmId,
-        brand: BrandId,
-        today: SimDate,
-        domains: Vec<DomainId>,
-    ) {
-        let case = CaseId(self.next_case);
-        self.next_case += 1;
-        ss_obs::count!(self.metrics, "eco.seizure_cases");
-        ss_obs::count!(self.metrics, "eco.domains_seized", domains.len());
-        ss_obs::observe!(self.metrics, "eco.case_size", domains.len());
-        for &d in &domains {
-            self.domains.seize(
-                d,
-                Seizure {
-                    day: today,
-                    case,
-                    firm,
-                },
-            );
-            // Stores whose current domain was seized schedule a reactive
-            // rotation after the campaign's reaction delay.
-            if let SiteKind::Storefront { store } = self.domains.get(d).kind {
-                let st = &self.stores[store.index()];
-                if st.current_domain == d && !st.retired {
-                    let delay = self.campaigns[st.campaign.index()].reaction_days;
-                    self.pending_rotations.push((today + delay, store));
-                }
-            }
-        }
-        let docket = self.firms[firm.index()].next_docket(today);
-        self.firms[firm.index()].cases.push(CourtCase {
-            id: case,
-            firm,
-            brand,
-            docket,
-            day: today,
-            domains: domains.clone(),
-        });
-        self.events.push(Event::CaseFiled {
-            firm,
-            case,
-            day: today,
-            domains,
-        });
-    }
-
-    /// Stage 4: due rotations (reactive and scripted-proactive) execute.
-    fn tick_rotations(&mut self, today: SimDate) {
-        let mut due: Vec<(StoreId, bool)> = Vec::new();
-        self.pending_rotations.retain(|(d, s)| {
-            if *d <= today {
-                due.push((*s, true));
-                false
-            } else {
-                true
-            }
-        });
-        self.proactive_rotations.retain(|(d, s)| {
-            if *d == today {
-                due.push((*s, false));
-                false
-            } else {
-                true
-            }
-        });
-        for (store, reactive) in due {
-            let st = &mut self.stores[store.index()];
-            if st.retired {
-                continue;
-            }
-            match st.rotate_domain(today) {
-                Some((from, to)) => {
-                    ss_obs::count!(self.metrics, "eco.store_rotations", 1, reactive = reactive);
-                    self.events.push(Event::StoreRotated {
-                        store,
-                        day: today,
-                        from,
-                        to,
-                        reactive,
-                    });
-                }
-                None => {
-                    ss_obs::count!(self.metrics, "eco.stores_folded");
-                    // Pool exhausted: the store folds; its doorways re-point
-                    // to a sibling store in the same campaign if one lives.
-                    st.retired = true;
-                    let campaign = st.campaign;
-                    let sibling = self.campaigns[campaign.index()]
-                        .stores
-                        .iter()
-                        .copied()
-                        .find(|s| *s != store && !self.stores[s.index()].retired);
-                    if let Some(sib) = sibling {
-                        self.campaigns[campaign.index()].repoint_doorways(store, sib);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Stage 5: users search, click, browse, buy.
-    fn tick_traffic(&mut self, today: SimDate) {
-        let depth = self.cfg.scale.serp_depth;
-        let deterrence = self.cfg.search_policy.label_deterrence;
-        // store → (visits, referred[(host, n)])
-        let mut store_visits: HashMap<StoreId, (u64, Vec<(String, u64)>)> = HashMap::new();
-
+        // Engine ranking state, probed through every monitored term's SERP.
         for v in &self.verticals {
-            let lambda = self.cfg.impressions_per_term * v.popularity;
             for &term in &v.terms {
-                let impressions = traffic::poisson(&mut self.rng, lambda);
-                if impressions == 0 {
-                    continue;
-                }
-                let serp: Serp = self.engine.serp(term, today, depth);
+                let serp = self.engine.serp(term, self.day, self.cfg.scale.serp_depth);
                 for r in &serp.results {
-                    let Some(&(ci, di)) = self.doorway_of.get(&r.domain) else {
-                        continue;
-                    };
-                    let d = &self.campaigns[ci].doorways[di];
-                    if !d.is_live(today) {
-                        continue;
-                    }
-                    let mut rate = traffic::ctr(r.rank);
-                    if r.hacked_label {
-                        rate *= 1.0 - deterrence;
-                    }
-                    let clicks = traffic::binomial(&mut self.rng, impressions, rate);
-                    if clicks == 0 {
-                        continue;
-                    }
-                    // Click lands on the doorway; the cloak forwards it to
-                    // the store unless the store's domain is seized.
-                    let store = d.target_store;
-                    let st = &self.stores[store.index()];
-                    if st.retired
-                        || st.created > today
-                        || self.domains.get(st.current_domain).seized.is_some()
-                    {
-                        continue; // notice page or dead store: traffic lost
-                    }
-                    let entry = store_visits.entry(store).or_default();
-                    entry.0 += clicks;
-                    let referred = traffic::binomial(&mut self.rng, clicks, self.cfg.referrer_rate);
-                    if referred > 0 {
-                        let host = self.domains.get(r.domain).name.as_str().to_owned();
-                        entry.1.push((host, referred));
-                    }
+                    h = fold(h, u64::from(r.domain.0));
+                    h = fold(h, u64::from(r.rank) ^ (u64::from(r.hacked_label) << 32));
                 }
             }
         }
 
-        // Fold visits into stores: orders, AWStats, supplier fulfillment.
-        for si in 0..self.stores.len() {
-            let store_id = StoreId::from_index(si);
-            let (search_visits, referred) =
-                store_visits.remove(&store_id).unwrap_or((0, Vec::new()));
-            let st = &mut self.stores[si];
-            if st.retired || st.created > today {
-                continue;
-            }
-            let seized = self.domains.get(st.current_domain).seized.is_some();
-            let direct_visits = if seized {
-                0
-            } else {
-                traffic::poisson(&mut self.rng, self.cfg.organic_orders_per_day * 12.0)
-            };
-            let visits = search_visits + direct_visits;
-            let referred_total: u64 = referred.iter().map(|(_, n)| n).sum();
-            let direct = visits - referred_total.min(visits);
-            let pages = traffic::poisson(&mut self.rng, visits as f64 * self.cfg.pages_per_visit);
-            let mut orders = traffic::binomial(&mut self.rng, visits, self.cfg.conversion_rate)
-                + if seized {
-                    0
-                } else {
-                    traffic::poisson(&mut self.rng, self.cfg.organic_orders_per_day * 0.12)
-                };
-            // Payment intervention: customers cannot complete checkout, so
-            // no order numbers are consumed by sales (§4.3.2 extension).
-            if !self.payment_available(self.stores[si].campaign, today) {
-                orders = 0;
-            }
-            ss_obs::count!(self.metrics, "eco.store_visits", visits);
-            ss_obs::count!(self.metrics, "eco.orders", orders);
-            let st = &mut self.stores[si];
-            st.add_orders(orders);
-            st.record_traffic(today, visits, pages, &referred, direct);
-            let campaign = st.campaign;
-            if orders > 0 && self.campaigns[campaign.index()].supplier_partner {
-                self.supplier.fulfill(store_id, today, orders);
+        // Stores: counters, serving domain, AWStats months.
+        for s in &self.stores {
+            h = fold(h, s.order_counter);
+            h = fold(h, s.orders_accrued);
+            h = fold(h, u64::from(s.current_domain.0));
+            h = fold(
+                h,
+                u64::from(s.retired) ^ ((s.backup_pool.len() as u64) << 1),
+            );
+            h = fold(h, s.domain_history.len() as u64);
+            for m in &s.months {
+                h = fold(
+                    h,
+                    m.visits ^ m.pages.rotate_left(16) ^ m.direct_visits.rotate_left(32),
+                );
+                h = fold(h, m.daily.len() as u64);
+                for (host, n) in &m.referrers {
+                    h = fold_str(h, host);
+                    h = fold(h, *n);
+                }
             }
         }
 
-        // The supplier also serves outside wholesale members the study
-        // never saw (§3.1.2: the portal "support[s] outside sales on an
-        // á la carte basis"). Stops with the record window.
-        if today.day_index() <= ss_types::SUPPLIER_END_DAY {
-            let external =
-                traffic::poisson(&mut self.rng, 900.0 * self.cfg.scale.entity_scale.max(0.02));
-            self.supplier.fulfill(StoreId(u32::MAX), today, external);
+        // Court cases.
+        for f in &self.firms {
+            for c in &f.cases {
+                h = fold(h, u64::from(c.id.0));
+                h = fold(h, u64::from(c.day.day_index()));
+                h = fold(h, c.domains.len() as u64);
+                h = fold_str(h, &c.docket);
+            }
         }
+
+        // Supplier ledger.
+        for r in &self.supplier.records {
+            let status = match r.status {
+                ShipStatus::Delivered => 0u64,
+                ShipStatus::SeizedAtSource => 1,
+                ShipStatus::SeizedAtDestination => 2,
+                ShipStatus::Returned => 3,
+                ShipStatus::InTransit => 4,
+            };
+            h = fold(
+                h,
+                r.order_no ^ (u64::from(r.date.day_index()) << 32) ^ status,
+            );
+            h = fold_str(h, &r.country);
+        }
+
+        // Outstanding rotation schedules.
+        for (d, stores) in &self.pending_rotations {
+            h = fold(h, u64::from(d.day_index()));
+            for s in stores {
+                h = fold(h, s.index() as u64);
+            }
+        }
+        for (d, stores) in &self.proactive_rotations {
+            h = fold(h, u64::from(d.day_index()));
+            for s in stores {
+                h = fold(h, s.index() as u64);
+            }
+        }
+        h
     }
 }
 

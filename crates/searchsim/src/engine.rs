@@ -61,6 +61,33 @@ pub struct Serp {
     pub results: Vec<SearchResult>,
 }
 
+/// One ranking mutation, planned against a frozen engine and committed in
+/// batch via [`SearchEngine::apply_batch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineOp {
+    /// Set a domain's SEO juice to an absolute level.
+    SetJuice {
+        /// Target domain.
+        domain: DomainId,
+        /// New juice level.
+        juice: f64,
+    },
+    /// Add a demotion penalty to a domain.
+    Demote {
+        /// Target domain.
+        domain: DomainId,
+        /// Penalty to add (score units).
+        penalty: f64,
+    },
+    /// Mark a domain "hacked" as of `day` (first writer wins).
+    LabelHacked {
+        /// Target domain.
+        domain: DomainId,
+        /// Label day.
+        day: SimDate,
+    },
+}
+
 /// The engine.
 ///
 /// Scoring model (per document, per day):
@@ -195,6 +222,21 @@ impl SearchEngine {
     /// Whether (and since when) a domain carries the hacked label.
     pub fn hacked_since(&self, domain: DomainId) -> Option<SimDate> {
         self.hacked_since.get(&domain).copied()
+    }
+
+    /// Applies an ordered batch of ranking mutations — the engine's half of
+    /// the tick plane's plan/commit protocol. Planners compute [`EngineOp`]s
+    /// against a frozen `&SearchEngine`; the world's reducer commits them
+    /// here in plan order, so this is the only mutation entry point a tick
+    /// needs (the granular setters remain for construction and tests).
+    pub fn apply_batch(&mut self, ops: impl IntoIterator<Item = EngineOp>) {
+        for op in ops {
+            match op {
+                EngineOp::SetJuice { domain, juice } => self.set_juice(domain, juice),
+                EngineOp::Demote { domain, penalty } => self.demote(domain, penalty),
+                EngineOp::LabelHacked { domain, day } => self.label_hacked(domain, day),
+            }
+        }
     }
 
     /// Deterministic per-(doc, day) jitter in `[-amp/2, amp/2]`. Uses the
@@ -401,6 +443,48 @@ mod tests {
             order_a, order_c,
             "jitter must churn the ordering day to day"
         );
+    }
+
+    #[test]
+    fn apply_batch_matches_granular_setters() {
+        let (mut batched, t, domains) = setup();
+        let (mut granular, _, _) = setup();
+        let target = domains[31];
+        batched.apply_batch([
+            EngineOp::SetJuice {
+                domain: target,
+                juice: 0.5,
+            },
+            EngineOp::Demote {
+                domain: target,
+                penalty: 0.2,
+            },
+            EngineOp::Demote {
+                domain: target,
+                penalty: 0.1,
+            },
+            EngineOp::LabelHacked {
+                domain: target,
+                day: day(40),
+            },
+            EngineOp::LabelHacked {
+                domain: target,
+                day: day(99),
+            },
+        ]);
+        granular.set_juice(target, 0.5);
+        granular.demote(target, 0.2);
+        granular.demote(target, 0.1);
+        granular.label_hacked(target, day(40));
+        granular.label_hacked(target, day(99));
+        assert_eq!(batched.juice(target), granular.juice(target));
+        assert_eq!(batched.penalty(target), granular.penalty(target));
+        // First writer wins on the label, exactly like the setter.
+        assert_eq!(batched.hacked_since(target), Some(day(40)));
+        assert_eq!(batched.hacked_since(target), granular.hacked_since(target));
+        let a = batched.serp(t, day(50), 33);
+        let b = granular.serp(t, day(50), 33);
+        assert_eq!(a.results, b.results);
     }
 
     #[test]

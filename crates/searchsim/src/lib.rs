@@ -27,4 +27,4 @@
 pub mod engine;
 pub mod suggest;
 
-pub use engine::{DocId, SearchEngine, SearchResult, Serp};
+pub use engine::{DocId, EngineOp, SearchEngine, SearchResult, Serp};

@@ -132,6 +132,58 @@ fn study_output_is_identical_across_crawl_thread_counts() {
 }
 
 #[test]
+fn study_output_is_identical_across_tick_thread_counts() {
+    // Same rule for the simulation plane: tick-stage planners draw from
+    // keyed RNG streams and replay in index order, so the whole world —
+    // event log, store counters, traffic, eco.* metrics — must be
+    // bit-identical whether stages plan serially or on 2 or 8 workers.
+    let run = |threads: usize| {
+        let mut cfg = StudyConfig::fast_test(101);
+        cfg.tick_threads = threads;
+        Study::new(cfg).run().expect("study runs")
+    };
+    let base = run(1);
+    let base_fp = base.world.state_fingerprint();
+    for threads in [2usize, 8] {
+        let out = run(threads);
+        assert_eq!(
+            out.world.events.all(),
+            base.world.events.all(),
+            "ground-truth event log diverged at {threads} tick threads"
+        );
+        assert_eq!(
+            out.world.state_fingerprint(),
+            base_fp,
+            "world state diverged at {threads} tick threads"
+        );
+        assert_eq!(
+            out.crawler.db.psrs, base.crawler.db.psrs,
+            "PSR log diverged at {threads} tick threads"
+        );
+        assert_eq!(
+            out.metrics.metrics_json(),
+            base.metrics.metrics_json(),
+            "metric registry diverged at {threads} tick threads"
+        );
+        assert_eq!(
+            out.manifest.headline.psrs, base.manifest.headline.psrs,
+            "manifest headline diverged at {threads} tick threads"
+        );
+    }
+}
+
+#[test]
+fn set_threads_drives_both_planes() {
+    let mut cfg = StudyConfig::fast_test(7);
+    cfg.set_threads(4);
+    assert_eq!(cfg.crawler.threads, 4);
+    assert_eq!(cfg.tick_threads, 4);
+    cfg.set_threads(0); // clamped: 0 means "serial", never a dead pool
+    assert_eq!(cfg.crawler.threads, 1);
+    assert_eq!(cfg.tick_threads, 1);
+}
+
+#[test]
 fn telemetry_spans_every_stage_with_a_broad_metric_surface() {
     let study = Study::new(StudyConfig::fast_test(101));
     let stage_names = study.stage_names();
