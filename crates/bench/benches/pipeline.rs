@@ -4,9 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
+use search_seizure::analysis::scan::StudyScan;
+use search_seizure::{Study, StudyConfig};
 use ss_crawl::crawler::{Crawler, CrawlerConfig};
 use ss_crawl::{dagger, terms, vangogh};
 use ss_eco::{ScenarioConfig, World};
+use ss_obs::Registry;
 use ss_orders::purchasepair::{OrderSampler, SamplerConfig};
 use ss_types::{SimDate, Url};
 
@@ -155,11 +158,62 @@ fn bench_purchase_pair(c: &mut Criterion) {
     });
 }
 
+/// The analysis data plane over a `Scale::small` crawl corpus: one fused
+/// pass (serial and sharded) vs. the legacy shape of one pass per
+/// analysis module. Same aggregators, same outputs — the delta is pure
+/// scan-count and scheduling.
+fn bench_analysis_scan(c: &mut Criterion) {
+    let mut cfg = StudyConfig::new(ScenarioConfig::small(13));
+    cfg.monitored_terms = 8;
+    cfg.crawler.serp_depth = 30;
+    cfg.crawl_end = cfg.crawl_start + 12;
+    cfg.attribution.train.epochs = 120;
+    cfg.attribution.refine_rounds = 1;
+    cfg.manifest_path = None;
+    let out = Study::new(cfg).run().expect("study runs");
+    let obs = Registry::new();
+    c.bench_function("analysis/one_pass_small", |b| {
+        b.iter(|| {
+            StudyScan::compute(
+                &out.crawler.db,
+                &out.attribution,
+                out.monitored.len(),
+                out.window,
+                1,
+                &obs,
+            )
+        })
+    });
+    c.bench_function("analysis/one_pass_small_4threads", |b| {
+        b.iter(|| {
+            StudyScan::compute(
+                &out.crawler.db,
+                &out.attribution,
+                out.monitored.len(),
+                out.window,
+                4,
+                &obs,
+            )
+        })
+    });
+    c.bench_function("analysis/per_module_small", |b| {
+        b.iter(|| {
+            StudyScan::compute_per_module(
+                &out.crawler.db,
+                &out.attribution,
+                out.monitored.len(),
+                out.window,
+                &obs,
+            )
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     // World builds and crawl days are hundreds of ms each; a small sample
     // budget keeps `cargo bench` wall time reasonable.
     config = Criterion::default().sample_size(10);
-    targets = bench_detectors, bench_crawl_day, bench_crawl_day_scaling, bench_world_tick, bench_tick_scaling, bench_purchase_pair
+    targets = bench_detectors, bench_crawl_day, bench_crawl_day_scaling, bench_world_tick, bench_tick_scaling, bench_purchase_pair, bench_analysis_scan
 }
 criterion_main!(benches);

@@ -157,6 +157,13 @@ fn main() {
         for (id, _) in EXPERIMENTS.iter().filter(|(id, _)| *id != "fig1") {
             all.push(run_experiment(id, &mut out));
         }
+        // The one-pass invariant: the full experiment suite rode the
+        // shared aggregation scan — no analysis re-read the PSR corpus.
+        let passes = out.metrics.counter_total("analysis.passes");
+        assert_eq!(
+            passes, 1,
+            "repro all must perform exactly one PSR pass, measured {passes}"
+        );
         all
     } else {
         vec![run_experiment(&args.experiment, &mut out)]

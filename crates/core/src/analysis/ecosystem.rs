@@ -1,6 +1,6 @@
 //! Ecosystem characterization: Table 1 and Table 2 (§5.1).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use ss_stats::{peak_range, render, DailySeries};
 use ss_types::SimDate;
@@ -37,7 +37,7 @@ pub struct Table1 {
     pub attributed_store_fraction: f64,
 }
 
-/// Computes Table 1 from the crawl database plus attribution.
+/// Computes Table 1 from the shared one-pass scan plus attribution.
 pub fn table1(out: &StudyOutput) -> Table1 {
     let db = &out.crawler.db;
     let mut rows = Vec::new();
@@ -45,37 +45,21 @@ pub fn table1(out: &StudyOutput) -> Table1 {
     let mut all_stores: HashSet<u32> = HashSet::new();
     let mut all_campaigns: HashSet<usize> = HashSet::new();
     let mut total_psrs = 0u64;
-    let mut attributed_psrs = 0u64;
+    let attributed_psrs: u64 = out.scan.classes.iter().map(|c| c.psrs).sum();
 
     for (vi, mv) in out.monitored.iter().enumerate() {
-        let mut doorways: HashSet<u32> = HashSet::new();
-        let mut stores: HashSet<u32> = HashSet::new();
-        let mut campaigns: HashSet<usize> = HashSet::new();
-        let mut psrs = 0u64;
-        for psr in db.psrs_of_vertical(vi as u16) {
-            psrs += 1;
-            doorways.insert(psr.domain);
-            if let Some(l) = psr.landing {
-                if db.store_info.get(&l).map(|s| s.is_store).unwrap_or(false) {
-                    stores.insert(l);
-                }
-            }
-            if let Some(c) = out.attribution.psr_class(psr) {
-                campaigns.insert(c);
-                attributed_psrs += 1;
-            }
-        }
-        total_psrs += psrs;
-        all_doorways.extend(&doorways);
-        all_stores.extend(&stores);
-        all_campaigns.extend(&campaigns);
+        let v = &out.scan.verticals[vi];
+        total_psrs += v.psrs;
+        all_doorways.extend(&v.doorways);
+        all_stores.extend(&v.stores);
+        all_campaigns.extend(&v.campaigns);
         let spec = out.world.verticals[vi].spec;
         rows.push(VerticalRow {
             name: mv.name.clone(),
-            psrs,
-            doorways: doorways.len() as u64,
-            stores: stores.len() as u64,
-            campaigns: campaigns.len() as u64,
+            psrs: v.psrs,
+            doorways: v.doorways.len() as u64,
+            stores: v.stores.len() as u64,
+            campaigns: v.campaigns.len() as u64,
             paper: (
                 spec.table1.psrs,
                 spec.table1.doorways,
@@ -173,18 +157,13 @@ pub struct Table2 {
     pub mean_peak_days: f64,
 }
 
-/// Computes Table 2 from attribution.
+/// Computes Table 2 from the shared scan plus attribution.
 pub fn table2(out: &StudyOutput) -> Table2 {
     let db = &out.crawler.db;
     let brand_names = ss_types::market::all_brands();
     let n_classes = out.attribution.class_names.len();
 
-    let mut doorways: Vec<HashSet<u32>> = vec![HashSet::new(); n_classes];
-    for psr in &db.psrs {
-        if let Some(c) = out.attribution.psr_class(psr) {
-            doorways[c].insert(psr.domain);
-        }
-    }
+    let doorways: Vec<&HashSet<u32>> = out.scan.classes.iter().map(|c| &c.doorways).collect();
     let mut stores: Vec<HashSet<u32>> = vec![HashSet::new(); n_classes];
     let mut brands: Vec<HashSet<&str>> = vec![HashSet::new(); n_classes];
     for (id, class) in &out.attribution.store_class {
@@ -276,32 +255,44 @@ impl Table2 {
 
 /// Distribution skew check (§5.1): the largest campaigns should account
 /// for the majority of attributed PSRs. Returns the attributed-PSR share
-/// of the top-k campaigns.
+/// of the top-k campaigns, straight off the scan's per-class counts.
 pub fn top_k_psr_share(out: &StudyOutput, k: usize) -> f64 {
-    let mut per_class: HashMap<usize, u64> = HashMap::new();
-    let mut total = 0u64;
-    for psr in &out.crawler.db.psrs {
-        if let Some(c) = out.attribution.psr_class(psr) {
-            *per_class.entry(c).or_insert(0) += 1;
-            total += 1;
-        }
-    }
+    let total: u64 = out.scan.classes.iter().map(|c| c.psrs).sum();
     if total == 0 {
         return 0.0;
     }
-    let mut counts: Vec<u64> = per_class.into_values().collect();
+    let mut counts: Vec<u64> = out
+        .scan
+        .classes
+        .iter()
+        .map(|c| c.psrs)
+        .filter(|&n| n > 0)
+        .collect();
     counts.sort_unstable_by(|a, b| b.cmp(a));
     counts.iter().take(k).sum::<u64>() as f64 / total as f64
 }
 
-/// Average observed daily churn across the crawl (paper: 1.84%).
+/// Average observed daily churn across the crawl (paper: 1.84%), from the
+/// scan's per-day doorway sets plus first-sighting days.
 pub fn mean_daily_churn(out: &StudyOutput) -> f64 {
     let (start, end) = out.window;
+    let db = &out.crawler.db;
     let mut sum = 0.0;
     let mut n = 0usize;
     // Skip the first day (everything is new on day one).
     for day in SimDate::range_inclusive(start + 1, end) {
-        sum += out.crawler.last_day_churn(day);
+        if let Some(seen) = out.scan.day_domains.get(&day).filter(|s| !s.is_empty()) {
+            let new = seen
+                .iter()
+                .filter(|d| {
+                    db.doorway_info
+                        .get(d)
+                        .map(|i| i.first_seen == day)
+                        .unwrap_or(false)
+                })
+                .count();
+            sum += new as f64 / seen.len() as f64;
+        }
         n += 1;
     }
     if n == 0 {

@@ -1,7 +1,7 @@
 //! Figure regeneration: the data behind Figures 2–6 as CSV series plus
 //! terminal sparkline views.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use ss_stats::{render, DailySeries};
 use ss_types::SimDate;
@@ -24,7 +24,8 @@ pub struct Fig2Vertical {
 }
 
 /// Builds Figure 2 for a vertical (by monitored index), keeping the top
-/// `max_campaigns` campaigns as named series.
+/// `max_campaigns` campaigns as named series. All per-PSR work comes from
+/// the shared one-pass scan; only the daily-count denominator is local.
 pub fn fig2(out: &StudyOutput, vertical: usize, max_campaigns: usize) -> Fig2Vertical {
     let (start, end) = out.window;
     let db = &out.crawler.db;
@@ -37,31 +38,7 @@ pub fn fig2(out: &StudyOutput, vertical: usize, max_campaigns: usize) -> Fig2Ver
         }
     }
 
-    // Seizure-observation days per store domain (for the penalized share).
-    let seizure_day: HashMap<u32, SimDate> = db
-        .store_info
-        .iter()
-        .filter_map(|(id, s)| s.seizure.as_ref().map(|(d, _)| (*id, *d)))
-        .collect();
-
-    let mut poisoned = DailySeries::new(start, end);
-    let mut penalized = DailySeries::new(start, end);
-    let mut per_class: HashMap<Option<usize>, DailySeries> = HashMap::new();
-    for psr in db.psrs_of_vertical(vertical as u16) {
-        poisoned.add(psr.day, 1.0);
-        let seized = psr
-            .landing
-            .and_then(|l| seizure_day.get(&l))
-            .map(|d| *d <= psr.day)
-            .unwrap_or(false);
-        if psr.labeled || seized {
-            penalized.add(psr.day, 1.0);
-        }
-        per_class
-            .entry(out.attribution.psr_class(psr))
-            .or_insert_with(|| DailySeries::new(start, end))
-            .add(psr.day, 1.0);
-    }
+    let v = &out.scan.verticals[vertical];
 
     let pct = |num: &DailySeries| -> DailySeries {
         let mut out_s = DailySeries::new(start, end);
@@ -75,9 +52,13 @@ pub fn fig2(out: &StudyOutput, vertical: usize, max_campaigns: usize) -> Fig2Ver
     };
 
     // Rank campaigns by mass; top N named, remainder folded into "misc".
-    let mut named: Vec<(usize, f64)> = per_class
+    // Classes are visited in index order so equal-mass ties break
+    // deterministically by class index.
+    let mut keys: Vec<Option<usize>> = v.per_class.keys().copied().collect();
+    keys.sort_unstable();
+    let mut named: Vec<(usize, f64)> = keys
         .iter()
-        .filter_map(|(k, s)| k.map(|c| (c, s.sum())))
+        .filter_map(|k| k.map(|c| (c, v.per_class[k].sum())))
         .collect();
     named.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     let keep: Vec<usize> = named.iter().take(max_campaigns).map(|(c, _)| *c).collect();
@@ -85,19 +66,20 @@ pub fn fig2(out: &StudyOutput, vertical: usize, max_campaigns: usize) -> Fig2Ver
     let mut campaign_pct: Vec<(String, DailySeries)> = Vec::new();
     let mut misc = DailySeries::new(start, end);
     let mut unknown = DailySeries::new(start, end);
-    for (class, series) in per_class {
+    for class in keys {
+        let series = &v.per_class[&class];
         match class {
             Some(c) if keep.contains(&c) => {
-                campaign_pct.push((out.attribution.class_names[c].clone(), pct(&series)));
+                campaign_pct.push((out.attribution.class_names[c].clone(), pct(series)));
             }
             Some(_) => {
-                for (d, v) in series.observed() {
-                    misc.add(d, v);
+                for (d, val) in series.observed() {
+                    misc.add(d, val);
                 }
             }
             None => {
-                for (d, v) in series.observed() {
-                    unknown.add(d, v);
+                for (d, val) in series.observed() {
+                    unknown.add(d, val);
                 }
             }
         }
@@ -112,9 +94,9 @@ pub fn fig2(out: &StudyOutput, vertical: usize, max_campaigns: usize) -> Fig2Ver
 
     Fig2Vertical {
         name: out.monitored[vertical].name.clone(),
-        poisoned_pct: pct(&poisoned),
+        poisoned_pct: pct(&v.poisoned),
         campaign_pct,
-        penalized_pct: pct(&penalized),
+        penalized_pct: pct(&v.penalized),
     }
 }
 
@@ -260,17 +242,13 @@ pub fn fig4(out: &StudyOutput, campaign: &str) -> Option<Fig4Campaign> {
     let (start, end) = out.window;
     let top100 = super::campaign_psr_series(out, class, false);
     let top10 = super::campaign_psr_series(out, class, true);
-
-    let mut labeled = DailySeries::new(start, end);
-    for psr in &out.crawler.db.psrs {
-        if psr.labeled && out.attribution.psr_class(psr) == Some(class) {
-            labeled.add(psr.day, 1.0);
-        }
-    }
+    let labeled = out.scan.classes[class].labeled.clone();
 
     // Representative store: the monitored store of this campaign with the
     // most samples (mirrors "stores … visible in PSRs [with] high order
-    // activity", §5.2.1).
+    // activity", §5.2.1). Stores enrolled the same day tie on sample
+    // count and `sampler.stores` iterates in hash order, so break ties by
+    // domain name (first alphabetically).
     let store_domain = out
         .sampler
         .stores
@@ -285,7 +263,7 @@ pub fn fig4(out: &StudyOutput, campaign: &str) -> Option<Fig4Campaign> {
                 .flatten()
                 == Some(class)
         })
-        .max_by_key(|s| s.samples.len())
+        .max_by_key(|s| (s.samples.len(), std::cmp::Reverse(s.domain.as_str())))
         .map(|s| s.domain.clone());
 
     let volume = store_domain
@@ -359,7 +337,10 @@ pub fn fig5(out: &StudyOutput, pattern: &str) -> Option<Fig5> {
     if ids.is_empty() {
         return None;
     }
-    ids.sort_by_key(|(_, d)| *d);
+    // `store_info` iterates in hash order; same-day first sightings must
+    // still order deterministically, so tie-break on the interned id
+    // (assigned in commit order).
+    ids.sort_unstable_by_key(|(id, d)| (*d, *id));
     let id_list: Vec<u32> = ids.iter().map(|(i, _)| *i).collect();
     let domains: Vec<String> = id_list
         .iter()
@@ -454,5 +435,6 @@ pub fn fig6(out: &StudyOutput, campaign: &str, patterns: &[&str]) -> Option<Fig6
         }
     }
     stores.sort_by(|a, b| a.0.cmp(&b.0));
+    seizures.sort();
     (!stores.is_empty()).then_some(Fig6 { stores, seizures })
 }

@@ -34,42 +34,16 @@ pub struct LabelAnalysis {
     pub prelabeled_doorways: u64,
 }
 
-/// Computes the label analysis.
+/// Computes the label analysis. PSR totals, label coverage, and the
+/// root-only policy's missed count all come from the shared one-pass scan
+/// (`label_seen` on the doorway table pairs 1:1 with labeled PSR rows, so
+/// the scan's first-labeled-day lookup matches the old per-PSR recompute);
+/// only the per-doorway delay estimation below walks the doorway table.
 pub fn labels(out: &StudyOutput) -> LabelAnalysis {
     let db = &out.crawler.db;
-    let total_psrs = db.psrs.len() as u64;
-    let labeled_psrs = db.psrs.iter().filter(|p| p.labeled).count() as u64;
-
-    // Domains with at least one labeled observation.
-    let labeled_domains: HashSet<u32> = db
-        .psrs
-        .iter()
-        .filter(|p| p.labeled)
-        .map(|p| p.domain)
-        .collect();
-    // Unlabeled PSRs on those domains after the label first appeared: the
-    // root-only policy's coverage gap.
-    let first_label_day: HashMap<u32, SimDate> = labeled_domains
-        .iter()
-        .filter_map(|d| {
-            db.doorway_info
-                .get(d)
-                .and_then(|i| i.label_seen)
-                .map(|(f, _)| (*d, f))
-        })
-        .collect();
-    let missed = db
-        .psrs
-        .iter()
-        .filter(|p| {
-            !p.labeled
-                && first_label_day
-                    .get(&p.domain)
-                    .map(|f| p.day >= *f)
-                    .unwrap_or(false)
-        })
-        .count() as u64;
-    let could_have_labeled = labeled_psrs + missed;
+    let total_psrs = out.scan.rows;
+    let labeled_psrs = out.scan.labeled_psrs;
+    let could_have_labeled = labeled_psrs + out.scan.label_missed;
 
     // Delay estimation (censored): last unlabeled sighting → first labeled
     // sighting, relative to the doorway's first appearance. Doorways that
@@ -171,6 +145,12 @@ pub fn seizures(out: &StudyOutput) -> SeizureAnalysis {
                 }
             }
         }
+    }
+    // `doorway_info` iterates in hash order; the reaction metric reads the
+    // *earliest* re-point, so order each successor list chronologically
+    // (ties by successor id, which is assigned deterministically).
+    for succ in successors.values_mut() {
+        succ.sort_unstable();
     }
 
     // Group seized stores by firm.

@@ -164,7 +164,7 @@ pub fn purchases(out: &StudyOutput) -> PurchaseProgramme {
     };
 
     let mut campaigns: HashSet<usize> = HashSet::new();
-    let mut verticals: HashSet<u16> = HashSet::new();
+    let mut sampled_ids: HashSet<u32> = HashSet::new();
     for (domain, mon) in &out.sampler.stores {
         if mon.samples.is_empty() {
             continue;
@@ -172,15 +172,19 @@ pub fn purchases(out: &StudyOutput) -> PurchaseProgramme {
         if let Some(c) = class_of(domain) {
             campaigns.insert(c);
         }
-        // Verticals whose PSRs landed on this store.
         if let Some(id) = out.crawler.db.domains.get(domain) {
-            for psr in &out.crawler.db.psrs {
-                if psr.landing == Some(id) {
-                    verticals.insert(psr.vertical);
-                }
-            }
+            sampled_ids.insert(id);
         }
     }
+    // Verticals whose PSRs landed on a sampled store, off the scan's
+    // (landing, vertical) pair set instead of a per-store corpus pass.
+    let verticals: HashSet<u16> = out
+        .scan
+        .landing_verticals
+        .iter()
+        .filter(|(l, _)| sampled_ids.contains(l))
+        .map(|(_, v)| *v)
+        .collect();
 
     let mut purchase_campaigns: HashSet<usize> = HashSet::new();
     for tx in &out.transactions {

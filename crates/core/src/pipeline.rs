@@ -35,6 +35,7 @@ use ss_orders::purchasepair::{OrderSampler, SamplerConfig};
 use ss_orders::supplier_scrape::{self, SupplierDataset};
 use ss_orders::transactions::{self, Transaction};
 
+use crate::analysis::scan::StudyScan;
 use crate::attribution::{self, Attribution, AttributionConfig};
 use crate::manifest::{self, DayRecord, RunManifest};
 
@@ -69,6 +70,10 @@ pub struct StudyConfig {
     /// runs serially). Usually set together with `crawler.threads` via
     /// [`StudyConfig::set_threads`]; any value is bit-identical.
     pub tick_threads: usize,
+    /// Worker threads for the post-crawl analysis scan (`<= 1` runs
+    /// serially). Usually set via [`StudyConfig::set_threads`]; the scan
+    /// is bit-identical at any value.
+    pub analysis_threads: usize,
 }
 
 impl StudyConfig {
@@ -90,16 +95,19 @@ impl StudyConfig {
             awstats_interval: 14,
             manifest_path: Some("reports/run_manifest.json".to_owned()),
             tick_threads: 1,
+            analysis_threads: 1,
             scenario,
         }
     }
 
-    /// Points both planes' worker pools at `n` threads: the crawler's
-    /// per-vertical fan-out and the tick planners' shard fan-out. Output
-    /// is bit-identical for every `n`.
+    /// Points every worker pool at `n` threads: the crawler's
+    /// per-vertical fan-out, the tick planners' shard fan-out, and the
+    /// analysis scan's day-range shards. Output is bit-identical for
+    /// every `n`.
     pub fn set_threads(&mut self, n: usize) {
         self.crawler.threads = n.max(1);
         self.tick_threads = n.max(1);
+        self.analysis_threads = n.max(1);
     }
 
     /// A fast configuration for tests: tiny world, short crawl, light
@@ -133,6 +141,9 @@ pub struct StudyOutput {
     pub supplier: Option<SupplierDataset>,
     /// Campaign attribution artifacts.
     pub attribution: Attribution,
+    /// The shared one-pass aggregation over the PSR corpus; every
+    /// analysis module reads this instead of re-scanning the rows.
+    pub scan: StudyScan,
     /// Monitored term sets per vertical.
     pub monitored: Vec<MonitoredVertical>,
     /// Crawl window actually executed.
@@ -153,8 +164,10 @@ pub struct DailyState {
     pub transactions: Vec<Transaction>,
     /// Collected AWStats reports per store domain.
     pub awstats: HashMap<String, Vec<ParsedReport>>,
-    /// Stores already purchased from (at most one real order per store).
-    pub purchased: HashSet<String>,
+    /// Stores already purchased from (at most one real order per store),
+    /// by interned domain id — resolved to strings only at the purchase
+    /// boundary.
+    pub purchased: HashSet<u32>,
 }
 
 /// Read-only context shared by every stage invocation.
@@ -210,14 +223,15 @@ impl DailyStage for EnrollStoresStage {
         if state.sampler.stores.len() >= cap {
             return;
         }
-        for domain in state.crawler.db.detected_store_domains() {
+        for id in state.crawler.db.detected_store_ids() {
             if state.sampler.stores.len() >= cap {
                 break;
             }
-            if !state.sampler.stores.contains_key(&domain) {
+            let domain = state.crawler.db.domains.resolve(id);
+            if !state.sampler.stores.contains_key(domain) {
                 ss_obs::count!(ctx.obs, "pipeline.stores_enrolled");
             }
-            state.sampler.monitor(&domain, &domain);
+            state.sampler.monitor(domain, domain);
         }
     }
 }
@@ -248,19 +262,20 @@ impl DailyStage for PurchaseStage {
         {
             return;
         }
-        let candidates: Vec<String> = state
+        let candidates: Vec<u32> = state
             .crawler
             .db
-            .detected_store_domains()
+            .detected_store_ids()
             .into_iter()
-            .filter(|d| !state.purchased.contains(d))
+            .filter(|id| !state.purchased.contains(id))
             .take(2)
             .collect();
-        for domain in candidates {
+        for id in candidates {
             ss_obs::count!(ctx.obs, "pipeline.purchase_attempts");
-            if let Some(tx) = transactions::purchase(world, &domain, day) {
+            let domain = state.crawler.db.domains.resolve(id);
+            if let Some(tx) = transactions::purchase(world, domain, day) {
                 ss_obs::count!(ctx.obs, "pipeline.purchases");
-                state.purchased.insert(domain);
+                state.purchased.insert(id);
                 state.transactions.push(tx);
             }
         }
@@ -280,11 +295,12 @@ impl DailyStage for AwstatsSweepStage {
             return;
         }
         ss_obs::count!(ctx.obs, "pipeline.awstats_sweeps");
-        for site in state.crawler.db.detected_store_domains() {
+        for id in state.crawler.db.detected_store_ids() {
             ss_obs::count!(ctx.obs, "pipeline.awstats_probes");
-            if let Some(report) = analytics::fetch_report(&*world, &site, None) {
+            let site = state.crawler.db.domains.resolve(id);
+            if let Some(report) = analytics::fetch_report(&*world, site, None) {
                 ss_obs::count!(ctx.obs, "pipeline.awstats_reports");
-                let entry = state.awstats.entry(site).or_default();
+                let entry = state.awstats.entry(site.to_owned()).or_default();
                 // Keep at most one report per period (latest wins).
                 entry.retain(|r| r.period != report.period);
                 entry.push(report);
@@ -408,13 +424,18 @@ impl Study {
         // purchase set missed every partnered store, buy once more from
         // one (still a legitimate purchase path).
         if supplier.is_none() {
-            let partnered: Option<String> =
-                crawler.db.detected_store_domains().into_iter().find(|d| {
+            let partnered: Option<String> = crawler
+                .db
+                .detected_store_ids()
+                .into_iter()
+                .map(|id| crawler.db.domains.resolve(id))
+                .find(|d| {
                     DomainName::parse(d)
                         .ok()
                         .and_then(|h| world.packing_slip(&h))
                         .is_some()
-                });
+                })
+                .map(str::to_owned);
             if let Some(domain) = partnered {
                 if let Some(tx) = transactions::purchase(&mut world, &domain, end) {
                     transactions.push(tx);
@@ -433,6 +454,19 @@ impl Study {
         // Campaign identification (§4.2).
         let attribution = ss_obs::time!(obs, "study.attribution", {
             attribution::attribute(&world, &crawler.db, &cfg.attribution, cfg.scenario.seed)
+        });
+
+        // The one shared aggregation pass every analysis reads from
+        // (ticks the `analysis.passes` / `analysis.rows_scanned` counters).
+        let scan = ss_obs::time!(obs, "study.analysis_scan", {
+            StudyScan::compute(
+                &crawler.db,
+                &attribution,
+                monitored.len(),
+                (start + 1, end),
+                cfg.analysis_threads,
+                &obs,
+            )
         });
 
         // Fold the ecosystem's own counters in and assemble the manifest.
@@ -458,6 +492,7 @@ impl Study {
             awstats,
             supplier,
             attribution,
+            scan,
             monitored,
             window: (start + 1, end),
             metrics: obs,

@@ -427,13 +427,8 @@ impl Crawler {
     /// New-domain fraction among today's results (the paper reports 1.84%
     /// average daily churn) — measured over the most recent crawl day.
     pub fn last_day_churn(&self, day: SimDate) -> f64 {
-        let seen_today: HashSet<u32> = self
-            .db
-            .psrs
-            .iter()
-            .filter(|p| p.day == day)
-            .map(|p| p.domain)
-            .collect();
+        let cols = self.db.psrs.columns();
+        let seen_today: HashSet<u32> = self.db.psrs.day_rows(day).map(|i| cols.domain[i]).collect();
         if seen_today.is_empty() {
             return 0.0;
         }

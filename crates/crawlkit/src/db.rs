@@ -1,11 +1,27 @@
-//! The crawl database: compact, interned storage for a paper-scale crawl
-//! (millions of PSR observations).
+//! The crawl database: compact, interned, columnar storage for a
+//! paper-scale crawl (millions of PSR observations).
 //!
 //! Crawler-side identifiers are deliberately independent of the
 //! simulator's ids — the apparatus only ever sees strings on the wire,
 //! exactly like the original study.
+//!
+//! # Columnar layout
+//!
+//! PSR observations live in [`PsrStore`], a struct-of-arrays store: one
+//! typed column per field (day, vertical, term, rank, domain, root-ness,
+//! label, landing). Analyses that touch one or two fields per row scan
+//! only those columns, and a borrowed [`ColumnView`] hands the whole set
+//! to aggregation code without copying. Because the crawler replays event
+//! logs day by day and vertical by vertical, rows arrive sorted by
+//! `(day, vertical)`; the store records the start of each such run, which
+//! turns day-window and per-vertical queries into range lookups instead
+//! of full scans. Should an out-of-order append ever happen (hand-built
+//! stores in tests), the index is dropped and every query transparently
+//! falls back to a filtered scan — results never change, only speed.
 
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
 
 use ss_types::SimDate;
 
@@ -13,10 +29,14 @@ use crate::dagger::CloakSignal;
 use crate::stores::SeizureNotice;
 
 /// Interned string table with dense `u32` ids.
+///
+/// The lookup map and the id table share one `Arc<str>` per distinct
+/// string, so interning a new string costs exactly one allocation (plus a
+/// refcount bump) and a repeat sighting costs one hash lookup and none.
 #[derive(Debug, Default)]
 pub struct Interner {
-    by_str: HashMap<String, u32>,
-    strings: Vec<String>,
+    by_str: HashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
 }
 
 impl Interner {
@@ -26,8 +46,9 @@ impl Interner {
             return id;
         }
         let id = self.strings.len() as u32;
-        self.strings.push(s.to_owned());
-        self.by_str.insert(s.to_owned(), id);
+        let shared: Arc<str> = Arc::from(s);
+        self.strings.push(Arc::clone(&shared));
+        self.by_str.insert(shared, id);
         id
     }
 
@@ -72,6 +93,320 @@ pub struct PsrRecord {
     pub labeled: bool,
     /// Interned landing (store) domain at observation time, if resolved.
     pub landing: Option<u32>,
+}
+
+/// Landing-column sentinel for "no landing resolved". Interner ids are
+/// dense from zero, so the maximum is unreachable as a real id.
+const NO_LANDING: u32 = u32::MAX;
+
+/// Start of one maximal `(day, vertical)` run of rows.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    day: SimDate,
+    vertical: u16,
+    start: u32,
+}
+
+/// Columnar (struct-of-arrays) PSR storage with `(day, vertical)` range
+/// indices. Logically a `Vec<PsrRecord>` in append order — `push`, `len`,
+/// `get`, and `iter` behave exactly like the row-store it replaced, and
+/// equality compares only row content — but scans read per-field column
+/// slices via [`PsrStore::columns`].
+#[derive(Debug, Clone)]
+pub struct PsrStore {
+    day: Vec<SimDate>,
+    vertical: Vec<u16>,
+    term: Vec<u32>,
+    rank: Vec<u8>,
+    domain: Vec<u32>,
+    is_root: Vec<bool>,
+    labeled: Vec<bool>,
+    landing: Vec<u32>,
+    /// Run starts, valid while rows arrive `(day, vertical)`-sorted (the
+    /// crawler's replay order); dropped on the first out-of-order append,
+    /// after which queries fall back to filtered scans.
+    runs: Vec<Run>,
+    ordered: bool,
+}
+
+impl Default for PsrStore {
+    fn default() -> Self {
+        PsrStore {
+            day: Vec::new(),
+            vertical: Vec::new(),
+            term: Vec::new(),
+            rank: Vec::new(),
+            domain: Vec::new(),
+            is_root: Vec::new(),
+            labeled: Vec::new(),
+            landing: Vec::new(),
+            runs: Vec::new(),
+            ordered: true,
+        }
+    }
+}
+
+impl PartialEq for PsrStore {
+    /// Row-content equality; the index is derived state and two stores
+    /// holding the same rows are equal however they were built.
+    fn eq(&self, other: &Self) -> bool {
+        self.day == other.day
+            && self.vertical == other.vertical
+            && self.term == other.term
+            && self.rank == other.rank
+            && self.domain == other.domain
+            && self.is_root == other.is_root
+            && self.labeled == other.labeled
+            && self.landing == other.landing
+    }
+}
+
+impl Eq for PsrStore {}
+
+impl PsrStore {
+    /// Appends a record, maintaining the run index while appends stay
+    /// `(day, vertical)`-sorted.
+    pub fn push(&mut self, r: PsrRecord) {
+        debug_assert_ne!(
+            r.landing,
+            Some(NO_LANDING),
+            "landing id collides with sentinel"
+        );
+        let row = self.day.len() as u32;
+        if self.ordered {
+            match self.runs.last() {
+                Some(last) if (r.day, r.vertical) < (last.day, last.vertical) => {
+                    self.ordered = false;
+                    self.runs.clear();
+                }
+                Some(last) if (r.day, r.vertical) == (last.day, last.vertical) => {}
+                _ => self.runs.push(Run {
+                    day: r.day,
+                    vertical: r.vertical,
+                    start: row,
+                }),
+            }
+        }
+        self.day.push(r.day);
+        self.vertical.push(r.vertical);
+        self.term.push(r.term);
+        self.rank.push(r.rank);
+        self.domain.push(r.domain);
+        self.is_root.push(r.is_root);
+        self.labeled.push(r.labeled);
+        self.landing.push(r.landing.unwrap_or(NO_LANDING));
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.day.len()
+    }
+
+    /// Whether the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.day.is_empty()
+    }
+
+    /// The row at `row`, materialized.
+    pub fn get(&self, row: usize) -> PsrRecord {
+        self.columns().record(row)
+    }
+
+    /// Iterates rows in append order.
+    pub fn iter(&self) -> PsrIter<'_> {
+        PsrIter {
+            cols: self.columns(),
+            next: 0,
+        }
+    }
+
+    /// Borrowed views of every column.
+    pub fn columns(&self) -> ColumnView<'_> {
+        ColumnView {
+            day: &self.day,
+            vertical: &self.vertical,
+            term: &self.term,
+            rank: &self.rank,
+            domain: &self.domain,
+            is_root: &self.is_root,
+            labeled: &self.labeled,
+            landing: &self.landing,
+        }
+    }
+
+    /// End row (exclusive) of run `i`.
+    fn run_end(&self, i: usize) -> usize {
+        self.runs
+            .get(i + 1)
+            .map(|r| r.start as usize)
+            .unwrap_or(self.len())
+    }
+
+    /// Contiguous row range holding `day` (index path; empty when absent).
+    fn day_span(&self, day: SimDate) -> Range<usize> {
+        let lo_run = self.runs.partition_point(|r| r.day < day);
+        let hi_run = self.runs.partition_point(|r| r.day <= day);
+        let at = |run: usize| {
+            self.runs
+                .get(run)
+                .map(|r| r.start as usize)
+                .unwrap_or(self.len())
+        };
+        at(lo_run)..at(hi_run)
+    }
+
+    /// Row indices observed on `day` — a binary-searched range when the
+    /// store is ordered, a filtered scan otherwise.
+    pub fn day_rows(&self, day: SimDate) -> impl Iterator<Item = usize> + '_ {
+        let span = if self.ordered {
+            self.day_span(day)
+        } else {
+            0..self.len()
+        };
+        let days = &self.day;
+        span.filter(move |&i| days[i] == day)
+    }
+
+    /// Row indices of `vertical` — the per-day run ranges when the store
+    /// is ordered, a filtered scan otherwise.
+    pub fn vertical_rows(&self, vertical: u16) -> impl Iterator<Item = usize> + '_ {
+        let spans: Vec<Range<usize>> = if self.ordered {
+            (0..self.runs.len())
+                .filter(|&i| self.runs[i].vertical == vertical)
+                .map(|i| self.runs[i].start as usize..self.run_end(i))
+                .collect()
+        } else {
+            std::iter::once(0..self.len()).collect()
+        };
+        let verts = &self.vertical;
+        spans
+            .into_iter()
+            .flatten()
+            .filter(move |&i| verts[i] == vertical)
+    }
+
+    /// Splits the rows into at most `max_shards` contiguous chunks that
+    /// never split a day, for parallel scans whose per-day accumulators
+    /// must each be filled by exactly one worker. Deterministic for a
+    /// given `(rows, max_shards)`; a single full-range chunk when the
+    /// store is unordered or `max_shards <= 1`.
+    pub fn day_shards(&self, max_shards: usize) -> Vec<Range<usize>> {
+        let len = self.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        if max_shards <= 1 || !self.ordered {
+            return std::iter::once(0..len).collect();
+        }
+        let mut day_starts: Vec<usize> = Vec::new();
+        let mut prev_day = None;
+        for r in &self.runs {
+            if prev_day != Some(r.day) {
+                day_starts.push(r.start as usize);
+                prev_day = Some(r.day);
+            }
+        }
+        day_starts.push(len);
+        let target = len.div_ceil(max_shards);
+        let mut shards = Vec::new();
+        let mut begin = 0usize;
+        for w in day_starts.windows(2) {
+            if w[1] - begin >= target && shards.len() + 1 < max_shards {
+                shards.push(begin..w[1]);
+                begin = w[1];
+            }
+        }
+        if begin < len {
+            shards.push(begin..len);
+        }
+        shards
+    }
+}
+
+impl<'a> IntoIterator for &'a PsrStore {
+    type Item = PsrRecord;
+    type IntoIter = PsrIter<'a>;
+    fn into_iter(self) -> PsrIter<'a> {
+        self.iter()
+    }
+}
+
+/// Row iterator over a [`PsrStore`], yielding materialized records.
+#[derive(Debug, Clone)]
+pub struct PsrIter<'a> {
+    cols: ColumnView<'a>,
+    next: usize,
+}
+
+impl Iterator for PsrIter<'_> {
+    type Item = PsrRecord;
+    fn next(&mut self) -> Option<PsrRecord> {
+        if self.next >= self.cols.len() {
+            return None;
+        }
+        let r = self.cols.record(self.next);
+        self.next += 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.cols.len() - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PsrIter<'_> {}
+
+/// Borrowed column slices of a [`PsrStore`] — what aggregation code scans.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnView<'a> {
+    /// Observation day per row.
+    pub day: &'a [SimDate],
+    /// Vertical index per row.
+    pub vertical: &'a [u16],
+    /// Interned term id per row.
+    pub term: &'a [u32],
+    /// SERP rank per row.
+    pub rank: &'a [u8],
+    /// Interned doorway domain id per row.
+    pub domain: &'a [u32],
+    /// Root-URL flag per row.
+    pub is_root: &'a [bool],
+    /// Hacked-label flag per row.
+    pub labeled: &'a [bool],
+    landing: &'a [u32],
+}
+
+impl ColumnView<'_> {
+    /// Number of rows in view.
+    pub fn len(&self) -> usize {
+        self.day.len()
+    }
+
+    /// Whether the view covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.day.is_empty()
+    }
+
+    /// Landing (store) domain id of a row, if one was resolved.
+    pub fn landing(&self, row: usize) -> Option<u32> {
+        let l = self.landing[row];
+        (l != NO_LANDING).then_some(l)
+    }
+
+    /// Materializes one row.
+    pub fn record(&self, row: usize) -> PsrRecord {
+        PsrRecord {
+            day: self.day[row],
+            vertical: self.vertical[row],
+            term: self.term[row],
+            rank: self.rank[row],
+            domain: self.domain[row],
+            is_root: self.is_root[row],
+            labeled: self.labeled[row],
+            landing: self.landing(row),
+        }
+    }
 }
 
 /// Per-doorway-domain knowledge accumulated by the crawler.
@@ -124,8 +459,8 @@ pub struct CrawlDb {
     pub domains: Interner,
     /// Interned term texts.
     pub terms: Interner,
-    /// All PSR observations, in crawl order.
-    pub psrs: Vec<PsrRecord>,
+    /// All PSR observations, columnar, in crawl order.
+    pub psrs: PsrStore,
     /// Doorway knowledge, keyed by interned domain id.
     pub doorway_info: HashMap<u32, DomainInfo>,
     /// Store knowledge, keyed by interned domain id.
@@ -168,22 +503,32 @@ impl CrawlDb {
         self.store_info.iter().filter(|(_, s)| s.is_store)
     }
 
-    /// Detected store domain names, sorted. `store_info` is a `HashMap`
-    /// with unstable iteration order; every consumer that enrolls, caps,
-    /// or sweeps the store set needs the same deterministic order, so the
-    /// sort lives here once.
-    pub fn detected_store_domains(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .detected_stores()
-            .map(|(id, _)| self.domains.resolve(*id).to_owned())
-            .collect();
-        names.sort();
-        names
+    /// Interned ids of detected stores, sorted by domain name. `store_info`
+    /// is a `HashMap` with unstable iteration order; every consumer that
+    /// enrolls, caps, or sweeps the store set needs the same deterministic
+    /// order, so the sort lives here once. Names are unique per id, so
+    /// sorting ids by resolved name equals sorting the names themselves.
+    pub fn detected_store_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.detected_stores().map(|(id, _)| *id).collect();
+        ids.sort_unstable_by(|a, b| self.domains.resolve(*a).cmp(self.domains.resolve(*b)));
+        ids
     }
 
-    /// All PSRs for a vertical.
-    pub fn psrs_of_vertical(&self, vertical: u16) -> impl Iterator<Item = &PsrRecord> {
-        self.psrs.iter().filter(move |p| p.vertical == vertical)
+    /// Detected store domain names, sorted — the owned-string view of
+    /// [`CrawlDb::detected_store_ids`] for report boundaries.
+    pub fn detected_store_domains(&self) -> Vec<String> {
+        self.detected_store_ids()
+            .into_iter()
+            .map(|id| self.domains.resolve(id).to_owned())
+            .collect()
+    }
+
+    /// All PSRs for a vertical, through the store's range index.
+    pub fn psrs_of_vertical(&self, vertical: u16) -> impl Iterator<Item = PsrRecord> + '_ {
+        let cols = self.psrs.columns();
+        self.psrs
+            .vertical_rows(vertical)
+            .map(move |i| cols.record(i))
     }
 }
 
@@ -203,6 +548,115 @@ mod tests {
         assert_eq!(i.get("store.com"), Some(b));
         assert_eq!(i.get("missing.com"), None);
         assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn interner_len_and_resolve_roundtrip_many() {
+        let mut i = Interner::default();
+        let names: Vec<String> = (0..100).map(|k| format!("host{k}.com")).collect();
+        let ids: Vec<u32> = names.iter().map(|n| i.intern(n)).collect();
+        assert_eq!(i.len(), names.len());
+        for (n, id) in names.iter().zip(&ids) {
+            assert_eq!(i.resolve(*id), n.as_str());
+            assert_eq!(i.get(n), Some(*id));
+            // Re-interning is id-stable and does not grow the table.
+            assert_eq!(i.intern(n), *id);
+        }
+        assert_eq!(i.len(), names.len());
+    }
+
+    fn rec(day: u32, vertical: u16, domain: u32, rank: u8, landing: Option<u32>) -> PsrRecord {
+        PsrRecord {
+            day: SimDate::from_day_index(day),
+            vertical,
+            term: 0,
+            rank,
+            domain,
+            is_root: rank == 1,
+            labeled: domain.is_multiple_of(2),
+            landing,
+        }
+    }
+
+    /// Rows in crawl order: days ascending, verticals ascending per day.
+    fn ordered_store() -> PsrStore {
+        let mut s = PsrStore::default();
+        for day in 140..145 {
+            for vertical in 0..3u16 {
+                for k in 0..(1 + (day + u32::from(vertical)) % 3) {
+                    s.push(rec(day, vertical, day * 10 + k, (k + 1) as u8, Some(7)));
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn store_round_trips_records() {
+        let s = ordered_store();
+        assert!(!s.is_empty());
+        let via_iter: Vec<PsrRecord> = s.iter().collect();
+        let via_get: Vec<PsrRecord> = (0..s.len()).map(|i| s.get(i)).collect();
+        assert_eq!(via_iter, via_get);
+        assert_eq!(s.iter().len(), s.len());
+        let cols = s.columns();
+        assert_eq!(cols.len(), s.len());
+        assert_eq!(cols.landing(0), Some(7));
+    }
+
+    #[test]
+    fn indexed_queries_match_filtered_scans() {
+        let s = ordered_store();
+        for day in 139..146 {
+            let d = SimDate::from_day_index(day);
+            let fast: Vec<usize> = s.day_rows(d).collect();
+            let slow: Vec<usize> = (0..s.len()).filter(|&i| s.get(i).day == d).collect();
+            assert_eq!(fast, slow, "day {day}");
+        }
+        for vertical in 0..4u16 {
+            let fast: Vec<usize> = s.vertical_rows(vertical).collect();
+            let slow: Vec<usize> = (0..s.len())
+                .filter(|&i| s.get(i).vertical == vertical)
+                .collect();
+            assert_eq!(fast, slow, "vertical {vertical}");
+        }
+    }
+
+    #[test]
+    fn out_of_order_appends_fall_back_to_scans() {
+        let mut s = ordered_store();
+        let expected_eq = s.clone();
+        s.push(rec(140, 0, 999, 3, None)); // day earlier than the tail
+        let d = SimDate::from_day_index(140);
+        let got: Vec<usize> = s.day_rows(d).collect();
+        let want: Vec<usize> = (0..s.len()).filter(|&i| s.get(i).day == d).collect();
+        assert_eq!(got, want);
+        let v0: Vec<usize> = (0..s.len()).filter(|&i| s.get(i).vertical == 0).collect();
+        assert_eq!(s.vertical_rows(0).collect::<Vec<_>>(), v0);
+        assert_eq!(s.day_shards(4), vec![0..s.len()]);
+        // Equality is row content, not index state.
+        assert_ne!(s, expected_eq);
+    }
+
+    #[test]
+    fn day_shards_cover_all_rows_and_respect_day_boundaries() {
+        let s = ordered_store();
+        for max_shards in [1usize, 2, 3, 8, 64] {
+            let shards = s.day_shards(max_shards);
+            assert!(shards.len() <= max_shards);
+            let mut next = 0usize;
+            for r in &shards {
+                assert_eq!(r.start, next, "shards must be contiguous");
+                assert!(r.end > r.start);
+                next = r.end;
+                // A day never straddles a shard boundary.
+                if r.end < s.len() {
+                    assert_ne!(s.get(r.end - 1).day, s.get(r.end).day);
+                }
+            }
+            assert_eq!(next, s.len());
+        }
+        assert!(PsrStore::default().day_shards(4).is_empty());
     }
 
     #[test]

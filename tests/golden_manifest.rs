@@ -29,9 +29,15 @@ const GOLDEN_SEED: u64 = 101;
 
 /// The pinned projection: headline + deterministic metrics, no clocks.
 fn golden_value() -> Value {
-    let out = Study::new(StudyConfig::fast_test(GOLDEN_SEED))
-        .run()
-        .expect("study runs");
+    golden_value_at_threads(1)
+}
+
+/// Same projection with every worker pool (crawl, tick, analysis scan)
+/// pointed at `threads`.
+fn golden_value_at_threads(threads: usize) -> Value {
+    let mut cfg = StudyConfig::fast_test(GOLDEN_SEED);
+    cfg.set_threads(threads);
+    let out = Study::new(cfg).run().expect("study runs");
     Value::Map(vec![
         ("seed".into(), Value::UInt(GOLDEN_SEED)),
         (
@@ -80,6 +86,30 @@ fn manifest_matches_golden_snapshot() {
              If the behaviour change is intentional, regenerate with \
              UPDATE_GOLDEN=1 cargo test --test golden_manifest and commit \
              the new {GOLDEN_PATH}."
+        );
+    }
+}
+
+/// Thread-count invariance, pinned to the same bytes: every worker pool
+/// at 2 and at 8 threads must reproduce the golden projection exactly.
+#[test]
+fn golden_projection_is_bit_identical_across_thread_counts() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // the snapshot is being rewritten by the test above
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {GOLDEN_PATH} ({e}); \
+             regenerate with UPDATE_GOLDEN=1 cargo test --test golden_manifest"
+        )
+    });
+    for threads in [2usize, 8] {
+        let rendered = serde_json::to_string_pretty(&golden_value_at_threads(threads))
+            .expect("renders")
+            + "\n";
+        assert_eq!(
+            rendered, golden,
+            "golden projection diverged at {threads} threads"
         );
     }
 }

@@ -173,14 +173,16 @@ fn study_output_is_identical_across_tick_thread_counts() {
 }
 
 #[test]
-fn set_threads_drives_both_planes() {
+fn set_threads_drives_all_planes() {
     let mut cfg = StudyConfig::fast_test(7);
     cfg.set_threads(4);
     assert_eq!(cfg.crawler.threads, 4);
     assert_eq!(cfg.tick_threads, 4);
+    assert_eq!(cfg.analysis_threads, 4);
     cfg.set_threads(0); // clamped: 0 means "serial", never a dead pool
     assert_eq!(cfg.crawler.threads, 1);
     assert_eq!(cfg.tick_threads, 1);
+    assert_eq!(cfg.analysis_threads, 1);
 }
 
 #[test]
