@@ -95,6 +95,10 @@ fn bench_crawl_day_scaling(c: &mut Criterion) {
                 },
                 |mut crawler| {
                     crawler.crawl_day(&w, day);
+                    // Benches run with tracing disabled; the recorder
+                    // must stay empty or the "zero overhead off" claim
+                    // (and the ≤2% regression budget) is broken.
+                    assert!(crawler.recorder.is_empty());
                     crawler.db.psrs.len()
                 },
                 BatchSize::LargeInput,
@@ -122,6 +126,9 @@ fn bench_tick_scaling(c: &mut Criterion) {
         w.run_until(SimDate::from_day_index(ss_types::CRAWL_START_DAY));
         w.tick_threads = threads;
         c.bench_function(name, |b| b.iter(|| w.tick()));
+        // Tracing is off by default: the flight recorder and the
+        // persisted event trail must both stay empty during benches.
+        assert!(!w.recorder.enabled() && w.recorder.is_empty() && w.event_trail.is_empty());
     }
 }
 

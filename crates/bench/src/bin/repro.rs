@@ -4,14 +4,23 @@
 //!
 //! ```text
 //! repro <experiment> [--preset tiny|small|paper] [--seed N] [--out DIR]
-//!                    [--threads N]
+//!                    [--threads N] [--no-trace] [--trace-level off|stage|event]
 //! repro all          # every experiment + EXPERIMENTS.md
 //! repro list         # experiment index
+//! repro explain campaign <name|index>   # causal chain for one campaign
+//! repro explain store <domain>          # causal chain for one store domain
+//! repro explain psr <day> <rank>        # why a PSR appeared there
 //! ```
 //!
 //! `--threads N` drives both planes — the crawler's per-vertical fan-out
 //! and the simulation's tick-stage planners. Output is bit-identical for
 //! every `N` (default: serial).
+//!
+//! Tracing is on by default for `repro` runs: the flight recorder and the
+//! tick-plane event trail feed `repro explain`, and the wall-clock stage
+//! timeline is written to `reports/trace.json` (load it at
+//! <https://ui.perfetto.dev>). `--no-trace` turns all of it off; benches
+//! and library users default to off.
 //!
 //! Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6
 //! classifier validation termbias labels seizures supplier conversion
@@ -22,25 +31,34 @@ use std::io::Write as _;
 
 use search_seizure::analysis::{ecosystem, figures, interventions, sidechannel, validation};
 use search_seizure::report::{experiments_json, experiments_markdown, ExperimentReport};
-use search_seizure::StudyOutput;
+use search_seizure::{explain, StudyOutput};
 use ss_bench::Preset;
+use ss_obs::TraceLevel;
 use ss_stats::render;
 
 struct Args {
     experiment: String,
+    /// Positional operands after the experiment name (`explain` takes
+    /// `campaign <id>` / `store <domain>` / `psr <day> <rank>`).
+    operands: Vec<String>,
     preset: Preset,
     seed: u64,
     out_dir: Option<String>,
     threads: usize,
+    trace: TraceLevel,
 }
 
 fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
-    let experiment = args.next().unwrap_or_else(|| "list".to_owned());
+    let mut positional: Vec<String> = Vec::new();
     let mut preset = Preset::Small;
     let mut seed = 2014;
     let mut out_dir = None;
     let mut threads = 1;
+    // Tracing defaults ON for repro runs: `repro explain` needs the
+    // retained event trail, and the Perfetto timeline is ~free at this
+    // scale. Benches and library users default to off.
+    let mut trace = TraceLevel::Event;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--preset" => {
@@ -62,15 +80,25 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("numeric thread count");
             }
-            other => panic!("unknown flag {other:?}"),
+            "--no-trace" => trace = TraceLevel::Off,
+            "--trace-level" => {
+                let v = args.next().expect("--trace-level needs a value");
+                trace = TraceLevel::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown trace level {v:?} (off|stage|event)"));
+            }
+            other if other.starts_with("--") => panic!("unknown flag {other:?}"),
+            operand => positional.push(operand.to_owned()),
         }
     }
+    let mut positional = positional.into_iter();
     Args {
-        experiment,
+        experiment: positional.next().unwrap_or_else(|| "list".to_owned()),
+        operands: positional.collect(),
         preset,
         seed,
         out_dir,
         threads,
+        trace,
     }
 }
 
@@ -122,6 +150,7 @@ fn main() {
             println!("  {id:<11} {title}");
         }
         println!("  all         run everything and write EXPERIMENTS.md");
+        println!("  explain     causal chain: campaign <id> | store <domain> | psr <day> <rank>");
         return;
     }
 
@@ -141,6 +170,14 @@ fn main() {
     let mut cfg = args.preset.config(args.seed);
     // One flag drives both planes: crawl fan-out and tick planners.
     cfg.set_threads(args.threads);
+    cfg.set_trace(args.trace);
+    if args.trace != TraceLevel::Off {
+        // Wall-clock half of the trace plane: a Chrome-trace-event
+        // timeline, excluded from every determinism comparison.
+        cfg.trace_path
+            .get_or_insert_with(|| "reports/trace.json".to_owned());
+    }
+    let trace_path = cfg.trace_path.clone();
     // Every repro run leaves a manifest behind (CI uploads it).
     cfg.manifest_path
         .get_or_insert_with(|| "reports/run_manifest.json".to_owned());
@@ -151,6 +188,14 @@ fn main() {
     eprintln!("[repro] study done in {:.1?}", t0.elapsed());
     eprint!("{}", out.manifest.summary_table());
     eprintln!("[repro] wrote {manifest_path}");
+    if let Some(p) = &trace_path {
+        eprintln!("[repro] wrote {p} (open at https://ui.perfetto.dev)");
+    }
+
+    if args.experiment == "explain" {
+        print!("{}", run_explain(&out, &args.operands));
+        return;
+    }
 
     let reports: Vec<ExperimentReport> = if args.experiment == "all" {
         let mut all = vec![fig1_report(args.seed)];
@@ -182,6 +227,26 @@ fn main() {
             &experiments_json(&reports),
         );
         eprintln!("[repro] wrote {dir}/EXPERIMENTS.md and experiments.json");
+    }
+}
+
+/// Dispatches `repro explain <kind> …` to the provenance query layer and
+/// returns the rendered chronological chain.
+fn run_explain(out: &StudyOutput, operands: &[String]) -> String {
+    let usage = "usage: repro explain campaign <name|index> | store <domain> | psr <day> <rank>";
+    let chain = match operands {
+        [kind, key] if kind == "campaign" => explain::explain_campaign(out, key),
+        [kind, domain] if kind == "store" => explain::explain_store(out, domain),
+        [kind, day, rank] if kind == "psr" => explain::explain_psr(
+            out,
+            day.parse().expect("numeric day index"),
+            rank.parse().expect("numeric rank"),
+        ),
+        _ => panic!("{usage}"),
+    };
+    match chain {
+        Some(c) => c.render(),
+        None => "no causal chain found (unknown id, or nothing observed there)\n".to_owned(),
     }
 }
 

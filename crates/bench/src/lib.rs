@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use search_seizure::manifest::CalibrationTarget;
 use search_seizure::{Study, StudyConfig, StudyOutput};
 use ss_eco::{Scale, ScenarioConfig};
 
@@ -43,9 +44,10 @@ impl Preset {
         }
     }
 
-    /// Builds the study configuration for this preset.
+    /// Builds the study configuration for this preset, including the
+    /// calibration drift bands the run manifest evaluates.
     pub fn config(self, seed: u64) -> StudyConfig {
-        match self {
+        let mut cfg = match self {
             Preset::Tiny => StudyConfig::fast_test(seed),
             Preset::Small => {
                 let mut cfg = StudyConfig::new(ScenarioConfig::new(seed, Scale::small()));
@@ -53,6 +55,52 @@ impl Preset {
                 cfg
             }
             Preset::Paper => StudyConfig::new(ScenarioConfig::paper(seed)),
+        };
+        cfg.calibration = self.calibration_targets();
+        cfg
+    }
+
+    /// Drift bands for the headline observables at this preset's scale.
+    ///
+    /// The `paper` column is the published value (Table 1 / Table 2 of
+    /// the paper); the bands are about *this preset*: `ok` brackets the
+    /// values healthy seeds produce, `fail` is the tripwire outside
+    /// which the manifest marks the run `fail` and CI goes red. Between
+    /// the two is `warn` — drifted, worth a look, not yet broken.
+    pub fn calibration_targets(self) -> Vec<CalibrationTarget> {
+        match self {
+            // Tiny worlds are noisy; the bands only catch gross breakage
+            // (e.g. the crawler or attribution silently going dark).
+            Preset::Tiny => vec![
+                CalibrationTarget::new(
+                    "total_psrs",
+                    2_773_044.0,
+                    (1_500.0, 9_000.0),
+                    (500.0, 20_000.0),
+                ),
+                CalibrationTarget::new("top5_campaign_share", 0.75, (0.35, 1.0), (0.15, 1.0)),
+                CalibrationTarget::new("mean_peak_days", 51.3, (2.0, 14.0), (1.0, 20.0)),
+            ],
+            Preset::Small => vec![
+                CalibrationTarget::new(
+                    "total_psrs",
+                    2_773_044.0,
+                    (60_000.0, 160_000.0),
+                    (30_000.0, 300_000.0),
+                ),
+                CalibrationTarget::new("top5_campaign_share", 0.75, (0.40, 0.90), (0.25, 1.0)),
+                CalibrationTarget::new("mean_peak_days", 51.3, (35.0, 70.0), (20.0, 95.0)),
+            ],
+            Preset::Paper => vec![
+                CalibrationTarget::new(
+                    "total_psrs",
+                    2_773_044.0,
+                    (1_500_000.0, 4_500_000.0),
+                    (800_000.0, 8_000_000.0),
+                ),
+                CalibrationTarget::new("top5_campaign_share", 0.75, (0.40, 0.90), (0.25, 1.0)),
+                CalibrationTarget::new("mean_peak_days", 51.3, (35.0, 70.0), (20.0, 95.0)),
+            ],
         }
     }
 
@@ -80,5 +128,14 @@ mod tests {
         assert_eq!(Preset::parse("huge"), None);
         let cfg = Preset::Small.config(1);
         assert!(cfg.crawl_end > cfg.crawl_start);
+        // Every preset declares drift bands for the three headline
+        // observables, and the bands nest (ok inside fail).
+        for p in [Preset::Tiny, Preset::Small, Preset::Paper] {
+            let targets = p.calibration_targets();
+            assert_eq!(targets.len(), 3);
+            for t in &targets {
+                assert!(t.fail_lo <= t.ok_lo && t.ok_lo < t.ok_hi && t.ok_hi <= t.fail_hi);
+            }
+        }
     }
 }

@@ -22,6 +22,7 @@
 
 pub mod analysis;
 pub mod attribution;
+pub mod explain;
 pub mod manifest;
 pub mod oracle;
 pub mod pipeline;

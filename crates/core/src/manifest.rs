@@ -67,6 +67,157 @@ pub struct CampaignOrders {
     pub estimated_orders: u64,
 }
 
+/// A declared target band for one calibration observable: the run is
+/// `ok` inside `[ok_lo, ok_hi]`, `fail` outside `[fail_lo, fail_hi]`,
+/// and `warn` in between. Declared per preset in the study config and
+/// evaluated into the manifest's `calibration` section, so CI catches
+/// silent drift instead of humans eyeballing EXPERIMENTS.md.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CalibrationTarget {
+    /// Observable name (`total_psrs`, `top5_campaign_share`,
+    /// `mean_peak_days`).
+    pub observable: String,
+    /// The paper's reported value, for reference.
+    pub paper: f64,
+    /// Lower edge of the `ok` band (inclusive).
+    pub ok_lo: f64,
+    /// Upper edge of the `ok` band (inclusive).
+    pub ok_hi: f64,
+    /// Lower edge of the tolerated band; below this the entry fails.
+    pub fail_lo: f64,
+    /// Upper edge of the tolerated band; above this the entry fails.
+    pub fail_hi: f64,
+}
+
+impl CalibrationTarget {
+    /// Convenience constructor.
+    pub fn new(
+        observable: &str,
+        paper: f64,
+        ok: (f64, f64),
+        fail: (f64, f64),
+    ) -> CalibrationTarget {
+        CalibrationTarget {
+            observable: observable.to_owned(),
+            paper,
+            ok_lo: ok.0,
+            ok_hi: ok.1,
+            fail_lo: fail.0,
+            fail_hi: fail.1,
+        }
+    }
+}
+
+/// One evaluated calibration row.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CalibrationEntry {
+    /// Observable name.
+    pub observable: String,
+    /// The paper's reported value.
+    pub paper: f64,
+    /// What this run measured (`None` when the observable is unknown).
+    pub measured: Option<f64>,
+    /// `ok`, `warn`, or `fail`.
+    pub status: String,
+}
+
+/// Evaluates declared targets against measured observables. An unknown
+/// observable name evaluates to `warn` (a band referencing nothing is a
+/// config bug worth surfacing, not a drift failure).
+pub fn evaluate_calibration(
+    targets: &[CalibrationTarget],
+    measured: &[(&'static str, f64)],
+) -> Vec<CalibrationEntry> {
+    targets
+        .iter()
+        .map(|t| {
+            let value = measured
+                .iter()
+                .find(|(name, _)| *name == t.observable)
+                .map(|(_, v)| *v);
+            let status = match value {
+                None => "warn",
+                Some(v) if v >= t.ok_lo && v <= t.ok_hi => "ok",
+                Some(v) if v >= t.fail_lo && v <= t.fail_hi => "warn",
+                Some(_) => "fail",
+            };
+            CalibrationEntry {
+                observable: t.observable.clone(),
+                paper: t.paper,
+                measured: value,
+                status: status.to_owned(),
+            }
+        })
+        .collect()
+}
+
+/// One wall-clock timeline slice of the daily loop: a stage (or the
+/// world tick) on one day, positioned relative to the run start. Feeds
+/// the Chrome trace export; never compared across runs.
+#[derive(Debug, Clone)]
+pub struct StageSlice {
+    /// Day index the slice belongs to.
+    pub day: u32,
+    /// Stage name (or `world-tick`).
+    pub stage: &'static str,
+    /// Microseconds since the daily loop started.
+    pub ts_us: u64,
+    /// Slice duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Assembles the Chrome trace-event document: the per-day stage timeline
+/// on one lane, aggregate span totals on another, and a cumulative PSR
+/// counter track. Load the written file at `ui.perfetto.dev`.
+pub fn chrome_trace(
+    obs: &Registry,
+    slices: &[StageSlice],
+    days: &[DayRecord],
+) -> ss_obs::ChromeTrace {
+    let mut trace = ss_obs::ChromeTrace::new();
+    trace.name_process(1, "study");
+    trace.name_thread(1, 1, "daily loop");
+    trace.name_thread(1, 2, "span totals (aggregate)");
+    for s in slices {
+        trace.complete(
+            s.stage,
+            "stage",
+            1,
+            1,
+            s.ts_us,
+            s.dur_us,
+            vec![("day".into(), Value::UInt(u64::from(s.day)))],
+        );
+    }
+    // Aggregate span totals laid end-to-end: not a timeline, but it puts
+    // every span's total/self/max on one readable lane.
+    let mut cursor = 0u64;
+    for (name, s) in obs.spans() {
+        let dur = s.total_ns / 1_000;
+        trace.complete(
+            &name,
+            "span-total",
+            1,
+            2,
+            cursor,
+            dur,
+            vec![
+                ("count".into(), Value::UInt(s.count)),
+                ("self_ms".into(), Value::Float(s.self_ns as f64 / 1e6)),
+                ("max_ms".into(), Value::Float(s.max_ns as f64 / 1e6)),
+            ],
+        );
+        cursor += dur.max(1);
+    }
+    // Cumulative PSRs per day, on the day's wall-clock end position.
+    let mut end_us = 0u64;
+    for d in days {
+        end_us += (d.elapsed_ms * 1_000.0) as u64;
+        trace.counter("psrs", 1, end_us, vec![("total".into(), d.psrs as f64)]);
+    }
+    trace
+}
+
 /// The run's headline observables — the numbers the paper leads with.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct Headline {
@@ -99,6 +250,9 @@ pub struct RunManifest {
     pub stage_timings: Vec<StageTiming>,
     /// Headline observables.
     pub headline: Headline,
+    /// Calibration drift gate: declared target bands evaluated against
+    /// this run's headline observables.
+    pub calibration: Vec<CalibrationEntry>,
     /// Per-day progress trace.
     pub days: Vec<DayRecord>,
 }
@@ -217,6 +371,7 @@ impl RunManifest {
             ),
             ("stage_timings".into(), self.stage_timings.serialize()),
             ("headline".into(), self.headline.serialize()),
+            ("calibration".into(), self.calibration.serialize()),
             ("days".into(), self.days.serialize()),
             ("metrics".into(), obs.metrics_value()),
             ("spans".into(), obs.spans_value()),
@@ -272,6 +427,17 @@ impl RunManifest {
                 c.campaign, c.stores_sampled, c.estimated_orders
             ));
         }
+        for c in &self.calibration {
+            out.push_str(&format!(
+                "  calibration {:<24} {:>6}  measured={}  paper={}\n",
+                c.observable,
+                c.status,
+                c.measured
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "—".into()),
+                c.paper
+            ));
+        }
         out
     }
 }
@@ -317,6 +483,12 @@ mod tests {
                     estimated_orders: 77,
                 }],
             },
+            calibration: vec![CalibrationEntry {
+                observable: "total_psrs".into(),
+                paper: 357_0000.0,
+                measured: Some(10.0),
+                status: "warn".into(),
+            }],
             days: Vec::new(),
         };
         let table = m.summary_table();
@@ -324,5 +496,47 @@ mod tests {
         assert!(table.contains("psrs=10"));
         assert!(table.contains("Uggs"));
         assert!(table.contains("est_orders=77"));
+        assert!(table.contains("calibration total_psrs"));
+    }
+
+    #[test]
+    fn calibration_bands_classify_ok_warn_fail() {
+        let targets = vec![
+            CalibrationTarget::new("a", 50.0, (40.0, 60.0), (20.0, 80.0)),
+            CalibrationTarget::new("b", 50.0, (40.0, 60.0), (20.0, 80.0)),
+            CalibrationTarget::new("c", 50.0, (40.0, 60.0), (20.0, 80.0)),
+            CalibrationTarget::new("missing", 1.0, (0.0, 2.0), (0.0, 3.0)),
+        ];
+        let measured = [("a", 55.0), ("b", 70.0), ("c", 99.0)];
+        let rows = evaluate_calibration(&targets, &measured);
+        let statuses: Vec<&str> = rows.iter().map(|r| r.status.as_str()).collect();
+        assert_eq!(statuses, vec!["ok", "warn", "fail", "warn"]);
+        assert_eq!(rows[0].measured, Some(55.0));
+        assert_eq!(rows[3].measured, None);
+    }
+
+    #[test]
+    fn chrome_trace_renders_slices_spans_and_counters() {
+        let obs = Registry::new();
+        ss_obs::time!(obs, "study.warmup", std::hint::black_box(1 + 1));
+        let slices = vec![StageSlice {
+            day: 3,
+            stage: "crawl",
+            ts_us: 10,
+            dur_us: 25,
+        }];
+        let days = vec![DayRecord {
+            day: 3,
+            psrs: 7,
+            test_orders: 0,
+            purchases: 0,
+            elapsed_ms: 1.5,
+        }];
+        let trace = chrome_trace(&obs, &slices, &days);
+        let json = trace.to_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("study.warmup"));
+        assert!(json.contains("\"crawl\""));
+        assert!(json.contains("\"psrs\""));
     }
 }

@@ -24,7 +24,7 @@
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
-use ss_obs::Registry;
+use ss_obs::{Registry, TraceLevel};
 use ss_types::{DomainName, SimDate};
 
 use ss_crawl::crawler::{Crawler, CrawlerConfig};
@@ -37,7 +37,7 @@ use ss_orders::transactions::{self, Transaction};
 
 use crate::analysis::scan::StudyScan;
 use crate::attribution::{self, Attribution, AttributionConfig};
-use crate::manifest::{self, DayRecord, RunManifest};
+use crate::manifest::{self, CalibrationTarget, DayRecord, RunManifest, StageSlice};
 
 /// Study configuration: the scenario plus every §4 programme knob.
 #[derive(Debug, Clone)]
@@ -74,6 +74,18 @@ pub struct StudyConfig {
     /// serially). Usually set via [`StudyConfig::set_threads`]; the scan
     /// is bit-identical at any value.
     pub analysis_threads: usize,
+    /// Trace-plane level: flight recorders (crawl + tick) and the world
+    /// event-trail retention that powers `repro explain`. Off by default
+    /// so benches and plain studies pay nothing; set together with the
+    /// crawler's knob via [`StudyConfig::set_trace`]. Enabling it changes
+    /// no deterministic metric byte.
+    pub trace_level: TraceLevel,
+    /// Where to write the Chrome trace-event timeline (wall-clock half);
+    /// `None` disables the export.
+    pub trace_path: Option<String>,
+    /// Declared calibration target bands, evaluated against this run's
+    /// headline observables into the manifest's `calibration` section.
+    pub calibration: Vec<CalibrationTarget>,
 }
 
 impl StudyConfig {
@@ -96,6 +108,9 @@ impl StudyConfig {
             manifest_path: Some("reports/run_manifest.json".to_owned()),
             tick_threads: 1,
             analysis_threads: 1,
+            trace_level: TraceLevel::Off,
+            trace_path: None,
+            calibration: Vec::new(),
             scenario,
         }
     }
@@ -108,6 +123,15 @@ impl StudyConfig {
         self.crawler.threads = n.max(1);
         self.tick_threads = n.max(1);
         self.analysis_threads = n.max(1);
+    }
+
+    /// Points the whole trace plane at `level`: the crawler's PSR
+    /// provenance recorder, the tick plane's recorder, and the world
+    /// event-trail retention. The plumbing mirror of
+    /// [`StudyConfig::set_threads`].
+    pub fn set_trace(&mut self, level: TraceLevel) {
+        self.trace_level = level;
+        self.crawler.trace = level;
     }
 
     /// A fast configuration for tests: tiny world, short crawl, light
@@ -187,6 +211,9 @@ pub struct StageContext<'a> {
 pub trait DailyStage {
     /// Stable stage name (for schedules, logs, and tests).
     fn name(&self) -> &'static str;
+    /// Static span key (`stage.{name}`), interned at compile time so the
+    /// daily loop never allocates a span-name `String` per (day × stage).
+    fn span_name(&self) -> &'static str;
     /// Runs the stage for one day.
     fn run(&self, ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate);
 }
@@ -198,6 +225,9 @@ pub struct CrawlStage;
 impl DailyStage for CrawlStage {
     fn name(&self) -> &'static str {
         "crawl"
+    }
+    fn span_name(&self) -> &'static str {
+        "stage.crawl"
     }
     fn run(&self, ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate) {
         state.crawler.crawl_day_metered(world, day, ctx.obs);
@@ -211,6 +241,9 @@ pub struct EnrollStoresStage;
 impl DailyStage for EnrollStoresStage {
     fn name(&self) -> &'static str {
         "enroll-stores"
+    }
+    fn span_name(&self) -> &'static str {
+        "stage.enroll-stores"
     }
     fn run(
         &self,
@@ -244,6 +277,9 @@ impl DailyStage for SamplePairsStage {
     fn name(&self) -> &'static str {
         "purchase-pairs"
     }
+    fn span_name(&self) -> &'static str {
+        "stage.purchase-pairs"
+    }
     fn run(&self, ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate) {
         state.sampler.sample_day_metered(world, day, ctx.obs);
     }
@@ -256,6 +292,9 @@ pub struct PurchaseStage;
 impl DailyStage for PurchaseStage {
     fn name(&self) -> &'static str {
         "purchases"
+    }
+    fn span_name(&self) -> &'static str {
+        "stage.purchases"
     }
     fn run(&self, ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate) {
         if state.transactions.len() >= ctx.cfg.purchase_target || !day.day_index().is_multiple_of(9)
@@ -289,6 +328,9 @@ pub struct AwstatsSweepStage;
 impl DailyStage for AwstatsSweepStage {
     fn name(&self) -> &'static str {
         "awstats-sweep"
+    }
+    fn span_name(&self) -> &'static str {
+        "stage.awstats-sweep"
     }
     fn run(&self, ctx: &StageContext<'_>, state: &mut DailyState, world: &mut World, day: SimDate) {
         if day.days_since(ctx.start) % i64::from(ctx.cfg.awstats_interval) != 0 {
@@ -354,6 +396,7 @@ impl Study {
         let obs = Registry::new();
         let mut world = World::build(cfg.scenario.clone())?;
         world.tick_threads = cfg.tick_threads;
+        world.set_trace(cfg.trace_level);
         let start = cfg.crawl_start;
         let end = cfg.crawl_end;
 
@@ -378,14 +421,38 @@ impl Study {
             obs: &obs,
         };
         let mut day_records: Vec<DayRecord> = Vec::new();
+        // Wall-clock timeline for the Chrome trace export (only kept when
+        // a trace path is configured; never part of determinism checks).
+        let timeline = cfg.trace_path.is_some();
+        let mut slices: Vec<StageSlice> = Vec::new();
+        let run_clock = Instant::now();
+        let slice = |slices: &mut Vec<StageSlice>, day: SimDate, stage, since: Instant| {
+            let dur = since.elapsed().as_micros() as u64;
+            slices.push(StageSlice {
+                day: day.day_index(),
+                stage,
+                ts_us: (run_clock.elapsed().as_micros() as u64).saturating_sub(dur),
+                dur_us: dur,
+            });
+        };
         for day in SimDate::range_inclusive(start + 1, end) {
             let day_clock = Instant::now();
             {
                 let _day_span = obs.span("study.day");
+                let tick_clock = Instant::now();
                 ss_obs::time!(obs, "study.world_tick", world.run_until(day));
+                if timeline {
+                    slice(&mut slices, day, "world-tick", tick_clock);
+                }
                 for stage in &self.stages {
-                    let _stage_span = obs.span(&format!("stage.{}", stage.name()));
-                    stage.run(&ctx, &mut state, &mut world, day);
+                    let stage_clock = Instant::now();
+                    {
+                        let _stage_span = obs.span(stage.span_name());
+                        stage.run(&ctx, &mut state, &mut world, day);
+                    }
+                    if timeline {
+                        slice(&mut slices, day, stage.name(), stage_clock);
+                    }
                 }
             }
             day_records.push(DayRecord {
@@ -472,12 +539,17 @@ impl Study {
         // Fold the ecosystem's own counters in and assemble the manifest.
         obs.merge_from(&world.metrics);
         let stage_names: Vec<&'static str> = self.stages.iter().map(|s| s.name()).collect();
+        let measured = calibration_observables(&scan, (start + 1, end));
+        if let Some(path) = &cfg.trace_path {
+            manifest::chrome_trace(&obs, &slices, &day_records).write(path);
+        }
         let run_manifest = RunManifest {
             config_hash: manifest::config_hash(&cfg),
             seed: cfg.scenario.seed,
             window: ((start + 1).day_index(), end.day_index()),
             stage_timings: manifest::stage_timings(&obs, &stage_names),
             headline: manifest::headline(&crawler.db, &sampler, &transactions, &attribution),
+            calibration: manifest::evaluate_calibration(&cfg.calibration, &measured),
             days: day_records,
         };
         if let Some(path) = &cfg.manifest_path {
@@ -499,6 +571,59 @@ impl Study {
             manifest: run_manifest,
         })
     }
+}
+
+/// Measures the calibration observables from the shared scan: total PSR
+/// rows, the top-5 attributed campaigns' share of attributed PSRs
+/// (paper: the top 5 account for ~60%), and the mean peak-range duration
+/// across attributed campaigns (the Table 2 mean, paper: 51.3 days).
+/// Mirrors `analysis::ecosystem::{top_k_psr_share, table2}` so the gate
+/// and the report can never silently disagree.
+fn calibration_observables(
+    scan: &StudyScan,
+    window: (SimDate, SimDate),
+) -> Vec<(&'static str, f64)> {
+    let attributed: u64 = scan.classes.iter().map(|c| c.psrs).sum();
+    let mut counts: Vec<u64> = scan
+        .classes
+        .iter()
+        .map(|c| c.psrs)
+        .filter(|&n| n > 0)
+        .collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let top5 = if attributed == 0 {
+        0.0
+    } else {
+        counts.iter().take(5).sum::<u64>() as f64 / attributed as f64
+    };
+    let (start, end) = window;
+    let mut peak_sum = 0.0;
+    let mut peak_n = 0usize;
+    for c in &scan.classes {
+        let mut s = ss_stats::series::DailySeries::new(start, end);
+        for day in SimDate::range_inclusive(start, end) {
+            s.set(day, 0.0);
+        }
+        for (day, v) in c.daily.observed() {
+            s.add(day, v);
+        }
+        if let Some(p) = ss_stats::peak::peak_range(&s, 0.6) {
+            peak_sum += f64::from(p.days);
+            peak_n += 1;
+        }
+    }
+    vec![
+        ("total_psrs", scan.rows as f64),
+        ("top5_campaign_share", top5),
+        (
+            "mean_peak_days",
+            if peak_n == 0 {
+                0.0
+            } else {
+                peak_sum / peak_n as f64
+            },
+        ),
+    ]
 }
 
 #[cfg(test)]
@@ -530,6 +655,29 @@ mod tests {
             a.attribution.store_class.len(),
             b.attribution.store_class.len()
         );
+    }
+
+    /// Enabling the full trace plane (recorders, event trail, calibration
+    /// gate) must not perturb a single deterministic metric byte — the
+    /// trace plane observes the run, it never steers it.
+    #[test]
+    fn trace_plane_records_without_perturbing_metrics() {
+        let base = StudyConfig::fast_test(75);
+        let mut traced = StudyConfig::fast_test(75);
+        traced.set_trace(TraceLevel::Event);
+        traced.calibration = vec![
+            CalibrationTarget::new("total_psrs", 3_570_000.0, (1.0, 1e12), (1.0, 1e12)),
+            CalibrationTarget::new("no_such_observable", 1.0, (0.0, 1.0), (0.0, 1.0)),
+        ];
+        let a = Study::new(base).run().unwrap();
+        let b = Study::new(traced).run().unwrap();
+        assert_eq!(a.metrics.metrics_json(), b.metrics.metrics_json());
+        assert!(a.world.event_trail.is_empty(), "retention must default off");
+        assert!(a.crawler.recorder.is_empty());
+        assert!(!b.world.event_trail.is_empty(), "no tick events retained");
+        assert!(!b.crawler.recorder.is_empty(), "no crawl events recorded");
+        assert_eq!(b.manifest.calibration[0].status, "ok");
+        assert_eq!(b.manifest.calibration[1].status, "warn");
     }
 
     #[test]

@@ -42,7 +42,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use ss_obs::Registry;
+use ss_obs::{FlightRecorder, Registry, TraceLevel};
 use ss_types::{SimDate, Url};
 use ss_web::http::{Fetcher, Request, UserAgent};
 
@@ -68,6 +68,9 @@ pub struct CrawlerConfig {
     /// Worker threads for the per-vertical map phase. The database is
     /// bit-identical at any value; 1 runs the map inline.
     pub threads: usize,
+    /// Flight-recorder level for PSR provenance events. Off by default;
+    /// enabling it changes no counter, histogram, or database byte.
+    pub trace: TraceLevel,
 }
 
 impl Default for CrawlerConfig {
@@ -78,9 +81,13 @@ impl Default for CrawlerConfig {
             reverify_days: 3,
             max_hops: 6,
             threads: 1,
+            trace: TraceLevel::Off,
         }
     }
 }
+
+/// Ring capacity of the crawler's merged flight recorder.
+const CRAWL_TRACE_CAP: usize = 1 << 16;
 
 /// What a vertical worker knows about one poisoned doorway, frozen at the
 /// start of the day. Name-keyed: workers never see interned ids.
@@ -152,11 +159,13 @@ enum CrawlEvent {
 }
 
 /// A vertical worker's complete output for one day: the event log, the
-/// SERP tallies, and the worker's private metric registry.
+/// SERP tallies, the worker's private metric registry, and its private
+/// (unbounded) flight recorder.
 struct VerticalLog {
     count: DailyCount,
     events: Vec<CrawlEvent>,
     metrics: Registry,
+    trace: FlightRecorder,
 }
 
 /// The crawler: monitored terms plus accumulated database.
@@ -167,6 +176,10 @@ pub struct Crawler {
     pub monitored: Vec<MonitoredVertical>,
     /// The accumulated crawl database.
     pub db: CrawlDb,
+    /// PSR provenance flight recorder: per-vertical worker recorders
+    /// folded in vertical order (the same replay rule the database
+    /// follows), so its contents are bit-identical at any thread count.
+    pub recorder: FlightRecorder,
     /// Domains checked and found clean (skipped until they disappear —
     /// the churn trim).
     clean: HashSet<u32>,
@@ -175,10 +188,12 @@ pub struct Crawler {
 impl Crawler {
     /// Creates a crawler over a monitored term set.
     pub fn new(cfg: CrawlerConfig, monitored: Vec<MonitoredVertical>) -> Self {
+        let recorder = FlightRecorder::new(cfg.trace, CRAWL_TRACE_CAP);
         Crawler {
             cfg,
             monitored,
             db: CrawlDb::new(),
+            recorder,
             clean: HashSet::new(),
         }
     }
@@ -277,6 +292,7 @@ impl Crawler {
     /// order, mirroring the event-replay determinism rule.
     fn apply_log(&mut self, day: SimDate, vertical: u16, log: VerticalLog, obs: &Registry) {
         obs.merge_from(&log.metrics);
+        self.recorder.merge_from(&log.trace);
         for event in log.events {
             match event {
                 CrawlEvent::Seen { domain } => {
@@ -473,6 +489,9 @@ fn crawl_vertical(
 ) -> VerticalLog {
     let vertical = mv.name.as_str();
     let metrics = Registry::new();
+    // Per-work-item recorder: unbounded here, bounded at the merge point,
+    // so eviction happens once in a single deterministic stream.
+    let trace = FlightRecorder::unbounded(cfg.trace);
     // This vertical's same-day discoveries, layered over the snapshot so a
     // domain appearing under several terms is only detected once — the
     // same memoization the sequential crawler got from its database.
@@ -559,6 +578,14 @@ fn crawl_vertical(
                     }
                     Some(signal) => {
                         ss_obs::count!(metrics, "crawl.cloak_detections", 1, vertical = vertical);
+                        ss_obs::trace!(
+                            trace,
+                            day.day_index(),
+                            "crawl.detect",
+                            rank,
+                            "detected {name} vertical={vertical} signal={signal:?} landing={:?}",
+                            verdict.landing.as_ref().map(|l| l.host.as_str())
+                        );
                         local_poisoned.insert(
                             name.to_owned(),
                             PoisonSnap {
@@ -591,6 +618,13 @@ fn crawl_vertical(
                     domain: name.to_owned(),
                     labeled,
                 });
+                ss_obs::trace!(
+                    trace,
+                    day.day_index(),
+                    "crawl.psr",
+                    rank,
+                    "psr {name} vertical={vertical} term={term:?} rank={rank} labeled={labeled}"
+                );
                 events.push(CrawlEvent::Psr {
                     term: term.clone(),
                     rank: rank.min(255) as u8,
@@ -601,10 +635,22 @@ fn crawl_vertical(
             }
         }
     }
+    if trace.enabled() {
+        trace.record(
+            day.day_index(),
+            "crawl.vertical",
+            vi as u64,
+            format!(
+                "vertical={vertical} psrs={} serp_rows={}",
+                count.total_poisoned, count.total_seen
+            ),
+        );
+    }
     VerticalLog {
         count,
         events,
         metrics,
+        trace,
     }
 }
 
@@ -653,6 +699,7 @@ mod tests {
             CrawlerConfig {
                 serp_depth: 30,
                 threads,
+                trace: TraceLevel::Event,
                 ..CrawlerConfig::default()
             },
             monitored,
@@ -795,6 +842,15 @@ mod tests {
             assert_eq!(
                 serial.clean, parallel.clean,
                 "{threads} threads: clean sets differ"
+            );
+            // The flight recorder is part of the deterministic half:
+            // worker recorders merged in vertical order re-stamp their
+            // sequence numbers, so the rendered stream is byte-identical.
+            assert!(!serial.recorder.is_empty(), "recorder captured nothing");
+            assert_eq!(
+                serial.recorder.render(),
+                parallel.recorder.render(),
+                "{threads} threads: flight recorders differ"
             );
         }
     }

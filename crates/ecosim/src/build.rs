@@ -45,9 +45,25 @@ pub fn build_world(cfg: ScenarioConfig) -> ss_types::Result<World> {
     build_supplier(&mut w);
     build_campaigns(&mut w);
     build_shadow_campaigns(&mut w);
+    record_campaign_windows(&mut w);
     plan_penalties(&mut w);
 
     Ok(w)
+}
+
+/// Stamps every campaign's activity windows into the ground-truth event
+/// log, so provenance queries can anchor a causal chain at "campaign
+/// created / active from-to" without re-deriving it from agent state.
+fn record_campaign_windows(w: &mut World) {
+    for c in &w.campaigns {
+        for win in &c.windows {
+            w.events.push(crate::events::Event::CampaignActive {
+                campaign: c.id,
+                from: win.from,
+                to: win.to,
+            });
+        }
+    }
 }
 
 fn build_brands(w: &mut World) {

@@ -44,6 +44,6 @@ pub mod supplier;
 pub mod traffic;
 pub mod world;
 
-pub use plan::{TickStage, WorldEvent};
+pub use plan::{TickStage, TrailEvent, WorldEvent};
 pub use scenario::{Scale, ScenarioConfig};
 pub use world::World;

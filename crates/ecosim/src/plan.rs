@@ -134,6 +134,19 @@ pub enum WorldEvent {
     AdvanceDay,
 }
 
+/// One retained tick-plane event with its provenance — an entry in the
+/// persisted `WorldEvent` log (`World::event_trail`) that the causal
+/// `repro explain` queries walk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrailEvent {
+    /// Day the event was committed.
+    pub day: SimDate,
+    /// The tick stage that planned it.
+    pub stage: &'static str,
+    /// The committed mutation.
+    pub event: WorldEvent,
+}
+
 impl World {
     /// Simulates the current day and advances the clock. Each stage plans
     /// against the state every earlier stage committed; all mutation goes
@@ -148,9 +161,68 @@ impl World {
                 plan.len() as u64,
                 stage = stage.name()
             );
+            if self.recorder.enabled() {
+                self.retain_plan(today, stage, &plan);
+            }
             self.apply_plan(today, plan);
         }
         self.apply_plan(today, vec![WorldEvent::AdvanceDay]);
+    }
+
+    /// Trace-plane hook: records a per-stage summary into the flight
+    /// recorder and retains intervention-relevant events on the event
+    /// trail. Runs on the sequential commit path between planning and
+    /// apply, so its order is independent of `tick_threads`.
+    fn retain_plan(&mut self, day: SimDate, stage: TickStage, plan: &[WorldEvent]) {
+        self.recorder.record(
+            day.day_index(),
+            stage.name(),
+            plan.len() as u64,
+            format!("planned {} events", plan.len()),
+        );
+        for ev in plan {
+            match ev {
+                WorldEvent::PenalizeDoorway { domain, labeled } => {
+                    ss_obs::trace!(
+                        self.recorder,
+                        day.day_index(),
+                        stage.name(),
+                        domain.0,
+                        "penalize doorway {domain} labeled={labeled}"
+                    );
+                }
+                WorldEvent::FileCase {
+                    firm,
+                    brand,
+                    targets,
+                    bulk,
+                } => {
+                    ss_obs::trace!(
+                        self.recorder,
+                        day.day_index(),
+                        stage.name(),
+                        firm.0,
+                        "file case firm={firm} brand={brand} targets={} bulk={bulk}",
+                        targets.len()
+                    );
+                }
+                WorldEvent::Rotate { store, reactive } => {
+                    ss_obs::trace!(
+                        self.recorder,
+                        day.day_index(),
+                        stage.name(),
+                        store.0,
+                        "rotate {store} reactive={reactive}"
+                    );
+                }
+                _ => continue,
+            }
+            self.event_trail.push(TrailEvent {
+                day,
+                stage: stage.name(),
+                event: ev.clone(),
+            });
+        }
     }
 
     /// Runs one stage's pure planner over the current state. Calling a

@@ -91,7 +91,18 @@ pub struct World {
     /// (`eco.*`), recorded as ticks execute. Deterministic for a given
     /// seed at any `tick_threads`.
     pub metrics: ss_obs::Registry,
+    /// Trace-plane flight recorder for the tick plane. Recording happens
+    /// only on the sequential commit path (plan order), so retained
+    /// events are bit-identical at any `tick_threads`. Off by default.
+    pub recorder: ss_obs::FlightRecorder,
+    /// Retained intervention-relevant tick events — the persisted
+    /// `WorldEvent` log that `repro explain` walks. Populated only while
+    /// the recorder is enabled.
+    pub event_trail: Vec<crate::plan::TrailEvent>,
 }
+
+/// Ring capacity of the tick plane's flight recorder.
+const TRACE_RING_CAP: usize = 1 << 16;
 
 impl World {
     /// Builds a world from a scenario (see the [`crate::scenario`] knobs).
@@ -126,7 +137,16 @@ impl World {
             next_case: 0,
             tick_threads: 1,
             metrics: ss_obs::Registry::new(),
+            recorder: ss_obs::FlightRecorder::disabled(),
+            event_trail: Vec::new(),
         }
+    }
+
+    /// Points the tick plane's flight recorder — and with it the
+    /// event-trail retention that powers `repro explain` — at `level`.
+    /// Off by default so benches and plain studies pay nothing.
+    pub fn set_trace(&mut self, level: ss_obs::TraceLevel) {
+        self.recorder = ss_obs::FlightRecorder::new(level, TRACE_RING_CAP);
     }
 
     /// Campaign template accessor.

@@ -42,10 +42,12 @@
 mod histogram;
 mod registry;
 mod span;
+mod trace;
 
 pub use histogram::{Histogram, BUCKETS};
 pub use registry::{MetricKey, Registry};
 pub use span::{SpanStats, SpanTimer};
+pub use trace::{ChromeTrace, FlightRecorder, TraceEvent, TraceLevel};
 
 /// Increments a counter: `count!(reg, "name")`, `count!(reg, "name", n)`,
 /// or with labels `count!(reg, "name", n, vertical = name, kind = "x")`.
@@ -82,6 +84,21 @@ macro_rules! time {
         let _obs_span_guard = $reg.span($name);
         $body
     }};
+}
+
+/// Records a per-entity [`TraceEvent`] into a [`FlightRecorder`]:
+/// `trace!(rec, day_index, "stage.crawl", domain_id, "psr rank={rank}")`.
+///
+/// Compile-cheap no-op below [`TraceLevel::Event`]: the `format!` (and
+/// every argument expression inside it) is only evaluated after the
+/// level check passes, so a disabled recorder costs one branch.
+#[macro_export]
+macro_rules! trace {
+    ($rec:expr, $day:expr, $stage:expr, $entity:expr, $($arg:tt)+) => {
+        if $rec.detailed() {
+            $rec.record($day, $stage, ($entity) as u64, format!($($arg)+));
+        }
+    };
 }
 
 #[cfg(test)]
@@ -125,6 +142,23 @@ mod tests {
         drop(_t);
         assert!(!reg.metrics_json().contains("wall"));
         assert!(reg.to_json().contains("wall"));
+    }
+
+    #[test]
+    fn trace_macro_is_a_noop_when_disabled() {
+        let off = FlightRecorder::disabled();
+        let mut evaluated = false;
+        crate::trace!(off, 3, "stage.crawl", 9, "{}", {
+            evaluated = true;
+            "side effect"
+        });
+        assert!(!evaluated, "format args must not run when disabled");
+        assert!(off.is_empty());
+
+        let on = FlightRecorder::new(TraceLevel::Event, 8);
+        crate::trace!(on, 3, "stage.crawl", 9, "rank={}", 4);
+        assert_eq!(on.len(), 1);
+        assert_eq!(on.events()[0].detail, "rank=4");
     }
 
     #[test]
