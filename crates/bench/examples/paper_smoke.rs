@@ -1,30 +1,147 @@
-//! Smoke test for the paper-scale world: builds the full 16-vertical ×
-//! 100-term × 52-campaign world and runs a few day ticks, printing sizes
-//! and timings. Use this to gauge whether a full `repro all --preset
-//! paper` run is worth the wall-clock on your machine.
+//! Paper/mega-scale profiling harness.
+//!
+//! Builds the world for a preset, runs the study (optionally on a
+//! shortened crawl horizon), and records a machine-readable profile —
+//! total wall clock, the world-build split, the pipeline's per-stage
+//! timing table, headline observables, and the calibration grade. CI's
+//! non-blocking paper-smoke job uploads the result as `BENCH_paper.json`.
 //!
 //! ```text
-//! cargo run --release -p ss-bench --example paper_smoke
+//! # full paper-scale profile into BENCH_paper.json
+//! cargo run --release -p ss-bench --example paper_smoke -- \
+//!     --preset paper --out BENCH_paper.json
+//!
+//! # shortened-horizon CI smoke: build + 20 crawl days
+//! cargo run --release -p ss-bench --example paper_smoke -- \
+//!     --preset paper --days 20 --out BENCH_paper.json
+//!
+//! # stress scale
+//! cargo run --release -p ss-bench --example paper_smoke -- --preset mega
 //! ```
 
-use ss_eco::{ScenarioConfig, World};
-use ss_types::SimDate;
+use search_seizure::manifest::{CalibrationEntry, Headline, StageTiming};
+use search_seizure::Study;
+use ss_bench::Preset;
+use ss_eco::World;
+
+/// What `--out` records. Field names are the public contract of the
+/// `BENCH_paper.json` artifact — extend, don't rename.
+#[derive(serde::Serialize)]
+struct BenchProfile {
+    preset: String,
+    seed: u64,
+    threads: usize,
+    /// Crawl window actually executed `(first, last)`, inclusive days.
+    crawl_window: (u32, u32),
+    /// Wall clock of a standalone world build (generation only).
+    build_wall_s: f64,
+    /// World size after build: domains, indexed docs, stores, campaigns.
+    world: (usize, usize, usize, usize),
+    /// Wall clock of the full study run (build + crawl + analysis).
+    total_wall_s: f64,
+    /// The pipeline's per-stage timing table.
+    stage_timings: Vec<StageTiming>,
+    headline: Headline,
+    calibration: Vec<CalibrationEntry>,
+}
 
 fn main() {
+    let mut preset = Preset::Paper;
+    let mut seed = 1u64;
+    let mut days: Option<u32> = None;
+    let mut threads = 1usize;
+    let mut out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--preset" => {
+                let v = args.next().expect("--preset needs a value");
+                preset = Preset::parse(&v).unwrap_or_else(|| panic!("unknown preset {v:?}"));
+            }
+            "--seed" => seed = args.next().expect("--seed needs a value").parse().unwrap(),
+            "--days" => days = Some(args.next().expect("--days needs a value").parse().unwrap()),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .unwrap();
+            }
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let mut cfg = preset.config(seed);
+    if let Some(d) = days {
+        cfg.crawl_end = cfg.crawl_start + d;
+        // Don't simulate months past a shortened crawl.
+        cfg.scenario.scale.end_day = cfg
+            .scenario
+            .scale
+            .end_day
+            .min(cfg.crawl_end.day_index() + 10);
+    }
+    cfg.set_threads(threads);
+    cfg.manifest_path = None;
+
+    // Build once standalone so world generation gets its own wall-clock
+    // split (the study rebuilds internally; generation is deterministic).
     let t0 = std::time::Instant::now();
-    let mut w = World::build(ScenarioConfig::paper(1)).expect("paper world builds");
-    println!(
-        "paper world built in {:.1?}: {} domains, {} indexed docs, {} stores, {} campaigns",
-        t0.elapsed(),
+    let w = World::build(cfg.scenario.clone()).expect("world builds");
+    let build_wall_s = t0.elapsed().as_secs_f64();
+    let world = (
         w.domains.len(),
         w.engine.doc_count(),
         w.stores.len(),
-        w.campaigns.len()
+        w.campaigns.len(),
     );
+    eprintln!(
+        "[paper_smoke] {} world built in {build_wall_s:.1}s: {} domains, {} docs, {} stores, {} campaigns",
+        preset.describe(seed),
+        world.0,
+        world.1,
+        world.2,
+        world.3
+    );
+    drop(w);
+
     let t1 = std::time::Instant::now();
-    w.run_until(SimDate::from_day_index(3));
-    println!(
-        "4 day ticks in {:.1?} (the crawl window spans 245 days)",
-        t1.elapsed()
+    let output = Study::new(cfg).run().expect("study runs");
+    let total_wall_s = t1.elapsed().as_secs_f64();
+
+    let profile = BenchProfile {
+        preset: format!("{preset:?}").to_ascii_lowercase(),
+        seed,
+        threads,
+        crawl_window: (output.window.0.day_index(), output.window.1.day_index()),
+        build_wall_s,
+        world,
+        total_wall_s,
+        stage_timings: output.manifest.stage_timings.clone(),
+        headline: output.manifest.headline.clone(),
+        calibration: output.manifest.calibration.clone(),
+    };
+
+    eprintln!(
+        "[paper_smoke] study ran in {total_wall_s:.1}s: {} PSRs, {} seizure notices, calibration [{}]",
+        profile.headline.psrs,
+        profile.headline.seizure_notices,
+        profile
+            .calibration
+            .iter()
+            .map(|c| format!("{}={}", c.observable, c.status))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
+
+    let rendered = serde_json::to_string_pretty(&profile).expect("profile serializes");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, rendered).expect("profile written");
+            eprintln!("[paper_smoke] wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
 }

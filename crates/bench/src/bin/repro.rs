@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--preset tiny|small|paper] [--seed N] [--out DIR]
+//! repro <experiment> [--preset tiny|small|paper|mega] [--seed N] [--out DIR]
 //!                    [--threads N] [--no-trace] [--trace-level off|stage|event]
 //! repro all          # every experiment + EXPERIMENTS.md
 //! repro list         # experiment index

@@ -31,6 +31,10 @@ pub enum Preset {
     /// Paper-scale world and the full eight-month crawl window. Heavy —
     /// run in release.
     Paper,
+    /// Stress scale, ~10× the paper's page volume. Proves the entity
+    /// plane's headroom; calibration bands are warn-only (the paper's
+    /// observables were measured at paper scale, not here).
+    Mega,
 }
 
 impl Preset {
@@ -40,6 +44,7 @@ impl Preset {
             "tiny" => Some(Preset::Tiny),
             "small" => Some(Preset::Small),
             "paper" => Some(Preset::Paper),
+            "mega" => Some(Preset::Mega),
             _ => None,
         }
     }
@@ -55,6 +60,7 @@ impl Preset {
                 cfg
             }
             Preset::Paper => StudyConfig::new(ScenarioConfig::paper(seed)),
+            Preset::Mega => StudyConfig::new(ScenarioConfig::mega(seed)),
         };
         cfg.calibration = self.calibration_targets();
         cfg
@@ -101,6 +107,26 @@ impl Preset {
                 CalibrationTarget::new("top5_campaign_share", 0.75, (0.40, 0.90), (0.25, 1.0)),
                 CalibrationTarget::new("mean_peak_days", 51.3, (35.0, 70.0), (20.0, 95.0)),
             ],
+            // Mega is a throughput stress preset: the `ok` bands still
+            // describe healthy runs (so the manifest can warn on drift),
+            // but the fail tripwires are unbounded — nobody calibrated
+            // the paper's observables at 10× scale, so CI must not go
+            // red over them.
+            Preset::Mega => vec![
+                CalibrationTarget::new(
+                    "total_psrs",
+                    2_773_044.0,
+                    (4_000_000.0, 40_000_000.0),
+                    (f64::MIN, f64::MAX),
+                ),
+                CalibrationTarget::new(
+                    "top5_campaign_share",
+                    0.75,
+                    (0.30, 0.95),
+                    (f64::MIN, f64::MAX),
+                ),
+                CalibrationTarget::new("mean_peak_days", 51.3, (30.0, 75.0), (f64::MIN, f64::MAX)),
+            ],
         }
     }
 
@@ -125,12 +151,13 @@ mod tests {
     fn presets_parse_and_configure() {
         assert_eq!(Preset::parse("tiny"), Some(Preset::Tiny));
         assert_eq!(Preset::parse("paper"), Some(Preset::Paper));
+        assert_eq!(Preset::parse("mega"), Some(Preset::Mega));
         assert_eq!(Preset::parse("huge"), None);
         let cfg = Preset::Small.config(1);
         assert!(cfg.crawl_end > cfg.crawl_start);
         // Every preset declares drift bands for the three headline
         // observables, and the bands nest (ok inside fail).
-        for p in [Preset::Tiny, Preset::Small, Preset::Paper] {
+        for p in [Preset::Tiny, Preset::Small, Preset::Paper, Preset::Mega] {
             let targets = p.calibration_targets();
             assert_eq!(targets.len(), 3);
             for t in &targets {

@@ -62,8 +62,8 @@ fn true_campaign(out: &StudyOutput, domain: &str) -> Option<String> {
     let SiteKind::Storefront { store } = out.world.domains.get(id).kind else {
         return None;
     };
-    let campaign = &out.world.campaigns[out.world.stores[store.index()].campaign.index()];
-    campaign.classified.then(|| campaign.name.clone())
+    let campaign = out.world.campaigns.row(out.world.store(store).campaign);
+    campaign.classified.then(|| campaign.name.to_owned())
 }
 
 /// §4.1.3 detection validation, done exhaustively against ground truth

@@ -92,7 +92,7 @@ pub fn attribute(world: &World, db: &CrawlDb, cfg: &AttributionConfig, seed: u64
         .campaigns
         .iter()
         .filter(|c| c.classified)
-        .map(|c| c.name.clone())
+        .map(|c| c.name.to_owned())
         .collect();
 
     let mut oracle = WorldOracle::new(

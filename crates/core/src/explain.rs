@@ -21,9 +21,9 @@
 //! given run, so `repro explain` output can be golden-tested.
 
 use ss_crawl::db::{ColumnView, PsrRecord};
-use ss_eco::campaign::CampaignState;
 use ss_eco::domains::SiteKind;
 use ss_eco::events::Event;
+use ss_eco::CampaignRow;
 use ss_eco::{World, WorldEvent};
 use ss_types::{DomainName, SimDate, StoreId};
 
@@ -73,14 +73,9 @@ impl CausalChain {
 
 /// Resolves a campaign key — an exact campaign name, a dense index, or
 /// `campaign#N` — against the world's ground truth.
-fn campaign_by_key<'a>(world: &'a World, key: &str) -> Option<(usize, &'a CampaignState)> {
-    if let Some(c) = world
-        .campaigns
-        .iter()
-        .enumerate()
-        .find(|(_, c)| c.name == key)
-    {
-        return Some(c);
+fn campaign_by_key<'a>(world: &'a World, key: &str) -> Option<(usize, CampaignRow<'a>)> {
+    if let Some(c) = world.campaigns.iter().find(|c| c.name == key) {
+        return Some((c.id.index(), c));
     }
     let idx: usize = key.strip_prefix("campaign#").unwrap_or(key).parse().ok()?;
     world.campaigns.get(idx).map(|c| (idx, c))
@@ -88,8 +83,8 @@ fn campaign_by_key<'a>(world: &'a World, key: &str) -> Option<(usize, &'a Campai
 
 /// Resolves a campaign's store id set once (rotations and seizures are
 /// keyed by store, not campaign).
-fn campaign_stores(c: &CampaignState) -> Vec<StoreId> {
-    c.stores.clone()
+fn campaign_stores(c: CampaignRow<'_>) -> Vec<StoreId> {
+    c.stores.to_vec()
 }
 
 /// Explains one campaign end to end: creation and activity windows
@@ -150,7 +145,7 @@ pub fn explain_campaign(out: &StudyOutput, key: &str) -> Option<CausalChain> {
     }
 
     // Measurement: the attributed PSR series from the shared scan.
-    if let Some(class) = out.attribution.class_index(&c.name) {
+    if let Some(class) = out.attribution.class_index(c.name) {
         let cs = &out.scan.classes[class];
         if let Some((first, _)) = cs.daily.observed().next() {
             chain.push(
@@ -290,7 +285,7 @@ pub fn explain_campaign(out: &StudyOutput, key: &str) -> Option<CausalChain> {
     // Crawler-observed seizures on this campaign's stores (measurement).
     let db = &out.crawler.db;
     for store in &stores {
-        for (_, domain) in &world.store(*store).domain_history {
+        for (_, domain) in world.store(*store).domain_history {
             let name = world.domains.get(*domain).name.to_string();
             let Some(id) = db.domains.get(&name) else {
                 continue;
@@ -377,7 +372,7 @@ pub fn explain_store(out: &StudyOutput, domain: &str) -> Option<CausalChain> {
                         .unwrap_or(world.day),
                     format!(
                         "ground truth: serves {store} of campaign {}",
-                        world.campaigns[st.campaign.index()].name
+                        world.campaigns.row(st.campaign).name
                     ),
                 );
                 for (day, from, to, reactive) in world.events.rotations_of(store) {
@@ -519,7 +514,7 @@ pub fn explain_psr(out: &StudyOutput, day_index: u32, rank: u8) -> Option<Causal
                     doorway.live_from,
                     format!(
                         "ground truth: planted by campaign {} (live {} → {})",
-                        world.campaigns[campaign.index()].name,
+                        world.campaigns.row(campaign).name,
                         doorway.live_from,
                         doorway.live_until
                     ),

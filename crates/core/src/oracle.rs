@@ -67,8 +67,8 @@ impl<'w> WorldOracle<'w> {
         let SiteKind::Storefront { store } = self.world.domains.get(id).kind else {
             return None;
         };
-        let campaign = &self.world.campaigns[self.world.stores[store.index()].campaign.index()];
-        campaign.classified.then(|| campaign.name.clone())
+        let campaign = self.world.campaigns.row(self.world.store(store).campaign);
+        campaign.classified.then(|| campaign.name.to_owned())
     }
 
     /// Class index for a campaign name.
@@ -104,7 +104,7 @@ mod tests {
         let classified = w
             .stores
             .iter()
-            .find(|s| w.campaigns[s.campaign.index()].classified)
+            .find(|s| w.campaigns.row(s.campaign).classified)
             .unwrap();
         let dom = w
             .domains
@@ -116,17 +116,17 @@ mod tests {
             .campaigns
             .iter()
             .filter(|c| c.classified)
-            .map(|c| c.name.clone())
+            .map(|c| c.name.to_owned())
             .collect();
         let oracle = WorldOracle::new(&w, vec![dom.clone()], names, 0.0, 1);
         let truth = oracle.true_campaign(&dom).unwrap();
-        assert_eq!(truth, w.campaigns[classified.campaign.index()].name);
+        assert_eq!(truth, w.campaigns.row(classified.campaign).name);
 
         // A shadow store gets no name.
         let shadow = w
             .stores
             .iter()
-            .find(|s| !w.campaigns[s.campaign.index()].classified)
+            .find(|s| !w.campaigns.row(s.campaign).classified)
             .unwrap();
         let sdom = w
             .domains
@@ -146,15 +146,15 @@ mod tests {
         let store = w
             .stores
             .iter()
-            .find(|s| w.campaigns[s.campaign.index()].classified)
+            .find(|s| w.campaigns.row(s.campaign).classified)
             .unwrap();
         let dom = w.domains.get(store.current_domain).name.as_str().to_owned();
-        let truth_name = w.campaigns[store.campaign.index()].name.clone();
+        let truth_name = w.campaigns.row(store.campaign).name.to_owned();
         let names: Vec<String> = w
             .campaigns
             .iter()
             .filter(|c| c.classified)
-            .map(|c| c.name.clone())
+            .map(|c| c.name.to_owned())
             .collect();
         let truth_class = names.iter().position(|n| *n == truth_name).unwrap();
 

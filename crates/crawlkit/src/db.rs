@@ -21,57 +21,15 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::Arc;
 
 use ss_types::SimDate;
 
 use crate::dagger::CloakSignal;
 use crate::stores::SeizureNotice;
 
-/// Interned string table with dense `u32` ids.
-///
-/// The lookup map and the id table share one `Arc<str>` per distinct
-/// string, so interning a new string costs exactly one allocation (plus a
-/// refcount bump) and a repeat sighting costs one hash lookup and none.
-#[derive(Debug, Default)]
-pub struct Interner {
-    by_str: HashMap<Arc<str>, u32>,
-    strings: Vec<Arc<str>>,
-}
-
-impl Interner {
-    /// Interns a string, returning its id.
-    pub fn intern(&mut self, s: &str) -> u32 {
-        if let Some(&id) = self.by_str.get(s) {
-            return id;
-        }
-        let id = self.strings.len() as u32;
-        let shared: Arc<str> = Arc::from(s);
-        self.strings.push(Arc::clone(&shared));
-        self.by_str.insert(shared, id);
-        id
-    }
-
-    /// Looks up an id without interning.
-    pub fn get(&self, s: &str) -> Option<u32> {
-        self.by_str.get(s).copied()
-    }
-
-    /// Resolves an id back to its string.
-    pub fn resolve(&self, id: u32) -> &str {
-        &self.strings[id as usize]
-    }
-
-    /// Number of interned strings.
-    pub fn len(&self) -> usize {
-        self.strings.len()
-    }
-
-    /// Whether the table is empty.
-    pub fn is_empty(&self) -> bool {
-        self.strings.is_empty()
-    }
-}
+// The intern table moved to `ss_types` so the simulator's component tables
+// can share it; the crawl-side path stays stable.
+pub use ss_types::Interner;
 
 /// One observed poisoned search result (a cloaked result in a monitored
 /// SERP on one day).

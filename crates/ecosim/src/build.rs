@@ -55,10 +55,12 @@ pub fn build_world(cfg: ScenarioConfig) -> ss_types::Result<World> {
 /// log, so provenance queries can anchor a causal chain at "campaign
 /// created / active from-to" without re-deriving it from agent state.
 fn record_campaign_windows(w: &mut World) {
-    for c in &w.campaigns {
-        for win in &c.windows {
+    for ci in 0..w.campaigns.len() {
+        let c = w.campaigns.row(CampaignId::from_index(ci));
+        let (id, windows) = (c.id, c.windows.to_vec());
+        for win in windows {
             w.events.push(crate::events::Event::CampaignActive {
-                campaign: c.id,
+                campaign: id,
                 from: win.from,
                 to: win.to,
             });
@@ -347,6 +349,8 @@ fn create_store(
             .replace('-', " ");
         format!("{} {}", stem, locale)
     };
+    // Built as the nested form (keeping the seeded draw order stable since
+    // the pre-table layout), then destructured into columns by `push`.
     w.stores.push(StoreState {
         id,
         campaign,
@@ -371,13 +375,14 @@ fn create_store(
 /// Creates the doorway fleet for a campaign across its verticals/windows.
 fn create_doorways(w: &mut World, ci: usize, n_doorways: usize, rng: &mut SimRng) {
     let campaign = CampaignId::from_index(ci);
-    let verticals = w.campaigns[ci].verticals.clone();
-    let windows = w.campaigns[ci].windows.clone();
-    let stores = w.campaigns[ci].stores.clone();
+    let row = w.campaigns.row(campaign);
+    let verticals = row.verticals.to_vec();
+    let windows = row.windows.to_vec();
+    let stores = row.stores.to_vec();
+    let cloak = row.cloak;
     if verticals.is_empty() || stores.is_empty() {
         return;
     }
-    let cloak = w.campaigns[ci].cloak;
     for k in 0..n_doorways {
         let vertical = verticals[k % verticals.len()];
         let vstate = &w.verticals[vertical.index()];
@@ -392,12 +397,12 @@ fn create_doorways(w: &mut World, ci: usize, n_doorways: usize, rng: &mut SimRng
             .iter()
             .copied()
             .filter(|s| {
-                let st = &w.stores[s.index()];
+                let brands = w.stores.row(*s).brands;
                 w.verticals[vertical.index()]
                     .spec
                     .brands
                     .iter()
-                    .any(|b| st.brands.iter().any(|sb| w.brand_names[sb.index()] == *b))
+                    .any(|b| brands.iter().any(|sb| w.brand_names[sb.index()] == *b))
             })
             .nth(k % stores.len().max(1))
             .unwrap_or(stores[k % stores.len()]);
@@ -441,17 +446,19 @@ fn create_doorways(w: &mut World, ci: usize, n_doorways: usize, rng: &mut SimRng
             w.engine
                 .index_page(t, url, domain, quality, relevance, live_from);
         }
-        let di = w.campaigns[ci].doorways.len();
-        w.campaigns[ci].doorways.push(DoorwayState {
-            domain,
-            terms,
-            vertical,
-            target_store: store,
-            live_from,
-            live_until,
-            penalized: None,
-        });
-        w.doorway_of.insert(domain, (ci, di));
+        let did = w.campaigns.push_doorway(
+            campaign,
+            DoorwayState {
+                domain,
+                terms,
+                vertical,
+                target_store: store,
+                live_from,
+                live_until,
+                penalized: None,
+            },
+        );
+        w.route.set(domain, did);
     }
 }
 
@@ -598,7 +605,7 @@ fn build_campaigns(w: &mut World) {
                 created,
                 None,
             );
-            w.campaigns[ci].stores.push(sid);
+            w.campaigns.add_store(id, sid);
         }
 
         // ---- scripted stores ----
@@ -620,9 +627,9 @@ fn build_campaigns(w: &mut World) {
                     "cocolovebags.com".into(),
                 ]),
             );
-            w.stores[sid.index()].awstats_public = true;
-            w.stores[sid.index()].name = "coco vip bags".into();
-            w.campaigns[ci].stores.push(sid);
+            w.stores.set_awstats_public(sid, true);
+            w.stores.set_name(sid, "coco vip bags");
+            w.campaigns.add_store(id, sid);
             if w.cfg.proactive_rotation {
                 // Rotations at end of June and mid-August 2014 (Fig. 5).
                 for day in [357, 406] {
@@ -634,7 +641,7 @@ fn build_campaigns(w: &mut World) {
             }
             // cocoviphandbags.com seized July 11, 2014 — after the store
             // had already moved on (§5.2.3).
-            let first_domain = w.stores[sid.index()].domain_history[0].1;
+            let first_domain = w.stores.row(sid).domain_history[0].1;
             w.scripted_seizures
                 .entry(SimDate::from_day_index(371))
                 .or_default()
@@ -668,11 +675,11 @@ fn build_campaigns(w: &mut World) {
                         format!("{label}-outlet3.com"),
                     ]),
                 );
-                w.stores[sid.index()].locale = locale.to_owned();
-                w.campaigns[ci].stores.push(sid);
+                w.stores.set_locale(sid, locale);
+                w.campaigns.add_store(id, sid);
                 intl.push(sid);
             }
-            let uk_domain = w.stores[intl[0].index()].domain_history[0].1;
+            let uk_domain = w.stores.row(intl[0]).domain_history[0].1;
             w.scripted_seizures
                 .entry(SimDate::from_day_index(219))
                 .or_default()
@@ -731,7 +738,7 @@ fn build_shadow_campaigns(w: &mut World) {
             let vertical = verticals[s % verticals.len()];
             let anchor = brand_id(w, w.verticals[vertical.index()].spec.brands[0]);
             let sid = create_store(w, id, &name, vertical, &[anchor], &mut rng, created, None);
-            w.campaigns[ci].stores.push(sid);
+            w.campaigns.add_store(id, sid);
         }
         let n_doorways = scaled(spec.doorways, w.cfg.scale.entity_scale);
         create_doorways(w, ci, n_doorways, &mut rng);
@@ -742,12 +749,16 @@ fn plan_penalties(w: &mut World) {
     let policy = &w.cfg.search_policy;
     let mut rng = sub_rng(w.cfg.seed, "abuse-team");
     let mut plans: std::collections::BTreeMap<SimDate, Vec<_>> = std::collections::BTreeMap::new();
-    for c in &w.campaigns {
-        for d in &c.doorways {
-            if rng.gen::<f64>() < policy.detect_prob {
-                let delay = rng.gen_range(policy.delay_min..=policy.delay_max);
-                plans.entry(d.live_from + delay).or_default().push(d.domain);
-            }
+    // Global doorway-table order is per-campaign build order, so this scan
+    // consumes the abuse-team stream exactly as the nested walk did.
+    let dt = w.campaigns.doorway_table();
+    for di in 0..dt.len() {
+        if rng.gen::<f64>() < policy.detect_prob {
+            let delay = rng.gen_range(policy.delay_min..=policy.delay_max);
+            plans
+                .entry(dt.live_from[di] + delay)
+                .or_default()
+                .push(dt.domain[di]);
         }
     }
     w.penalty_due = plans;
@@ -769,15 +780,15 @@ mod tests {
         assert_eq!(a.domains.len(), b.domains.len());
         assert_eq!(a.stores.len(), b.stores.len());
         assert_eq!(a.engine.doc_count(), b.engine.doc_count());
-        let an: Vec<&str> = a.campaigns.iter().map(|c| c.name.as_str()).collect();
-        let bn: Vec<&str> = b.campaigns.iter().map(|c| c.name.as_str()).collect();
+        let an: Vec<&str> = a.campaigns.iter().map(|c| c.name).collect();
+        let bn: Vec<&str> = b.campaigns.iter().map(|c| c.name).collect();
         assert_eq!(an, bn);
     }
 
     #[test]
     fn classified_campaigns_come_first_and_complete() {
         let w = tiny_world();
-        let classified: Vec<&CampaignState> = w.campaigns.iter().filter(|c| c.classified).collect();
+        let classified: Vec<_> = w.campaigns.iter().filter(|c| c.classified).collect();
         assert_eq!(classified.len(), 52);
         assert!(w.campaigns.len() > 52, "shadow tail expected");
         for c in classified {
@@ -791,7 +802,7 @@ mod tests {
     fn key_targets_only_key_verticals() {
         let w = tiny_world();
         let key = w.campaigns.iter().find(|c| c.name == "KEY").unwrap();
-        for v in &key.verticals {
+        for v in key.verticals {
             assert!(w.verticals[v.index()].spec.key_targeted);
         }
     }
@@ -800,7 +811,7 @@ mod tests {
     fn doorway_roots_are_indexed() {
         let w = tiny_world();
         let key = w.campaigns.iter().find(|c| c.name == "KEY").unwrap();
-        let d = &key.doorways[0];
+        let d = key.doorways.at(0);
         let pages = w.engine.site_query(d.domain);
         assert!(!pages.is_empty());
         assert!(
@@ -850,7 +861,7 @@ mod tests {
             .campaigns
             .iter()
             .filter(|c| c.supplier_partner)
-            .map(|c| c.name.as_str())
+            .map(|c| c.name)
             .collect();
         assert_eq!(partners, ["MSVALIDATE"]);
     }

@@ -4,7 +4,7 @@ use ss_types::{CampaignId, DomainId, SimDate, StoreId, TermId, VerticalId};
 use ss_web::cloak::CloakMode;
 
 /// One doorway operated by a campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DoorwayState {
     /// The doorway's domain.
     pub domain: DomainId,
@@ -50,7 +50,7 @@ impl ActivityWindow {
 }
 
 /// A campaign agent.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignState {
     /// Id (index into the world's campaign table).
     pub id: CampaignId,

@@ -1,4 +1,5 @@
-//! The domain registry: the simulated DNS plus per-domain site bindings.
+//! The domain table: the simulated DNS plus per-domain site bindings,
+//! stored struct-of-arrays like the rest of the entity plane.
 
 use rand::Rng;
 use ss_types::rng::SimRng;
@@ -7,8 +8,9 @@ use ss_types::{CampaignId, CaseId, DomainId, DomainName, FirmId, SimDate, StoreI
 use ss_web::cloak::CloakMode;
 use ss_web::pagegen::legit::LegitTheme;
 
-/// What a domain hosts.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// What a domain hosts. Small and `Copy` — it lives in a dense column and
+/// is read by value on every fetch dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SiteKind {
     /// A legitimate site competing in organic results.
     Legit {
@@ -51,11 +53,14 @@ pub struct Seizure {
     pub firm: FirmId,
 }
 
-/// One registered domain.
-#[derive(Debug, Clone)]
-pub struct DomainRecord {
+/// Borrowed view of one registered domain. `Copy`; the kind is read by
+/// value so `match rec.kind { … }` dispatch needs no clone.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainRef<'a> {
+    /// Id (row index).
+    pub id: DomainId,
     /// The name.
-    pub name: DomainName,
+    pub name: &'a DomainName,
     /// What it hosts.
     pub kind: SiteKind,
     /// Registration day.
@@ -64,30 +69,33 @@ pub struct DomainRecord {
     pub seized: Option<Seizure>,
 }
 
-/// The registry. Ids are dense and stable; lookups by name are hashed.
+/// The domain table. Ids are dense row indices; each field is its own
+/// column so hot paths (seizure checks, kind dispatch) touch only the
+/// bytes they need. Lookups by name are hashed.
 #[derive(Debug, Default)]
-pub struct DomainRegistry {
-    records: Vec<DomainRecord>,
+pub struct DomainTable {
+    name: Vec<DomainName>,
+    kind: Vec<SiteKind>,
+    created: Vec<SimDate>,
+    pub(crate) seized: Vec<Option<Seizure>>,
     by_name: std::collections::HashMap<DomainName, DomainId>,
 }
 
-impl DomainRegistry {
-    /// Creates an empty registry.
+impl DomainTable {
+    /// Creates an empty table.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Registers a domain; panics on duplicate names (world-generation bug).
     pub fn register(&mut self, name: DomainName, kind: SiteKind, created: SimDate) -> DomainId {
-        let id = DomainId::from_index(self.records.len());
+        let id = DomainId::from_index(self.name.len());
         let prev = self.by_name.insert(name.clone(), id);
         assert!(prev.is_none(), "duplicate domain registration: {name}");
-        self.records.push(DomainRecord {
-            name,
-            kind,
-            created,
-            seized: None,
-        });
+        self.name.push(name);
+        self.kind.push(kind);
+        self.created.push(created);
+        self.seized.push(None);
         id
     }
 
@@ -116,37 +124,49 @@ impl DomainRegistry {
         self.by_name.get(name).copied()
     }
 
-    /// Record access.
-    pub fn get(&self, id: DomainId) -> &DomainRecord {
-        &self.records[id.index()]
+    /// Row view of `id`.
+    pub fn get(&self, id: DomainId) -> DomainRef<'_> {
+        let i = id.index();
+        DomainRef {
+            id,
+            name: &self.name[i],
+            kind: self.kind[i],
+            created: self.created[i],
+            seized: self.seized[i],
+        }
     }
 
-    /// Mutable record access.
-    pub fn get_mut(&mut self, id: DomainId) -> &mut DomainRecord {
-        &mut self.records[id.index()]
+    /// The site kind column entry alone (hot-path dispatch).
+    #[inline]
+    pub(crate) fn kind_of(&self, id: DomainId) -> SiteKind {
+        self.kind[id.index()]
+    }
+
+    /// The seizure column entry alone (hot-path checks touch one column
+    /// instead of constructing a full [`DomainRef`]).
+    #[inline]
+    pub fn seizure_of(&self, id: DomainId) -> Option<Seizure> {
+        self.seized[id.index()]
     }
 
     /// Number of registered domains.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.name.len()
     }
 
-    /// Whether the registry is empty.
+    /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.name.is_empty()
     }
 
-    /// Iterates over `(id, record)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &DomainRecord)> {
-        self.records
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (DomainId::from_index(i), r))
+    /// Iterates row views in id order.
+    pub fn iter(&self) -> impl Iterator<Item = DomainRef<'_>> {
+        (0..self.len()).map(|i| self.get(DomainId::from_index(i)))
     }
 
-    /// Marks a domain seized.
+    /// Marks a domain seized (first writer wins).
     pub fn seize(&mut self, id: DomainId, seizure: Seizure) {
-        self.records[id.index()].seized.get_or_insert(seizure);
+        self.seized[id.index()].get_or_insert(seizure);
     }
 }
 
@@ -215,7 +235,7 @@ mod tests {
 
     #[test]
     fn register_and_lookup() {
-        let mut reg = DomainRegistry::new();
+        let mut reg = DomainTable::new();
         let name = DomainName::parse("example.com").unwrap();
         let id = reg.register(name.clone(), SiteKind::Supplier, day0());
         assert_eq!(reg.lookup(&name), Some(id));
@@ -225,7 +245,7 @@ mod tests {
 
     #[test]
     fn register_unique_suffixes_on_collision() {
-        let mut reg = DomainRegistry::new();
+        let mut reg = DomainTable::new();
         let a = reg.register_unique("shop.com", SiteKind::OffstageStore, day0());
         let b = reg.register_unique("shop.com", SiteKind::OffstageStore, day0());
         assert_ne!(a, b);
@@ -237,7 +257,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate domain registration")]
     fn duplicate_register_panics() {
-        let mut reg = DomainRegistry::new();
+        let mut reg = DomainTable::new();
         let name = DomainName::parse("dup.com").unwrap();
         reg.register(name.clone(), SiteKind::Supplier, day0());
         reg.register(name, SiteKind::Supplier, day0());
@@ -245,7 +265,7 @@ mod tests {
 
     #[test]
     fn seizure_is_first_writer_wins() {
-        let mut reg = DomainRegistry::new();
+        let mut reg = DomainTable::new();
         let id = reg.register(
             DomainName::parse("s.com").unwrap(),
             SiteKind::OffstageStore,

@@ -41,9 +41,14 @@ pub mod plan;
 pub mod scenario;
 pub mod store;
 pub mod supplier;
+pub mod tables;
 pub mod traffic;
 pub mod world;
 
 pub use plan::{TickStage, TrailEvent, WorldEvent};
 pub use scenario::{Scale, ScenarioConfig};
+pub use tables::{
+    CampaignRow, CampaignTable, DomainRoute, DoorwayRow, DoorwaySlice, DoorwayTable, StoreRow,
+    StoreTable,
+};
 pub use world::World;

@@ -243,22 +243,25 @@ impl World {
     /// Stage 1: juice every doorway carries today (zero when the campaign
     /// is dormant or the doorway is dead). Elite-vs-tail multipliers come
     /// from the pre-keyed [`elite_draw`], so no stream is consumed here.
+    /// A columnar scan: per campaign one juice lookup, then only the
+    /// liveness/vertical/domain columns of its doorway range.
     fn plan_juice(&self, today: SimDate) -> Vec<WorldEvent> {
-        let mut plan = Vec::new();
-        for c in &self.campaigns {
-            let base = c.juice_on(today);
-            for d in &c.doorways {
-                let juice = if base > 0.0 && d.is_live(today) {
+        let dt = self.campaigns.doorway_table();
+        let mut plan = Vec::with_capacity(dt.len());
+        for ci in 0..self.campaigns.len() {
+            let base = self.campaigns.juice_on_at(ci, today);
+            for di in self.campaigns.doorway_range(ci) {
+                let juice = if base > 0.0 && dt.is_live_at(di, today) {
                     // Per-doorway multiplier: elites carry full juice (they
                     // crack the top 10), the rest ride the top-100 tail.
-                    let p_elite = self.verticals[d.vertical.index()].elite_prob;
-                    let elite = elite_draw(self.cfg.seed, d.domain) < p_elite;
+                    let p_elite = self.verticals[dt.vertical[di].index()].elite_prob;
+                    let elite = elite_draw(self.cfg.seed, dt.domain[di]) < p_elite;
                     base * if elite { 1.0 } else { 0.42 }
                 } else {
                     0.0
                 };
                 plan.push(WorldEvent::Engine(EngineOp::SetJuice {
-                    domain: d.domain,
+                    domain: dt.domain[di],
                     juice,
                 }));
             }
@@ -275,10 +278,14 @@ impl World {
             return plan;
         };
         for &domain in due {
-            let Some(&(ci, di)) = self.doorway_of.get(&domain) else {
+            let Some(did) = self.route.doorway(domain) else {
                 continue;
             };
-            if !self.campaigns[ci].doorways[di].is_live(today) {
+            if !self
+                .campaigns
+                .doorway_table()
+                .is_live_at(did.index(), today)
+            {
                 continue; // doorway died before detection caught up
             }
             if policy.demote_penalty > 0.0 {
@@ -373,23 +380,23 @@ impl World {
         let policy = &self.firms[fi].policy;
         let day = today.day_index();
         let ranges = shard_ranges(self.tick_threads, self.stores.len());
+        // Columnar scan: touches only the retired/created/brands/current-
+        // domain/history columns instead of walking whole store structs.
+        let st = &self.stores;
         let hits = shard_map(self.tick_threads, ranges.len(), |ri| {
             let mut found = Vec::new();
             for si in ranges[ri].clone() {
-                let s = &self.stores[si];
-                if s.retired || s.created > today || !s.brands.contains(&brand) {
+                if st.retired[si] || st.created[si] > today || !st.brands_of(si).contains(&brand) {
                     continue;
                 }
-                if self.domains.get(s.current_domain).seized.is_some()
-                    || seized_today.contains(&s.current_domain)
-                {
+                let cur = st.current_domain[si];
+                if self.domains.seizure_of(cur).is_some() || seized_today.contains(&cur) {
                     continue;
                 }
-                let since = s
-                    .domain_history
+                let since = st.domain_history[si]
                     .last()
                     .map(|(d, _)| *d)
-                    .unwrap_or(s.created);
+                    .unwrap_or(st.created[si]);
                 let age = today.days_since(since);
                 if age < i64::from(policy.target_lifetime) / 2 {
                     continue;
@@ -398,7 +405,7 @@ impl World {
                 let p = (age as f64 / f64::from(policy.target_lifetime.max(1))).min(1.0) * 0.35;
                 let key = ((fi as u64) << 32) | si as u64;
                 if unit_f64(stream_seed(scan_seed, day, key)) < p {
-                    found.push(s.current_domain);
+                    found.push(cur);
                 }
             }
             found
@@ -495,11 +502,13 @@ impl World {
             }
             let serp: Serp = self.engine.serp(term, today, depth);
             for r in &serp.results {
-                let Some(&(ci, di)) = self.doorway_of.get(&r.domain) else {
+                // Branchless route probe, then raw doorway/store columns.
+                let Some(did) = self.route.doorway(r.domain) else {
                     continue;
                 };
-                let d = &self.campaigns[ci].doorways[di];
-                if !d.is_live(today) {
+                let dt = self.campaigns.doorway_table();
+                let di = did.index();
+                if !dt.is_live_at(di, today) {
                     continue;
                 }
                 let mut rate = traffic::ctr(r.rank);
@@ -512,11 +521,14 @@ impl World {
                 }
                 // Click lands on the doorway; the cloak forwards it to
                 // the store unless the store's domain is seized.
-                let store = d.target_store;
-                let st = &self.stores[store.index()];
-                if st.retired
-                    || st.created > today
-                    || self.domains.get(st.current_domain).seized.is_some()
+                let store = dt.target_store[di];
+                let si = store.index();
+                if self.stores.retired[si]
+                    || self.stores.created[si] > today
+                    || self
+                        .domains
+                        .seizure_of(self.stores.current_domain[si])
+                        .is_some()
                 {
                     continue; // notice page or dead store: traffic lost
                 }
@@ -545,15 +557,17 @@ impl World {
         store_seed: u64,
         store_visits: &StoreSearchVisits,
     ) -> Option<WorldEvent> {
-        let st = &self.stores[si];
-        if st.retired || st.created > today {
+        if self.stores.retired[si] || self.stores.created[si] > today {
             return None;
         }
         let store = StoreId::from_index(si);
         let mut rng = stream_rng(store_seed, today.day_index(), si as u64);
         let (search_visits, referred) =
             store_visits.get(&store).cloned().unwrap_or((0, Vec::new()));
-        let seized = self.domains.get(st.current_domain).seized.is_some();
+        let seized = self
+            .domains
+            .seizure_of(self.stores.current_domain[si])
+            .is_some();
         let direct_visits = if seized {
             0
         } else {
@@ -571,7 +585,7 @@ impl World {
             };
         // Payment intervention: customers cannot complete checkout, so
         // no order numbers are consumed by sales (§4.3.2 extension).
-        if !self.payment_available(st.campaign, today) {
+        if !self.payment_available(self.stores.campaign[si], today) {
             orders = 0;
         }
         Some(WorldEvent::StoreTraffic {
@@ -596,10 +610,10 @@ impl World {
             match event {
                 WorldEvent::Engine(op) => engine_ops.push(op),
                 WorldEvent::PenalizeDoorway { domain, labeled } => {
-                    let Some(&(ci, di)) = self.doorway_of.get(&domain) else {
+                    let Some(did) = self.route.doorway(domain) else {
                         continue;
                     };
-                    self.campaigns[ci].doorways[di].penalized = Some(day);
+                    self.campaigns.penalize_doorway(did, day);
                     ss_obs::count!(self.metrics, "eco.doorways_penalized");
                     self.events.push(Event::DoorwayPenalized {
                         domain,
@@ -647,11 +661,11 @@ impl World {
                 } => {
                     ss_obs::count!(self.metrics, "eco.store_visits", visits);
                     ss_obs::count!(self.metrics, "eco.orders", orders);
-                    let st = &mut self.stores[store.index()];
-                    st.add_orders(orders);
-                    st.record_traffic(day, visits, pages, &referred, direct);
-                    let campaign = st.campaign;
-                    if orders > 0 && self.campaigns[campaign.index()].supplier_partner {
+                    self.stores.add_orders(store, orders);
+                    self.stores
+                        .record_traffic(store, day, visits, pages, &referred, direct);
+                    let campaign = self.stores.campaign[store.index()];
+                    if orders > 0 && self.campaigns.row(campaign).supplier_partner {
                         self.supplier.fulfill(store, day, orders);
                     }
                 }
@@ -665,11 +679,10 @@ impl World {
     }
 
     fn apply_rotation(&mut self, day: SimDate, store: StoreId, reactive: bool) {
-        let st = &mut self.stores[store.index()];
-        if st.retired {
+        if self.stores.retired[store.index()] {
             return;
         }
-        match st.rotate_domain(day) {
+        match self.stores.rotate_domain(store, day) {
             Some((from, to)) => {
                 ss_obs::count!(self.metrics, "eco.store_rotations", 1, reactive = reactive);
                 self.events.push(Event::StoreRotated {
@@ -684,15 +697,17 @@ impl World {
                 ss_obs::count!(self.metrics, "eco.stores_folded");
                 // Pool exhausted: the store folds; its doorways re-point
                 // to a sibling store in the same campaign if one lives.
-                st.retired = true;
-                let campaign = st.campaign;
-                let sibling = self.campaigns[campaign.index()]
+                self.stores.retire(store);
+                let campaign = self.stores.campaign[store.index()];
+                let sibling = self
+                    .campaigns
+                    .row(campaign)
                     .stores
                     .iter()
                     .copied()
-                    .find(|s| *s != store && !self.stores[s.index()].retired);
+                    .find(|s| *s != store && !self.stores.retired[s.index()]);
                 if let Some(sib) = sibling {
-                    self.campaigns[campaign.index()].repoint_doorways(store, sib);
+                    self.campaigns.repoint_doorways(campaign, store, sib);
                 }
             }
         }
@@ -721,10 +736,10 @@ impl World {
             );
             // Stores whose current domain was seized schedule a reactive
             // rotation after the campaign's reaction delay.
-            if let SiteKind::Storefront { store } = self.domains.get(d).kind {
-                let st = &self.stores[store.index()];
-                if st.current_domain == d && !st.retired {
-                    let delay = self.campaigns[st.campaign.index()].reaction_days;
+            if let SiteKind::Storefront { store } = self.domains.kind_of(d) {
+                let si = store.index();
+                if self.stores.current_domain[si] == d && !self.stores.retired[si] {
+                    let delay = self.campaigns.row(self.stores.campaign[si]).reaction_days;
                     self.pending_rotations
                         .entry(today + delay)
                         .or_default()

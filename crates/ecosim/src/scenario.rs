@@ -38,6 +38,22 @@ impl Scale {
         }
     }
 
+    /// Stress-scale world, ~10× the paper's page volume: the full term
+    /// matrix with denser term lists, deeper legitimate competition, 4×
+    /// entity counts, and a three-fold shadow tail. Exists to prove the
+    /// entity plane's headroom, not to match the measurement study.
+    pub fn mega() -> Self {
+        Scale {
+            verticals: 16,
+            terms_per_vertical: 150,
+            legit_per_term: 150,
+            serp_depth: 100,
+            entity_scale: 4.0,
+            shadow_campaigns: 750,
+            end_day: ss_types::CASE_STUDY_END_DAY,
+        }
+    }
+
     /// Small world for tests and examples: every dynamic preserved,
     /// ~50× fewer pages. The crawl window still starts on day 131 but the
     /// world ends shortly after the Figure 6 seizure beat.
@@ -199,6 +215,14 @@ impl ScenarioConfig {
         Self::new(seed, Scale::paper())
     }
 
+    /// Stress-scale scenario (~10× paper page volume): mega world plus a
+    /// denser query stream so traffic planning scales with the page count.
+    pub fn mega(seed: u64) -> Self {
+        let mut cfg = Self::new(seed, Scale::mega());
+        cfg.impressions_per_term = 1200.0;
+        cfg
+    }
+
     /// Small scenario for tests/examples.
     pub fn small(seed: u64) -> Self {
         Self::new(seed, Scale::small())
@@ -260,6 +284,7 @@ mod tests {
     fn presets_validate() {
         for cfg in [
             ScenarioConfig::paper(1),
+            ScenarioConfig::mega(1),
             ScenarioConfig::small(1),
             ScenarioConfig::tiny(1),
         ] {

@@ -33,7 +33,7 @@ impl MonthStats {
 /// A logical counterfeit store. The *store* is the durable entity; its
 /// domain changes under rotation (§5.2.3's coco*.com storefront used three
 /// domains in three months).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoreState {
     /// Id.
     pub id: StoreId,

@@ -1,0 +1,883 @@
+//! Component tables: struct-of-arrays storage for the world's entities.
+//!
+//! The entity plane mirrors what the crawl database does for PSRs with
+//! `PsrStore`: one typed column per field, dense ids as row indices, and
+//! two access disciplines layered on top:
+//!
+//! * **Row views** ([`StoreRow`], [`CampaignRow`], [`DoorwayRow`]) — cheap
+//!   `Copy` structs of column references, built on demand. Use these
+//!   everywhere ergonomics matter: report paths, analysis accessors,
+//!   tests. Strings stay borrowed; nothing is cloned until a report
+//!   boundary actually needs an owned value.
+//! * **Columnar scans** — the tick planners in [`crate::plan`] iterate the
+//!   raw columns (`pub(crate)`) directly, touching only the fields a scan
+//!   needs. A seizure scan reads four columns of a few bytes each instead
+//!   of walking whole nested structs.
+//!
+//! The nested structs ([`StoreState`], [`crate::campaign::CampaignState`],
+//! [`crate::campaign::DoorwayState`]) survive as *builder/materialized*
+//! forms: world generation constructs them (preserving the seeded RNG draw
+//! order exactly), `push` destructures them into columns, and
+//! `materialize` reassembles them for round-trip tests and benchmarks.
+//!
+//! Id discipline: `StoreId`, `CampaignId`, `DoorwayId` and `DomainId` are
+//! dense indices into their tables. Doorways live in one global
+//! [`DoorwayTable`] owned by the [`CampaignTable`]; each campaign's fleet
+//! is a contiguous row range (world generation builds one campaign at a
+//! time), so a campaign's doorways are a [`DoorwaySlice`] — two ints —
+//! and a domain routes to its doorway through [`DomainRoute`], a dense
+//! `Vec` lookup instead of a `HashMap`.
+
+use ss_types::{
+    BrandId, CampaignId, DomainId, DoorwayId, Interner, LocaleId, SimDate, StoreId, TermId,
+    VerticalId,
+};
+use ss_web::cloak::CloakMode;
+
+use crate::campaign::{ActivityWindow, CampaignState, DoorwayState};
+use crate::store::{MonthStats, StoreState};
+
+// ---- stores ----
+
+/// Struct-of-arrays storage for every store in the world.
+///
+/// Fixed-at-creation, fixed-width fields are plain columns; per-store
+/// growable collections (domain history, backup pool, AWStats months) are
+/// `Vec<Vec<…>>` columns; brand portfolios are flattened into one arena
+/// with prefix offsets; locales are interned into a shared table and
+/// stored as a [`LocaleId`] column.
+#[derive(Debug, Default)]
+pub struct StoreTable {
+    pub(crate) campaign: Vec<CampaignId>,
+    name: Vec<String>,
+    /// Flattened brand portfolios; store `i` owns
+    /// `brands[brands_off[i] as usize..brands_off[i + 1] as usize]`.
+    brands: Vec<BrandId>,
+    brands_off: Vec<u32>,
+    pub(crate) locale: Vec<LocaleId>,
+    locales: Interner,
+    pub(crate) current_domain: Vec<DomainId>,
+    pub(crate) domain_history: Vec<Vec<(SimDate, DomainId)>>,
+    backup_pool: Vec<Vec<DomainId>>,
+    pub(crate) order_counter: Vec<u64>,
+    orders_accrued: Vec<u64>,
+    merchant_id: Vec<String>,
+    awstats_public: Vec<bool>,
+    pub(crate) created: Vec<SimDate>,
+    months: Vec<Vec<MonthStats>>,
+    seed: Vec<u64>,
+    pub(crate) retired: Vec<bool>,
+}
+
+/// Borrowed view of one store row. `Copy`; strings resolve to `&str` at
+/// view construction and are cloned only where a report boundary needs an
+/// owned value.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreRow<'a> {
+    /// Id (row index).
+    pub id: StoreId,
+    /// Operating campaign.
+    pub campaign: CampaignId,
+    /// Display name.
+    pub name: &'a str,
+    /// Brands on sale.
+    pub brands: &'a [BrandId],
+    /// Locale ("us", "uk", …), resolved from the shared intern table.
+    pub locale: &'a str,
+    /// Interned locale id.
+    pub locale_id: LocaleId,
+    /// Current serving domain.
+    pub current_domain: DomainId,
+    /// Full domain history `(first_day, domain)`, current last.
+    pub domain_history: &'a [(SimDate, DomainId)],
+    /// Backup domains not yet used.
+    pub backup_pool: &'a [DomainId],
+    /// Monotone order counter.
+    pub order_counter: u64,
+    /// Orders accrued during the simulation.
+    pub orders_accrued: u64,
+    /// Merchant id with the payment processor.
+    pub merchant_id: &'a str,
+    /// Whether the AWStats report is publicly reachable.
+    pub awstats_public: bool,
+    /// Day the store went live.
+    pub created: SimDate,
+    /// Monthly traffic stats, newest last.
+    pub months: &'a [MonthStats],
+    /// Per-store render seed.
+    pub seed: u64,
+    /// Whether the campaign has stopped operating this store.
+    pub retired: bool,
+}
+
+impl StoreRow<'_> {
+    /// The monthly bucket covering `day`, if recorded.
+    pub fn month_for(&self, day: SimDate) -> Option<&MonthStats> {
+        let (y, m, _) = day.ymd();
+        self.months.iter().find(|b| b.year_month == (y, m))
+    }
+}
+
+impl StoreTable {
+    /// Number of stores.
+    pub fn len(&self) -> usize {
+        self.campaign.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.campaign.is_empty()
+    }
+
+    /// Appends a store built as a nested [`StoreState`], destructuring it
+    /// into columns. The state's `id` must equal the next row index.
+    pub fn push(&mut self, s: StoreState) -> StoreId {
+        assert_eq!(s.id.index(), self.len(), "store ids are dense");
+        if self.brands_off.is_empty() {
+            self.brands_off.push(0);
+        }
+        self.campaign.push(s.campaign);
+        self.name.push(s.name);
+        self.brands.extend_from_slice(&s.brands);
+        self.brands_off.push(self.brands.len() as u32);
+        self.locale.push(LocaleId(self.locales.intern(&s.locale)));
+        self.current_domain.push(s.current_domain);
+        self.domain_history.push(s.domain_history);
+        self.backup_pool.push(s.backup_pool);
+        self.order_counter.push(s.order_counter);
+        self.orders_accrued.push(s.orders_accrued);
+        self.merchant_id.push(s.merchant_id);
+        self.awstats_public.push(s.awstats_public);
+        self.created.push(s.created);
+        self.months.push(s.months);
+        self.seed.push(s.seed);
+        self.retired.push(s.retired);
+        s.id
+    }
+
+    /// Borrowed view of row `id`.
+    pub fn row(&self, id: StoreId) -> StoreRow<'_> {
+        self.get(id.index())
+    }
+
+    /// Borrowed view of raw row index `i`.
+    pub fn get(&self, i: usize) -> StoreRow<'_> {
+        StoreRow {
+            id: StoreId::from_index(i),
+            campaign: self.campaign[i],
+            name: &self.name[i],
+            brands: self.brands_of(i),
+            locale: self.locales.resolve(self.locale[i].0),
+            locale_id: self.locale[i],
+            current_domain: self.current_domain[i],
+            domain_history: &self.domain_history[i],
+            backup_pool: &self.backup_pool[i],
+            order_counter: self.order_counter[i],
+            orders_accrued: self.orders_accrued[i],
+            merchant_id: &self.merchant_id[i],
+            awstats_public: self.awstats_public[i],
+            created: self.created[i],
+            months: &self.months[i],
+            seed: self.seed[i],
+            retired: self.retired[i],
+        }
+    }
+
+    /// Iterates row views in id order.
+    pub fn iter(&self) -> impl Iterator<Item = StoreRow<'_>> {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// The `retired` column (columnar-scan access: planners and benches
+    /// read whole columns instead of constructing row views per store).
+    pub fn retired_col(&self) -> &[bool] {
+        &self.retired
+    }
+
+    /// The `created` column (columnar-scan access).
+    pub fn created_col(&self) -> &[SimDate] {
+        &self.created
+    }
+
+    /// The `current_domain` column (columnar-scan access).
+    pub fn current_domain_col(&self) -> &[DomainId] {
+        &self.current_domain
+    }
+
+    /// The `order_counter` column (columnar-scan access).
+    pub fn order_counter_col(&self) -> &[u64] {
+        &self.order_counter
+    }
+
+    /// Brand portfolio of raw row `i` (columnar-scan access).
+    pub(crate) fn brands_of(&self, i: usize) -> &[BrandId] {
+        &self.brands[self.brands_off[i] as usize..self.brands_off[i + 1] as usize]
+    }
+
+    /// The shared locale intern table.
+    pub fn locales(&self) -> &Interner {
+        &self.locales
+    }
+
+    /// Reassembles the nested form of row `id` (round-trip tests, the
+    /// nested-vs-columnar benchmark baseline).
+    pub fn materialize(&self, id: StoreId) -> StoreState {
+        let r = self.row(id);
+        StoreState {
+            id: r.id,
+            campaign: r.campaign,
+            name: r.name.to_owned(),
+            brands: r.brands.to_vec(),
+            locale: r.locale.to_owned(),
+            current_domain: r.current_domain,
+            domain_history: r.domain_history.to_vec(),
+            backup_pool: r.backup_pool.to_vec(),
+            order_counter: r.order_counter,
+            orders_accrued: r.orders_accrued,
+            merchant_id: r.merchant_id.to_owned(),
+            awstats_public: r.awstats_public,
+            created: r.created,
+            months: r.months.to_vec(),
+            seed: r.seed,
+            retired: r.retired,
+        }
+    }
+
+    // ---- mutators (the apply-plan choke points) ----
+
+    /// Allocates the next order number (monotonically increasing — the
+    /// invariant the purchase-pair technique rests on).
+    pub fn allocate_order(&mut self, id: StoreId) -> u64 {
+        let i = id.index();
+        self.order_counter[i] += 1;
+        self.orders_accrued[i] += 1;
+        self.order_counter[i]
+    }
+
+    /// Bulk-advances the counter by `n` customer orders.
+    pub fn add_orders(&mut self, id: StoreId, n: u64) {
+        let i = id.index();
+        self.order_counter[i] += n;
+        self.orders_accrued[i] += n;
+    }
+
+    /// Records a day of traffic into the right monthly bucket.
+    pub fn record_traffic(
+        &mut self,
+        id: StoreId,
+        day: SimDate,
+        visits: u64,
+        pages: u64,
+        referred: &[(String, u64)],
+        direct: u64,
+    ) {
+        let months = &mut self.months[id.index()];
+        let (y, m, _) = day.ymd();
+        if months.last().map(|b| b.year_month) != Some((y, m)) {
+            months.push(MonthStats {
+                year_month: (y, m),
+                ..MonthStats::default()
+            });
+        }
+        let bucket = months.last_mut().expect("just ensured");
+        bucket.visits += visits;
+        bucket.pages += pages;
+        bucket.direct_visits += direct;
+        for (host, n) in referred {
+            bucket.add_referrer(host, *n);
+        }
+        bucket.daily.push((day, visits, pages));
+    }
+
+    /// Rotates to the next backup domain; returns `(old, new)` if a backup
+    /// was available.
+    pub fn rotate_domain(&mut self, id: StoreId, day: SimDate) -> Option<(DomainId, DomainId)> {
+        let i = id.index();
+        if self.backup_pool[i].is_empty() {
+            return None;
+        }
+        let next = self.backup_pool[i].remove(0);
+        let old = self.current_domain[i];
+        self.current_domain[i] = next;
+        self.domain_history[i].push((day, next));
+        Some((old, next))
+    }
+
+    /// Marks the store retired.
+    pub fn retire(&mut self, id: StoreId) {
+        self.retired[id.index()] = true;
+    }
+
+    /// Scripted-beat override: exposes the AWStats report.
+    pub fn set_awstats_public(&mut self, id: StoreId, public: bool) {
+        self.awstats_public[id.index()] = public;
+    }
+
+    /// Scripted-beat override: renames the store.
+    pub fn set_name(&mut self, id: StoreId, name: &str) {
+        self.name[id.index()] = name.to_owned();
+    }
+
+    /// Scripted-beat override: re-localizes the store.
+    pub fn set_locale(&mut self, id: StoreId, locale: &str) {
+        self.locale[id.index()] = LocaleId(self.locales.intern(locale));
+    }
+}
+
+// ---- doorways ----
+
+/// Struct-of-arrays storage for every doorway in the world, owned by the
+/// [`CampaignTable`]. Rows are contiguous per campaign, in build order.
+#[derive(Debug, Default)]
+pub struct DoorwayTable {
+    pub(crate) campaign: Vec<CampaignId>,
+    pub(crate) domain: Vec<DomainId>,
+    pub(crate) vertical: Vec<VerticalId>,
+    pub(crate) target_store: Vec<StoreId>,
+    pub(crate) live_from: Vec<SimDate>,
+    pub(crate) live_until: Vec<SimDate>,
+    pub(crate) penalized: Vec<Option<SimDate>>,
+    /// Flattened term targets; doorway `i` owns
+    /// `terms[terms_off[i] as usize..terms_off[i + 1] as usize]`.
+    terms: Vec<TermId>,
+    terms_off: Vec<u32>,
+}
+
+/// Borrowed view of one doorway row.
+#[derive(Debug, Clone, Copy)]
+pub struct DoorwayRow<'a> {
+    /// Id (row index in the global doorway table).
+    pub id: DoorwayId,
+    /// Operating campaign.
+    pub campaign: CampaignId,
+    /// The doorway's domain.
+    pub domain: DomainId,
+    /// Terms it targets (each indexed as a separate page).
+    pub terms: &'a [TermId],
+    /// Vertical the terms belong to.
+    pub vertical: VerticalId,
+    /// The store it funnels to (updated on rotation).
+    pub target_store: StoreId,
+    /// Day it was compromised / registered and SEO started.
+    pub live_from: SimDate,
+    /// Day it stops redirecting (cohort retirement), exclusive.
+    pub live_until: SimDate,
+    /// Whether the search engine has penalized it, and when.
+    pub penalized: Option<SimDate>,
+}
+
+impl DoorwayRow<'_> {
+    /// Whether the doorway actively serves the campaign on `day`.
+    pub fn is_live(&self, day: SimDate) -> bool {
+        self.live_from <= day && day < self.live_until
+    }
+}
+
+impl DoorwayTable {
+    /// Number of doorways (across all campaigns).
+    pub fn len(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domain.is_empty()
+    }
+
+    /// Borrowed view of row `id`.
+    pub fn row(&self, id: DoorwayId) -> DoorwayRow<'_> {
+        self.get(id.index())
+    }
+
+    /// Borrowed view of raw row index `i`.
+    pub fn get(&self, i: usize) -> DoorwayRow<'_> {
+        DoorwayRow {
+            id: DoorwayId::from_index(i),
+            campaign: self.campaign[i],
+            domain: self.domain[i],
+            terms: &self.terms[self.terms_off[i] as usize..self.terms_off[i + 1] as usize],
+            vertical: self.vertical[i],
+            target_store: self.target_store[i],
+            live_from: self.live_from[i],
+            live_until: self.live_until[i],
+            penalized: self.penalized[i],
+        }
+    }
+
+    /// Columnar liveness check for raw row `i` (hot-path scans).
+    pub(crate) fn is_live_at(&self, i: usize, day: SimDate) -> bool {
+        self.live_from[i] <= day && day < self.live_until[i]
+    }
+
+    fn push(&mut self, campaign: CampaignId, d: DoorwayState) -> DoorwayId {
+        if self.terms_off.is_empty() {
+            self.terms_off.push(0);
+        }
+        let id = DoorwayId::from_index(self.len());
+        self.campaign.push(campaign);
+        self.domain.push(d.domain);
+        self.vertical.push(d.vertical);
+        self.target_store.push(d.target_store);
+        self.live_from.push(d.live_from);
+        self.live_until.push(d.live_until);
+        self.penalized.push(d.penalized);
+        self.terms.extend_from_slice(&d.terms);
+        self.terms_off.push(self.terms.len() as u32);
+        id
+    }
+}
+
+/// One campaign's contiguous doorway range — a borrowed, `Copy` window
+/// into the global [`DoorwayTable`].
+#[derive(Debug, Clone, Copy)]
+pub struct DoorwaySlice<'a> {
+    table: &'a DoorwayTable,
+    start: u32,
+    end: u32,
+}
+
+impl<'a> DoorwaySlice<'a> {
+    /// Number of doorways in the fleet.
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterates the fleet's row views in build order.
+    pub fn iter(self) -> impl Iterator<Item = DoorwayRow<'a>> {
+        (self.start as usize..self.end as usize).map(|i| self.table.get(i))
+    }
+
+    /// Row view of the `i`-th doorway of the fleet.
+    pub fn at(self, i: usize) -> DoorwayRow<'a> {
+        assert!(i < self.len(), "doorway index {i} out of fleet bounds");
+        self.table.get(self.start as usize + i)
+    }
+}
+
+// ---- campaigns ----
+
+/// Struct-of-arrays storage for every campaign, owning the global
+/// [`DoorwayTable`].
+#[derive(Debug, Default)]
+pub struct CampaignTable {
+    name: Vec<String>,
+    classified: Vec<bool>,
+    verticals: Vec<Vec<VerticalId>>,
+    stores: Vec<Vec<StoreId>>,
+    cloak: Vec<CloakMode>,
+    windows: Vec<Vec<ActivityWindow>>,
+    reaction_days: Vec<u32>,
+    supplier_partner: Vec<bool>,
+    /// Per-campaign `[start, end)` row range in the doorway table.
+    doorway_start: Vec<u32>,
+    doorway_end: Vec<u32>,
+    pub(crate) doorways: DoorwayTable,
+}
+
+/// Borrowed view of one campaign row.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignRow<'a> {
+    /// Id (row index).
+    pub id: CampaignId,
+    /// Table 2 name, or `SHADOW.n` for the unclassified tail.
+    pub name: &'a str,
+    /// Whether the campaign is in the 52-campaign classified universe.
+    pub classified: bool,
+    /// Verticals targeted.
+    pub verticals: &'a [VerticalId],
+    /// Store fleet.
+    pub stores: &'a [StoreId],
+    /// Cloaking mechanism used by this campaign's kit.
+    pub cloak: CloakMode,
+    /// Activity schedule (non-overlapping, ordered).
+    pub windows: &'a [ActivityWindow],
+    /// Days the campaign takes to re-point doorways after a store seizure.
+    pub reaction_days: u32,
+    /// Whether the campaign partners with the tracked supplier.
+    pub supplier_partner: bool,
+    /// Doorway fleet (all cohorts, live and retired).
+    pub doorways: DoorwaySlice<'a>,
+}
+
+impl CampaignRow<'_> {
+    /// Juice level on `day` (0 outside all windows). Overlapping windows
+    /// combine by maximum.
+    pub fn juice_on(&self, day: SimDate) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.contains(day))
+            .map(|w| w.juice)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether the campaign is actively SEOing on `day`.
+    pub fn is_active(&self, day: SimDate) -> bool {
+        self.juice_on(day) > 0.0
+    }
+}
+
+impl CampaignTable {
+    /// Number of campaigns.
+    pub fn len(&self) -> usize {
+        self.name.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.name.is_empty()
+    }
+
+    /// Appends a campaign built as a nested [`CampaignState`]. The state's
+    /// `id` must equal the next row index and its doorway fleet must be
+    /// empty — doorways are appended through [`CampaignTable::push_doorway`]
+    /// so each campaign's fleet stays a contiguous range.
+    pub fn push(&mut self, c: CampaignState) -> CampaignId {
+        assert_eq!(c.id.index(), self.len(), "campaign ids are dense");
+        assert!(
+            c.doorways.is_empty(),
+            "doorways are pushed through push_doorway, not carried in"
+        );
+        self.name.push(c.name);
+        self.classified.push(c.classified);
+        self.verticals.push(c.verticals);
+        self.stores.push(c.stores);
+        self.cloak.push(c.cloak);
+        self.windows.push(c.windows);
+        self.reaction_days.push(c.reaction_days);
+        self.supplier_partner.push(c.supplier_partner);
+        let n = self.doorways.len() as u32;
+        self.doorway_start.push(n);
+        self.doorway_end.push(n);
+        c.id
+    }
+
+    /// Borrowed view of row `id`.
+    pub fn row(&self, id: CampaignId) -> CampaignRow<'_> {
+        self.get(id.index()).expect("campaign id in range")
+    }
+
+    /// Borrowed view of raw row index `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<CampaignRow<'_>> {
+        if i >= self.len() {
+            return None;
+        }
+        Some(CampaignRow {
+            id: CampaignId::from_index(i),
+            name: &self.name[i],
+            classified: self.classified[i],
+            verticals: &self.verticals[i],
+            stores: &self.stores[i],
+            cloak: self.cloak[i],
+            windows: &self.windows[i],
+            reaction_days: self.reaction_days[i],
+            supplier_partner: self.supplier_partner[i],
+            doorways: DoorwaySlice {
+                table: &self.doorways,
+                start: self.doorway_start[i],
+                end: self.doorway_end[i],
+            },
+        })
+    }
+
+    /// Iterates row views in id order.
+    pub fn iter(&self) -> impl Iterator<Item = CampaignRow<'_>> {
+        (0..self.len()).map(|i| self.get(i).expect("index in range"))
+    }
+
+    /// The global doorway table (columnar-scan access for planners).
+    pub fn doorway_table(&self) -> &DoorwayTable {
+        &self.doorways
+    }
+
+    /// Row view of one doorway by global id.
+    pub fn doorway(&self, id: DoorwayId) -> DoorwayRow<'_> {
+        self.doorways.row(id)
+    }
+
+    /// Campaign `id`'s doorway rows as raw range bounds (columnar scans).
+    pub(crate) fn doorway_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.doorway_start[i] as usize..self.doorway_end[i] as usize
+    }
+
+    /// Adds a store to campaign `id`'s fleet.
+    pub fn add_store(&mut self, id: CampaignId, store: StoreId) {
+        self.stores[id.index()].push(store);
+    }
+
+    /// Appends a doorway to campaign `id`'s fleet. Only the campaign with
+    /// the last fleet range may grow (world generation builds one campaign
+    /// at a time), which keeps every fleet contiguous.
+    pub fn push_doorway(&mut self, id: CampaignId, d: DoorwayState) -> DoorwayId {
+        let i = id.index();
+        assert_eq!(
+            self.doorway_end[i],
+            self.doorways.len() as u32,
+            "campaign {i} is not the tail of the doorway table"
+        );
+        let did = self.doorways.push(id, d);
+        self.doorway_end[i] += 1;
+        did
+    }
+
+    /// Marks a doorway penalized on `day` (first writer wins).
+    pub fn penalize_doorway(&mut self, id: DoorwayId, day: SimDate) {
+        self.doorways.penalized[id.index()] = Some(day);
+    }
+
+    /// Re-points every doorway of campaign `id` currently targeting `from`
+    /// to `to` (the §5.3.2 counter-move); returns how many moved.
+    pub fn repoint_doorways(&mut self, id: CampaignId, from: StoreId, to: StoreId) -> usize {
+        let range = self.doorway_range(id.index());
+        let mut n = 0;
+        for t in &mut self.doorways.target_store[range] {
+            if *t == from {
+                *t = to;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Juice level of campaign at raw row `i` on `day` (columnar scans).
+    pub(crate) fn juice_on_at(&self, i: usize, day: SimDate) -> f64 {
+        self.windows[i]
+            .iter()
+            .filter(|w| w.contains(day))
+            .map(|w| w.juice)
+            .fold(0.0, f64::max)
+    }
+
+    /// Reassembles the nested form of campaign `id` (round-trip tests).
+    pub fn materialize(&self, id: CampaignId) -> CampaignState {
+        let r = self.row(id);
+        CampaignState {
+            id: r.id,
+            name: r.name.to_owned(),
+            classified: r.classified,
+            verticals: r.verticals.to_vec(),
+            doorways: r
+                .doorways
+                .iter()
+                .map(|d| DoorwayState {
+                    domain: d.domain,
+                    terms: d.terms.to_vec(),
+                    vertical: d.vertical,
+                    target_store: d.target_store,
+                    live_from: d.live_from,
+                    live_until: d.live_until,
+                    penalized: d.penalized,
+                })
+                .collect(),
+            stores: r.stores.to_vec(),
+            cloak: r.cloak,
+            windows: r.windows.to_vec(),
+            reaction_days: r.reaction_days,
+            supplier_partner: r.supplier_partner,
+        }
+    }
+}
+
+// ---- routing ----
+
+/// Dense domain → doorway routing: a `Vec` indexed by `DomainId` (domain
+/// ids are dense), `u32::MAX` marking non-doorway domains. Replaces the
+/// former `HashMap<DomainId, (usize, usize)>` — fetch routing and the
+/// per-SERP-slot planner probe become a branchless array lookup.
+#[derive(Debug, Default)]
+pub struct DomainRoute {
+    to_doorway: Vec<u32>,
+}
+
+/// Route sentinel: "this domain is not a doorway".
+const NO_DOORWAY: u32 = u32::MAX;
+
+impl DomainRoute {
+    /// Routes `domain` to `doorway`.
+    pub fn set(&mut self, domain: DomainId, doorway: DoorwayId) {
+        let i = domain.index();
+        if i >= self.to_doorway.len() {
+            self.to_doorway.resize(i + 1, NO_DOORWAY);
+        }
+        self.to_doorway[i] = doorway.0;
+    }
+
+    /// The doorway serving on `domain`, if any. Out-of-range ids (domains
+    /// registered after the last doorway, e.g. bulk seizure filler) are
+    /// simply not doorways.
+    #[inline]
+    pub fn doorway(&self, domain: DomainId) -> Option<DoorwayId> {
+        match self.to_doorway.get(domain.index()) {
+            Some(&d) if d != NO_DOORWAY => Some(DoorwayId(d)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(n: u32) -> SimDate {
+        SimDate::from_day_index(n)
+    }
+
+    fn sample_store(i: usize, campaign: u32) -> StoreState {
+        StoreState {
+            id: StoreId::from_index(i),
+            campaign: CampaignId(campaign),
+            name: format!("store {i}"),
+            brands: vec![BrandId(i as u32), BrandId(7)],
+            locale: if i.is_multiple_of(2) {
+                "us".into()
+            } else {
+                "uk".into()
+            },
+            current_domain: DomainId(10 + i as u32),
+            domain_history: vec![(day(5), DomainId(10 + i as u32))],
+            backup_pool: vec![DomainId(100 + i as u32)],
+            order_counter: 2_000 + i as u64,
+            orders_accrued: 0,
+            merchant_id: format!("m-{i}"),
+            awstats_public: i == 0,
+            created: day(5),
+            months: Vec::new(),
+            seed: 42 + i as u64,
+            retired: false,
+        }
+    }
+
+    #[test]
+    fn store_push_materialize_roundtrips() {
+        let mut t = StoreTable::default();
+        for i in 0..4 {
+            t.push(sample_store(i, 1));
+        }
+        assert_eq!(t.len(), 4);
+        // Locales interned: two distinct strings across four stores.
+        assert_eq!(t.locales().len(), 2);
+        for i in 0..4 {
+            let m = t.materialize(StoreId::from_index(i));
+            let expect = sample_store(i, 1);
+            assert_eq!(m.name, expect.name);
+            assert_eq!(m.brands, expect.brands);
+            assert_eq!(m.locale, expect.locale);
+            assert_eq!(m.backup_pool, expect.backup_pool);
+            assert_eq!(m.order_counter, expect.order_counter);
+        }
+    }
+
+    #[test]
+    fn store_mutators_match_nested_semantics() {
+        let mut t = StoreTable::default();
+        let id = t.push(sample_store(0, 0));
+        let mut nested = sample_store(0, 0);
+
+        assert_eq!(t.allocate_order(id), nested.allocate_order());
+        t.add_orders(id, 10);
+        nested.add_orders(10);
+        t.record_traffic(id, day(30), 100, 560, &[("g.com".into(), 40)], 60);
+        nested.record_traffic(day(30), 100, 560, &[("g.com".into(), 40)], 60);
+        assert_eq!(t.rotate_domain(id, day(40)), nested.rotate_domain(day(40)));
+        assert_eq!(t.rotate_domain(id, day(50)), nested.rotate_domain(day(50)));
+
+        let m = t.materialize(id);
+        assert_eq!(m.order_counter, nested.order_counter);
+        assert_eq!(m.orders_accrued, nested.orders_accrued);
+        assert_eq!(m.months, nested.months);
+        assert_eq!(m.current_domain, nested.current_domain);
+        assert_eq!(m.domain_history, nested.domain_history);
+        assert_eq!(m.backup_pool, nested.backup_pool);
+    }
+
+    fn sample_campaign(i: usize) -> CampaignState {
+        CampaignState {
+            id: CampaignId::from_index(i),
+            name: format!("C{i}"),
+            classified: i == 0,
+            verticals: vec![VerticalId(0)],
+            doorways: Vec::new(),
+            stores: vec![StoreId(i as u32)],
+            cloak: CloakMode::Redirect,
+            windows: vec![ActivityWindow {
+                from: day(100),
+                to: day(200),
+                juice: 0.5,
+            }],
+            reaction_days: 7,
+            supplier_partner: false,
+        }
+    }
+
+    fn sample_doorway(k: u32, store: u32) -> DoorwayState {
+        DoorwayState {
+            domain: DomainId(500 + k),
+            terms: vec![TermId(k), TermId(k + 1)],
+            vertical: VerticalId(0),
+            target_store: StoreId(store),
+            live_from: day(100 + k),
+            live_until: day(300),
+            penalized: None,
+        }
+    }
+
+    #[test]
+    fn campaign_fleets_stay_contiguous_and_roundtrip() {
+        let mut t = CampaignTable::default();
+        let a = t.push(sample_campaign(0));
+        for k in 0..3 {
+            t.push_doorway(a, sample_doorway(k, 0));
+        }
+        let b = t.push(sample_campaign(1));
+        t.push_doorway(b, sample_doorway(10, 1));
+
+        assert_eq!(t.row(a).doorways.len(), 3);
+        assert_eq!(t.row(b).doorways.len(), 1);
+        assert_eq!(t.row(b).doorways.at(0).domain, DomainId(510));
+        assert_eq!(t.doorway_table().len(), 4);
+        // Global ids are per-campaign contiguous.
+        let ids: Vec<u32> = t.row(a).doorways.iter().map(|d| d.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+
+        let m = t.materialize(a);
+        assert_eq!(m.doorways.len(), 3);
+        assert_eq!(m.doorways[2].terms, vec![TermId(2), TermId(3)]);
+        assert_eq!(m.juice_on(day(150)), t.row(a).juice_on(day(150)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not the tail")]
+    fn out_of_order_doorway_push_panics() {
+        let mut t = CampaignTable::default();
+        let a = t.push(sample_campaign(0));
+        let b = t.push(sample_campaign(1));
+        t.push_doorway(b, sample_doorway(0, 1));
+        t.push_doorway(a, sample_doorway(1, 0));
+    }
+
+    #[test]
+    fn repoint_moves_only_matching_doorways() {
+        let mut t = CampaignTable::default();
+        let a = t.push(sample_campaign(0));
+        t.push_doorway(a, sample_doorway(0, 0));
+        t.push_doorway(a, sample_doorway(1, 1));
+        let moved = t.repoint_doorways(a, StoreId(0), StoreId(5));
+        assert_eq!(moved, 1);
+        assert_eq!(t.row(a).doorways.at(0).target_store, StoreId(5));
+        assert_eq!(t.row(a).doorways.at(1).target_store, StoreId(1));
+    }
+
+    #[test]
+    fn route_is_dense_and_total() {
+        let mut r = DomainRoute::default();
+        r.set(DomainId(5), DoorwayId(2));
+        assert_eq!(r.doorway(DomainId(5)), Some(DoorwayId(2)));
+        assert_eq!(r.doorway(DomainId(4)), None);
+        // Beyond the table: late-registered bulk domains are not doorways.
+        assert_eq!(r.doorway(DomainId(1_000_000)), None);
+    }
+}

@@ -3,8 +3,13 @@
 //!
 //! The day-tick loop itself lives in [`crate::plan`]: each stage plans as
 //! a pure function over `&World` and commits through `World::apply_plan`.
+//!
+//! Entity state lives in component tables ([`crate::tables`]): stores,
+//! campaigns, doorways and domains are each a struct-of-arrays table
+//! indexed by their dense id. Accessors here hand out borrowed row views;
+//! the planners scan raw columns.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use ss_types::market::VerticalSpec;
 use ss_types::{BrandId, CampaignId, DomainId, FirmId, SimDate, StoreId, TermId, Url, VerticalId};
@@ -16,13 +21,12 @@ use ss_web::pagegen::storefront::StoreTemplate;
 use ss_web::pagegen::supplier::ShipStatus;
 use ss_web::pagegen::{awstats, doorway, legit, notice, storefront, supplier as supplier_pages};
 
-use crate::campaign::CampaignState;
-use crate::domains::{DomainRegistry, Seizure, SiteKind};
+use crate::domains::{DomainTable, Seizure, SiteKind};
 use crate::events::EventLog;
 use crate::legal::FirmState;
 use crate::scenario::ScenarioConfig;
-use crate::store::StoreState;
 use crate::supplier::SupplierState;
+use crate::tables::{CampaignRow, CampaignTable, DomainRoute, DoorwayRow, StoreRow, StoreTable};
 
 /// Per-vertical runtime state.
 #[derive(Debug)]
@@ -52,16 +56,17 @@ pub struct World {
     pub engine: SearchEngine,
     /// The suggest service.
     pub suggest: ss_search::suggest::SuggestService,
-    /// Domain registry.
-    pub domains: DomainRegistry,
+    /// Domain table (the simulated DNS).
+    pub domains: DomainTable,
     /// Monitored verticals.
     pub verticals: Vec<VerticalState>,
     /// Brand names by `BrandId` index.
     pub brand_names: Vec<&'static str>,
-    /// Campaign agents (classified first, then the shadow tail).
-    pub campaigns: Vec<CampaignState>,
-    /// Store agents.
-    pub stores: Vec<StoreState>,
+    /// Campaign component table (classified first, then the shadow tail),
+    /// owning the global doorway table.
+    pub campaigns: CampaignTable,
+    /// Store component table.
+    pub stores: StoreTable,
     /// Brand-protection firms.
     pub firms: Vec<FirmState>,
     /// The supplier.
@@ -70,8 +75,8 @@ pub struct World {
     pub supplier_domain: DomainId,
     /// Ground-truth event log.
     pub events: EventLog,
-    /// domain → (campaign index, doorway index) for fetch routing.
-    pub(crate) doorway_of: HashMap<DomainId, (usize, usize)>,
+    /// domain → doorway row for fetch routing (dense array lookup).
+    pub(crate) route: DomainRoute,
     /// Penalization schedule, indexed by due day.
     pub(crate) penalty_due: BTreeMap<SimDate, Vec<DomainId>>,
     /// Store rotations queued by seizure reactions, indexed by due day.
@@ -119,16 +124,16 @@ impl World {
             cfg,
             day: SimDate::EPOCH,
             engine,
-            domains: DomainRegistry::new(),
+            domains: DomainTable::new(),
             verticals: Vec::new(),
             brand_names: Vec::new(),
-            campaigns: Vec::new(),
-            stores: Vec::new(),
+            campaigns: CampaignTable::default(),
+            stores: StoreTable::default(),
             firms: Vec::new(),
             supplier: SupplierState::new(seed, 100_000),
             supplier_domain: DomainId(u32::MAX),
             events: EventLog::new(),
-            doorway_of: HashMap::new(),
+            route: DomainRoute::default(),
             penalty_due: BTreeMap::new(),
             pending_rotations: BTreeMap::new(),
             proactive_rotations: BTreeMap::new(),
@@ -154,9 +159,14 @@ impl World {
         &self.templates[campaign.index()]
     }
 
-    /// Store accessor.
-    pub fn store(&self, id: StoreId) -> &StoreState {
-        &self.stores[id.index()]
+    /// Store row accessor.
+    pub fn store(&self, id: StoreId) -> StoreRow<'_> {
+        self.stores.row(id)
+    }
+
+    /// Campaign row accessor.
+    pub fn campaign(&self, id: CampaignId) -> CampaignRow<'_> {
+        self.campaigns.row(id)
     }
 
     /// Brand name accessor.
@@ -165,13 +175,11 @@ impl World {
     }
 
     /// Ground-truth lookup: is this domain a doorway, and for whom?
-    pub fn doorway_truth(
-        &self,
-        domain: DomainId,
-    ) -> Option<(CampaignId, &crate::campaign::DoorwayState)> {
-        self.doorway_of
-            .get(&domain)
-            .map(|(c, d)| (CampaignId::from_index(*c), &self.campaigns[*c].doorways[*d]))
+    pub fn doorway_truth(&self, domain: DomainId) -> Option<(CampaignId, DoorwayRow<'_>)> {
+        self.route.doorway(domain).map(|did| {
+            let d = self.campaigns.doorway(did);
+            (d.campaign, d)
+        })
     }
 
     /// Convenience: the term text for a term id.
@@ -211,8 +219,8 @@ impl World {
         let SiteKind::Storefront { store } = self.domains.get(id).kind else {
             return None;
         };
-        let campaign = self.stores[store.index()].campaign;
-        self.campaigns[campaign.index()].supplier_partner.then(|| {
+        let campaign = self.stores.row(store).campaign;
+        self.campaigns.row(campaign).supplier_partner.then(|| {
             self.domains
                 .get(self.supplier_domain)
                 .name
@@ -246,7 +254,7 @@ impl World {
 
         // Domains + seizures.
         h = fold(h, self.domains.len() as u64);
-        for (_, rec) in self.domains.iter() {
+        for rec in self.domains.iter() {
             h = fold_str(h, rec.name.as_str());
             if let Some(s) = rec.seized {
                 h = fold(h, u64::from(s.day.day_index()));
@@ -267,7 +275,7 @@ impl World {
         }
 
         // Stores: counters, serving domain, AWStats months.
-        for s in &self.stores {
+        for s in self.stores.iter() {
             h = fold(h, s.order_counter);
             h = fold(h, s.orders_accrued);
             h = fold(h, u64::from(s.current_domain.0));
@@ -276,7 +284,7 @@ impl World {
                 u64::from(s.retired) ^ ((s.backup_pool.len() as u64) << 1),
             );
             h = fold(h, s.domain_history.len() as u64);
-            for m in &s.months {
+            for m in s.months {
                 h = fold(
                     h,
                     m.visits ^ m.pages.rotate_left(16) ^ m.direct_visits.rotate_left(32),
@@ -357,7 +365,7 @@ impl Fetcher for World {
             }
         }
 
-        match record.kind.clone() {
+        match record.kind {
             SiteKind::Legit { theme, brand } => {
                 let ctx = legit::LegitCtx {
                     domain: record.name.as_str(),
@@ -408,7 +416,7 @@ impl Web for World {
                             });
                     match store {
                         Some(id) => {
-                            self.stores[id.index()].allocate_order();
+                            self.stores.allocate_order(id);
                         }
                         None => debug_assert!(
                             false,
@@ -454,12 +462,11 @@ impl World {
         target_store: StoreId,
         req: &Request,
     ) -> Response {
-        let record = self.domains.get(domain);
-        let name = record.name.as_str().to_owned();
-        let (ci, di) = self.doorway_of[&domain];
-        let d = &self.campaigns[ci].doorways[di];
+        let name = self.domains.get(domain).name.as_str();
+        let did = self.route.doorway(domain).expect("doorway kind is routed");
+        let d = self.campaigns.doorway(did);
         let live = d.is_live(self.day);
-        let seed = ss_types::rng::derive_seed(self.cfg.seed, &name);
+        let seed = ss_types::rng::derive_seed(self.cfg.seed, name);
 
         // Which term does this URL carry?
         let term = req
@@ -472,14 +479,14 @@ impl World {
                     .find(|t| self.engine.terms()[t.index()].text == key)
             })
             .or_else(|| d.terms.first().copied());
-        let term_text = term
-            .map(|t| self.term_text(t).to_owned())
-            .unwrap_or_default();
+        let term_text = term.map(|t| self.term_text(t)).unwrap_or_default();
         let vertical = &self.verticals[d.vertical.index()];
         let brand = vertical.spec.brands.first().copied().unwrap_or("luxury");
 
         // Backlinks: a few sibling doorways of the same campaign.
-        let backlinks: Vec<String> = self.campaigns[ci]
+        let backlinks: Vec<String> = self
+            .campaigns
+            .row(d.campaign)
             .doorways
             .iter()
             .filter(|o| o.domain != domain)
@@ -487,8 +494,8 @@ impl World {
             .map(|o| self.domains.get(o.domain).name.as_str().to_owned())
             .collect();
         let ctx = doorway::DoorwayCtx {
-            domain: &name,
-            term: &term_text,
+            domain: name,
+            term: term_text,
             brand,
             backlinks: &backlinks,
             seed,
@@ -504,7 +511,10 @@ impl World {
             };
         }
 
-        let st = &self.stores[target_store.index()];
+        // NOTE: the redirect target intentionally comes from the (possibly
+        // stale) `SiteKind::Doorway::target_store`, not the campaign-side
+        // doorway row — repointing updates only the campaign's state.
+        let st = self.stores.row(target_store);
         let target = Url::root(self.domains.get(st.current_domain).name.clone());
         match cloak::decide(mode, compromised, &target, req, cloak::SEARCH_HOSTS) {
             ServeDecision::SeoPage => Response::ok(doorway::seo_page(&ctx)),
@@ -526,7 +536,7 @@ impl World {
         store: StoreId,
         req: &Request,
     ) -> (Response, Vec<SideEffect>) {
-        let st = &self.stores[store.index()];
+        let st = self.stores.row(store);
         // Former (rotated-away, unseized) domains bounce to the current one.
         if st.current_domain != domain {
             return (
@@ -537,27 +547,23 @@ impl World {
         if st.retired || st.created > self.day {
             return (Response::not_found(), Vec::new());
         }
-        let campaign_name = self.campaigns[st.campaign.index()].name.clone();
-        let template = self.templates[st.campaign.index()].clone();
+        let template = &self.templates[st.campaign.index()];
         let brands: Vec<&str> = st
             .brands
             .iter()
             .map(|b| self.brand_names[b.index()])
             .collect();
-        let domain_name = self.domains.get(domain).name.as_str().to_owned();
-        let merchant_id = st.name.clone();
         let ctx = storefront::StoreCtx {
-            domain: &domain_name,
-            store_name: &merchant_id,
-            template: &template,
+            domain: self.domains.get(domain).name.as_str(),
+            store_name: st.name,
+            template,
             brands: &brands,
-            locale: &st.locale,
-            merchant_id: &st.merchant_id,
+            locale: st.locale,
+            merchant_id: st.merchant_id,
             seed: st.seed,
         };
-        let cookies = storefront::cookies(&template);
+        let cookies = storefront::cookies(template);
         let path = req.url.path.as_str();
-        let _ = campaign_name;
 
         if path == "/" {
             (
@@ -610,7 +616,7 @@ impl World {
     }
 
     fn serve_awstats(&self, store: StoreId, month: Option<&str>) -> Response {
-        let st = &self.stores[store.index()];
+        let st = self.stores.row(store);
         let bucket = match month {
             Some(m) => {
                 let mut it = m.split('-');
@@ -704,7 +710,7 @@ mod tests {
                 poisoned += serp
                     .results
                     .iter()
-                    .filter(|r| w.doorway_of.contains_key(&r.domain))
+                    .filter(|r| w.doorway_truth(r.domain).is_some())
                     .count();
             }
         }
@@ -721,8 +727,8 @@ mod tests {
         let legit = w
             .domains
             .iter()
-            .find(|(_, r)| matches!(r.kind, SiteKind::Legit { .. }))
-            .map(|(_, r)| r.name.clone())
+            .find(|r| matches!(r.kind, SiteKind::Legit { .. }))
+            .map(|r| r.name.clone())
             .unwrap();
         let (resp, effects) = w.fetch(&Request::browser(Url::root(legit)));
         assert_eq!(resp.status, 200);
@@ -817,7 +823,7 @@ mod tests {
         let w = run_world(3, 240);
         let cases = w.events.cases().count();
         assert!(cases > 0, "no court cases by day 240");
-        let seized = w.domains.iter().filter(|(_, r)| r.seized.is_some()).count();
+        let seized = w.domains.iter().filter(|r| r.seized.is_some()).count();
         assert!(seized > 0);
         // The PHP?P= scripted seizure on day 219 triggers a reactive
         // rotation within its 1-day reaction window.
@@ -826,7 +832,7 @@ mod tests {
             .stores
             .iter()
             .copied()
-            .find(|s| w.stores[s.index()].name.contains("abercrombie uk"))
+            .find(|s| w.store(*s).name.contains("abercrombie uk"))
             .expect("scripted abercrombie-uk store");
         let rotations = w.events.rotations_of(uk_store);
         assert!(!rotations.is_empty(), "abercrombie-uk never rotated");
@@ -841,11 +847,11 @@ mod tests {
     #[test]
     fn seized_domain_serves_notice_with_court_doc() {
         let w = run_world(3, 240);
-        let (domain, _) = w
+        let domain = w
             .domains
             .iter()
-            .find(|(_, r)| r.seized.is_some() && matches!(r.kind, SiteKind::Storefront { .. }))
-            .map(|(id, r)| (id, r.name.clone()))
+            .find(|r| r.seized.is_some() && matches!(r.kind, SiteKind::Storefront { .. }))
+            .map(|r| r.id)
             .expect("a seized storefront");
         let host = w.domains.get(domain).name.clone();
         let (resp, effects) = w.fetch(&Request::browser(Url::root(host)));
@@ -927,7 +933,7 @@ mod payment_tests {
         w.run_until(day);
         // Every campaign settles again: either it never used realypay, or
         // it migrated after 3 days.
-        for c in &w.campaigns {
+        for c in w.campaigns.iter() {
             assert!(w.payment_available(c.id, day), "{} still blocked", c.name);
         }
         // But during the migration window, realypay campaigns were dark.

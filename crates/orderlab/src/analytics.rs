@@ -253,13 +253,13 @@ mod tests {
         assert!(!r.daily.is_empty());
 
         // Private stores 404.
-        if let Some(private) = w.stores.iter().find(|s| !s.awstats_public && !s.retired) {
-            let site = w
-                .domains
-                .get(private.current_domain)
-                .name
-                .as_str()
-                .to_owned();
+        let private = w
+            .stores
+            .iter()
+            .find(|s| !s.awstats_public && !s.retired)
+            .map(|s| s.current_domain);
+        if let Some(dom) = private {
+            let site = w.domains.get(dom).name.as_str().to_owned();
             assert_eq!(fetch_report(&w, &site, None), None);
         }
     }

@@ -113,13 +113,13 @@ mod tests {
         let mut w = World::build(ScenarioConfig::tiny(31)).unwrap();
         w.run_until(SimDate::from_day_index(ss_types::CRAWL_START_DAY + 3));
         let day = w.day;
-        let store = w
+        let (store_domain, merchant) = w
             .stores
             .iter()
             .find(|s| !s.retired && s.created < day)
+            .map(|s| (s.current_domain, s.merchant_id.to_owned()))
             .unwrap();
-        let domain = w.domains.get(store.current_domain).name.as_str().to_owned();
-        let merchant = store.merchant_id.clone();
+        let domain = w.domains.get(store_domain).name.as_str().to_owned();
 
         let tx = purchase(&mut w, &domain, day).expect("purchase should complete");
         assert_eq!(tx.store_domain, domain);

@@ -65,6 +65,19 @@ define_id!(
     "term#"
 );
 define_id!(
+    /// A doorway page poisoning search results for one campaign. Doorways
+    /// live in one global component table, contiguous per campaign, so the
+    /// id doubles as the row index of that table.
+    DoorwayId,
+    "doorway#"
+);
+define_id!(
+    /// An interned store locale (e.g. "uk", "de") — an index into the
+    /// store table's shared [`crate::intern::Interner`].
+    LocaleId,
+    "locale#"
+);
+define_id!(
     /// A brand-protection firm (GBC, SMGPA) executing domain seizures.
     FirmId,
     "firm#"

@@ -14,6 +14,8 @@
 //!   dependency with ~100 audited lines;
 //! * [`domain`] — validated DNS-ish domain names;
 //! * [`url`] — a small, strict URL type and parser (scheme/host/path/query);
+//! * [`intern`] — a shared string-interning table with dense `u32` ids,
+//!   used by the crawl database and the simulator's component tables;
 //! * [`rng`] — deterministic sub-seed derivation so one scenario seed
 //!   reproduces the whole world bit-for-bit;
 //! * [`market`] — the paper's 16 luxury verticals, the brands behind them,
@@ -30,6 +32,7 @@ pub mod date;
 pub mod domain;
 pub mod error;
 pub mod id;
+pub mod intern;
 pub mod market;
 pub mod rng;
 pub mod url;
@@ -37,7 +40,10 @@ pub mod url;
 pub use date::SimDate;
 pub use domain::DomainName;
 pub use error::{Error, Result};
-pub use id::{BrandId, CampaignId, CaseId, DomainId, FirmId, StoreId, TermId, VerticalId};
+pub use id::{
+    BrandId, CampaignId, CaseId, DomainId, DoorwayId, FirmId, LocaleId, StoreId, TermId, VerticalId,
+};
+pub use intern::Interner;
 pub use url::Url;
 
 /// First day of the simulation epoch: 2013-07-05 (start of the supplier

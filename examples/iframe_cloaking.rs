@@ -26,7 +26,7 @@ fn main() {
         .find(|(_, d)| d.is_live(day))
         .map(|(c, d)| {
             (
-                c.name.clone(),
+                c.name.to_owned(),
                 d.domain,
                 world.term_text(d.terms[0]).to_owned(),
             )

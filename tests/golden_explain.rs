@@ -64,9 +64,11 @@ fn seized_campaign_name(out: &StudyOutput) -> String {
     let dn = ss_types::DomainName::parse(name).expect("crawled domains parse");
     let did = world.domains.lookup(&dn).expect("crawled domain exists");
     match world.domains.get(did).kind {
-        SiteKind::Storefront { store } => world.campaigns[world.store(store).campaign.index()]
+        SiteKind::Storefront { store } => world
+            .campaigns
+            .row(world.store(store).campaign)
             .name
-            .clone(),
+            .to_owned(),
         _ => panic!("seizure notice on a non-storefront domain"),
     }
 }
