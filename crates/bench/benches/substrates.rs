@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
+use ss_bench::jsengine;
 use ss_eco::{ScenarioConfig, World};
 use ss_ml::logreg::{MulticlassModel, TrainConfig};
 use ss_ml::{extract_features, Dictionary};
@@ -12,6 +13,7 @@ use ss_types::rng::sub_rng;
 use ss_types::{SimDate, TermId};
 use ss_web::http::UserAgent;
 use ss_web::js::render::render;
+use ss_web::js::{JsCache, JsEngine};
 use ss_web::pagegen::storefront::{home_page, StoreCtx, StoreTemplate};
 use ss_web::pagegen::{doorway, obfuscate};
 use ss_web::Document;
@@ -69,6 +71,24 @@ fn bench_js(c: &mut Criterion) {
     });
 }
 
+/// Head-to-head over the shared pagegen corpus: the tree-walking
+/// reference vs the bytecode VM on a warmed chunk cache (the crawler's
+/// steady state — every page template compiles once per run). The ≥2× VM
+/// speedup recorded in EXPERIMENTS.md comes from this pair; `js_bench`
+/// gates CI on the same corpus.
+fn bench_js_engines(c: &mut Criterion) {
+    let corpus = jsengine::render_corpus();
+    let tw_cache = JsCache::new();
+    c.bench_function("js/render_treewalk", |b| {
+        b.iter(|| jsengine::sweep(&corpus, JsEngine::TreeWalk, &tw_cache))
+    });
+    let vm_cache = JsCache::new();
+    jsengine::sweep(&corpus, JsEngine::Vm, &vm_cache); // warm the chunk cache
+    c.bench_function("js/render_vm", |b| {
+        b.iter(|| jsengine::sweep(&corpus, JsEngine::Vm, &vm_cache))
+    });
+}
+
 fn bench_serp(c: &mut Criterion) {
     let world = World::build(ScenarioConfig::small(5)).expect("world");
     let day = SimDate::from_day_index(ss_types::CRAWL_START_DAY + 10);
@@ -123,6 +143,6 @@ fn bench_ml(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_html, bench_js, bench_serp, bench_ml
+    targets = bench_html, bench_js, bench_js_engines, bench_serp, bench_ml
 }
 criterion_main!(benches);

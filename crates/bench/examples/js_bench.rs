@@ -1,0 +1,58 @@
+//! JS-engine head-to-head profile for CI.
+//!
+//! Renders the pagegen corpus (every doorway flavour plus the scripted
+//! storefront pages) many times through both engines — the tree-walking
+//! reference and the bytecode VM on a warmed chunk cache — and writes a
+//! machine-readable comparison. CI uploads the result as `BENCH_js.json`
+//! and gates on the VM being at least 2× faster on script execution (the
+//! tentpole's acceptance bar), so a compiler regression fails loudly
+//! instead of rotting silently.
+//!
+//! ```text
+//! cargo run --release -p ss-bench --example js_bench -- \
+//!     --iters 300 --out BENCH_js.json
+//! ```
+
+fn main() {
+    let mut iters = 300usize;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => iters = args.next().expect("--iters needs a value").parse().unwrap(),
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let profile = ss_bench::jsengine::head_to_head(iters);
+    eprintln!(
+        "[js_bench] {} pages × {} iters: full render {:.3}s vs {:.3}s ({:.2}×), \
+         script-only {:.3}s vs {:.3}s ({:.2}×), {} compiles, {} cache hits",
+        profile.corpus_pages,
+        profile.iters,
+        profile.treewalk_wall_s,
+        profile.vm_wall_s,
+        profile.vm_speedup,
+        profile.treewalk_script_wall_s,
+        profile.vm_script_wall_s,
+        profile.vm_script_speedup,
+        profile.js_compiles,
+        profile.js_cache_hits
+    );
+    assert!(
+        profile.vm_script_speedup >= 2.0,
+        "bytecode VM must stay ≥2× faster than the treewalker on the pagegen \
+         corpus scripts, measured {:.2}×",
+        profile.vm_script_speedup
+    );
+
+    let rendered = serde_json::to_string_pretty(&profile).expect("profile serializes");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, rendered).expect("profile written");
+            eprintln!("[js_bench] wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+}

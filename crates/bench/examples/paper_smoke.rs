@@ -43,6 +43,10 @@ struct BenchProfile {
     stage_timings: Vec<StageTiming>,
     headline: Headline,
     calibration: Vec<CalibrationEntry>,
+    /// VanGogh bytecode-cache effect at scale: distinct page templates
+    /// compiled vs. chunk-cache hits across the whole crawl window.
+    js_compiles: u64,
+    js_cache_hits: u64,
 }
 
 fn main() {
@@ -122,12 +126,17 @@ fn main() {
         stage_timings: output.manifest.stage_timings.clone(),
         headline: output.manifest.headline.clone(),
         calibration: output.manifest.calibration.clone(),
+        js_compiles: output.metrics.counter_total("simweb.js_compile"),
+        js_cache_hits: output.metrics.counter_total("simweb.js_cache_hit"),
     };
 
     eprintln!(
-        "[paper_smoke] study ran in {total_wall_s:.1}s: {} PSRs, {} seizure notices, calibration [{}]",
+        "[paper_smoke] study ran in {total_wall_s:.1}s: {} PSRs, {} seizure notices, \
+         js cache {} compiles / {} hits, calibration [{}]",
         profile.headline.psrs,
         profile.headline.seizure_notices,
+        profile.js_compiles,
+        profile.js_cache_hits,
         profile
             .calibration
             .iter()

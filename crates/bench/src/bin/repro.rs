@@ -5,6 +5,7 @@
 //! ```text
 //! repro <experiment> [--preset tiny|small|paper|mega] [--seed N] [--out DIR]
 //!                    [--threads N] [--no-trace] [--trace-level off|stage|event]
+//!                    [--js-engine treewalk|vm]
 //! repro all          # every experiment + EXPERIMENTS.md
 //! repro list         # experiment index
 //! repro explain campaign <name|index>   # causal chain for one campaign
@@ -15,6 +16,11 @@
 //! `--threads N` drives both planes — the crawler's per-vertical fan-out
 //! and the simulation's tick-stage planners. Output is bit-identical for
 //! every `N` (default: serial).
+//!
+//! `--js-engine` selects how VanGogh runs page scripts: the cached
+//! bytecode `vm` (default) or the reference `treewalk` interpreter.
+//! Every dataset and the manifest headline are identical either way —
+//! the pipeline `js_engines_are_study_equivalent` test pins that.
 //!
 //! Tracing is on by default for `repro` runs: the flight recorder and the
 //! tick-plane event trail feed `repro explain`, and the wall-clock stage
@@ -46,6 +52,7 @@ struct Args {
     out_dir: Option<String>,
     threads: usize,
     trace: TraceLevel,
+    js_engine: ss_web::js::JsEngine,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +66,7 @@ fn parse_args() -> Args {
     // retained event trail, and the Perfetto timeline is ~free at this
     // scale. Benches and library users default to off.
     let mut trace = TraceLevel::Event;
+    let mut js_engine = ss_web::js::JsEngine::default();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--preset" => {
@@ -81,6 +89,11 @@ fn parse_args() -> Args {
                     .expect("numeric thread count");
             }
             "--no-trace" => trace = TraceLevel::Off,
+            "--js-engine" => {
+                let v = args.next().expect("--js-engine needs a value");
+                js_engine = ss_web::js::JsEngine::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown js engine {v:?} (treewalk|vm)"));
+            }
             "--trace-level" => {
                 let v = args.next().expect("--trace-level needs a value");
                 trace = TraceLevel::parse(&v)
@@ -99,6 +112,7 @@ fn parse_args() -> Args {
         out_dir,
         threads,
         trace,
+        js_engine,
     }
 }
 
@@ -140,6 +154,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "manifest",
         "run manifest — stage timings, counters, headline observables",
     ),
+    (
+        "jsengine",
+        "§3.1.2 — VanGogh execution engine: bytecode VM vs treewalker",
+    ),
 ];
 
 fn main() {
@@ -171,6 +189,7 @@ fn main() {
     // One flag drives both planes: crawl fan-out and tick planners.
     cfg.set_threads(args.threads);
     cfg.set_trace(args.trace);
+    cfg.crawler.js_engine = args.js_engine;
     if args.trace != TraceLevel::Off {
         // Wall-clock half of the trace plane: a Chrome-trace-event
         // timeline, excluded from every determinism comparison.
@@ -278,6 +297,7 @@ fn run_experiment(id: &str, out: &mut StudyOutput) -> ExperimentReport {
         "purchases" => purchases_report(out),
         "ablation" => ablation_report(out.world.cfg.seed),
         "manifest" => manifest_report(out),
+        "jsengine" => jsengine_report(out),
         other => panic!("unknown experiment {other:?}; try `repro list`"),
     }
 }
@@ -294,6 +314,54 @@ fn manifest_report(out: &StudyOutput) -> ExperimentReport {
         .compare("seizure notices observed", "—", m.headline.seizure_notices, false)
         .compare("test orders", "—", m.headline.test_orders, false)
         .artifact("summary table", m.summary_table())
+}
+
+fn jsengine_report(out: &StudyOutput) -> ExperimentReport {
+    // Quick wall-clock head-to-head over the pagegen corpus; the cache
+    // counters come from the study run itself (deterministic), the
+    // timings from this machine (indicative, not pinned).
+    let h = ss_bench::jsengine::head_to_head(100);
+    let compiles = out.metrics.counter_total("simweb.js_compile");
+    let hits = out.metrics.counter_total("simweb.js_cache_hit");
+    ExperimentReport::new("S11", "§3.1.2 — VanGogh execution engine")
+        .narrate(
+            "VanGogh runs page scripts on a bytecode VM compiling each page \
+             template once into a cached chunk; the original tree-walking \
+             interpreter survives as the reference half of a differential \
+             harness, and `--js-engine treewalk` swaps it back in. Every \
+             dataset and the manifest headline are bit-identical either way; \
+             only wall clock moves. Timings below are from this machine and \
+             indicative — CI gates the script-only speedup at ≥2×.",
+        )
+        .compare(
+            "VM speedup, script execution only",
+            "≥ 2×",
+            format!("{:.2}×", h.vm_script_speedup),
+            false,
+        )
+        .compare(
+            "VM speedup, full render (incl. HTML parse)",
+            "—",
+            format!("{:.2}×", h.vm_speedup),
+            false,
+        )
+        .compare(
+            "templates compiled this study (crawl window total)",
+            "tiny vs renders",
+            compiles,
+            false,
+        )
+        .compare("chunk-cache hits this study", "—", hits, false)
+        .compare(
+            "cache hit rate",
+            "→ 100% as the crawl proceeds",
+            if compiles + hits > 0 {
+                pct(hits as f64 / (compiles + hits) as f64)
+            } else {
+                "—".into()
+            },
+            false,
+        )
 }
 
 fn ablation_report(seed: u64) -> ExperimentReport {

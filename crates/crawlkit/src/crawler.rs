@@ -45,6 +45,7 @@ use std::sync::Mutex;
 use ss_obs::{FlightRecorder, Registry, TraceLevel};
 use ss_types::{SimDate, Url};
 use ss_web::http::{Fetcher, Request, UserAgent};
+use ss_web::js::{JsCache, JsEngine};
 
 use ss_eco::World;
 
@@ -71,6 +72,10 @@ pub struct CrawlerConfig {
     /// Flight-recorder level for PSR provenance events. Off by default;
     /// enabling it changes no counter, histogram, or database byte.
     pub trace: TraceLevel,
+    /// Which JS engine renders pages (VanGogh and Dagger's JS-redirect
+    /// upgrade). The bytecode VM by default; the treewalker is kept for
+    /// differential runs. The crawl database is byte-identical either way.
+    pub js_engine: JsEngine,
 }
 
 impl Default for CrawlerConfig {
@@ -82,6 +87,7 @@ impl Default for CrawlerConfig {
             max_hops: 6,
             threads: 1,
             trace: TraceLevel::Off,
+            js_engine: JsEngine::default(),
         }
     }
 }
@@ -183,6 +189,10 @@ pub struct Crawler {
     /// Domains checked and found clean (skipped until they disappear —
     /// the churn trim).
     clean: HashSet<u32>,
+    /// Per-run JS compile cache shared by all vertical workers. Scripts
+    /// are generated per page *template*, so a whole crawl compiles a
+    /// handful of chunks and replays them for every render.
+    js_cache: JsCache,
 }
 
 impl Crawler {
@@ -195,7 +205,13 @@ impl Crawler {
             db: CrawlDb::new(),
             recorder,
             clean: HashSet::new(),
+            js_cache: JsCache::new(),
         }
+    }
+
+    /// `(compiles, cache hits)` of this crawler's JS compile cache so far.
+    pub fn js_cache_stats(&self) -> (u64, u64) {
+        self.js_cache.stats()
     }
 
     /// Domains checked and found clean (for methodology validation).
@@ -216,17 +232,36 @@ impl Crawler {
     /// aggregated from per-worker registries merged in vertical order.
     pub fn crawl_day_metered(&mut self, world: &World, day: SimDate, obs: &Registry) {
         let _span = obs.span("crawl.day");
+        let (compiles_before, hits_before) = self.js_cache.stats();
         let snap = self.snapshot();
         let n = self.monitored.len();
         let logs = if self.cfg.threads <= 1 || n <= 1 {
             (0..n)
-                .map(|vi| crawl_vertical(world, &self.cfg, &snap, &self.monitored[vi], vi, day))
+                .map(|vi| {
+                    crawl_vertical(
+                        world,
+                        &self.cfg,
+                        &snap,
+                        &self.monitored[vi],
+                        vi,
+                        day,
+                        &self.js_cache,
+                    )
+                })
                 .collect()
         } else {
             self.map_parallel(world, &snap, day)
         };
         for (vi, log) in logs.into_iter().enumerate() {
             self.apply_log(day, vi as u16, log, obs);
+        }
+        // Per-day compile/hit deltas. Compiles happen under the cache lock,
+        // so both totals are sums over the day's work items — independent
+        // of thread count and interleaving, like every other counter here.
+        if self.cfg.js_engine == JsEngine::Vm {
+            let (compiles, hits) = self.js_cache.stats();
+            obs.count("simweb.js_compile", compiles - compiles_before);
+            obs.count("simweb.js_cache_hit", hits - hits_before);
         }
     }
 
@@ -237,6 +272,7 @@ impl Crawler {
         let n = self.monitored.len();
         let cfg = &self.cfg;
         let monitored = &self.monitored;
+        let js_cache = &self.js_cache;
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<VerticalLog>>> = Mutex::new((0..n).map(|_| None).collect());
         crossbeam::thread::scope(|s| {
@@ -246,7 +282,7 @@ impl Crawler {
                     if vi >= n {
                         break;
                     }
-                    let log = crawl_vertical(world, cfg, snap, &monitored[vi], vi, day);
+                    let log = crawl_vertical(world, cfg, snap, &monitored[vi], vi, day, js_cache);
                     slots.lock().expect("no worker panicked holding the lock")[vi] = Some(log);
                 });
             }
@@ -486,6 +522,7 @@ fn crawl_vertical(
     mv: &MonitoredVertical,
     vi: usize,
     day: SimDate,
+    js_cache: &JsCache,
 ) -> VerticalLog {
     let vertical = mv.name.as_str();
     let metrics = Registry::new();
@@ -534,8 +571,22 @@ fn crawl_vertical(
                     ss_obs::count!(metrics, "crawl.fetches", 1, vertical = vertical);
                     ss_obs::count!(metrics, "crawl.reverifies", 1, vertical = vertical);
                     let verdict = match info.signal {
-                        CloakSignal::Iframe => vangogh::check(world, &url, term, cfg.max_hops),
-                        _ => dagger::check(world, &url, term, cfg.max_hops),
+                        CloakSignal::Iframe => vangogh::check_with(
+                            world,
+                            &url,
+                            term,
+                            cfg.max_hops,
+                            cfg.js_engine,
+                            js_cache,
+                        ),
+                        _ => dagger::check_with(
+                            world,
+                            &url,
+                            term,
+                            cfg.max_hops,
+                            cfg.js_engine,
+                            js_cache,
+                        ),
                     };
                     local_poisoned.insert(
                         name.to_owned(),
@@ -561,11 +612,19 @@ fn crawl_vertical(
                 // rendering pass within the per-domain budget.
                 ss_obs::count!(metrics, "crawl.fetches", 2, vertical = vertical);
                 ss_obs::count!(metrics, "crawl.detector_runs", 1, vertical = vertical);
-                let mut verdict = dagger::check(world, &url, term, cfg.max_hops);
+                let mut verdict =
+                    dagger::check_with(world, &url, term, cfg.max_hops, cfg.js_engine, js_cache);
                 if verdict.cloaked.is_none() && cfg.render_sample > 0 {
                     ss_obs::count!(metrics, "crawl.fetches", 1, vertical = vertical);
                     ss_obs::count!(metrics, "crawl.render_passes", 1, vertical = vertical);
-                    verdict = vangogh::check(world, &url, term, cfg.max_hops);
+                    verdict = vangogh::check_with(
+                        world,
+                        &url,
+                        term,
+                        cfg.max_hops,
+                        cfg.js_engine,
+                        js_cache,
+                    );
                 }
                 match verdict.cloaked {
                     None => {
@@ -690,7 +749,11 @@ mod tests {
     use crate::terms;
     use ss_eco::ScenarioConfig;
 
-    fn crawl_world_threaded(days: u32, threads: usize) -> (World, Crawler, Registry) {
+    fn crawl_world_engine(
+        days: u32,
+        threads: usize,
+        js_engine: JsEngine,
+    ) -> (World, Crawler, Registry) {
         let mut w = World::build(ScenarioConfig::tiny(23)).unwrap();
         let start = SimDate::from_day_index(ss_types::CRAWL_START_DAY);
         w.run_until(start);
@@ -700,6 +763,7 @@ mod tests {
                 serp_depth: 30,
                 threads,
                 trace: TraceLevel::Event,
+                js_engine,
                 ..CrawlerConfig::default()
             },
             monitored,
@@ -711,6 +775,10 @@ mod tests {
             crawler.crawl_day_metered(&w, day, &obs);
         }
         (w, crawler, obs)
+    }
+
+    fn crawl_world_threaded(days: u32, threads: usize) -> (World, Crawler, Registry) {
+        crawl_world_engine(days, threads, JsEngine::default())
     }
 
     fn crawl_world(days: u32) -> (World, Crawler) {
@@ -880,5 +948,55 @@ mod tests {
             .metric_names()
             .iter()
             .any(|n| n.starts_with("crawl.psrs{vertical=")));
+    }
+
+    /// The VM compile cache works at crawl scale: pages are generated from
+    /// a handful of templates, so compiles stay tiny while hits track the
+    /// render volume — and both surface as counters in the registry.
+    #[test]
+    fn js_compile_cache_counters_recorded_under_vm() {
+        let (_w, crawler, obs) = crawl_world_threaded(5, 2);
+        let (compiles, hits) = crawler.js_cache_stats();
+        assert!(compiles > 0, "rendering crawls must compile some scripts");
+        assert!(
+            hits > compiles,
+            "template reuse should make hits ({hits}) dominate compiles ({compiles})"
+        );
+        assert_eq!(obs.counter_total("simweb.js_compile"), compiles);
+        assert_eq!(obs.counter_total("simweb.js_cache_hit"), hits);
+    }
+
+    /// The treewalker records no compile-cache counters (it has no cache),
+    /// keeping the metric surface honest for engine-comparison studies.
+    #[test]
+    fn treewalk_records_no_js_cache_counters() {
+        let (_w, crawler, obs) = crawl_world_engine(3, 1, JsEngine::TreeWalk);
+        assert_eq!(crawler.js_cache_stats(), (0, 0));
+        assert_eq!(obs.counter_total("simweb.js_compile"), 0);
+        assert_eq!(obs.counter_total("simweb.js_cache_hit"), 0);
+    }
+
+    /// The differential guarantee at the crawl level: both engines produce
+    /// byte-identical crawl databases (verdicts, landings, PSRs, captured
+    /// store HTML) — only performance may differ.
+    #[test]
+    fn engines_produce_identical_crawl_databases() {
+        let (_w1, tw, _) = crawl_world_engine(5, 1, JsEngine::TreeWalk);
+        let (_w2, vm, _) = crawl_world_engine(5, 2, JsEngine::Vm);
+        assert_eq!(tw.db.psrs, vm.db.psrs, "PSR streams differ");
+        assert_eq!(tw.db.daily_counts, vm.db.daily_counts);
+        assert_eq!(tw.clean, vm.clean, "clean sets differ");
+        assert_eq!(tw.db.doorway_info.len(), vm.db.doorway_info.len());
+        for (id, info) in &tw.db.doorway_info {
+            let other = &vm.db.doorway_info[id];
+            assert_eq!(info.cloak, other.cloak, "cloak verdicts differ");
+            assert_eq!(info.landings, other.landings, "landings differ");
+        }
+        assert_eq!(tw.db.store_info.len(), vm.db.store_info.len());
+        for (id, info) in &tw.db.store_info {
+            let other = &vm.db.store_info[id];
+            assert_eq!(info.is_store, other.is_store);
+            assert_eq!(info.html, other.html);
+        }
     }
 }

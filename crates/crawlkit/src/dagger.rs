@@ -19,7 +19,8 @@ use std::collections::HashSet;
 
 use ss_types::Url;
 use ss_web::http::{Fetcher, Request, Response, UserAgent};
-use ss_web::js::render::render;
+use ss_web::js::render::render_with;
+use ss_web::js::{JsCache, JsEngine};
 use ss_web::Document;
 
 /// What kind of cloaking was detected.
@@ -72,11 +73,32 @@ pub fn text_dice(a: &str, b: &str) -> f64 {
 /// Below this Dice similarity two views count as semantically different.
 pub const DICE_THRESHOLD: f64 = 0.5;
 
+/// Runs the detector against one URL with the default JS engine and the
+/// process-wide compile cache.
+pub fn check(web: &impl Fetcher, url: &Url, term: &str, max_hops: usize) -> DaggerVerdict {
+    check_with(
+        web,
+        url,
+        term,
+        max_hops,
+        JsEngine::default(),
+        JsCache::global(),
+    )
+}
+
 /// Runs the detector against one URL.
 ///
 /// Takes the read plane only: detection fetches must never perturb the
-/// world, so whatever effects the fetches report are dropped here.
-pub fn check(web: &impl Fetcher, url: &Url, term: &str, max_hops: usize) -> DaggerVerdict {
+/// world, so whatever effects the fetches report are dropped here. The
+/// renderer (step 2's JS-redirect upgrade) uses `engine` and `cache`.
+pub fn check_with(
+    web: &impl Fetcher,
+    url: &Url,
+    term: &str,
+    max_hops: usize,
+    engine: JsEngine,
+    cache: &JsCache,
+) -> DaggerVerdict {
     let crawler_req = Request::crawler(url.clone());
     let (crawler_chain, crawler_resp, _) = web.fetch_following(&crawler_req, max_hops);
 
@@ -106,7 +128,14 @@ pub fn check(web: &impl Fetcher, url: &Url, term: &str, max_hops: usize) -> Dagg
         // Render the user view to catch a JS redirect (the Dagger upgrade
         // described in §4.1.2 — only pages already flagged get rendered,
         // because rendering is expensive).
-        let rendered = render(&user_resp.body, &url.to_string(), UserAgent::Browser, None);
+        let rendered = render_with(
+            &user_resp.body,
+            &url.to_string(),
+            UserAgent::Browser,
+            None,
+            engine,
+            cache,
+        );
         if let Some(target) = rendered.js_redirect {
             let (landing, follow) = follow_js(web, &target, &user_req, max_hops);
             return DaggerVerdict {

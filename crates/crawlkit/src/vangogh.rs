@@ -9,7 +9,8 @@
 
 use ss_types::Url;
 use ss_web::http::{Fetcher, Request, UserAgent};
-use ss_web::js::render::render;
+use ss_web::js::render::render_with;
+use ss_web::js::{JsCache, JsEngine};
 
 use crate::dagger::{google_referrer, CloakSignal, DaggerVerdict};
 
@@ -29,8 +30,29 @@ pub fn is_fullpage(width: &str, height: &str) -> bool {
 }
 
 /// Renders `url` as a search-referred user and reports iframe cloaking.
-/// Pure read-plane work: any reported fetch effects are dropped.
+/// Pure read-plane work: any reported fetch effects are dropped. Uses the
+/// default JS engine and the process-wide compile cache.
 pub fn check(web: &impl Fetcher, url: &Url, term: &str, max_hops: usize) -> DaggerVerdict {
+    check_with(
+        web,
+        url,
+        term,
+        max_hops,
+        JsEngine::default(),
+        JsCache::global(),
+    )
+}
+
+/// [`check`] with an explicit JS engine and compile cache — the crawler's
+/// entry point (per-run cache, configurable engine).
+pub fn check_with(
+    web: &impl Fetcher,
+    url: &Url,
+    term: &str,
+    max_hops: usize,
+    engine: JsEngine,
+    cache: &JsCache,
+) -> DaggerVerdict {
     let req = Request {
         url: url.clone(),
         user_agent: UserAgent::Browser,
@@ -38,11 +60,13 @@ pub fn check(web: &impl Fetcher, url: &Url, term: &str, max_hops: usize) -> Dagg
     };
     let (chain, resp, _) = web.fetch_following(&req, max_hops);
     let final_url = chain.last().expect("chain non-empty").clone();
-    let rendered = render(
+    let rendered = render_with(
         &resp.body,
         &final_url.to_string(),
         UserAgent::Browser,
         Some(google_referrer(term).to_string().as_str()),
+        engine,
+        cache,
     );
 
     // A JS redirect can also surface here when Dagger was skipped.

@@ -1,0 +1,140 @@
+//! The compact compiled form of a mini-JS program: a [`Chunk`] holding a
+//! constants pool, an interned string table, and one [`FnProto`] per
+//! function (proto 0 is the top level).
+//!
+//! Design notes:
+//!
+//! * **Slots, not scope chains.** Each proto carries a `locals` table —
+//!   every name the function's parameters and `var` statements can
+//!   declare, collected at compile time. A frame is a `Vec<Option<Value>>`
+//!   indexed by this table; `None` means "not declared yet", which keeps
+//!   the treewalker's dynamic-scoping quirks (a `var` inside a never-taken
+//!   branch does not shadow an outer binding) bit-compatible while the hot
+//!   path is a vector index instead of a `HashMap` walk.
+//! * **Steps are data.** The treewalker charges one budget step per
+//!   statement, per expression node, and per loop iteration. The compiler
+//!   reproduces the exact count with explicit [`Op::Step`] instructions,
+//!   coalescing adjacent ticks into one instruction, so a folded constant
+//!   expression still charges what the treewalker would have.
+//! * **Send + Sync.** A chunk owns all its data (no `Rc`), so compiled
+//!   chunks can sit behind `Arc` in a cross-thread cache shared by the
+//!   crawl plane's worker shards.
+
+use super::ast::{BinOp, UnOp};
+
+/// A pooled constant.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ConstVal {
+    /// `undefined`.
+    Undefined,
+    /// `null`.
+    Null,
+    /// Boolean literal or folded boolean.
+    Bool(bool),
+    /// Numeric literal or folded number.
+    Num(f64),
+    /// String literal or folded string.
+    Str(String),
+}
+
+/// One bytecode instruction. Jump targets are absolute instruction
+/// indices within the owning proto's `code`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Op {
+    /// Charge `n` budget steps (coalesced treewalker ticks).
+    Step(u32),
+    /// Push `consts[i]`.
+    Const(u32),
+    /// Push the native singleton `strings[i]` resolves to (compile-time
+    /// intercepted identifiers: `document`, `window`, `Math`, …).
+    Native(u32),
+    /// Push the current frame's slot `i`; falls back to a dynamic walk of
+    /// outer frames (then `undefined`) when the slot is undeclared.
+    LoadSlot(u16),
+    /// Push the value of name `strings[i]` via a full dynamic walk.
+    LoadName(u32),
+    /// Peek the top of stack into slot `i` if declared here, else walk
+    /// outer frames for an existing binding, else create a global.
+    StoreSlot(u16),
+    /// Peek the top of stack into name `strings[i]`: innermost existing
+    /// binding, else create a global.
+    StoreName(u32),
+    /// Pop into slot `i`, declaring it in the current frame (`var`).
+    DeclareSlot(u16),
+    /// Pop into name `strings[i]`, declaring it in the current frame
+    /// (`var` compiled in eval mode, where no locals table exists).
+    DeclareName(u32),
+    /// Pop into name `strings[i]` in the global frame (`function` decls
+    /// bind globally at execution time, like the treewalker).
+    DeclareGlobal(u32),
+    /// Push a function value for proto `i` of the current chunk.
+    MakeFunc(u32),
+    /// Pop `n` values, push an array of them (in push order).
+    MakeArray(u16),
+    /// Pop base, push `base.field` where field is `strings[i]`.
+    GetMember(u32),
+    /// Pop index then base, push `base[index]`.
+    GetIndex,
+    /// Pop base, peek value, perform `base.field = value`.
+    SetMember(u32),
+    /// Pop index then base, peek value, perform `base[index] = value`.
+    SetIndex,
+    /// Pop operand, push result.
+    Un(UnOp),
+    /// Pop rhs then lhs, push result (non-short-circuit ops only).
+    Bin(BinOp),
+    /// Pop condition; jump if falsy.
+    JumpIfFalse(u32),
+    /// Peek condition; jump if falsy keeping the value (`&&`).
+    JumpIfFalsePeek(u32),
+    /// Peek condition; jump if truthy keeping the value (`||`).
+    JumpIfTruePeek(u32),
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop and discard.
+    Pop,
+    /// Pop `argc` args, call builtin `b`, push the result.
+    CallBuiltin(super::runtime::Builtin, u16),
+    /// Pop `argc` args, look name `strings[i]` up dynamically, call it.
+    CallNamed(u32, u16),
+    /// Pop receiver (pushed after args), pop `argc` args, dispatch method
+    /// `strings[i]` on it, push the result.
+    CallMethod(u32, u16),
+    /// Pop the return value and leave the current frame.
+    Return,
+    /// Raise `Runtime(strings[i])` (compile-time-known error paths such
+    /// as an uncallable callee, after argument side effects).
+    Throw(u32),
+}
+
+/// A compiled function body. Proto 0 is the program top level.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FnProto {
+    /// Slot index of each parameter, in declaration order. Duplicate
+    /// parameter names share a slot (later bindings win, matching the
+    /// treewalker's repeated `HashMap` insert).
+    pub param_slots: Vec<u16>,
+    /// All names this function can declare: parameters first, then every
+    /// `var` target in source order (nested function bodies excluded).
+    pub locals: Vec<String>,
+    /// The instruction stream. Always ends `Const(undefined); Return`.
+    pub code: Vec<Op>,
+}
+
+/// A compiled program: what the cache shares across crawl threads.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Chunk {
+    /// Constant pool.
+    pub consts: Vec<ConstVal>,
+    /// Interned strings (member names, dynamic identifiers, messages).
+    pub strings: Vec<String>,
+    /// Function prototypes; index 0 is the top level.
+    pub protos: Vec<FnProto>,
+}
+
+// The cache shares chunks across crawl worker threads behind `Arc`; this
+// static assertion keeps the no-`Rc`-inside invariant honest.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Chunk>();
+};

@@ -1,0 +1,119 @@
+//! The compile cache: script source → compiled [`Chunk`], shared across
+//! crawl worker threads.
+//!
+//! `pagegen` emits scripts per *template*, so a crawl sees the same
+//! handful of script strings millions of times — the hit rate is
+//! near-total and compilation amortizes to nothing. Keys are FNV-1a
+//! 64-bit hashes of the source (plus the compile mode: `eval` bodies
+//! lower differently); each entry keeps the full source so a hash
+//! collision is detected and served by an uncached compile instead of
+//! running the wrong script. Parse failures cache too — hostile pages
+//! with broken scripts are re-fetched all crawl long.
+//!
+//! The `compiles`/`hits` counters are deterministic for a run regardless
+//! of thread count: lookups happen once per script execution, and the
+//! map lock is held across insert-compiles so exactly one compile happens
+//! per distinct script.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use super::bytecode::Chunk;
+use super::compile;
+use super::parser::parse_program;
+
+/// How a script is lowered (top-level programs get a slotted global
+/// frame; `eval` bodies run against the caller's frame, all-dynamic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum CompileMode {
+    /// A `<script>` body.
+    Main,
+    /// An `eval(…)` argument.
+    Eval,
+}
+
+#[derive(Clone)]
+struct Entry {
+    src: String,
+    /// Compiled chunk, or the parse error's display string.
+    result: Result<Arc<Chunk>, String>,
+}
+
+/// A concurrent source → bytecode cache with hit/compile counters.
+/// See the module docs for keying and determinism notes.
+#[derive(Default)]
+pub struct JsCache {
+    map: Mutex<HashMap<(CompileMode, u64), Entry>>,
+    compiles: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl JsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        JsCache::default()
+    }
+
+    /// `(compiles, hits)` so far. `compiles` counts distinct scripts
+    /// compiled (plus any 64-bit-collision fallbacks), `hits` counts
+    /// lookups served from the cache.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.compiles.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The process-wide cache used by the convenience `render`/
+    /// `run_script` entry points. Scoped runs (the crawler) own their own
+    /// cache so per-run counters stay meaningful.
+    pub fn global() -> &'static JsCache {
+        static GLOBAL: OnceLock<JsCache> = OnceLock::new();
+        GLOBAL.get_or_init(JsCache::new)
+    }
+
+    /// The compiled chunk for `src`, compiling on first sight. `Err` is
+    /// the parse error's display string.
+    pub(crate) fn chunk_for(&self, src: &str, mode: CompileMode) -> Result<Arc<Chunk>, String> {
+        let key = (mode, fnv64(src.as_bytes()));
+        let mut map = self.map.lock().expect("js cache lock");
+        if let Some(e) = map.get(&key) {
+            if e.src == src {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return e.result.clone();
+            }
+            // Hash collision: serve a one-off compile, leave the
+            // incumbent entry in place.
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            return compile_src(src, mode);
+        }
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let result = compile_src(src, mode);
+        map.insert(
+            key,
+            Entry {
+                src: src.to_owned(),
+                result: result.clone(),
+            },
+        );
+        result
+    }
+}
+
+fn compile_src(src: &str, mode: CompileMode) -> Result<Arc<Chunk>, String> {
+    let prog = parse_program(src).map_err(|e| e.to_string())?;
+    Ok(Arc::new(match mode {
+        CompileMode::Main => compile::compile_program(&prog),
+        CompileMode::Eval => compile::compile_eval(&prog),
+    }))
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,565 @@
+//! AST → bytecode lowering.
+//!
+//! The compiler's contract is *observable equivalence with the
+//! treewalker*: same effects, same results, same error strings, and the
+//! same step-budget accounting (the treewalker charges one step per
+//! statement, per evaluated expression node, and per loop iteration; the
+//! compiler materializes exactly those charges as [`Op::Step`]
+//! instructions, coalescing adjacent ticks). Constant folding therefore
+//! still charges the folded expression's full original step count.
+//!
+//! Name resolution happens here: every `var` target and parameter of a
+//! function is collected into the proto's `locals` table and reads/writes
+//! compile to slot indices. Names that cannot be resolved statically
+//! (assignment-created globals, anything in `eval` mode) fall back to
+//! dynamic `*Name` ops that reproduce the treewalker's scope walk.
+
+use std::collections::HashMap;
+
+use super::ast::{BinOp, Expr, Stmt};
+use super::bytecode::{Chunk, ConstVal, FnProto, Op};
+use super::runtime::{self, Builtin, Value};
+
+/// Compiles a parsed program (top level becomes proto 0, with its own
+/// locals table for top-level `var`s — fast globals).
+pub(crate) fn compile_program(prog: &[Stmt]) -> Chunk {
+    let mut c = Compiler::default();
+    c.compile_proto(&[], prog, false);
+    c.chunk
+}
+
+/// Compiles a program for `eval`: the top level runs against the
+/// *caller's* frame, so it gets no locals table of its own and every name
+/// access is dynamic. Nested function declarations still compile with
+/// slots as usual.
+pub(crate) fn compile_eval(prog: &[Stmt]) -> Chunk {
+    let mut c = Compiler::default();
+    c.compile_proto(&[], prog, true);
+    c.chunk
+}
+
+#[derive(Default)]
+struct Compiler {
+    chunk: Chunk,
+    strings: HashMap<String, u32>,
+}
+
+/// Per-function emit state.
+struct FnCtx {
+    code: Vec<Op>,
+    locals: Vec<String>,
+    /// Budget steps charged but not yet emitted; flushed (as one
+    /// `Op::Step`) before any real instruction and before any jump label,
+    /// so coalescing can never move a charge across an observable effect
+    /// or a control-flow edge.
+    pending: u32,
+}
+
+impl FnCtx {
+    fn step(&mut self, n: u32) {
+        self.pending += n;
+    }
+
+    fn flush(&mut self) {
+        if self.pending > 0 {
+            self.code.push(Op::Step(self.pending));
+            self.pending = 0;
+        }
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.flush();
+        self.code.push(op);
+    }
+
+    /// Current instruction index, usable as a jump target.
+    fn here(&mut self) -> u32 {
+        self.flush();
+        self.code.len() as u32
+    }
+
+    /// Emits a jump with a placeholder target; returns its index.
+    fn emit_jump(&mut self, op: Op) -> usize {
+        self.emit(op);
+        self.code.len() - 1
+    }
+
+    /// Points the jump at `at` to the current position.
+    fn patch(&mut self, at: usize) {
+        let target = self.here();
+        match &mut self.code[at] {
+            Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfFalsePeek(t) | Op::JumpIfTruePeek(t) => {
+                *t = target
+            }
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn local_ix(&self, name: &str) -> Option<u16> {
+        self.locals.iter().position(|l| l == name).map(|i| i as u16)
+    }
+}
+
+impl Compiler {
+    fn str_ix(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.strings.get(s) {
+            return i;
+        }
+        let i = self.chunk.strings.len() as u32;
+        self.chunk.strings.push(s.to_owned());
+        self.strings.insert(s.to_owned(), i);
+        i
+    }
+
+    fn const_ix(&mut self, cv: ConstVal) -> u32 {
+        // Linear dedup: pools are small and compilation is once-per-
+        // template (cached), so simplicity wins over a hashed pool.
+        if let Some(i) = self.chunk.consts.iter().position(|c| *c == cv) {
+            return i as u32;
+        }
+        self.chunk.consts.push(cv);
+        (self.chunk.consts.len() - 1) as u32
+    }
+
+    fn emit_const(&mut self, fx: &mut FnCtx, cv: ConstVal) {
+        let ix = self.const_ix(cv);
+        fx.emit(Op::Const(ix));
+    }
+
+    /// Compiles a function body into a new proto; returns its index.
+    /// `eval_mode` suppresses the locals table (dynamic names only).
+    fn compile_proto(&mut self, params: &[String], body: &[Stmt], eval_mode: bool) -> u32 {
+        let locals = if eval_mode {
+            Vec::new()
+        } else {
+            collect_locals(params, body)
+        };
+        let param_slots = params
+            .iter()
+            .map(|p| {
+                locals
+                    .iter()
+                    .position(|l| l == p)
+                    .expect("params are collected into locals") as u16
+            })
+            .collect();
+        let mut fx = FnCtx {
+            code: Vec::new(),
+            locals,
+            pending: 0,
+        };
+        // Reserve this proto's index *before* compiling the body: nested
+        // function declarations compile their own protos mid-body, and the
+        // entry proto must stay at index 0 (`run_chunk` executes proto 0).
+        let index = self.chunk.protos.len() as u32;
+        self.chunk.protos.push(FnProto::default());
+        for s in body {
+            self.compile_stmt(s, &mut fx);
+        }
+        // Implicit `return undefined` (also flushes trailing steps).
+        self.emit_const(&mut fx, ConstVal::Undefined);
+        fx.emit(Op::Return);
+        self.chunk.protos[index as usize] = FnProto {
+            param_slots,
+            locals: fx.locals,
+            code: fx.code,
+        };
+        index
+    }
+
+    fn compile_block(&mut self, stmts: &[Stmt], fx: &mut FnCtx) {
+        for s in stmts {
+            self.compile_stmt(s, fx);
+        }
+    }
+
+    fn compile_stmt(&mut self, s: &Stmt, fx: &mut FnCtx) {
+        fx.step(1); // the treewalker ticks on statement entry
+        match s {
+            Stmt::Empty => {}
+            Stmt::Var(name, init) => {
+                match init {
+                    Some(e) => self.compile_expr(e, fx),
+                    None => self.emit_const(fx, ConstVal::Undefined),
+                }
+                match fx.local_ix(name) {
+                    Some(ix) => fx.emit(Op::DeclareSlot(ix)),
+                    None => {
+                        let s = self.str_ix(name);
+                        fx.emit(Op::DeclareName(s)); // eval mode only
+                    }
+                }
+            }
+            Stmt::Expr(e) => {
+                self.compile_expr(e, fx);
+                fx.emit(Op::Pop);
+            }
+            Stmt::If(cond, then, els) => {
+                if let Some((cv, k)) = try_const(cond) {
+                    fx.step(k);
+                    self.compile_block(if cv_value(&cv).truthy() { then } else { els }, fx);
+                } else {
+                    self.compile_expr(cond, fx);
+                    let jf = fx.emit_jump(Op::JumpIfFalse(0));
+                    self.compile_block(then, fx);
+                    if els.is_empty() {
+                        fx.patch(jf);
+                    } else {
+                        let jend = fx.emit_jump(Op::Jump(0));
+                        fx.patch(jf);
+                        self.compile_block(els, fx);
+                        fx.patch(jend);
+                    }
+                }
+            }
+            Stmt::While(cond, body) => {
+                // Constant-falsy condition: evaluated once, loop never
+                // entered — charge its steps and emit nothing else.
+                if let Some((cv, k)) = try_const(cond) {
+                    if !cv_value(&cv).truthy() {
+                        fx.step(k);
+                        return;
+                    }
+                }
+                let start = fx.here();
+                let jend = match try_const(cond) {
+                    Some((_, k)) => {
+                        fx.step(k); // constant-truthy: charged per iteration
+                        None
+                    }
+                    None => {
+                        self.compile_expr(cond, fx);
+                        Some(fx.emit_jump(Op::JumpIfFalse(0)))
+                    }
+                };
+                fx.step(1); // per-iteration tick
+                self.compile_block(body, fx);
+                fx.flush();
+                fx.emit(Op::Jump(start));
+                if let Some(j) = jend {
+                    fx.patch(j);
+                }
+            }
+            Stmt::For(init, cond, step, body) => {
+                if let Some(i) = init {
+                    self.compile_stmt(i, fx); // ticks as a statement
+                }
+                // Constant-falsy condition: one evaluation, no loop.
+                if let Some(c) = cond {
+                    if let Some((cv, k)) = try_const(c) {
+                        if !cv_value(&cv).truthy() {
+                            fx.step(k);
+                            return;
+                        }
+                    }
+                }
+                let start = fx.here();
+                let jend = match cond {
+                    Some(c) => match try_const(c) {
+                        Some((_, k)) => {
+                            fx.step(k);
+                            None
+                        }
+                        None => {
+                            self.compile_expr(c, fx);
+                            Some(fx.emit_jump(Op::JumpIfFalse(0)))
+                        }
+                    },
+                    None => None,
+                };
+                fx.step(1); // per-iteration tick
+                self.compile_block(body, fx);
+                if let Some(e) = step {
+                    self.compile_expr(e, fx);
+                    fx.emit(Op::Pop);
+                }
+                fx.flush();
+                fx.emit(Op::Jump(start));
+                if let Some(j) = jend {
+                    fx.patch(j);
+                }
+            }
+            Stmt::Function(name, params, body) => {
+                let proto = self.compile_proto(params, body, false);
+                fx.emit(Op::MakeFunc(proto));
+                let s = self.str_ix(name);
+                // Like the treewalker, declarations bind globally when
+                // the statement executes.
+                fx.emit(Op::DeclareGlobal(s));
+            }
+            Stmt::Return(e) => {
+                match e {
+                    Some(e) => self.compile_expr(e, fx),
+                    None => self.emit_const(fx, ConstVal::Undefined),
+                }
+                fx.emit(Op::Return);
+            }
+        }
+    }
+
+    fn compile_expr(&mut self, e: &Expr, fx: &mut FnCtx) {
+        if let Some((cv, k)) = try_const(e) {
+            fx.step(k);
+            self.emit_const(fx, cv);
+            return;
+        }
+        fx.step(1); // the treewalker ticks on every evaluated node
+        match e {
+            // Fully handled by try_const above.
+            Expr::Num(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Null => unreachable!(),
+            Expr::Ident(name) => {
+                // Natives and `undefined` resolve before scope lookup,
+                // exactly as in the treewalker ("undefined" itself is
+                // folded by try_const).
+                if let Some(n) = runtime::ident_native(name) {
+                    let s = self.str_ix(n);
+                    fx.emit(Op::Native(s));
+                } else {
+                    match fx.local_ix(name) {
+                        Some(ix) => fx.emit(Op::LoadSlot(ix)),
+                        None => {
+                            let s = self.str_ix(name);
+                            fx.emit(Op::LoadName(s));
+                        }
+                    }
+                }
+            }
+            Expr::Array(items) => {
+                for item in items {
+                    self.compile_expr(item, fx);
+                }
+                fx.emit(Op::MakeArray(items.len() as u16));
+            }
+            Expr::Member(obj, field) => {
+                self.compile_expr(obj, fx);
+                let s = self.str_ix(field);
+                fx.emit(Op::GetMember(s));
+            }
+            Expr::Index(obj, ix) => {
+                self.compile_expr(obj, fx);
+                self.compile_expr(ix, fx);
+                fx.emit(Op::GetIndex);
+            }
+            Expr::Un(op, inner) => {
+                self.compile_expr(inner, fx);
+                fx.emit(Op::Un(*op));
+            }
+            Expr::Bin(BinOp::And, a, b) => match try_const(a) {
+                Some((cv, k)) => {
+                    fx.step(k);
+                    if cv_value(&cv).truthy() {
+                        self.compile_expr(b, fx);
+                    } else {
+                        self.emit_const(fx, cv); // short-circuit: lhs value
+                    }
+                }
+                None => {
+                    self.compile_expr(a, fx);
+                    let j = fx.emit_jump(Op::JumpIfFalsePeek(0));
+                    fx.emit(Op::Pop);
+                    self.compile_expr(b, fx);
+                    fx.patch(j);
+                }
+            },
+            Expr::Bin(BinOp::Or, a, b) => match try_const(a) {
+                Some((cv, k)) => {
+                    fx.step(k);
+                    if cv_value(&cv).truthy() {
+                        self.emit_const(fx, cv);
+                    } else {
+                        self.compile_expr(b, fx);
+                    }
+                }
+                None => {
+                    self.compile_expr(a, fx);
+                    let j = fx.emit_jump(Op::JumpIfTruePeek(0));
+                    fx.emit(Op::Pop);
+                    self.compile_expr(b, fx);
+                    fx.patch(j);
+                }
+            },
+            Expr::Bin(op, a, b) => {
+                self.compile_expr(a, fx);
+                self.compile_expr(b, fx);
+                fx.emit(Op::Bin(*op));
+            }
+            Expr::Ternary(cond, a, b) => match try_const(cond) {
+                Some((cv, k)) => {
+                    fx.step(k);
+                    self.compile_expr(if cv_value(&cv).truthy() { a } else { b }, fx);
+                }
+                None => {
+                    self.compile_expr(cond, fx);
+                    let jf = fx.emit_jump(Op::JumpIfFalse(0));
+                    self.compile_expr(a, fx);
+                    let jend = fx.emit_jump(Op::Jump(0));
+                    fx.patch(jf);
+                    self.compile_expr(b, fx);
+                    fx.patch(jend);
+                }
+            },
+            Expr::Assign(target, value) => {
+                // Value first, then the target — treewalker order.
+                self.compile_expr(value, fx);
+                match &**target {
+                    Expr::Ident(name) => match fx.local_ix(name) {
+                        Some(ix) => fx.emit(Op::StoreSlot(ix)),
+                        None => {
+                            let s = self.str_ix(name);
+                            fx.emit(Op::StoreName(s));
+                        }
+                    },
+                    Expr::Member(obj, field) => {
+                        self.compile_expr(obj, fx);
+                        let s = self.str_ix(field);
+                        fx.emit(Op::SetMember(s));
+                    }
+                    Expr::Index(obj, ix) => {
+                        self.compile_expr(obj, fx);
+                        self.compile_expr(ix, fx);
+                        fx.emit(Op::SetIndex);
+                    }
+                    _ => {
+                        // The parser rejects this, but `Interpreter::run`
+                        // accepts arbitrary ASTs, so mirror its error.
+                        let s = self.str_ix("invalid assignment target");
+                        fx.emit(Op::Throw(s));
+                    }
+                }
+            }
+            Expr::Call(callee, args) => {
+                // Arguments evaluate before the callee is examined.
+                for a in args {
+                    self.compile_expr(a, fx);
+                }
+                let argc = args.len() as u16;
+                match &**callee {
+                    Expr::Ident(name) => match Builtin::of(name) {
+                        Some(b) => fx.emit(Op::CallBuiltin(b, argc)),
+                        None => {
+                            let s = self.str_ix(name);
+                            fx.emit(Op::CallNamed(s, argc));
+                        }
+                    },
+                    Expr::Member(obj, method) => {
+                        self.compile_expr(obj, fx);
+                        let s = self.str_ix(method);
+                        fx.emit(Op::CallMethod(s, argc));
+                    }
+                    _ => {
+                        let s = self.str_ix("uncallable expression");
+                        fx.emit(Op::Throw(s));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Names a function body can declare: parameters (deduplicated — later
+/// duplicates rebind the same slot, like repeated `HashMap` inserts in
+/// the treewalker), then every `var` target in source order. Nested
+/// function bodies are their own scopes; `function` declaration *names*
+/// bind globally at execution time, so neither is collected.
+fn collect_locals(params: &[String], body: &[Stmt]) -> Vec<String> {
+    fn add(out: &mut Vec<String>, name: &str) {
+        if !out.iter().any(|l| l == name) {
+            out.push(name.to_owned());
+        }
+    }
+    fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
+        for s in stmts {
+            match s {
+                Stmt::Var(name, _) => add(out, name),
+                Stmt::If(_, t, e) => {
+                    walk(t, out);
+                    walk(e, out);
+                }
+                Stmt::While(_, b) => walk(b, out),
+                Stmt::For(init, _, _, b) => {
+                    if let Some(i) = init {
+                        walk(std::slice::from_ref(i), out);
+                    }
+                    walk(b, out);
+                }
+                Stmt::Function(..) | Stmt::Expr(_) | Stmt::Return(_) | Stmt::Empty => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for p in params {
+        add(&mut out, p);
+    }
+    walk(body, &mut out);
+    out
+}
+
+fn cv_value(cv: &ConstVal) -> Value {
+    match cv {
+        ConstVal::Undefined => Value::Undefined,
+        ConstVal::Null => Value::Null,
+        ConstVal::Bool(b) => Value::Bool(*b),
+        ConstVal::Num(n) => Value::Num(*n),
+        ConstVal::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+fn value_cv(v: Value) -> ConstVal {
+    match v {
+        Value::Undefined => ConstVal::Undefined,
+        Value::Null => ConstVal::Null,
+        Value::Bool(b) => ConstVal::Bool(b),
+        Value::Num(n) => ConstVal::Num(n),
+        Value::Str(s) => ConstVal::Str(s),
+        other => unreachable!("folded ops produce primitives, got {other:?}"),
+    }
+}
+
+/// Constant evaluation. Returns the folded value *and the number of
+/// budget steps the treewalker would charge evaluating the expression*,
+/// so folding never changes budget-exhaustion behavior. Short-circuit
+/// operators fold only the branch that would actually evaluate.
+fn try_const(e: &Expr) -> Option<(ConstVal, u32)> {
+    match e {
+        Expr::Num(n) => Some((ConstVal::Num(*n), 1)),
+        Expr::Str(s) => Some((ConstVal::Str(s.clone()), 1)),
+        Expr::Bool(b) => Some((ConstVal::Bool(*b), 1)),
+        Expr::Null => Some((ConstVal::Null, 1)),
+        // `undefined` is intercepted before scope lookup, so it is a
+        // constant even if a variable of that name exists.
+        Expr::Ident(name) if name == "undefined" => Some((ConstVal::Undefined, 1)),
+        Expr::Un(op, inner) => {
+            let (cv, k) = try_const(inner)?;
+            Some((value_cv(runtime::apply_un(*op, &cv_value(&cv))), 1 + k))
+        }
+        Expr::Bin(BinOp::And, a, b) => {
+            let (ca, ka) = try_const(a)?;
+            if !cv_value(&ca).truthy() {
+                return Some((ca, 1 + ka));
+            }
+            let (cb, kb) = try_const(b)?;
+            Some((cb, 1 + ka + kb))
+        }
+        Expr::Bin(BinOp::Or, a, b) => {
+            let (ca, ka) = try_const(a)?;
+            if cv_value(&ca).truthy() {
+                return Some((ca, 1 + ka));
+            }
+            let (cb, kb) = try_const(b)?;
+            Some((cb, 1 + ka + kb))
+        }
+        Expr::Bin(op, a, b) => {
+            let (ca, ka) = try_const(a)?;
+            let (cb, kb) = try_const(b)?;
+            let v = runtime::apply_bin(*op, &cv_value(&ca), &cv_value(&cb));
+            Some((value_cv(v), 1 + ka + kb))
+        }
+        Expr::Ternary(cond, a, b) => {
+            let (cc, kc) = try_const(cond)?;
+            let branch = if cv_value(&cc).truthy() { a } else { b };
+            let (cv, k) = try_const(branch)?;
+            Some((cv, 1 + kc + k))
+        }
+        _ => None,
+    }
+}

@@ -1,198 +1,18 @@
-//! The tree-walking interpreter and its page (DOM) environment.
+//! The tree-walking interpreter — the reference engine.
+//!
+//! All observable semantics (member access, DOM effects, method dispatch,
+//! coercions, builtins, error strings) live in [`super::runtime`] and are
+//! shared with the bytecode VM; this module contributes only the AST walk
+//! itself: scope-chain `HashMap`s, statement/expression ticks, and
+//! `Flow`-based `return` propagation. The differential harness in
+//! `tests/js_differential.rs` locks the two engines together.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::fmt;
 use std::rc::Rc;
 
-use super::ast::{BinOp, Expr, Stmt, UnOp};
-
-/// A runtime error. The crawler treats any [`JsError`] as "script did
-/// nothing observable" — real crawlers must survive hostile pages.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum JsError {
-    /// The source failed to lex/parse.
-    Syntax(String),
-    /// A runtime failure (bad member, not callable, …).
-    Runtime(String),
-    /// The step budget was exhausted (runaway loop).
-    Budget,
-}
-
-impl fmt::Display for JsError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            JsError::Syntax(m) => write!(f, "syntax error: {m}"),
-            JsError::Runtime(m) => write!(f, "runtime error: {m}"),
-            JsError::Budget => write!(f, "step budget exhausted"),
-        }
-    }
-}
-
-impl std::error::Error for JsError {}
-
-/// A dynamically created element (via `document.createElement`).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct DynElement {
-    /// Tag name.
-    pub tag: String,
-    /// Attributes set via `setAttribute` or property assignment.
-    pub attrs: Vec<(String, String)>,
-    /// Whether the element was appended into the document.
-    pub attached: bool,
-    /// `innerHTML`, if assigned.
-    pub inner_html: String,
-}
-
-impl DynElement {
-    /// First value of attribute `name`.
-    pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attrs
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn set_attr(&mut self, name: &str, value: String) {
-        let name = name.to_ascii_lowercase();
-        match self.attrs.iter_mut().find(|(k, _)| *k == name) {
-            Some(slot) => slot.1 = value,
-            None => self.attrs.push((name, value)),
-        }
-    }
-}
-
-/// Observable side effects of running a page's scripts — what the VanGogh
-/// renderer inspects after execution.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct RenderEffects {
-    /// `window.location` navigation target, if any (a JS redirect).
-    pub redirect: Option<String>,
-    /// Concatenated `document.write` output (HTML, parsed by the renderer).
-    pub written_html: String,
-    /// Elements created at runtime; includes detached ones.
-    pub elements: Vec<DynElement>,
-}
-
-impl RenderEffects {
-    /// Dynamically created elements that were actually attached.
-    pub fn attached_elements(&self) -> impl Iterator<Item = &DynElement> {
-        self.elements.iter().filter(|e| e.attached)
-    }
-}
-
-/// The page environment scripts run against: the inputs cloaking payloads
-/// branch on, and the effect sinks they write to.
-#[derive(Debug, Clone, Default)]
-pub struct PageEnv {
-    /// `navigator.userAgent`.
-    pub user_agent: String,
-    /// `document.referrer` ("" when absent, as in browsers).
-    pub referrer: String,
-    /// `document.title`.
-    pub title: String,
-    /// `window.location.href` of the page itself.
-    pub location_href: String,
-    /// Ids present in the static DOM (for `getElementById` hits).
-    pub dom_ids: Vec<String>,
-    /// Accumulated effects.
-    pub effects: RenderEffects,
-}
-
-impl PageEnv {
-    /// Environment for a browser visit.
-    pub fn browser(url: &str, referrer: Option<&str>) -> Self {
-        PageEnv {
-            user_agent: crate::http::UserAgent::Browser.header_value().to_owned(),
-            referrer: referrer.unwrap_or("").to_owned(),
-            location_href: url.to_owned(),
-            ..PageEnv::default()
-        }
-    }
-}
-
-/// Runtime values.
-#[derive(Debug, Clone)]
-pub enum Value {
-    /// `undefined`.
-    Undefined,
-    /// `null`.
-    Null,
-    /// Boolean.
-    Bool(bool),
-    /// Number (f64, like JS).
-    Num(f64),
-    /// String.
-    Str(String),
-    /// Array (shared, mutable — JS reference semantics).
-    Array(Rc<RefCell<Vec<Value>>>),
-    /// Handle to a dynamically created element (index into effects).
-    Element(usize),
-    /// Handle to a native singleton: "document", "window", "location",
-    /// "navigator", "Math", "String", "body".
-    Native(&'static str),
-    /// A user-defined function.
-    Function(Rc<FuncDef>),
-}
-
-/// A user-defined function definition.
-#[derive(Debug)]
-pub struct FuncDef {
-    /// Parameter names.
-    pub params: Vec<String>,
-    /// Body statements.
-    pub body: Vec<Stmt>,
-}
-
-impl Value {
-    /// JS-style truthiness.
-    pub fn truthy(&self) -> bool {
-        match self {
-            Value::Undefined | Value::Null => false,
-            Value::Bool(b) => *b,
-            Value::Num(n) => *n != 0.0 && !n.is_nan(),
-            Value::Str(s) => !s.is_empty(),
-            Value::Array(_) | Value::Element(_) | Value::Native(_) | Value::Function(_) => true,
-        }
-    }
-
-    /// JS-style string coercion.
-    pub fn to_js_string(&self) -> String {
-        match self {
-            Value::Undefined => "undefined".into(),
-            Value::Null => "null".into(),
-            Value::Bool(b) => b.to_string(),
-            Value::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 1e15 {
-                    format!("{}", *n as i64)
-                } else {
-                    format!("{n}")
-                }
-            }
-            Value::Str(s) => s.clone(),
-            Value::Array(items) => items
-                .borrow()
-                .iter()
-                .map(Value::to_js_string)
-                .collect::<Vec<_>>()
-                .join(","),
-            Value::Element(_) => "[object HTMLElement]".into(),
-            Value::Native(n) => format!("[object {n}]"),
-            Value::Function(_) => "function".into(),
-        }
-    }
-
-    /// JS-style numeric coercion (NaN on failure).
-    pub fn to_num(&self) -> f64 {
-        match self {
-            Value::Num(n) => *n,
-            Value::Bool(true) => 1.0,
-            Value::Bool(false) | Value::Null => 0.0,
-            Value::Str(s) => s.trim().parse().unwrap_or(f64::NAN),
-            _ => f64::NAN,
-        }
-    }
-}
+use super::ast::{BinOp, Expr, Stmt};
+use super::runtime::{self, Builtin, FuncDef, JsError, PageEnv, Value, MAX_CALL_DEPTH, MAX_STEPS};
 
 enum Flow {
     Normal,
@@ -205,6 +25,7 @@ pub struct Interpreter<'e> {
     scopes: Vec<HashMap<String, Value>>,
     steps: u64,
     max_steps: u64,
+    depth: usize,
 }
 
 impl<'e> Interpreter<'e> {
@@ -214,7 +35,8 @@ impl<'e> Interpreter<'e> {
             env,
             scopes: vec![HashMap::new()],
             steps: 0,
-            max_steps: 200_000,
+            max_steps: MAX_STEPS,
+            depth: 0,
         }
     }
 
@@ -298,10 +120,7 @@ impl<'e> Interpreter<'e> {
                 Ok(Flow::Normal)
             }
             Stmt::Function(name, params, body) => {
-                let f = Value::Function(Rc::new(FuncDef {
-                    params: params.clone(),
-                    body: body.clone(),
-                }));
+                let f = Value::Function(Rc::new(FuncDef::tree(params.clone(), body.clone())));
                 self.scopes
                     .first_mut()
                     .expect("global scope")
@@ -352,23 +171,18 @@ impl<'e> Interpreter<'e> {
             Expr::Str(s) => Ok(Value::Str(s.clone())),
             Expr::Bool(b) => Ok(Value::Bool(*b)),
             Expr::Null => Ok(Value::Null),
-            Expr::Ident(name) => match name.as_str() {
-                "undefined" => Ok(Value::Undefined),
-                "document" | "window" | "navigator" | "Math" | "String" | "screen" => {
-                    Ok(Value::Native(match name.as_str() {
-                        "document" => "document",
-                        "window" => "window",
-                        "navigator" => "navigator",
-                        "Math" => "Math",
-                        "String" => "String",
-                        _ => "screen",
-                    }))
+            Expr::Ident(name) => {
+                if name == "undefined" {
+                    return Ok(Value::Undefined);
                 }
-                _ => match self.lookup(name) {
+                if let Some(n) = runtime::ident_native(name) {
+                    return Ok(Value::Native(n));
+                }
+                match self.lookup(name) {
                     Some(v) => Ok(v),
                     None => Ok(Value::Undefined),
-                },
-            },
+                }
+            }
             Expr::Array(items) => {
                 let mut out = Vec::with_capacity(items.len());
                 for item in items {
@@ -378,31 +192,16 @@ impl<'e> Interpreter<'e> {
             }
             Expr::Member(obj, field) => {
                 let base = self.eval(obj)?;
-                self.get_member(&base, field)
+                runtime::get_member(self.env, &base, field)
             }
             Expr::Index(obj, idx) => {
                 let base = self.eval(obj)?;
                 let i = self.eval(idx)?;
-                match (&base, &i) {
-                    (Value::Array(items), Value::Num(n)) => {
-                        let items = items.borrow();
-                        Ok(items.get(*n as usize).cloned().unwrap_or(Value::Undefined))
-                    }
-                    (Value::Str(s), Value::Num(n)) => Ok(s
-                        .chars()
-                        .nth(*n as usize)
-                        .map(|c| Value::Str(c.to_string()))
-                        .unwrap_or(Value::Undefined)),
-                    (base, Value::Str(field)) => self.get_member(base, field),
-                    _ => Ok(Value::Undefined),
-                }
+                runtime::index_get(self.env, &base, &i)
             }
             Expr::Un(op, e) => {
                 let v = self.eval(e)?;
-                Ok(match op {
-                    UnOp::Not => Value::Bool(!v.truthy()),
-                    UnOp::Neg => Value::Num(-v.to_num()),
-                })
+                Ok(runtime::apply_un(*op, &v))
             }
             Expr::Bin(op, a, b) => self.eval_bin(*op, a, b),
             Expr::Ternary(c, a, b) => {
@@ -421,28 +220,14 @@ impl<'e> Interpreter<'e> {
                     }
                     Expr::Member(obj, field) => {
                         let base = self.eval(obj)?;
-                        self.set_member(&base, field, v.clone())?;
+                        runtime::set_member(self.env, &base, field, v.clone())?;
                         Ok(v)
                     }
                     Expr::Index(obj, idx) => {
                         let base = self.eval(obj)?;
                         let i = self.eval(idx)?;
-                        match (&base, &i) {
-                            (Value::Array(items), Value::Num(n)) => {
-                                let mut items = items.borrow_mut();
-                                let ix = *n as usize;
-                                if ix >= items.len() {
-                                    items.resize(ix + 1, Value::Undefined);
-                                }
-                                items[ix] = v.clone();
-                                Ok(v)
-                            }
-                            (base, Value::Str(field)) => {
-                                self.set_member(base, field, v.clone())?;
-                                Ok(v)
-                            }
-                            _ => self.rt("invalid index assignment"),
-                        }
+                        runtime::index_assign(self.env, &base, &i, v.clone())?;
+                        Ok(v)
                     }
                     _ => self.rt("invalid assignment target"),
                 }
@@ -466,120 +251,7 @@ impl<'e> Interpreter<'e> {
         }
         let lhs = self.eval(a)?;
         let rhs = self.eval(b)?;
-        Ok(match op {
-            BinOp::Add => match (&lhs, &rhs) {
-                (Value::Str(_), _) | (_, Value::Str(_)) => {
-                    Value::Str(format!("{}{}", lhs.to_js_string(), rhs.to_js_string()))
-                }
-                _ => Value::Num(lhs.to_num() + rhs.to_num()),
-            },
-            BinOp::Sub => Value::Num(lhs.to_num() - rhs.to_num()),
-            BinOp::Mul => Value::Num(lhs.to_num() * rhs.to_num()),
-            BinOp::Div => Value::Num(lhs.to_num() / rhs.to_num()),
-            BinOp::Rem => Value::Num(lhs.to_num() % rhs.to_num()),
-            BinOp::Eq => Value::Bool(loose_eq(&lhs, &rhs)),
-            BinOp::Ne => Value::Bool(!loose_eq(&lhs, &rhs)),
-            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => {
-                let cmp = match (&lhs, &rhs) {
-                    (Value::Str(x), Value::Str(y)) => x.partial_cmp(y),
-                    _ => lhs.to_num().partial_cmp(&rhs.to_num()),
-                };
-                match cmp {
-                    None => Value::Bool(false),
-                    Some(ord) => Value::Bool(match op {
-                        BinOp::Lt => ord.is_lt(),
-                        BinOp::Gt => ord.is_gt(),
-                        BinOp::Le => ord.is_le(),
-                        _ => ord.is_ge(),
-                    }),
-                }
-            }
-            BinOp::And | BinOp::Or => unreachable!("handled above"),
-        })
-    }
-
-    // ---- member access on natives, elements, strings, arrays ----
-
-    fn get_member(&mut self, base: &Value, field: &str) -> Result<Value, JsError> {
-        match base {
-            Value::Native("document") => match field {
-                "referrer" => Ok(Value::Str(self.env.referrer.clone())),
-                "title" => Ok(Value::Str(self.env.title.clone())),
-                "location" => Ok(Value::Native("location")),
-                "body" => Ok(Value::Native("body")),
-                _ => Ok(Value::Undefined),
-            },
-            Value::Native("window") => match field {
-                "location" => Ok(Value::Native("location")),
-                "document" => Ok(Value::Native("document")),
-                "navigator" => Ok(Value::Native("navigator")),
-                "innerWidth" => Ok(Value::Num(1280.0)),
-                "innerHeight" => Ok(Value::Num(800.0)),
-                _ => Ok(Value::Undefined),
-            },
-            Value::Native("navigator") => match field {
-                "userAgent" => Ok(Value::Str(self.env.user_agent.clone())),
-                _ => Ok(Value::Undefined),
-            },
-            Value::Native("screen") => match field {
-                "width" => Ok(Value::Num(1280.0)),
-                "height" => Ok(Value::Num(800.0)),
-                _ => Ok(Value::Undefined),
-            },
-            Value::Native("location") => match field {
-                "href" => Ok(Value::Str(self.env.location_href.clone())),
-                _ => Ok(Value::Undefined),
-            },
-            Value::Str(s) => match field {
-                "length" => Ok(Value::Num(s.chars().count() as f64)),
-                _ => Ok(Value::Undefined),
-            },
-            Value::Array(items) => match field {
-                "length" => Ok(Value::Num(items.borrow().len() as f64)),
-                _ => Ok(Value::Undefined),
-            },
-            Value::Element(h) => {
-                let el = &self.env.effects.elements[*h];
-                match field {
-                    "tagName" => Ok(Value::Str(el.tag.to_ascii_uppercase())),
-                    "innerHTML" => Ok(Value::Str(el.inner_html.clone())),
-                    other => Ok(el
-                        .attr(other)
-                        .map(|v| Value::Str(v.to_owned()))
-                        .unwrap_or(Value::Undefined)),
-                }
-            }
-            _ => Ok(Value::Undefined),
-        }
-    }
-
-    fn set_member(&mut self, base: &Value, field: &str, v: Value) -> Result<(), JsError> {
-        match base {
-            // window.location = url; document.location = url
-            Value::Native("window") | Value::Native("document") if field == "location" => {
-                self.env.effects.redirect = Some(v.to_js_string());
-                Ok(())
-            }
-            // window.location.href = url
-            Value::Native("location") if field == "href" => {
-                self.env.effects.redirect = Some(v.to_js_string());
-                Ok(())
-            }
-            Value::Native("document") if field == "title" => {
-                self.env.title = v.to_js_string();
-                Ok(())
-            }
-            Value::Element(h) => {
-                let el = &mut self.env.effects.elements[*h];
-                if field == "innerHTML" {
-                    el.inner_html = v.to_js_string();
-                } else {
-                    el.set_attr(field, v.to_js_string());
-                }
-                Ok(())
-            }
-            _ => Ok(()), // silently ignore, like sloppy JS on frozen hosts
-        }
+        Ok(runtime::apply_bin(op, &lhs, &rhs))
     }
 
     // ---- calls ----
@@ -590,46 +262,40 @@ impl<'e> Interpreter<'e> {
             argv.push(self.eval(a)?);
         }
         match callee {
-            Expr::Ident(name) => match name.as_str() {
-                "parseInt" => {
-                    let s = argv.first().map(Value::to_js_string).unwrap_or_default();
-                    let digits: String = s
-                        .trim()
-                        .chars()
-                        .take_while(|c| c.is_ascii_digit() || *c == '-')
-                        .collect();
-                    Ok(digits
-                        .parse::<f64>()
-                        .map(Value::Num)
-                        .unwrap_or(Value::Num(f64::NAN)))
-                }
-                "unescape" | "decodeURIComponent" => {
-                    let s = argv.first().map(Value::to_js_string).unwrap_or_default();
-                    Ok(Value::Str(percent_decode(&s)))
-                }
-                "eval" => {
+            Expr::Ident(name) => match Builtin::of(name) {
+                Some(Builtin::Eval) => {
                     // Real payloads love eval(obfuscated-string). Re-enter.
                     let src = argv.first().map(Value::to_js_string).unwrap_or_default();
                     let prog = super::parser::parse_program(&src)
                         .map_err(|e| JsError::Runtime(format!("eval: {e}")))?;
-                    self.exec_block(&prog)?;
+                    if self.depth >= MAX_CALL_DEPTH {
+                        return self.rt("maximum call depth exceeded");
+                    }
+                    self.depth += 1;
+                    let flow = self.exec_block(&prog);
+                    self.depth -= 1;
+                    flow?;
                     Ok(Value::Undefined)
                 }
-                "alert" | "setTimeout" => Ok(Value::Undefined),
-                _ => match self.lookup(name) {
+                Some(b) => Ok(b.call(&argv)),
+                None => match self.lookup(name) {
                     Some(Value::Function(f)) => self.call_function(&f, argv),
                     Some(_) | None => self.rt(format!("{name} is not a function")),
                 },
             },
             Expr::Member(obj, method) => {
                 let base = self.eval(obj)?;
-                self.call_method(&base, method, argv)
+                runtime::call_method(self.env, &base, method, argv)
             }
             _ => self.rt("uncallable expression"),
         }
     }
 
     fn call_function(&mut self, f: &Rc<FuncDef>, argv: Vec<Value>) -> Result<Value, JsError> {
+        if self.depth >= MAX_CALL_DEPTH {
+            return self.rt("maximum call depth exceeded");
+        }
+        self.depth += 1;
         let mut scope = HashMap::new();
         for (i, p) in f.params.iter().enumerate() {
             scope.insert(p.clone(), argv.get(i).cloned().unwrap_or(Value::Undefined));
@@ -637,249 +303,12 @@ impl<'e> Interpreter<'e> {
         self.scopes.push(scope);
         let flow = self.exec_block(&f.body);
         self.scopes.pop();
+        self.depth -= 1;
         match flow? {
             Flow::Return(v) => Ok(v),
             Flow::Normal => Ok(Value::Undefined),
         }
     }
-
-    fn call_method(
-        &mut self,
-        base: &Value,
-        method: &str,
-        argv: Vec<Value>,
-    ) -> Result<Value, JsError> {
-        let arg_str = |i: usize| argv.get(i).map(Value::to_js_string).unwrap_or_default();
-        match base {
-            Value::Native("document") => match method {
-                "write" | "writeln" => {
-                    for a in &argv {
-                        self.env.effects.written_html.push_str(&a.to_js_string());
-                    }
-                    Ok(Value::Undefined)
-                }
-                "createElement" => {
-                    let tag = arg_str(0).to_ascii_lowercase();
-                    self.env.effects.elements.push(DynElement {
-                        tag,
-                        ..DynElement::default()
-                    });
-                    Ok(Value::Element(self.env.effects.elements.len() - 1))
-                }
-                "getElementById" => {
-                    let id = arg_str(0);
-                    if self.env.dom_ids.contains(&id) {
-                        // Materialize a handle standing in for the static
-                        // element; appends to it attach to the document.
-                        self.env.effects.elements.push(DynElement {
-                            tag: "div".into(),
-                            attrs: vec![("id".into(), id)],
-                            attached: true,
-                            inner_html: String::new(),
-                        });
-                        Ok(Value::Element(self.env.effects.elements.len() - 1))
-                    } else {
-                        Ok(Value::Null)
-                    }
-                }
-                _ => self.rt(format!("document.{method} is not a function")),
-            },
-            Value::Native("location") => match method {
-                "replace" | "assign" => {
-                    self.env.effects.redirect = Some(arg_str(0));
-                    Ok(Value::Undefined)
-                }
-                _ => self.rt(format!("location.{method} is not a function")),
-            },
-            Value::Native("body") => match method {
-                "appendChild" | "insertBefore" => {
-                    if let Some(Value::Element(h)) = argv.first() {
-                        self.env.effects.elements[*h].attached = true;
-                    }
-                    Ok(argv.into_iter().next().unwrap_or(Value::Undefined))
-                }
-                _ => self.rt(format!("body.{method} is not a function")),
-            },
-            Value::Native("String") => match method {
-                "fromCharCode" => {
-                    let s: String = argv
-                        .iter()
-                        .map(|v| char::from_u32(v.to_num() as u32).unwrap_or('\u{fffd}'))
-                        .collect();
-                    Ok(Value::Str(s))
-                }
-                _ => self.rt(format!("String.{method} is not a function")),
-            },
-            Value::Native("Math") => {
-                let x = argv.first().map(Value::to_num).unwrap_or(f64::NAN);
-                match method {
-                    "floor" => Ok(Value::Num(x.floor())),
-                    "ceil" => Ok(Value::Num(x.ceil())),
-                    "abs" => Ok(Value::Num(x.abs())),
-                    "round" => Ok(Value::Num(x.round())),
-                    "max" => Ok(Value::Num(
-                        argv.iter()
-                            .map(Value::to_num)
-                            .fold(f64::NEG_INFINITY, f64::max),
-                    )),
-                    "min" => Ok(Value::Num(
-                        argv.iter().map(Value::to_num).fold(f64::INFINITY, f64::min),
-                    )),
-                    _ => self.rt(format!("Math.{method} is not a function")),
-                }
-            }
-            Value::Element(h) => {
-                let h = *h;
-                match method {
-                    "setAttribute" => {
-                        let (name, value) = (arg_str(0), arg_str(1));
-                        self.env.effects.elements[h].set_attr(&name, value);
-                        Ok(Value::Undefined)
-                    }
-                    "getAttribute" => Ok(self.env.effects.elements[h]
-                        .attr(&arg_str(0))
-                        .map(|v| Value::Str(v.to_owned()))
-                        .unwrap_or(Value::Null)),
-                    "appendChild" => {
-                        // Appending to an attached element attaches the child.
-                        let parent_attached = self.env.effects.elements[h].attached;
-                        if let Some(Value::Element(c)) = argv.first() {
-                            if parent_attached {
-                                self.env.effects.elements[*c].attached = true;
-                            }
-                        }
-                        Ok(argv.into_iter().next().unwrap_or(Value::Undefined))
-                    }
-                    _ => self.rt(format!("element.{method} is not a function")),
-                }
-            }
-            Value::Str(s) => self.string_method(s, method, argv),
-            Value::Array(items) => match method {
-                "join" => {
-                    let sep = if argv.is_empty() {
-                        ",".to_owned()
-                    } else {
-                        arg_str(0)
-                    };
-                    let joined = items
-                        .borrow()
-                        .iter()
-                        .map(Value::to_js_string)
-                        .collect::<Vec<_>>()
-                        .join(&sep);
-                    Ok(Value::Str(joined))
-                }
-                "push" => {
-                    let mut b = items.borrow_mut();
-                    for a in argv {
-                        b.push(a);
-                    }
-                    Ok(Value::Num(b.len() as f64))
-                }
-                "pop" => Ok(items.borrow_mut().pop().unwrap_or(Value::Undefined)),
-                "reverse" => {
-                    items.borrow_mut().reverse();
-                    Ok(Value::Array(items.clone()))
-                }
-                "concat" => {
-                    let mut out = items.borrow().clone();
-                    for a in argv {
-                        match a {
-                            Value::Array(more) => out.extend(more.borrow().iter().cloned()),
-                            v => out.push(v),
-                        }
-                    }
-                    Ok(Value::Array(Rc::new(RefCell::new(out))))
-                }
-                _ => self.rt(format!("array.{method} is not a function")),
-            },
-            _ => self.rt(format!(".{method} called on non-object")),
-        }
-    }
-
-    fn string_method(&mut self, s: &str, method: &str, argv: Vec<Value>) -> Result<Value, JsError> {
-        let arg_str = |i: usize| argv.get(i).map(Value::to_js_string).unwrap_or_default();
-        let arg_num = |i: usize| argv.get(i).map(Value::to_num).unwrap_or(f64::NAN);
-        match method {
-            "split" => {
-                let sep = arg_str(0);
-                let parts: Vec<Value> = if argv.is_empty() {
-                    vec![Value::Str(s.to_owned())]
-                } else if sep.is_empty() {
-                    s.chars().map(|c| Value::Str(c.to_string())).collect()
-                } else {
-                    s.split(sep.as_str())
-                        .map(|p| Value::Str(p.to_owned()))
-                        .collect()
-                };
-                Ok(Value::Array(Rc::new(RefCell::new(parts))))
-            }
-            "replace" => Ok(Value::Str(s.replacen(
-                arg_str(0).as_str(),
-                arg_str(1).as_str(),
-                1,
-            ))),
-            "charAt" => Ok(Value::Str(
-                s.chars()
-                    .nth(arg_num(0) as usize)
-                    .map(|c| c.to_string())
-                    .unwrap_or_default(),
-            )),
-            "charCodeAt" => Ok(s
-                .chars()
-                .nth(arg_num(0) as usize)
-                .map(|c| Value::Num(c as u32 as f64))
-                .unwrap_or(Value::Num(f64::NAN))),
-            "indexOf" => {
-                let needle = arg_str(0);
-                Ok(Value::Num(match s.find(needle.as_str()) {
-                    Some(byte) => s[..byte].chars().count() as f64,
-                    None => -1.0,
-                }))
-            }
-            "substring" | "slice" => {
-                let chars: Vec<char> = s.chars().collect();
-                let a = (arg_num(0).max(0.0) as usize).min(chars.len());
-                let b = if argv.len() > 1 {
-                    (arg_num(1).max(0.0) as usize).min(chars.len())
-                } else {
-                    chars.len()
-                };
-                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-                Ok(Value::Str(chars[lo..hi].iter().collect()))
-            }
-            "toLowerCase" => Ok(Value::Str(s.to_lowercase())),
-            "toUpperCase" => Ok(Value::Str(s.to_uppercase())),
-            "concat" => {
-                let mut out = s.to_owned();
-                for a in &argv {
-                    out.push_str(&a.to_js_string());
-                }
-                Ok(Value::Str(out))
-            }
-            _ => self.rt(format!("string.{method} is not a function")),
-        }
-    }
-}
-
-/// Loose equality: same-type compares directly; otherwise numeric coercion,
-/// with null/undefined equal to each other only.
-fn loose_eq(a: &Value, b: &Value) -> bool {
-    match (a, b) {
-        (Value::Undefined | Value::Null, Value::Undefined | Value::Null) => true,
-        (Value::Undefined | Value::Null, _) | (_, Value::Undefined | Value::Null) => false,
-        (Value::Str(x), Value::Str(y)) => x == y,
-        (Value::Bool(x), Value::Bool(y)) => x == y,
-        (Value::Num(x), Value::Num(y)) => x == y,
-        (Value::Element(x), Value::Element(y)) => x == y,
-        (Value::Native(x), Value::Native(y)) => x == y,
-        _ => a.to_num() == b.to_num(),
-    }
-}
-
-/// Decodes `%XX` escapes (the subset `unescape` needs).
-fn percent_decode(s: &str) -> String {
-    ss_types::url::decode_component(&s.replace('+', "%2B"))
 }
 
 #[cfg(test)]
@@ -996,6 +425,15 @@ mod tests {
         let mut env = PageEnv::default();
         let err = run_script("while (true) { var x = 1; }", &mut env).unwrap_err();
         assert_eq!(err, JsError::Budget);
+    }
+
+    #[test]
+    fn runaway_recursion_hits_depth_cap() {
+        // Rust-level recursion backs JS calls in both engines; without the
+        // depth cap this would overflow the native stack, not error.
+        let mut env = PageEnv::default();
+        let err = run_script("function f() { return f(); } f();", &mut env).unwrap_err();
+        assert_eq!(err, JsError::Runtime("maximum call depth exceeded".into()));
     }
 
     #[test]

@@ -115,7 +115,16 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                                 out.push(char::from_u32(v).unwrap_or('\u{fffd}'));
                                 j += 4;
                             }
-                            other => out.push(other as char),
+                            other if other.is_ascii() => out.push(other as char),
+                            _ => {
+                                // An escaped multi-byte character: copy the
+                                // whole char, not just its lead byte (which
+                                // would land the cursor mid-codepoint and
+                                // panic on the next slice).
+                                let ch = src[j + 1..].chars().next().expect("in bounds");
+                                out.push(ch);
+                                j += ch.len_utf8() - 1;
+                            }
                         }
                         j += 2;
                     }

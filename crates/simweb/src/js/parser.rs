@@ -26,7 +26,11 @@ pub fn parse_program(src: &str) -> Result<Vec<Stmt>, ParseError> {
         at: 0,
         msg: e.to_string(),
     })?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let mut stmts = Vec::new();
     while !p.at_end() {
         stmts.push(p.statement()?);
@@ -34,14 +38,29 @@ pub fn parse_program(src: &str) -> Result<Vec<Stmt>, ParseError> {
     Ok(stmts)
 }
 
+/// Recursion cap for the recursive-descent walk. The grammar recurses on
+/// nested statements, parenthesized/unary expressions, and right-
+/// associative assignment; without a cap, pathological inputs like
+/// `((((…` overflow the native stack instead of erroring.
+const MAX_PARSE_DEPTH: usize = 200;
+
 struct Parser {
     toks: Vec<Tok>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
     fn at_end(&self) -> bool {
         self.pos >= self.toks.len()
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return self.err("nesting too deep");
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -94,6 +113,13 @@ impl Parser {
     // ---- statements ----
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let r = self.statement_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn statement_inner(&mut self) -> Result<Stmt, ParseError> {
         if self.eat_punct(";") {
             return Ok(Stmt::Empty);
         }
@@ -216,6 +242,13 @@ impl Parser {
     }
 
     fn assignment(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let r = self.assignment_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn assignment_inner(&mut self) -> Result<Expr, ParseError> {
         let lhs = self.ternary()?;
         if self.eat_punct("=") {
             let rhs = self.assignment()?;
@@ -364,6 +397,13 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let r = self.unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
         if self.eat_punct("!") {
             return Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)));
         }

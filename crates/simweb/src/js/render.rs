@@ -10,7 +10,8 @@
 use crate::html::{Document, Element, Node};
 use crate::http::UserAgent;
 
-use super::interp::{PageEnv, RenderEffects};
+use super::runtime::{PageEnv, RenderEffects};
+use super::{JsCache, JsEngine};
 
 /// The result of rendering a page.
 #[derive(Debug, Clone)]
@@ -49,6 +50,27 @@ impl Rendered {
 /// full JS engine and is much more expensive than a plain fetch, which is
 /// why VanGogh samples at most three pages per doorway domain.
 pub fn render(html: &str, url: &str, user_agent: UserAgent, referrer: Option<&str>) -> Rendered {
+    render_with(
+        html,
+        url,
+        user_agent,
+        referrer,
+        JsEngine::default(),
+        JsCache::global(),
+    )
+}
+
+/// [`render`] with an explicit engine and compile cache — the crawler's
+/// entry point (it owns a per-run cache so compile/hit counters are
+/// per-run), and the differential harness's way of pinning an engine.
+pub fn render_with(
+    html: &str,
+    url: &str,
+    user_agent: UserAgent,
+    referrer: Option<&str>,
+    engine: JsEngine,
+    cache: &JsCache,
+) -> Rendered {
     let doc = Document::parse(html);
     let mut env = PageEnv {
         user_agent: user_agent.header_value().to_owned(),
@@ -65,7 +87,7 @@ pub fn render(html: &str, url: &str, user_agent: UserAgent, referrer: Option<&st
 
     let mut script_errors = 0;
     for src in doc.scripts() {
-        if super::run_script(&src, &mut env).is_err() {
+        if super::run_script_with(&src, &mut env, engine, cache).is_err() {
             script_errors += 1;
         }
     }

@@ -1,0 +1,356 @@
+//! The bytecode VM: a stack machine over [`Chunk`]s with slot-indexed
+//! frames.
+//!
+//! Name resolution honors the treewalker's dynamic scoping: a frame's
+//! slot vector covers every name the function *can* declare (`None` until
+//! the declaring statement actually runs), an overflow map catches names
+//! `eval` declares dynamically, and misses walk outer frames exactly like
+//! the interpreter's scope-chain walk. The invariant is that a name lives
+//! in a frame's slot *or* its overflow map, never both — every insertion
+//! path checks the slot table first.
+//!
+//! Calls recurse at the Rust level (one `exec` activation per JS call),
+//! bounded by [`MAX_CALL_DEPTH`] identically to the treewalker.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use super::bytecode::{Chunk, ConstVal, Op};
+use super::cache::{CompileMode, JsCache};
+use super::runtime::{
+    self, rt, Builtin, FuncDef, JsError, PageEnv, Value, MAX_CALL_DEPTH, MAX_STEPS,
+};
+
+/// Runs a compiled program against a page environment. `cache` serves
+/// nested `eval` compiles (cloaking payloads decode-and-eval identical
+/// strings on every render, so those chunks cache like top-level ones).
+pub(crate) fn run_chunk(
+    env: &mut PageEnv,
+    chunk: &Arc<Chunk>,
+    cache: &JsCache,
+) -> Result<(), JsError> {
+    let mut vm = Vm {
+        env,
+        cache,
+        frames: vec![Frame::bare(chunk.clone(), 0)],
+        steps: 0,
+        depth: 0,
+    };
+    vm.exec(chunk.clone(), 0)?;
+    Ok(())
+}
+
+/// One call activation: the declared-name slots plus the overflow map for
+/// `eval`-declared names.
+struct Frame {
+    chunk: Arc<Chunk>,
+    proto: usize,
+    slots: Vec<Option<Value>>,
+    overflow: HashMap<String, Value>,
+}
+
+impl Frame {
+    fn bare(chunk: Arc<Chunk>, proto: usize) -> Frame {
+        let n = chunk.protos[proto].locals.len();
+        Frame {
+            chunk,
+            proto,
+            slots: vec![None; n],
+            overflow: HashMap::new(),
+        }
+    }
+
+    fn locals(&self) -> &[String] {
+        &self.chunk.protos[self.proto].locals
+    }
+
+    /// The binding for `name` in this frame, if declared.
+    fn get(&self, name: &str) -> Option<Value> {
+        match self.locals().iter().position(|l| l == name) {
+            Some(ix) => self.slots[ix].clone(),
+            None => self.overflow.get(name).cloned(),
+        }
+    }
+
+    /// Whether `name` is currently declared in this frame.
+    fn contains(&self, name: &str) -> bool {
+        match self.locals().iter().position(|l| l == name) {
+            Some(ix) => self.slots[ix].is_some(),
+            None => self.overflow.contains_key(name),
+        }
+    }
+
+    /// Declares or rebinds `name` in this frame (slot if the table knows
+    /// it, overflow otherwise — preserving the slot-xor-overflow
+    /// invariant).
+    fn bind(&mut self, name: &str, v: Value) {
+        match self.locals().iter().position(|l| l == name) {
+            Some(ix) => self.slots[ix] = Some(v),
+            None => {
+                self.overflow.insert(name.to_owned(), v);
+            }
+        }
+    }
+}
+
+struct Vm<'e, 'c> {
+    env: &'e mut PageEnv,
+    cache: &'c JsCache,
+    frames: Vec<Frame>,
+    steps: u64,
+    depth: usize,
+}
+
+impl Vm<'_, '_> {
+    /// Scope-chain read, innermost frame outward.
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.frames.iter().rev().find_map(|f| f.get(name))
+    }
+
+    /// Scope-chain read skipping the current frame (used by `LoadSlot`
+    /// misses: the slot being `None` proves the name is not bound here).
+    fn lookup_outer(&self, name: &str) -> Option<Value> {
+        let n = self.frames.len();
+        self.frames[..n - 1].iter().rev().find_map(|f| f.get(name))
+    }
+
+    /// Treewalker assignment: innermost existing binding, else create a
+    /// global — optionally skipping the current frame when the caller
+    /// already proved the name unbound there.
+    fn assign(&mut self, name: &str, v: Value, skip_current: bool) {
+        let n = self.frames.len() - usize::from(skip_current);
+        for f in self.frames[..n].iter_mut().rev() {
+            if f.contains(name) {
+                f.bind(name, v);
+                return;
+            }
+        }
+        self.frames[0].bind(name, v);
+    }
+
+    fn exec(&mut self, chunk: Arc<Chunk>, proto: usize) -> Result<Value, JsError> {
+        let code: &[Op] = &chunk.protos[proto].code;
+        let mut stack: Vec<Value> = Vec::new();
+        let mut ip = 0usize;
+        while ip < code.len() {
+            let op = &code[ip];
+            ip += 1;
+            match op {
+                Op::Step(n) => {
+                    self.steps += u64::from(*n);
+                    if self.steps > MAX_STEPS {
+                        return Err(JsError::Budget);
+                    }
+                }
+                Op::Const(i) => stack.push(const_value(&chunk.consts[*i as usize])),
+                Op::Native(s) => {
+                    let n = runtime::ident_native(&chunk.strings[*s as usize])
+                        .expect("compiler only emits known natives");
+                    stack.push(Value::Native(n));
+                }
+                Op::LoadSlot(ix) => {
+                    let ix = *ix as usize;
+                    let f = self.frames.last().expect("active frame");
+                    let v = match f.slots[ix].clone() {
+                        Some(v) => v,
+                        None => {
+                            // Declared name not yet bound here: dynamic
+                            // walk of outer frames, like the treewalker.
+                            let name = f.locals()[ix].to_owned();
+                            self.lookup_outer(&name).unwrap_or(Value::Undefined)
+                        }
+                    };
+                    stack.push(v);
+                }
+                Op::LoadName(s) => {
+                    let name = &chunk.strings[*s as usize];
+                    stack.push(self.lookup(name).unwrap_or(Value::Undefined));
+                }
+                Op::StoreSlot(ix) => {
+                    let ix = *ix as usize;
+                    let v = stack.last().expect("store operand").clone();
+                    let f = self.frames.last_mut().expect("active frame");
+                    if f.slots[ix].is_some() {
+                        f.slots[ix] = Some(v);
+                    } else {
+                        let name = f.locals()[ix].to_owned();
+                        self.assign(&name, v, true);
+                    }
+                }
+                Op::StoreName(s) => {
+                    let v = stack.last().expect("store operand").clone();
+                    let name = chunk.strings[*s as usize].clone();
+                    self.assign(&name, v, false);
+                }
+                Op::DeclareSlot(ix) => {
+                    let v = stack.pop().expect("declare operand");
+                    self.frames.last_mut().expect("active frame").slots[*ix as usize] = Some(v);
+                }
+                Op::DeclareName(s) => {
+                    let v = stack.pop().expect("declare operand");
+                    let name = chunk.strings[*s as usize].clone();
+                    self.frames.last_mut().expect("active frame").bind(&name, v);
+                }
+                Op::DeclareGlobal(s) => {
+                    let v = stack.pop().expect("declare operand");
+                    let name = chunk.strings[*s as usize].clone();
+                    self.frames[0].bind(&name, v);
+                }
+                Op::MakeFunc(p) => {
+                    let proto_ref = &chunk.protos[*p as usize];
+                    let params = proto_ref
+                        .param_slots
+                        .iter()
+                        .map(|&s| proto_ref.locals[s as usize].clone())
+                        .collect();
+                    stack.push(Value::Function(Rc::new(FuncDef::vm(
+                        params,
+                        chunk.clone(),
+                        *p as usize,
+                    ))));
+                }
+                Op::MakeArray(n) => {
+                    let at = stack.len() - *n as usize;
+                    let items = stack.split_off(at);
+                    stack.push(Value::Array(Rc::new(RefCell::new(items))));
+                }
+                Op::GetMember(s) => {
+                    let obj = stack.pop().expect("member base");
+                    let v = runtime::get_member(self.env, &obj, &chunk.strings[*s as usize])?;
+                    stack.push(v);
+                }
+                Op::GetIndex => {
+                    let ix = stack.pop().expect("index");
+                    let base = stack.pop().expect("index base");
+                    stack.push(runtime::index_get(self.env, &base, &ix)?);
+                }
+                Op::SetMember(s) => {
+                    let obj = stack.pop().expect("member base");
+                    let v = stack.last().expect("assigned value").clone();
+                    runtime::set_member(self.env, &obj, &chunk.strings[*s as usize], v)?;
+                }
+                Op::SetIndex => {
+                    let ix = stack.pop().expect("index");
+                    let base = stack.pop().expect("index base");
+                    let v = stack.last().expect("assigned value").clone();
+                    runtime::index_assign(self.env, &base, &ix, v)?;
+                }
+                Op::Un(op) => {
+                    let v = stack.pop().expect("unary operand");
+                    stack.push(runtime::apply_un(*op, &v));
+                }
+                Op::Bin(op) => {
+                    let rhs = stack.pop().expect("rhs");
+                    let lhs = stack.pop().expect("lhs");
+                    stack.push(runtime::apply_bin(*op, &lhs, &rhs));
+                }
+                Op::JumpIfFalse(t) => {
+                    if !stack.pop().expect("condition").truthy() {
+                        ip = *t as usize;
+                    }
+                }
+                Op::JumpIfFalsePeek(t) => {
+                    if !stack.last().expect("condition").truthy() {
+                        ip = *t as usize;
+                    }
+                }
+                Op::JumpIfTruePeek(t) => {
+                    if stack.last().expect("condition").truthy() {
+                        ip = *t as usize;
+                    }
+                }
+                Op::Jump(t) => ip = *t as usize,
+                Op::Pop => {
+                    stack.pop();
+                }
+                Op::CallBuiltin(b, argc) => {
+                    let at = stack.len() - *argc as usize;
+                    let argv = stack.split_off(at);
+                    let v = match b {
+                        Builtin::Eval => self.eval_builtin(argv)?,
+                        simple => simple.call(&argv),
+                    };
+                    stack.push(v);
+                }
+                Op::CallNamed(s, argc) => {
+                    let at = stack.len() - *argc as usize;
+                    let argv = stack.split_off(at);
+                    let name = &chunk.strings[*s as usize];
+                    match self.lookup(name) {
+                        Some(Value::Function(f)) => {
+                            let v = self.call_function(&f, argv)?;
+                            stack.push(v);
+                        }
+                        _ => return rt(format!("{name} is not a function")),
+                    }
+                }
+                Op::CallMethod(s, argc) => {
+                    let obj = stack.pop().expect("method receiver");
+                    let at = stack.len() - *argc as usize;
+                    let argv = stack.split_off(at);
+                    let v =
+                        runtime::call_method(self.env, &obj, &chunk.strings[*s as usize], argv)?;
+                    stack.push(v);
+                }
+                Op::Return => return Ok(stack.pop().unwrap_or(Value::Undefined)),
+                Op::Throw(s) => return rt(chunk.strings[*s as usize].clone()),
+            }
+        }
+        Ok(Value::Undefined)
+    }
+
+    fn call_function(&mut self, f: &FuncDef, argv: Vec<Value>) -> Result<Value, JsError> {
+        let (chunk, proto) = match &f.compiled {
+            Some((c, p)) => (c.clone(), *p),
+            // Only reachable if engines were mixed over one environment,
+            // which the public API does not allow.
+            None => return rt("function body is not compiled"),
+        };
+        if self.depth >= MAX_CALL_DEPTH {
+            return rt("maximum call depth exceeded");
+        }
+        self.depth += 1;
+        let mut frame = Frame::bare(chunk.clone(), proto);
+        for (i, &slot) in chunk.protos[proto].param_slots.iter().enumerate() {
+            frame.slots[slot as usize] = Some(argv.get(i).cloned().unwrap_or(Value::Undefined));
+        }
+        self.frames.push(frame);
+        let r = self.exec(chunk, proto);
+        self.frames.pop();
+        self.depth -= 1;
+        r
+    }
+
+    /// `eval(src)`: parse + compile in eval mode (cached), then run the
+    /// chunk against the *current* frame — no new scope, exactly like the
+    /// treewalker executing the parsed block in place. A top-level
+    /// `return` inside the eval'd code is swallowed at this boundary and
+    /// the call yields `undefined`.
+    fn eval_builtin(&mut self, argv: Vec<Value>) -> Result<Value, JsError> {
+        let src = argv.first().map(Value::to_js_string).unwrap_or_default();
+        let chunk = match self.cache.chunk_for(&src, CompileMode::Eval) {
+            Ok(c) => c,
+            Err(msg) => return rt(format!("eval: {msg}")),
+        };
+        if self.depth >= MAX_CALL_DEPTH {
+            return rt("maximum call depth exceeded");
+        }
+        self.depth += 1;
+        let r = self.exec(chunk, 0);
+        self.depth -= 1;
+        r?;
+        Ok(Value::Undefined)
+    }
+}
+
+fn const_value(cv: &ConstVal) -> Value {
+    match cv {
+        ConstVal::Undefined => Value::Undefined,
+        ConstVal::Null => Value::Null,
+        ConstVal::Bool(b) => Value::Bool(*b),
+        ConstVal::Num(n) => Value::Num(*n),
+        ConstVal::Str(s) => Value::Str(s.clone()),
+    }
+}
