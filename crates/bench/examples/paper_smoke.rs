@@ -18,9 +18,13 @@
 //! # stress scale
 //! cargo run --release -p ss-bench --example paper_smoke -- --preset mega
 //! ```
+//!
+//! `--checkpoint` additionally exercises the state plane: the run drops
+//! a mid-window checkpoint, and the profile records its size on disk
+//! plus save/load wall clock.
 
 use search_seizure::manifest::{CalibrationEntry, Headline, StageTiming};
-use search_seizure::Study;
+use search_seizure::{state, RunOptions, Study};
 use ss_bench::Preset;
 use ss_eco::World;
 
@@ -47,6 +51,11 @@ struct BenchProfile {
     /// compiled vs. chunk-cache hits across the whole crawl window.
     js_compiles: u64,
     js_cache_hits: u64,
+    /// State plane at scale (present with `--checkpoint`): bytes of the
+    /// mid-window checkpoint frame, and save/load wall clock.
+    checkpoint_bytes: Option<u64>,
+    checkpoint_save_s: Option<f64>,
+    checkpoint_load_s: Option<f64>,
 }
 
 fn main() {
@@ -55,6 +64,7 @@ fn main() {
     let mut days: Option<u32> = None;
     let mut threads = 1usize;
     let mut out: Option<String> = None;
+    let mut checkpoint = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,6 +83,7 @@ fn main() {
                     .unwrap();
             }
             "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--checkpoint" => checkpoint = true,
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -111,9 +122,42 @@ fn main() {
     );
     drop(w);
 
+    // With --checkpoint, drop one resumable frame mid-window so the
+    // profile captures the state plane's cost at this scale.
+    let ckpt_dir = std::env::temp_dir().join(format!("ss-smoke-ckpt-{}", std::process::id()));
+    let window_days = cfg.crawl_end.day_index() - cfg.crawl_start.day_index();
+    let opts = if checkpoint {
+        RunOptions {
+            resume_from: None,
+            checkpoint_every: Some(window_days.max(2) / 2),
+            checkpoint_dir: Some(ckpt_dir.to_string_lossy().into_owned()),
+        }
+    } else {
+        RunOptions::default()
+    };
+
     let t1 = std::time::Instant::now();
-    let output = Study::new(cfg).run().expect("study runs");
+    let output = Study::new(cfg).run_with(opts).expect("study runs");
     let total_wall_s = t1.elapsed().as_secs_f64();
+
+    let (mut checkpoint_bytes, mut checkpoint_load_s) = (None, None);
+    let checkpoint_save_s = output
+        .metrics
+        .span_stats("study.checkpoint")
+        .map(|s| s.total_ns as f64 / 1e9);
+    if checkpoint {
+        let first = std::fs::read_dir(&ckpt_dir)
+            .expect("checkpoint dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .min()
+            .expect("a checkpoint was written");
+        checkpoint_bytes = Some(std::fs::metadata(&first).expect("checkpoint stat").len());
+        let t = std::time::Instant::now();
+        state::load_checkpoint(&first).expect("checkpoint loads");
+        checkpoint_load_s = Some(t.elapsed().as_secs_f64());
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
 
     let profile = BenchProfile {
         preset: format!("{preset:?}").to_ascii_lowercase(),
@@ -128,7 +172,17 @@ fn main() {
         calibration: output.manifest.calibration.clone(),
         js_compiles: output.metrics.counter_total("simweb.js_compile"),
         js_cache_hits: output.metrics.counter_total("simweb.js_cache_hit"),
+        checkpoint_bytes,
+        checkpoint_save_s,
+        checkpoint_load_s,
     };
+    if let (Some(b), Some(l)) = (profile.checkpoint_bytes, profile.checkpoint_load_s) {
+        eprintln!(
+            "[paper_smoke] checkpoint: {:.1} MiB, save {:.2}s, load {l:.2}s",
+            b as f64 / (1024.0 * 1024.0),
+            profile.checkpoint_save_s.unwrap_or(0.0),
+        );
+    }
 
     eprintln!(
         "[paper_smoke] study ran in {total_wall_s:.1}s: {} PSRs, {} seizure notices, \

@@ -11,6 +11,15 @@
 //! repro explain campaign <name|index>   # causal chain for one campaign
 //! repro explain store <domain>          # causal chain for one store domain
 //! repro explain psr <day> <rank>        # why a PSR appeared there
+//!
+//! repro <experiment> --checkpoint-every N [--checkpoint-dir DIR]
+//!                    # drop a resumable checkpoint every N crawl days
+//! repro <experiment> --resume-from DIR/checkpoint-dayNNNN.ssnp
+//!                    # resume a checkpointed run; output is bit-identical
+//! repro sweep <checkpoint.ssnp> [--offsets -14,-7,0,7,14]
+//!                    # fork one checkpoint into seizure-offset arms
+//! repro diff <manifest_a.json> <manifest_b.json> [--expect-equal]
+//!                    # structural manifest diff, wall-clock ignored
 //! ```
 //!
 //! `--threads N` drives both planes — the crawler's per-vertical fan-out
@@ -37,8 +46,8 @@ use std::io::Write as _;
 
 use search_seizure::analysis::{ecosystem, figures, interventions, sidechannel, validation};
 use search_seizure::report::{experiments_json, experiments_markdown, ExperimentReport};
-use search_seizure::{explain, StudyOutput};
-use ss_bench::Preset;
+use search_seizure::{explain, RunCheckpoint, RunOptions, StudyOutput};
+use ss_bench::{manifest_diff, Preset};
 use ss_obs::TraceLevel;
 use ss_stats::render;
 
@@ -53,6 +62,16 @@ struct Args {
     threads: usize,
     trace: TraceLevel,
     js_engine: ss_web::js::JsEngine,
+    /// Drop a resumable checkpoint every N crawl days.
+    checkpoint_every: Option<u32>,
+    /// Directory for checkpoint frames (default `checkpoints/`).
+    checkpoint_dir: Option<String>,
+    /// Resume the study from a checkpoint frame instead of day 0.
+    resume_from: Option<String>,
+    /// Seizure-day offsets for `repro sweep` arms.
+    offsets: Vec<i64>,
+    /// `repro diff`: exit non-zero if the manifests differ.
+    expect_equal: bool,
 }
 
 fn parse_args() -> Args {
@@ -67,6 +86,11 @@ fn parse_args() -> Args {
     // scale. Benches and library users default to off.
     let mut trace = TraceLevel::Event;
     let mut js_engine = ss_web::js::JsEngine::default();
+    let mut checkpoint_every = None;
+    let mut checkpoint_dir = None;
+    let mut resume_from = None;
+    let mut offsets = vec![-7, 0, 7];
+    let mut expect_equal = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--preset" => {
@@ -99,6 +123,33 @@ fn parse_args() -> Args {
                 trace = TraceLevel::parse(&v)
                     .unwrap_or_else(|| panic!("unknown trace level {v:?} (off|stage|event)"));
             }
+            "--checkpoint-every" => {
+                checkpoint_every = Some(
+                    args.next()
+                        .expect("--checkpoint-every needs a day count")
+                        .parse()
+                        .expect("numeric day count"),
+                );
+            }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(args.next().expect("--checkpoint-dir needs a directory"));
+            }
+            "--resume-from" => {
+                resume_from = Some(args.next().expect("--resume-from needs a checkpoint path"));
+            }
+            "--offsets" => {
+                let v = args.next().expect("--offsets needs a comma-separated list");
+                offsets = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad offset {s:?} in --offsets"))
+                    })
+                    .collect();
+                assert!(!offsets.is_empty(), "--offsets needs at least one value");
+            }
+            "--expect-equal" => expect_equal = true,
             other if other.starts_with("--") => panic!("unknown flag {other:?}"),
             operand => positional.push(operand.to_owned()),
         }
@@ -113,6 +164,11 @@ fn parse_args() -> Args {
         threads,
         trace,
         js_engine,
+        checkpoint_every,
+        checkpoint_dir,
+        resume_from,
+        offsets,
+        expect_equal,
     }
 }
 
@@ -169,6 +225,20 @@ fn main() {
         }
         println!("  all         run everything and write EXPERIMENTS.md");
         println!("  explain     causal chain: campaign <id> | store <domain> | psr <day> <rank>");
+        println!("  sweep       fork a checkpoint into seizure-offset intervention arms");
+        println!("  diff        structural manifest diff (wall-clock fields ignored)");
+        return;
+    }
+
+    // diff needs no study run: it compares two manifests already on disk.
+    if args.experiment == "diff" {
+        run_diff(&args);
+        return;
+    }
+
+    // sweep forks an existing checkpoint instead of building a world.
+    if args.experiment == "sweep" {
+        run_sweep(&args);
         return;
     }
 
@@ -201,10 +271,23 @@ fn main() {
     cfg.manifest_path
         .get_or_insert_with(|| "reports/run_manifest.json".to_owned());
     let manifest_path = cfg.manifest_path.clone().expect("just set");
+    if let Some(p) = &args.resume_from {
+        eprintln!("[repro] resuming from {p}");
+    }
     let mut out = search_seizure::Study::new(cfg)
-        .run()
+        .run_with(RunOptions {
+            resume_from: args.resume_from.clone(),
+            checkpoint_every: args.checkpoint_every,
+            checkpoint_dir: args.checkpoint_dir.clone(),
+        })
         .expect("study preset runs");
     eprintln!("[repro] study done in {:.1?}", t0.elapsed());
+    if let Some(every) = args.checkpoint_every {
+        eprintln!(
+            "[repro] checkpoints every {every} crawl days in {}/",
+            args.checkpoint_dir.as_deref().unwrap_or("checkpoints")
+        );
+    }
     eprint!("{}", out.manifest.summary_table());
     eprintln!("[repro] wrote {manifest_path}");
     if let Some(p) = &trace_path {
@@ -246,6 +329,118 @@ fn main() {
             &experiments_json(&reports),
         );
         eprintln!("[repro] wrote {dir}/EXPERIMENTS.md and experiments.json");
+    }
+}
+
+/// `repro diff a.json b.json` — structural manifest diff. Wall-clock
+/// fields (stage timings, spans, per-day elapsed) are excluded, so two
+/// runs of the same study diff clean regardless of machine speed.
+fn run_diff(args: &Args) {
+    let [a_path, b_path] = args.operands.as_slice() else {
+        panic!("usage: repro diff <manifest_a.json> <manifest_b.json> [--expect-equal]");
+    };
+    let read = |p: &String| {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+        manifest_diff::parse_json(&text).unwrap_or_else(|e| panic!("parse {p}: {e}"))
+    };
+    let entries = manifest_diff::diff(&read(a_path), &read(b_path));
+    if entries.is_empty() {
+        println!("manifests agree ({a_path} vs {b_path}; wall-clock fields ignored)");
+        return;
+    }
+    println!(
+        "{} difference(s) ({a_path} -> {b_path}; wall-clock fields ignored):",
+        entries.len()
+    );
+    for e in &entries {
+        println!("  {e}");
+    }
+    if args.expect_equal {
+        std::process::exit(1);
+    }
+}
+
+/// `repro sweep <checkpoint>` — fork one checkpoint into K intervention
+/// arms. Each arm shifts every still-scheduled scripted seizure by a
+/// per-arm day offset, resumes to the end of the window in its own
+/// thread, and reports headline deltas against the offset-0 baseline.
+fn run_sweep(args: &Args) {
+    use serde::Serialize as _;
+    use ss_types::snapshot::Snapshot as _;
+
+    let path = args.operands.first().unwrap_or_else(|| {
+        panic!("usage: repro sweep <checkpoint.ssnp> [--offsets -14,-7,0,7,14]")
+    });
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let probe = RunCheckpoint::decode(&bytes).unwrap_or_else(|e| panic!("decode {path}: {e}"));
+    let mut offsets = args.offsets.clone();
+    if !offsets.contains(&0) {
+        // The baseline arm anchors every delta; always run it.
+        offsets.insert(0, 0);
+    }
+    eprintln!(
+        "[repro] sweep: {} arms forked from {path} (resumes {}; offsets {offsets:?})",
+        offsets.len(),
+        probe.next_day,
+    );
+    let t0 = std::time::Instant::now();
+    let arms: Vec<(i64, StudyOutput)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = offsets
+            .iter()
+            .map(|&offset| {
+                let bytes = &bytes;
+                scope.spawn(move || {
+                    let mut ckpt = RunCheckpoint::decode(bytes).expect("checkpoint decodes");
+                    ckpt.world.shift_scripted_seizures(offset);
+                    let mut cfg = args.preset.config(args.seed);
+                    cfg.set_threads(args.threads);
+                    cfg.set_trace(TraceLevel::Off);
+                    let out = search_seizure::Study::new(cfg)
+                        .resume(ckpt)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "arm {offset:+}: {e} (the sweep's --preset/--seed must match \
+                             the run that wrote the checkpoint)"
+                            )
+                        });
+                    (offset, out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("arm thread"))
+            .collect()
+    });
+    eprintln!("[repro] sweep done in {:.1?}", t0.elapsed());
+
+    let baseline = arms
+        .iter()
+        .find(|(o, _)| *o == 0)
+        .map(|(_, out)| out.manifest.headline.serialize())
+        .expect("baseline arm present");
+    println!("# Intervention sweep — seizure-day offsets\n");
+    for (offset, out) in &arms {
+        let headline = out.manifest.headline.serialize();
+        if *offset == 0 {
+            println!(
+                "## offset +0 (baseline)\n{}\n",
+                serde_json::to_string_pretty(&headline).expect("headline renders")
+            );
+            continue;
+        }
+        let deltas = manifest_diff::diff(&baseline, &headline);
+        println!(
+            "## offset {offset:+} — {} headline change(s) vs baseline",
+            deltas.len()
+        );
+        if deltas.is_empty() {
+            println!("  (headline unchanged)");
+        }
+        for d in &deltas {
+            println!("  {d}");
+        }
+        println!();
     }
 }
 

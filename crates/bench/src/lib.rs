@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod manifest_diff;
+
 use search_seizure::manifest::CalibrationTarget;
 use search_seizure::{Study, StudyConfig, StudyOutput};
 use ss_eco::{Scale, ScenarioConfig};

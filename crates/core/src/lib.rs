@@ -15,7 +15,10 @@
 //! * [`analysis`] — one module per table/figure/statistic in the paper's
 //!   evaluation, each returning structured results plus renderable views;
 //! * [`report`] — paper-vs-measured comparison records and the
-//!   EXPERIMENTS.md generator.
+//!   EXPERIMENTS.md generator;
+//! * [`state`] — the run-level state plane: versioned checkpoint frames,
+//!   `--resume-from` restore, and the fork point for checkpoint-based
+//!   intervention sweeps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,5 +30,7 @@ pub mod manifest;
 pub mod oracle;
 pub mod pipeline;
 pub mod report;
+pub mod state;
 
 pub use pipeline::{Study, StudyConfig, StudyOutput};
+pub use state::{CheckpointError, RunCheckpoint, RunOptions, RunState};

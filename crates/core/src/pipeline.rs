@@ -28,7 +28,7 @@ use ss_obs::{Registry, TraceLevel};
 use ss_types::{DomainName, SimDate};
 
 use ss_crawl::crawler::{Crawler, CrawlerConfig};
-use ss_crawl::terms::{self, MonitoredVertical};
+use ss_crawl::terms::MonitoredVertical;
 use ss_eco::{ScenarioConfig, World};
 use ss_orders::analytics::{self, ParsedReport};
 use ss_orders::purchasepair::{OrderSampler, SamplerConfig};
@@ -38,6 +38,7 @@ use ss_orders::transactions::{self, Transaction};
 use crate::analysis::scan::StudyScan;
 use crate::attribution::{self, Attribution, AttributionConfig};
 use crate::manifest::{self, CalibrationTarget, DayRecord, RunManifest, StageSlice};
+use crate::state::{self, RunCheckpoint, RunOptions, RunState};
 
 /// Study configuration: the scenario plus every §4 programme knob.
 #[derive(Debug, Clone)]
@@ -176,6 +177,18 @@ pub struct StudyOutput {
     pub metrics: Registry,
     /// The run manifest (also written to [`StudyConfig::manifest_path`]).
     pub manifest: RunManifest,
+}
+
+impl StudyOutput {
+    /// Fingerprint of the run's final mutable state: the world hash
+    /// folded with the search engine's and the PSR store's (see
+    /// [`state::run_fingerprint`]). Equal fingerprints mean an
+    /// uninterrupted run and a checkpoint-resumed run ended in the same
+    /// place — the state plane's equivalence tests pin this at several
+    /// thread counts.
+    pub fn run_fingerprint(&self) -> u64 {
+        state::run_fingerprint(&self.world, &self.crawler)
+    }
 }
 
 /// Mutable programme state threaded through the daily stage schedule.
@@ -392,35 +405,44 @@ impl Study {
 
     /// Runs the full programme and returns its outputs.
     pub fn run(self) -> ss_types::Result<StudyOutput> {
-        let cfg = self.cfg;
-        let obs = Registry::new();
-        let mut world = World::build(cfg.scenario.clone())?;
-        world.tick_threads = cfg.tick_threads;
-        world.set_trace(cfg.trace_level);
+        self.run_with(RunOptions::default())
+    }
+
+    /// Runs the programme with explicit run-plane options: resume from a
+    /// checkpoint file and/or write checkpoints at a fixed day cadence.
+    /// A resumed run reproduces the uninterrupted run's deterministic
+    /// output bit for bit (headline, metrics, fingerprints); only the
+    /// wall-clock sections describe the post-resume half alone.
+    pub fn run_with(self, opts: RunOptions) -> ss_types::Result<StudyOutput> {
+        let state = match &opts.resume_from {
+            Some(path) => {
+                let ckpt = state::load_checkpoint(std::path::Path::new(path))
+                    .map_err(|e| ss_types::Error::Checkpoint(format!("{path}: {e}")))?;
+                RunState::restore(ckpt, &self.cfg)
+                    .map_err(|e| ss_types::Error::Checkpoint(format!("{path}: {e}")))?
+            }
+            None => RunState::build(&self.cfg)?,
+        };
+        self.drive(state, &opts)
+    }
+
+    /// Resumes from an already-decoded checkpoint — the in-memory path
+    /// the intervention sweep uses to fork one checkpoint into arms.
+    pub fn resume(self, ckpt: RunCheckpoint) -> ss_types::Result<StudyOutput> {
+        let state = RunState::restore(ckpt, &self.cfg)
+            .map_err(|e| ss_types::Error::Checkpoint(e.to_string()))?;
+        self.drive(state, &RunOptions::default())
+    }
+
+    /// The daily driver: executes the registered schedule over the
+    /// remaining window of `state`, then runs post-crawl collection and
+    /// assembles the outputs. [`RunState`]'s two constructors (day-0
+    /// build, checkpoint restore) are the only ways in.
+    fn drive(self, mut state: RunState, opts: &RunOptions) -> ss_types::Result<StudyOutput> {
+        let cfg = &self.cfg;
         let start = cfg.crawl_start;
         let end = cfg.crawl_end;
 
-        // Warm the world to the eve of the crawl, then pick terms.
-        let monitored = ss_obs::time!(obs, "study.warmup", {
-            world.run_until(start);
-            terms::select_all(&world, start, cfg.monitored_terms, cfg.scenario.seed)
-        });
-
-        let mut state = DailyState {
-            crawler: Crawler::new(cfg.crawler.clone(), monitored.clone()),
-            sampler: OrderSampler::new(cfg.sampler.clone()),
-            transactions: Vec::new(),
-            awstats: HashMap::new(),
-            purchased: HashSet::new(),
-        };
-
-        // ---- the daily programme: run the registered schedule ----
-        let ctx = StageContext {
-            cfg: &cfg,
-            start,
-            obs: &obs,
-        };
-        let mut day_records: Vec<DayRecord> = Vec::new();
         // Wall-clock timeline for the Chrome trace export (only kept when
         // a trace path is configured; never part of determinism checks).
         let timeline = cfg.trace_path.is_some();
@@ -435,41 +457,70 @@ impl Study {
                 dur_us: dur,
             });
         };
-        for day in SimDate::range_inclusive(start + 1, end) {
-            let day_clock = Instant::now();
-            {
-                let _day_span = obs.span("study.day");
-                let tick_clock = Instant::now();
-                ss_obs::time!(obs, "study.world_tick", world.run_until(day));
-                if timeline {
-                    slice(&mut slices, day, "world-tick", tick_clock);
-                }
-                for stage in &self.stages {
-                    let stage_clock = Instant::now();
-                    {
-                        let _stage_span = obs.span(stage.span_name());
-                        stage.run(&ctx, &mut state, &mut world, day);
-                    }
+        {
+            // ---- the daily programme: run the registered schedule ----
+            let ctx = StageContext {
+                cfg,
+                start,
+                obs: &state.obs,
+            };
+            for day in SimDate::range_inclusive(state.next_day, end) {
+                let day_clock = Instant::now();
+                {
+                    let _day_span = ctx.obs.span("study.day");
+                    let tick_clock = Instant::now();
+                    ss_obs::time!(ctx.obs, "study.world_tick", state.world.run_until(day));
                     if timeline {
-                        slice(&mut slices, day, stage.name(), stage_clock);
+                        slice(&mut slices, day, "world-tick", tick_clock);
+                    }
+                    for stage in &self.stages {
+                        let stage_clock = Instant::now();
+                        {
+                            let _stage_span = ctx.obs.span(stage.span_name());
+                            stage.run(&ctx, &mut state.daily, &mut state.world, day);
+                        }
+                        if timeline {
+                            slice(&mut slices, day, stage.name(), stage_clock);
+                        }
+                    }
+                }
+                state.day_records.push(DayRecord {
+                    day: day.day_index(),
+                    psrs: state.daily.crawler.db.psrs.len() as u64,
+                    test_orders: state.daily.sampler.orders_created as u64,
+                    purchases: state.daily.transactions.len() as u64,
+                    elapsed_ms: day_clock.elapsed().as_secs_f64() * 1_000.0,
+                });
+                state.next_day = day + 1;
+                // Checkpoint at the day boundary. Saving observes the run
+                // without perturbing it: no RNG draw, no deterministic
+                // counter — only a wall-clock span.
+                if let Some(every) = opts.checkpoint_every {
+                    if every > 0 && day < end && day.days_since(start) % i64::from(every) == 0 {
+                        let dir = opts.checkpoint_dir.as_deref().unwrap_or("checkpoints");
+                        let path = format!("{dir}/checkpoint-day{:04}.ssnp", day.day_index());
+                        let _ckpt_span = ctx.obs.span("study.checkpoint");
+                        state::save_checkpoint(&state, cfg, std::path::Path::new(&path))
+                            .map_err(|e| ss_types::Error::Checkpoint(format!("{path}: {e}")))?;
                     }
                 }
             }
-            day_records.push(DayRecord {
-                day: day.day_index(),
-                psrs: state.crawler.db.psrs.len() as u64,
-                test_orders: state.sampler.orders_created as u64,
-                purchases: state.transactions.len() as u64,
-                elapsed_ms: day_clock.elapsed().as_secs_f64() * 1_000.0,
-            });
         }
+        let RunState {
+            mut world,
+            daily,
+            monitored,
+            obs,
+            day_records,
+            next_day: _,
+        } = state;
         let DailyState {
             crawler,
             sampler,
             mut transactions,
             awstats,
             purchased: _,
-        } = state;
+        } = daily;
 
         // ---- post-crawl collection ----
 
@@ -544,7 +595,7 @@ impl Study {
             manifest::chrome_trace(&obs, &slices, &day_records).write(path);
         }
         let run_manifest = RunManifest {
-            config_hash: manifest::config_hash(&cfg),
+            config_hash: manifest::config_hash(cfg),
             seed: cfg.scenario.seed,
             window: ((start + 1).day_index(), end.day_index()),
             stage_timings: manifest::stage_timings(&obs, &stage_names),

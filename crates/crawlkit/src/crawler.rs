@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use ss_obs::{FlightRecorder, Registry, TraceLevel};
+use ss_types::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use ss_types::{SimDate, Url};
 use ss_web::http::{Fetcher, Request, UserAgent};
 use ss_web::js::{JsCache, JsEngine};
@@ -52,11 +53,11 @@ use ss_eco::World;
 use crate::dagger::{self, CloakSignal};
 use crate::db::{CrawlDb, DailyCount, DomainInfo, PsrRecord, StoreInfo};
 use crate::stores::{self, SeizureNotice};
-use crate::terms::{query_by_text, MonitoredVertical};
+use crate::terms::{query_by_text, MonitoredVertical, TermMethodology};
 use crate::vangogh;
 
 /// Crawler configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrawlerConfig {
     /// SERP depth to crawl daily (paper: 100).
     pub serp_depth: usize,
@@ -743,6 +744,93 @@ fn visit_store(world: &World, landing: &Url, metrics: &Registry, vertical: &str)
     }
 }
 
+impl Snapshot for Crawler {
+    const TAG: &'static str = "crawler";
+    const VERSION: u16 = 1;
+
+    /// Captures everything a resumed crawl reads: config, the monitored
+    /// term lists (fixed at crawl start in the study, so they must survive
+    /// a checkpoint rather than be re-derived from a later world), the
+    /// database, the provenance recorder, the churn-trim clean set, and
+    /// the JS cache with its per-run counters.
+    fn write_body(&self, w: &mut Writer) {
+        w.put_u64(self.cfg.serp_depth as u64);
+        w.put_u8(self.cfg.render_sample);
+        w.put_u32(self.cfg.reverify_days);
+        w.put_u64(self.cfg.max_hops as u64);
+        w.put_u64(self.cfg.threads as u64);
+        w.put_u8(match self.cfg.trace {
+            TraceLevel::Off => 0,
+            TraceLevel::Stage => 1,
+            TraceLevel::Event => 2,
+        });
+        w.put_u8(match self.cfg.js_engine {
+            JsEngine::TreeWalk => 0,
+            JsEngine::Vm => 1,
+        });
+        w.put_seq(&self.monitored, |w, m| {
+            w.put_str(&m.name);
+            w.put_u8(match m.methodology {
+                TermMethodology::DoorwayExtraction => 0,
+                TermMethodology::SuggestExpansion => 1,
+            });
+            w.put_seq(&m.terms, |w, t| w.put_str(t));
+        });
+        w.put_nested(&self.db);
+        w.put_nested(&self.recorder);
+        let mut clean: Vec<u32> = self.clean.iter().copied().collect();
+        clean.sort_unstable();
+        w.put_seq(&clean, |w, id| w.put_u32(*id));
+        w.put_nested(&self.js_cache);
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let cfg = CrawlerConfig {
+            serp_depth: r.get_u64()? as usize,
+            render_sample: r.get_u8()?,
+            reverify_days: r.get_u32()?,
+            max_hops: r.get_u64()? as usize,
+            threads: r.get_u64()? as usize,
+            trace: match r.get_u8()? {
+                0 => TraceLevel::Off,
+                1 => TraceLevel::Stage,
+                2 => TraceLevel::Event,
+                b => return Err(SnapshotError::Corrupt(format!("trace level byte {b}"))),
+            },
+            js_engine: match r.get_u8()? {
+                0 => JsEngine::TreeWalk,
+                1 => JsEngine::Vm,
+                b => return Err(SnapshotError::Corrupt(format!("js engine byte {b}"))),
+            },
+        };
+        let monitored = r.get_seq(|r| {
+            Ok(MonitoredVertical {
+                name: r.get_str()?,
+                methodology: match r.get_u8()? {
+                    0 => TermMethodology::DoorwayExtraction,
+                    1 => TermMethodology::SuggestExpansion,
+                    b => {
+                        return Err(SnapshotError::Corrupt(format!("methodology byte {b}")));
+                    }
+                },
+                terms: r.get_seq(|r| r.get_str())?,
+            })
+        })?;
+        let db = r.get_nested()?;
+        let recorder = r.get_nested()?;
+        let clean: HashSet<u32> = r.get_seq(|r| r.get_u32())?.into_iter().collect();
+        let js_cache = r.get_nested()?;
+        Ok(Crawler {
+            cfg,
+            monitored,
+            db,
+            recorder,
+            clean,
+            js_cache,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -837,6 +925,49 @@ mod tests {
             .db
             .detected_stores()
             .all(|(_, s)| !s.html.is_empty()));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_the_crawl_bit_identically() {
+        // Crawl 4 days, checkpoint, then crawl 3 more on both the original
+        // and the restored crawler against the same world: databases,
+        // clean sets, cache counters, and recorder contents must match.
+        let mut w = World::build(ScenarioConfig::tiny(23)).unwrap();
+        let start = SimDate::from_day_index(ss_types::CRAWL_START_DAY);
+        w.run_until(start);
+        let monitored = terms::select_all(&w, start, 6, 5);
+        let mut a = Crawler::new(
+            CrawlerConfig {
+                serp_depth: 30,
+                trace: TraceLevel::Event,
+                ..CrawlerConfig::default()
+            },
+            monitored,
+        );
+        for d in 0..4 {
+            let day = start + 1 + d;
+            w.run_until(day);
+            a.crawl_day(&w, day);
+        }
+        let mut b = Crawler::decode(&a.encode()).unwrap();
+        assert_eq!(b.cfg, a.cfg);
+        assert_eq!(b.db.psrs, a.db.psrs);
+        assert_eq!(b.db.psrs.state_fingerprint(), a.db.psrs.state_fingerprint());
+        assert_eq!(b.clean, a.clean);
+        assert_eq!(b.js_cache.stats(), a.js_cache.stats());
+        assert_eq!(b.recorder.render(), a.recorder.render());
+        for d in 4..7 {
+            let day = start + 1 + d;
+            w.run_until(day);
+            a.crawl_day(&w, day);
+            b.crawl_day(&w, day);
+        }
+        assert_eq!(b.db.psrs, a.db.psrs);
+        assert_eq!(b.db.daily_counts, a.db.daily_counts);
+        assert_eq!(b.clean, a.clean);
+        assert_eq!(b.js_cache.stats(), a.js_cache.stats());
+        assert_eq!(b.recorder.render(), a.recorder.render());
+        assert_eq!(b.encode(), a.encode());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use std::collections::HashMap;
 use std::ops::Range;
 
+use ss_types::snapshot::{fnv1a64, Reader, Snapshot, SnapshotError, Writer};
 use ss_types::SimDate;
 
 use crate::dagger::CloakSignal;
@@ -281,6 +282,63 @@ impl PsrStore {
     }
 }
 
+impl PsrStore {
+    /// Order-sensitive fingerprint of the full row set — folded into the
+    /// study-level `run_fingerprint` so checkpoint/resume equivalence
+    /// covers the measurement plane, not just the `World`.
+    pub fn state_fingerprint(&self) -> u64 {
+        fnv1a64(&self.encode())
+    }
+}
+
+impl Snapshot for PsrStore {
+    const TAG: &'static str = "psr-store";
+    const VERSION: u16 = 1;
+
+    /// Rows in append order. Decode replays them through [`PsrStore::push`],
+    /// which rebuilds the `(day, vertical)` run index — including the
+    /// dropped-index state of a store that ever saw an out-of-order append —
+    /// rather than trusting serialized derived state.
+    fn write_body(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for i in 0..self.len() {
+            w.put_date(self.day[i]);
+            w.put_u16(self.vertical[i]);
+            w.put_u32(self.term[i]);
+            w.put_u8(self.rank[i]);
+            w.put_u32(self.domain[i]);
+            w.put_bool(self.is_root[i]);
+            w.put_bool(self.labeled[i]);
+            w.put_u32(self.landing[i]);
+        }
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let mut store = PsrStore::default();
+        for _ in 0..r.get_len()? {
+            let day = r.get_date()?;
+            let vertical = r.get_u16()?;
+            let term = r.get_u32()?;
+            let rank = r.get_u8()?;
+            let domain = r.get_u32()?;
+            let is_root = r.get_bool()?;
+            let labeled = r.get_bool()?;
+            let landing = r.get_u32()?;
+            store.push(PsrRecord {
+                day,
+                vertical,
+                term,
+                rank,
+                domain,
+                is_root,
+                labeled,
+                landing: (landing != NO_LANDING).then_some(landing),
+            });
+        }
+        Ok(store)
+    }
+}
+
 impl<'a> IntoIterator for &'a PsrStore {
     type Item = PsrRecord;
     type IntoIter = PsrIter<'a>;
@@ -490,6 +548,168 @@ impl CrawlDb {
     }
 }
 
+fn put_cloak_signal(w: &mut Writer, c: &CloakSignal) {
+    w.put_u8(match c {
+        CloakSignal::HttpRedirect => 0,
+        CloakSignal::JsRedirect => 1,
+        CloakSignal::ContentDiff => 2,
+        CloakSignal::Iframe => 3,
+    });
+}
+
+fn get_cloak_signal(r: &mut Reader<'_>) -> Result<CloakSignal, SnapshotError> {
+    Ok(match r.get_u8()? {
+        0 => CloakSignal::HttpRedirect,
+        1 => CloakSignal::JsRedirect,
+        2 => CloakSignal::ContentDiff,
+        3 => CloakSignal::Iframe,
+        b => return Err(SnapshotError::Corrupt(format!("cloak signal byte {b}"))),
+    })
+}
+
+fn put_domain_info(w: &mut Writer, i: &DomainInfo) {
+    w.put_date(i.first_seen);
+    w.put_date(i.last_seen);
+    w.put_opt(i.cloak.as_ref(), put_cloak_signal);
+    w.put_seq(&i.landings, |w, (day, store)| {
+        w.put_date(*day);
+        w.put_u32(*store);
+    });
+    w.put_opt(i.label_seen.as_ref(), |w, (first, last)| {
+        w.put_date(*first);
+        w.put_date(*last);
+    });
+    w.put_opt(i.last_unlabeled_before.as_ref(), |w, d| w.put_date(*d));
+    w.put_u8(i.rendered_pages);
+    w.put_date(i.last_verified);
+}
+
+fn get_domain_info(r: &mut Reader<'_>) -> Result<DomainInfo, SnapshotError> {
+    Ok(DomainInfo {
+        first_seen: r.get_date()?,
+        last_seen: r.get_date()?,
+        cloak: r.get_opt(get_cloak_signal)?,
+        landings: r.get_seq(|r| Ok((r.get_date()?, r.get_u32()?)))?,
+        label_seen: r.get_opt(|r| Ok((r.get_date()?, r.get_date()?)))?,
+        last_unlabeled_before: r.get_opt(|r| r.get_date())?,
+        rendered_pages: r.get_u8()?,
+        last_verified: r.get_date()?,
+    })
+}
+
+fn put_store_info(w: &mut Writer, s: &StoreInfo) {
+    w.put_date(s.first_seen);
+    w.put_date(s.last_seen);
+    w.put_bool(s.is_store);
+    w.put_str(&s.html);
+    w.put_seq(&s.cookie_names, |w, c| w.put_str(c));
+    w.put_opt(s.seizure.as_ref(), |w, (day, notice)| {
+        w.put_date(*day);
+        w.put_str(&notice.firm);
+        w.put_str(&notice.case_id);
+        w.put_str(&notice.brand);
+        w.put_seq(&notice.seized_domains, |w, d| w.put_str(d));
+    });
+    w.put_opt(s.last_alive_before_seizure.as_ref(), |w, d| w.put_date(*d));
+}
+
+fn get_store_info(r: &mut Reader<'_>) -> Result<StoreInfo, SnapshotError> {
+    Ok(StoreInfo {
+        first_seen: r.get_date()?,
+        last_seen: r.get_date()?,
+        is_store: r.get_bool()?,
+        html: r.get_str()?,
+        cookie_names: r.get_seq(|r| r.get_str())?,
+        seizure: r.get_opt(|r| {
+            Ok((
+                r.get_date()?,
+                SeizureNotice {
+                    firm: r.get_str()?,
+                    case_id: r.get_str()?,
+                    brand: r.get_str()?,
+                    seized_domains: r.get_seq(|r| r.get_str())?,
+                },
+            ))
+        })?,
+        last_alive_before_seizure: r.get_opt(|r| r.get_date())?,
+    })
+}
+
+impl Snapshot for CrawlDb {
+    const TAG: &'static str = "crawl-db";
+    const VERSION: u16 = 1;
+
+    fn write_body(&self, w: &mut Writer) {
+        w.put_nested(&self.domains);
+        w.put_nested(&self.terms);
+        w.put_nested(&self.psrs);
+        // HashMap iteration order is unstable; the frame is canonical, so
+        // both maps are written sorted by interned key.
+        let mut doorways: Vec<(&u32, &DomainInfo)> = self.doorway_info.iter().collect();
+        doorways.sort_by_key(|(id, _)| **id);
+        w.put_len(doorways.len());
+        for (id, info) in doorways {
+            w.put_u32(*id);
+            put_domain_info(w, info);
+        }
+        let mut stores: Vec<(&u32, &StoreInfo)> = self.store_info.iter().collect();
+        stores.sort_by_key(|(id, _)| **id);
+        w.put_len(stores.len());
+        for (id, info) in stores {
+            w.put_u32(*id);
+            put_store_info(w, info);
+        }
+        w.put_seq(&self.daily_counts, |w, c| {
+            w.put_date(c.day);
+            w.put_u16(c.vertical);
+            w.put_u32(c.top10_seen);
+            w.put_u32(c.top10_poisoned);
+            w.put_u32(c.total_seen);
+            w.put_u32(c.total_poisoned);
+        });
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let domains = r.get_nested()?;
+        let terms = r.get_nested()?;
+        let psrs = r.get_nested()?;
+        let mut doorway_info = HashMap::new();
+        for _ in 0..r.get_len()? {
+            let id = r.get_u32()?;
+            if doorway_info.insert(id, get_domain_info(r)?).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate doorway key {id}"
+                )));
+            }
+        }
+        let mut store_info = HashMap::new();
+        for _ in 0..r.get_len()? {
+            let id = r.get_u32()?;
+            if store_info.insert(id, get_store_info(r)?).is_some() {
+                return Err(SnapshotError::Corrupt(format!("duplicate store key {id}")));
+            }
+        }
+        let daily_counts = r.get_seq(|r| {
+            Ok(DailyCount {
+                day: r.get_date()?,
+                vertical: r.get_u16()?,
+                top10_seen: r.get_u32()?,
+                top10_poisoned: r.get_u32()?,
+                total_seen: r.get_u32()?,
+                total_poisoned: r.get_u32()?,
+            })
+        })?;
+        Ok(CrawlDb {
+            domains,
+            terms,
+            psrs,
+            doorway_info,
+            store_info,
+            daily_counts,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -615,6 +835,99 @@ mod tests {
             assert_eq!(next, s.len());
         }
         assert!(PsrStore::default().day_shards(4).is_empty());
+    }
+
+    #[test]
+    fn psr_store_snapshot_roundtrips_and_rebuilds_the_index() {
+        let s = ordered_store();
+        let restored = PsrStore::decode(&s.encode()).unwrap();
+        assert_eq!(restored, s);
+        assert_eq!(restored.state_fingerprint(), s.state_fingerprint());
+        for day in 139..146 {
+            let d = SimDate::from_day_index(day);
+            assert_eq!(
+                restored.day_rows(d).collect::<Vec<_>>(),
+                s.day_rows(d).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(restored.day_shards(4), s.day_shards(4));
+
+        // An unordered store round-trips too, and the replayed pushes
+        // re-derive the dropped-index state.
+        let mut unordered = ordered_store();
+        unordered.push(rec(140, 0, 999, 3, None));
+        let restored = PsrStore::decode(&unordered.encode()).unwrap();
+        assert_eq!(restored, unordered);
+        assert!(!restored.ordered);
+        assert_eq!(restored.day_shards(4), vec![0..unordered.len()]);
+    }
+
+    #[test]
+    fn crawl_db_snapshot_roundtrips() {
+        let mut db = CrawlDb::new();
+        let d1 = db.domains.intern("door.com");
+        let store = db.domains.intern("store.com");
+        let t = db.terms.intern("cheap gucci");
+        let day = SimDate::from_day_index(140);
+        db.psrs.push(rec(140, 0, d1, 1, Some(store)));
+        db.doorway_info.insert(
+            d1,
+            DomainInfo {
+                first_seen: day,
+                last_seen: day + 3,
+                cloak: Some(CloakSignal::JsRedirect),
+                landings: vec![(day, store)],
+                label_seen: Some((day + 1, day + 2)),
+                last_unlabeled_before: Some(day),
+                rendered_pages: 2,
+                last_verified: day + 3,
+            },
+        );
+        db.store_info.insert(
+            store,
+            StoreInfo {
+                first_seen: day,
+                last_seen: day + 3,
+                is_store: true,
+                html: "<html>store</html>".into(),
+                cookie_names: vec!["cart".into()],
+                seizure: Some((
+                    day + 2,
+                    SeizureNotice {
+                        firm: "GBC".into(),
+                        case_id: "14-cv-00100".into(),
+                        brand: "Gucci".into(),
+                        seized_domains: vec!["store.com".into()],
+                    },
+                )),
+                last_alive_before_seizure: Some(day + 1),
+            },
+        );
+        db.daily_counts.push(DailyCount {
+            day,
+            vertical: 0,
+            top10_seen: 10,
+            top10_poisoned: 2,
+            total_seen: 50,
+            total_poisoned: 5,
+        });
+
+        let restored = CrawlDb::decode(&db.encode()).unwrap();
+        assert_eq!(restored.domains.resolve(d1), "door.com");
+        assert_eq!(restored.terms.resolve(t), "cheap gucci");
+        assert_eq!(restored.psrs, db.psrs);
+        assert_eq!(
+            restored.doorway_info[&d1].label_seen,
+            db.doorway_info[&d1].label_seen
+        );
+        assert_eq!(
+            restored.store_info[&store].seizure,
+            db.store_info[&store].seizure
+        );
+        assert_eq!(restored.daily_counts, db.daily_counts);
+        // Canonical frame: re-encoding the restored database is
+        // byte-identical despite the HashMap columns.
+        assert_eq!(restored.encode(), db.encode());
     }
 
     #[test]

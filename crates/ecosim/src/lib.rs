@@ -39,6 +39,7 @@ pub mod events;
 pub mod legal;
 pub mod plan;
 pub mod scenario;
+pub mod snapshot;
 pub mod store;
 pub mod supplier;
 pub mod tables;

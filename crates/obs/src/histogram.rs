@@ -9,6 +9,8 @@
 //! is the inclusive upper bound of the bucket where the cumulative count
 //! crosses the rank. `min`, `max`, and `sum` are exact.
 
+use ss_types::snapshot::{Reader, Snapshot, SnapshotError, Writer};
+
 /// Number of buckets: one for zero plus one per bit width of `u64`.
 pub const BUCKETS: usize = 65;
 
@@ -143,9 +145,63 @@ impl Histogram {
     }
 }
 
+impl Snapshot for Histogram {
+    const TAG: &'static str = "histogram";
+    const VERSION: u16 = 1;
+
+    fn write_body(&self, w: &mut Writer) {
+        // Sparse bucket encoding: almost all of the 65 buckets are empty
+        // in practice.
+        let nonzero: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| (i, *n))
+            .collect();
+        w.put_len(nonzero.len());
+        for (i, n) in nonzero {
+            w.put_u8(i as u8);
+            w.put_u64(n);
+        }
+        w.put_u64(self.count);
+        w.put_u128(self.sum);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let mut h = Histogram::new();
+        let n = r.get_len()?;
+        for _ in 0..n {
+            let i = r.get_u8()? as usize;
+            if i >= BUCKETS {
+                return Err(SnapshotError::Corrupt(format!("bucket index {i}")));
+            }
+            h.buckets[i] = r.get_u64()?;
+        }
+        h.count = r.get_u64()?;
+        h.sum = r.get_u128()?;
+        h.min = r.get_u64()?;
+        h.max = r.get_u64()?;
+        Ok(h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(Histogram::decode(&h.encode()).unwrap(), h);
+        let empty = Histogram::new();
+        assert_eq!(Histogram::decode(&empty.encode()).unwrap(), empty);
+    }
 
     #[test]
     fn buckets_are_log_scale() {

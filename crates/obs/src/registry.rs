@@ -5,6 +5,7 @@ use std::fmt;
 use std::sync::Mutex;
 
 use serde::Value;
+use ss_types::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 
 use crate::histogram::Histogram;
 use crate::span::{self, SpanStats, SpanTimer};
@@ -312,6 +313,67 @@ impl Registry {
         };
         root.push(("spans".into(), self.spans_value()));
         serde_json::to_string_pretty(&Value::Map(root)).expect("value tree renders")
+    }
+}
+
+fn write_key(w: &mut Writer, k: &MetricKey) {
+    w.put_str(&k.name);
+    w.put_seq(&k.labels, |w, (lk, lv)| {
+        w.put_str(lk);
+        w.put_str(lv);
+    });
+}
+
+fn read_key(r: &mut Reader<'_>) -> Result<MetricKey, SnapshotError> {
+    let name = r.get_str()?;
+    let labels = r.get_seq(|r| Ok((r.get_str()?, r.get_str()?)))?;
+    Ok(MetricKey { name, labels })
+}
+
+impl Snapshot for Registry {
+    const TAG: &'static str = "obs-registry";
+    const VERSION: u16 = 1;
+
+    /// Serializes the deterministic half of the registry: counters and
+    /// histograms, in their `BTreeMap` key order. Span aggregates are
+    /// wall-clock measurements of *this* process and are deliberately not
+    /// captured — a restored registry starts with empty spans, exactly as
+    /// the manifest's deterministic projection expects.
+    fn write_body(&self, w: &mut Writer) {
+        let counters = self.counters.lock().expect("obs counters poisoned");
+        w.put_len(counters.len());
+        for (k, v) in counters.iter() {
+            write_key(w, k);
+            w.put_u64(*v);
+        }
+        drop(counters);
+        let hists = self.histograms.lock().expect("obs histograms poisoned");
+        w.put_len(hists.len());
+        for (k, h) in hists.iter() {
+            write_key(w, k);
+            w.put_nested(h);
+        }
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let reg = Registry::new();
+        {
+            let mut counters = reg.counters.lock().expect("obs counters poisoned");
+            for _ in 0..r.get_len()? {
+                let k = read_key(r)?;
+                let v = r.get_u64()?;
+                counters.insert(k, v);
+            }
+        }
+        {
+            let mut hists = reg.histograms.lock().expect("obs histograms poisoned");
+            for _ in 0..r.get_len()? {
+                let k = read_key(r)?;
+                let h: Histogram = r.get_nested()?;
+                hists.insert(k, h);
+            }
+        }
+        Ok(reg)
     }
 }
 

@@ -18,9 +18,10 @@
 //! participates in determinism checks.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use serde::Value;
+use ss_types::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 
 /// How much the flight recorder captures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -254,6 +255,84 @@ impl FlightRecorder {
     }
 }
 
+/// Interns a stage name back to a `&'static str` when restoring trace
+/// events from a snapshot. Stage names come from a tiny fixed vocabulary
+/// (span-style literals), so the leak is bounded by that vocabulary, not
+/// by the number of events or restores.
+fn static_stage(name: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(Vec::new()));
+    let mut table = table.lock().expect("stage intern lock");
+    if let Some(found) = table.iter().find(|s| **s == name) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
+
+impl Snapshot for FlightRecorder {
+    const TAG: &'static str = "flight-recorder";
+    const VERSION: u16 = 1;
+
+    fn write_body(&self, w: &mut Writer) {
+        let inner = self.inner.lock().expect("recorder lock");
+        w.put_u8(match self.level {
+            TraceLevel::Off => 0,
+            TraceLevel::Stage => 1,
+            TraceLevel::Event => 2,
+        });
+        w.put_u64(self.cap as u64);
+        w.put_u64(inner.next_seq);
+        w.put_u64(inner.dropped);
+        w.put_len(inner.events.len());
+        for ev in &inner.events {
+            w.put_u64(ev.seq);
+            w.put_u32(ev.day);
+            w.put_str(ev.stage);
+            w.put_u64(ev.entity);
+            w.put_str(&ev.detail);
+        }
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let level = match r.get_u8()? {
+            0 => TraceLevel::Off,
+            1 => TraceLevel::Stage,
+            2 => TraceLevel::Event,
+            b => return Err(SnapshotError::Corrupt(format!("trace level byte {b}"))),
+        };
+        let cap = r.get_u64()? as usize;
+        let next_seq = r.get_u64()?;
+        let dropped = r.get_u64()?;
+        let n = r.get_len()?;
+        let mut events = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let seq = r.get_u64()?;
+            let day = r.get_u32()?;
+            let stage = static_stage(&r.get_str()?);
+            let entity = r.get_u64()?;
+            let detail = r.get_str()?;
+            events.push_back(TraceEvent {
+                seq,
+                day,
+                stage,
+                entity,
+                detail,
+            });
+        }
+        Ok(FlightRecorder {
+            level,
+            cap: cap.max(1),
+            inner: Mutex::new(RecorderInner {
+                next_seq,
+                dropped,
+                events,
+            }),
+        })
+    }
+}
+
 /// Builder for Chrome trace-event JSON (the format Perfetto and
 /// `chrome://tracing` load). Wall-clock only: this export carries span
 /// durations and per-day stage timelines and is **excluded** from every
@@ -419,6 +498,21 @@ mod tests {
             evs.iter().map(|e| e.detail.as_str()).collect::<Vec<_>>(),
             vec!["a0", "b0", "b1"]
         );
+    }
+
+    #[test]
+    fn recorder_snapshot_roundtrip_renders_identically() {
+        let rec = FlightRecorder::new(TraceLevel::Event, 4);
+        for i in 0..9u64 {
+            rec.record(3, "stage.crawl", i, format!("e{i}"));
+        }
+        let back = FlightRecorder::decode(&rec.encode()).unwrap();
+        assert_eq!(back.render(), rec.render());
+        assert_eq!(back.dropped(), rec.dropped());
+        // Recording continues with the preserved sequence counter.
+        back.record(4, "stage.crawl", 99, "next".into());
+        rec.record(4, "stage.crawl", 99, "next".into());
+        assert_eq!(back.render(), rec.render());
     }
 
     #[test]

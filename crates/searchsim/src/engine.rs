@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use ss_types::rng::{mix, unit_f64};
+use ss_types::snapshot::{fnv1a64, Reader, Snapshot, SnapshotError, Writer};
 use ss_types::{DomainId, SimDate, TermId, Url, VerticalId};
 
 /// A document id, dense per engine.
@@ -303,6 +304,95 @@ impl SearchEngine {
     pub fn doc_count(&self) -> usize {
         self.docs.len()
     }
+
+    /// FNV-1a fingerprint of the engine's complete state — the index,
+    /// postings, juice/penalty levels, and hacked labels. Folded into the
+    /// run-level `run_fingerprint` so resume equivalence covers ranking
+    /// state, not just the world's entity tables.
+    pub fn state_fingerprint(&self) -> u64 {
+        fnv1a64(&self.encode())
+    }
+}
+
+impl Snapshot for SearchEngine {
+    const TAG: &'static str = "search-engine";
+    const VERSION: u16 = 1;
+
+    fn write_body(&self, w: &mut Writer) {
+        w.put_u64(self.seed);
+        w.put_f64(self.jitter_amp);
+        w.put_seq(&self.terms, |w, t| {
+            w.put_u32(t.vertical.0);
+            w.put_str(&t.text);
+        });
+        w.put_seq(&self.docs, |w, d| {
+            w.put_str(&d.url.to_string());
+            w.put_u32(d.domain.0);
+            w.put_u32(d.term.0);
+            w.put_f64(d.quality);
+            w.put_f64(d.relevance);
+            w.put_date(d.first_indexed);
+        });
+        // Postings are serialized explicitly: `deindex_page` removes
+        // entries while leaving the doc record behind, so postings are
+        // not reconstructible from the doc list alone.
+        w.put_seq(&self.postings, |w, list| {
+            w.put_seq(list, |w, d| w.put_u32(d.0));
+        });
+        w.put_seq(&self.juice, |w, j| w.put_f64(*j));
+        w.put_seq(&self.penalty, |w, p| w.put_f64(*p));
+        let mut hacked: Vec<(DomainId, SimDate)> =
+            self.hacked_since.iter().map(|(d, s)| (*d, *s)).collect();
+        hacked.sort();
+        w.put_seq(&hacked, |w, (d, s)| {
+            w.put_u32(d.0);
+            w.put_date(*s);
+        });
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let seed = r.get_u64()?;
+        let jitter_amp = r.get_f64()?;
+        let terms = r.get_seq(|r| {
+            Ok(TermRecord {
+                vertical: VerticalId(r.get_u32()?),
+                text: r.get_str()?,
+            })
+        })?;
+        let docs = r.get_seq(|r| {
+            let url = Url::parse(&r.get_str()?)
+                .map_err(|e| SnapshotError::Corrupt(format!("doc url: {e}")))?;
+            Ok(Doc {
+                url,
+                domain: DomainId(r.get_u32()?),
+                term: TermId(r.get_u32()?),
+                quality: r.get_f64()?,
+                relevance: r.get_f64()?,
+                first_indexed: r.get_date()?,
+            })
+        })?;
+        let postings = r.get_seq(|r| r.get_seq(|r| Ok(DocId(r.get_u32()?))))?;
+        if postings.len() != terms.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} posting lists for {} terms",
+                postings.len(),
+                terms.len()
+            )));
+        }
+        let juice = r.get_seq(|r| r.get_f64())?;
+        let penalty = r.get_seq(|r| r.get_f64())?;
+        let hacked = r.get_seq(|r| Ok((DomainId(r.get_u32()?), r.get_date()?)))?;
+        Ok(SearchEngine {
+            terms,
+            docs,
+            postings,
+            juice,
+            penalty,
+            hacked_since: hacked.into_iter().collect(),
+            jitter_amp,
+            seed,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -520,6 +610,30 @@ mod tests {
         assert!(pages
             .iter()
             .all(|p| p.url.host == DomainName::parse("door.com").unwrap()));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_reproduces_serps_and_fingerprint() {
+        let (mut e, t, domains) = setup();
+        e.set_juice(domains[30], 0.5);
+        e.demote(domains[31], 0.3);
+        e.label_hacked(domains[32], day(40));
+        e.deindex_page(DocId(5));
+        let back = SearchEngine::decode(&e.encode()).unwrap();
+        assert_eq!(back.state_fingerprint(), e.state_fingerprint());
+        assert_eq!(back.doc_count(), e.doc_count());
+        for d in [10u32, 50] {
+            assert_eq!(
+                back.serp(t, day(d), 33).results,
+                e.serp(t, day(d), 33).results
+            );
+        }
+        // Deindexed docs must stay deindexed after restore.
+        assert!(!back
+            .serp(t, day(10), 100)
+            .results
+            .iter()
+            .any(|r| { r.domain == e.doc(DocId(5)).domain && r.url == e.doc(DocId(5)).url }));
     }
 
     #[test]

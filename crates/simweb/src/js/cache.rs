@@ -19,6 +19,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use ss_types::snapshot::{Reader, Snapshot, SnapshotError, Writer};
+
 use super::bytecode::Chunk;
 use super::compile;
 use super::parser::parse_program;
@@ -98,6 +100,62 @@ impl JsCache {
             },
         );
         result
+    }
+}
+
+impl Snapshot for JsCache {
+    const TAG: &'static str = "js-cache";
+    const VERSION: u16 = 1;
+
+    /// Serializes the cached script *sources* plus the compile/hit
+    /// counters. Compiled chunks are not serialized — compilation is
+    /// deterministic, so decode recompiles each source and arrives at an
+    /// observably identical cache. The counters matter: the crawler
+    /// records per-day compile/hit deltas into deterministic metrics, so
+    /// a resumed run must continue from the checkpointed totals.
+    fn write_body(&self, w: &mut Writer) {
+        let map = self.map.lock().expect("js cache lock");
+        let mut entries: Vec<(u8, &str)> = map
+            .iter()
+            .map(|((mode, _), e)| {
+                let mode = match mode {
+                    CompileMode::Main => 0u8,
+                    CompileMode::Eval => 1u8,
+                };
+                (mode, e.src.as_str())
+            })
+            .collect();
+        entries.sort();
+        w.put_len(entries.len());
+        for (mode, src) in entries {
+            w.put_u8(mode);
+            w.put_str(src);
+        }
+        let (compiles, hits) = self.stats();
+        w.put_u64(compiles);
+        w.put_u64(hits);
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let cache = JsCache::new();
+        {
+            let mut map = cache.map.lock().expect("js cache lock");
+            for _ in 0..r.get_len()? {
+                let mode = match r.get_u8()? {
+                    0 => CompileMode::Main,
+                    1 => CompileMode::Eval,
+                    b => {
+                        return Err(SnapshotError::Corrupt(format!("compile mode byte {b}")));
+                    }
+                };
+                let src = r.get_str()?;
+                let result = compile_src(&src, mode);
+                map.insert((mode, fnv64(src.as_bytes())), Entry { src, result });
+            }
+        }
+        cache.compiles.store(r.get_u64()?, Ordering::Relaxed);
+        cache.hits.store(r.get_u64()?, Ordering::Relaxed);
+        Ok(cache)
     }
 }
 

@@ -29,6 +29,9 @@ pub enum Error {
     UnknownEntity(String),
     /// A configuration value outside its legal range.
     InvalidConfig(String),
+    /// A run checkpoint could not be saved, loaded, or applied (I/O
+    /// failure, frame corruption, or a config mismatch at resume).
+    Checkpoint(String),
 }
 
 impl fmt::Display for Error {
@@ -41,6 +44,7 @@ impl fmt::Display for Error {
             Error::InvalidUrl(s) => write!(f, "invalid URL: {s:?}"),
             Error::UnknownEntity(s) => write!(f, "unknown entity: {s}"),
             Error::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+            Error::Checkpoint(s) => write!(f, "checkpoint error: {s}"),
         }
     }
 }

@@ -5,6 +5,7 @@
 //! the crawl database. Dense ids make the interned value a plain column
 //! entry; the string itself is resolved only at report boundaries.
 
+use crate::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -53,9 +54,52 @@ impl Interner {
     }
 }
 
+impl Snapshot for Interner {
+    const TAG: &'static str = "interner";
+    const VERSION: u16 = 1;
+
+    fn write_body(&self, w: &mut Writer) {
+        // Ids are dense and assigned in insertion order, so serializing
+        // the strings in id order and re-interning on decode rebuilds an
+        // identical table — same ids, same lookup map.
+        w.put_len(self.strings.len());
+        for s in &self.strings {
+            w.put_str(s);
+        }
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.get_len()?;
+        let mut table = Interner::default();
+        for i in 0..n {
+            let s = r.get_str()?;
+            if table.intern(&s) != i as u32 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate interned string {s:?}"
+                )));
+            }
+        }
+        Ok(table)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_roundtrip_preserves_ids() {
+        let mut i = Interner::default();
+        for s in ["uk", "de", "fr", "uk", "it"] {
+            i.intern(s);
+        }
+        let back = Interner::decode(&i.encode()).unwrap();
+        assert_eq!(back.len(), i.len());
+        for id in 0..i.len() as u32 {
+            assert_eq!(back.resolve(id), i.resolve(id));
+            assert_eq!(back.get(i.resolve(id)), Some(id));
+        }
+    }
 
     #[test]
     fn intern_is_idempotent_and_dense() {

@@ -35,6 +35,7 @@ pub mod id;
 pub mod intern;
 pub mod market;
 pub mod rng;
+pub mod snapshot;
 pub mod url;
 
 pub use date::SimDate;
@@ -44,6 +45,7 @@ pub use id::{
     BrandId, CampaignId, CaseId, DomainId, DoorwayId, FirmId, LocaleId, StoreId, TermId, VerticalId,
 };
 pub use intern::Interner;
+pub use snapshot::{Snapshot, SnapshotError};
 pub use url::Url;
 
 /// First day of the simulation epoch: 2013-07-05 (start of the supplier

@@ -1,0 +1,264 @@
+//! State-plane integration: checkpoint/resume equivalence, forked
+//! intervention arms, and rejection of damaged checkpoints.
+//!
+//! The contract under test is the tentpole guarantee of the state plane:
+//! a run that checkpoints and a run resumed from that checkpoint — at
+//! any thread count — reproduce the uninterrupted run's deterministic
+//! projection (headline + metrics, the same projection the golden
+//! manifest test pins) and its final `run_fingerprint`. Wall-clock
+//! fields are excluded by construction.
+
+use search_seizure::state::{self, CheckpointError, RunState};
+use search_seizure::{RunCheckpoint, RunOptions, Study, StudyConfig, StudyOutput};
+use serde::{Serialize as _, Value};
+use ss_types::snapshot::{encode_framed, Snapshot, SnapshotError};
+
+/// The deterministic projection of a run: seed, window, headline, and
+/// the metric registry — everything the golden manifest pins, nothing
+/// wall-clock.
+fn projection(out: &StudyOutput) -> String {
+    let v = Value::Map(vec![
+        ("seed".into(), Value::UInt(out.manifest.seed)),
+        (
+            "window".into(),
+            Value::Seq(vec![
+                Value::UInt(u64::from(out.manifest.window.0)),
+                Value::UInt(u64::from(out.manifest.window.1)),
+            ]),
+        ),
+        ("headline".into(), out.manifest.headline.serialize()),
+        ("metrics".into(), out.metrics.metrics_value()),
+    ]);
+    serde_json::to_string_pretty(&v).expect("projection renders")
+}
+
+/// Fresh scratch directory under the system temp dir.
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ss-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn checkpoint_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("read checkpoint dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ssnp"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// An interrupted-and-resumed run is indistinguishable from an
+/// uninterrupted one: same projection, same run fingerprint, at 1, 2,
+/// and 8 threads — and the act of checkpointing itself perturbs nothing.
+#[test]
+fn checkpointed_resume_matches_uninterrupted_run() {
+    const SEED: u64 = 81;
+    let dir = temp_dir("resume");
+
+    let base = Study::new(StudyConfig::fast_test(SEED))
+        .run()
+        .expect("uninterrupted run");
+    let base_proj = projection(&base);
+    let base_fp = base.run_fingerprint();
+
+    // Same run, dropping a checkpoint every 6 crawl days.
+    let checkpointed = Study::new(StudyConfig::fast_test(SEED))
+        .run_with(RunOptions {
+            resume_from: None,
+            checkpoint_every: Some(6),
+            checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+        })
+        .expect("checkpointing run");
+    assert_eq!(
+        projection(&checkpointed),
+        base_proj,
+        "checkpointing must not perturb the deterministic projection"
+    );
+    assert_eq!(checkpointed.run_fingerprint(), base_fp);
+
+    // fast_test covers 15 crawl days; every-6 drops two checkpoints.
+    let files = checkpoint_files(&dir);
+    assert_eq!(
+        files.len(),
+        2,
+        "expected checkpoints at +6 and +12 days, found {files:?}"
+    );
+
+    // Resume the earliest checkpoint at several worker-pool sizes: the
+    // finished run must land on the identical projection + fingerprint.
+    for threads in [1usize, 2, 8] {
+        let mut cfg = StudyConfig::fast_test(SEED);
+        cfg.set_threads(threads);
+        let resumed = Study::new(cfg)
+            .run_with(RunOptions {
+                resume_from: Some(files[0].to_string_lossy().into_owned()),
+                checkpoint_every: None,
+                checkpoint_dir: None,
+            })
+            .expect("resumed run");
+        assert_eq!(
+            projection(&resumed),
+            base_proj,
+            "resumed projection diverged at {threads} threads"
+        );
+        assert_eq!(
+            resumed.run_fingerprint(),
+            base_fp,
+            "run fingerprint diverged at {threads} threads"
+        );
+        // The resumed manifest still spans the whole window and carries
+        // the pre-checkpoint day records.
+        assert_eq!(resumed.manifest.window, base.manifest.window);
+        assert_eq!(resumed.manifest.days.len(), base.manifest.days.len());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One checkpoint forks into several intervention arms: the baseline arm
+/// (offset 0) reproduces the original run's headline, while an arm that
+/// pulls a scripted seizure into the remaining window ends in a
+/// different world.
+#[test]
+fn forked_arms_share_one_checkpoint() {
+    const SEED: u64 = 82;
+    let dir = temp_dir("sweep");
+    let cfg = || {
+        let mut c = StudyConfig::fast_test(SEED);
+        c.crawl_end = c.crawl_start + 12;
+        c
+    };
+
+    let full = Study::new(cfg())
+        .run_with(RunOptions {
+            resume_from: None,
+            checkpoint_every: Some(5),
+            checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+        })
+        .expect("full run");
+    let files = checkpoint_files(&dir);
+    assert!(!files.is_empty(), "no checkpoint written");
+    let bytes = std::fs::read(&files[0]).expect("read checkpoint");
+
+    // Arm 1: untouched fork — must reproduce the original run exactly.
+    let baseline_ckpt = RunCheckpoint::decode(&bytes).expect("decode baseline arm");
+    let baseline = Study::new(cfg())
+        .resume(baseline_ckpt)
+        .expect("baseline arm runs");
+    assert_eq!(
+        format!("{:?}", baseline.manifest.headline),
+        format!("{:?}", full.manifest.headline),
+        "baseline arm must reproduce the original headline"
+    );
+    assert_eq!(baseline.run_fingerprint(), full.run_fingerprint());
+
+    // Arm 2: pull the scripted PHP?P= seizure (day 219) into the
+    // remaining window. The fork diverges from the baseline world.
+    let mut shifted_ckpt = RunCheckpoint::decode(&bytes).expect("decode shifted arm");
+    shifted_ckpt.world.shift_scripted_seizures(-80);
+    let shifted = Study::new(cfg()).resume(shifted_ckpt).expect("shifted arm");
+    assert_ne!(
+        shifted.run_fingerprint(),
+        baseline.run_fingerprint(),
+        "shifting a seizure into the window must change the outcome"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Damaged, mistyped, or mismatched checkpoints are rejected with typed
+/// errors — never a panic, never a silently wrong world.
+#[test]
+fn damaged_checkpoints_are_rejected_with_typed_errors() {
+    let dir = temp_dir("reject");
+    let cfg = StudyConfig::fast_test(83);
+    // A day-0 checkpoint is enough: build + warmup, no crawl days.
+    let state = RunState::build(&cfg).expect("state builds");
+    let path = dir.join("checkpoint-day0131.ssnp");
+    state::save_checkpoint(&state, &cfg, &path).expect("save");
+    let bytes = std::fs::read(&path).expect("read back");
+    assert!(state::load_checkpoint(&path).is_ok());
+
+    // Truncations anywhere: typed error, never panic.
+    for n in [0usize, 3, 11, bytes.len() / 2, bytes.len() - 1] {
+        let p = dir.join("truncated.ssnp");
+        std::fs::write(&p, &bytes[..n]).expect("write");
+        match state::load_checkpoint(&p) {
+            Err(CheckpointError::Snapshot(
+                SnapshotError::Truncated | SnapshotError::IntegrityMismatch,
+            )) => {}
+            Err(other) => panic!("truncated at {n}: unexpected error {other:?}"),
+            Ok(_) => panic!("truncated at {n}: checkpoint accepted"),
+        }
+    }
+
+    // A flipped byte in the middle fails the integrity hash.
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x20;
+    let p = dir.join("flipped.ssnp");
+    std::fs::write(&p, &flipped).expect("write");
+    match state::load_checkpoint(&p) {
+        Err(e) => assert_eq!(
+            e,
+            CheckpointError::Snapshot(SnapshotError::IntegrityMismatch)
+        ),
+        Ok(_) => panic!("flipped byte accepted"),
+    }
+
+    // A frame from a future format version is refused, not misread.
+    let p = dir.join("future.ssnp");
+    let future = encode_framed(RunCheckpoint::TAG, RunCheckpoint::VERSION + 1, |_| {});
+    std::fs::write(&p, &future).expect("write");
+    match state::load_checkpoint(&p) {
+        Err(CheckpointError::Snapshot(SnapshotError::WrongVersion { tag, .. })) => {
+            assert_eq!(tag, RunCheckpoint::TAG);
+        }
+        Err(other) => panic!("expected WrongVersion, got {other:?}"),
+        Ok(_) => panic!("future-version frame accepted"),
+    }
+
+    // Some other subsystem's frame is not a run checkpoint.
+    let p = dir.join("wrong-tag.ssnp");
+    std::fs::write(&p, encode_framed("psr-store", 1, |_| {})).expect("write");
+    match state::load_checkpoint(&p) {
+        Err(CheckpointError::Snapshot(SnapshotError::WrongTag { expected, .. })) => {
+            assert_eq!(expected, RunCheckpoint::TAG);
+        }
+        Err(other) => panic!("expected WrongTag, got {other:?}"),
+        Ok(_) => panic!("foreign frame accepted"),
+    }
+
+    // Not a snapshot file at all.
+    let p = dir.join("not-a-snapshot.ssnp");
+    std::fs::write(&p, b"definitely not a checkpoint").expect("write");
+    match state::load_checkpoint(&p) {
+        Err(e) => assert_eq!(e, CheckpointError::Snapshot(SnapshotError::BadMagic)),
+        Ok(_) => panic!("non-snapshot bytes accepted"),
+    }
+
+    // Missing file.
+    assert!(matches!(
+        state::load_checkpoint(&dir.join("no-such-file.ssnp")),
+        Err(CheckpointError::Io(_))
+    ));
+
+    // Resuming under a semantically different config is refused, and the
+    // study-level API surfaces it as a typed `Error::Checkpoint`.
+    match Study::new(StudyConfig::fast_test(84)).run_with(RunOptions {
+        resume_from: Some(path.to_string_lossy().into_owned()),
+        checkpoint_every: None,
+        checkpoint_dir: None,
+    }) {
+        Err(ss_types::Error::Checkpoint(msg)) => {
+            assert!(msg.contains("different study config"), "message: {msg}");
+        }
+        Err(other) => panic!("expected Error::Checkpoint, got {other:?}"),
+        Ok(_) => panic!("wrong config must not resume"),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
