@@ -95,6 +95,20 @@ fn bench_serp(c: &mut Criterion) {
     c.bench_function("search/serp_top100", |b| {
         b.iter(|| world.engine.serp(TermId(0), day, 100))
     });
+    // The query-plane pair EXPERIMENTS.md quotes: the reference
+    // scan-and-sort over every posting vs the epoch's bounded walk down
+    // score-sorted postings, plus the (term, day)-cached steady state the
+    // crawler and `repro serve` actually hit.
+    c.bench_function("serp/full_scan", |b| {
+        b.iter(|| world.engine.serp_full_scan(TermId(0), day, 100))
+    });
+    let epoch = world.engine.epoch();
+    c.bench_function("serp/epoch_walk", |b| {
+        b.iter(|| epoch.ranked_uncached(TermId(0), day, 100))
+    });
+    c.bench_function("serp/epoch_cached", |b| {
+        b.iter(|| epoch.ranked(TermId(0), day, 100))
+    });
     c.bench_function("eco/world_build_tiny", |b| {
         b.iter(|| World::build(ScenarioConfig::tiny(9)).expect("world"))
     });

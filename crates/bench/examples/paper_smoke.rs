@@ -51,6 +51,13 @@ struct BenchProfile {
     /// compiled vs. chunk-cache hits across the whole crawl window.
     js_compiles: u64,
     js_cache_hits: u64,
+    /// Query plane at scale: sustained worker queries/sec against the
+    /// published epoch while the world ticks (the `repro serve` loadgen
+    /// on the standalone build, before the study run).
+    serve_qps: f64,
+    /// Engine SERP queries and cache hits across the study run itself.
+    serp_queries: u64,
+    serp_cache_hits: u64,
     /// State plane at scale (present with `--checkpoint`): bytes of the
     /// mid-window checkpoint frame, and save/load wall clock.
     checkpoint_bytes: Option<u64>,
@@ -104,7 +111,7 @@ fn main() {
     // Build once standalone so world generation gets its own wall-clock
     // split (the study rebuilds internally; generation is deterministic).
     let t0 = std::time::Instant::now();
-    let w = World::build(cfg.scenario.clone()).expect("world builds");
+    let mut w = World::build(cfg.scenario.clone()).expect("world builds");
     let build_wall_s = t0.elapsed().as_secs_f64();
     let world = (
         w.domains.len(),
@@ -119,6 +126,15 @@ fn main() {
         world.1,
         world.2,
         world.3
+    );
+    // Query-plane throughput on the fresh build: loadgen workers hammer
+    // the published epoch while the world ticks a few days. (The SERP mix
+    // at day 0 differs from mid-window, but walk cost per query doesn't.)
+    let serve =
+        ss_bench::serve::run_loadgen(&mut w, 5, threads.max(2), std::time::Duration::from_secs(2));
+    eprintln!(
+        "[paper_smoke] serve: {:.0} qps sustained over {} worker(s), {} epoch republishes",
+        serve.qps, serve.threads, serve.days
     );
     drop(w);
 
@@ -172,6 +188,9 @@ fn main() {
         calibration: output.manifest.calibration.clone(),
         js_compiles: output.metrics.counter_total("simweb.js_compile"),
         js_cache_hits: output.metrics.counter_total("simweb.js_cache_hit"),
+        serve_qps: serve.qps,
+        serp_queries: output.metrics.counter_total("engine.serp_queries"),
+        serp_cache_hits: output.metrics.counter_total("engine.serp_cache_hits"),
         checkpoint_bytes,
         checkpoint_save_s,
         checkpoint_load_s,
@@ -186,11 +205,13 @@ fn main() {
 
     eprintln!(
         "[paper_smoke] study ran in {total_wall_s:.1}s: {} PSRs, {} seizure notices, \
-         js cache {} compiles / {} hits, calibration [{}]",
+         js cache {} compiles / {} hits, serp {} queries / {} cache hits, calibration [{}]",
         profile.headline.psrs,
         profile.headline.seizure_notices,
         profile.js_compiles,
         profile.js_cache_hits,
+        profile.serp_queries,
+        profile.serp_cache_hits,
         profile
             .calibration
             .iter()

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod manifest_diff;
+pub mod serve;
 
 use search_seizure::manifest::CalibrationTarget;
 use search_seizure::{Study, StudyConfig, StudyOutput};

@@ -1,0 +1,180 @@
+//! `repro serve` — a read-path loadgen over published engine epochs.
+//!
+//! The query plane's contract is that every reader between two commits
+//! sees the same immutable [`ss_search::EngineEpoch`]. This module turns
+//! that contract into a throughput measurement: worker threads hammer
+//! `EngineEpoch::ranked` on whatever epoch is currently published while
+//! the main thread keeps ticking the world a day at a time, republishing
+//! after each commit — i.e. the serving pattern a real engine frontend
+//! sees, reads racing writes without blocking on them.
+//!
+//! Workers never touch the world; they only clone the `Arc` out of the
+//! publish slot. The mix of warm (repeat `(term, day)`) and cold (fresh
+//! day offset) queries is deterministic per worker, so runs at the same
+//! preset exercise the same key distribution even though wall-clock
+//! throughput is, of course, machine-dependent.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ss_eco::World;
+use ss_search::EngineEpoch;
+use ss_types::rng::mix;
+use ss_types::{SimDate, TermId};
+
+/// What one loadgen run measured. Serialized into `BENCH_paper.json` by
+/// the paper-smoke example — extend, don't rename.
+#[derive(Debug, serde::Serialize)]
+pub struct ServeReport {
+    /// Worker threads issuing queries.
+    pub threads: usize,
+    /// Days the world ticked (and epochs republished) during the run.
+    pub days: u32,
+    /// Queries the workers completed.
+    pub queries: u64,
+    /// Wall clock for the whole run, seconds.
+    pub wall_s: f64,
+    /// Sustained worker queries per second.
+    pub qps: f64,
+    /// Engine-side query count over the run (workers + tick planners).
+    pub engine_queries: u64,
+    /// Engine-side SERP cache hits over the run.
+    pub engine_cache_hits: u64,
+}
+
+/// One worker's query loop: clone the published epoch, issue a batch,
+/// re-check the slot. Returns its query count and an anti-DCE checksum.
+fn worker_loop(
+    slot: &Mutex<(u32, Arc<EngineEpoch>)>,
+    stop: &AtomicBool,
+    worker: u64,
+    seed: u64,
+    terms: usize,
+    depth: usize,
+) -> (u64, u64) {
+    const BATCH: u64 = 64;
+    let mut queries = 0u64;
+    let mut checksum = 0u64;
+    let mut i = 0u64;
+    loop {
+        let (day, epoch) = {
+            let slot = slot.lock().expect("publish slot poisoned");
+            (slot.0, Arc::clone(&slot.1))
+        };
+        for _ in 0..BATCH {
+            let h = mix(seed, worker, i);
+            i += 1;
+            let term = TermId::from_index((h as usize) % terms);
+            // Mostly the published day (warm cache, the common serving
+            // case); every 8th query walks a nearby day cold.
+            let qday = if h.is_multiple_of(8) {
+                day + ((h >> 32) % 4) as u32
+            } else {
+                day
+            };
+            let serp = epoch.ranked(term, SimDate::from_day_index(qday), depth);
+            for hit in serp.results() {
+                checksum ^= u64::from(hit.rank) ^ (u64::from(hit.domain.0) << 32);
+            }
+            queries += 1;
+        }
+        // Checked after the batch, so every worker serves at least once
+        // even if the tick loop outruns thread startup.
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    (queries, checksum)
+}
+
+/// Runs the loadgen: `threads` workers query the published epoch while
+/// the world ticks `days` more days, republishing after each commit. If
+/// the ticks finish before `min_wall` has elapsed, the final epoch keeps
+/// serving until it has — small presets tick faster than threads spawn,
+/// and a qps number needs a measurable window.
+///
+/// The world is left `days` days further along; engine SERP counters are
+/// drained into the report.
+pub fn run_loadgen(
+    world: &mut World,
+    days: u32,
+    threads: usize,
+    min_wall: std::time::Duration,
+) -> ServeReport {
+    assert!(threads >= 1, "serve needs at least one worker");
+    let terms = world.engine.term_count().max(1);
+    let depth = world.cfg.scale.serp_depth;
+    let seed = world.cfg.seed;
+    // Reset counters so the report covers only this run.
+    world.engine.take_serp_stats();
+
+    let slot = Mutex::new((world.day.day_index(), world.engine.epoch()));
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let sink = AtomicU64::new(0);
+
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..threads as u64 {
+            let (slot, stop, total, sink) = (&slot, &stop, &total, &sink);
+            s.spawn(move || {
+                let (q, c) = worker_loop(slot, stop, w, seed, terms, depth);
+                total.fetch_add(q, Ordering::Relaxed);
+                sink.fetch_add(c, Ordering::Relaxed);
+            });
+        }
+        for _ in 0..days {
+            // `run_until` is inclusive: running until the current day
+            // ticks exactly that one day and commits it.
+            let today = world.day;
+            world.run_until(today);
+            let epoch = world.engine.epoch();
+            *slot.lock().expect("publish slot poisoned") = (world.day.day_index(), epoch);
+        }
+        while t0.elapsed() < min_wall {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    // The checksum keeps the optimizer honest; its value is meaningless.
+    std::hint::black_box(sink.load(Ordering::Relaxed));
+
+    let queries = total.load(Ordering::Relaxed);
+    let (engine_queries, engine_cache_hits) = world.engine.take_serp_stats();
+    ServeReport {
+        threads,
+        days,
+        queries,
+        wall_s,
+        qps: queries as f64 / wall_s.max(1e-9),
+        engine_queries,
+        engine_cache_hits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_eco::ScenarioConfig;
+
+    #[test]
+    fn loadgen_reports_progress_on_a_tiny_world() {
+        let mut w = World::build(ScenarioConfig::tiny(7)).unwrap();
+        w.run_until(SimDate::from_day_index(ss_types::CRAWL_START_DAY));
+        let day0 = w.day.day_index();
+        let report = run_loadgen(&mut w, 3, 2, std::time::Duration::from_millis(50));
+        assert_eq!(report.days, 3);
+        assert_eq!(report.threads, 2);
+        assert_eq!(w.day.day_index(), day0 + 3);
+        assert!(report.queries > 0, "workers issued no queries");
+        assert!(report.qps > 0.0);
+        // Engine counters cover worker traffic plus tick planners, and
+        // the repeated (term, day) keys must actually hit the cache.
+        assert!(report.engine_queries >= report.queries);
+        assert!(
+            report.engine_cache_hits > 0,
+            "no cache hits under repeat keys"
+        );
+    }
+}

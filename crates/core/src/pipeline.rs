@@ -484,6 +484,11 @@ impl Study {
                         }
                     }
                 }
+                // Drain the query plane's counters into the world registry
+                // at the day boundary, *before* any checkpoint: snapshots
+                // must never carry undrained residue, so a resumed run
+                // counts `engine.serp_queries` identically to a full one.
+                state.world.drain_engine_metrics();
                 state.day_records.push(DayRecord {
                     day: day.day_index(),
                     psrs: state.daily.crawler.db.psrs.len() as u64,
@@ -588,6 +593,9 @@ impl Study {
         });
 
         // Fold the ecosystem's own counters in and assemble the manifest.
+        // Post-crawl collection (supplier probes, purchases) may have
+        // queried the engine again — drain once more so nothing is lost.
+        world.drain_engine_metrics();
         obs.merge_from(&world.metrics);
         let stage_names: Vec<&'static str> = self.stages.iter().map(|s| s.name()).collect();
         let measured = calibration_observables(&scan, (start + 1, end));

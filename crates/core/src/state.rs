@@ -160,6 +160,10 @@ impl RunState {
             world.run_until(start);
             ss_crawl::terms::select_all(&world, start, cfg.monitored_terms, cfg.scenario.seed)
         });
+        // Term selection probed the engine heavily; drain those queries
+        // into the world registry now so a day-0 checkpoint (and every
+        // later one) carries fully-settled query-plane counters.
+        world.drain_engine_metrics();
         let daily = DailyState {
             crawler: Crawler::new(cfg.crawler.clone(), monitored.clone()),
             sampler: OrderSampler::new(cfg.sampler.clone()),

@@ -190,6 +190,12 @@ pub fn select_all(
 
 /// Queries the engine by term *text* (the only way a crawler can), mapping
 /// to the engine's term table. Returns `(rank, url, labeled)` triples.
+///
+/// Reads go through the published [`ss_search::EngineEpoch`] — the same
+/// immutable snapshot the traffic planner queried when the day was
+/// committed, so the crawler's `(term, day)` keys are usually warm cache
+/// hits. URLs are resolved here because fetching them is exactly this
+/// boundary's job; the epoch itself hands out ids only.
 pub fn query_by_text(
     world: &World,
     text: &str,
@@ -202,11 +208,12 @@ pub fn query_by_text(
         .iter()
         .position(|t| t.text == text)
         .map(ss_types::TermId::from_index)?;
-    let serp = world.engine.serp(term, day, k);
+    let ranked = world.engine.epoch().ranked(term, day, k);
     Some(
-        serp.results
-            .into_iter()
-            .map(|r| (r.rank, r.url, r.hacked_label))
+        ranked
+            .results()
+            .iter()
+            .map(|h| (h.rank, world.engine.doc(h.doc).url.clone(), h.hacked_label))
             .collect(),
     )
 }

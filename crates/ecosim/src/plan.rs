@@ -18,7 +18,7 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use ss_search::{EngineOp, Serp};
+use ss_search::EngineOp;
 use ss_types::rng::{derive_seed, stream_rng, stream_seed, unit_f64};
 use ss_types::{BrandId, CaseId, DomainId, FirmId, SimDate, StoreId};
 
@@ -493,6 +493,9 @@ impl World {
         let deterrence = self.cfg.search_policy.label_deterrence;
         let lambda = self.cfg.impressions_per_term * v.popularity;
         let day = today.day_index();
+        // All shards of a tick read the same published epoch: id-based
+        // SERPs, (term, day)-cached, no URL clones on this hot path.
+        let epoch = self.engine.epoch();
         let mut out = Vec::new();
         for &term in &v.terms {
             let mut rng = stream_rng(term_seed, day, term.index() as u64);
@@ -500,8 +503,8 @@ impl World {
             if impressions == 0 {
                 continue;
             }
-            let serp: Serp = self.engine.serp(term, today, depth);
-            for r in &serp.results {
+            let serp = epoch.ranked(term, today, depth);
+            for r in serp.results() {
                 // Branchless route probe, then raw doorway/store columns.
                 let Some(did) = self.route.doorway(r.domain) else {
                     continue;

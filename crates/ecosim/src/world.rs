@@ -236,6 +236,22 @@ impl World {
         }
     }
 
+    /// Folds the engine's query-plane counters (`engine.serp_queries`,
+    /// `engine.serp_cache_hits`) into the world's metric registry and
+    /// zeroes them. Callers drain at commit-adjacent points — after each
+    /// day's stages and before any checkpoint is written — so snapshots
+    /// never carry undrained residue and a resumed run counts identically
+    /// to an uninterrupted one.
+    pub fn drain_engine_metrics(&mut self) {
+        let (queries, cache_hits) = self.engine.take_serp_stats();
+        if queries > 0 {
+            self.metrics.count("engine.serp_queries", queries);
+        }
+        if cache_hits > 0 {
+            self.metrics.count("engine.serp_cache_hits", cache_hits);
+        }
+    }
+
     /// A deterministic digest of the whole committed world: domains and
     /// seizures, SERP state per monitored term, store counters and AWStats
     /// months, court cases, supplier ledger, rotation queues, and the
@@ -264,10 +280,15 @@ impl World {
         }
 
         // Engine ranking state, probed through every monitored term's SERP.
+        // The uncached walk keeps the probe free of side effects: it must
+        // not bump the query-plane counters or warm any epoch cache, or a
+        // checkpoint-enabled run would diverge from an uncheckpointed one.
         for v in &self.verticals {
             for &term in &v.terms {
-                let serp = self.engine.serp(term, self.day, self.cfg.scale.serp_depth);
-                for r in &serp.results {
+                let hits = self
+                    .engine
+                    .ranked_uncached(term, self.day, self.cfg.scale.serp_depth);
+                for r in &hits {
                     h = fold(h, u64::from(r.domain.0));
                     h = fold(h, u64::from(r.rank) ^ (u64::from(r.hacked_label) << 32));
                 }

@@ -1,6 +1,31 @@
 //! The index, the ranking function, SERP generation, and penalization.
+//!
+//! # The query plane
+//!
+//! The engine is split writer/reader. [`SearchEngine`] is the mutable
+//! writer: construction (`add_term`/`index_page`) and the tick plane's
+//! committed [`EngineOp`] batches go through it. Readers get an
+//! [`EngineEpoch`] — an immutable snapshot published lazily at the
+//! plan/commit choke points — and query it concurrently between commits.
+//!
+//! Inside an epoch the per-term postings are pre-sorted by *static* score
+//! (relevance/quality/juice/penalty, maintained incrementally as ops
+//! apply), so a SERP is a bounded candidate walk plus a top-k heap that
+//! only adds the per-(doc, day) jitter, instead of scoring and fully
+//! sorting every posting. Built SERPs are cached per `(term, day)` within
+//! an epoch and shared by reference ([`RankedSerp`] holds ids, not URLs).
+//! A mutation that actually changes ranking state invalidates the epoch;
+//! bitwise no-op mutations (the common case — juice re-asserted at its
+//! current level every day) keep the epoch and its cache alive.
+//!
+//! SERPs from the walk are bit-identical to the reference full scan
+//! ([`SearchEngine::serp_full_scan`]); the differential tests in
+//! `tests/epoch_differential.rs` hold the two paths together.
 
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrder};
+use std::sync::{Arc, Mutex};
 
 use ss_types::rng::{mix, unit_f64};
 use ss_types::snapshot::{fnv1a64, Reader, Snapshot, SnapshotError, Writer};
@@ -62,6 +87,42 @@ pub struct Serp {
     pub results: Vec<SearchResult>,
 }
 
+/// One SERP hit as the epoch stores it: ids only, no URL clone on the hot
+/// path. Resolve URLs at report/PSR boundaries via [`SearchEngine::doc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankedHit {
+    /// 1-based rank.
+    pub rank: u32,
+    /// The ranked document.
+    pub doc: DocId,
+    /// Owning domain.
+    pub domain: DomainId,
+    /// "This site may be hacked" label (root-page-only policy, §5.2.2).
+    pub hacked_label: bool,
+}
+
+/// An id-based SERP served by an [`EngineEpoch`]. The hit vector is shared
+/// by reference with the epoch's `(term, day)` cache, so handing one out
+/// costs an `Arc` clone, not a per-result URL clone.
+#[derive(Debug, Clone)]
+pub struct RankedSerp {
+    /// The queried term.
+    pub term: TermId,
+    /// The day of the query.
+    pub day: SimDate,
+    hits: Arc<Vec<RankedHit>>,
+    k: usize,
+}
+
+impl RankedSerp {
+    /// Results in rank order, at most `k` of them. A cached hit vector may
+    /// be longer than this query's `k`; the top-k is a prefix of the full
+    /// ordering, so a prefix view is exact.
+    pub fn results(&self) -> &[RankedHit] {
+        &self.hits[..self.k.min(self.hits.len())]
+    }
+}
+
 /// One ranking mutation, planned against a frozen engine and committed in
 /// batch via [`SearchEngine::apply_batch`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +150,252 @@ pub enum EngineOp {
     },
 }
 
+/// The structural half of the engine: terms, documents, raw postings, and
+/// the per-domain doc index. Frozen once the world is built; runtime
+/// mutation is confined to [`RankState`].
+#[derive(Debug, Clone)]
+struct EngineIndex {
+    terms: Vec<TermRecord>,
+    docs: Vec<Doc>,
+    postings: Vec<Vec<DocId>>,
+    /// Every doc of a domain (including deindexed ones) in id order —
+    /// `site:` query semantics without a full doc-table scan.
+    by_domain: Vec<Vec<DocId>>,
+    /// Precomputed `url.is_root_page()` per doc (hacked-label policy).
+    root_page: Vec<bool>,
+}
+
+/// The mutable half of ranking state, copied on write when an epoch still
+/// holds the previous version.
+#[derive(Debug, Clone)]
+struct RankState {
+    /// Per-domain SEO juice, indexed by `DomainId` (grown on demand).
+    juice: Vec<f64>,
+    /// Per-domain demotion penalty.
+    penalty: Vec<f64>,
+    /// Day the domain was labeled "hacked", if ever.
+    hacked_since: HashMap<DomainId, SimDate>,
+    /// Day-independent score per doc: bitwise-equal to the static prefix
+    /// of [`SearchEngine::score`] (everything but the jitter term).
+    static_score: Vec<f64>,
+    /// Per-term postings sorted by (static score desc, `DocId` asc) —
+    /// excludes deindexed docs, mirrors `postings` membership.
+    sorted: Vec<Vec<DocId>>,
+}
+
+/// Query-plane counters, shared between the writer and every epoch it
+/// publishes so counts survive republication.
+#[derive(Debug, Default)]
+struct EngineStats {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+/// One cached SERP build for a `(term, day)` key.
+#[derive(Debug)]
+struct CacheEntry {
+    hits: Arc<Vec<RankedHit>>,
+    /// The walk consumed every eligible candidate — the hit vector is the
+    /// complete ranking, so any larger `k` can be served from it too.
+    exhausted: bool,
+}
+
+/// Per-term cache shard: day index → built SERP. The shard lock is held
+/// across a rebuild so concurrent same-key readers serialize and the
+/// second one takes the deterministic cache hit.
+type TermCache = Mutex<HashMap<u32, CacheEntry>>;
+
+/// Deterministic per-(doc, day) jitter in `[-amp/2, amp/2)`. Uses the
+/// allocation-free numeric mixer — this runs per document per SERP.
+fn jitter(seed: u64, amp: f64, doc: DocId, day: SimDate) -> f64 {
+    let h = mix(seed, u64::from(doc.0), u64::from(day.day_index()));
+    (unit_f64(h) - 0.5) * amp
+}
+
+/// SERP ordering: higher score first, ties broken by lower `DocId`.
+/// `total_cmp` keeps the sort lawful even on adversarial inputs (the old
+/// `partial_cmp(..).unwrap_or(Equal)` silently mis-sorted on NaN); finite
+/// scores — asserted in debug builds — order identically under both.
+fn better_first(a: &(f64, DocId), b: &(f64, DocId)) -> Ordering {
+    b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
+}
+
+/// A top-k heap entry whose `Ord` puts the *weakest* kept candidate at the
+/// max-heap root: `better_first` already sorts better-first ascending, so
+/// the heap's maximum is the candidate next in line to be evicted.
+#[derive(Debug, Clone, Copy)]
+struct WeakestFirst(f64, DocId);
+
+impl PartialEq for WeakestFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for WeakestFirst {}
+impl PartialOrd for WeakestFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WeakestFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        better_first(&(self.0, self.1), &(other.0, other.1))
+    }
+}
+
+/// The bounded candidate walk: per-term postings are pre-sorted by static
+/// score, so once the top-k heap is full and even a maximal jitter cannot
+/// lift the next candidate past the weakest kept score, no later candidate
+/// can either (IEEE addition is monotone and the walk is static-descending)
+/// and the walk stops. Equality keeps walking: a later, smaller `DocId`
+/// could still tie and win the deterministic tie-break.
+///
+/// Returns the hits plus whether the walk consumed every eligible
+/// candidate (in which case the result is the complete ranking for `day`).
+fn walk_serp(
+    index: &EngineIndex,
+    rank: &RankState,
+    seed: u64,
+    jitter_amp: f64,
+    term: TermId,
+    day: SimDate,
+    k: usize,
+) -> (Vec<RankedHit>, bool) {
+    let list = &rank.sorted[term.index()];
+    let mut heap: BinaryHeap<WeakestFirst> = BinaryHeap::with_capacity(k + 1);
+    let half_amp = 0.5 * jitter_amp;
+    let mut eligible = 0usize;
+    let mut truncated = false;
+    for &doc in list {
+        let di = doc.0 as usize;
+        if index.docs[di].first_indexed > day {
+            continue;
+        }
+        let stat = rank.static_score[di];
+        if heap.len() == k {
+            let weakest = heap.peek().expect("heap full implies k > 0");
+            if stat + half_amp < weakest.0 {
+                truncated = true;
+                break;
+            }
+        }
+        eligible += 1;
+        let score = stat + jitter(seed, jitter_amp, doc, day);
+        debug_assert!(score.is_finite(), "non-finite SERP score for {doc:?}");
+        let cand = WeakestFirst(score, doc);
+        if heap.len() < k {
+            heap.push(cand);
+        } else if cand < *heap.peek().expect("heap full") {
+            heap.pop();
+            heap.push(cand);
+        }
+    }
+    let mut kept: Vec<WeakestFirst> = heap.into_vec();
+    kept.sort();
+    let hits = kept
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let di = c.1 .0 as usize;
+            let d = &index.docs[di];
+            let labeled = rank
+                .hacked_since
+                .get(&d.domain)
+                .map(|since| *since <= day)
+                .unwrap_or(false)
+                && index.root_page[di];
+            RankedHit {
+                rank: (i + 1) as u32,
+                doc: c.1,
+                domain: d.domain,
+                hacked_label: labeled,
+            }
+        })
+        .collect();
+    (hits, !truncated && eligible == kept.len())
+}
+
+/// An immutable snapshot of the engine, published at the tick plane's
+/// commit choke points and queried concurrently by every reader — the
+/// traffic planner, the crawler, and the `repro serve` loadgen — between
+/// commits. Holds its own `(term, day)` SERP cache; the cache dies with
+/// the epoch when a real mutation publishes a successor.
+#[derive(Debug)]
+pub struct EngineEpoch {
+    index: Arc<EngineIndex>,
+    rank: Arc<RankState>,
+    jitter_amp: f64,
+    seed: u64,
+    stats: Arc<EngineStats>,
+    cache: Vec<TermCache>,
+}
+
+impl EngineEpoch {
+    /// The top-`k` SERP for `term` on `day`, cached per `(term, day)`
+    /// within this epoch. Counted in the `engine.serp_queries` /
+    /// `engine.serp_cache_hits` metrics.
+    pub fn ranked(&self, term: TermId, day: SimDate, k: usize) -> RankedSerp {
+        self.stats.queries.fetch_add(1, AtomicOrder::Relaxed);
+        let mut slot = self.cache[term.index()].lock().expect("serp cache lock");
+        let key = day.day_index();
+        if let Some(entry) = slot.get(&key) {
+            if entry.hits.len() >= k || entry.exhausted {
+                self.stats.cache_hits.fetch_add(1, AtomicOrder::Relaxed);
+                return RankedSerp {
+                    term,
+                    day,
+                    hits: Arc::clone(&entry.hits),
+                    k,
+                };
+            }
+        }
+        let (hits, exhausted) = walk_serp(
+            &self.index,
+            &self.rank,
+            self.seed,
+            self.jitter_amp,
+            term,
+            day,
+            k,
+        );
+        let hits = Arc::new(hits);
+        slot.insert(
+            key,
+            CacheEntry {
+                hits: Arc::clone(&hits),
+                exhausted,
+            },
+        );
+        RankedSerp { term, day, hits, k }
+    }
+
+    /// The same walk with no cache read/write and no counter traffic —
+    /// for state-fingerprint probes and differential tests, which must
+    /// not perturb the metrics or warm the cache.
+    pub fn ranked_uncached(&self, term: TermId, day: SimDate, k: usize) -> Vec<RankedHit> {
+        walk_serp(
+            &self.index,
+            &self.rank,
+            self.seed,
+            self.jitter_amp,
+            term,
+            day,
+            k,
+        )
+        .0
+    }
+
+    /// Document lookup (immutable across the epoch's lifetime).
+    pub fn doc(&self, id: DocId) -> &Doc {
+        &self.index.docs[id.0 as usize]
+    }
+
+    /// Number of registered terms.
+    pub fn term_count(&self) -> usize {
+        self.index.terms.len()
+    }
+}
+
 /// The engine.
 ///
 /// Scoring model (per document, per day):
@@ -101,20 +408,18 @@ pub enum EngineOp {
 /// reputation); campaigns set it while actively SEOing and it decays when
 /// they stop. `penalty` models demotion. `jitter` is a small deterministic
 /// per-(doc, day) perturbation that makes rankings churn realistically.
+///
+/// This type is the *writer* half of the query plane; see the module docs
+/// and [`SearchEngine::epoch`] for the reader half.
 #[derive(Debug)]
 pub struct SearchEngine {
-    terms: Vec<TermRecord>,
-    docs: Vec<Doc>,
-    postings: Vec<Vec<DocId>>,
-    /// Per-domain SEO juice, indexed by `DomainId` (grown on demand).
-    juice: Vec<f64>,
-    /// Per-domain demotion penalty.
-    penalty: Vec<f64>,
-    /// Day the domain was labeled "hacked", if ever.
-    hacked_since: HashMap<DomainId, SimDate>,
+    index: Arc<EngineIndex>,
+    rank: Arc<RankState>,
     /// Jitter amplitude (score units).
     jitter_amp: f64,
     seed: u64,
+    stats: Arc<EngineStats>,
+    epoch: Mutex<Option<Arc<EngineEpoch>>>,
 }
 
 impl SearchEngine {
@@ -122,37 +427,158 @@ impl SearchEngine {
     /// churn; 0.05 yields low single-digit percent daily domain churn with
     /// the default score weights.
     pub fn new(seed: u64, jitter_amp: f64) -> Self {
-        SearchEngine {
-            terms: Vec::new(),
-            docs: Vec::new(),
-            postings: Vec::new(),
-            juice: Vec::new(),
-            penalty: Vec::new(),
-            hacked_since: HashMap::new(),
+        SearchEngine::from_parts(
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            HashMap::new(),
             jitter_amp,
             seed,
+        )
+    }
+
+    /// Assembles an engine from its serialized fields, rebuilding every
+    /// derived structure (per-domain index, static scores, sorted
+    /// postings). The incremental maintenance paths keep exactly the
+    /// invariants established here, so a decode-then-walk matches a
+    /// mutate-then-walk bitwise.
+    #[allow(clippy::too_many_arguments)]
+    fn from_parts(
+        terms: Vec<TermRecord>,
+        docs: Vec<Doc>,
+        postings: Vec<Vec<DocId>>,
+        juice: Vec<f64>,
+        penalty: Vec<f64>,
+        hacked_since: HashMap<DomainId, SimDate>,
+        jitter_amp: f64,
+        seed: u64,
+    ) -> Self {
+        let mut by_domain: Vec<Vec<DocId>> = Vec::new();
+        let mut root_page = Vec::with_capacity(docs.len());
+        for (i, d) in docs.iter().enumerate() {
+            root_page.push(d.url.is_root_page());
+            if by_domain.len() <= d.domain.index() {
+                by_domain.resize(d.domain.index() + 1, Vec::new());
+            }
+            by_domain[d.domain.index()].push(DocId(i as u32));
         }
+        let static_score: Vec<f64> = docs
+            .iter()
+            .map(|d| {
+                0.45 * d.relevance
+                    + 0.35 * d.quality
+                    + juice.get(d.domain.index()).copied().unwrap_or(0.0)
+                    - penalty.get(d.domain.index()).copied().unwrap_or(0.0)
+            })
+            .collect();
+        let sorted: Vec<Vec<DocId>> = postings
+            .iter()
+            .map(|list| {
+                let mut s = list.clone();
+                s.sort_by(|&a, &b| {
+                    better_first(
+                        &(static_score[a.0 as usize], a),
+                        &(static_score[b.0 as usize], b),
+                    )
+                });
+                s
+            })
+            .collect();
+        SearchEngine {
+            index: Arc::new(EngineIndex {
+                terms,
+                docs,
+                postings,
+                by_domain,
+                root_page,
+            }),
+            rank: Arc::new(RankState {
+                juice,
+                penalty,
+                hacked_since,
+                static_score,
+                sorted,
+            }),
+            jitter_amp,
+            seed,
+            stats: Arc::new(EngineStats::default()),
+            epoch: Mutex::new(None),
+        }
+    }
+
+    /// The current epoch, publishing one lazily if a mutation retired the
+    /// last. Publication is an `Arc` clone of the frozen index and rank
+    /// state plus a fresh empty SERP cache — cheap enough to call at
+    /// every read site.
+    pub fn epoch(&self) -> Arc<EngineEpoch> {
+        let mut slot = self.epoch.lock().expect("epoch slot lock");
+        if let Some(e) = &*slot {
+            return Arc::clone(e);
+        }
+        let epoch = Arc::new(EngineEpoch {
+            index: Arc::clone(&self.index),
+            rank: Arc::clone(&self.rank),
+            jitter_amp: self.jitter_amp,
+            seed: self.seed,
+            stats: Arc::clone(&self.stats),
+            cache: (0..self.index.terms.len())
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        });
+        *slot = Some(Arc::clone(&epoch));
+        epoch
+    }
+
+    /// Retires the published epoch (with its SERP cache). Called by every
+    /// mutation that actually changes observable ranking state; bitwise
+    /// no-op mutations skip it so caches survive the daily republish.
+    fn invalidate_epoch(&mut self) {
+        *self.epoch.get_mut().expect("epoch slot lock") = None;
+    }
+
+    /// Drains the query-plane counters: `(serp_queries, serp_cache_hits)`
+    /// since the previous drain. The world folds these into its metric
+    /// registry at commit-adjacent points so checkpoints never carry
+    /// undrained residue.
+    pub fn take_serp_stats(&self) -> (u64, u64) {
+        (
+            self.stats.queries.swap(0, AtomicOrder::Relaxed),
+            self.stats.cache_hits.swap(0, AtomicOrder::Relaxed),
+        )
+    }
+
+    /// Reads the query-plane counters without draining them.
+    pub fn serp_stats(&self) -> (u64, u64) {
+        (
+            self.stats.queries.load(AtomicOrder::Relaxed),
+            self.stats.cache_hits.load(AtomicOrder::Relaxed),
+        )
     }
 
     /// Registers a monitored term and returns its id.
     pub fn add_term(&mut self, vertical: VerticalId, text: &str) -> TermId {
-        let id = TermId::from_index(self.terms.len());
-        self.terms.push(TermRecord {
+        self.invalidate_epoch();
+        let index = Arc::make_mut(&mut self.index);
+        let id = TermId::from_index(index.terms.len());
+        index.terms.push(TermRecord {
             vertical,
             text: text.to_owned(),
         });
-        self.postings.push(Vec::new());
+        index.postings.push(Vec::new());
+        Arc::make_mut(&mut self.rank).sorted.push(Vec::new());
         id
     }
 
     /// All registered terms.
     pub fn terms(&self) -> &[TermRecord] {
-        &self.terms
+        &self.index.terms
     }
 
     /// Number of registered terms.
     pub fn term_count(&self) -> usize {
-        self.terms.len()
+        self.index.terms.len()
     }
 
     /// Indexes a page into a term's postings.
@@ -165,8 +591,11 @@ impl SearchEngine {
         relevance: f64,
         day: SimDate,
     ) -> DocId {
-        let id = DocId(self.docs.len() as u32);
-        self.docs.push(Doc {
+        self.invalidate_epoch();
+        let index = Arc::make_mut(&mut self.index);
+        let id = DocId(index.docs.len() as u32);
+        index.root_page.push(url.is_root_page());
+        index.docs.push(Doc {
             url,
             domain,
             term,
@@ -174,62 +603,108 @@ impl SearchEngine {
             relevance,
             first_indexed: day,
         });
-        self.postings[term.index()].push(id);
-        self.ensure_domain(domain);
+        index.postings[term.index()].push(id);
+        if index.by_domain.len() <= domain.index() {
+            index.by_domain.resize(domain.index() + 1, Vec::new());
+        }
+        index.by_domain[domain.index()].push(id);
+
+        let rank = Arc::make_mut(&mut self.rank);
+        ensure_domain(rank, domain);
+        let stat = 0.45 * relevance + 0.35 * quality + rank.juice[domain.index()]
+            - rank.penalty[domain.index()];
+        rank.static_score.push(stat);
+        let (sorted, statics) = (&mut rank.sorted, &rank.static_score);
+        let list = &mut sorted[term.index()];
+        let pos = list
+            .binary_search_by(|&d| better_first(&(statics[d.0 as usize], d), &(stat, id)))
+            .unwrap_err();
+        list.insert(pos, id);
         id
     }
 
     /// Removes a page from the index (site cleaned or de-indexed).
     pub fn deindex_page(&mut self, doc: DocId) {
-        let term = self.docs[doc.0 as usize].term;
-        self.postings[term.index()].retain(|d| *d != doc);
-    }
-
-    fn ensure_domain(&mut self, domain: DomainId) {
-        let need = domain.index() + 1;
-        if self.juice.len() < need {
-            self.juice.resize(need, 0.0);
-            self.penalty.resize(need, 0.0);
+        self.invalidate_epoch();
+        let term = self.index.docs[doc.0 as usize].term;
+        let index = Arc::make_mut(&mut self.index);
+        index.postings[term.index()].retain(|d| *d != doc);
+        let rank = Arc::make_mut(&mut self.rank);
+        let (sorted, statics) = (&mut rank.sorted, &rank.static_score);
+        let stat = statics[doc.0 as usize];
+        if let Ok(pos) = sorted[term.index()]
+            .binary_search_by(|&d| better_first(&(statics[d.0 as usize], d), &(stat, doc)))
+        {
+            sorted[term.index()].remove(pos);
         }
     }
 
     /// Sets the SEO juice for a domain (what a campaign's link farm buys).
     pub fn set_juice(&mut self, domain: DomainId, juice: f64) {
-        self.ensure_domain(domain);
-        self.juice[domain.index()] = juice;
+        let grows = domain.index() >= self.rank.juice.len();
+        if !grows && self.rank.juice[domain.index()].to_bits() == juice.to_bits() {
+            return; // bitwise no-op: keep the epoch and its cache alive
+        }
+        self.invalidate_epoch();
+        let rank = Arc::make_mut(&mut self.rank);
+        ensure_domain(rank, domain);
+        rank.juice[domain.index()] = juice;
+        refresh_domain(rank, &self.index, domain);
     }
 
     /// Current juice for a domain.
     pub fn juice(&self, domain: DomainId) -> f64 {
-        self.juice.get(domain.index()).copied().unwrap_or(0.0)
+        self.rank.juice.get(domain.index()).copied().unwrap_or(0.0)
     }
 
     /// Applies (adds) a demotion penalty to a domain.
     pub fn demote(&mut self, domain: DomainId, penalty: f64) {
-        self.ensure_domain(domain);
-        self.penalty[domain.index()] += penalty;
+        let grows = domain.index() >= self.rank.penalty.len();
+        if !grows {
+            let cur = self.rank.penalty[domain.index()];
+            if (cur + penalty).to_bits() == cur.to_bits() {
+                return; // bitwise no-op
+            }
+        }
+        self.invalidate_epoch();
+        let rank = Arc::make_mut(&mut self.rank);
+        ensure_domain(rank, domain);
+        rank.penalty[domain.index()] += penalty;
+        refresh_domain(rank, &self.index, domain);
     }
 
     /// Current penalty for a domain.
     pub fn penalty(&self, domain: DomainId) -> f64 {
-        self.penalty.get(domain.index()).copied().unwrap_or(0.0)
+        self.rank
+            .penalty
+            .get(domain.index())
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Marks a domain "hacked" as of `day` (GSB-style label, §5.2.2).
     pub fn label_hacked(&mut self, domain: DomainId, day: SimDate) {
-        self.hacked_since.entry(domain).or_insert(day);
+        if self.rank.hacked_since.contains_key(&domain) {
+            return; // first writer wins: a repeat label is a no-op
+        }
+        self.invalidate_epoch();
+        Arc::make_mut(&mut self.rank)
+            .hacked_since
+            .insert(domain, day);
     }
 
     /// Whether (and since when) a domain carries the hacked label.
     pub fn hacked_since(&self, domain: DomainId) -> Option<SimDate> {
-        self.hacked_since.get(&domain).copied()
+        self.rank.hacked_since.get(&domain).copied()
     }
 
     /// Applies an ordered batch of ranking mutations — the engine's half of
     /// the tick plane's plan/commit protocol. Planners compute [`EngineOp`]s
-    /// against a frozen `&SearchEngine`; the world's reducer commits them
-    /// here in plan order, so this is the only mutation entry point a tick
-    /// needs (the granular setters remain for construction and tests).
+    /// against a frozen epoch; the world's reducer commits them here in
+    /// plan order, so this is the only mutation entry point a tick needs
+    /// (the granular setters remain for construction and tests). The next
+    /// [`SearchEngine::epoch`] call after a batch that changed anything
+    /// publishes a fresh epoch.
     pub fn apply_batch(&mut self, ops: impl IntoIterator<Item = EngineOp>) {
         for op in ops {
             match op {
@@ -240,39 +715,79 @@ impl SearchEngine {
         }
     }
 
-    /// Deterministic per-(doc, day) jitter in `[-amp/2, amp/2]`. Uses the
-    /// allocation-free numeric mixer — this runs per document per SERP.
-    fn jitter(&self, doc: DocId, day: SimDate) -> f64 {
-        let h = mix(self.seed, u64::from(doc.0), u64::from(day.day_index()));
-        (unit_f64(h) - 0.5) * self.jitter_amp
-    }
-
     /// Scores one document on one day.
     pub fn score(&self, doc: DocId, day: SimDate) -> f64 {
-        let d = &self.docs[doc.0 as usize];
+        let d = &self.index.docs[doc.0 as usize];
         0.45 * d.relevance + 0.35 * d.quality + self.juice(d.domain) - self.penalty(d.domain)
-            + self.jitter(doc, day)
+            + jitter(self.seed, self.jitter_amp, doc, day)
     }
 
-    /// Produces the top-`k` SERP for `term` on `day`.
+    /// Produces the top-`k` SERP for `term` on `day` through the current
+    /// epoch (publishing one if needed), resolving result URLs at this
+    /// boundary. Hot paths should hold an [`EngineEpoch`] and consume
+    /// [`RankedSerp`]s instead.
     pub fn serp(&self, term: TermId, day: SimDate, k: usize) -> Serp {
-        let mut scored: Vec<(f64, DocId)> = self.postings[term.index()]
+        let ranked = self.epoch().ranked(term, day, k);
+        self.resolve(&ranked)
+    }
+
+    /// Resolves an id-based SERP into URL-carrying results (report/PSR
+    /// boundary).
+    pub fn resolve(&self, ranked: &RankedSerp) -> Serp {
+        Serp {
+            term: ranked.term,
+            day: ranked.day,
+            results: ranked
+                .results()
+                .iter()
+                .map(|h| SearchResult {
+                    rank: h.rank,
+                    url: self.index.docs[h.doc.0 as usize].url.clone(),
+                    domain: h.domain,
+                    hacked_label: h.hacked_label,
+                })
+                .collect(),
+        }
+    }
+
+    /// The bounded walk without epoch, cache, or counter traffic — for
+    /// state-fingerprint probes, which must not perturb metrics or warm
+    /// any cache.
+    pub fn ranked_uncached(&self, term: TermId, day: SimDate, k: usize) -> Vec<RankedHit> {
+        walk_serp(
+            &self.index,
+            &self.rank,
+            self.seed,
+            self.jitter_amp,
+            term,
+            day,
+            k,
+        )
+        .0
+    }
+
+    /// The reference SERP: score every posting, fully sort, take `k` —
+    /// the pre-query-plane algorithm, kept as the differential-test and
+    /// bench baseline for the epoch walk.
+    pub fn serp_full_scan(&self, term: TermId, day: SimDate, k: usize) -> Serp {
+        let mut scored: Vec<(f64, DocId)> = self.index.postings[term.index()]
             .iter()
-            .filter(|d| self.docs[d.0 as usize].first_indexed <= day)
-            .map(|d| (self.score(*d, day), *d))
+            .filter(|d| self.index.docs[d.0 as usize].first_indexed <= day)
+            .map(|d| {
+                let s = self.score(*d, day);
+                debug_assert!(s.is_finite(), "non-finite SERP score for {d:?}");
+                (s, *d)
+            })
             .collect();
-        scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        scored.sort_by(|a, b| better_first(&(a.0, a.1), &(b.0, b.1)));
         let results = scored
             .into_iter()
             .take(k)
             .enumerate()
             .map(|(i, (_, d))| {
-                let doc = &self.docs[d.0 as usize];
+                let doc = &self.index.docs[d.0 as usize];
                 let labeled = self
+                    .rank
                     .hacked_since
                     .get(&doc.domain)
                     .map(|since| *since <= day)
@@ -290,19 +805,25 @@ impl SearchEngine {
     }
 
     /// `site:` query — every indexed page of `domain` (§4.1.1 uses this to
-    /// harvest a doorway's search results for term extraction).
+    /// harvest a doorway's search results for term extraction). Served by
+    /// the per-domain doc index instead of a full doc-table scan; like the
+    /// scan, it lists de-indexed pages too (the record remains).
     pub fn site_query(&self, domain: DomainId) -> Vec<&Doc> {
-        self.docs.iter().filter(|d| d.domain == domain).collect()
+        self.index
+            .by_domain
+            .get(domain.index())
+            .map(|ids| ids.iter().map(|d| &self.index.docs[d.0 as usize]).collect())
+            .unwrap_or_default()
     }
 
     /// Document lookup.
     pub fn doc(&self, id: DocId) -> &Doc {
-        &self.docs[id.0 as usize]
+        &self.index.docs[id.0 as usize]
     }
 
     /// Number of indexed documents.
     pub fn doc_count(&self) -> usize {
-        self.docs.len()
+        self.index.docs.len()
     }
 
     /// FNV-1a fingerprint of the engine's complete state — the index,
@@ -314,6 +835,51 @@ impl SearchEngine {
     }
 }
 
+/// Grows the per-domain juice/penalty tables to cover `domain`.
+fn ensure_domain(rank: &mut RankState, domain: DomainId) {
+    let need = domain.index() + 1;
+    if rank.juice.len() < need {
+        rank.juice.resize(need, 0.0);
+        rank.penalty.resize(need, 0.0);
+    }
+}
+
+/// Recomputes the static scores of every doc owned by `domain` (from
+/// scratch, so the value is bitwise-equal to a fresh rebuild) and repairs
+/// their positions in the sorted posting lists. Docs whose score did not
+/// change bits are untouched; de-indexed docs update their score but have
+/// no sorted entry to move.
+fn refresh_domain(rank: &mut RankState, index: &EngineIndex, domain: DomainId) {
+    let Some(docs) = index.by_domain.get(domain.index()) else {
+        return;
+    };
+    let j = rank.juice[domain.index()];
+    let p = rank.penalty[domain.index()];
+    for &doc in docs {
+        let di = doc.0 as usize;
+        let d = &index.docs[di];
+        let new = 0.45 * d.relevance + 0.35 * d.quality + j - p;
+        let old = rank.static_score[di];
+        if old.to_bits() == new.to_bits() {
+            continue;
+        }
+        let ti = d.term.index();
+        let (sorted, statics) = (&mut rank.sorted, &mut rank.static_score);
+        let listed = sorted[ti]
+            .binary_search_by(|&x| better_first(&(statics[x.0 as usize], x), &(old, doc)));
+        if let Ok(pos) = listed {
+            sorted[ti].remove(pos);
+        }
+        statics[di] = new;
+        if listed.is_ok() {
+            let pos = sorted[ti]
+                .binary_search_by(|&x| better_first(&(statics[x.0 as usize], x), &(new, doc)))
+                .unwrap_err();
+            sorted[ti].insert(pos, doc);
+        }
+    }
+}
+
 impl Snapshot for SearchEngine {
     const TAG: &'static str = "search-engine";
     const VERSION: u16 = 1;
@@ -321,11 +887,11 @@ impl Snapshot for SearchEngine {
     fn write_body(&self, w: &mut Writer) {
         w.put_u64(self.seed);
         w.put_f64(self.jitter_amp);
-        w.put_seq(&self.terms, |w, t| {
+        w.put_seq(&self.index.terms, |w, t| {
             w.put_u32(t.vertical.0);
             w.put_str(&t.text);
         });
-        w.put_seq(&self.docs, |w, d| {
+        w.put_seq(&self.index.docs, |w, d| {
             w.put_str(&d.url.to_string());
             w.put_u32(d.domain.0);
             w.put_u32(d.term.0);
@@ -335,14 +901,20 @@ impl Snapshot for SearchEngine {
         });
         // Postings are serialized explicitly: `deindex_page` removes
         // entries while leaving the doc record behind, so postings are
-        // not reconstructible from the doc list alone.
-        w.put_seq(&self.postings, |w, list| {
+        // not reconstructible from the doc list alone. Derived structures
+        // (per-domain index, static scores, sorted postings, epoch,
+        // caches, counters) are rebuilt on decode, never serialized.
+        w.put_seq(&self.index.postings, |w, list| {
             w.put_seq(list, |w, d| w.put_u32(d.0));
         });
-        w.put_seq(&self.juice, |w, j| w.put_f64(*j));
-        w.put_seq(&self.penalty, |w, p| w.put_f64(*p));
-        let mut hacked: Vec<(DomainId, SimDate)> =
-            self.hacked_since.iter().map(|(d, s)| (*d, *s)).collect();
+        w.put_seq(&self.rank.juice, |w, j| w.put_f64(*j));
+        w.put_seq(&self.rank.penalty, |w, p| w.put_f64(*p));
+        let mut hacked: Vec<(DomainId, SimDate)> = self
+            .rank
+            .hacked_since
+            .iter()
+            .map(|(d, s)| (*d, *s))
+            .collect();
         hacked.sort();
         w.put_seq(&hacked, |w, (d, s)| {
             w.put_u32(d.0);
@@ -382,16 +954,16 @@ impl Snapshot for SearchEngine {
         let juice = r.get_seq(|r| r.get_f64())?;
         let penalty = r.get_seq(|r| r.get_f64())?;
         let hacked = r.get_seq(|r| Ok((DomainId(r.get_u32()?), r.get_date()?)))?;
-        Ok(SearchEngine {
+        Ok(SearchEngine::from_parts(
             terms,
             docs,
             postings,
             juice,
             penalty,
-            hacked_since: hacked.into_iter().collect(),
+            hacked.into_iter().collect(),
             jitter_amp,
             seed,
-        })
+        ))
     }
 }
 
@@ -642,6 +1214,84 @@ mod tests {
         let serp = e.serp(t, day(3), 20);
         let ranks: Vec<u32> = serp.results.iter().map(|r| r.rank).collect();
         assert_eq!(ranks, (1..=20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn epoch_survives_bitwise_noop_mutations() {
+        let (mut e, _, domains) = setup();
+        e.set_juice(domains[30], 0.5);
+        let before = e.epoch();
+        // Re-asserting the same juice, adding a zero penalty, and
+        // repeating a hacked label are all observable no-ops: the epoch
+        // (and its SERP cache) must survive them.
+        e.label_hacked(domains[31], day(5));
+        let labeled = e.epoch();
+        assert!(!Arc::ptr_eq(&before, &labeled), "real label retires epoch");
+        e.apply_batch([
+            EngineOp::SetJuice {
+                domain: domains[30],
+                juice: 0.5,
+            },
+            EngineOp::Demote {
+                domain: domains[30],
+                penalty: 0.0,
+            },
+            EngineOp::LabelHacked {
+                domain: domains[31],
+                day: day(9),
+            },
+        ]);
+        assert!(
+            Arc::ptr_eq(&labeled, &e.epoch()),
+            "bitwise no-op batch must keep the epoch"
+        );
+        e.set_juice(domains[30], 0.25);
+        assert!(
+            !Arc::ptr_eq(&labeled, &e.epoch()),
+            "a changed juice level must publish a fresh epoch"
+        );
+    }
+
+    #[test]
+    fn epoch_cache_hits_once_per_term_day() {
+        let (e, t, _) = setup();
+        let epoch = e.epoch();
+        e.take_serp_stats();
+        let a = epoch.ranked(t, day(7), 10);
+        let b = epoch.ranked(t, day(7), 10);
+        let c = epoch.ranked(t, day(7), 4);
+        assert_eq!(a.results(), b.results());
+        assert_eq!(c.results(), &a.results()[..4], "prefix served from cache");
+        let _ = epoch.ranked(t, day(8), 10); // different day: a miss
+        let (queries, hits) = e.take_serp_stats();
+        assert_eq!(queries, 4);
+        assert_eq!(hits, 2, "repeat and prefix queries hit; new day misses");
+        // A wider query than any cached build recomputes (counts as miss),
+        // then re-serves from cache.
+        let wide = epoch.ranked(t, day(7), 20);
+        assert_eq!(wide.results().len(), 20);
+        let again = epoch.ranked(t, day(7), 20);
+        assert_eq!(again.results(), wide.results());
+        let (queries, hits) = e.take_serp_stats();
+        assert_eq!((queries, hits), (2, 1));
+    }
+
+    #[test]
+    fn uncached_walk_matches_epoch_and_counts_nothing() {
+        let (mut e, t, domains) = setup();
+        e.set_juice(domains[30], 0.4);
+        e.take_serp_stats();
+        let hits = e.ranked_uncached(t, day(12), 15);
+        assert_eq!(e.serp_stats(), (0, 0), "fingerprint probes are uncounted");
+        let via_epoch = e.epoch().ranked(t, day(12), 15);
+        assert_eq!(hits.as_slice(), via_epoch.results());
+        let full = e.serp_full_scan(t, day(12), 15);
+        for (h, r) in hits.iter().zip(&full.results) {
+            assert_eq!(
+                (h.rank, h.domain, h.hacked_label),
+                (r.rank, r.domain, r.hacked_label)
+            );
+        }
     }
 }
 

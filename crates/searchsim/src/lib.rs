@@ -10,7 +10,9 @@
 //! * [`engine`] — a document index with per-term postings and a daily
 //!   ranking function combining base relevance, site quality, the SEO
 //!   "juice" campaigns inject, penalization, and deterministic day-to-day
-//!   jitter (producing realistic SERP churn);
+//!   jitter (producing realistic SERP churn), split into a mutable writer
+//!   and immutable published [`EngineEpoch`] snapshots that readers query
+//!   concurrently between commits (the query plane);
 //! * penalization machinery on the engine: rank **demotion** and the
 //!   root-only **"This site may be hacked" label** with its coverage gap
 //!   (§5.2.1–5.2.2);
@@ -27,4 +29,6 @@
 pub mod engine;
 pub mod suggest;
 
-pub use engine::{DocId, EngineOp, SearchEngine, SearchResult, Serp};
+pub use engine::{
+    DocId, EngineEpoch, EngineOp, RankedHit, RankedSerp, SearchEngine, SearchResult, Serp,
+};
