@@ -28,13 +28,17 @@ use search_seizure::{state, RunOptions, Study};
 use ss_bench::Preset;
 use ss_eco::World;
 
-/// What `--out` records. Field names are the public contract of the
-/// `BENCH_paper.json` artifact — extend, don't rename.
+/// What `--out` records — one entry in the `BENCH_paper.json` run log.
+/// Field names are the public contract of the artifact (and of
+/// `repro bench-report`'s flattened metric names) — extend, don't rename.
 #[derive(serde::Serialize)]
 struct BenchProfile {
     preset: String,
     seed: u64,
     threads: usize,
+    /// `git rev-parse --short HEAD` at run time, or "unknown" outside a
+    /// work tree — lets a trajectory log entry be traced back to a commit.
+    git_rev: String,
     /// Crawl window actually executed `(first, last)`, inclusive days.
     crawl_window: (u32, u32),
     /// Wall clock of a standalone world build (generation only).
@@ -63,6 +67,22 @@ struct BenchProfile {
     checkpoint_bytes: Option<u64>,
     checkpoint_save_s: Option<f64>,
     checkpoint_load_s: Option<f64>,
+    /// Deterministic cost-profile rows (allocs/bytes/work units per
+    /// phase; no wall clock) — what `repro bench-report` gates on.
+    costs: serde::Value,
+}
+
+/// Short git revision for trajectory entries; tolerant of running
+/// outside a repository (release tarballs, sandboxes).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
 }
 
 fn main() {
@@ -179,6 +199,7 @@ fn main() {
         preset: format!("{preset:?}").to_ascii_lowercase(),
         seed,
         threads,
+        git_rev: git_rev(),
         crawl_window: (output.window.0.day_index(), output.window.1.day_index()),
         build_wall_s,
         world,
@@ -194,6 +215,7 @@ fn main() {
         checkpoint_bytes,
         checkpoint_save_s,
         checkpoint_load_s,
+        costs: output.metrics.costs_value(),
     };
     if let (Some(b), Some(l)) = (profile.checkpoint_bytes, profile.checkpoint_load_s) {
         eprintln!(
@@ -223,8 +245,25 @@ fn main() {
     let rendered = serde_json::to_string_pretty(&profile).expect("profile serializes");
     match out {
         Some(path) => {
-            std::fs::write(&path, rendered).expect("profile written");
-            eprintln!("[paper_smoke] wrote {path}");
+            // The artifact is an append-only run log: keep every prior
+            // entry (migrating a pre-envelope single-object file on the
+            // way) and push this run onto `runs`.
+            let run = ss_bench::manifest_diff::parse_json(&rendered).expect("profile re-parses");
+            let mut log = match std::fs::read_to_string(&path) {
+                Ok(existing) => ss_bench::trajectory::normalize_log(
+                    ss_bench::manifest_diff::parse_json(&existing)
+                        .unwrap_or_else(|e| panic!("existing {path} is not JSON: {e}")),
+                ),
+                Err(_) => ss_bench::trajectory::empty_log(),
+            };
+            ss_bench::trajectory::append_run(&mut log, run);
+            let runs = ss_bench::trajectory::run_count(&log);
+            std::fs::write(
+                &path,
+                serde_json::to_string_pretty(&log).expect("log serializes"),
+            )
+            .expect("profile written");
+            eprintln!("[paper_smoke] wrote {path} ({runs} run(s) in log)");
         }
         None => println!("{rendered}"),
     }

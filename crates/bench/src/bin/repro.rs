@@ -19,7 +19,14 @@
 //! repro sweep <checkpoint.ssnp> [--offsets -14,-7,0,7,14]
 //!                    # fork one checkpoint into seizure-offset arms
 //! repro diff <manifest_a.json> <manifest_b.json> [--expect-equal]
-//!                    # structural manifest diff, wall-clock ignored
+//!                    # structural manifest diff, wall-clock ignored;
+//!                    # includes a per-kind event-trail comparison
+//! repro profile [--preset ...] [--threads N]
+//!                    # run the study and print the hierarchical cost
+//!                    # profile (deterministic columns + wall clock)
+//! repro bench-report <base.json> <current.json> [--deny]
+//!                    # compare the latest BENCH_paper.json entries;
+//!                    # --deny exits non-zero on cost regressions
 //! repro serve [days] [--preset ...] [--threads N]
 //!                    # query-plane loadgen: workers hammer the published
 //!                    # epoch while the world ticks and republishes
@@ -75,6 +82,8 @@ struct Args {
     offsets: Vec<i64>,
     /// `repro diff`: exit non-zero if the manifests differ.
     expect_equal: bool,
+    /// `repro bench-report`: exit non-zero on gated cost regressions.
+    deny: bool,
 }
 
 fn parse_args() -> Args {
@@ -94,6 +103,7 @@ fn parse_args() -> Args {
     let mut resume_from = None;
     let mut offsets = vec![-7, 0, 7];
     let mut expect_equal = false;
+    let mut deny = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--preset" => {
@@ -153,6 +163,7 @@ fn parse_args() -> Args {
                 assert!(!offsets.is_empty(), "--offsets needs at least one value");
             }
             "--expect-equal" => expect_equal = true,
+            "--deny" => deny = true,
             other if other.starts_with("--") => panic!("unknown flag {other:?}"),
             operand => positional.push(operand.to_owned()),
         }
@@ -172,6 +183,7 @@ fn parse_args() -> Args {
         resume_from,
         offsets,
         expect_equal,
+        deny,
     }
 }
 
@@ -221,6 +233,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "queryplane",
         "query plane — epoch SERP index: walk vs full scan, cache, serve",
     ),
+    (
+        "profile",
+        "cost-model profiler — hierarchical phase costs and work units",
+    ),
 ];
 
 fn main() {
@@ -235,12 +251,19 @@ fn main() {
         println!("  sweep       fork a checkpoint into seizure-offset intervention arms");
         println!("  diff        structural manifest diff (wall-clock fields ignored)");
         println!("  serve       SERP loadgen over published epochs while the world ticks");
+        println!("  bench-report  compare two BENCH_paper.json logs; --deny gates regressions");
         return;
     }
 
     // diff needs no study run: it compares two manifests already on disk.
     if args.experiment == "diff" {
         run_diff(&args);
+        return;
+    }
+
+    // bench-report compares two trajectory logs already on disk.
+    if args.experiment == "bench-report" {
+        run_bench_report(&args);
         return;
     }
 
@@ -357,7 +380,8 @@ fn run_diff(args: &Args) {
         let text = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
         manifest_diff::parse_json(&text).unwrap_or_else(|e| panic!("parse {p}: {e}"))
     };
-    let entries = manifest_diff::diff(&read(a_path), &read(b_path));
+    let (a, b) = (read(a_path), read(b_path));
+    let entries = manifest_diff::diff(&a, &b);
     if entries.is_empty() {
         println!("manifests agree ({a_path} vs {b_path}; wall-clock fields ignored)");
         return;
@@ -369,7 +393,58 @@ fn run_diff(args: &Args) {
     for e in &entries {
         println!("  {e}");
     }
+    // The event trail pinpoints *when* two runs first made different
+    // decisions — per event kind, the totals and the first divergent day.
+    let trail = manifest_diff::trail_diff(&a, &b);
+    if !trail.is_empty() {
+        println!("event trail ({} kind(s) diverge):", trail.len());
+        for t in &trail {
+            println!("  {t}");
+        }
+    }
     if args.expect_equal {
+        std::process::exit(1);
+    }
+}
+
+/// `repro bench-report <base> <current>` — compares the latest entries of
+/// two perf-trajectory logs (`BENCH_paper.json` envelopes or bare
+/// profiles). Deterministic cost metrics gate at per-metric tolerances;
+/// wall-clock rows are context only. `--deny` turns regressions into a
+/// non-zero exit for CI.
+fn run_bench_report(args: &Args) {
+    let [base_path, cur_path] = args.operands.as_slice() else {
+        panic!("usage: repro bench-report <base.json> <current.json> [--deny]");
+    };
+    let read = |p: &String| {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+        ss_bench::trajectory::normalize_log(
+            manifest_diff::parse_json(&text).unwrap_or_else(|e| panic!("parse {p}: {e}")),
+        )
+    };
+    let deltas = ss_bench::trajectory::compare(&read(base_path), &read(cur_path));
+    let changed: Vec<_> = deltas
+        .iter()
+        .filter(|d| d.rel.map(|r| r != 0.0).unwrap_or(true))
+        .collect();
+    println!(
+        "bench report: {base_path} -> {cur_path} ({} metric(s), {} changed)",
+        deltas.len(),
+        changed.len()
+    );
+    for d in &changed {
+        println!("  {d}");
+    }
+    let regressions: Vec<_> = deltas.iter().filter(|d| d.regressed).collect();
+    if regressions.is_empty() {
+        println!("no cost regressions beyond tolerance");
+        return;
+    }
+    println!("{} cost regression(s) beyond tolerance:", regressions.len());
+    for d in &regressions {
+        println!("  {d}");
+    }
+    if args.deny {
         std::process::exit(1);
     }
 }
@@ -545,8 +620,35 @@ fn run_experiment(id: &str, out: &mut StudyOutput) -> ExperimentReport {
         "manifest" => manifest_report(out),
         "jsengine" => jsengine_report(out),
         "queryplane" => queryplane_report(out),
+        "profile" => profile_report(out),
         other => panic!("unknown experiment {other:?}; try `repro list`"),
     }
+}
+
+fn profile_report(out: &StudyOutput) -> ExperimentReport {
+    let tree = ss_obs::render_tree(&out.metrics);
+    let phases = out.metrics.costs().len();
+    ExperimentReport::new("S13", "cost-model profiler — phase costs")
+        .narrate(
+            "Hierarchical self-time and cost profile of this run: per phase, \
+             scope entries, allocation deltas (count/bytes/frees), typed work \
+             units, and wall clock. Every column except the `*_ms` pair is \
+             deterministic — bit-identical at any `--threads` value and \
+             golden-gated — while wall clock is context only. The same data \
+             ships as `reports/profile.folded` (wall-clock flamegraph) and \
+             `reports/profile.cost.folded` (deterministic cost weights).",
+        )
+        .compare("phases recorded", "≥ 8", phases, false)
+        .compare(
+            "crawl docs fetched",
+            "—",
+            out.metrics
+                .cost_stats("crawl/fetch")
+                .map(|s| s.work[ss_obs::WorkKind::DocsFetched as usize])
+                .unwrap_or(0),
+            false,
+        )
+        .artifact("phase tree (costs + wall clock)", tree)
 }
 
 fn manifest_report(out: &StudyOutput) -> ExperimentReport {

@@ -19,6 +19,7 @@
 
 pub mod manifest_diff;
 pub mod serve;
+pub mod trajectory;
 
 use search_seizure::manifest::CalibrationTarget;
 use search_seizure::{Study, StudyConfig, StudyOutput};

@@ -7,7 +7,8 @@
 //! writer-only, so the parser lives here), then walks both trees and
 //! reports every path where they disagree — except wall-clock fields:
 //!
-//! * `stage_timings` and `spans` subtrees (durations), and
+//! * `stage_timings`, `spans`, and `cost_timings` subtrees (durations),
+//!   and
 //! * any field named `elapsed_ms`, at any depth.
 //!
 //! Everything else — headline counts, calibration statuses, per-day
@@ -17,7 +18,7 @@
 use serde::Value;
 
 /// Map keys whose entire subtree is wall-clock and excluded from diffs.
-const WALL_CLOCK_SUBTREES: &[&str] = &["stage_timings", "spans"];
+const WALL_CLOCK_SUBTREES: &[&str] = &["stage_timings", "spans", "cost_timings"];
 /// Field names that hold wall-clock scalars wherever they appear.
 const WALL_CLOCK_FIELDS: &[&str] = &["elapsed_ms"];
 
@@ -150,6 +151,134 @@ fn scalar_eq(a: &Value, b: &Value) -> bool {
         }
         _ => false,
     }
+}
+
+/// One event kind's comparison between two manifests' `event_trail`
+/// sections: totals on both sides plus the first day whose (count, hash)
+/// row disagrees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrailKindDiff {
+    /// Event-kind tag.
+    pub kind: String,
+    /// Total events of the kind on the left / right side (`None` when
+    /// the kind is absent on that side).
+    pub left: Option<u64>,
+    /// Right-side total.
+    pub right: Option<u64>,
+    /// First day index where the per-day rows disagree, if any.
+    pub first_divergence: Option<u32>,
+}
+
+impl std::fmt::Display for TrailKindDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fmt_side = |s: Option<u64>| s.map(|n| n.to_string()).unwrap_or_else(|| "—".into());
+        write!(
+            f,
+            "{}: {} -> {} events",
+            self.kind,
+            fmt_side(self.left),
+            fmt_side(self.right)
+        )?;
+        match self.first_divergence {
+            Some(day) => write!(f, ", first divergence day {day}"),
+            None => write!(f, ", per-day rows agree"),
+        }
+    }
+}
+
+/// Compares the `event_trail` sections of two parsed manifests and
+/// reports, per event kind, the totals and the first divergent day.
+/// Kinds whose summaries match exactly are omitted; an empty result
+/// means the committed event logs agree. Manifests written before the
+/// trail section existed compare as empty trails.
+pub fn trail_diff(a: &Value, b: &Value) -> Vec<TrailKindDiff> {
+    // One side's summary of a kind: (kind, total, per-day (day, count, hash)).
+    type KindRows = (String, u64, Vec<(u32, u64, String)>);
+    let kinds_of = |v: &Value| -> Vec<KindRows> {
+        let Value::Map(root) = v else {
+            return Vec::new();
+        };
+        let Some(Value::Seq(trail)) = lookup(root, "event_trail") else {
+            return Vec::new();
+        };
+        trail
+            .iter()
+            .filter_map(|entry| {
+                let Value::Map(m) = entry else { return None };
+                let kind = match lookup(m, "kind") {
+                    Some(Value::Str(s)) => s.clone(),
+                    _ => return None,
+                };
+                let count = match lookup(m, "count") {
+                    Some(Value::UInt(n)) => *n,
+                    _ => 0,
+                };
+                let days = match lookup(m, "days") {
+                    Some(Value::Seq(rows)) => rows
+                        .iter()
+                        .filter_map(|row| {
+                            let Value::Map(r) = row else { return None };
+                            let day = match lookup(r, "day") {
+                                Some(Value::UInt(d)) => *d as u32,
+                                _ => return None,
+                            };
+                            let count = match lookup(r, "count") {
+                                Some(Value::UInt(n)) => *n,
+                                _ => 0,
+                            };
+                            let hash = match lookup(r, "hash") {
+                                Some(Value::Str(h)) => h.clone(),
+                                _ => String::new(),
+                            };
+                            Some((day, count, hash))
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                Some((kind, count, days))
+            })
+            .collect()
+    };
+    let left = kinds_of(a);
+    let right = kinds_of(b);
+    let mut kinds: Vec<&str> = left
+        .iter()
+        .map(|(k, _, _)| k.as_str())
+        .chain(right.iter().map(|(k, _, _)| k.as_str()))
+        .collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    let mut out = Vec::new();
+    for kind in kinds {
+        let l = left.iter().find(|(k, _, _)| k == kind);
+        let r = right.iter().find(|(k, _, _)| k == kind);
+        let first_divergence = {
+            let ld = l.map(|(_, _, d)| d.as_slice()).unwrap_or(&[]);
+            let rd = r.map(|(_, _, d)| d.as_slice()).unwrap_or(&[]);
+            let mut days: Vec<u32> = ld
+                .iter()
+                .map(|(d, _, _)| *d)
+                .chain(rd.iter().map(|(d, _, _)| *d))
+                .collect();
+            days.sort_unstable();
+            days.dedup();
+            days.into_iter().find(|d| {
+                let lrow = ld.iter().find(|(x, _, _)| x == d);
+                let rrow = rd.iter().find(|(x, _, _)| x == d);
+                lrow != rrow
+            })
+        };
+        let entry = TrailKindDiff {
+            kind: kind.to_owned(),
+            left: l.map(|(_, c, _)| *c),
+            right: r.map(|(_, c, _)| *c),
+            first_divergence,
+        };
+        if entry.left != entry.right || entry.first_divergence.is_some() {
+            out.push(entry);
+        }
+    }
+    out
 }
 
 /// Parses a JSON document into the in-tree [`Value`].
@@ -480,6 +609,47 @@ mod tests {
         let paths: Vec<_> = d.iter().map(|e| e.path.as_str()).collect();
         assert_eq!(paths, ["x", "y[1]"]);
         assert_eq!(d[1].right, None);
+    }
+
+    #[test]
+    fn trail_diff_reports_first_divergent_day_per_kind() {
+        let mk = |day2_hash: &str, rotate_count: u64| {
+            parse_json(&format!(
+                r#"{{"event_trail": [
+                    {{"kind": "rotate", "count": {rotate_count}, "days": [
+                        {{"day": 1, "count": 2, "hash": "aaaa"}},
+                        {{"day": 2, "count": 1, "hash": "{day2_hash}"}}
+                    ]}},
+                    {{"kind": "file-case", "count": 3, "days": [
+                        {{"day": 2, "count": 3, "hash": "cccc"}}
+                    ]}}
+                ]}}"#
+            ))
+            .expect("parses")
+        };
+        // Identical trails: no entries.
+        assert!(trail_diff(&mk("bbbb", 3), &mk("bbbb", 3)).is_empty());
+        // Same counts, day-2 payload hash differs for one kind.
+        let d = trail_diff(&mk("bbbb", 3), &mk("beef", 3));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, "rotate");
+        assert_eq!(d[0].first_divergence, Some(2));
+        assert_eq!(
+            d[0].to_string(),
+            "rotate: 3 -> 3 events, first divergence day 2"
+        );
+        // A kind absent on one side reports dashed totals.
+        let empty = parse_json(r#"{"event_trail": []}"#).unwrap();
+        let d = trail_diff(&mk("bbbb", 3), &empty);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].right, None);
+    }
+
+    #[test]
+    fn cost_timings_subtree_is_wall_clock() {
+        let a = parse_json(r#"{"cost_timings": {"crawl": {"total_ms": 5.0}}}"#).unwrap();
+        let b = parse_json(r#"{"cost_timings": {"crawl": {"total_ms": 9.0}}}"#).unwrap();
+        assert!(diff(&a, &b).is_empty());
     }
 
     #[test]

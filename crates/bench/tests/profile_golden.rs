@@ -1,0 +1,100 @@
+//! Golden snapshot of the deterministic cost profile.
+//!
+//! The cost-model profiler's contract is that its deterministic columns
+//! (phase enters, allocations, bytes, frees, and typed work units) are a
+//! pure function of the scenario — independent of thread count, wall
+//! clock, and machine. These tests pin that contract two ways:
+//!
+//! * a fast, always-on thread matrix: the tiny-preset cost profile must
+//!   be byte-identical at 1, 2, and 8 threads and across repeat runs;
+//! * a release-only golden (`tests/golden/costs_small.json`): the
+//!   small-preset profile must reproduce the checked-in snapshot byte
+//!   for byte. Regenerate after an intentional behaviour change with
+//!
+//!   ```text
+//!   UPDATE_GOLDEN=1 cargo test --release -p ss-bench \
+//!       --test profile_golden -- --include-ignored
+//!   ```
+//!
+//! Wall-clock columns (`total_ms`/`self_ms`) live in a separate
+//! projection ([`ss_obs::Registry::cost_timings_value`]) and are never
+//! golden-gated — see DESIGN.md §5b.
+
+use ss_bench::Preset;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/costs_small.json");
+const GOLDEN_SEED: u64 = 101;
+
+/// Runs a preset study and returns the deterministic cost projection.
+fn costs_at(preset: Preset, threads: usize) -> String {
+    let mut cfg = preset.config(GOLDEN_SEED);
+    cfg.set_threads(threads);
+    cfg.manifest_path = None;
+    let out = search_seizure::Study::new(cfg).run().expect("study runs");
+    out.metrics.costs_json() + "\n"
+}
+
+#[test]
+fn tiny_cost_profile_is_bit_identical_across_thread_counts() {
+    let serial = costs_at(Preset::Tiny, 1);
+    // Phases from every instrumented plane are present.
+    for phase in ["crawl/fetch", "tick/juice", "analysis/scan", "engine/serp"] {
+        assert!(serial.contains(phase), "profile records {phase}:\n{serial}");
+    }
+    for threads in [2usize, 8] {
+        assert_eq!(
+            serial,
+            costs_at(Preset::Tiny, threads),
+            "cost profile diverged at {threads} threads"
+        );
+    }
+    // Repeat run, same shape: the profile is also time-independent.
+    assert_eq!(
+        serial,
+        costs_at(Preset::Tiny, 1),
+        "profile drifted across repeat runs"
+    );
+}
+
+/// Heavy: the small preset runs a multi-month crawl. Ignored in the
+/// default (debug) test pass; CI's release perf job runs it with
+/// `--include-ignored`.
+#[test]
+#[ignore = "release-scale golden; run with --release -- --include-ignored"]
+fn small_cost_profile_matches_golden_snapshot() {
+    let rendered = costs_at(Preset::Small, 4);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden file");
+        eprintln!("golden cost profile regenerated at {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {GOLDEN_PATH} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test --release -p ss-bench \
+             --test profile_golden -- --include-ignored"
+        )
+    });
+    if rendered != golden {
+        let diff_line = rendered
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("first diff at line {}: {a:?} vs golden {b:?}", i + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "documents diverge in length: {} vs golden {} lines",
+                    rendered.lines().count(),
+                    golden.lines().count()
+                )
+            });
+        panic!(
+            "deterministic cost profile drifted from the golden snapshot \
+             ({diff_line}). If the cost change is intentional, regenerate \
+             with UPDATE_GOLDEN=1 cargo test --release -p ss-bench \
+             --test profile_golden -- --include-ignored and commit the new \
+             {GOLDEN_PATH}."
+        );
+    }
+}

@@ -77,6 +77,40 @@ impl_aggregator_tuple!(A.0, B.1, C.2, D.3);
 impl_aggregator_tuple!(A.0, B.1, C.2, D.3, E.4);
 impl_aggregator_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
 
+/// Wraps an aggregator so its merge and finish phases record wall time
+/// into the cost ledger under `path` (a work-only scope — shard merges
+/// run on the reducing thread, whose heap pattern is not part of the
+/// deterministic contract). `observe` delegates with no bookkeeping: it
+/// runs once per PSR row and must stay allocation- and branch-free.
+pub struct Timed<'a, A> {
+    path: &'static str,
+    obs: &'a Registry,
+    agg: A,
+}
+
+impl<'a, A> Timed<'a, A> {
+    /// Wraps `agg`, recording merge/finish cost under `path`.
+    pub fn new(path: &'static str, obs: &'a Registry, agg: A) -> Self {
+        Timed { path, obs, agg }
+    }
+}
+
+impl<A: Aggregator> Aggregator for Timed<'_, A> {
+    type Output = A::Output;
+    #[inline]
+    fn observe(&mut self, cols: &ColumnView<'_>, row: usize) {
+        self.agg.observe(cols, row);
+    }
+    fn merge(&mut self, other: Self) {
+        let _scope = self.obs.work_scope(self.path);
+        self.agg.merge(other.agg);
+    }
+    fn finish(self) -> Self::Output {
+        let _scope = self.obs.work_scope(self.path);
+        self.agg.finish()
+    }
+}
+
 /// Runs one pass of `make()`'s aggregator over the store: serial when
 /// `threads <= 1`, otherwise sharded at day boundaries across scoped
 /// crossbeam workers and merged in shard-index order. Records one
@@ -89,6 +123,11 @@ where
 {
     ss_obs::count!(obs, "analysis.passes");
     ss_obs::count!(obs, "analysis.rows_scanned", store.len() as u64);
+    // Work-only scope: shard observe loops run on worker threads (whose
+    // allocations aren't metered here anyway), but the row count is exact
+    // and deterministic.
+    let _scan_scope = obs.work_scope("analysis/scan");
+    ss_obs::charge(ss_obs::WorkKind::PsrRowsScanned, store.len() as u64);
     let cols = store.columns();
     let shards = store.day_shards(threads.max(1));
     if threads <= 1 || shards.len() <= 1 {
@@ -541,20 +580,28 @@ impl StudyScan {
             day_domains,
         ) = run_scan(&db.psrs, threads, obs, || {
             (
-                CountsAgg {
-                    ctx: &ctx,
-                    rows: 0,
-                    labeled: 0,
-                    missed: 0,
-                },
-                ClassAgg::new(&ctx),
-                VerticalAgg::new(&ctx),
-                LandingAgg {
-                    ctx: &ctx,
-                    daily: HashMap::new(),
-                    verticals: HashSet::new(),
-                },
-                ChurnAgg::default(),
+                Timed::new(
+                    "analysis/merge/counts",
+                    obs,
+                    CountsAgg {
+                        ctx: &ctx,
+                        rows: 0,
+                        labeled: 0,
+                        missed: 0,
+                    },
+                ),
+                Timed::new("analysis/merge/classes", obs, ClassAgg::new(&ctx)),
+                Timed::new("analysis/merge/verticals", obs, VerticalAgg::new(&ctx)),
+                Timed::new(
+                    "analysis/merge/landings",
+                    obs,
+                    LandingAgg {
+                        ctx: &ctx,
+                        daily: HashMap::new(),
+                        verticals: HashSet::new(),
+                    },
+                ),
+                Timed::new("analysis/merge/churn", obs, ChurnAgg::default()),
             )
         });
         StudyScan {

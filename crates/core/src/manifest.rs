@@ -218,6 +218,69 @@ pub fn chrome_trace(
     trace
 }
 
+/// One event kind's slice of the committed event trail: total count plus
+/// per-day rows with an order-sensitive content hash. Deterministic — the
+/// trail is produced on the sequential commit path — so `repro diff` can
+/// pinpoint the first divergent day per kind between two runs.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TrailKindSummary {
+    /// Stable event-kind tag (`WorldEvent::kind`).
+    pub kind: String,
+    /// Events of this kind across the run.
+    pub count: u64,
+    /// Per-day rows, in day order.
+    pub days: Vec<TrailDayRow>,
+}
+
+/// One day's row in a [`TrailKindSummary`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TrailDayRow {
+    /// Day index.
+    pub day: u32,
+    /// Events of the kind committed that day.
+    pub count: u64,
+    /// FNV-1a over the day's event debug renderings, in commit order
+    /// (hex) — equal hashes mean identical event payloads.
+    pub hash: String,
+}
+
+/// Buckets the world's committed event trail by kind and day. The hash
+/// folds each event's `Debug` rendering in commit order, so two runs
+/// agree on a row iff they committed the same events in the same order.
+pub fn trail_summary(trail: &[ss_eco::TrailEvent]) -> Vec<TrailKindSummary> {
+    use std::collections::BTreeMap;
+    // Per-kind accumulator: total count plus per-day (count, FNV state).
+    type KindAcc = (u64, BTreeMap<u32, (u64, u64)>);
+    let mut kinds: BTreeMap<&'static str, KindAcc> = BTreeMap::new();
+    for ev in trail {
+        let (count, days) = kinds.entry(ev.event.kind()).or_default();
+        *count += 1;
+        let row = days
+            .entry(ev.day.day_index())
+            .or_insert((0, 0xcbf2_9ce4_8422_2325));
+        row.0 += 1;
+        for b in format!("{:?}", ev.event).bytes() {
+            row.1 ^= u64::from(b);
+            row.1 = row.1.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    kinds
+        .into_iter()
+        .map(|(kind, (count, days))| TrailKindSummary {
+            kind: kind.to_owned(),
+            count,
+            days: days
+                .into_iter()
+                .map(|(day, (count, hash))| TrailDayRow {
+                    day,
+                    count,
+                    hash: format!("{hash:016x}"),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
 /// The run's headline observables — the numbers the paper leads with.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct Headline {
@@ -255,6 +318,9 @@ pub struct RunManifest {
     pub calibration: Vec<CalibrationEntry>,
     /// Per-day progress trace.
     pub days: Vec<DayRecord>,
+    /// Committed event trail bucketed by kind and day (empty when the
+    /// trace plane was off). Deterministic; `repro diff` compares it.
+    pub event_trail: Vec<TrailKindSummary>,
 }
 
 /// FNV-1a over the configuration's `Debug` rendering: cheap, stable
@@ -373,8 +439,14 @@ impl RunManifest {
             ("headline".into(), self.headline.serialize()),
             ("calibration".into(), self.calibration.serialize()),
             ("days".into(), self.days.serialize()),
+            ("event_trail".into(), self.event_trail.serialize()),
             ("metrics".into(), obs.metrics_value()),
             ("spans".into(), obs.spans_value()),
+            // Deterministic phase costs and their wall-clock companion —
+            // kept as separate sections so goldens and `repro diff` can
+            // pin the former and ignore the latter.
+            ("cost_profile".into(), obs.costs_value()),
+            ("cost_timings".into(), obs.cost_timings_value()),
         ])
     }
 
@@ -490,6 +562,7 @@ mod tests {
                 status: "warn".into(),
             }],
             days: Vec::new(),
+            event_trail: Vec::new(),
         };
         let table = m.summary_table();
         assert!(table.contains("crawl"));

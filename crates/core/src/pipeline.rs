@@ -610,9 +610,22 @@ impl Study {
             headline: manifest::headline(&crawler.db, &sampler, &transactions, &attribution),
             calibration: manifest::evaluate_calibration(&cfg.calibration, &measured),
             days: day_records,
+            event_trail: manifest::trail_summary(&world.event_trail),
         };
         if let Some(path) = &cfg.manifest_path {
             run_manifest.write(&obs, path);
+            // Collapsed-stack exports next to the manifest: wall-clock
+            // self time (for flamegraph tooling) and the deterministic
+            // cost weight (allocations + work units).
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                let write = |name: &str, body: String| {
+                    if let Err(e) = std::fs::write(dir.join(name), body) {
+                        eprintln!("profile export: write {name} failed: {e}");
+                    }
+                };
+                write("profile.folded", ss_obs::folded_wall(&obs));
+                write("profile.cost.folded", ss_obs::folded_cost(&obs));
+            }
         }
 
         Ok(StudyOutput {

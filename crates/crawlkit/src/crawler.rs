@@ -259,10 +259,20 @@ impl Crawler {
         // Per-day compile/hit deltas. Compiles happen under the cache lock,
         // so both totals are sums over the day's work items — independent
         // of thread count and interleaving, like every other counter here.
+        // Which *phase* takes a given compile is a thread race (Dagger and
+        // VanGogh share the cache), so compile work is charged here, at
+        // the day choke point, onto a fixed row rather than via the
+        // scope stack; the cache pauses the allocation meter for the same
+        // reason.
         if self.cfg.js_engine == JsEngine::Vm {
             let (compiles, hits) = self.js_cache.stats();
             obs.count("simweb.js_compile", compiles - compiles_before);
             obs.count("simweb.js_cache_hit", hits - hits_before);
+            obs.add_work(
+                "crawl/render",
+                ss_obs::WorkKind::JsCompiles,
+                compiles - compiles_before,
+            );
         }
     }
 
@@ -579,6 +589,7 @@ fn crawl_vertical(
                             cfg.max_hops,
                             cfg.js_engine,
                             js_cache,
+                            &metrics,
                         ),
                         _ => dagger::check_with(
                             world,
@@ -587,6 +598,7 @@ fn crawl_vertical(
                             cfg.max_hops,
                             cfg.js_engine,
                             js_cache,
+                            &metrics,
                         ),
                     };
                     local_poisoned.insert(
@@ -613,8 +625,15 @@ fn crawl_vertical(
                 // rendering pass within the per-domain budget.
                 ss_obs::count!(metrics, "crawl.fetches", 2, vertical = vertical);
                 ss_obs::count!(metrics, "crawl.detector_runs", 1, vertical = vertical);
-                let mut verdict =
-                    dagger::check_with(world, &url, term, cfg.max_hops, cfg.js_engine, js_cache);
+                let mut verdict = dagger::check_with(
+                    world,
+                    &url,
+                    term,
+                    cfg.max_hops,
+                    cfg.js_engine,
+                    js_cache,
+                    &metrics,
+                );
                 if verdict.cloaked.is_none() && cfg.render_sample > 0 {
                     ss_obs::count!(metrics, "crawl.fetches", 1, vertical = vertical);
                     ss_obs::count!(metrics, "crawl.render_passes", 1, vertical = vertical);
@@ -625,6 +644,7 @@ fn crawl_vertical(
                         cfg.max_hops,
                         cfg.js_engine,
                         js_cache,
+                        &metrics,
                     );
                 }
                 match verdict.cloaked {
@@ -668,6 +688,7 @@ fn crawl_vertical(
             };
 
             if poisoned {
+                let _psr_log = metrics.cost_scope("crawl/psr_log");
                 ss_obs::count!(metrics, "crawl.psrs", 1, vertical = vertical);
                 ss_obs::observe!(metrics, "crawl.psr_rank", rank);
                 count.total_poisoned += 1;
@@ -720,20 +741,31 @@ fn visit_store(world: &World, landing: &Url, metrics: &Registry, vertical: &str)
     ss_obs::count!(metrics, "crawl.fetches", 1, vertical = vertical);
     ss_obs::count!(metrics, "crawl.store_visits", 1, vertical = vertical);
     let root = Url::root(landing.host.clone());
-    let (resp, _) = world.fetch(&Request {
-        url: root,
-        user_agent: UserAgent::Browser,
-        referrer: Some(dagger::google_referrer("landing")),
-    });
+    let (resp, _) = {
+        let _fetch = metrics.cost_scope("crawl/fetch");
+        ss_obs::charge(ss_obs::WorkKind::DocsFetched, 1);
+        world.fetch(&Request {
+            url: root,
+            user_agent: UserAgent::Browser,
+            referrer: Some(dagger::google_referrer("landing")),
+        })
+    };
     let domain = landing.host.as_str().to_owned();
-    if let Some(notice) = stores::parse_seizure_notice(&resp.body) {
+    let notice = {
+        let _detect = metrics.cost_scope("crawl/detect");
+        stores::parse_seizure_notice(&resp.body)
+    };
+    if let Some(notice) = notice {
         ss_obs::count!(metrics, "crawl.seizure_notices", 1, vertical = vertical);
         return CrawlEvent::StoreVisit {
             domain,
             outcome: StoreObservation::Notice(notice),
         };
     }
-    let verdict = stores::detect_store(&resp.body, &resp.cookies);
+    let verdict = {
+        let _detect = metrics.cost_scope("crawl/detect");
+        stores::detect_store(&resp.body, &resp.cookies)
+    };
     CrawlEvent::StoreVisit {
         domain,
         outcome: StoreObservation::Page {

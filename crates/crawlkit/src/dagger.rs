@@ -17,6 +17,7 @@
 
 use std::collections::HashSet;
 
+use ss_obs::{charge, Registry, WorkKind};
 use ss_types::Url;
 use ss_web::http::{Fetcher, Request, Response, UserAgent};
 use ss_web::js::render::render_with;
@@ -83,6 +84,7 @@ pub fn check(web: &impl Fetcher, url: &Url, term: &str, max_hops: usize) -> Dagg
         max_hops,
         JsEngine::default(),
         JsCache::global(),
+        &Registry::new(),
     )
 }
 
@@ -91,6 +93,9 @@ pub fn check(web: &impl Fetcher, url: &Url, term: &str, max_hops: usize) -> Dagg
 /// Takes the read plane only: detection fetches must never perturb the
 /// world, so whatever effects the fetches report are dropped here. The
 /// renderer (step 2's JS-redirect upgrade) uses `engine` and `cache`.
+/// Phase costs (fetch/render/detect) record into `obs` — the caller's
+/// per-work-item registry, so scoped totals merge deterministically.
+#[allow(clippy::too_many_arguments)]
 pub fn check_with(
     web: &impl Fetcher,
     url: &Url,
@@ -98,16 +103,21 @@ pub fn check_with(
     max_hops: usize,
     engine: JsEngine,
     cache: &JsCache,
+    obs: &Registry,
 ) -> DaggerVerdict {
     let crawler_req = Request::crawler(url.clone());
-    let (crawler_chain, crawler_resp, _) = web.fetch_following(&crawler_req, max_hops);
-
     let user_req = Request {
         url: url.clone(),
         user_agent: UserAgent::Browser,
         referrer: Some(google_referrer(term)),
     };
-    let (user_chain, user_resp, _) = web.fetch_following(&user_req, max_hops);
+    let (crawler_chain, crawler_resp, user_chain, user_resp) = {
+        let _fetch = obs.cost_scope("crawl/fetch");
+        charge(WorkKind::DocsFetched, 2);
+        let (crawler_chain, crawler_resp, _) = web.fetch_following(&crawler_req, max_hops);
+        let (user_chain, user_resp, _) = web.fetch_following(&user_req, max_hops);
+        (crawler_chain, crawler_resp, user_chain, user_resp)
+    };
 
     let crawler_host = crawler_chain.last().expect("chain non-empty").host.clone();
     let user_host = user_chain.last().expect("chain non-empty").host.clone();
@@ -128,16 +138,23 @@ pub fn check_with(
         // Render the user view to catch a JS redirect (the Dagger upgrade
         // described in §4.1.2 — only pages already flagged get rendered,
         // because rendering is expensive).
-        let rendered = render_with(
-            &user_resp.body,
-            &url.to_string(),
-            UserAgent::Browser,
-            None,
-            engine,
-            cache,
-        );
+        let rendered = {
+            let _render = obs.cost_scope("crawl/render");
+            render_with(
+                &user_resp.body,
+                &url.to_string(),
+                UserAgent::Browser,
+                None,
+                engine,
+                cache,
+            )
+        };
         if let Some(target) = rendered.js_redirect {
-            let (landing, follow) = follow_js(web, &target, &user_req, max_hops);
+            let (landing, follow) = {
+                let _fetch = obs.cost_scope("crawl/fetch");
+                charge(WorkKind::DocsFetched, 1);
+                follow_js(web, &target, &user_req, max_hops)
+            };
             return DaggerVerdict {
                 cloaked: Some(CloakSignal::JsRedirect),
                 landing,
@@ -145,10 +162,13 @@ pub fn check_with(
                 cookies: Vec::new(),
             };
         }
-        let dice = text_dice(
-            &Document::parse(&user_resp.body).text_content(),
-            &Document::parse(&crawler_resp.body).text_content(),
-        );
+        let dice = {
+            let _detect = obs.cost_scope("crawl/detect");
+            text_dice(
+                &Document::parse(&user_resp.body).text_content(),
+                &Document::parse(&crawler_resp.body).text_content(),
+            )
+        };
         if dice < DICE_THRESHOLD {
             return DaggerVerdict {
                 cloaked: Some(CloakSignal::ContentDiff),

@@ -7,6 +7,7 @@
 //! is expensive, the orchestrator samples at most three pages per doorway
 //! domain — the same workload trim the paper applies.
 
+use ss_obs::{charge, Registry, WorkKind};
 use ss_types::Url;
 use ss_web::http::{Fetcher, Request, UserAgent};
 use ss_web::js::render::render_with;
@@ -40,11 +41,14 @@ pub fn check(web: &impl Fetcher, url: &Url, term: &str, max_hops: usize) -> Dagg
         max_hops,
         JsEngine::default(),
         JsCache::global(),
+        &Registry::new(),
     )
 }
 
 /// [`check`] with an explicit JS engine and compile cache — the crawler's
-/// entry point (per-run cache, configurable engine).
+/// entry point (per-run cache, configurable engine). Phase costs record
+/// into `obs`, the caller's per-work-item registry.
+#[allow(clippy::too_many_arguments)]
 pub fn check_with(
     web: &impl Fetcher,
     url: &Url,
@@ -52,26 +56,39 @@ pub fn check_with(
     max_hops: usize,
     engine: JsEngine,
     cache: &JsCache,
+    obs: &Registry,
 ) -> DaggerVerdict {
     let req = Request {
         url: url.clone(),
         user_agent: UserAgent::Browser,
         referrer: Some(google_referrer(term)),
     };
-    let (chain, resp, _) = web.fetch_following(&req, max_hops);
+    let (chain, resp) = {
+        let _fetch = obs.cost_scope("crawl/fetch");
+        charge(WorkKind::DocsFetched, 1);
+        let (chain, resp, _) = web.fetch_following(&req, max_hops);
+        (chain, resp)
+    };
     let final_url = chain.last().expect("chain non-empty").clone();
-    let rendered = render_with(
-        &resp.body,
-        &final_url.to_string(),
-        UserAgent::Browser,
-        Some(google_referrer(term).to_string().as_str()),
-        engine,
-        cache,
-    );
+    let rendered = {
+        let _render = obs.cost_scope("crawl/render");
+        render_with(
+            &resp.body,
+            &final_url.to_string(),
+            UserAgent::Browser,
+            Some(google_referrer(term).to_string().as_str()),
+            engine,
+            cache,
+        )
+    };
 
     // A JS redirect can also surface here when Dagger was skipped.
     if let Some(target) = rendered.js_redirect.clone() {
-        let (landing, follow) = crate::dagger::follow_js(web, &target, &req, max_hops);
+        let (landing, follow) = {
+            let _fetch = obs.cost_scope("crawl/fetch");
+            charge(WorkKind::DocsFetched, 1);
+            crate::dagger::follow_js(web, &target, &req, max_hops)
+        };
         return DaggerVerdict {
             cloaked: Some(CloakSignal::JsRedirect),
             landing,
@@ -80,16 +97,21 @@ pub fn check_with(
         };
     }
 
-    for (w, h, src) in rendered.iframes() {
-        if is_fullpage(&w, &h) {
-            let landing = Url::parse(&src).ok();
-            return DaggerVerdict {
-                cloaked: Some(CloakSignal::Iframe),
-                landing,
-                user_body: resp.body,
-                cookies: resp.cookies,
-            };
-        }
+    let iframe_landing = {
+        let _detect = obs.cost_scope("crawl/detect");
+        rendered
+            .iframes()
+            .into_iter()
+            .find(|(w, h, _)| is_fullpage(w, h))
+            .map(|(_, _, src)| Url::parse(&src).ok())
+    };
+    if let Some(landing) = iframe_landing {
+        return DaggerVerdict {
+            cloaked: Some(CloakSignal::Iframe),
+            landing,
+            user_body: resp.body,
+            cookies: resp.cookies,
+        };
     }
     DaggerVerdict {
         cloaked: None,

@@ -67,6 +67,17 @@ impl TickStage {
             TickStage::Traffic => "traffic",
         }
     }
+
+    /// Cost-ledger phase path for this stage (`tick/<name>`).
+    pub fn cost_path(self) -> &'static str {
+        match self {
+            TickStage::Juice => "tick/juice",
+            TickStage::SearchPolicy => "tick/search-policy",
+            TickStage::Seizures => "tick/seizures",
+            TickStage::Rotations => "tick/rotations",
+            TickStage::Traffic => "tick/traffic",
+        }
+    }
 }
 
 /// One committed world mutation, produced by a stage planner and replayed
@@ -134,6 +145,22 @@ pub enum WorldEvent {
     AdvanceDay,
 }
 
+impl WorldEvent {
+    /// Stable kind tag, used to bucket trail entries in `repro diff`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorldEvent::Engine(_) => "engine",
+            WorldEvent::PenalizeDoorway { .. } => "penalize-doorway",
+            WorldEvent::FileCase { .. } => "file-case",
+            WorldEvent::DrainRotations => "drain-rotations",
+            WorldEvent::Rotate { .. } => "rotate",
+            WorldEvent::StoreTraffic { .. } => "store-traffic",
+            WorldEvent::SupplierExternal { .. } => "supplier-external",
+            WorldEvent::AdvanceDay => "advance-day",
+        }
+    }
+}
+
 /// One retained tick-plane event with its provenance — an entry in the
 /// persisted `WorldEvent` log (`World::event_trail`) that the causal
 /// `repro explain` queries walk.
@@ -154,7 +181,14 @@ impl World {
     pub fn tick(&mut self) {
         let today = self.day;
         for stage in TickStage::ALL {
+            // Manual enter/exit (not the RAII scope): a guard would hold a
+            // borrow of `self.metrics` across the `&mut self` calls below.
+            // Work-only frames — stage planners may fan out internally, so
+            // their heap pattern is thread-schedule-dependent.
+            let started = std::time::Instant::now();
+            self.metrics.cost_enter(false);
             let plan = self.plan_stage(stage, today);
+            ss_obs::charge(ss_obs::WorkKind::EventsPlanned, plan.len() as u64);
             ss_obs::count!(
                 self.metrics,
                 "eco.tick_events",
@@ -165,6 +199,8 @@ impl World {
                 self.retain_plan(today, stage, &plan);
             }
             self.apply_plan(today, plan);
+            self.metrics
+                .cost_exit(stage.cost_path(), started.elapsed().as_nanos() as u64);
         }
         self.apply_plan(today, vec![WorldEvent::AdvanceDay]);
     }
@@ -608,6 +644,8 @@ impl World {
     /// `SearchEngine::apply_batch` (nothing in a plan reads the engine, so
     /// the flush point is unobservable).
     pub fn apply_plan(&mut self, day: SimDate, plan: Vec<WorldEvent>) {
+        // No-op outside a cost frame; under `tick` it lands on the stage.
+        ss_obs::charge(ss_obs::WorkKind::EventsApplied, plan.len() as u64);
         let mut engine_ops: Vec<EngineOp> = Vec::new();
         for event in plan {
             match event {

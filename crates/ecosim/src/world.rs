@@ -250,6 +250,11 @@ impl World {
         if cache_hits > 0 {
             self.metrics.count("engine.serp_cache_hits", cache_hits);
         }
+        let (postings, pushes) = self.engine.take_walk_work();
+        self.metrics
+            .add_work("engine/serp", ss_obs::WorkKind::PostingsWalked, postings);
+        self.metrics
+            .add_work("engine/serp", ss_obs::WorkKind::SerpHeapPushes, pushes);
     }
 
     /// A deterministic digest of the whole committed world: domains and

@@ -1,0 +1,191 @@
+//! The counting global allocator: per-thread allocation metering.
+//!
+//! Every crate that links `ss-obs` gets [`CountingAlloc`] installed as
+//! its `#[global_allocator]` — a zero-overhead-when-idle wrapper around
+//! [`System`] that bumps three thread-local counters (allocation count,
+//! bytes requested, free count) on every heap operation. The counters
+//! are plain monotonic `Cell`s: no atomics, no cross-thread sharing, no
+//! locks, so the meter never perturbs the allocation pattern it is
+//! measuring.
+//!
+//! [`CostScope`](crate::CostScope) guards read the counters before and
+//! after a phase to attribute heap work to that phase. Code whose
+//! allocation pattern is legitimately thread-schedule-dependent (a
+//! shared compile cache, where *which* thread takes the miss is a race)
+//! wraps itself in [`pause_metering`] so the unstable allocations count
+//! nowhere and the scoped totals stay bit-identical at any thread count.
+//!
+//! `realloc` is metered as one allocation of the new size plus one free
+//! — the accounting identity that keeps `allocs - frees` equal to the
+//! number of live blocks.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static METER: Meter = const {
+        Meter {
+            allocs: Cell::new(0),
+            bytes: Cell::new(0),
+            frees: Cell::new(0),
+            pause: Cell::new(0),
+        }
+    };
+}
+
+struct Meter {
+    allocs: Cell<u64>,
+    bytes: Cell<u64>,
+    frees: Cell<u64>,
+    pause: Cell<u32>,
+}
+
+#[inline]
+fn on_alloc(size: usize) {
+    // `try_with` rather than `with`: the allocator runs during TLS
+    // teardown, when the meter may already be destroyed.
+    let _ = METER.try_with(|m| {
+        if m.pause.get() == 0 {
+            m.allocs.set(m.allocs.get() + 1);
+            m.bytes.set(m.bytes.get() + size as u64);
+        }
+    });
+}
+
+#[inline]
+fn on_free() {
+    let _ = METER.try_with(|m| {
+        if m.pause.get() == 0 {
+            m.frees.set(m.frees.get() + 1);
+        }
+    });
+}
+
+/// A [`System`] wrapper that counts allocations per thread. Installed as
+/// the global allocator by this crate; read it through
+/// [`thread_alloc_counts`] or, at a higher level, through
+/// [`CostScope`](crate::CostScope) phase attribution.
+pub struct CountingAlloc;
+
+// SAFETY: pure delegation to `System`; the counter bumps touch only
+// thread-local `Cell`s and never allocate, recurse, or unwind.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        on_free();
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        on_alloc(new_size);
+        on_free();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[allow(unsafe_code)]
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// This thread's monotonic `(allocations, bytes requested, frees)` so
+/// far. Deltas of this triple around a region are the region's heap
+/// traffic; the absolute values include everything since thread start.
+pub fn thread_alloc_counts() -> (u64, u64, u64) {
+    METER
+        .try_with(|m| (m.allocs.get(), m.bytes.get(), m.frees.get()))
+        .unwrap_or((0, 0, 0))
+}
+
+/// RAII guard from [`pause_metering`]; re-enables the meter on drop.
+/// Nests — the meter resumes when the outermost guard drops.
+#[must_use = "metering resumes as soon as the guard drops"]
+pub struct MeterPause;
+
+/// Suspends allocation metering on this thread until the returned guard
+/// drops. Use around code whose allocation pattern is thread-schedule-
+/// dependent (e.g. a shared cache's miss path, where which thread
+/// compiles is a race) so deterministic phase totals stay bit-identical
+/// at any thread count.
+pub fn pause_metering() -> MeterPause {
+    let _ = METER.try_with(|m| m.pause.set(m.pause.get() + 1));
+    MeterPause
+}
+
+impl Drop for MeterPause {
+    fn drop(&mut self) {
+        let _ = METER.try_with(|m| m.pause.set(m.pause.get().saturating_sub(1)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::proptest;
+
+    proptest! {
+        /// The meter is monotonic under any allocation/free sequence:
+        /// no counter ever decreases, every allocation bumps the alloc
+        /// count and at least its requested bytes, every drop is freed.
+        #[test]
+        fn alloc_counters_are_monotonic(
+            sizes in proptest::collection::vec(1usize..4096, 1..32)
+        ) {
+            let (mut a, mut b, mut f) = thread_alloc_counts();
+            for sz in &sizes {
+                let v: Vec<u8> = Vec::with_capacity(*sz);
+                let (a1, b1, f1) = thread_alloc_counts();
+                assert!(a1 > a, "allocation counted");
+                assert!(b1 >= b + *sz as u64, "requested bytes counted");
+                assert!(f1 >= f, "frees never decrease");
+                drop(v);
+                let (a2, b2, f2) = thread_alloc_counts();
+                assert!(a2 >= a1 && b2 >= b1, "alloc columns never decrease");
+                assert!(f2 > f1, "the free was counted");
+                (a, b, f) = (a2, b2, f2);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_rise_with_allocations_and_frees() {
+        let (a0, b0, f0) = thread_alloc_counts();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        let (a1, b1, _) = thread_alloc_counts();
+        assert!(a1 > a0, "an allocation was counted");
+        assert!(b1 >= b0 + 4096, "requested bytes were counted");
+        drop(v);
+        let (_, _, f2) = thread_alloc_counts();
+        assert!(f2 > f0, "the free was counted");
+    }
+
+    #[test]
+    fn pause_suppresses_counting_and_nests() {
+        let outer = pause_metering();
+        let (a0, b0, f0) = thread_alloc_counts();
+        {
+            let inner = pause_metering();
+            let v: Vec<u8> = Vec::with_capacity(1024);
+            drop(v);
+            drop(inner);
+            // Still paused: the outer guard is live.
+            let v: Vec<u8> = Vec::with_capacity(1024);
+            drop(v);
+        }
+        assert_eq!(thread_alloc_counts(), (a0, b0, f0));
+        drop(outer);
+        let v: Vec<u8> = Vec::with_capacity(1024);
+        drop(v);
+        let (a1, _, _) = thread_alloc_counts();
+        assert!(a1 > a0, "metering resumed after the last guard dropped");
+    }
+}

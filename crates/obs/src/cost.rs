@@ -1,0 +1,418 @@
+//! The cost-model profiler: deterministic work accounting per phase.
+//!
+//! Wall-clock profiles are noise on shared hardware, so perf regressions
+//! here gate on *countable work* instead: a [`CostScope`] meters the
+//! heap traffic (allocations / bytes / frees, via the counting global
+//! allocator in [`crate::alloc`]) and typed work units ([`WorkKind`])
+//! performed inside a hierarchical phase like `crawl/render`. Scopes
+//! nest exactly like spans — each thread keeps a stack of frames, a
+//! closing frame's inclusive heap delta is credited to its parent, and
+//! the recorded columns are **exclusive** (self) values, so summing any
+//! column over all phases never double-counts.
+//!
+//! ## Determinism rule
+//!
+//! Two scope flavors encode the determinism contract:
+//!
+//! - [`Registry::cost_scope`](crate::Registry::cost_scope) — full
+//!   metering. Only for code that is a *stable parallel unit*: the same
+//!   work lands in the same scope on the same thread no matter the
+//!   thread count (the crawl's per-vertical phases, recorded into
+//!   per-vertical registries merged in vertical order).
+//! - [`Registry::work_scope`](crate::Registry::work_scope) — work units
+//!   and wall time only; the enter and allocation columns stay zero.
+//!   For driver-side code whose entry counts or heap pattern would be
+//!   thread-schedule-dependent.
+//!
+//! Everything except `total_ns`/`self_ns` is deterministic and appears
+//! in [`Registry::costs_value`](crate::Registry::costs_value) — the
+//! export goldens compare. Wall time is exported separately and never
+//! participates in determinism checks.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::alloc::{pause_metering, thread_alloc_counts};
+use crate::Registry;
+
+/// The typed work-unit ledger: each variant is one countable unit of
+/// work the pipeline performs at a known choke point. Charged into the
+/// innermost open scope via [`charge`], or directly onto a phase row via
+/// [`Registry::add_work`](crate::Registry::add_work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum WorkKind {
+    /// Pages fetched by the crawler (crawler + user-agent fetches).
+    DocsFetched,
+    /// Distinct scripts compiled by the JS bytecode cache.
+    JsCompiles,
+    /// Bytecode VM step-budget units consumed executing scripts.
+    JsVmSteps,
+    /// Postings entries walked by the SERP top-k heap walk.
+    PostingsWalked,
+    /// Candidate pushes into the SERP top-k heap.
+    SerpHeapPushes,
+    /// PSR rows scanned by the fused analysis pass.
+    PsrRowsScanned,
+    /// World events emitted by tick planners.
+    EventsPlanned,
+    /// World events applied at the commit choke point.
+    EventsApplied,
+}
+
+impl WorkKind {
+    /// Number of work kinds (the width of [`CostStats::work`]).
+    pub const COUNT: usize = 8;
+
+    /// Every kind, in column order.
+    pub const ALL: [WorkKind; WorkKind::COUNT] = [
+        WorkKind::DocsFetched,
+        WorkKind::JsCompiles,
+        WorkKind::JsVmSteps,
+        WorkKind::PostingsWalked,
+        WorkKind::SerpHeapPushes,
+        WorkKind::PsrRowsScanned,
+        WorkKind::EventsPlanned,
+        WorkKind::EventsApplied,
+    ];
+
+    /// The stable snake_case column name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkKind::DocsFetched => "docs_fetched",
+            WorkKind::JsCompiles => "js_compiles",
+            WorkKind::JsVmSteps => "js_vm_steps",
+            WorkKind::PostingsWalked => "postings_walked",
+            WorkKind::SerpHeapPushes => "serp_heap_pushes",
+            WorkKind::PsrRowsScanned => "psr_rows_scanned",
+            WorkKind::EventsPlanned => "events_planned",
+            WorkKind::EventsApplied => "events_applied",
+        }
+    }
+}
+
+/// Aggregated cost for one phase path. All columns except the two
+/// nanosecond fields are deterministic; merging is pure integer
+/// addition, so per-worker registries merged in any fixed order
+/// reproduce the single-threaded profile bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostStats {
+    /// Completed metered scopes (0 for work-only scopes, whose entry
+    /// count may be thread-dependent).
+    pub enters: u64,
+    /// Heap allocations performed inside the phase (exclusive of child
+    /// phases; 0 for work-only scopes).
+    pub allocs: u64,
+    /// Heap bytes requested inside the phase (exclusive; 0 for
+    /// work-only scopes).
+    pub bytes: u64,
+    /// Heap frees inside the phase (exclusive; 0 for work-only scopes).
+    pub frees: u64,
+    /// Work units by [`WorkKind`], charged to the innermost open scope.
+    pub work: [u64; WorkKind::COUNT],
+    /// Wall-clock nanoseconds, inclusive of children. **Not**
+    /// deterministic — excluded from goldens.
+    pub total_ns: u64,
+    /// Wall-clock nanoseconds, children subtracted. **Not**
+    /// deterministic — excluded from goldens.
+    pub self_ns: u64,
+}
+
+impl Default for CostStats {
+    fn default() -> Self {
+        CostStats {
+            enters: 0,
+            allocs: 0,
+            bytes: 0,
+            frees: 0,
+            work: [0; WorkKind::COUNT],
+            total_ns: 0,
+            self_ns: 0,
+        }
+    }
+}
+
+impl CostStats {
+    /// Folds another phase aggregate into this one (integer addition —
+    /// associative and commutative).
+    pub fn merge(&mut self, other: &CostStats) {
+        self.enters = self.enters.saturating_add(other.enters);
+        self.allocs = self.allocs.saturating_add(other.allocs);
+        self.bytes = self.bytes.saturating_add(other.bytes);
+        self.frees = self.frees.saturating_add(other.frees);
+        for (w, o) in self.work.iter_mut().zip(other.work.iter()) {
+            *w = w.saturating_add(*o);
+        }
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.self_ns = self.self_ns.saturating_add(other.self_ns);
+    }
+
+    /// Sum of every work-unit column.
+    pub fn work_total(&self) -> u64 {
+        self.work.iter().sum()
+    }
+}
+
+/// One open scope on this thread's stack.
+struct Frame {
+    metered: bool,
+    /// Thread allocation counters at entry.
+    allocs0: u64,
+    bytes0: u64,
+    frees0: u64,
+    /// Inclusive heap traffic of already-closed children (subtracted to
+    /// make the recorded columns exclusive).
+    child_allocs: u64,
+    child_bytes: u64,
+    child_frees: u64,
+    /// Elapsed nanoseconds of already-closed children.
+    child_ns: u64,
+    /// Work units charged while this frame was innermost.
+    work: [u64; WorkKind::COUNT],
+}
+
+thread_local! {
+    /// Per-thread stack of open cost frames.
+    static FRAMES: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pushes a fresh frame, snapshotting the thread's allocation counters.
+pub(crate) fn enter_frame(metered: bool) {
+    // The push itself (and any Vec growth) must not count against the
+    // enclosing scope.
+    let _p = pause_metering();
+    let (a, b, f) = thread_alloc_counts();
+    FRAMES.with(|fr| {
+        fr.borrow_mut().push(Frame {
+            metered,
+            allocs0: a,
+            bytes0: b,
+            frees0: f,
+            child_allocs: 0,
+            child_bytes: 0,
+            child_frees: 0,
+            child_ns: 0,
+            work: [0; WorkKind::COUNT],
+        });
+    });
+}
+
+/// Pops the innermost frame and returns its recorded [`CostStats`]
+/// delta, crediting its inclusive heap traffic and elapsed time to the
+/// parent frame. Returns zeros when no frame is open.
+pub(crate) fn exit_frame(elapsed_ns: u64) -> CostStats {
+    let _p = pause_metering();
+    let (a, b, f) = thread_alloc_counts();
+    FRAMES.with(|fr| {
+        let mut frames = fr.borrow_mut();
+        let Some(frame) = frames.pop() else {
+            return CostStats::default();
+        };
+        let incl_allocs = a.saturating_sub(frame.allocs0);
+        let incl_bytes = b.saturating_sub(frame.bytes0);
+        let incl_frees = f.saturating_sub(frame.frees0);
+        if let Some(parent) = frames.last_mut() {
+            parent.child_allocs = parent.child_allocs.saturating_add(incl_allocs);
+            parent.child_bytes = parent.child_bytes.saturating_add(incl_bytes);
+            parent.child_frees = parent.child_frees.saturating_add(incl_frees);
+            parent.child_ns = parent.child_ns.saturating_add(elapsed_ns);
+        }
+        let mut stats = CostStats {
+            work: frame.work,
+            total_ns: elapsed_ns,
+            self_ns: elapsed_ns.saturating_sub(frame.child_ns),
+            ..CostStats::default()
+        };
+        if frame.metered {
+            stats.enters = 1;
+            stats.allocs = incl_allocs.saturating_sub(frame.child_allocs);
+            stats.bytes = incl_bytes.saturating_sub(frame.child_bytes);
+            stats.frees = incl_frees.saturating_sub(frame.child_frees);
+        }
+        stats
+    })
+}
+
+/// Charges `n` work units of `kind` to the innermost open scope on this
+/// thread. Silently a no-op when no scope is open, so library code can
+/// charge unconditionally.
+pub fn charge(kind: WorkKind, n: u64) {
+    let _ = FRAMES.try_with(|fr| {
+        if let Some(frame) = fr.borrow_mut().last_mut() {
+            frame.work[kind as usize] = frame.work[kind as usize].saturating_add(n);
+        }
+    });
+}
+
+/// RAII cost scope opened by [`Registry::cost_scope`](crate::Registry::cost_scope)
+/// or [`Registry::work_scope`](crate::Registry::work_scope); records the
+/// phase's cost delta under its path when dropped.
+#[must_use = "a cost scope meters the region it is bound to; binding it to _ drops it immediately"]
+pub struct CostScope<'a> {
+    registry: &'a Registry,
+    path: &'static str,
+    start: Instant,
+}
+
+impl<'a> CostScope<'a> {
+    pub(crate) fn new(registry: &'a Registry, path: &'static str, metered: bool) -> Self {
+        enter_frame(metered);
+        CostScope {
+            registry,
+            path,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for CostScope<'_> {
+    fn drop(&mut self) {
+        let elapsed = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.registry.cost_exit(self.path, elapsed);
+    }
+}
+
+/// Interns a phase path restored from a snapshot, so deserialized cost
+/// rows share the `&'static str` keying of live call sites. The leak is
+/// bounded by the number of distinct phase paths (a few dozen).
+pub(crate) fn intern_path(path: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let set = INTERNED.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut set = set.lock().expect("path intern poisoned");
+    if let Some(existing) = set.get(path) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(path.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+// ---- rendering ----
+
+/// A node of the phase tree assembled from `/`-separated paths.
+struct Node {
+    stats: CostStats,
+    recorded: bool,
+    children: std::collections::BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            stats: CostStats::default(),
+            recorded: false,
+            children: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Stats to display: own recording, or the subtree sum for implicit
+    /// parents that were never directly recorded.
+    fn display(&self) -> CostStats {
+        if self.recorded {
+            return self.stats;
+        }
+        let mut sum = CostStats::default();
+        for child in self.children.values() {
+            sum.merge(&child.display());
+        }
+        sum
+    }
+}
+
+fn build_tree(costs: &[(&'static str, CostStats)]) -> Node {
+    let mut root = Node::new();
+    for (path, stats) in costs {
+        let mut node = &mut root;
+        for part in path.split('/') {
+            node = node
+                .children
+                .entry(part.to_owned())
+                .or_insert_with(Node::new);
+        }
+        node.stats = *stats;
+        node.recorded = true;
+    }
+    root
+}
+
+/// Renders the hierarchical phase tree as an aligned text table:
+/// deterministic columns (enters, allocs, bytes, frees, work units)
+/// followed by wall-clock self/total milliseconds. Implicit parent rows
+/// show their subtree's sums.
+pub fn render_tree(registry: &Registry) -> String {
+    let costs = registry.costs();
+    if costs.is_empty() {
+        return "no cost scopes recorded\n".to_owned();
+    }
+    let mut rows: Vec<(String, CostStats)> = Vec::new();
+    fn walk(node: &Node, name: &str, depth: usize, rows: &mut Vec<(String, CostStats)>) {
+        if !name.is_empty() {
+            rows.push((
+                format!("{}{}", "  ".repeat(depth - 1), name),
+                node.display(),
+            ));
+        }
+        for (child_name, child) in &node.children {
+            walk(child, child_name, depth + 1, rows);
+        }
+    }
+    let root = build_tree(&costs);
+    walk(&root, "", 0, &mut rows);
+
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(5).max(5);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:>8}  {:>12}  {:>14}  {:>12}  {:>10}  {:>10}  work\n",
+        "phase", "enters", "allocs", "bytes", "frees", "self_ms", "total_ms",
+    ));
+    for (name, s) in &rows {
+        let work: Vec<String> = WorkKind::ALL
+            .iter()
+            .filter(|k| s.work[**k as usize] > 0)
+            .map(|k| format!("{}={}", k.name(), s.work[*k as usize]))
+            .collect();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>8}  {:>12}  {:>14}  {:>12}  {:>10.2}  {:>10.2}  {}\n",
+            name,
+            s.enters,
+            s.allocs,
+            s.bytes,
+            s.frees,
+            s.self_ns as f64 / 1e6,
+            s.total_ns as f64 / 1e6,
+            work.join(" "),
+        ));
+    }
+    out
+}
+
+/// Collapsed-stack ("folded") flamegraph lines weighted by wall-clock
+/// self time in microseconds — one `a;b;c weight` line per phase, ready
+/// for `flamegraph.pl` / speedscope. Wall-clock: not comparable across
+/// runs.
+pub fn folded_wall(registry: &Registry) -> String {
+    folded_by(registry, |s| s.self_ns / 1_000)
+}
+
+/// Collapsed-stack flamegraph lines weighted by deterministic cost —
+/// exclusive allocations plus work units — so two runs of the same
+/// program produce byte-identical output at any thread count.
+pub fn folded_cost(registry: &Registry) -> String {
+    folded_by(registry, |s| s.allocs.saturating_add(s.work_total()))
+}
+
+fn folded_by(registry: &Registry, weight: impl Fn(&CostStats) -> u64) -> String {
+    let mut out = String::new();
+    for (path, stats) in registry.costs() {
+        let w = weight(&stats);
+        if w > 0 {
+            out.push_str(&path.replace('/', ";"));
+            out.push(' ');
+            out.push_str(&w.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}

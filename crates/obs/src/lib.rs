@@ -36,21 +36,90 @@
 //! assert_eq!(reg.span_stats("stage.crawl").unwrap().count, 1);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // `allow`ed only for the counting global allocator.
 #![warn(missing_docs)]
 
+mod alloc;
+mod cost;
 mod histogram;
 mod registry;
 mod span;
 mod trace;
 
+pub use crate::alloc::{pause_metering, thread_alloc_counts, CountingAlloc, MeterPause};
+pub use cost::{charge, folded_cost, folded_wall, render_tree, CostScope, CostStats, WorkKind};
 pub use histogram::{Histogram, BUCKETS};
 pub use registry::{MetricKey, Registry};
 pub use span::{SpanStats, SpanTimer};
 pub use trace::{ChromeTrace, FlightRecorder, TraceEvent, TraceLevel};
 
+/// A rendered metric label value — borrowed when the source type already
+/// is a string, owned only when rendering had to allocate (numbers).
+pub enum Label<'a> {
+    /// Borrowed straight from the labeled value.
+    Str(&'a str),
+    /// Rendered into an owned string.
+    Owned(String),
+}
+
+impl Label<'_> {
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Label::Str(s) => s,
+            Label::Owned(s) => s,
+        }
+    }
+}
+
+/// Conversion into a metric [`Label`], used by the [`count!`] and
+/// [`observe!`] macros. String-like values and booleans convert without
+/// allocating — the hot-path contract the allocation meter pinned down;
+/// numeric labels render through an owned string.
+pub trait ToLabel {
+    /// Renders the value as a label.
+    fn to_label(&self) -> Label<'_>;
+}
+
+impl ToLabel for str {
+    fn to_label(&self) -> Label<'_> {
+        Label::Str(self)
+    }
+}
+
+impl ToLabel for String {
+    fn to_label(&self) -> Label<'_> {
+        Label::Str(self)
+    }
+}
+
+impl ToLabel for bool {
+    fn to_label(&self) -> Label<'_> {
+        Label::Str(if *self { "true" } else { "false" })
+    }
+}
+
+impl<T: ToLabel + ?Sized> ToLabel for &T {
+    fn to_label(&self) -> Label<'_> {
+        (**self).to_label()
+    }
+}
+
+macro_rules! impl_to_label_numeric {
+    ($($t:ty),+) => {$(
+        impl ToLabel for $t {
+            fn to_label(&self) -> Label<'_> {
+                Label::Owned(self.to_string())
+            }
+        }
+    )+};
+}
+impl_to_label_numeric!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
 /// Increments a counter: `count!(reg, "name")`, `count!(reg, "name", n)`,
 /// or with labels `count!(reg, "name", n, vertical = name, kind = "x")`.
+/// Label values go through [`ToLabel`], so string-like labels don't
+/// allocate.
 #[macro_export]
 macro_rules! count {
     ($reg:expr, $name:expr) => {
@@ -59,21 +128,26 @@ macro_rules! count {
     ($reg:expr, $name:expr, $n:expr) => {
         $reg.count($name, $n as u64)
     };
-    ($reg:expr, $name:expr, $n:expr, $($k:ident = $v:expr),+ $(,)?) => {
-        $reg.count_with($name, &[$((stringify!($k), &*$v.to_string())),+], $n as u64)
-    };
+    ($reg:expr, $name:expr, $n:expr, $($k:ident = $v:expr),+ $(,)?) => {{
+        // Borrow-then-shadow: the first binding keeps any temporary the
+        // label expression produced alive for the whole block.
+        $(let $k = &$v; let $k = $crate::ToLabel::to_label(&$k);)+
+        $reg.count_with($name, &[$((stringify!($k), $k.as_str())),+], $n as u64)
+    }};
 }
 
 /// Records a histogram observation: `observe!(reg, "name", value)`, or
-/// with labels `observe!(reg, "name", value, vertical = name)`.
+/// with labels `observe!(reg, "name", value, vertical = name)`. Label
+/// values go through [`ToLabel`], so string-like labels don't allocate.
 #[macro_export]
 macro_rules! observe {
     ($reg:expr, $name:expr, $v:expr) => {
         $reg.observe($name, $v as u64)
     };
-    ($reg:expr, $name:expr, $v:expr, $($k:ident = $lv:expr),+ $(,)?) => {
-        $reg.observe_with($name, &[$((stringify!($k), &*$lv.to_string())),+], $v as u64)
-    };
+    ($reg:expr, $name:expr, $v:expr, $($k:ident = $lv:expr),+ $(,)?) => {{
+        $(let $k = &$lv; let $k = $crate::ToLabel::to_label(&$k);)+
+        $reg.observe_with($name, &[$((stringify!($k), $k.as_str())),+], $v as u64)
+    }};
 }
 
 /// Times an expression under a span name and evaluates to its value:
@@ -247,6 +321,44 @@ mod tests {
         /// durations, the exclusive (self) times across all spans sum
         /// exactly to the root spans' total elapsed time — every
         /// nanosecond attributed once, none twice.
+        /// Cost-row merge is associative and commutative: synthetic
+        /// per-phase deltas scattered across worker registries and
+        /// folded in different groupings always equal direct recording.
+        #[test]
+        fn cost_merge_is_associative_and_commutative(
+            ops in proptest::collection::vec(
+                ((0u8..4, 0u8..3), (0u64..1000, 0u64..4096), (0usize..WorkKind::COUNT, 0u64..100)),
+                0..64,
+            )
+        ) {
+            const PATHS: [&str; 3] = ["p/a", "p/b", "q"];
+            let direct = Registry::new();
+            let parts: Vec<Registry> = (0..4).map(|_| Registry::new()).collect();
+            for ((part, path), (allocs, bytes), (kind, n)) in &ops {
+                let mut stats = CostStats {
+                    enters: 1,
+                    allocs: *allocs,
+                    bytes: *bytes,
+                    frees: *allocs,
+                    ..CostStats::default()
+                };
+                stats.work[*kind] = *n;
+                let path = PATHS[(*path % 3) as usize];
+                direct.record_cost(path, stats);
+                parts[(*part % 4) as usize].record_cost(path, stats);
+            }
+            let left = Registry::new();
+            for p in &parts {
+                left.merge_from(p);
+            }
+            let right = Registry::new();
+            for p in parts.iter().rev() {
+                right.merge_from(p);
+            }
+            assert_eq!(direct.costs_json(), left.costs_json());
+            assert_eq!(direct.costs_json(), right.costs_json());
+        }
+
         #[test]
         fn span_nesting_never_double_counts(
             shape in proptest::collection::vec((0u8..3, 0u8..2, 1u64..1_000_000), 1..32)
@@ -291,5 +403,152 @@ mod tests {
             assert_eq!(sum_self, roots_elapsed);
             assert_eq!(sum_self, own_work_total);
         }
+    }
+}
+
+#[cfg(test)]
+mod cost_tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn cost_scope_attributes_exclusively() {
+        let reg = Registry::new();
+        {
+            let _outer = reg.cost_scope("t/outer");
+            let outer_buf: Vec<u8> = Vec::with_capacity(64);
+            {
+                let _inner = reg.cost_scope("t/outer/inner");
+                let inner_buf: Vec<u8> = Vec::with_capacity(128);
+                charge(WorkKind::DocsFetched, 3);
+                drop(inner_buf);
+            }
+            charge(WorkKind::JsVmSteps, 5);
+            drop(outer_buf);
+        }
+        let outer = reg.cost_stats("t/outer").unwrap();
+        let inner = reg.cost_stats("t/outer/inner").unwrap();
+        assert_eq!((inner.enters, inner.allocs, inner.frees), (1, 1, 1));
+        assert_eq!(inner.bytes, 128);
+        assert_eq!(inner.work[WorkKind::DocsFetched as usize], 3);
+        // The child's heap traffic and work were carved out of the parent.
+        assert_eq!((outer.enters, outer.allocs, outer.frees), (1, 1, 1));
+        assert_eq!(outer.bytes, 64);
+        assert_eq!(outer.work[WorkKind::DocsFetched as usize], 0);
+        assert_eq!(outer.work[WorkKind::JsVmSteps as usize], 5);
+        assert!(outer.total_ns >= inner.total_ns);
+    }
+
+    #[test]
+    fn work_scope_records_work_but_zero_alloc_columns() {
+        let reg = Registry::new();
+        {
+            let _w = reg.work_scope("t/work");
+            let buf: Vec<u8> = Vec::with_capacity(256);
+            charge(WorkKind::EventsPlanned, 7);
+            drop(buf);
+        }
+        let s = reg.cost_stats("t/work").unwrap();
+        assert_eq!((s.enters, s.allocs, s.bytes, s.frees), (0, 0, 0, 0));
+        assert_eq!(s.work[WorkKind::EventsPlanned as usize], 7);
+        assert!(s.total_ns > 0);
+    }
+
+    #[test]
+    fn charge_without_open_scope_is_a_noop() {
+        let reg = Registry::new();
+        charge(WorkKind::PsrRowsScanned, 100);
+        assert!(reg.costs().is_empty());
+    }
+
+    /// The crawl-plane merge pattern: per-item registries, items
+    /// partitioned across worker threads, merged in item order. The
+    /// deterministic cost columns must be byte-identical at 1/2/8
+    /// threads — the contract `repro profile --threads` relies on.
+    fn matrix_run(threads: usize) -> String {
+        let items = 12;
+        let regs: Vec<Registry> = (0..items).map(|_| Registry::new()).collect();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let regs = &regs;
+                s.spawn(move || {
+                    for i in (t..items).step_by(threads) {
+                        let _scope = regs[i].cost_scope("w/phase");
+                        let mut v: Vec<u64> = Vec::new();
+                        for j in 0..(i + 1) * 3 {
+                            v.push(j as u64);
+                        }
+                        charge(WorkKind::PostingsWalked, v.len() as u64);
+                    }
+                });
+            }
+        });
+        let merged = Registry::new();
+        for r in &regs {
+            merged.merge_from(r);
+        }
+        merged.costs_json()
+    }
+
+    #[test]
+    fn cost_matrix_is_bit_identical_across_thread_counts() {
+        let serial = matrix_run(1);
+        assert_eq!(serial, matrix_run(2));
+        assert_eq!(serial, matrix_run(8));
+        assert!(serial.contains("postings_walked"));
+    }
+
+    #[test]
+    fn costs_json_excludes_wall_clock_fields() {
+        let reg = Registry::new();
+        {
+            let _scope = reg.cost_scope("t/phase");
+        }
+        assert!(!reg.costs_json().contains("_ms"));
+        assert!(!reg.costs_json().contains("_ns"));
+        let Value::Map(timings) = reg.cost_timings_value() else {
+            panic!("timings are a map")
+        };
+        assert_eq!(timings[0].0, "t/phase");
+    }
+
+    #[test]
+    fn folded_exports_use_semicolon_stacks() {
+        let reg = Registry::new();
+        let mut stats = CostStats {
+            allocs: 10,
+            self_ns: 5_000_000,
+            ..CostStats::default()
+        };
+        stats.work[WorkKind::DocsFetched as usize] = 4;
+        reg.record_cost("crawl/fetch", stats);
+        assert_eq!(folded_cost(&reg), "crawl;fetch 14\n");
+        assert_eq!(folded_wall(&reg), "crawl;fetch 5000\n");
+        assert!(render_tree(&reg).contains("docs_fetched=4"));
+    }
+
+    #[test]
+    fn registry_snapshot_round_trips_cost_rows() {
+        use ss_types::snapshot::Snapshot;
+        let reg = Registry::new();
+        reg.count("c", 3);
+        {
+            let _scope = reg.cost_scope("t/a");
+            let buf: Vec<u8> = Vec::with_capacity(32);
+            charge(WorkKind::JsCompiles, 2);
+            drop(buf);
+        }
+        let restored = Registry::decode(&reg.encode()).expect("registry round-trips");
+        // Deterministic columns round-trip; wall-clock fields reset.
+        let before = reg.cost_stats("t/a").unwrap();
+        let after = restored.cost_stats("t/a").unwrap();
+        assert_eq!(
+            (before.enters, before.allocs, before.bytes, before.frees),
+            (after.enters, after.allocs, after.bytes, after.frees)
+        );
+        assert_eq!(before.work, after.work);
+        assert_eq!((after.total_ns, after.self_ns), (0, 0));
+        assert_eq!(reg.costs_json(), restored.costs_json());
+        assert_eq!(restored.counter("c"), 3);
     }
 }

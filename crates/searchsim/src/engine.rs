@@ -189,6 +189,19 @@ struct RankState {
 struct EngineStats {
     queries: AtomicU64,
     cache_hits: AtomicU64,
+    /// Postings examined by cache-miss SERP walks — deterministic per run
+    /// because a walk happens once per distinct `(term, day, k-extension)`
+    /// cache key regardless of which thread takes the miss.
+    postings_walked: AtomicU64,
+    /// Top-k heap insertions performed by those walks.
+    heap_pushes: AtomicU64,
+}
+
+/// Work performed by one SERP walk, for the deterministic cost ledger.
+#[derive(Debug, Default, Clone, Copy)]
+struct WalkWork {
+    postings: u64,
+    pushes: u64,
 }
 
 /// One cached SERP build for a `(term, day)` key.
@@ -260,13 +273,15 @@ fn walk_serp(
     term: TermId,
     day: SimDate,
     k: usize,
-) -> (Vec<RankedHit>, bool) {
+) -> (Vec<RankedHit>, bool, WalkWork) {
     let list = &rank.sorted[term.index()];
     let mut heap: BinaryHeap<WeakestFirst> = BinaryHeap::with_capacity(k + 1);
     let half_amp = 0.5 * jitter_amp;
     let mut eligible = 0usize;
     let mut truncated = false;
+    let mut work = WalkWork::default();
     for &doc in list {
+        work.postings += 1;
         let di = doc.0 as usize;
         if index.docs[di].first_indexed > day {
             continue;
@@ -284,8 +299,10 @@ fn walk_serp(
         debug_assert!(score.is_finite(), "non-finite SERP score for {doc:?}");
         let cand = WeakestFirst(score, doc);
         if heap.len() < k {
+            work.pushes += 1;
             heap.push(cand);
         } else if cand < *heap.peek().expect("heap full") {
+            work.pushes += 1;
             heap.pop();
             heap.push(cand);
         }
@@ -312,7 +329,7 @@ fn walk_serp(
             }
         })
         .collect();
-    (hits, !truncated && eligible == kept.len())
+    (hits, !truncated && eligible == kept.len(), work)
 }
 
 /// An immutable snapshot of the engine, published at the tick plane's
@@ -349,7 +366,7 @@ impl EngineEpoch {
                 };
             }
         }
-        let (hits, exhausted) = walk_serp(
+        let (hits, exhausted, work) = walk_serp(
             &self.index,
             &self.rank,
             self.seed,
@@ -358,6 +375,12 @@ impl EngineEpoch {
             day,
             k,
         );
+        self.stats
+            .postings_walked
+            .fetch_add(work.postings, AtomicOrder::Relaxed);
+        self.stats
+            .heap_pushes
+            .fetch_add(work.pushes, AtomicOrder::Relaxed);
         let hits = Arc::new(hits);
         slot.insert(
             key,
@@ -546,6 +569,17 @@ impl SearchEngine {
         (
             self.stats.queries.swap(0, AtomicOrder::Relaxed),
             self.stats.cache_hits.swap(0, AtomicOrder::Relaxed),
+        )
+    }
+
+    /// Drains the walk-work counters: `(postings_walked, heap_pushes)`
+    /// since the previous drain. Deterministic per run (see
+    /// `EngineStats`); the world folds these into the cost ledger at the
+    /// same commit-adjacent points as [`SearchEngine::take_serp_stats`].
+    pub fn take_walk_work(&self) -> (u64, u64) {
+        (
+            self.stats.postings_walked.swap(0, AtomicOrder::Relaxed),
+            self.stats.heap_pushes.swap(0, AtomicOrder::Relaxed),
         )
     }
 

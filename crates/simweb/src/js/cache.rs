@@ -78,6 +78,13 @@ impl JsCache {
     /// The compiled chunk for `src`, compiling on first sight. `Err` is
     /// the parse error's display string.
     pub(crate) fn chunk_for(&self, src: &str, mode: CompileMode) -> Result<Arc<Chunk>, String> {
+        // Which thread takes a given miss (and pays the compile, the
+        // insert, even an `Err` clone on hit) is a race, so none of it may
+        // count against the caller's cost scope: pause the allocation
+        // meter for the whole lookup. Compile *work* is charged
+        // deterministically from the counters at the crawl-day choke
+        // point instead.
+        let _quiet = ss_obs::pause_metering();
         let key = (mode, fnv64(src.as_bytes()));
         let mut map = self.map.lock().expect("js cache lock");
         if let Some(e) = map.get(&key) {

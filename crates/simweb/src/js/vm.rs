@@ -38,7 +38,11 @@ pub(crate) fn run_chunk(
         steps: 0,
         depth: 0,
     };
-    vm.exec(chunk.clone(), 0)?;
+    let result = vm.exec(chunk.clone(), 0);
+    // Step-budget units consumed are deterministic per script run (even
+    // on the error path), so they feed the cost profiler's work ledger.
+    ss_obs::charge(ss_obs::WorkKind::JsVmSteps, vm.steps);
+    result?;
     Ok(())
 }
 
